@@ -1,0 +1,33 @@
+//! The headline E1/E2 measurement under Criterion: wall time of the
+//! same analytics job in duplicated versus transformed-parallel mode at
+//! increasing consortium sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medchain::modes::{run_duplicated, run_transformed};
+
+const WORK: u64 = 150_000;
+
+fn bench_duplicated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_duplicated_mode");
+    group.sample_size(10);
+    for nodes in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| run_duplicated(nodes, WORK, 1).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transformed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_transformed_mode");
+    group.sample_size(10);
+    for nodes in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            b.iter(|| run_transformed(nodes, WORK, 1).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_duplicated, bench_transformed);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Experiment runner: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p medchain-bench --bin experiments           # all, full size
+//! cargo run --release -p medchain-bench --bin experiments -- --quick
+//! cargo run --release -p medchain-bench --bin experiments -- e1 e8  # subset
+//! ```
+
+use medchain_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+    let to_run: Vec<&str> = if selected.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        for id in &selected {
+            assert!(
+                ALL_EXPERIMENTS.contains(id),
+                "unknown experiment {id:?}; valid: {ALL_EXPERIMENTS:?}"
+            );
+        }
+        selected
+    };
+    println!(
+        "MedChain experiment harness — {} experiment(s), {} profile",
+        to_run.len(),
+        if quick { "quick" } else { "full" }
+    );
+    for id in to_run {
+        let table = run_experiment(id, quick);
+        println!("{table}");
+    }
+}

@@ -1,0 +1,144 @@
+//! **E1** — duplicated-computing scaling (paper §I: "the performance
+//! (transaction latency and throughput) cannot scale up proportionally
+//! along with the number of nodes increasing. On the contrary, the
+//! performance of a single node is better than multiple nodes").
+//!
+//! **E2** — the transformed architecture (Fig. 1): the same job
+//! decomposed across sites, executed off-chain in parallel next to the
+//! data, with only the policy gate and result hash on-chain.
+
+use crate::report::{f, ms, Table};
+use medchain::modes::{run_duplicated, run_sharded, run_transformed};
+
+fn node_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16]
+    }
+}
+
+fn work_units(quick: bool) -> u64 {
+    if quick {
+        200_000
+    } else {
+        1_500_000
+    }
+}
+
+/// Runs E1: duplicated mode across node counts.
+pub fn run_e1(quick: bool) -> Table {
+    let work = work_units(quick);
+    let mut table = Table::new(
+        "E1",
+        &format!("duplicated smart-contract computing, job = {work} work units"),
+        &["nodes", "wall", "total work (gas)", "duplication ×", "jobs/s", "sim latency"],
+    );
+    let mut walls = Vec::new();
+    for nodes in node_counts(quick) {
+        let report = run_duplicated(nodes, work, 11).expect("duplicated run");
+        walls.push((nodes, report.wall.as_secs_f64()));
+        table.row(vec![
+            nodes.to_string(),
+            ms(report.wall.as_secs_f64() * 1000.0),
+            report.total_gas.to_string(),
+            f(report.duplication_factor()),
+            f(report.throughput_per_sec()),
+            format!("{}ms", report.sim_latency_ms),
+        ]);
+    }
+    let (n0, w0) = walls[0];
+    let (nk, wk) = *walls.last().expect("at least one row");
+    table.finding(format!(
+        "paper claim holds: {nk} nodes take {:.1}× the wall time of {n0} node(s) for the SAME job \
+         (throughput does not scale; a single node is fastest)",
+        wk / w0
+    ));
+    table
+}
+
+/// Runs E2: duplicated vs transformed across node counts.
+pub fn run_e2(quick: bool) -> Table {
+    let work = work_units(quick);
+    let mut table = Table::new(
+        "E2",
+        &format!("transformed distributed-parallel architecture, job = {work} work units"),
+        &[
+            "nodes",
+            "duplicated wall",
+            "sharded wall",
+            "transformed wall",
+            "speedup ×",
+            "dup work",
+            "shard work",
+            "trans work",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for nodes in node_counts(quick) {
+        let duplicated = run_duplicated(nodes, work, 22).expect("duplicated run");
+        // Sharding (paper §I's partial fix): √N-ish groups.
+        let shards = (nodes / 2).max(1);
+        let sharded = run_sharded(nodes, shards, work, 22).expect("sharded run");
+        let transformed = run_transformed(nodes, work, 22).expect("transformed run");
+        let speedup = duplicated.wall.as_secs_f64() / transformed.wall.as_secs_f64();
+        speedups.push((nodes, speedup));
+        table.row(vec![
+            nodes.to_string(),
+            ms(duplicated.wall.as_secs_f64() * 1000.0),
+            ms(sharded.wall.as_secs_f64() * 1000.0),
+            ms(transformed.wall.as_secs_f64() * 1000.0),
+            f(speedup),
+            duplicated.total_gas.to_string(),
+            sharded.total_gas.to_string(),
+            transformed.total_gas.to_string(),
+        ]);
+    }
+    table.finding(
+        "sharding (paper §I) cuts duplication to group size but still re-executes within each \
+         shard; only the transformed architecture reaches ~1× total work for arbitrary \
+         computation"
+            .to_string(),
+    );
+    if let Some((n, s)) = speedups.last() {
+        table.finding(format!(
+            "transformed architecture reaches {s:.1}× speedup at {n} nodes; speedup grows with \
+             consortium size (duplicated work is N×, transformed stays ~1×)"
+        ));
+    }
+    let crossover = speedups.iter().find(|(_, s)| *s > 1.0).map(|(n, _)| *n);
+    table.finding(match crossover {
+        Some(n) => format!("crossover: transformed wins from {n} node(s) upward"),
+        None => "no crossover observed at these sizes".to_string(),
+    });
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shows_antiscaling() {
+        let table = run_e1(true);
+        assert_eq!(table.rows.len(), 3);
+        // Wall time at 4 nodes must exceed wall at 1 node.
+        let wall = |row: usize| {
+            table.rows[row][1].trim_end_matches("ms").parse::<f64>().unwrap()
+        };
+        assert!(wall(2) > wall(0), "4-node wall {} vs 1-node {}", wall(2), wall(0));
+    }
+
+    #[test]
+    fn e2_transformed_wins_at_four_nodes() {
+        let table = run_e2(true);
+        let last = table.rows.last().unwrap();
+        let speedup: f64 = last[4].parse().unwrap();
+        assert!(speedup > 1.0, "speedup {speedup}");
+        // Ordering of total work: duplicated > sharded > transformed.
+        let dup: u64 = last[5].parse().unwrap();
+        let shard: u64 = last[6].parse().unwrap();
+        let trans: u64 = last[7].parse().unwrap();
+        assert!(dup > shard && shard > trans, "work ordering {dup} {shard} {trans}");
+    }
+}

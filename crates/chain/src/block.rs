@@ -1,0 +1,203 @@
+//! Blocks and block headers.
+
+use crate::hash::Hash256;
+use crate::merkle::MerkleTree;
+use crate::sig::{Address, AuthoritySignature};
+use crate::tx::Transaction;
+
+/// How a block was sealed by its consensus engine.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Seal {
+    /// Genesis block has no seal.
+    Genesis,
+    /// Proof-of-authority: proposer signature plus validator vote
+    /// signatures (> 2/3 of the validator set).
+    Authority {
+        /// The round-robin proposer's signature over the header digest.
+        proposer: AuthoritySignature,
+        /// Validator votes over the header digest.
+        votes: Vec<AuthoritySignature>,
+    },
+    /// PBFT: the commit-phase quorum certificate.
+    Pbft {
+        /// View in which the block committed.
+        view: u64,
+        /// Commit signatures from 2f+1 replicas.
+        commits: Vec<AuthoritySignature>,
+    },
+    /// Proof-of-work: nonce achieving the difficulty target.
+    Work {
+        /// Winning nonce.
+        nonce: u64,
+        /// Required leading zero bits.
+        difficulty_bits: u32,
+    },
+    /// Proof-of-stake: the lottery winner's signature and stake weight.
+    Stake {
+        /// Winner's signature over the header digest.
+        winner: AuthoritySignature,
+        /// Winner's stake at selection time.
+        stake: u64,
+    },
+}
+
+/// Block header.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Header {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Parent header digest.
+    pub parent: Hash256,
+    /// Merkle root of the block's transactions.
+    pub tx_root: Hash256,
+    /// World-state root after executing this block.
+    pub state_root: Hash256,
+    /// Logical timestamp (simulation milliseconds).
+    pub timestamp_ms: u64,
+    /// Address of the proposer / miner.
+    pub proposer: Address,
+}
+
+impl Header {
+    /// Digest of the header fields (excluding the seal).
+    pub fn digest(&self) -> Hash256 {
+        let mut bytes = Vec::with_capacity(116);
+        bytes.extend_from_slice(&self.height.to_le_bytes());
+        bytes.extend_from_slice(&self.parent.0);
+        bytes.extend_from_slice(&self.tx_root.0);
+        bytes.extend_from_slice(&self.state_root.0);
+        bytes.extend_from_slice(&self.timestamp_ms.to_le_bytes());
+        bytes.extend_from_slice(&self.proposer.0);
+        Hash256::digest(&bytes)
+    }
+
+    /// Digest including a proof-of-work nonce.
+    pub fn pow_digest(&self, nonce: u64) -> Hash256 {
+        let mut bytes = self.digest().0.to_vec();
+        bytes.extend_from_slice(&nonce.to_le_bytes());
+        Hash256::digest(&bytes)
+    }
+}
+
+/// A sealed block.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Block {
+    /// Header.
+    pub header: Header,
+    /// Ordered transactions.
+    pub transactions: Vec<Transaction>,
+    /// Consensus seal.
+    pub seal: Seal,
+}
+
+impl Block {
+    /// The genesis block of a chain identified by `chain_id`.
+    pub fn genesis(chain_id: &str) -> Block {
+        let header = Header {
+            height: 0,
+            parent: Hash256::ZERO,
+            tx_root: MerkleTree::from_leaves(Vec::new()).root(),
+            state_root: Hash256::digest(chain_id.as_bytes()),
+            timestamp_ms: 0,
+            proposer: Address::from_seed(0),
+        };
+        Block { header, transactions: Vec::new(), seal: Seal::Genesis }
+    }
+
+    /// Block id: the header digest.
+    pub fn id(&self) -> Hash256 {
+        self.header.digest()
+    }
+
+    /// Recomputes the transaction Merkle root from the body.
+    pub fn computed_tx_root(&self) -> Hash256 {
+        MerkleTree::from_leaves(self.transactions.iter().map(Transaction::id).collect()).root()
+    }
+
+    /// Checks internal consistency: the header's `tx_root` must commit to
+    /// the body.
+    pub fn is_body_consistent(&self) -> bool {
+        self.header.tx_root == self.computed_tx_root()
+    }
+
+    /// Approximate wire size for network accounting.
+    pub fn wire_size(&self) -> usize {
+        116 + self.transactions.iter().map(Transaction::wire_size).sum::<usize>() + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::AuthorityKey;
+    use crate::tx::TxPayload;
+
+    fn sample_block() -> Block {
+        let key = AuthorityKey::from_seed(1);
+        let txs: Vec<Transaction> = (0..3)
+            .map(|n| {
+                Transaction::new(
+                    key.address(),
+                    n,
+                    TxPayload::Transfer { to: Address::from_seed(2), amount: n + 1 },
+                    1_000,
+                )
+                .signed(&key)
+            })
+            .collect();
+        let header = Header {
+            height: 1,
+            parent: Block::genesis("med").id(),
+            tx_root: MerkleTree::from_leaves(txs.iter().map(Transaction::id).collect()).root(),
+            state_root: Hash256::digest(b"state"),
+            timestamp_ms: 1_000,
+            proposer: key.address(),
+        };
+        Block { header, transactions: txs, seal: Seal::Genesis }
+    }
+
+    #[test]
+    fn genesis_is_deterministic_per_chain_id() {
+        assert_eq!(Block::genesis("med").id(), Block::genesis("med").id());
+        assert_ne!(Block::genesis("med").id(), Block::genesis("other").id());
+    }
+
+    #[test]
+    fn body_consistency_detects_tampering() {
+        let mut block = sample_block();
+        assert!(block.is_body_consistent());
+        block.transactions[1].payload =
+            TxPayload::Transfer { to: Address::from_seed(2), amount: 9_999 };
+        assert!(!block.is_body_consistent());
+    }
+
+    #[test]
+    fn header_digest_covers_every_field() {
+        let base = sample_block().header;
+        let mut variants = Vec::new();
+        let mut h = base.clone();
+        h.height += 1;
+        variants.push(h);
+        let mut h = base.clone();
+        h.parent = Hash256::digest(b"x");
+        variants.push(h);
+        let mut h = base.clone();
+        h.state_root = Hash256::digest(b"y");
+        variants.push(h);
+        let mut h = base.clone();
+        h.timestamp_ms += 1;
+        variants.push(h);
+        let mut h = base.clone();
+        h.proposer = Address::from_seed(42);
+        variants.push(h);
+        for v in variants {
+            assert_ne!(v.digest(), base.digest());
+        }
+    }
+
+    #[test]
+    fn pow_digest_depends_on_nonce() {
+        let header = sample_block().header;
+        assert_ne!(header.pow_digest(0), header.pow_digest(1));
+    }
+}

@@ -1,0 +1,806 @@
+//! World state, receipts, and the ledger (chain of applied blocks).
+//!
+//! The ledger is execution-layer-agnostic: `Deploy`/`Invoke` payloads are
+//! delegated to a pluggable [`ContractRuntime`] (implemented by
+//! `medchain-contracts`), while `Transfer` and `Anchor` payloads are
+//! interpreted natively. Every node holds an identical ledger — this is
+//! precisely the duplicated-computing property the paper sets out to
+//! exploit and then reform.
+
+use crate::block::{Block, Header};
+use crate::hash::{Hash256, Sha256};
+use crate::merkle::MerkleTree;
+use crate::sig::{Address, KeyRegistry};
+use crate::tx::{Transaction, TxPayload};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An account record: token balance and replay-protection nonce.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Account {
+    /// Token balance in base units.
+    pub balance: u64,
+    /// Next expected transaction nonce.
+    pub nonce: u64,
+}
+
+/// An event emitted during contract execution.
+///
+/// The off-chain monitor node (paper Fig. 3) subscribes to these.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    /// Emitting contract.
+    pub contract: Address,
+    /// Topic string, e.g. `"DataRequested"`.
+    pub topic: String,
+    /// Opaque payload.
+    pub data: Vec<u8>,
+}
+
+/// Execution receipt for one transaction.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Receipt {
+    /// Transaction id.
+    pub tx_id: Hash256,
+    /// Whether execution succeeded.
+    pub ok: bool,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Return data (empty on failure).
+    pub output: Vec<u8>,
+    /// Events emitted (empty on failure).
+    pub events: Vec<Event>,
+    /// Error description when `ok` is false.
+    pub error: Option<String>,
+}
+
+/// Successful contract execution outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Return data.
+    pub output: Vec<u8>,
+    /// Events emitted.
+    pub events: Vec<Event>,
+}
+
+/// Error produced by contract execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Gas consumed before the failure.
+    pub gas_used: u64,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "contract execution failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Pluggable smart-contract execution layer.
+#[allow(clippy::too_many_arguments)] // execution context is intrinsically wide
+pub trait ContractRuntime: Send + Sync {
+    /// Deploys `code` at `contract_addr`, running any constructor with
+    /// `init`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if the code is malformed or the constructor
+    /// fails or runs out of gas.
+    fn deploy(
+        &self,
+        sender: Address,
+        contract_addr: Address,
+        code: &[u8],
+        init: &[u8],
+        gas_limit: u64,
+        now_ms: u64,
+        state: &mut WorldState,
+    ) -> Result<ExecOutcome, ExecError>;
+
+    /// Invokes the contract at `contract` with `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on missing contract, trap, or out-of-gas.
+    fn invoke(
+        &self,
+        sender: Address,
+        contract: Address,
+        input: &[u8],
+        gas_limit: u64,
+        now_ms: u64,
+        state: &mut WorldState,
+    ) -> Result<ExecOutcome, ExecError>;
+}
+
+/// Runtime that rejects all contract transactions; used by chain-only
+/// deployments and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRuntime;
+
+impl ContractRuntime for NullRuntime {
+    fn deploy(
+        &self,
+        _sender: Address,
+        _contract_addr: Address,
+        _code: &[u8],
+        _init: &[u8],
+        gas_limit: u64,
+        _now_ms: u64,
+        _state: &mut WorldState,
+    ) -> Result<ExecOutcome, ExecError> {
+        let _ = gas_limit;
+        Err(ExecError { gas_used: 0, reason: "no contract runtime installed".into() })
+    }
+
+    fn invoke(
+        &self,
+        _sender: Address,
+        _contract: Address,
+        _input: &[u8],
+        _gas_limit: u64,
+        _now_ms: u64,
+        _state: &mut WorldState,
+    ) -> Result<ExecOutcome, ExecError> {
+        Err(ExecError { gas_used: 0, reason: "no contract runtime installed".into() })
+    }
+}
+
+/// The replicated world state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorldState {
+    accounts: BTreeMap<Address, Account>,
+    storage: BTreeMap<(Address, Vec<u8>), Vec<u8>>,
+    code: BTreeMap<Address, Vec<u8>>,
+    anchors: BTreeMap<String, Hash256>,
+}
+
+impl WorldState {
+    /// Creates an empty state.
+    pub fn new() -> WorldState {
+        WorldState::default()
+    }
+
+    /// Returns the account for `addr` (default if absent).
+    pub fn account(&self, addr: &Address) -> Account {
+        self.accounts.get(addr).copied().unwrap_or_default()
+    }
+
+    /// Credits `amount` to `addr`.
+    pub fn credit(&mut self, addr: Address, amount: u64) {
+        self.accounts.entry(addr).or_default().balance += amount;
+    }
+
+    /// Debits `amount` from `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::InsufficientBalance`] if funds are missing.
+    pub fn debit(&mut self, addr: Address, amount: u64) -> Result<(), LedgerError> {
+        let account = self.accounts.entry(addr).or_default();
+        if account.balance < amount {
+            return Err(LedgerError::InsufficientBalance {
+                address: addr,
+                have: account.balance,
+                need: amount,
+            });
+        }
+        account.balance -= amount;
+        Ok(())
+    }
+
+    /// Reads a contract storage slot.
+    pub fn storage(&self, contract: &Address, key: &[u8]) -> Option<&[u8]> {
+        self.storage.get(&(*contract, key.to_vec())).map(Vec::as_slice)
+    }
+
+    /// Writes a contract storage slot (empty value deletes).
+    pub fn set_storage(&mut self, contract: Address, key: Vec<u8>, value: Vec<u8>) {
+        if value.is_empty() {
+            self.storage.remove(&(contract, key));
+        } else {
+            self.storage.insert((contract, key), value);
+        }
+    }
+
+    /// Iterates over the storage slots of one contract.
+    pub fn storage_of<'a>(
+        &'a self,
+        contract: &'a Address,
+    ) -> impl Iterator<Item = (&'a [u8], &'a [u8])> + 'a {
+        self.storage
+            .range((*contract, Vec::new())..)
+            .take_while(move |((a, _), _)| a == contract)
+            .map(|((_, k), v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Returns deployed code at `addr`.
+    pub fn code(&self, addr: &Address) -> Option<&[u8]> {
+        self.code.get(addr).map(Vec::as_slice)
+    }
+
+    /// Installs contract code.
+    pub fn set_code(&mut self, addr: Address, code: Vec<u8>) {
+        self.code.insert(addr, code);
+    }
+
+    /// Looks up a data anchor by label.
+    pub fn anchor(&self, label: &str) -> Option<Hash256> {
+        self.anchors.get(label).copied()
+    }
+
+    /// Number of recorded anchors.
+    pub fn anchor_count(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Deterministic commitment to the entire state.
+    pub fn state_root(&self) -> Hash256 {
+        let mut h = Sha256::new();
+        for (addr, account) in &self.accounts {
+            h.update(&addr.0);
+            h.update(&account.balance.to_le_bytes());
+            h.update(&account.nonce.to_le_bytes());
+        }
+        for ((addr, key), value) in &self.storage {
+            h.update(&addr.0);
+            h.update(&(key.len() as u64).to_le_bytes());
+            h.update(key);
+            h.update(&(value.len() as u64).to_le_bytes());
+            h.update(value);
+        }
+        for (addr, code) in &self.code {
+            h.update(&addr.0);
+            h.update(code);
+        }
+        for (label, root) in &self.anchors {
+            h.update(label.as_bytes());
+            h.update(&root.0);
+        }
+        h.finalize()
+    }
+}
+
+/// Errors raised while validating or applying blocks and transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// Transaction signature missing or invalid.
+    BadSignature(Hash256),
+    /// Transaction nonce does not match the account.
+    BadNonce {
+        /// Offending transaction.
+        tx_id: Hash256,
+        /// Nonce the account expected.
+        expected: u64,
+        /// Nonce the transaction carried.
+        got: u64,
+    },
+    /// Account balance too low.
+    InsufficientBalance {
+        /// Debited account.
+        address: Address,
+        /// Current balance.
+        have: u64,
+        /// Required amount.
+        need: u64,
+    },
+    /// Block's parent does not match the chain tip.
+    WrongParent,
+    /// Block height is not tip + 1.
+    WrongHeight {
+        /// Expected height.
+        expected: u64,
+        /// Header height.
+        got: u64,
+    },
+    /// Header `tx_root` does not commit to the body.
+    BodyMismatch,
+    /// Header `state_root` does not match post-execution state.
+    StateRootMismatch,
+    /// An anchor label was re-registered with a different root.
+    AnchorConflict(String),
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::BadSignature(id) => write!(f, "bad signature on transaction {id:?}"),
+            LedgerError::BadNonce { tx_id, expected, got } => {
+                write!(f, "bad nonce on {tx_id:?}: expected {expected}, got {got}")
+            }
+            LedgerError::InsufficientBalance { address, have, need } => {
+                write!(f, "insufficient balance on {address:?}: have {have}, need {need}")
+            }
+            LedgerError::WrongParent => f.write_str("block parent does not match chain tip"),
+            LedgerError::WrongHeight { expected, got } => {
+                write!(f, "wrong block height: expected {expected}, got {got}")
+            }
+            LedgerError::BodyMismatch => f.write_str("tx root does not commit to block body"),
+            LedgerError::StateRootMismatch => {
+                f.write_str("state root does not match post-execution state")
+            }
+            LedgerError::AnchorConflict(label) => {
+                write!(f, "anchor label {label:?} already registered with different root")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Counters describing the work a ledger has performed — inputs to the
+/// energy model and the duplicated-computing experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerStats {
+    /// Blocks applied.
+    pub blocks: u64,
+    /// Transactions executed.
+    pub transactions: u64,
+    /// Total gas consumed by contract execution.
+    pub gas_used: u64,
+    /// Transactions that failed execution.
+    pub failed: u64,
+}
+
+/// A node's replicated ledger: block store + world state + receipts.
+pub struct Ledger {
+    blocks: Vec<Block>,
+    state: WorldState,
+    receipts: BTreeMap<Hash256, Receipt>,
+    registry: KeyRegistry,
+    runtime: Box<dyn ContractRuntime>,
+    stats: LedgerStats,
+}
+
+impl fmt::Debug for Ledger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ledger")
+            .field("height", &self.height())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Ledger {
+    /// Creates a ledger with the genesis block for `chain_id`.
+    pub fn new(chain_id: &str, registry: KeyRegistry, runtime: Box<dyn ContractRuntime>) -> Ledger {
+        Ledger {
+            blocks: vec![Block::genesis(chain_id)],
+            state: WorldState::new(),
+            receipts: BTreeMap::new(),
+            registry,
+            runtime,
+            stats: LedgerStats::default(),
+        }
+    }
+
+    /// Current chain height (genesis = 0).
+    pub fn height(&self) -> u64 {
+        self.blocks.last().expect("genesis always present").header.height
+    }
+
+    /// The tip block.
+    pub fn tip(&self) -> &Block {
+        self.blocks.last().expect("genesis always present")
+    }
+
+    /// Block at `height`, if applied.
+    pub fn block(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// All applied blocks, genesis first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Current world state.
+    pub fn state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// Mutable world state access, for genesis funding in simulations.
+    pub fn state_mut(&mut self) -> &mut WorldState {
+        &mut self.state
+    }
+
+    /// Receipt for a transaction, if executed.
+    pub fn receipt(&self, tx_id: &Hash256) -> Option<&Receipt> {
+        self.receipts.get(tx_id)
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> LedgerStats {
+        self.stats
+    }
+
+    /// The consortium membership registry.
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    /// Validates `tx` statelessly plus nonce/balance against current
+    /// state. Used by the mempool for admission control.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`LedgerError`] that admission failed with.
+    pub fn check_admissible(&self, tx: &Transaction) -> Result<(), LedgerError> {
+        if !tx.verify(&self.registry) {
+            return Err(LedgerError::BadSignature(tx.id()));
+        }
+        let account = self.state.account(&tx.sender);
+        if tx.nonce < account.nonce {
+            return Err(LedgerError::BadNonce {
+                tx_id: tx.id(),
+                expected: account.nonce,
+                got: tx.nonce,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds an unsealed block extending the tip with `txs`, executing
+    /// them against a copy of the state to compute the state root.
+    ///
+    /// Transactions that fail admission are dropped; transactions that
+    /// fail execution are included with failure receipts (as real chains
+    /// do), so their gas is still accounted.
+    pub fn propose(&self, proposer: Address, timestamp_ms: u64, txs: Vec<Transaction>) -> Block {
+        let mut state = self.state.clone();
+        let mut included = Vec::with_capacity(txs.len());
+        for tx in txs {
+            if self.admission_against(&state, &tx).is_ok() {
+                let _ = Self::execute_tx(&*self.runtime, &mut state, &tx, timestamp_ms);
+                included.push(tx);
+            }
+        }
+        let header = Header {
+            height: self.height() + 1,
+            parent: self.tip().id(),
+            tx_root: MerkleTree::from_leaves(included.iter().map(Transaction::id).collect())
+                .root(),
+            state_root: state.state_root(),
+            timestamp_ms,
+            proposer,
+        };
+        Block { header, transactions: included, seal: crate::block::Seal::Genesis }
+    }
+
+    fn admission_against(&self, state: &WorldState, tx: &Transaction) -> Result<(), LedgerError> {
+        if !tx.verify(&self.registry) {
+            return Err(LedgerError::BadSignature(tx.id()));
+        }
+        let account = state.account(&tx.sender);
+        if tx.nonce != account.nonce {
+            return Err(LedgerError::BadNonce {
+                tx_id: tx.id(),
+                expected: account.nonce,
+                got: tx.nonce,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates and applies a sealed block, executing all transactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LedgerError`] and leaves the ledger unchanged if any
+    /// structural or execution-commitment check fails.
+    pub fn apply(&mut self, block: &Block) -> Result<Vec<Receipt>, LedgerError> {
+        if block.header.parent != self.tip().id() {
+            return Err(LedgerError::WrongParent);
+        }
+        if block.header.height != self.height() + 1 {
+            return Err(LedgerError::WrongHeight {
+                expected: self.height() + 1,
+                got: block.header.height,
+            });
+        }
+        if !block.is_body_consistent() {
+            return Err(LedgerError::BodyMismatch);
+        }
+        let mut state = self.state.clone();
+        let mut receipts = Vec::with_capacity(block.transactions.len());
+        for tx in &block.transactions {
+            self.admission_against(&state, tx)?;
+            receipts.push(Self::execute_tx(
+                &*self.runtime,
+                &mut state,
+                tx,
+                block.header.timestamp_ms,
+            ));
+        }
+        if state.state_root() != block.header.state_root {
+            return Err(LedgerError::StateRootMismatch);
+        }
+        // Commit.
+        for receipt in &receipts {
+            self.stats.transactions += 1;
+            self.stats.gas_used += receipt.gas_used;
+            if !receipt.ok {
+                self.stats.failed += 1;
+            }
+            self.receipts.insert(receipt.tx_id, receipt.clone());
+        }
+        self.stats.blocks += 1;
+        self.state = state;
+        self.blocks.push(block.clone());
+        Ok(receipts)
+    }
+
+    /// Executes one admissible transaction against `state`.
+    fn execute_tx(
+        runtime: &dyn ContractRuntime,
+        state: &mut WorldState,
+        tx: &Transaction,
+        now_ms: u64,
+    ) -> Receipt {
+        // Bump nonce first: failed transactions still consume it.
+        let account = state.accounts.entry(tx.sender).or_default();
+        account.nonce += 1;
+
+        // Contract execution is atomic: a trap or revert must leave no
+        // partial writes behind. Snapshot after the nonce bump so the
+        // nonce survives the rollback.
+        let snapshot = match &tx.payload {
+            TxPayload::Deploy { .. } | TxPayload::Invoke { .. } => Some(state.clone()),
+            _ => None,
+        };
+
+        let result: Result<ExecOutcome, ExecError> = match &tx.payload {
+            TxPayload::Transfer { to, amount } => state
+                .debit(tx.sender, *amount)
+                .map(|()| {
+                    state.credit(*to, *amount);
+                    ExecOutcome { gas_used: 21, ..ExecOutcome::default() }
+                })
+                .map_err(|e| ExecError { gas_used: 21, reason: e.to_string() }),
+            TxPayload::Deploy { code, init } => {
+                let contract_addr = contract_address(&tx.sender, tx.nonce);
+                runtime
+                    .deploy(tx.sender, contract_addr, code, init, tx.gas_limit, now_ms, state)
+                    .map(|mut outcome| {
+                        outcome.output = contract_addr.0.to_vec();
+                        outcome
+                    })
+            }
+            TxPayload::Invoke { contract, input } => {
+                runtime.invoke(tx.sender, *contract, input, tx.gas_limit, now_ms, state)
+            }
+            TxPayload::Anchor { root, label } => match state.anchors.get(label) {
+                Some(existing) if existing != root => Err(ExecError {
+                    gas_used: 30,
+                    reason: LedgerError::AnchorConflict(label.clone()).to_string(),
+                }),
+                _ => {
+                    state.anchors.insert(label.clone(), *root);
+                    Ok(ExecOutcome { gas_used: 30, ..ExecOutcome::default() })
+                }
+            },
+        };
+
+        match result {
+            Ok(outcome) => Receipt {
+                tx_id: tx.id(),
+                ok: true,
+                gas_used: outcome.gas_used,
+                output: outcome.output,
+                events: outcome.events,
+                error: None,
+            },
+            Err(err) => {
+                if let Some(snapshot) = snapshot {
+                    *state = snapshot;
+                }
+                Receipt {
+                    tx_id: tx.id(),
+                    ok: false,
+                    gas_used: err.gas_used,
+                    output: Vec::new(),
+                    events: Vec::new(),
+                    error: Some(err.reason),
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic contract address derivation: `H(sender ‖ nonce)`.
+pub fn contract_address(sender: &Address, nonce: u64) -> Address {
+    let mut bytes = sender.0.to_vec();
+    bytes.extend_from_slice(&nonce.to_le_bytes());
+    Address::from_key_material(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::AuthorityKey;
+
+    fn funded_ledger(keys: &[AuthorityKey]) -> Ledger {
+        let mut registry = KeyRegistry::new();
+        for k in keys {
+            registry.enroll(k);
+        }
+        let mut ledger = Ledger::new("test-chain", registry, Box::new(NullRuntime));
+        for k in keys {
+            ledger.state_mut().credit(k.address(), 1_000);
+        }
+        ledger
+    }
+
+    fn transfer(key: &AuthorityKey, nonce: u64, to: Address, amount: u64) -> Transaction {
+        Transaction::new(key.address(), nonce, TxPayload::Transfer { to, amount }, 100).signed(key)
+    }
+
+    #[test]
+    fn propose_and_apply_transfer() {
+        let alice = AuthorityKey::from_seed(1);
+        let bob = AuthorityKey::from_seed(2);
+        let mut ledger = funded_ledger(&[alice.clone(), bob.clone()]);
+        let block =
+            ledger.propose(alice.address(), 10, vec![transfer(&alice, 0, bob.address(), 250)]);
+        let receipts = ledger.apply(&block).unwrap();
+        assert!(receipts[0].ok);
+        assert_eq!(ledger.state().account(&alice.address()).balance, 750);
+        assert_eq!(ledger.state().account(&bob.address()).balance, 1_250);
+        assert_eq!(ledger.height(), 1);
+    }
+
+    #[test]
+    fn overdraft_produces_failed_receipt_but_block_applies() {
+        let alice = AuthorityKey::from_seed(1);
+        let bob = AuthorityKey::from_seed(2);
+        let mut ledger = funded_ledger(&[alice.clone(), bob.clone()]);
+        let block =
+            ledger.propose(alice.address(), 10, vec![transfer(&alice, 0, bob.address(), 5_000)]);
+        let receipts = ledger.apply(&block).unwrap();
+        assert!(!receipts[0].ok);
+        assert_eq!(ledger.state().account(&alice.address()).balance, 1_000);
+        assert_eq!(ledger.stats().failed, 1);
+        // Nonce still consumed.
+        assert_eq!(ledger.state().account(&alice.address()).nonce, 1);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_parent() {
+        let alice = AuthorityKey::from_seed(1);
+        let mut ledger = funded_ledger(std::slice::from_ref(&alice));
+        let mut block = ledger.propose(alice.address(), 10, Vec::new());
+        block.header.parent = Hash256::digest(b"bogus");
+        // Recompute nothing: parent check fires first.
+        assert_eq!(ledger.apply(&block), Err(LedgerError::WrongParent));
+    }
+
+    #[test]
+    fn apply_rejects_tampered_body() {
+        let alice = AuthorityKey::from_seed(1);
+        let bob = AuthorityKey::from_seed(2);
+        let mut ledger = funded_ledger(&[alice.clone(), bob.clone()]);
+        let mut block =
+            ledger.propose(alice.address(), 10, vec![transfer(&alice, 0, bob.address(), 1)]);
+        block.transactions[0].payload =
+            TxPayload::Transfer { to: bob.address(), amount: 999 };
+        assert_eq!(ledger.apply(&block), Err(LedgerError::BodyMismatch));
+    }
+
+    #[test]
+    fn apply_rejects_state_root_mismatch() {
+        let alice = AuthorityKey::from_seed(1);
+        let mut ledger = funded_ledger(std::slice::from_ref(&alice));
+        let mut block = ledger.propose(alice.address(), 10, Vec::new());
+        block.header.state_root = Hash256::digest(b"wrong");
+        assert_eq!(ledger.apply(&block), Err(LedgerError::StateRootMismatch));
+    }
+
+    #[test]
+    fn propose_drops_bad_nonce_and_unsigned() {
+        let alice = AuthorityKey::from_seed(1);
+        let bob = AuthorityKey::from_seed(2);
+        let ledger = funded_ledger(&[alice.clone(), bob.clone()]);
+        let bad_nonce = transfer(&alice, 5, bob.address(), 1);
+        let unsigned = Transaction::new(
+            alice.address(),
+            0,
+            TxPayload::Transfer { to: bob.address(), amount: 1 },
+            100,
+        );
+        let good = transfer(&alice, 0, bob.address(), 1);
+        let block = ledger.propose(alice.address(), 10, vec![bad_nonce, unsigned, good]);
+        assert_eq!(block.transactions.len(), 1);
+    }
+
+    #[test]
+    fn anchor_round_trip_and_conflict() {
+        let alice = AuthorityKey::from_seed(1);
+        let mut ledger = funded_ledger(std::slice::from_ref(&alice));
+        let root = Hash256::digest(b"dataset-v1");
+        let anchor = |nonce, root, label: &str| {
+            Transaction::new(
+                alice.address(),
+                nonce,
+                TxPayload::Anchor { root, label: label.into() },
+                100,
+            )
+            .signed(&alice)
+        };
+        let block =
+            ledger.propose(alice.address(), 1, vec![anchor(0, root, "hospital-1/emr")]);
+        ledger.apply(&block).unwrap();
+        assert_eq!(ledger.state().anchor("hospital-1/emr"), Some(root));
+
+        // Re-anchoring with a different root fails.
+        let conflicting =
+            anchor(1, Hash256::digest(b"dataset-v2-tampered"), "hospital-1/emr");
+        let block2 = ledger.propose(alice.address(), 2, vec![conflicting]);
+        let receipts = ledger.apply(&block2).unwrap();
+        assert!(!receipts[0].ok);
+        assert_eq!(ledger.state().anchor("hospital-1/emr"), Some(root));
+    }
+
+    #[test]
+    fn sequential_nonces_apply_in_one_block() {
+        let alice = AuthorityKey::from_seed(1);
+        let bob = AuthorityKey::from_seed(2);
+        let mut ledger = funded_ledger(&[alice.clone(), bob.clone()]);
+        let txs = (0..5).map(|n| transfer(&alice, n, bob.address(), 10)).collect();
+        let block = ledger.propose(alice.address(), 10, txs);
+        assert_eq!(block.transactions.len(), 5);
+        ledger.apply(&block).unwrap();
+        assert_eq!(ledger.state().account(&bob.address()).balance, 1_050);
+    }
+
+    #[test]
+    fn replay_is_rejected_by_nonce() {
+        let alice = AuthorityKey::from_seed(1);
+        let bob = AuthorityKey::from_seed(2);
+        let mut ledger = funded_ledger(&[alice.clone(), bob.clone()]);
+        let tx = transfer(&alice, 0, bob.address(), 10);
+        let block = ledger.propose(alice.address(), 10, vec![tx.clone()]);
+        ledger.apply(&block).unwrap();
+        // Same tx again: dropped at proposal.
+        let block2 = ledger.propose(alice.address(), 20, vec![tx]);
+        assert!(block2.transactions.is_empty());
+    }
+
+    #[test]
+    fn state_root_reflects_every_component() {
+        let mut a = WorldState::new();
+        let base = a.state_root();
+        a.credit(Address::from_seed(1), 5);
+        let with_account = a.state_root();
+        assert_ne!(base, with_account);
+        a.set_storage(Address::from_seed(2), b"k".to_vec(), b"v".to_vec());
+        let with_storage = a.state_root();
+        assert_ne!(with_account, with_storage);
+        a.set_code(Address::from_seed(2), vec![1, 2, 3]);
+        assert_ne!(with_storage, a.state_root());
+    }
+
+    #[test]
+    fn storage_of_iterates_only_own_contract() {
+        let mut s = WorldState::new();
+        let a = Address::from_seed(1);
+        let b = Address::from_seed(2);
+        s.set_storage(a, b"x".to_vec(), b"1".to_vec());
+        s.set_storage(a, b"y".to_vec(), b"2".to_vec());
+        s.set_storage(b, b"z".to_vec(), b"3".to_vec());
+        let keys: Vec<&[u8]> = s.storage_of(&a).map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"x".as_slice(), b"y".as_slice()]);
+    }
+
+    #[test]
+    fn contract_addresses_are_unique_per_nonce() {
+        let sender = Address::from_seed(1);
+        assert_ne!(contract_address(&sender, 0), contract_address(&sender, 1));
+        assert_eq!(contract_address(&sender, 0), contract_address(&sender, 0));
+    }
+}

@@ -1,0 +1,50 @@
+//! # medchain-chain — permissioned blockchain substrate
+//!
+//! The blockchain the paper's architecture runs on: hashing and
+//! signatures built from scratch, Merkle-anchored blocks, a replicated
+//! ledger with a pluggable smart-contract runtime, four consensus
+//! engines (PoA, PBFT, PoW, PoS) over a deterministic discrete-event
+//! network simulator, and an energy model calibrated to the
+//! Digiconomist figure the paper cites.
+//!
+//! Every replica executes every committed transaction — the *duplicated
+//! computing* the paper starts from (§I). The crates layered above
+//! (`medchain-contracts`, `medchain-offchain`, `medchain`) implement the
+//! transformation of that duplication into distributed parallel
+//! computing.
+//!
+//! ## Quick example: a 4-validator PoA consortium
+//!
+//! ```
+//! use medchain_chain::consensus::{poa::PoaEngine, Cluster};
+//! use medchain_chain::node::ChainApp;
+//!
+//! let (engines, registry, _) = PoaEngine::make_validators(4, 50);
+//! let apps = (0..4).map(|_| ChainApp::new("demo", registry.clone())).collect();
+//! let mut cluster = Cluster::new(engines, apps, 42);
+//! let report = cluster.run_until_height(3, 60_000);
+//! assert!(report.reached);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod block;
+pub mod consensus;
+pub mod energy;
+pub mod hash;
+pub mod ledger;
+pub mod mempool;
+pub mod merkle;
+pub mod net;
+pub mod node;
+pub mod sig;
+pub mod tx;
+
+pub use block::{Block, Header, Seal};
+pub use hash::{Hash256, Sha256};
+pub use ledger::{ContractRuntime, Event, ExecError, ExecOutcome, Ledger, Receipt, WorldState};
+pub use merkle::{MerkleProof, MerkleTree};
+pub use net::{NodeId, SimNetwork, Wire};
+pub use sig::{Address, AuthorityKey, AuthoritySignature, KeyRegistry};
+pub use tx::{Transaction, TxPayload};

@@ -1,0 +1,209 @@
+//! Pending-transaction pool with per-sender nonce ordering.
+
+use crate::hash::Hash256;
+use crate::sig::Address;
+use crate::tx::Transaction;
+use std::collections::{BTreeMap, HashSet};
+
+/// A mempool holding admissible transactions until block inclusion.
+///
+/// Transactions are keyed by `(sender, nonce)`; [`Mempool::take_batch`]
+/// pops a gap-free nonce run per sender so the proposer never includes a
+/// transaction whose predecessor is missing.
+#[derive(Debug, Default, Clone)]
+pub struct Mempool {
+    by_sender: BTreeMap<Address, BTreeMap<u64, Transaction>>,
+    seen: HashSet<Hash256>,
+    capacity: usize,
+    size: usize,
+}
+
+impl Mempool {
+    /// Creates a pool bounded at `capacity` transactions.
+    pub fn new(capacity: usize) -> Mempool {
+        Mempool { capacity, ..Mempool::default() }
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Whether a transaction id has been seen (pending or gossiped).
+    pub fn contains(&self, id: &Hash256) -> bool {
+        self.seen.contains(id)
+    }
+
+    /// Inserts a transaction. Returns `false` if it was a duplicate or
+    /// the pool is full.
+    pub fn insert(&mut self, tx: Transaction) -> bool {
+        if self.size >= self.capacity || !self.seen.insert(tx.id()) {
+            return false;
+        }
+        let slot = self.by_sender.entry(tx.sender).or_default().insert(tx.nonce, tx);
+        if slot.is_none() {
+            self.size += 1;
+        }
+        true
+    }
+
+    /// Takes up to `max` transactions, respecting gap-free nonce runs
+    /// starting from each sender's `next_nonce`.
+    pub fn take_batch(
+        &mut self,
+        max: usize,
+        mut next_nonce: impl FnMut(&Address) -> u64,
+    ) -> Vec<Transaction> {
+        let mut batch = Vec::new();
+        let senders: Vec<Address> = self.by_sender.keys().copied().collect();
+        'outer: for sender in senders {
+            let mut nonce = next_nonce(&sender);
+            while batch.len() < max {
+                let Some(queue) = self.by_sender.get_mut(&sender) else { break };
+                match queue.remove(&nonce) {
+                    Some(tx) => {
+                        self.size -= 1;
+                        batch.push(tx);
+                        nonce += 1;
+                    }
+                    None => break,
+                }
+            }
+            if let Some(queue) = self.by_sender.get(&sender) {
+                if queue.is_empty() {
+                    self.by_sender.remove(&sender);
+                }
+            }
+            if batch.len() >= max {
+                break 'outer;
+            }
+        }
+        batch
+    }
+
+    /// Removes transactions already included in a committed block and
+    /// stale nonces below each sender's account nonce.
+    pub fn prune(&mut self, committed: &[Transaction], account_nonce: impl Fn(&Address) -> u64) {
+        for tx in committed {
+            if let Some(queue) = self.by_sender.get_mut(&tx.sender) {
+                if queue.remove(&tx.nonce).is_some() {
+                    self.size -= 1;
+                }
+            }
+        }
+        let senders: Vec<Address> = self.by_sender.keys().copied().collect();
+        for sender in senders {
+            let floor = account_nonce(&sender);
+            let queue = self.by_sender.get_mut(&sender).expect("sender present");
+            let stale: Vec<u64> = queue.range(..floor).map(|(n, _)| *n).collect();
+            for n in stale {
+                queue.remove(&n);
+                self.size -= 1;
+            }
+            if queue.is_empty() {
+                self.by_sender.remove(&sender);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::AuthorityKey;
+    use crate::tx::TxPayload;
+
+    fn tx(key: &AuthorityKey, nonce: u64) -> Transaction {
+        Transaction::new(
+            key.address(),
+            nonce,
+            TxPayload::Transfer { to: Address::from_seed(99), amount: 1 },
+            100,
+        )
+        .signed(key)
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(10);
+        assert!(pool.insert(tx(&key, 0)));
+        assert!(!pool.insert(tx(&key, 0)));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(2);
+        assert!(pool.insert(tx(&key, 0)));
+        assert!(pool.insert(tx(&key, 1)));
+        assert!(!pool.insert(tx(&key, 2)));
+    }
+
+    #[test]
+    fn take_batch_respects_nonce_gaps() {
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(10);
+        pool.insert(tx(&key, 0));
+        pool.insert(tx(&key, 2)); // gap at 1
+        let batch = pool.take_batch(10, |_| 0);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].nonce, 0);
+        assert_eq!(pool.len(), 1); // nonce 2 still waiting
+    }
+
+    #[test]
+    fn take_batch_starts_at_account_nonce() {
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(10);
+        pool.insert(tx(&key, 3));
+        pool.insert(tx(&key, 4));
+        let batch = pool.take_batch(10, |_| 3);
+        assert_eq!(batch.iter().map(|t| t.nonce).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn take_batch_honours_max() {
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(10);
+        for n in 0..5 {
+            pool.insert(tx(&key, n));
+        }
+        assert_eq!(pool.take_batch(3, |_| 0).len(), 3);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn prune_removes_committed_and_stale() {
+        let a = AuthorityKey::from_seed(1);
+        let b = AuthorityKey::from_seed(2);
+        let mut pool = Mempool::new(10);
+        let committed = tx(&a, 0);
+        pool.insert(committed.clone());
+        pool.insert(tx(&a, 1));
+        pool.insert(tx(&b, 0)); // stale: account nonce already 2
+        pool.prune(&[committed], |addr| if *addr == b.address() { 2 } else { 1 });
+        assert_eq!(pool.len(), 1);
+        let batch = pool.take_batch(10, |_| 1);
+        assert_eq!(batch[0].nonce, 1);
+        assert_eq!(batch[0].sender, a.address());
+    }
+
+    #[test]
+    fn multiple_senders_interleave() {
+        let a = AuthorityKey::from_seed(1);
+        let b = AuthorityKey::from_seed(2);
+        let mut pool = Mempool::new(10);
+        pool.insert(tx(&a, 0));
+        pool.insert(tx(&b, 0));
+        pool.insert(tx(&b, 1));
+        let batch = pool.take_batch(10, |_| 0);
+        assert_eq!(batch.len(), 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Merkle trees over transaction and record hashes.
+//!
+//! Used for block transaction commitments and for anchoring off-chain
+//! medical datasets: a hospital commits the Merkle root of its records
+//! on-chain, and can later prove membership of any single record without
+//! revealing the rest — the Irving–Holden integrity pattern the paper
+//! cites (§III-A).
+
+use crate::hash::Hash256;
+
+/// A Merkle tree, stored level by level (leaves first).
+///
+/// Odd nodes are paired with themselves, as in Bitcoin.
+///
+/// # Examples
+///
+/// ```
+/// use medchain_chain::hash::Hash256;
+/// use medchain_chain::merkle::MerkleTree;
+///
+/// let leaves: Vec<Hash256> = (0..5u8)
+///     .map(|i| Hash256::digest(&[i]))
+///     .collect();
+/// let tree = MerkleTree::from_leaves(leaves.clone());
+/// let proof = tree.prove(3).unwrap();
+/// assert!(proof.verify(&leaves[3], &tree.root()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    levels: Vec<Vec<Hash256>>,
+}
+
+impl MerkleTree {
+    /// Builds a tree from leaf digests.
+    ///
+    /// An empty leaf set produces the conventional empty root
+    /// `SHA-256("")`.
+    pub fn from_leaves(leaves: Vec<Hash256>) -> MerkleTree {
+        if leaves.is_empty() {
+            return MerkleTree { levels: vec![vec![Hash256::digest(b"")]] };
+        }
+        let mut levels = vec![leaves];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                next.push(Hash256::combine(&pair[0], right));
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// Builds a tree by hashing arbitrary serialized items.
+    pub fn from_items<I, T>(items: I) -> MerkleTree
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u8]>,
+    {
+        Self::from_leaves(items.into_iter().map(|i| Hash256::digest(i.as_ref())).collect())
+    }
+
+    /// The root commitment.
+    pub fn root(&self) -> Hash256 {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Returns the leaf digests.
+    pub fn leaves(&self) -> &[Hash256] {
+        &self.levels[0]
+    }
+
+    /// Builds a membership proof for the leaf at `index`.
+    ///
+    /// Returns `None` if `index` is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if i.is_multiple_of(2) {
+                // Right sibling, or self-pair at the edge.
+                *level.get(i + 1).unwrap_or(&level[i])
+            } else {
+                level[i - 1]
+            };
+            path.push(ProofStep { sibling, sibling_is_right: i.is_multiple_of(2) });
+            i /= 2;
+        }
+        Some(MerkleProof { leaf_index: index, path })
+    }
+}
+
+/// One step of a Merkle proof: the sibling digest and its side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ProofStep {
+    /// The sibling node's digest.
+    pub sibling: Hash256,
+    /// True if the sibling sits to the right of the running hash.
+    pub sibling_is_right: bool,
+}
+
+/// A Merkle membership proof.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub leaf_index: usize,
+    /// Root-ward path of sibling digests.
+    pub path: Vec<ProofStep>,
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf` is committed under `root`.
+    pub fn verify(&self, leaf: &Hash256, root: &Hash256) -> bool {
+        let mut acc = *leaf;
+        for step in &self.path {
+            acc = if step.sibling_is_right {
+                Hash256::combine(&acc, &step.sibling)
+            } else {
+                Hash256::combine(&step.sibling, &acc)
+            };
+        }
+        acc == *root
+    }
+
+    /// Proof size in bytes when serialized (one digest + flag per step).
+    pub fn size_bytes(&self) -> usize {
+        self.path.len() * 33 + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Hash256> {
+        (0..n).map(|i| Hash256::digest(&(i as u64).to_le_bytes())).collect()
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf() {
+        let l = leaves(1);
+        assert_eq!(MerkleTree::from_leaves(l.clone()).root(), l[0]);
+    }
+
+    #[test]
+    fn empty_tree_has_conventional_root() {
+        assert_eq!(MerkleTree::from_leaves(Vec::new()).root(), Hash256::digest(b""));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes_and_indices() {
+        for n in 1..=17 {
+            let l = leaves(n);
+            let tree = MerkleTree::from_leaves(l.clone());
+            for (i, leaf) in l.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(proof.verify(leaf, &tree.root()), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_leaf() {
+        let l = leaves(8);
+        let tree = MerkleTree::from_leaves(l.clone());
+        let proof = tree.prove(2).unwrap();
+        assert!(!proof.verify(&l[3], &tree.root()));
+        assert!(!proof.verify(&Hash256::digest(b"forged"), &tree.root()));
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_root() {
+        let l = leaves(6);
+        let tree = MerkleTree::from_leaves(l.clone());
+        let other = MerkleTree::from_leaves(leaves(7));
+        let proof = tree.prove(0).unwrap();
+        assert!(!proof.verify(&l[0], &other.root()));
+    }
+
+    #[test]
+    fn out_of_range_index_returns_none() {
+        assert!(MerkleTree::from_leaves(leaves(4)).prove(4).is_none());
+    }
+
+    #[test]
+    fn root_changes_when_any_leaf_changes() {
+        let mut l = leaves(9);
+        let original = MerkleTree::from_leaves(l.clone()).root();
+        l[4] = Hash256::digest(b"tampered record");
+        assert_ne!(MerkleTree::from_leaves(l).root(), original);
+    }
+
+    #[test]
+    fn from_items_hashes_contents() {
+        let tree = MerkleTree::from_items(["a", "b", "c"]);
+        assert_eq!(tree.leaf_count(), 3);
+        assert_eq!(tree.leaves()[0], Hash256::digest(b"a"));
+    }
+}

@@ -1,0 +1,227 @@
+//! [`ChainApp`] — the application side of a consensus replica: ledger,
+//! mempool, and client transaction submission.
+
+use crate::block::Block;
+use crate::consensus::Application;
+use crate::hash::Hash256;
+use crate::ledger::{ContractRuntime, Ledger, LedgerStats, NullRuntime, Receipt};
+use crate::mempool::Mempool;
+use crate::sig::{Address, KeyRegistry};
+use crate::tx::Transaction;
+
+/// Default mempool capacity.
+pub const DEFAULT_MEMPOOL_CAPACITY: usize = 4096;
+/// Default maximum transactions per block.
+pub const DEFAULT_MAX_BLOCK_TXS: usize = 256;
+
+/// A full node's chain-facing application state.
+///
+/// Every replica holds an identical `ChainApp` and executes every
+/// committed transaction — the duplicated computing the paper starts
+/// from. Work performed here is metered via [`LedgerStats`].
+pub struct ChainApp {
+    ledger: Ledger,
+    mempool: Mempool,
+    max_block_txs: usize,
+}
+
+impl std::fmt::Debug for ChainApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainApp")
+            .field("height", &self.ledger.height())
+            .field("mempool", &self.mempool.len())
+            .finish()
+    }
+}
+
+impl ChainApp {
+    /// Creates a node with the [`NullRuntime`] (no contract execution).
+    pub fn new(chain_id: &str, registry: KeyRegistry) -> ChainApp {
+        Self::with_runtime(chain_id, registry, Box::new(NullRuntime))
+    }
+
+    /// Creates a node with a contract runtime installed.
+    pub fn with_runtime(
+        chain_id: &str,
+        registry: KeyRegistry,
+        runtime: Box<dyn ContractRuntime>,
+    ) -> ChainApp {
+        ChainApp {
+            ledger: Ledger::new(chain_id, registry, runtime),
+            mempool: Mempool::new(DEFAULT_MEMPOOL_CAPACITY),
+            max_block_txs: DEFAULT_MAX_BLOCK_TXS,
+        }
+    }
+
+    /// Sets the per-block transaction cap.
+    pub fn set_max_block_txs(&mut self, max: usize) {
+        self.max_block_txs = max;
+    }
+
+    /// Submits a client transaction to the local mempool.
+    ///
+    /// Returns `false` if the transaction is inadmissible or a duplicate.
+    pub fn submit(&mut self, tx: Transaction) -> bool {
+        if self.ledger.check_admissible(&tx).is_err() {
+            return false;
+        }
+        self.mempool.insert(tx)
+    }
+
+    /// The underlying ledger.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access (genesis funding in simulations).
+    pub fn ledger_mut(&mut self) -> &mut Ledger {
+        &mut self.ledger
+    }
+
+    /// Pending transaction count.
+    pub fn mempool_len(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Receipt lookup.
+    pub fn receipt(&self, tx_id: &Hash256) -> Option<&Receipt> {
+        self.ledger.receipt(tx_id)
+    }
+
+    /// Ledger work counters.
+    pub fn stats(&self) -> LedgerStats {
+        self.ledger.stats()
+    }
+
+    /// Block id at `height` (test/diagnostic helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `height` has not been committed.
+    pub fn tip_at(&self, height: u64) -> Hash256 {
+        self.ledger.block(height).expect("height committed").id()
+    }
+}
+
+impl Application for ChainApp {
+    fn height(&self) -> u64 {
+        self.ledger.height()
+    }
+
+    fn tip_id(&self) -> Hash256 {
+        self.ledger.tip().id()
+    }
+
+    fn make_block(&mut self, proposer: Address, now_ms: u64) -> Block {
+        let state = self.ledger.state();
+        let batch = self
+            .mempool
+            .take_batch(self.max_block_txs, |sender| state.account(sender).nonce);
+        self.ledger.propose(proposer, now_ms, batch)
+    }
+
+    fn validate_block(&self, block: &Block) -> bool {
+        block.header.parent == self.tip_id()
+            && block.header.height == self.height() + 1
+            && block.is_body_consistent()
+            && block.transactions.iter().all(|tx| tx.verify(self.ledger.registry()))
+    }
+
+    fn sealed_block(&self, height: u64) -> Option<Block> {
+        self.ledger.block(height).cloned()
+    }
+
+    fn commit_block(&mut self, block: &Block) -> bool {
+        match self.ledger.apply(block) {
+            Ok(_) => {
+                let state = self.ledger.state();
+                let nonces: std::collections::HashMap<Address, u64> = block
+                    .transactions
+                    .iter()
+                    .map(|tx| (tx.sender, state.account(&tx.sender).nonce))
+                    .collect();
+                self.mempool
+                    .prune(&block.transactions, |addr| nonces.get(addr).copied().unwrap_or(0));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::AuthorityKey;
+    use crate::tx::TxPayload;
+
+    fn setup() -> (ChainApp, AuthorityKey, AuthorityKey) {
+        let alice = AuthorityKey::from_seed(1);
+        let bob = AuthorityKey::from_seed(2);
+        let mut registry = KeyRegistry::new();
+        registry.enroll(&alice);
+        registry.enroll(&bob);
+        let mut app = ChainApp::new("node-test", registry);
+        app.ledger_mut().state_mut().credit(alice.address(), 1_000);
+        (app, alice, bob)
+    }
+
+    fn transfer(key: &AuthorityKey, nonce: u64, to: Address, amount: u64) -> Transaction {
+        Transaction::new(key.address(), nonce, TxPayload::Transfer { to, amount }, 100).signed(key)
+    }
+
+    #[test]
+    fn submit_propose_commit_round_trip() {
+        let (mut app, alice, bob) = setup();
+        assert!(app.submit(transfer(&alice, 0, bob.address(), 100)));
+        let block = app.make_block(alice.address(), 50);
+        assert_eq!(block.transactions.len(), 1);
+        assert!(app.validate_block(&block));
+        assert!(app.commit_block(&block));
+        assert_eq!(app.ledger().state().account(&bob.address()).balance, 100);
+        assert_eq!(app.mempool_len(), 0);
+    }
+
+    #[test]
+    fn submit_rejects_bad_signature() {
+        let (mut app, alice, bob) = setup();
+        let mut tx = transfer(&alice, 0, bob.address(), 100);
+        tx.signature = None;
+        assert!(!app.submit(tx));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_block() {
+        let (app, alice, _) = setup();
+        let other_registry = {
+            let mut r = KeyRegistry::new();
+            r.enroll(&alice);
+            r
+        };
+        let mut other = ChainApp::new("different-chain", other_registry);
+        let block = other.make_block(alice.address(), 10);
+        assert!(!app.validate_block(&block));
+    }
+
+    #[test]
+    fn block_cap_is_respected() {
+        let (mut app, alice, bob) = setup();
+        app.set_max_block_txs(3);
+        for n in 0..10 {
+            assert!(app.submit(transfer(&alice, n, bob.address(), 1)));
+        }
+        let block = app.make_block(alice.address(), 10);
+        assert_eq!(block.transactions.len(), 3);
+        assert_eq!(app.mempool_len(), 7);
+    }
+
+    #[test]
+    fn commit_returns_false_on_invalid_block() {
+        let (mut app, alice, bob) = setup();
+        app.submit(transfer(&alice, 0, bob.address(), 100));
+        let mut block = app.make_block(alice.address(), 50);
+        block.header.state_root = Hash256::digest(b"forged");
+        assert!(!app.commit_block(&block));
+        assert_eq!(app.height(), 0);
+    }
+}

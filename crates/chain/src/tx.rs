@@ -1,0 +1,225 @@
+//! Transactions of the permissioned medical blockchain.
+//!
+//! The chain layer is deliberately execution-agnostic: contract deployment
+//! and invocation payloads carry opaque bytes that the execution layer
+//! (`medchain-contracts`) interprets. This keeps the substrate compatible
+//! with the paper's requirement that the *same* on-chain protocol carry
+//! arbitrary user-defined smart-contract code.
+
+use crate::hash::Hash256;
+use crate::sig::{Address, AuthorityKey, AuthoritySignature, KeyRegistry};
+
+/// What a transaction asks the chain to do.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TxPayload {
+    /// Transfer of the consortium accounting token (used for incentive
+    /// and cost accounting, not speculation).
+    Transfer {
+        /// Recipient.
+        to: Address,
+        /// Amount in base units.
+        amount: u64,
+    },
+    /// Deploy a smart contract; `code` is execution-layer bytecode.
+    Deploy {
+        /// Contract bytecode.
+        code: Vec<u8>,
+        /// Constructor argument blob.
+        init: Vec<u8>,
+    },
+    /// Invoke a deployed contract.
+    Invoke {
+        /// Address the contract was deployed at.
+        contract: Address,
+        /// ABI-encoded call data (interpreted by the execution layer).
+        input: Vec<u8>,
+    },
+    /// Anchor the Merkle root of an off-chain dataset or code artifact
+    /// (Irving–Holden integrity pattern, paper §III-A).
+    Anchor {
+        /// Merkle root of the off-chain artifact.
+        root: Hash256,
+        /// Human-readable label, e.g. `"hospital-3/emr/2018-q2"`.
+        label: String,
+    },
+}
+
+impl TxPayload {
+    /// Approximate serialized size in bytes, for network accounting.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            TxPayload::Transfer { .. } => 28,
+            TxPayload::Deploy { code, init } => 8 + code.len() + init.len(),
+            TxPayload::Invoke { input, .. } => 20 + input.len(),
+            TxPayload::Anchor { label, .. } => 32 + label.len(),
+        }
+    }
+}
+
+/// A signed transaction.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Transaction {
+    /// Sender address.
+    pub sender: Address,
+    /// Sender's account nonce (replay protection).
+    pub nonce: u64,
+    /// Requested operation.
+    pub payload: TxPayload,
+    /// Gas the sender is willing to spend on execution.
+    pub gas_limit: u64,
+    /// Membership-service signature over [`Transaction::signing_bytes`].
+    pub signature: Option<AuthoritySignature>,
+}
+
+impl Transaction {
+    /// Creates an unsigned transaction.
+    pub fn new(sender: Address, nonce: u64, payload: TxPayload, gas_limit: u64) -> Transaction {
+        Transaction { sender, nonce, payload, gas_limit, signature: None }
+    }
+
+    /// Canonical bytes covered by the signature and the transaction id.
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.payload.wire_size());
+        out.extend_from_slice(&self.sender.0);
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.gas_limit.to_le_bytes());
+        match &self.payload {
+            TxPayload::Transfer { to, amount } => {
+                out.push(0);
+                out.extend_from_slice(&to.0);
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+            TxPayload::Deploy { code, init } => {
+                out.push(1);
+                out.extend_from_slice(&(code.len() as u64).to_le_bytes());
+                out.extend_from_slice(code);
+                out.extend_from_slice(init);
+            }
+            TxPayload::Invoke { contract, input } => {
+                out.push(2);
+                out.extend_from_slice(&contract.0);
+                out.extend_from_slice(input);
+            }
+            TxPayload::Anchor { root, label } => {
+                out.push(3);
+                out.extend_from_slice(&root.0);
+                out.extend_from_slice(label.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Transaction id: the digest of the signing bytes.
+    pub fn id(&self) -> Hash256 {
+        Hash256::digest(&self.signing_bytes())
+    }
+
+    /// Signs the transaction with `key`, returning it for chaining.
+    pub fn signed(mut self, key: &AuthorityKey) -> Transaction {
+        self.signature = Some(key.sign(&self.signing_bytes()));
+        self
+    }
+
+    /// Verifies signature presence, signer match, and MAC validity
+    /// against the consortium registry.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        match &self.signature {
+            Some(sig) => sig.signer == self.sender && registry.verify(&self.signing_bytes(), sig),
+            None => false,
+        }
+    }
+
+    /// Approximate wire size for network accounting.
+    pub fn wire_size(&self) -> usize {
+        20 + 8 + 8 + self.payload.wire_size() + 53
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry_with(key: &AuthorityKey) -> KeyRegistry {
+        let mut r = KeyRegistry::new();
+        r.enroll(key);
+        r
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let key = AuthorityKey::from_seed(1);
+        let tx = Transaction::new(
+            key.address(),
+            0,
+            TxPayload::Transfer { to: Address::from_seed(9), amount: 10 },
+            1_000,
+        )
+        .signed(&key);
+        assert!(tx.verify(&registry_with(&key)));
+    }
+
+    #[test]
+    fn unsigned_tx_fails_verification() {
+        let key = AuthorityKey::from_seed(1);
+        let tx = Transaction::new(
+            key.address(),
+            0,
+            TxPayload::Anchor { root: Hash256::ZERO, label: "x".into() },
+            0,
+        );
+        assert!(!tx.verify(&registry_with(&key)));
+    }
+
+    #[test]
+    fn signature_does_not_transfer_to_modified_tx() {
+        let key = AuthorityKey::from_seed(1);
+        let mut tx = Transaction::new(
+            key.address(),
+            0,
+            TxPayload::Transfer { to: Address::from_seed(9), amount: 10 },
+            1_000,
+        )
+        .signed(&key);
+        tx.payload = TxPayload::Transfer { to: Address::from_seed(9), amount: 10_000 };
+        assert!(!tx.verify(&registry_with(&key)));
+    }
+
+    #[test]
+    fn sender_spoofing_is_rejected() {
+        let key = AuthorityKey::from_seed(1);
+        let victim = AuthorityKey::from_seed(2);
+        let mut registry = registry_with(&key);
+        registry.enroll(&victim);
+        let mut tx = Transaction::new(
+            key.address(),
+            0,
+            TxPayload::Transfer { to: Address::from_seed(9), amount: 10 },
+            1_000,
+        )
+        .signed(&key);
+        tx.sender = victim.address();
+        assert!(!tx.verify(&registry));
+    }
+
+    #[test]
+    fn id_is_stable_and_payload_sensitive() {
+        let key = AuthorityKey::from_seed(1);
+        let mk = |amount| {
+            Transaction::new(
+                key.address(),
+                7,
+                TxPayload::Transfer { to: Address::from_seed(3), amount },
+                500,
+            )
+        };
+        assert_eq!(mk(5).id(), mk(5).id());
+        assert_ne!(mk(5).id(), mk(6).id());
+    }
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let small = TxPayload::Invoke { contract: Address::from_seed(0), input: vec![0; 4] };
+        let large = TxPayload::Invoke { contract: Address::from_seed(0), input: vec![0; 400] };
+        assert!(large.wire_size() > small.wire_size());
+    }
+}

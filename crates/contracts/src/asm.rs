@@ -1,0 +1,301 @@
+//! A tiny assembler for writing VM programs in text.
+//!
+//! Contracts in examples and tests are written in a line-oriented
+//! assembly with labels:
+//!
+//! ```text
+//! ; is arg0 an even number?
+//!         arg 0
+//!         push 2
+//!         mod
+//!         jumpif odd
+//!         push 1
+//!         halt
+//! odd:    push 0
+//!         halt
+//! ```
+//!
+//! String literals use double quotes; `0x…` hex literals produce raw
+//! bytes. Comments start with `;` or `#`.
+
+use crate::opcode::Instr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles source text into a program.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on unknown mnemonics,
+/// malformed operands, or undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// use medchain_contracts::asm::assemble;
+///
+/// let program = assemble("push 1\npush 2\nadd\nhalt").unwrap();
+/// assert_eq!(program.len(), 4);
+/// ```
+pub fn assemble(source: &str) -> Result<Vec<Instr>, AsmError> {
+    // Pass 1: strip comments/labels, record label → instruction index.
+    let mut labels: HashMap<String, u16> = HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut index: u16 = 0;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break; // not a label — e.g. a quoted string containing ':'
+            }
+            if labels.insert(label.to_string(), index).is_some() {
+                return Err(AsmError {
+                    line: lineno + 1,
+                    message: format!("duplicate label {label:?}"),
+                });
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            lines.push((lineno + 1, rest.to_string()));
+            index = index.checked_add(1).ok_or(AsmError {
+                line: lineno + 1,
+                message: "program too long (max 65535 instructions)".into(),
+            })?;
+        }
+    }
+
+    // Pass 2: parse instructions.
+    let mut program = Vec::with_capacity(lines.len());
+    for (lineno, line) in lines {
+        program.push(parse_instr(&line, &labels).map_err(|message| AsmError {
+            line: lineno,
+            message,
+        })?);
+    }
+    Ok(program)
+}
+
+/// Renders a program back to assembly text (round-trips modulo labels).
+pub fn disassemble(program: &[Instr]) -> String {
+    program
+        .iter()
+        .enumerate()
+        .map(|(i, instr)| format!("{i:>4}: {instr}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn parse_instr(line: &str, labels: &HashMap<String, u16>) -> Result<Instr, String> {
+    let (mnemonic, operand) = match line.find(char::is_whitespace) {
+        Some(at) => (&line[..at], line[at..].trim()),
+        None => (line, ""),
+    };
+    let need_none = |instr: Instr| {
+        if operand.is_empty() {
+            Ok(instr)
+        } else {
+            Err(format!("{mnemonic} takes no operand"))
+        }
+    };
+    match mnemonic {
+        "push" => Ok(Instr::PushInt(
+            operand.parse::<i64>().map_err(|_| format!("bad int literal {operand:?}"))?,
+        )),
+        "pushb" => Ok(Instr::PushBytes(parse_bytes(operand)?)),
+        "pop" => need_none(Instr::Pop),
+        "dup" => Ok(Instr::Dup(parse_u8(operand)?)),
+        "swap" => Ok(Instr::Swap(parse_u8(operand)?)),
+        "add" => need_none(Instr::Add),
+        "sub" => need_none(Instr::Sub),
+        "mul" => need_none(Instr::Mul),
+        "div" => need_none(Instr::Div),
+        "mod" => need_none(Instr::Mod),
+        "neg" => need_none(Instr::Neg),
+        "eq" => need_none(Instr::Eq),
+        "lt" => need_none(Instr::Lt),
+        "gt" => need_none(Instr::Gt),
+        "not" => need_none(Instr::Not),
+        "and" => need_none(Instr::And),
+        "or" => need_none(Instr::Or),
+        "jump" => Ok(Instr::Jump(parse_target(operand, labels)?)),
+        "jumpif" => Ok(Instr::JumpIf(parse_target(operand, labels)?)),
+        "halt" => need_none(Instr::Halt),
+        "revert" => need_none(Instr::Revert),
+        "caller" => need_none(Instr::Caller),
+        "selfaddr" => need_none(Instr::SelfAddr),
+        "arg" => Ok(Instr::Arg(parse_u8(operand)?)),
+        "argcount" => need_none(Instr::ArgCount),
+        "sload" => need_none(Instr::SLoad),
+        "sstore" => need_none(Instr::SStore),
+        "emit" => need_none(Instr::Emit),
+        "sha256" => need_none(Instr::Sha256),
+        "concat" => need_none(Instr::Concat),
+        "len" => need_none(Instr::Len),
+        "itob" => need_none(Instr::IntToBytes),
+        "btoi" => need_none(Instr::BytesToInt),
+        "burn" => need_none(Instr::Burn),
+        "callc" => need_none(Instr::CallContract),
+        other => Err(format!("unknown mnemonic {other:?}")),
+    }
+}
+
+fn parse_u8(operand: &str) -> Result<u8, String> {
+    operand.parse::<u8>().map_err(|_| format!("bad u8 operand {operand:?}"))
+}
+
+fn parse_target(operand: &str, labels: &HashMap<String, u16>) -> Result<u16, String> {
+    let operand = operand.strip_prefix('@').unwrap_or(operand);
+    if let Ok(index) = operand.parse::<u16>() {
+        return Ok(index);
+    }
+    labels.get(operand).copied().ok_or_else(|| format!("undefined label {operand:?}"))
+}
+
+fn parse_bytes(operand: &str) -> Result<Vec<u8>, String> {
+    if let Some(quoted) = operand.strip_prefix('"') {
+        let inner = quoted.strip_suffix('"').ok_or("unterminated string literal")?;
+        return Ok(inner.as_bytes().to_vec());
+    }
+    if let Some(hex) = operand.strip_prefix("0x") {
+        if hex.len() % 2 != 0 {
+            return Err("odd-length hex literal".into());
+        }
+        return hex
+            .as_bytes()
+            .chunks(2)
+            .map(|pair| {
+                u8::from_str_radix(std::str::from_utf8(pair).expect("ascii"), 16)
+                    .map_err(|_| "bad hex literal".into())
+            })
+            .collect();
+    }
+    Err(format!("bad bytes literal {operand:?} (want \"…\" or 0x…)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::vm::{execute, CallEnv};
+    use medchain_chain::{Address, WorldState};
+
+    fn run(src: &str, args: &[Value]) -> Vec<Value> {
+        let program = assemble(src).unwrap();
+        let env = CallEnv::new(Address::from_seed(100), Address::from_seed(1), args, 1_000_000);
+        let mut state = WorldState::new();
+        execute(&program, &env, &mut state).unwrap().returned
+    }
+
+    #[test]
+    fn assemble_and_run_arithmetic() {
+        assert_eq!(run("push 2\npush 3\nadd\nhalt", &[]), vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let src = r#"
+            arg 0
+            jumpif yes
+            pushb "no"
+            halt
+        yes:
+            pushb "yes"
+            halt
+        "#;
+        assert_eq!(run(src, &[Value::Int(1)]), vec![Value::str("yes")]);
+        assert_eq!(run(src, &[Value::Int(0)]), vec![Value::str("no")]);
+    }
+
+    #[test]
+    fn loop_with_backward_label() {
+        // Count down from arg0 to zero; return 0.
+        let src = r#"
+            arg 0
+        loop:
+            dup 0
+            jumpif body
+            halt
+        body:
+            push 1
+            sub
+            jump loop
+        "#;
+        assert_eq!(run(src, &[Value::Int(10)]), vec![Value::Int(0)]);
+    }
+
+    #[test]
+    fn string_and_hex_literals() {
+        assert_eq!(run("pushb \"hi\"\nhalt", &[]), vec![Value::str("hi")]);
+        assert_eq!(run("pushb 0xdeadbeef\nhalt", &[]), vec![Value::Bytes(vec![
+            0xde, 0xad, 0xbe, 0xef
+        ])]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "; header\n\npush 1 ; inline\n# another\nhalt";
+        assert_eq!(run(src, &[]), vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("push 1\nfrobnicate\nhalt").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let err = assemble("jump nowhere\nhalt").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let err = assemble("a: push 1\na: halt").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn numeric_jump_targets_work() {
+        assert_eq!(run("jump 2\npush 9\npush 1\nhalt", &[]), vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn disassemble_is_readable() {
+        let program = assemble("push 1\npushb \"x\"\nhalt").unwrap();
+        let text = disassemble(&program);
+        assert!(text.contains("push 1"));
+        assert!(text.contains("pushb \"x\""));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn operand_on_nullary_mnemonic_is_error() {
+        assert!(assemble("halt 3").is_err());
+    }
+}

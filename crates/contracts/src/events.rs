@@ -1,0 +1,27 @@
+//! Canonical event topics emitted by the standard contracts.
+//!
+//! The off-chain monitor node (paper Fig. 3) subscribes to these topics
+//! to bridge on-chain requests to off-chain data and computation.
+
+/// A dataset was registered with its Merkle root.
+pub const DATASET_REGISTERED: &str = "DatasetRegistered";
+/// An access grant was added to a dataset policy.
+pub const GRANT_ADDED: &str = "GrantAdded";
+/// A grantee's grants were revoked.
+pub const GRANT_REVOKED: &str = "GrantRevoked";
+/// A data access request was permitted; payload carries the access token.
+pub const DATA_REQUESTED: &str = "DataRequested";
+/// A data access request was denied; payload carries the reason.
+pub const DATA_DENIED: &str = "DataDenied";
+/// An analytics tool was registered with its code hash.
+pub const TOOL_REGISTERED: &str = "ToolRegistered";
+/// An analytics run was requested; the off-chain executor picks this up.
+pub const ANALYTICS_REQUESTED: &str = "AnalyticsRequested";
+/// An analytics result hash was posted.
+pub const ANALYTICS_COMPLETED: &str = "AnalyticsCompleted";
+/// A clinical trial was registered with its protocol hash.
+pub const TRIAL_REGISTERED: &str = "TrialRegistered";
+/// A participant was enrolled in a trial.
+pub const PARTICIPANT_ENROLLED: &str = "ParticipantEnrolled";
+/// A trial outcome was reported (payload flags outcome switching).
+pub const OUTCOME_REPORTED: &str = "OutcomeReported";

@@ -1,0 +1,50 @@
+//! # medchain-contracts — smart-contract execution layer
+//!
+//! Implements the paper's smart-contract machinery (Fig. 4): a
+//! gas-metered Turing-complete stack-bytecode VM with a small assembler,
+//! native contracts in the Hyperledger-chaincode style, the three
+//! standard contract categories (data / analytics / clinical-trial), and
+//! the fine-grained data access-policy model.
+//!
+//! Contracts here are deliberately **light-weight policy control
+//! points**: heavy analytics never run on-chain. Contracts register
+//! ownership, adjudicate access, and emit events that the off-chain
+//! control plane (`medchain-offchain`) turns into real data movement and
+//! computation — the core transformation of paper §III.
+//!
+//! ```
+//! use medchain_contracts::asm::assemble;
+//! use medchain_contracts::vm::{execute, CallEnv};
+//! use medchain_contracts::value::Value;
+//! use medchain_chain::{Address, WorldState};
+//!
+//! let program = assemble("arg 0\narg 1\nadd\nhalt").unwrap();
+//! let env = CallEnv::new(
+//!     Address::from_seed(1),
+//!     Address::from_seed(2),
+//!     &[Value::Int(40), Value::Int(2)],
+//!     1_000,
+//! );
+//! let mut state = WorldState::new();
+//! let out = execute(&program, &env, &mut state).unwrap();
+//! assert_eq!(out.returned, vec![Value::Int(42)]);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asm;
+pub mod events;
+pub mod native;
+pub mod opcode;
+pub mod policy;
+pub mod runtime;
+pub mod standard;
+pub mod value;
+pub mod vm;
+
+pub use native::{NativeContract, NativeRegistry};
+pub use policy::{AccessPolicy, Decision, Purpose};
+pub use runtime::{call_data, Runtime};
+pub use value::{decode_args, encode_args, Args, Value};
+pub use vm::{execute, CallEnv, Trap, VmOutcome};

@@ -1,0 +1,409 @@
+//! Instruction set and bytecode (de)serialization.
+//!
+//! A compact, Turing-complete stack machine: enough to express the
+//! access-policy logic the paper wants on-chain while keeping the gas
+//! accounting measurable. Programs are sequences of [`Instr`]; bytecode
+//! is the serialized form stored in world state.
+
+use std::fmt;
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an integer literal.
+    PushInt(i64),
+    /// Push a byte-string literal.
+    PushBytes(Vec<u8>),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the value `n` slots below the top (0 = top).
+    Dup(u8),
+    /// Swap the top with the value `n` slots below it (n ≥ 1).
+    Swap(u8),
+    /// Pop two ints, push their sum.
+    Add,
+    /// Pop two ints, push `lhs - rhs`.
+    Sub,
+    /// Pop two ints, push their product.
+    Mul,
+    /// Pop two ints, push `lhs / rhs`; traps on division by zero.
+    Div,
+    /// Pop two ints, push `lhs % rhs`; traps on division by zero.
+    Mod,
+    /// Negate the top int.
+    Neg,
+    /// Pop two values, push 1 if equal else 0 (works on both variants).
+    Eq,
+    /// Pop two ints, push `lhs < rhs`.
+    Lt,
+    /// Pop two ints, push `lhs > rhs`.
+    Gt,
+    /// Logical not of truthiness.
+    Not,
+    /// Pop two values, push 1 if both truthy.
+    And,
+    /// Pop two values, push 1 if either truthy.
+    Or,
+    /// Unconditional jump to instruction index.
+    Jump(u16),
+    /// Pop a value; jump if truthy.
+    JumpIf(u16),
+    /// Stop successfully with whatever is on the stack as return data.
+    Halt,
+    /// Pop a bytes reason and abort execution.
+    Revert,
+    /// Push the caller's address as 20 bytes.
+    Caller,
+    /// Push this contract's address as 20 bytes.
+    SelfAddr,
+    /// Push call argument `n`.
+    Arg(u8),
+    /// Push the number of call arguments.
+    ArgCount,
+    /// Pop key (bytes), push stored value (empty bytes if absent).
+    SLoad,
+    /// Pop value then key (bytes each), store value under key.
+    SStore,
+    /// Pop data then topic (bytes each), emit an event.
+    Emit,
+    /// Pop bytes, push their SHA-256 digest.
+    Sha256,
+    /// Pop two bytes values, push their concatenation.
+    Concat,
+    /// Pop a bytes value, push its length as int.
+    Len,
+    /// Pop an int, push its 8-byte little-endian encoding.
+    IntToBytes,
+    /// Pop 8-byte bytes, push the little-endian int; traps otherwise.
+    BytesToInt,
+    /// Pop `n` ints and run a calibrated busy loop — models an embedded
+    /// analytics kernel of `n` work units (used by the duplicated-
+    /// computing experiments to give contracts a real CPU cost).
+    Burn,
+    /// Pop input blob (bytes) then callee address (20 bytes); invoke
+    /// that contract with the remaining gas and push its encoded return
+    /// data. Traps without a dispatcher or past the depth limit.
+    CallContract,
+}
+
+impl Instr {
+    /// Gas charged for executing this instruction.
+    pub fn gas_cost(&self) -> u64 {
+        match self {
+            Instr::PushBytes(b) => 2 + b.len() as u64 / 32,
+            Instr::SLoad => 10,
+            Instr::SStore => 20,
+            Instr::Emit => 12,
+            Instr::Sha256 => 8,
+            Instr::Concat => 3,
+            Instr::Burn => 1, // plus 1 gas per work unit at runtime
+            Instr::CallContract => 40,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::PushInt(i) => write!(f, "push {i}"),
+            Instr::PushBytes(b) => match std::str::from_utf8(b) {
+                Ok(s) if !s.is_empty() && s.chars().all(|c| c.is_ascii_graphic()) => {
+                    write!(f, "pushb \"{s}\"")
+                }
+                _ => write!(
+                    f,
+                    "pushb 0x{}",
+                    b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+                ),
+            },
+            Instr::Pop => f.write_str("pop"),
+            Instr::Dup(n) => write!(f, "dup {n}"),
+            Instr::Swap(n) => write!(f, "swap {n}"),
+            Instr::Add => f.write_str("add"),
+            Instr::Sub => f.write_str("sub"),
+            Instr::Mul => f.write_str("mul"),
+            Instr::Div => f.write_str("div"),
+            Instr::Mod => f.write_str("mod"),
+            Instr::Neg => f.write_str("neg"),
+            Instr::Eq => f.write_str("eq"),
+            Instr::Lt => f.write_str("lt"),
+            Instr::Gt => f.write_str("gt"),
+            Instr::Not => f.write_str("not"),
+            Instr::And => f.write_str("and"),
+            Instr::Or => f.write_str("or"),
+            Instr::Jump(t) => write!(f, "jump @{t}"),
+            Instr::JumpIf(t) => write!(f, "jumpif @{t}"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Revert => f.write_str("revert"),
+            Instr::Caller => f.write_str("caller"),
+            Instr::SelfAddr => f.write_str("selfaddr"),
+            Instr::Arg(n) => write!(f, "arg {n}"),
+            Instr::ArgCount => f.write_str("argcount"),
+            Instr::SLoad => f.write_str("sload"),
+            Instr::SStore => f.write_str("sstore"),
+            Instr::Emit => f.write_str("emit"),
+            Instr::Sha256 => f.write_str("sha256"),
+            Instr::Concat => f.write_str("concat"),
+            Instr::Len => f.write_str("len"),
+            Instr::IntToBytes => f.write_str("itob"),
+            Instr::BytesToInt => f.write_str("btoi"),
+            Instr::Burn => f.write_str("burn"),
+            Instr::CallContract => f.write_str("callc"),
+        }
+    }
+}
+
+/// Magic prefix identifying VM bytecode (vs native contract manifests).
+pub const BYTECODE_MAGIC: &[u8; 4] = b"MCV1";
+
+/// Serializes a program to bytecode.
+pub fn encode_program(program: &[Instr]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + program.len() * 3);
+    out.extend_from_slice(BYTECODE_MAGIC);
+    out.extend_from_slice(&(program.len() as u32).to_le_bytes());
+    for instr in program {
+        match instr {
+            Instr::PushInt(i) => {
+                out.push(0x01);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Instr::PushBytes(b) => {
+                out.push(0x02);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Instr::Pop => out.push(0x03),
+            Instr::Dup(n) => {
+                out.push(0x04);
+                out.push(*n);
+            }
+            Instr::Swap(n) => {
+                out.push(0x05);
+                out.push(*n);
+            }
+            Instr::Add => out.push(0x10),
+            Instr::Sub => out.push(0x11),
+            Instr::Mul => out.push(0x12),
+            Instr::Div => out.push(0x13),
+            Instr::Mod => out.push(0x14),
+            Instr::Neg => out.push(0x15),
+            Instr::Eq => out.push(0x16),
+            Instr::Lt => out.push(0x17),
+            Instr::Gt => out.push(0x18),
+            Instr::Not => out.push(0x19),
+            Instr::And => out.push(0x1a),
+            Instr::Or => out.push(0x1b),
+            Instr::Jump(t) => {
+                out.push(0x20);
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Instr::JumpIf(t) => {
+                out.push(0x21);
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            Instr::Halt => out.push(0x22),
+            Instr::Revert => out.push(0x23),
+            Instr::Caller => out.push(0x30),
+            Instr::SelfAddr => out.push(0x31),
+            Instr::Arg(n) => {
+                out.push(0x32);
+                out.push(*n);
+            }
+            Instr::ArgCount => out.push(0x33),
+            Instr::SLoad => out.push(0x40),
+            Instr::SStore => out.push(0x41),
+            Instr::Emit => out.push(0x42),
+            Instr::Sha256 => out.push(0x50),
+            Instr::Concat => out.push(0x51),
+            Instr::Len => out.push(0x52),
+            Instr::IntToBytes => out.push(0x53),
+            Instr::BytesToInt => out.push(0x54),
+            Instr::Burn => out.push(0x60),
+            Instr::CallContract => out.push(0x61),
+        }
+    }
+    out
+}
+
+/// Error decoding bytecode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Missing or wrong magic prefix.
+    BadMagic,
+    /// Unknown opcode byte at the given offset.
+    UnknownOpcode(usize),
+    /// Bytecode ended mid-instruction.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => f.write_str("bad bytecode magic"),
+            DecodeError::UnknownOpcode(at) => write!(f, "unknown opcode at byte {at}"),
+            DecodeError::Truncated => f.write_str("truncated bytecode"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Deserializes bytecode produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
+    if bytes.len() < 8 || &bytes[..4] != BYTECODE_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let mut pos = 8;
+    let mut program = Vec::with_capacity(count.min(bytes.len()));
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], DecodeError> {
+        if *pos + n > bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &bytes[*pos..*pos + n];
+        *pos += n;
+        Ok(slice)
+    };
+    for _ in 0..count {
+        let at = pos;
+        let op = *take(&mut pos, 1)?.first().expect("one byte");
+        let instr = match op {
+            0x01 => Instr::PushInt(i64::from_le_bytes(
+                take(&mut pos, 8)?.try_into().expect("8 bytes"),
+            )),
+            0x02 => {
+                let len =
+                    u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+                Instr::PushBytes(take(&mut pos, len)?.to_vec())
+            }
+            0x03 => Instr::Pop,
+            0x04 => Instr::Dup(take(&mut pos, 1)?[0]),
+            0x05 => Instr::Swap(take(&mut pos, 1)?[0]),
+            0x10 => Instr::Add,
+            0x11 => Instr::Sub,
+            0x12 => Instr::Mul,
+            0x13 => Instr::Div,
+            0x14 => Instr::Mod,
+            0x15 => Instr::Neg,
+            0x16 => Instr::Eq,
+            0x17 => Instr::Lt,
+            0x18 => Instr::Gt,
+            0x19 => Instr::Not,
+            0x1a => Instr::And,
+            0x1b => Instr::Or,
+            0x20 => Instr::Jump(u16::from_le_bytes(
+                take(&mut pos, 2)?.try_into().expect("2 bytes"),
+            )),
+            0x21 => Instr::JumpIf(u16::from_le_bytes(
+                take(&mut pos, 2)?.try_into().expect("2 bytes"),
+            )),
+            0x22 => Instr::Halt,
+            0x23 => Instr::Revert,
+            0x30 => Instr::Caller,
+            0x31 => Instr::SelfAddr,
+            0x32 => Instr::Arg(take(&mut pos, 1)?[0]),
+            0x33 => Instr::ArgCount,
+            0x40 => Instr::SLoad,
+            0x41 => Instr::SStore,
+            0x42 => Instr::Emit,
+            0x50 => Instr::Sha256,
+            0x51 => Instr::Concat,
+            0x52 => Instr::Len,
+            0x53 => Instr::IntToBytes,
+            0x54 => Instr::BytesToInt,
+            0x60 => Instr::Burn,
+            0x61 => Instr::CallContract,
+            _ => return Err(DecodeError::UnknownOpcode(at)),
+        };
+        program.push(instr);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_instrs() -> Vec<Instr> {
+        vec![
+            Instr::PushInt(-7),
+            Instr::PushBytes(b"medical".to_vec()),
+            Instr::Pop,
+            Instr::Dup(2),
+            Instr::Swap(1),
+            Instr::Add,
+            Instr::Sub,
+            Instr::Mul,
+            Instr::Div,
+            Instr::Mod,
+            Instr::Neg,
+            Instr::Eq,
+            Instr::Lt,
+            Instr::Gt,
+            Instr::Not,
+            Instr::And,
+            Instr::Or,
+            Instr::Jump(3),
+            Instr::JumpIf(4),
+            Instr::Halt,
+            Instr::Revert,
+            Instr::Caller,
+            Instr::SelfAddr,
+            Instr::Arg(1),
+            Instr::ArgCount,
+            Instr::SLoad,
+            Instr::SStore,
+            Instr::Emit,
+            Instr::Sha256,
+            Instr::Concat,
+            Instr::Len,
+            Instr::IntToBytes,
+            Instr::BytesToInt,
+            Instr::Burn,
+            Instr::CallContract,
+        ]
+    }
+
+    #[test]
+    fn full_instruction_round_trip() {
+        let program = all_instrs();
+        assert_eq!(decode_program(&encode_program(&program)).unwrap(), program);
+    }
+
+    #[test]
+    fn empty_program_round_trips() {
+        assert_eq!(decode_program(&encode_program(&[])).unwrap(), Vec::<Instr>::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_program(b"XXXX\0\0\0\0"), Err(DecodeError::BadMagic));
+        assert_eq!(decode_program(b""), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let encoded = encode_program(&all_instrs());
+        for cut in 8..encoded.len() {
+            assert!(decode_program(&encoded[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut encoded = encode_program(&[Instr::Halt]);
+        encoded[8] = 0xff;
+        assert_eq!(decode_program(&encoded), Err(DecodeError::UnknownOpcode(8)));
+    }
+
+    #[test]
+    fn storage_ops_cost_more_than_stack_ops() {
+        assert!(Instr::SStore.gas_cost() > Instr::Add.gas_cost());
+        assert!(Instr::SLoad.gas_cost() > Instr::Pop.gas_cost());
+    }
+}

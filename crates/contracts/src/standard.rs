@@ -1,0 +1,883 @@
+//! The paper's three standard contract categories (Fig. 4):
+//! [`DataContract`], [`AnalyticsContract`], and [`TrialContract`].
+//!
+//! Each is a native contract with a string method selector in `args[0]`.
+//! They are deliberately *light-weight access-policy control points*
+//! (paper §III): heavy work never happens on-chain — contracts register
+//! ownership, evaluate policy, and emit events that the off-chain
+//! monitor node (Fig. 3) turns into real data movement and computation.
+
+use crate::events;
+use crate::native::{Cell, NativeContract, NativeCtx, NativeError, NativeOutcome};
+use crate::policy::{AccessPolicy, Decision, Purpose};
+use crate::value::{encode_args, Args, Value};
+use medchain_chain::{Event, Hash256, WorldState};
+
+fn emit(ctx: &NativeCtx, topic: &str, payload: &[Value]) -> Event {
+    Event { contract: ctx.contract, topic: topic.to_string(), data: encode_args(payload) }
+}
+
+fn require(condition: bool, why: &str) -> Result<(), NativeError> {
+    if condition {
+        Ok(())
+    } else {
+        Err(NativeError::Refused(why.to_string()))
+    }
+}
+
+fn hash32(bytes: &[u8]) -> Result<Hash256, NativeError> {
+    let arr: [u8; 32] = bytes
+        .try_into()
+        .map_err(|_| NativeError::Refused("expected a 32-byte hash".into()))?;
+    Ok(Hash256(arr))
+}
+
+/// **Data contract** — registers off-chain datasets with their Merkle
+/// roots, stores the owner's fine-grained [`AccessPolicy`], and
+/// adjudicates access requests.
+///
+/// Methods (`args[0]`):
+///
+/// | selector | arguments | effect |
+/// |---|---|---|
+/// | `register` | label, root (32B), schema | bind dataset to caller as owner |
+/// | `grant` | label, grantee, purpose code, expiry (-1 = none) | owner adds a grant |
+/// | `revoke` | label, grantee | owner removes all grants of grantee |
+/// | `require_consent` | label | owner requires patient consent |
+/// | `consent` | label, purpose code | record consent |
+/// | `withdraw_consent` | label, purpose code | withdraw consent |
+/// | `request` | label, purpose code | evaluate policy; emit event |
+/// | `meta` | label | return root, schema, owner |
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DataContract;
+
+impl DataContract {
+    fn load_policy(
+        state: &mut WorldState,
+        ctx: &NativeCtx,
+        label: &str,
+    ) -> Result<AccessPolicy, NativeError> {
+        let values = Cell::at(state, ctx.contract, &["ds", label, "policy"])
+            .read()
+            .ok_or_else(|| NativeError::Refused(format!("unknown dataset {label:?}")))?;
+        AccessPolicy::from_values(&values)
+            .map_err(|e| NativeError::Refused(format!("corrupt policy: {e}")))
+    }
+
+    fn store_policy(state: &mut WorldState, ctx: &NativeCtx, label: &str, policy: &AccessPolicy) {
+        Cell::at(state, ctx.contract, &["ds", label, "policy"]).write(&policy.to_values());
+    }
+}
+
+impl NativeContract for DataContract {
+    fn name(&self) -> &'static str {
+        "data_contract"
+    }
+
+    fn call(
+        &self,
+        ctx: &NativeCtx,
+        args: &Args,
+        state: &mut WorldState,
+    ) -> Result<NativeOutcome, NativeError> {
+        let method = args.str(0)?;
+        let mut outcome = NativeOutcome { gas_used: 50, ..NativeOutcome::default() };
+        match method {
+            "register" => {
+                let label = args.str(1)?;
+                let root = hash32(args.bytes(2)?)?;
+                let schema = args.str(3)?;
+                let mut meta = Cell::at(state, ctx.contract, &["ds", label, "meta"]);
+                require(!meta.exists(), "dataset already registered")?;
+                meta.write(&[
+                    Value::Bytes(root.0.to_vec()),
+                    Value::str(schema),
+                    Value::Int(ctx.now_ms as i64),
+                    Value::address(&ctx.caller),
+                ]);
+                Self::store_policy(state, ctx, label, &AccessPolicy::new(ctx.caller));
+                outcome.gas_used += 60;
+                outcome.events.push(emit(
+                    ctx,
+                    events::DATASET_REGISTERED,
+                    &[Value::str(label), Value::Bytes(root.0.to_vec()), Value::address(&ctx.caller)],
+                ));
+                outcome.returned.push(Value::Int(1));
+            }
+            "grant" | "revoke" | "require_consent" | "consent" | "withdraw_consent" => {
+                let label = args.str(1)?;
+                let mut policy = Self::load_policy(state, ctx, label)?;
+                require(policy.owner() == ctx.caller, "only the data owner may change policy")?;
+                match method {
+                    "grant" => {
+                        let grantee = args.address(2)?;
+                        let purpose = Purpose::from_code(args.int(3)?)
+                            .map_err(|e| NativeError::Refused(e.to_string()))?;
+                        let expiry = args.int(4)?;
+                        policy.grant(grantee, purpose, (expiry >= 0).then_some(expiry as u64));
+                        outcome.events.push(emit(
+                            ctx,
+                            events::GRANT_ADDED,
+                            &[Value::str(label), Value::address(&grantee), Value::Int(purpose.code())],
+                        ));
+                    }
+                    "revoke" => {
+                        let grantee = args.address(2)?;
+                        policy.revoke(&grantee);
+                        outcome.events.push(emit(
+                            ctx,
+                            events::GRANT_REVOKED,
+                            &[Value::str(label), Value::address(&grantee)],
+                        ));
+                    }
+                    "require_consent" => policy.require_consent(),
+                    "consent" => {
+                        let purpose = Purpose::from_code(args.int(2)?)
+                            .map_err(|e| NativeError::Refused(e.to_string()))?;
+                        policy.consent(purpose);
+                    }
+                    "withdraw_consent" => {
+                        let purpose = Purpose::from_code(args.int(2)?)
+                            .map_err(|e| NativeError::Refused(e.to_string()))?;
+                        policy.withdraw_consent(purpose);
+                    }
+                    _ => unreachable!(),
+                }
+                Self::store_policy(state, ctx, label, &policy);
+                outcome.gas_used += 40;
+                outcome.returned.push(Value::Int(1));
+            }
+            "request" => {
+                let label = args.str(1)?;
+                let purpose = Purpose::from_code(args.int(2)?)
+                    .map_err(|e| NativeError::Refused(e.to_string()))?;
+                let policy = Self::load_policy(state, ctx, label)?;
+                let decision = policy.evaluate(&ctx.caller, purpose, ctx.now_ms);
+                outcome.gas_used += 30;
+                match decision {
+                    Decision::Permit => {
+                        // Access token: binds requester, dataset, and a
+                        // per-dataset counter so each request is unique.
+                        let mut counter_cell =
+                            Cell::at(state, ctx.contract, &["ds", label, "reqctr"]);
+                        let count = counter_cell
+                            .read()
+                            .and_then(|v| v.first().and_then(|x| x.as_int().ok()))
+                            .unwrap_or(0);
+                        counter_cell.write(&[Value::Int(count + 1)]);
+                        let mut material = label.as_bytes().to_vec();
+                        material.extend_from_slice(&ctx.caller.0);
+                        material.extend_from_slice(&count.to_le_bytes());
+                        let token = Hash256::digest(&material);
+                        outcome.events.push(emit(
+                            ctx,
+                            events::DATA_REQUESTED,
+                            &[
+                                Value::str(label),
+                                Value::address(&ctx.caller),
+                                Value::Int(purpose.code()),
+                                Value::Bytes(token.0.to_vec()),
+                            ],
+                        ));
+                        outcome.returned.push(Value::Int(1));
+                        outcome.returned.push(Value::Bytes(token.0.to_vec()));
+                    }
+                    Decision::Deny(reason) => {
+                        outcome.events.push(emit(
+                            ctx,
+                            events::DATA_DENIED,
+                            &[
+                                Value::str(label),
+                                Value::address(&ctx.caller),
+                                Value::Int(purpose.code()),
+                                Value::str(&reason.to_string()),
+                            ],
+                        ));
+                        outcome.returned.push(Value::Int(0));
+                        outcome.returned.push(Value::str(&reason.to_string()));
+                    }
+                }
+            }
+            "meta" => {
+                let label = args.str(1)?;
+                let meta = Cell::at(state, ctx.contract, &["ds", label, "meta"])
+                    .read()
+                    .ok_or_else(|| NativeError::Refused(format!("unknown dataset {label:?}")))?;
+                outcome.returned = meta;
+            }
+            other => return Err(NativeError::UnknownMethod(other.to_string())),
+        }
+        Ok(outcome)
+    }
+}
+
+/// **Analytics contract** — registers analytics tools with code-integrity
+/// hashes and coordinates off-chain runs (request → event → off-chain
+/// execution → result posting).
+///
+/// Methods: `register_tool(name, code_hash)`,
+/// `request_run(tool, dataset_label, params)`,
+/// `post_result(task_id, result_hash)`, `result(task_id)`,
+/// `tool(name)`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnalyticsContract;
+
+impl NativeContract for AnalyticsContract {
+    fn name(&self) -> &'static str {
+        "analytics_contract"
+    }
+
+    fn call(
+        &self,
+        ctx: &NativeCtx,
+        args: &Args,
+        state: &mut WorldState,
+    ) -> Result<NativeOutcome, NativeError> {
+        let method = args.str(0)?;
+        let mut outcome = NativeOutcome { gas_used: 50, ..NativeOutcome::default() };
+        match method {
+            "register_tool" => {
+                let name = args.str(1)?;
+                let code_hash = hash32(args.bytes(2)?)?;
+                let mut cell = Cell::at(state, ctx.contract, &["tool", name]);
+                require(!cell.exists(), "tool already registered")?;
+                cell.write(&[
+                    Value::Bytes(code_hash.0.to_vec()),
+                    Value::address(&ctx.caller),
+                    Value::Int(ctx.now_ms as i64),
+                ]);
+                outcome.gas_used += 40;
+                outcome.events.push(emit(
+                    ctx,
+                    events::TOOL_REGISTERED,
+                    &[Value::str(name), Value::Bytes(code_hash.0.to_vec())],
+                ));
+                outcome.returned.push(Value::Int(1));
+            }
+            "request_run" => {
+                let tool = args.str(1)?;
+                let dataset = args.str(2)?;
+                let params = args.bytes(3)?.to_vec();
+                require(
+                    Cell::at(state, ctx.contract, &["tool", tool]).exists(),
+                    "unknown analytics tool",
+                )?;
+                let mut counter = Cell::at(state, ctx.contract, &["taskctr"]);
+                let id = counter
+                    .read()
+                    .and_then(|v| v.first().and_then(|x| x.as_int().ok()))
+                    .unwrap_or(0);
+                counter.write(&[Value::Int(id + 1)]);
+                Cell::at(state, ctx.contract, &["task", &id.to_string()]).write(&[
+                    Value::str(tool),
+                    Value::str(dataset),
+                    Value::Bytes(params.clone()),
+                    Value::address(&ctx.caller),
+                    Value::Int(0), // status: pending
+                ]);
+                outcome.gas_used += 60;
+                outcome.events.push(emit(
+                    ctx,
+                    events::ANALYTICS_REQUESTED,
+                    &[
+                        Value::Int(id),
+                        Value::str(tool),
+                        Value::str(dataset),
+                        Value::Bytes(params),
+                        Value::address(&ctx.caller),
+                    ],
+                ));
+                outcome.returned.push(Value::Int(id));
+            }
+            "post_result" => {
+                let id = args.int(1)?;
+                let result_hash = hash32(args.bytes(2)?)?;
+                let key = id.to_string();
+                let mut cell = Cell::at(state, ctx.contract, &["task", &key]);
+                let mut task = cell
+                    .read()
+                    .ok_or_else(|| NativeError::Refused(format!("unknown task {id}")))?;
+                require(task.get(4).and_then(|v| v.as_int().ok()) == Some(0), "task not pending")?;
+                task[4] = Value::Int(1);
+                task.push(Value::Bytes(result_hash.0.to_vec()));
+                task.push(Value::address(&ctx.caller));
+                cell.write(&task);
+                outcome.gas_used += 40;
+                outcome.events.push(emit(
+                    ctx,
+                    events::ANALYTICS_COMPLETED,
+                    &[Value::Int(id), Value::Bytes(result_hash.0.to_vec())],
+                ));
+                outcome.returned.push(Value::Int(1));
+            }
+            "result" => {
+                let id = args.int(1)?;
+                let task = Cell::at(state, ctx.contract, &["task", &id.to_string()])
+                    .read()
+                    .ok_or_else(|| NativeError::Refused(format!("unknown task {id}")))?;
+                outcome.returned = task;
+            }
+            "tool" => {
+                let name = args.str(1)?;
+                let tool = Cell::at(state, ctx.contract, &["tool", name])
+                    .read()
+                    .ok_or_else(|| NativeError::Refused(format!("unknown tool {name:?}")))?;
+                outcome.returned = tool;
+            }
+            other => return Err(NativeError::UnknownMethod(other.to_string())),
+        }
+        Ok(outcome)
+    }
+}
+
+/// **Clinical-trial contract** — trial registration with pre-specified
+/// primary outcomes, participant enrollment, and outcome reporting with
+/// automatic outcome-switch flagging (the COMPare problem, §III-B).
+///
+/// Methods: `register(trial_id, protocol_hash, primary_outcome)`,
+/// `enroll(trial_id, patient_pseudonym)`,
+/// `report_outcome(trial_id, outcome_name, value_hash)`,
+/// `audit(trial_id)`, `enrollment(trial_id)`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TrialContract;
+
+impl NativeContract for TrialContract {
+    fn name(&self) -> &'static str {
+        "trial_contract"
+    }
+
+    fn call(
+        &self,
+        ctx: &NativeCtx,
+        args: &Args,
+        state: &mut WorldState,
+    ) -> Result<NativeOutcome, NativeError> {
+        let method = args.str(0)?;
+        let mut outcome = NativeOutcome { gas_used: 50, ..NativeOutcome::default() };
+        match method {
+            "register" => {
+                let trial = args.str(1)?;
+                let protocol_hash = hash32(args.bytes(2)?)?;
+                let primary_outcome = args.str(3)?;
+                let mut meta = Cell::at(state, ctx.contract, &["trial", trial, "meta"]);
+                require(!meta.exists(), "trial already registered")?;
+                meta.write(&[
+                    Value::Bytes(protocol_hash.0.to_vec()),
+                    Value::address(&ctx.caller),
+                    Value::str(primary_outcome),
+                    Value::Int(ctx.now_ms as i64),
+                ]);
+                outcome.gas_used += 50;
+                outcome.events.push(emit(
+                    ctx,
+                    events::TRIAL_REGISTERED,
+                    &[Value::str(trial), Value::str(primary_outcome)],
+                ));
+                outcome.returned.push(Value::Int(1));
+            }
+            "enroll" => {
+                let trial = args.str(1)?;
+                let patient = args.bytes(2)?.to_vec();
+                require(
+                    Cell::at(state, ctx.contract, &["trial", trial, "meta"]).exists(),
+                    "unknown trial",
+                )?;
+                let patient_hex: String = patient.iter().map(|b| format!("{b:02x}")).collect();
+                let mut cell =
+                    Cell::at(state, ctx.contract, &["trial", trial, "enroll", &patient_hex]);
+                require(!cell.exists(), "participant already enrolled")?;
+                cell.write(&[Value::Int(ctx.now_ms as i64), Value::address(&ctx.caller)]);
+                let mut counter = Cell::at(state, ctx.contract, &["trial", trial, "count"]);
+                let n = counter
+                    .read()
+                    .and_then(|v| v.first().and_then(|x| x.as_int().ok()))
+                    .unwrap_or(0);
+                counter.write(&[Value::Int(n + 1)]);
+                outcome.gas_used += 45;
+                outcome.events.push(emit(
+                    ctx,
+                    events::PARTICIPANT_ENROLLED,
+                    &[Value::str(trial), Value::Bytes(patient)],
+                ));
+                outcome.returned.push(Value::Int(n + 1));
+            }
+            "report_outcome" => {
+                let trial = args.str(1)?;
+                let outcome_name = args.str(2)?;
+                let value_hash = hash32(args.bytes(3)?)?;
+                let meta = Cell::at(state, ctx.contract, &["trial", trial, "meta"])
+                    .read()
+                    .ok_or_else(|| NativeError::Refused("unknown trial".into()))?;
+                let primary = meta
+                    .get(2)
+                    .and_then(|v| v.as_str().ok())
+                    .unwrap_or("")
+                    .to_string();
+                let switched = outcome_name != primary;
+                let mut reports = Cell::at(state, ctx.contract, &["trial", trial, "outcomes"]);
+                let mut list = reports.read().unwrap_or_default();
+                list.push(Value::str(outcome_name));
+                list.push(Value::Bytes(value_hash.0.to_vec()));
+                list.push(Value::address(&ctx.caller));
+                list.push(Value::Int(i64::from(switched)));
+                reports.write(&list);
+                outcome.gas_used += 45;
+                outcome.events.push(emit(
+                    ctx,
+                    events::OUTCOME_REPORTED,
+                    &[
+                        Value::str(trial),
+                        Value::str(outcome_name),
+                        Value::Int(i64::from(switched)),
+                    ],
+                ));
+                outcome.returned.push(Value::Int(i64::from(switched)));
+            }
+            "audit" => {
+                let trial = args.str(1)?;
+                let list = Cell::at(state, ctx.contract, &["trial", trial, "outcomes"])
+                    .read()
+                    .unwrap_or_default();
+                let reports = (list.len() / 4) as i64;
+                let switched = list
+                    .chunks(4)
+                    .filter(|c| c.get(3).and_then(|v| v.as_int().ok()) == Some(1))
+                    .count() as i64;
+                outcome.returned = vec![Value::Int(reports), Value::Int(switched)];
+            }
+            "enrollment" => {
+                let trial = args.str(1)?;
+                let n = Cell::at(state, ctx.contract, &["trial", trial, "count"])
+                    .read()
+                    .and_then(|v| v.first().and_then(|x| x.as_int().ok()))
+                    .unwrap_or(0);
+                outcome.returned = vec![Value::Int(n)];
+            }
+            other => return Err(NativeError::UnknownMethod(other.to_string())),
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medchain_chain::Address;
+
+    fn ctx(caller_seed: u64) -> NativeCtx {
+        NativeCtx {
+            contract: Address::from_seed(500),
+            caller: Address::from_seed(caller_seed),
+            gas_limit: 1_000_000,
+            now_ms: 1_000,
+        }
+    }
+
+    fn call(
+        contract: &dyn NativeContract,
+        caller_seed: u64,
+        args: Vec<Value>,
+        state: &mut WorldState,
+    ) -> Result<NativeOutcome, NativeError> {
+        contract.call(&ctx(caller_seed), &Args(args), state)
+    }
+
+    fn root() -> Value {
+        Value::Bytes(Hash256::digest(b"dataset").0.to_vec())
+    }
+
+    #[test]
+    fn dataset_register_and_meta() {
+        let mut state = WorldState::new();
+        let out = call(
+            &DataContract,
+            1,
+            vec![Value::str("register"), Value::str("emr-2018"), root(), Value::str("fhir")],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(out.events[0].topic, events::DATASET_REGISTERED);
+        let meta = call(
+            &DataContract,
+            2,
+            vec![Value::str("meta"), Value::str("emr-2018")],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(meta.returned[1], Value::str("fhir"));
+        assert_eq!(meta.returned[3], Value::address(&Address::from_seed(1)));
+    }
+
+    #[test]
+    fn duplicate_registration_refused() {
+        let mut state = WorldState::new();
+        let args =
+            vec![Value::str("register"), Value::str("emr"), root(), Value::str("csv")];
+        call(&DataContract, 1, args.clone(), &mut state).unwrap();
+        assert!(matches!(
+            call(&DataContract, 2, args, &mut state),
+            Err(NativeError::Refused(_))
+        ));
+    }
+
+    #[test]
+    fn grant_then_request_permits_and_emits_token() {
+        let mut state = WorldState::new();
+        call(
+            &DataContract,
+            1,
+            vec![Value::str("register"), Value::str("emr"), root(), Value::str("csv")],
+            &mut state,
+        )
+        .unwrap();
+        call(
+            &DataContract,
+            1,
+            vec![
+                Value::str("grant"),
+                Value::str("emr"),
+                Value::address(&Address::from_seed(2)),
+                Value::Int(Purpose::Research.code()),
+                Value::Int(-1),
+            ],
+            &mut state,
+        )
+        .unwrap();
+        let out = call(
+            &DataContract,
+            2,
+            vec![Value::str("request"), Value::str("emr"), Value::Int(Purpose::Research.code())],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(out.returned[0], Value::Int(1));
+        assert_eq!(out.events[0].topic, events::DATA_REQUESTED);
+        // Second request gets a different token.
+        let out2 = call(
+            &DataContract,
+            2,
+            vec![Value::str("request"), Value::str("emr"), Value::Int(Purpose::Research.code())],
+            &mut state,
+        )
+        .unwrap();
+        assert_ne!(out.returned[1], out2.returned[1]);
+    }
+
+    #[test]
+    fn ungranted_request_is_denied_but_audited() {
+        let mut state = WorldState::new();
+        call(
+            &DataContract,
+            1,
+            vec![Value::str("register"), Value::str("emr"), root(), Value::str("csv")],
+            &mut state,
+        )
+        .unwrap();
+        let out = call(
+            &DataContract,
+            7,
+            vec![Value::str("request"), Value::str("emr"), Value::Int(Purpose::Research.code())],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(out.returned[0], Value::Int(0));
+        assert_eq!(out.events[0].topic, events::DATA_DENIED);
+    }
+
+    #[test]
+    fn non_owner_cannot_grant() {
+        let mut state = WorldState::new();
+        call(
+            &DataContract,
+            1,
+            vec![Value::str("register"), Value::str("emr"), root(), Value::str("csv")],
+            &mut state,
+        )
+        .unwrap();
+        let result = call(
+            &DataContract,
+            2,
+            vec![
+                Value::str("grant"),
+                Value::str("emr"),
+                Value::address(&Address::from_seed(2)),
+                Value::Int(Purpose::Research.code()),
+                Value::Int(-1),
+            ],
+            &mut state,
+        );
+        assert!(matches!(result, Err(NativeError::Refused(_))));
+    }
+
+    #[test]
+    fn consent_flow_end_to_end() {
+        let mut state = WorldState::new();
+        let research = Value::Int(Purpose::Research.code());
+        call(
+            &DataContract,
+            1,
+            vec![Value::str("register"), Value::str("emr"), root(), Value::str("csv")],
+            &mut state,
+        )
+        .unwrap();
+        call(
+            &DataContract,
+            1,
+            vec![
+                Value::str("grant"),
+                Value::str("emr"),
+                Value::address(&Address::from_seed(2)),
+                research.clone(),
+                Value::Int(-1),
+            ],
+            &mut state,
+        )
+        .unwrap();
+        call(&DataContract, 1, vec![Value::str("require_consent"), Value::str("emr")], &mut state)
+            .unwrap();
+        let denied = call(
+            &DataContract,
+            2,
+            vec![Value::str("request"), Value::str("emr"), research.clone()],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(denied.returned[0], Value::Int(0));
+        call(
+            &DataContract,
+            1,
+            vec![Value::str("consent"), Value::str("emr"), research.clone()],
+            &mut state,
+        )
+        .unwrap();
+        let permitted = call(
+            &DataContract,
+            2,
+            vec![Value::str("request"), Value::str("emr"), research],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(permitted.returned[0], Value::Int(1));
+    }
+
+    #[test]
+    fn analytics_task_lifecycle() {
+        let mut state = WorldState::new();
+        let code_hash = Value::Bytes(Hash256::digest(b"logreg v1").0.to_vec());
+        call(
+            &AnalyticsContract,
+            1,
+            vec![Value::str("register_tool"), Value::str("logreg"), code_hash],
+            &mut state,
+        )
+        .unwrap();
+        let out = call(
+            &AnalyticsContract,
+            2,
+            vec![
+                Value::str("request_run"),
+                Value::str("logreg"),
+                Value::str("emr-2018"),
+                Value::Bytes(vec![1, 2, 3]),
+            ],
+            &mut state,
+        )
+        .unwrap();
+        let id = out.returned[0].as_int().unwrap();
+        assert_eq!(out.events[0].topic, events::ANALYTICS_REQUESTED);
+
+        let result_hash = Value::Bytes(Hash256::digest(b"model weights").0.to_vec());
+        let posted = call(
+            &AnalyticsContract,
+            3,
+            vec![Value::str("post_result"), Value::Int(id), result_hash.clone()],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(posted.events[0].topic, events::ANALYTICS_COMPLETED);
+
+        let stored = call(
+            &AnalyticsContract,
+            4,
+            vec![Value::str("result"), Value::Int(id)],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(stored.returned[4], Value::Int(1)); // status done
+        assert_eq!(stored.returned[5], result_hash);
+    }
+
+    #[test]
+    fn double_result_posting_refused() {
+        let mut state = WorldState::new();
+        let code_hash = Value::Bytes(Hash256::digest(b"t").0.to_vec());
+        call(
+            &AnalyticsContract,
+            1,
+            vec![Value::str("register_tool"), Value::str("t"), code_hash],
+            &mut state,
+        )
+        .unwrap();
+        call(
+            &AnalyticsContract,
+            1,
+            vec![
+                Value::str("request_run"),
+                Value::str("t"),
+                Value::str("d"),
+                Value::Bytes(vec![]),
+            ],
+            &mut state,
+        )
+        .unwrap();
+        let rh = Value::Bytes(Hash256::digest(b"r").0.to_vec());
+        call(
+            &AnalyticsContract,
+            1,
+            vec![Value::str("post_result"), Value::Int(0), rh.clone()],
+            &mut state,
+        )
+        .unwrap();
+        assert!(matches!(
+            call(
+                &AnalyticsContract,
+                1,
+                vec![Value::str("post_result"), Value::Int(0), rh],
+                &mut state,
+            ),
+            Err(NativeError::Refused(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tool_run_refused() {
+        let mut state = WorldState::new();
+        assert!(matches!(
+            call(
+                &AnalyticsContract,
+                1,
+                vec![
+                    Value::str("request_run"),
+                    Value::str("ghost"),
+                    Value::str("d"),
+                    Value::Bytes(vec![]),
+                ],
+                &mut state,
+            ),
+            Err(NativeError::Refused(_))
+        ));
+    }
+
+    #[test]
+    fn trial_outcome_switching_is_flagged() {
+        let mut state = WorldState::new();
+        let protocol = Value::Bytes(Hash256::digest(b"protocol v1").0.to_vec());
+        call(
+            &TrialContract,
+            1,
+            vec![
+                Value::str("register"),
+                Value::str("NCT001"),
+                protocol,
+                Value::str("mortality-30d"),
+            ],
+            &mut state,
+        )
+        .unwrap();
+
+        let honest = call(
+            &TrialContract,
+            1,
+            vec![
+                Value::str("report_outcome"),
+                Value::str("NCT001"),
+                Value::str("mortality-30d"),
+                Value::Bytes(Hash256::digest(b"result A").0.to_vec()),
+            ],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(honest.returned[0], Value::Int(0)); // not switched
+
+        let switched = call(
+            &TrialContract,
+            1,
+            vec![
+                Value::str("report_outcome"),
+                Value::str("NCT001"),
+                Value::str("quality-of-life"), // not the pre-registered outcome
+                Value::Bytes(Hash256::digest(b"result B").0.to_vec()),
+            ],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(switched.returned[0], Value::Int(1));
+
+        let audit = call(
+            &TrialContract,
+            9,
+            vec![Value::str("audit"), Value::str("NCT001")],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(audit.returned, vec![Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn trial_enrollment_counts_and_dedupes() {
+        let mut state = WorldState::new();
+        let protocol = Value::Bytes(Hash256::digest(b"p").0.to_vec());
+        call(
+            &TrialContract,
+            1,
+            vec![Value::str("register"), Value::str("T"), protocol, Value::str("o")],
+            &mut state,
+        )
+        .unwrap();
+        for i in 0..5u8 {
+            call(
+                &TrialContract,
+                1,
+                vec![Value::str("enroll"), Value::str("T"), Value::Bytes(vec![i])],
+                &mut state,
+            )
+            .unwrap();
+        }
+        assert!(matches!(
+            call(
+                &TrialContract,
+                1,
+                vec![Value::str("enroll"), Value::str("T"), Value::Bytes(vec![0])],
+                &mut state,
+            ),
+            Err(NativeError::Refused(_))
+        ));
+        let n = call(
+            &TrialContract,
+            2,
+            vec![Value::str("enrollment"), Value::str("T")],
+            &mut state,
+        )
+        .unwrap();
+        assert_eq!(n.returned, vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn unknown_methods_rejected() {
+        let mut state = WorldState::new();
+        for contract in [&DataContract as &dyn NativeContract, &AnalyticsContract, &TrialContract]
+        {
+            assert!(matches!(
+                call_dyn(contract, &mut state),
+                Err(NativeError::UnknownMethod(_))
+            ));
+        }
+    }
+
+    fn call_dyn(
+        contract: &dyn NativeContract,
+        state: &mut WorldState,
+    ) -> Result<NativeOutcome, NativeError> {
+        contract.call(&ctx(1), &Args(vec![Value::str("no_such_method")]), state)
+    }
+}

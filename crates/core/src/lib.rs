@@ -1,0 +1,30 @@
+//! # medchain — blockchain as a distributed parallel computing
+//! architecture for precision medicine
+//!
+//! The core crate of the reproduction of Shae & Tsai (ICDCS 2018): a
+//! permissioned medical consortium ([`network::MedicalNetwork`], Fig. 2)
+//! whose on-chain smart contracts are light-weight access-policy control
+//! points, with per-site off-chain control code ([`site::Site`],
+//! Figs. 1/6) moving computation to locally resident data. The
+//! [`modes`] module realizes the paper's headline comparison —
+//! duplicated smart-contract computing versus the transformed
+//! distributed-parallel architecture — and [`paradigms`] implements the
+//! Hadoop/Grid/Cloud comparison of §III.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod modes;
+pub mod network;
+pub mod paradigms;
+pub mod pipeline;
+pub mod site;
+
+pub use modes::{run_duplicated, run_sharded, run_transformed, ExecutionMode, ModeReport};
+pub use network::{ContractAddresses, MedicalNetwork, NetworkBuilder, NetworkError};
+pub use paradigms::{compare_all, run_paradigm, Paradigm, ParadigmReport};
+pub use pipeline::{
+    fda_integrity_sweep, run_gwas, run_query, train_federated, FdaSweepReport,
+    FederatedPipelineReport, GwasPipelineReport, QueryPipelineReport,
+};
+pub use site::Site;

@@ -1,0 +1,405 @@
+//! The paper's headline transformation: duplicated smart-contract
+//! computing versus the distributed parallel architecture (§I, §III,
+//! Fig. 1) — experiments E1/E2.
+//!
+//! Both modes run the *same* analytics job: `total_work_units` of real
+//! SHA-256 kernel work over the consortium's data.
+//!
+//! * **Duplicated** — the job is compiled into contract bytecode
+//!   (`Burn`) and invoked on-chain. Every one of the N replicas executes
+//!   the full job at commit, exactly as Ethereum-style chains do. Total
+//!   CPU work is N × job; adding nodes makes the system *slower*.
+//! * **Transformed parallel** — the on-chain contract is only the
+//!   access-policy control point: a cheap `request_run` that emits an
+//!   event. The job is decomposed into per-site shards executed
+//!   *off-chain, in parallel, next to the data*; only the result hash
+//!   returns on-chain. Total CPU work is ~1 × job and wall time falls
+//!   with N.
+
+use crate::network::{MedicalNetwork, NetworkError};
+use medchain_chain::{Hash256, TxPayload};
+use medchain_contracts::asm::assemble;
+use medchain_contracts::opcode::encode_program;
+use medchain_contracts::value::Value;
+use medchain_offchain::{run_parallel, TaskExecutor, Tool};
+use std::time::{Duration, Instant};
+
+/// Which execution strategy to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Identical contract code executed by every replica.
+    Duplicated,
+    /// Sharded validation (paper §I): the consortium splits into `k`
+    /// groups, each executing only its shard of the workload — but every
+    /// member of a group still re-executes that whole shard.
+    Sharded,
+    /// Thin on-chain policy gate + off-chain parallel execution.
+    TransformedParallel,
+}
+
+impl std::fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutionMode::Duplicated => f.write_str("duplicated"),
+            ExecutionMode::Sharded => f.write_str("sharded"),
+            ExecutionMode::TransformedParallel => f.write_str("transformed-parallel"),
+        }
+    }
+}
+
+/// Measurements from one analytics job under one mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeReport {
+    /// The mode measured.
+    pub mode: ExecutionMode,
+    /// Consortium size.
+    pub nodes: usize,
+    /// Work units in the job.
+    pub work_units: u64,
+    /// Real wall-clock time for the whole flow (submission → committed
+    /// result).
+    pub wall: Duration,
+    /// Total gas executed across **all** replicas (the duplicated cost).
+    pub total_gas: u64,
+    /// Consensus messages sent.
+    pub messages: u64,
+    /// Consensus bytes sent.
+    pub bytes: u64,
+    /// Logical (simulated network) latency of the flow in ms.
+    pub sim_latency_ms: u64,
+}
+
+impl ModeReport {
+    /// Jobs per wall-clock second at this configuration.
+    pub fn throughput_per_sec(&self) -> f64 {
+        1.0 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Total CPU work relative to one copy of the job (1.0 = no waste).
+    pub fn duplication_factor(&self) -> f64 {
+        self.total_gas as f64 / self.work_units.max(1) as f64
+    }
+}
+
+fn tiny_network(nodes: usize, seed: u64) -> Result<MedicalNetwork, NetworkError> {
+    use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+    let mut builder = MedicalNetwork::builder().seed(seed).block_interval_ms(20);
+    for i in 0..nodes {
+        // Two records per site: enough to exist, cheap to anchor.
+        let records = CohortGenerator::new(&format!("h{i}"), SiteProfile::default(), seed + i as u64)
+            .cohort((i * 100) as u64, 2, &DiseaseModel::stroke());
+        builder = builder.site(&format!("hospital-{i}"), records);
+    }
+    builder.build()
+}
+
+/// Runs the job in **duplicated** mode on a fresh `nodes`-site network.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on consensus or contract failure.
+pub fn run_duplicated(
+    nodes: usize,
+    work_units: u64,
+    seed: u64,
+) -> Result<ModeReport, NetworkError> {
+    let mut net = tiny_network(nodes, seed)?;
+    // The analytics job as on-chain bytecode: burn `arg0` work units.
+    let program = assemble("arg 0\nburn\npush 1\nhalt").expect("static program assembles");
+    let deploy = net.submit_as(
+        0,
+        TxPayload::Deploy { code: encode_program(&program), init: Vec::new() },
+        100_000,
+    )?;
+    let receipt = net.commit_and_check(deploy)?;
+    // The deploy receipt returns the contract address as its output.
+    let mut addr = [0u8; 20];
+    addr.copy_from_slice(&receipt.output);
+    run_duplicated_at(net, medchain_chain::Address(addr), work_units, nodes)
+}
+
+fn run_duplicated_at(
+    mut net: MedicalNetwork,
+    contract: medchain_chain::Address,
+    work_units: u64,
+    nodes: usize,
+) -> Result<ModeReport, NetworkError> {
+    let gas_before = net.total_ledger_stats().gas_used;
+    let net_before = net.net_stats();
+    let sim_before = net.ledger().tip().header.timestamp_ms;
+
+    let start = Instant::now();
+    let invoke = net.submit_as(
+        0,
+        TxPayload::Invoke {
+            contract,
+            input: medchain_contracts::encode_args(&[Value::Int(work_units as i64)]),
+        },
+        work_units + 10_000,
+    )?;
+    net.commit_and_check(invoke)?;
+    let wall = start.elapsed();
+
+    let stats_after = net.net_stats();
+    Ok(ModeReport {
+        mode: ExecutionMode::Duplicated,
+        nodes,
+        work_units,
+        wall,
+        total_gas: net.total_ledger_stats().gas_used - gas_before,
+        messages: stats_after.sent - net_before.sent,
+        bytes: stats_after.bytes - net_before.bytes,
+        sim_latency_ms: net.ledger().tip().header.timestamp_ms.saturating_sub(sim_before),
+    })
+}
+
+/// Runs the job in **transformed parallel** mode: thin on-chain request,
+/// off-chain sharded execution on real threads, result hash back
+/// on-chain.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on consensus or contract failure.
+pub fn run_transformed(
+    nodes: usize,
+    work_units: u64,
+    seed: u64,
+) -> Result<ModeReport, NetworkError> {
+    let mut net = tiny_network(nodes, seed)?;
+    let analytics = net.contracts().analytics;
+    // Register the burn tool on-chain (integrity anchor).
+    let tool_hash = burn_tool().code_hash();
+    let register = net.invoke_as(
+        0,
+        analytics,
+        "register_tool",
+        &[Value::str("burn-kernel"), Value::Bytes(tool_hash.0.to_vec())],
+        50_000,
+    )?;
+    net.commit_and_check(register)?;
+
+    let gas_before = net.total_ledger_stats().gas_used;
+    let net_before = net.net_stats();
+    let sim_before = net.ledger().tip().header.timestamp_ms;
+
+    let start = Instant::now();
+    // 1. Thin on-chain request (the access-policy control point).
+    let request = net.invoke_as(
+        0,
+        analytics,
+        "request_run",
+        &[
+            Value::str("burn-kernel"),
+            Value::str("consortium/union"),
+            Value::Bytes(work_units.to_le_bytes().to_vec()),
+        ],
+        50_000,
+    )?;
+    net.commit_and_check(request)?;
+
+    // 2. Off-chain decomposed execution: each site burns its shard in
+    //    parallel on real OS threads.
+    let shard = work_units / nodes as u64;
+    let remainder = work_units % nodes as u64;
+    let mut executors: Vec<TaskExecutor> = (0..nodes)
+        .map(|_| {
+            let mut e = TaskExecutor::new();
+            e.install(burn_tool());
+            e
+        })
+        .collect();
+    let tasks: Vec<(String, Vec<Value>)> = (0..nodes)
+        .map(|i| {
+            let units = shard + if (i as u64) < remainder { 1 } else { 0 };
+            ("burn-kernel".to_string(), vec![Value::Int(units as i64)])
+        })
+        .collect();
+    let results = run_parallel(&mut executors, &tasks);
+    let mut digest_material = Vec::new();
+    for result in results {
+        let outcome = result.expect("burn tool cannot fail");
+        for value in outcome.output {
+            if let Value::Bytes(b) = value {
+                digest_material.extend_from_slice(&b);
+            }
+        }
+    }
+    let result_hash = Hash256::digest(&digest_material);
+
+    // 3. Result hash back on-chain (task id 0 on this fresh network).
+    let post = net.invoke_as(
+        0,
+        analytics,
+        "post_result",
+        &[Value::Int(0), Value::Bytes(result_hash.0.to_vec())],
+        50_000,
+    )?;
+    net.commit_and_check(post)?;
+    let wall = start.elapsed();
+
+    let stats_after = net.net_stats();
+    Ok(ModeReport {
+        mode: ExecutionMode::TransformedParallel,
+        nodes,
+        work_units,
+        wall,
+        // Off-chain work counts once: the whole job, plus on-chain gas.
+        total_gas: work_units + (net.total_ledger_stats().gas_used - gas_before),
+        messages: stats_after.sent - net_before.sent,
+        bytes: stats_after.bytes - net_before.bytes,
+        sim_latency_ms: net.ledger().tip().header.timestamp_ms.saturating_sub(sim_before),
+    })
+}
+
+/// Runs the job under **sharding** (paper §I's partial fix): the
+/// consortium splits into `shard_count` groups; each group is its own
+/// consensus domain executing `work/shard_count` on-chain, and the
+/// groups run concurrently (real threads). Every member of a group still
+/// duplicates its group's shard, so total work is `nodes/shard_count ×
+/// job` — better than full duplication, still far from 1×, and (as the
+/// paper notes) it only parallelizes *validation*, inheriting the
+/// double-spend coordination risk across shards.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if any shard's consensus or contract fails.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero or exceeds `nodes`.
+pub fn run_sharded(
+    nodes: usize,
+    shard_count: usize,
+    work_units: u64,
+    seed: u64,
+) -> Result<ModeReport, NetworkError> {
+    assert!(shard_count > 0 && shard_count <= nodes, "1 ≤ shards ≤ nodes");
+    let group_size = (nodes / shard_count).max(1);
+    let shard_work = work_units / shard_count as u64;
+
+    let start = Instant::now();
+    let mut results: Vec<Option<Result<ModeReport, NetworkError>>> =
+        (0..shard_count).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (shard, slot) in results.iter_mut().enumerate() {
+            scope.spawn(move |_| {
+                *slot = Some(run_duplicated(group_size, shard_work, seed + shard as u64));
+            });
+        }
+    })
+    .expect("shard thread panicked");
+    let wall = start.elapsed();
+
+    let mut total_gas = 0u64;
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    let mut sim_latency_ms = 0u64;
+    for result in results {
+        let report = result.expect("slot filled")?;
+        total_gas += report.total_gas;
+        messages += report.messages;
+        bytes += report.bytes;
+        sim_latency_ms = sim_latency_ms.max(report.sim_latency_ms);
+    }
+    Ok(ModeReport {
+        mode: ExecutionMode::Sharded,
+        nodes,
+        work_units,
+        wall,
+        total_gas,
+        messages,
+        bytes,
+        sim_latency_ms,
+    })
+}
+
+/// The real-work kernel both modes execute: `units` iterated SHA-256
+/// evaluations, identical to the VM's `Burn` instruction.
+pub fn burn_tool() -> Tool {
+    Tool::new("burn-kernel", "v1", |params| {
+        let units = params
+            .first()
+            .and_then(|v| v.as_int().ok())
+            .unwrap_or(0)
+            .max(0) as u64;
+        let mut acc = Hash256::digest(b"burn");
+        for _ in 0..units {
+            acc = Hash256::digest(&acc.0);
+        }
+        Ok(vec![Value::Bytes(acc.0.to_vec())])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WORK: u64 = 40_000;
+
+    #[test]
+    fn duplicated_total_work_scales_with_nodes() {
+        let two = run_duplicated(2, WORK, 1).unwrap();
+        let four = run_duplicated(4, WORK, 1).unwrap();
+        // Total gas ≈ nodes × work.
+        assert!(two.duplication_factor() > 1.8, "factor {}", two.duplication_factor());
+        assert!(four.duplication_factor() > 3.6, "factor {}", four.duplication_factor());
+        assert!(four.total_gas > two.total_gas);
+    }
+
+    #[test]
+    fn transformed_total_work_is_flat_in_nodes() {
+        let two = run_transformed(2, WORK, 2).unwrap();
+        let four = run_transformed(4, WORK, 2).unwrap();
+        assert!(two.duplication_factor() < 1.2, "factor {}", two.duplication_factor());
+        assert!(four.duplication_factor() < 1.2, "factor {}", four.duplication_factor());
+    }
+
+    #[test]
+    fn transformed_beats_duplicated_at_scale() {
+        let duplicated = run_duplicated(4, 400_000, 3).unwrap();
+        let transformed = run_transformed(4, 400_000, 3).unwrap();
+        assert!(
+            transformed.wall < duplicated.wall,
+            "transformed {:?} should beat duplicated {:?}",
+            transformed.wall,
+            duplicated.wall
+        );
+        assert!(transformed.total_gas < duplicated.total_gas / 2);
+    }
+
+    #[test]
+    fn both_modes_commit_results_on_chain() {
+        let report = run_transformed(3, 10_000, 4).unwrap();
+        assert!(report.messages > 0);
+        assert!(report.bytes > 0);
+        assert!(report.sim_latency_ms > 0);
+    }
+}
+
+#[cfg(test)]
+mod sharding_tests {
+    use super::*;
+
+    #[test]
+    fn sharding_sits_between_duplicated_and_transformed() {
+        const WORK: u64 = 120_000;
+        let duplicated = run_duplicated(8, WORK, 9).unwrap();
+        let sharded = run_sharded(8, 4, WORK, 9).unwrap();
+        let transformed = run_transformed(8, WORK, 9).unwrap();
+        // Work: duplicated ≈ 8×, sharded ≈ 2×, transformed ≈ 1×.
+        assert!(sharded.total_gas < duplicated.total_gas / 2);
+        assert!(sharded.total_gas > transformed.total_gas + WORK / 2);
+        assert!(
+            (1.5..=3.5).contains(&sharded.duplication_factor()),
+            "sharded factor {}",
+            sharded.duplication_factor()
+        );
+    }
+
+    #[test]
+    fn one_shard_equals_duplicated() {
+        const WORK: u64 = 30_000;
+        let sharded = run_sharded(3, 1, WORK, 10).unwrap();
+        assert!(sharded.duplication_factor() > 2.5, "{}", sharded.duplication_factor());
+    }
+}

@@ -1,0 +1,728 @@
+//! The global medical blockchain network (paper Fig. 2).
+//!
+//! N hospital sites form a proof-of-authority consortium. Every node
+//! runs the identical standard contracts (data / analytics / trial —
+//! Fig. 4); each site's off-chain control code makes those identical
+//! contracts drive *different* local computation (Fig. 1). The network
+//! object owns the simulated consensus cluster, the sites with their
+//! locally resident data, transaction submission with nonce tracking,
+//! and the control-plane cycle.
+
+use crate::site::Site;
+use medchain_chain::consensus::poa::PoaEngine;
+use medchain_chain::consensus::{Application, Cluster, RunReport};
+use medchain_chain::ledger::contract_address;
+use medchain_chain::node::ChainApp;
+use medchain_chain::{Address, AuthorityKey, Hash256, KeyRegistry, Receipt, Transaction, TxPayload};
+use medchain_contracts::native::native_manifest;
+use medchain_contracts::policy::Purpose;
+use medchain_contracts::runtime::{call_data, Runtime};
+use medchain_contracts::value::Value;
+use medchain_data::PatientRecord;
+use medchain_offchain::ActionIntent;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Addresses of the three standard contracts after deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContractAddresses {
+    /// The data contract (ownership, policy, access requests).
+    pub data: Address,
+    /// The analytics contract (tools, tasks, results).
+    pub analytics: Address,
+    /// The clinical-trial contract.
+    pub trial: Address,
+}
+
+/// Errors from network operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// Consensus failed to reach the requested height in time.
+    ConsensusStalled {
+        /// Height that was requested.
+        target: u64,
+        /// Height actually reached.
+        reached: u64,
+    },
+    /// A transaction's receipt reported failure.
+    TxFailed {
+        /// The failed transaction.
+        tx_id: Hash256,
+        /// Receipt error text.
+        error: String,
+    },
+    /// A receipt was missing after commit.
+    MissingReceipt(Hash256),
+    /// Site index out of range.
+    NoSuchSite(usize),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::ConsensusStalled { target, reached } => {
+                write!(f, "consensus stalled at height {reached} (target {target})")
+            }
+            NetworkError::TxFailed { tx_id, error } => {
+                write!(f, "transaction {tx_id:?} failed: {error}")
+            }
+            NetworkError::MissingReceipt(id) => write!(f, "no receipt for {id:?}"),
+            NetworkError::NoSuchSite(i) => write!(f, "no site with index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Builder for a [`MedicalNetwork`].
+#[derive(Default)]
+pub struct NetworkBuilder {
+    sites: Vec<(String, Vec<PatientRecord>)>,
+    block_interval_ms: u64,
+    seed: u64,
+    with_fda: bool,
+}
+
+impl fmt::Debug for NetworkBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NetworkBuilder").field("sites", &self.sites.len()).finish()
+    }
+}
+
+impl NetworkBuilder {
+    /// Starts a builder with defaults (50 ms blocks, seed 42).
+    pub fn new() -> NetworkBuilder {
+        NetworkBuilder { sites: Vec::new(), block_interval_ms: 50, seed: 42, with_fda: false }
+    }
+
+    /// Adds a site hosting `records`.
+    #[must_use]
+    pub fn site(mut self, name: &str, records: Vec<PatientRecord>) -> NetworkBuilder {
+        self.sites.push((name.to_string(), records));
+        self
+    }
+
+    /// Sets the PoA block interval.
+    #[must_use]
+    pub fn block_interval_ms(mut self, interval: u64) -> NetworkBuilder {
+        self.block_interval_ms = interval;
+        self
+    }
+
+    /// Sets the simulation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> NetworkBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds the regulator's special node (paper Fig. 2): a compute-only
+    /// consortium member named `"fda"` hosting no patient data, enrolled
+    /// as a validator, and granted [`Purpose::RegulatoryAudit`] on every
+    /// hospital dataset at build time.
+    #[must_use]
+    pub fn with_fda(mut self) -> NetworkBuilder {
+        self.with_fda = true;
+        self
+    }
+
+    /// Builds the network: starts the consortium, deploys the three
+    /// standard contracts, registers and Merkle-anchors every site's
+    /// dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if consensus or deployment fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sites were added.
+    pub fn build(mut self) -> Result<MedicalNetwork, NetworkError> {
+        assert!(!self.sites.is_empty(), "a network needs at least one site");
+        if self.with_fda {
+            self.sites.push(("fda".to_string(), Vec::new()));
+        }
+        let with_fda = self.with_fda;
+        let n = self.sites.len();
+        let (engines, registry, _validators) =
+            PoaEngine::make_validators(n, self.block_interval_ms);
+        let apps: Vec<ChainApp> = (0..n)
+            .map(|_| {
+                ChainApp::with_runtime(
+                    "medchain",
+                    registry.clone(),
+                    Box::new(Runtime::standard()),
+                )
+            })
+            .collect();
+        let cluster = Cluster::new(engines, apps, self.seed);
+        let sites: Vec<Site> = self
+            .sites
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, records))| Site::new(&name, AuthorityKey::from_seed(i as u64), records))
+            .collect();
+        let mut network = MedicalNetwork {
+            cluster,
+            sites,
+            contracts: ContractAddresses {
+                data: Address::from_seed(0),
+                analytics: Address::from_seed(0),
+                trial: Address::from_seed(0),
+            },
+            nonces: HashMap::new(),
+            block_interval_ms: self.block_interval_ms,
+            registry,
+        };
+        network.deploy_standard_contracts()?;
+        network.register_all_datasets()?;
+        if with_fda {
+            let fda = network
+                .fda_index()
+                .expect("fda site appended above");
+            let fda_address = network.site(fda).address();
+            network.grant_all(fda_address, Purpose::RegulatoryAudit)?;
+        }
+        Ok(network)
+    }
+}
+
+/// The running consortium.
+pub struct MedicalNetwork {
+    cluster: Cluster<PoaEngine, ChainApp>,
+    sites: Vec<Site>,
+    contracts: ContractAddresses,
+    nonces: HashMap<Address, u64>,
+    block_interval_ms: u64,
+    registry: KeyRegistry,
+}
+
+impl fmt::Debug for MedicalNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MedicalNetwork")
+            .field("sites", &self.sites.len())
+            .field("height", &self.height())
+            .finish()
+    }
+}
+
+impl MedicalNetwork {
+    /// Starts building a network.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::new()
+    }
+
+    /// Number of sites (= consortium validators).
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Site accessor.
+    pub fn site(&self, index: usize) -> &Site {
+        &self.sites[index]
+    }
+
+    /// Mutable site accessor.
+    pub fn site_mut(&mut self, index: usize) -> &mut Site {
+        &mut self.sites[index]
+    }
+
+    /// All site names.
+    pub fn site_names(&self) -> Vec<String> {
+        self.sites.iter().map(|s| s.name().to_string()).collect()
+    }
+
+    /// Standard contract addresses.
+    pub fn contracts(&self) -> ContractAddresses {
+        self.contracts
+    }
+
+    /// Index of the regulator's special node, when the network was built
+    /// with [`NetworkBuilder::with_fda`].
+    pub fn fda_index(&self) -> Option<usize> {
+        self.sites.iter().position(|s| s.name() == "fda")
+    }
+
+    /// Current committed height (replica 0's view).
+    pub fn height(&self) -> u64 {
+        self.cluster.replicas[0].app.height()
+    }
+
+    /// Replica 0's ledger (all replicas agree under PoA).
+    pub fn ledger(&self) -> &medchain_chain::Ledger {
+        self.cluster.replicas[0].app.ledger()
+    }
+
+    /// The ledger of a specific replica (for control-plane polling).
+    pub fn ledger_of(&self, site: usize) -> &medchain_chain::Ledger {
+        self.cluster.replicas[site].app.ledger()
+    }
+
+    /// The consortium membership registry.
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    /// Consensus network statistics.
+    pub fn net_stats(&self) -> medchain_chain::net::NetStats {
+        self.cluster.net.stats()
+    }
+
+    /// Aggregate ledger statistics across all replicas (the duplicated
+    /// execution cost).
+    pub fn total_ledger_stats(&self) -> medchain_chain::ledger::LedgerStats {
+        let mut total = medchain_chain::ledger::LedgerStats::default();
+        for replica in &self.cluster.replicas {
+            let stats = replica.app.stats();
+            total.blocks += stats.blocks;
+            total.transactions += stats.transactions;
+            total.gas_used += stats.gas_used;
+            total.failed += stats.failed;
+        }
+        total
+    }
+
+    fn next_nonce(&mut self, sender: Address) -> u64 {
+        let on_chain = self.cluster.replicas[0].app.ledger().state().account(&sender).nonce;
+        let tracked = self.nonces.entry(sender).or_insert(on_chain);
+        if *tracked < on_chain {
+            *tracked = on_chain;
+        }
+        let nonce = *tracked;
+        *tracked += 1;
+        nonce
+    }
+
+    /// Submits a signed transaction to every replica's mempool (gossip
+    /// shortcut: duplicate ids are deduplicated by the pools).
+    fn submit_all(&mut self, tx: Transaction) {
+        for replica in &mut self.cluster.replicas {
+            replica.app.submit(tx.clone());
+        }
+    }
+
+    /// Builds, signs, and submits a transaction from `site`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] for bad indices.
+    pub fn submit_as(
+        &mut self,
+        site: usize,
+        payload: TxPayload,
+        gas_limit: u64,
+    ) -> Result<Hash256, NetworkError> {
+        if site >= self.sites.len() {
+            return Err(NetworkError::NoSuchSite(site));
+        }
+        let key = self.sites[site].key().clone();
+        let nonce = self.next_nonce(key.address());
+        let tx = Transaction::new(key.address(), nonce, payload, gas_limit).signed(&key);
+        let id = tx.id();
+        self.submit_all(tx);
+        Ok(id)
+    }
+
+    /// Convenience: invoke a standard contract method from `site`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] for bad indices.
+    pub fn invoke_as(
+        &mut self,
+        site: usize,
+        contract: Address,
+        selector: &str,
+        args: &[Value],
+        gas_limit: u64,
+    ) -> Result<Hash256, NetworkError> {
+        self.submit_as(
+            site,
+            TxPayload::Invoke { contract, input: call_data(selector, args) },
+            gas_limit,
+        )
+    }
+
+    /// Runs consensus until `blocks` more blocks commit on all replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ConsensusStalled`] on timeout.
+    pub fn advance(&mut self, blocks: u64) -> Result<RunReport, NetworkError> {
+        let target = self.height() + blocks;
+        let budget = self.cluster.net.now_ms()
+            + blocks * self.block_interval_ms * 40
+            + 20 * self.block_interval_ms * self.sites.len() as u64;
+        let report = self.cluster.run_until_height(target, budget);
+        if !report.reached {
+            return Err(NetworkError::ConsensusStalled { target, reached: self.height() });
+        }
+        Ok(report)
+    }
+
+    /// Receipt lookup (replica 0).
+    pub fn receipt(&self, tx_id: &Hash256) -> Option<&Receipt> {
+        self.cluster.replicas[0].app.receipt(tx_id)
+    }
+
+    /// Commits pending transactions and returns the receipt of `tx_id`,
+    /// erroring if it failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] on stall, missing receipt, or failed
+    /// execution.
+    pub fn commit_and_check(&mut self, tx_id: Hash256) -> Result<Receipt, NetworkError> {
+        self.advance(1)?;
+        // The transaction may land a block later if it raced the proposer.
+        if self.receipt(&tx_id).is_none() {
+            self.advance(1)?;
+        }
+        let receipt =
+            self.receipt(&tx_id).cloned().ok_or(NetworkError::MissingReceipt(tx_id))?;
+        if !receipt.ok {
+            return Err(NetworkError::TxFailed {
+                tx_id,
+                error: receipt.error.clone().unwrap_or_default(),
+            });
+        }
+        Ok(receipt)
+    }
+
+    fn deploy_standard_contracts(&mut self) -> Result<(), NetworkError> {
+        let deployer = 0usize;
+        let names = ["data_contract", "analytics_contract", "trial_contract"];
+        let mut ids = Vec::new();
+        let deployer_addr = self.sites[deployer].address();
+        let mut addresses = Vec::new();
+        for name in names {
+            let nonce_before = self.nonces.get(&deployer_addr).copied().unwrap_or(0);
+            let id = self.submit_as(
+                deployer,
+                TxPayload::Deploy { code: native_manifest(name), init: Vec::new() },
+                100_000,
+            )?;
+            ids.push(id);
+            addresses.push(contract_address(&deployer_addr, nonce_before));
+        }
+        self.advance(2)?;
+        for id in ids {
+            let receipt = self.receipt(&id).ok_or(NetworkError::MissingReceipt(id))?;
+            if !receipt.ok {
+                return Err(NetworkError::TxFailed {
+                    tx_id: id,
+                    error: receipt.error.clone().unwrap_or_default(),
+                });
+            }
+        }
+        self.contracts = ContractAddresses {
+            data: addresses[0],
+            analytics: addresses[1],
+            trial: addresses[2],
+        };
+        Ok(())
+    }
+
+    fn register_all_datasets(&mut self) -> Result<(), NetworkError> {
+        let data_contract = self.contracts.data;
+        let mut ids = Vec::new();
+        for i in 0..self.sites.len() {
+            let artifact = self.sites[i].anchor_artifact();
+            let label = artifact.label().to_string();
+            let root = artifact.root();
+            // On-chain registration in the data contract…
+            ids.push(self.invoke_as(
+                i,
+                data_contract,
+                "register",
+                &[
+                    Value::str(&label),
+                    Value::Bytes(root.0.to_vec()),
+                    Value::str("medchain-canonical-v1"),
+                ],
+                50_000,
+            )?);
+            // …plus the Merkle anchor for record-level integrity.
+            ids.push(self.submit_as(i, TxPayload::Anchor { root, label }, 1_000)?);
+        }
+        self.advance(2 + self.sites.len() as u64 / 32)?;
+        for id in ids {
+            let receipt = self.receipt(&id).ok_or(NetworkError::MissingReceipt(id))?;
+            if !receipt.ok {
+                return Err(NetworkError::TxFailed {
+                    tx_id: id,
+                    error: receipt.error.clone().unwrap_or_default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Grants `purpose` access on every site's dataset to `grantee` —
+    /// consortium-wide data-sharing agreements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if any grant transaction fails.
+    pub fn grant_all(&mut self, grantee: Address, purpose: Purpose) -> Result<(), NetworkError> {
+        let data_contract = self.contracts.data;
+        let mut ids = Vec::new();
+        for i in 0..self.sites.len() {
+            let label = self.sites[i].hosted_label().to_string();
+            ids.push(self.invoke_as(
+                i,
+                data_contract,
+                "grant",
+                &[
+                    Value::str(&label),
+                    Value::address(&grantee),
+                    Value::Int(purpose.code()),
+                    Value::Int(-1),
+                ],
+                50_000,
+            )?);
+        }
+        self.advance(2)?;
+        for id in ids {
+            let receipt = self.receipt(&id).ok_or(NetworkError::MissingReceipt(id))?;
+            if !receipt.ok {
+                return Err(NetworkError::TxFailed {
+                    tx_id: id,
+                    error: receipt.error.clone().unwrap_or_default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// One control-plane cycle (Fig. 1): every site's control code
+    /// observes new contract events on its own replica and the resulting
+    /// intents are submitted back on-chain. Returns the number of
+    /// intents processed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if intent submission fails.
+    pub fn control_cycle(&mut self) -> Result<usize, NetworkError> {
+        let analytics = self.contracts.analytics;
+        let mut actions = Vec::new();
+        for i in 0..self.sites.len() {
+            // Disjoint-field borrow: replica ledger (read) + site control
+            // code (write).
+            let ledger = self.cluster.replicas[i].app.ledger();
+            let intents = self.sites[i].control_mut().step(ledger);
+            for intent in intents {
+                actions.push((i, intent));
+            }
+        }
+        let count = actions.len();
+        for (site, intent) in actions {
+            if let ActionIntent::PostResult { task_id, result_hash, .. } = intent {
+                let id = self.invoke_as(
+                    site,
+                    analytics,
+                    "post_result",
+                    &[Value::Int(task_id), Value::Bytes(result_hash.0.to_vec())],
+                    50_000,
+                )?;
+                self.commit_and_check(id)?;
+            }
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medchain_contracts::events;
+    use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+
+    fn records(i: usize, n: usize) -> Vec<PatientRecord> {
+        CohortGenerator::new(&format!("h{i}"), SiteProfile::varied(i), 900 + i as u64).cohort(
+            (i * 10_000) as u64,
+            n,
+            &DiseaseModel::stroke(),
+        )
+    }
+
+    fn network(sites: usize) -> MedicalNetwork {
+        let mut builder = MedicalNetwork::builder();
+        for i in 0..sites {
+            builder = builder.site(&format!("hospital-{i}"), records(i, 60));
+        }
+        builder.build().expect("network builds")
+    }
+
+    #[test]
+    fn build_deploys_contracts_and_registers_datasets() {
+        let net = network(3);
+        assert_eq!(net.site_count(), 3);
+        let contracts = net.contracts();
+        assert_ne!(contracts.data, contracts.analytics);
+        let state = net.ledger().state();
+        assert!(state.code(&contracts.data).is_some());
+        assert!(state.code(&contracts.trial).is_some());
+        // Every site's dataset anchored.
+        assert_eq!(state.anchor_count(), 3);
+        assert!(state.anchor("hospital-1/emr").is_some());
+    }
+
+    #[test]
+    fn replicas_agree_after_setup() {
+        let net = network(4);
+        let tips: Vec<Hash256> =
+            (0..4).map(|i| net.ledger_of(i).tip().id()).collect();
+        assert!(tips.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn grant_then_request_is_permitted() {
+        let mut net = network(3);
+        let researcher = net.site(2).address();
+        net.grant_all(researcher, Purpose::Research).unwrap();
+        let data = net.contracts().data;
+        let id = net
+            .invoke_as(
+                2,
+                data,
+                "request",
+                &[
+                    Value::str("hospital-0/emr"),
+                    Value::Int(Purpose::Research.code()),
+                ],
+                50_000,
+            )
+            .unwrap();
+        let receipt = net.commit_and_check(id).unwrap();
+        assert_eq!(receipt.events[0].topic, events::DATA_REQUESTED);
+    }
+
+    #[test]
+    fn ungranted_request_is_denied_on_chain() {
+        let mut net = network(2);
+        let data = net.contracts().data;
+        let id = net
+            .invoke_as(
+                1,
+                data,
+                "request",
+                &[
+                    Value::str("hospital-0/emr"),
+                    Value::Int(Purpose::Research.code()),
+                ],
+                50_000,
+            )
+            .unwrap();
+        let receipt = net.commit_and_check(id).unwrap();
+        assert_eq!(receipt.events[0].topic, events::DATA_DENIED);
+    }
+
+    #[test]
+    fn control_cycle_posts_analytics_results() {
+        let mut net = network(2);
+        // Install a trivial tool at site 0 and register it on-chain.
+        let tool = medchain_offchain::Tool::new("count", "v1", |_params| {
+            Ok(vec![Value::Int(1)])
+        });
+        let code_hash = tool.code_hash();
+        net.site_mut(0).install_tool(tool);
+        let analytics = net.contracts().analytics;
+        let id = net
+            .invoke_as(
+                0,
+                analytics,
+                "register_tool",
+                &[Value::str("count"), Value::Bytes(code_hash.0.to_vec())],
+                50_000,
+            )
+            .unwrap();
+        net.commit_and_check(id).unwrap();
+        // Request a run against site 0's data.
+        let id = net
+            .invoke_as(
+                1,
+                analytics,
+                "request_run",
+                &[
+                    Value::str("count"),
+                    Value::str("hospital-0/emr"),
+                    Value::Bytes(vec![]),
+                ],
+                50_000,
+            )
+            .unwrap();
+        net.commit_and_check(id).unwrap();
+        // Control cycle: site 0 notices, executes, posts the result.
+        let handled = net.control_cycle().unwrap();
+        assert!(handled >= 1, "site 0 should have handled the task");
+        // Task 0 should now be completed on-chain.
+        let id = net
+            .invoke_as(1, analytics, "result", &[Value::Int(0)], 50_000)
+            .unwrap();
+        let receipt = net.commit_and_check(id).unwrap();
+        let values = medchain_contracts::decode_args(&receipt.output).unwrap();
+        assert_eq!(values[4], Value::Int(1), "task should be marked done");
+    }
+
+    #[test]
+    fn nonce_tracking_supports_many_txs_per_block() {
+        let mut net = network(2);
+        let data = net.contracts().data;
+        let mut ids = Vec::new();
+        for k in 0..5 {
+            ids.push(
+                net.invoke_as(
+                    0,
+                    data,
+                    "meta",
+                    &[Value::str(&format!("hospital-{}/emr", k % 2))],
+                    50_000,
+                )
+                .unwrap(),
+            );
+        }
+        net.advance(2).unwrap();
+        for id in ids {
+            assert!(net.receipt(&id).is_some());
+        }
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+
+    #[test]
+    fn out_of_range_site_errors_cleanly() {
+        let records = CohortGenerator::new("x", SiteProfile::default(), 1).cohort(
+            0,
+            10,
+            &DiseaseModel::stroke(),
+        );
+        let mut net = MedicalNetwork::builder()
+            .site("only", records)
+            .build()
+            .unwrap();
+        let result = net.submit_as(
+            5,
+            TxPayload::Anchor { root: Hash256::ZERO, label: "x".into() },
+            100,
+        );
+        assert_eq!(result, Err(NetworkError::NoSuchSite(5)));
+        // Error text is informative.
+        assert!(NetworkError::NoSuchSite(5).to_string().contains("5"));
+    }
+
+    #[test]
+    fn fda_index_is_none_without_fda() {
+        let records = CohortGenerator::new("x", SiteProfile::default(), 1).cohort(
+            0,
+            5,
+            &DiseaseModel::stroke(),
+        );
+        let net = MedicalNetwork::builder().site("h0", records).build().unwrap();
+        assert_eq!(net.fda_index(), None);
+    }
+}

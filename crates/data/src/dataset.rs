@@ -1,0 +1,225 @@
+//! Tabular learning datasets extracted from patient records.
+
+use crate::emr::PatientRecord;
+use crate::synth::{features, FEATURE_NAMES};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A dense feature matrix with binary labels, the interchange type
+/// between the data substrate and the learning crate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    /// Row-major feature matrix.
+    pub features: Vec<Vec<f64>>,
+    /// One label per row (0.0 / 1.0 for classification).
+    pub labels: Vec<f64>,
+    /// Column names.
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Builds a dataset from records, labelling rows by presence of the
+    /// `outcome_code` diagnosis. Records are featurized with the
+    /// canonical extractor ([`features`]).
+    pub fn from_records(records: &[PatientRecord], outcome_code: &str) -> Dataset {
+        Dataset {
+            features: records.iter().map(|r| features(r).to_vec()).collect(),
+            labels: records
+                .iter()
+                .map(|r| f64::from(r.has_diagnosis(outcome_code)))
+                .collect(),
+            feature_names: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of feature columns (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().sum::<f64>() / self.labels.len() as f64
+    }
+
+    /// Deterministically shuffles rows.
+    pub fn shuffle(&mut self, seed: u64) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        self.features = order.iter().map(|&i| self.features[i].clone()).collect();
+        self.labels = order.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of rows in the
+    /// training set, after a seeded shuffle.
+    pub fn train_test_split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut shuffled = self.clone();
+        shuffled.shuffle(seed);
+        let cut = ((shuffled.len() as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
+        let (train_x, test_x) = {
+            let mut x = shuffled.features;
+            let rest = x.split_off(cut.min(x.len()));
+            (x, rest)
+        };
+        let (train_y, test_y) = {
+            let mut y = shuffled.labels;
+            let rest = y.split_off(cut.min(y.len()));
+            (y, rest)
+        };
+        (
+            Dataset {
+                features: train_x,
+                labels: train_y,
+                feature_names: shuffled.feature_names.clone(),
+            },
+            Dataset { features: test_x, labels: test_y, feature_names: shuffled.feature_names },
+        )
+    }
+
+    /// Takes the first `n` rows (for learning-curve experiments).
+    pub fn take(&self, n: usize) -> Dataset {
+        let n = n.min(self.len());
+        Dataset {
+            features: self.features[..n].to_vec(),
+            labels: self.labels[..n].to_vec(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Concatenates datasets with identical schemas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if feature dimensions differ.
+    pub fn concat(parts: &[Dataset]) -> Dataset {
+        let mut out = Dataset::default();
+        for part in parts {
+            if out.is_empty() {
+                out.feature_names = part.feature_names.clone();
+            }
+            assert!(
+                part.is_empty() || out.is_empty() || part.dim() == out.dim(),
+                "dimension mismatch in concat"
+            );
+            out.features.extend(part.features.iter().cloned());
+            out.labels.extend(part.labels.iter().copied());
+        }
+        out
+    }
+
+    /// Serialized size in bytes if the raw matrix were shipped over the
+    /// network (communication-cost accounting for E8).
+    pub fn wire_size(&self) -> usize {
+        self.len() * (self.dim() + 1) * 8
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dataset[{} rows × {} features, {:.1}% positive]",
+            self.len(),
+            self.dim(),
+            self.positive_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{CohortGenerator, DiseaseModel, SiteProfile, STROKE_CODE};
+
+    fn dataset(n: usize) -> Dataset {
+        let records = CohortGenerator::new("s", SiteProfile::default(), 31).cohort(
+            0,
+            n,
+            &DiseaseModel::stroke(),
+        );
+        Dataset::from_records(&records, STROKE_CODE)
+    }
+
+    #[test]
+    fn from_records_shapes() {
+        let d = dataset(100);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.dim(), 10);
+        assert_eq!(d.feature_names.len(), 10);
+        assert!(d.positive_rate() > 0.0 && d.positive_rate() < 1.0);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = dataset(100);
+        let (train, test) = d.train_test_split(0.8, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.dim(), d.dim());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = dataset(50);
+        let (a, _) = d.train_test_split(0.5, 9);
+        let (b, _) = d.train_test_split(0.5, 9);
+        assert_eq!(a, b);
+        let (c, _) = d.train_test_split(0.5, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shuffle_preserves_row_pairing() {
+        let mut d = dataset(60);
+        let pairs: std::collections::BTreeSet<String> = d
+            .features
+            .iter()
+            .zip(&d.labels)
+            .map(|(x, y)| format!("{x:?}:{y}"))
+            .collect();
+        d.shuffle(4);
+        let shuffled_pairs: std::collections::BTreeSet<String> = d
+            .features
+            .iter()
+            .zip(&d.labels)
+            .map(|(x, y)| format!("{x:?}:{y}"))
+            .collect();
+        assert_eq!(pairs, shuffled_pairs);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = dataset(30);
+        let b = dataset(20);
+        let joined = Dataset::concat(&[a.clone(), b]);
+        assert_eq!(joined.len(), 50);
+        assert_eq!(joined.features[0], a.features[0]);
+    }
+
+    #[test]
+    fn take_truncates() {
+        let d = dataset(40);
+        assert_eq!(d.take(10).len(), 10);
+        assert_eq!(d.take(500).len(), 40);
+    }
+
+    #[test]
+    fn wire_size_is_proportional() {
+        assert_eq!(dataset(10).wire_size() * 2, dataset(20).wire_size());
+    }
+}

@@ -1,0 +1,265 @@
+//! Electronic medical record (EMR) model.
+//!
+//! The canonical in-memory patient record that every legacy format
+//! (HL7v2-like, FHIR-like, legacy CSV) converts to and from — the
+//! "common data format" whose absence the paper lists as technical
+//! challenge (a) in §II.
+
+use std::fmt;
+
+/// Biological sex recorded in the EMR.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
+)]
+pub enum Sex {
+    /// Female.
+    #[default]
+    Female,
+    /// Male.
+    Male,
+}
+
+impl Sex {
+    /// Single-letter code used by legacy formats.
+    pub fn code(self) -> char {
+        match self {
+            Sex::Female => 'F',
+            Sex::Male => 'M',
+        }
+    }
+
+    /// Parses a legacy single-letter code.
+    pub fn from_code(c: char) -> Option<Sex> {
+        match c.to_ascii_uppercase() {
+            'F' => Some(Sex::Female),
+            'M' => Some(Sex::Male),
+            _ => None,
+        }
+    }
+}
+
+/// A coded diagnosis (ICD-10-like).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Diagnosis {
+    /// Code, e.g. `"I63"` (cerebral infarction).
+    pub code: String,
+    /// Day of onset relative to cohort epoch.
+    pub onset_day: u32,
+}
+
+/// A prescribed medication.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Medication {
+    /// Drug name.
+    pub name: String,
+    /// Daily dose in milligrams.
+    pub dose_mg: f64,
+    /// First day of prescription.
+    pub start_day: u32,
+}
+
+/// A laboratory result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LabResult {
+    /// Test name (LOINC-like short name), e.g. `"ldl"`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit, e.g. `"mg/dL"`.
+    pub unit: String,
+    /// Day the sample was taken.
+    pub day: u32,
+}
+
+/// An encounter at a site.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Visit {
+    /// Day of the visit.
+    pub day: u32,
+    /// Site identifier (hospital name).
+    pub site: String,
+    /// Free-text reason.
+    pub reason: String,
+}
+
+/// Summary of wearable-device data linked to the patient (paper §II:
+/// "personal activity record … for environments and lifestyles").
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WearableSummary {
+    /// Mean daily step count.
+    pub avg_daily_steps: f64,
+    /// Mean resting heart rate (bpm).
+    pub avg_resting_hr: f64,
+    /// Mean nightly sleep (hours).
+    pub avg_sleep_hours: f64,
+}
+
+/// A genomic profile: a small SNP panel plus a polygenic risk proxy.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GenomicProfile {
+    /// Genotypes per panel SNP: 0, 1, or 2 risk alleles.
+    pub snp_genotypes: Vec<u8>,
+    /// Pre-computed polygenic risk score in [0, 1].
+    pub polygenic_risk: f64,
+}
+
+/// The canonical patient record.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PatientRecord {
+    /// Stable pseudonymous id (no real-world identifier).
+    pub patient_id: u64,
+    /// Age in years.
+    pub age: f64,
+    /// Biological sex.
+    pub sex: Sex,
+    /// Systolic blood pressure (mmHg).
+    pub systolic_bp: f64,
+    /// Total cholesterol (mg/dL).
+    pub cholesterol: f64,
+    /// Body-mass index.
+    pub bmi: f64,
+    /// Current smoker.
+    pub smoker: bool,
+    /// Diagnosed diabetic.
+    pub diabetic: bool,
+    /// Coded diagnoses.
+    pub diagnoses: Vec<Diagnosis>,
+    /// Medications.
+    pub medications: Vec<Medication>,
+    /// Lab results.
+    pub labs: Vec<LabResult>,
+    /// Encounters.
+    pub visits: Vec<Visit>,
+    /// Wearable summary, when the patient shared device data.
+    pub wearable: Option<WearableSummary>,
+    /// Genomic profile, when sequenced.
+    pub genomics: Option<GenomicProfile>,
+}
+
+impl PatientRecord {
+    /// A minimal record with the given id and vitals; list fields empty.
+    pub fn basic(patient_id: u64, age: f64, sex: Sex) -> PatientRecord {
+        PatientRecord {
+            patient_id,
+            age,
+            sex,
+            systolic_bp: 120.0,
+            cholesterol: 190.0,
+            bmi: 24.0,
+            smoker: false,
+            diabetic: false,
+            diagnoses: Vec::new(),
+            medications: Vec::new(),
+            labs: Vec::new(),
+            visits: Vec::new(),
+            wearable: None,
+            genomics: None,
+        }
+    }
+
+    /// Whether the record carries a diagnosis with `code`.
+    pub fn has_diagnosis(&self, code: &str) -> bool {
+        self.diagnoses.iter().any(|d| d.code == code)
+    }
+
+    /// Canonical serialized form used for hashing/anchoring: a stable
+    /// pipe-joined rendering of all scalar fields plus list lengths and
+    /// the full diagnosis codes.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut s = format!(
+            "{}|{:.2}|{}|{:.1}|{:.1}|{:.2}|{}|{}|",
+            self.patient_id,
+            self.age,
+            self.sex.code(),
+            self.systolic_bp,
+            self.cholesterol,
+            self.bmi,
+            u8::from(self.smoker),
+            u8::from(self.diabetic),
+        );
+        for d in &self.diagnoses {
+            s.push_str(&d.code);
+            s.push(',');
+        }
+        s.push('|');
+        s.push_str(&format!(
+            "{}|{}|{}|",
+            self.medications.len(),
+            self.labs.len(),
+            self.visits.len()
+        ));
+        if let Some(w) = &self.wearable {
+            s.push_str(&format!("{:.0},{:.0},{:.1}", w.avg_daily_steps, w.avg_resting_hr, w.avg_sleep_hours));
+        }
+        s.push('|');
+        if let Some(g) = &self.genomics {
+            for snp in &g.snp_genotypes {
+                s.push((b'0' + snp) as char);
+            }
+            s.push_str(&format!(",{:.4}", g.polygenic_risk));
+        }
+        s.into_bytes()
+    }
+}
+
+impl fmt::Display for PatientRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "patient {} ({}, {:.0}y, {} dx, {} meds)",
+            self.patient_id,
+            self.sex.code(),
+            self.age,
+            self.diagnoses.len(),
+            self.medications.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sex_codes_round_trip() {
+        assert_eq!(Sex::from_code('F'), Some(Sex::Female));
+        assert_eq!(Sex::from_code('m'), Some(Sex::Male));
+        assert_eq!(Sex::from_code('x'), None);
+        assert_eq!(Sex::from_code(Sex::Male.code()), Some(Sex::Male));
+    }
+
+    #[test]
+    fn has_diagnosis_lookup() {
+        let mut p = PatientRecord::basic(1, 60.0, Sex::Male);
+        assert!(!p.has_diagnosis("I63"));
+        p.diagnoses.push(Diagnosis { code: "I63".into(), onset_day: 100 });
+        assert!(p.has_diagnosis("I63"));
+    }
+
+    #[test]
+    fn canonical_bytes_are_stable_and_sensitive() {
+        let p = PatientRecord::basic(7, 55.0, Sex::Female);
+        assert_eq!(p.canonical_bytes(), p.canonical_bytes());
+        let mut q = p.clone();
+        q.systolic_bp += 1.0;
+        assert_ne!(p.canonical_bytes(), q.canonical_bytes());
+        let mut r = p.clone();
+        r.diagnoses.push(Diagnosis { code: "E11".into(), onset_day: 1 });
+        assert_ne!(p.canonical_bytes(), r.canonical_bytes());
+    }
+
+    #[test]
+    fn canonical_bytes_cover_wearable_and_genomics() {
+        let p = PatientRecord::basic(7, 55.0, Sex::Female);
+        let mut q = p.clone();
+        q.wearable = Some(WearableSummary {
+            avg_daily_steps: 8000.0,
+            avg_resting_hr: 62.0,
+            avg_sleep_hours: 7.2,
+        });
+        assert_ne!(p.canonical_bytes(), q.canonical_bytes());
+        let mut r = p.clone();
+        r.genomics = Some(GenomicProfile { snp_genotypes: vec![0, 1, 2], polygenic_risk: 0.4 });
+        assert_ne!(p.canonical_bytes(), r.canonical_bytes());
+    }
+}

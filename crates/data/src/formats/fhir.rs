@@ -1,0 +1,266 @@
+//! FHIR-like JSON format (full fidelity).
+//!
+//! A simplified FHIR R4 `Patient` resource with contained
+//! condition/medication/observation/encounter lists plus MedChain
+//! extensions for wearable and genomic data. The only format that
+//! carries the complete canonical record.
+
+use super::json::{parse, Json};
+use super::{FormatError, LegacyFormat};
+use crate::emr::{
+    Diagnosis, GenomicProfile, LabResult, Medication, PatientRecord, Sex, Visit, WearableSummary,
+};
+
+/// The FHIR-like JSON codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FhirLikeFormat;
+
+const NAME: &str = "fhir";
+
+fn bad(message: impl Into<String>) -> FormatError {
+    FormatError { format: NAME, message: message.into() }
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, FormatError> {
+    doc.get(key).and_then(Json::as_f64).ok_or_else(|| bad(format!("missing number {key:?}")))
+}
+
+fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, FormatError> {
+    doc.get(key).and_then(Json::as_str).ok_or_else(|| bad(format!("missing string {key:?}")))
+}
+
+fn req_bool(doc: &Json, key: &str) -> Result<bool, FormatError> {
+    doc.get(key).and_then(Json::as_bool).ok_or_else(|| bad(format!("missing bool {key:?}")))
+}
+
+impl LegacyFormat for FhirLikeFormat {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn encode(&self, r: &PatientRecord) -> String {
+        let conditions = Json::Array(
+            r.diagnoses
+                .iter()
+                .map(|d| {
+                    Json::object(vec![
+                        ("code", Json::String(d.code.clone())),
+                        ("onsetDay", Json::Number(f64::from(d.onset_day))),
+                    ])
+                })
+                .collect(),
+        );
+        let medications = Json::Array(
+            r.medications
+                .iter()
+                .map(|m| {
+                    Json::object(vec![
+                        ("medication", Json::String(m.name.clone())),
+                        ("doseMg", Json::Number(m.dose_mg)),
+                        ("startDay", Json::Number(f64::from(m.start_day))),
+                    ])
+                })
+                .collect(),
+        );
+        let observations = Json::Array(
+            r.labs
+                .iter()
+                .map(|l| {
+                    Json::object(vec![
+                        ("code", Json::String(l.name.clone())),
+                        ("value", Json::Number(l.value)),
+                        ("unit", Json::String(l.unit.clone())),
+                        ("day", Json::Number(f64::from(l.day))),
+                    ])
+                })
+                .collect(),
+        );
+        let encounters = Json::Array(
+            r.visits
+                .iter()
+                .map(|v| {
+                    Json::object(vec![
+                        ("day", Json::Number(f64::from(v.day))),
+                        ("site", Json::String(v.site.clone())),
+                        ("reason", Json::String(v.reason.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        let mut fields = vec![
+            ("resourceType", Json::String("Patient".into())),
+            ("id", Json::Number(r.patient_id as f64)),
+            ("age", Json::Number(r.age)),
+            (
+                "gender",
+                Json::String(match r.sex {
+                    Sex::Female => "female".into(),
+                    Sex::Male => "male".into(),
+                }),
+            ),
+            ("systolicBp", Json::Number(r.systolic_bp)),
+            ("cholesterol", Json::Number(r.cholesterol)),
+            ("bmi", Json::Number(r.bmi)),
+            ("smoker", Json::Bool(r.smoker)),
+            ("diabetic", Json::Bool(r.diabetic)),
+            ("conditions", conditions),
+            ("medications", medications),
+            ("observations", observations),
+            ("encounters", encounters),
+        ];
+        if let Some(w) = &r.wearable {
+            fields.push((
+                "wearableExtension",
+                Json::object(vec![
+                    ("avgDailySteps", Json::Number(w.avg_daily_steps)),
+                    ("avgRestingHr", Json::Number(w.avg_resting_hr)),
+                    ("avgSleepHours", Json::Number(w.avg_sleep_hours)),
+                ]),
+            ));
+        }
+        if let Some(g) = &r.genomics {
+            fields.push((
+                "genomicExtension",
+                Json::object(vec![
+                    (
+                        "snpGenotypes",
+                        Json::Array(
+                            g.snp_genotypes.iter().map(|s| Json::Number(f64::from(*s))).collect(),
+                        ),
+                    ),
+                    ("polygenicRisk", Json::Number(g.polygenic_risk)),
+                ]),
+            ));
+        }
+        Json::object(fields).to_text()
+    }
+
+    fn decode(&self, text: &str) -> Result<PatientRecord, FormatError> {
+        let doc = parse(text).map_err(|e| bad(e.to_string()))?;
+        if req_str(&doc, "resourceType")? != "Patient" {
+            return Err(bad("resourceType is not Patient"));
+        }
+        let sex = match req_str(&doc, "gender")? {
+            "female" => Sex::Female,
+            "male" => Sex::Male,
+            other => return Err(bad(format!("unknown gender {other:?}"))),
+        };
+        let mut record =
+            PatientRecord::basic(req_f64(&doc, "id")? as u64, req_f64(&doc, "age")?, sex);
+        record.systolic_bp = req_f64(&doc, "systolicBp")?;
+        record.cholesterol = req_f64(&doc, "cholesterol")?;
+        record.bmi = req_f64(&doc, "bmi")?;
+        record.smoker = req_bool(&doc, "smoker")?;
+        record.diabetic = req_bool(&doc, "diabetic")?;
+
+        for item in doc.get("conditions").and_then(Json::as_array).unwrap_or(&[]) {
+            record.diagnoses.push(Diagnosis {
+                code: req_str(item, "code")?.to_string(),
+                onset_day: req_f64(item, "onsetDay")? as u32,
+            });
+        }
+        for item in doc.get("medications").and_then(Json::as_array).unwrap_or(&[]) {
+            record.medications.push(Medication {
+                name: req_str(item, "medication")?.to_string(),
+                dose_mg: req_f64(item, "doseMg")?,
+                start_day: req_f64(item, "startDay")? as u32,
+            });
+        }
+        for item in doc.get("observations").and_then(Json::as_array).unwrap_or(&[]) {
+            record.labs.push(LabResult {
+                name: req_str(item, "code")?.to_string(),
+                value: req_f64(item, "value")?,
+                unit: req_str(item, "unit")?.to_string(),
+                day: req_f64(item, "day")? as u32,
+            });
+        }
+        for item in doc.get("encounters").and_then(Json::as_array).unwrap_or(&[]) {
+            record.visits.push(Visit {
+                day: req_f64(item, "day")? as u32,
+                site: req_str(item, "site")?.to_string(),
+                reason: req_str(item, "reason")?.to_string(),
+            });
+        }
+        if let Some(w) = doc.get("wearableExtension") {
+            record.wearable = Some(WearableSummary {
+                avg_daily_steps: req_f64(w, "avgDailySteps")?,
+                avg_resting_hr: req_f64(w, "avgRestingHr")?,
+                avg_sleep_hours: req_f64(w, "avgSleepHours")?,
+            });
+        }
+        if let Some(g) = doc.get("genomicExtension") {
+            let genotypes = g
+                .get("snpGenotypes")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("missing snpGenotypes"))?
+                .iter()
+                .map(|v| v.as_f64().map(|f| f as u8).ok_or_else(|| bad("bad genotype")))
+                .collect::<Result<Vec<u8>, FormatError>>()?;
+            record.genomics = Some(GenomicProfile {
+                snp_genotypes: genotypes,
+                polygenic_risk: req_f64(g, "polygenicRisk")?,
+            });
+        }
+        Ok(record)
+    }
+
+    fn lossy_fields(&self) -> &'static [&'static str] {
+        &[]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+
+    #[test]
+    fn full_fidelity_round_trip() {
+        let records = CohortGenerator::new("s", SiteProfile::default(), 13).cohort(
+            0,
+            40,
+            &DiseaseModel::cancer(),
+        );
+        let codec = FhirLikeFormat;
+        for r in records {
+            let decoded = codec.decode(&codec.encode(&r)).unwrap();
+            assert_eq!(decoded.patient_id, r.patient_id);
+            assert_eq!(decoded.diagnoses, r.diagnoses);
+            assert_eq!(decoded.medications, r.medications);
+            assert_eq!(decoded.labs, r.labs);
+            assert_eq!(decoded.visits, r.visits);
+            assert_eq!(decoded.genomics, r.genomics);
+            assert_eq!(decoded.smoker, r.smoker);
+            match (decoded.wearable, r.wearable) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!((a.avg_daily_steps - b.avg_daily_steps).abs() < 1e-9),
+                other => panic!("wearable mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_resource_type_rejected() {
+        let codec = FhirLikeFormat;
+        assert!(codec.decode("{\"resourceType\":\"Observation\"}").is_err());
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let codec = FhirLikeFormat;
+        assert!(codec
+            .decode("{\"resourceType\":\"Patient\",\"id\":1,\"gender\":\"female\"}")
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        let codec = FhirLikeFormat;
+        assert!(codec.decode("{not json").is_err());
+    }
+
+    #[test]
+    fn declares_no_lossy_fields() {
+        assert!(FhirLikeFormat.lossy_fields().is_empty());
+    }
+}

@@ -1,0 +1,233 @@
+//! HL7v2-like pipe-delimited format.
+//!
+//! Models the segment/field structure of HL7 v2.x messages (MSH, PID,
+//! DG1, OBX, RXE, PV1). Carries the clinical core of a record but — like
+//! real v2 feeds — has no place for wearable summaries or genomic
+//! profiles, so those fields are lost on conversion.
+
+use super::{FormatError, LegacyFormat};
+use crate::emr::{Diagnosis, LabResult, Medication, PatientRecord, Sex, Visit};
+
+/// The HL7v2-like codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Hl7V2LikeFormat;
+
+const NAME: &str = "hl7v2";
+
+fn field(parts: &[&str], i: usize) -> String {
+    parts.get(i).map_or(String::new(), |s| s.to_string())
+}
+
+fn num(parts: &[&str], i: usize, what: &str) -> Result<f64, FormatError> {
+    field(parts, i)
+        .parse::<f64>()
+        .map_err(|_| FormatError { format: NAME, message: format!("bad {what}: {parts:?}") })
+}
+
+impl LegacyFormat for Hl7V2LikeFormat {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn encode(&self, r: &PatientRecord) -> String {
+        let mut lines = vec![
+            "MSH|^~\\&|MEDCHAIN|SITE|RECEIVER|FACILITY|0||ADT^A01".to_string(),
+            format!(
+                "PID|1|{id}||{id}|ANON^PATIENT||{age:.1}|{sex}",
+                id = r.patient_id,
+                age = r.age,
+                sex = r.sex.code()
+            ),
+            format!(
+                "OBX|1|NM|SBP^systolic-bp||{:.1}|mmHg|0",
+                r.systolic_bp
+            ),
+            format!("OBX|2|NM|CHOL^cholesterol||{:.1}|mg/dL|0", r.cholesterol),
+            format!("OBX|3|NM|BMI^body-mass-index||{:.2}|kg/m2|0", r.bmi),
+            format!("OBX|4|NM|SMOKER^smoker||{}||0", u8::from(r.smoker)),
+            format!("OBX|5|NM|DIABETIC^diabetic||{}||0", u8::from(r.diabetic)),
+        ];
+        for (i, lab) in r.labs.iter().enumerate() {
+            lines.push(format!(
+                "OBX|{}|NM|LAB^{}||{:.3}|{}|{}",
+                i + 6,
+                lab.name,
+                lab.value,
+                lab.unit,
+                lab.day
+            ));
+        }
+        for (i, dx) in r.diagnoses.iter().enumerate() {
+            lines.push(format!("DG1|{}|{}|{}", i + 1, dx.code, dx.onset_day));
+        }
+        for (i, rx) in r.medications.iter().enumerate() {
+            lines.push(format!("RXE|{}|{}|{:.1}|{}", i + 1, rx.name, rx.dose_mg, rx.start_day));
+        }
+        for (i, v) in r.visits.iter().enumerate() {
+            lines.push(format!("PV1|{}|{}|{}|{}", i + 1, v.day, v.site, v.reason));
+        }
+        lines.join("\r")
+    }
+
+    fn decode(&self, text: &str) -> Result<PatientRecord, FormatError> {
+        let mut record: Option<PatientRecord> = None;
+        for line in text.split(['\r', '\n']).filter(|l| !l.is_empty()) {
+            let parts: Vec<&str> = line.split('|').collect();
+            match parts.first().copied() {
+                Some("MSH") => {}
+                Some("PID") => {
+                    let id = field(&parts, 2).parse::<u64>().map_err(|_| FormatError {
+                        format: NAME,
+                        message: format!("bad patient id in {line:?}"),
+                    })?;
+                    let age = num(&parts, 7, "age")?;
+                    let sex = field(&parts, 8)
+                        .chars()
+                        .next()
+                        .and_then(Sex::from_code)
+                        .ok_or_else(|| FormatError {
+                            format: NAME,
+                            message: format!("bad sex in {line:?}"),
+                        })?;
+                    record = Some(PatientRecord::basic(id, age, sex));
+                }
+                Some("OBX") => {
+                    let record = record.as_mut().ok_or_else(|| FormatError {
+                        format: NAME,
+                        message: "OBX before PID".into(),
+                    })?;
+                    let code = field(&parts, 3);
+                    let value = num(&parts, 5, "OBX value")?;
+                    match code.split('^').next().unwrap_or("") {
+                        "SBP" => record.systolic_bp = value,
+                        "CHOL" => record.cholesterol = value,
+                        "BMI" => record.bmi = value,
+                        "SMOKER" => record.smoker = value != 0.0,
+                        "DIABETIC" => record.diabetic = value != 0.0,
+                        "LAB" => {
+                            let name =
+                                code.split('^').nth(1).unwrap_or("unknown").to_string();
+                            let day = num(&parts, 7, "lab day")? as u32;
+                            record.labs.push(LabResult {
+                                name,
+                                value,
+                                unit: field(&parts, 6),
+                                day,
+                            });
+                        }
+                        other => {
+                            return Err(FormatError {
+                                format: NAME,
+                                message: format!("unknown OBX code {other:?}"),
+                            })
+                        }
+                    }
+                }
+                Some("DG1") => {
+                    let record = record.as_mut().ok_or_else(|| FormatError {
+                        format: NAME,
+                        message: "DG1 before PID".into(),
+                    })?;
+                    record.diagnoses.push(Diagnosis {
+                        code: field(&parts, 2),
+                        onset_day: num(&parts, 3, "onset day")? as u32,
+                    });
+                }
+                Some("RXE") => {
+                    let record = record.as_mut().ok_or_else(|| FormatError {
+                        format: NAME,
+                        message: "RXE before PID".into(),
+                    })?;
+                    record.medications.push(Medication {
+                        name: field(&parts, 2),
+                        dose_mg: num(&parts, 3, "dose")?,
+                        start_day: num(&parts, 4, "start day")? as u32,
+                    });
+                }
+                Some("PV1") => {
+                    let record = record.as_mut().ok_or_else(|| FormatError {
+                        format: NAME,
+                        message: "PV1 before PID".into(),
+                    })?;
+                    record.visits.push(Visit {
+                        day: num(&parts, 2, "visit day")? as u32,
+                        site: field(&parts, 3),
+                        reason: field(&parts, 4),
+                    });
+                }
+                Some(other) => {
+                    return Err(FormatError {
+                        format: NAME,
+                        message: format!("unknown segment {other:?}"),
+                    })
+                }
+                None => {}
+            }
+        }
+        record.ok_or_else(|| FormatError { format: NAME, message: "no PID segment".into() })
+    }
+
+    fn lossy_fields(&self) -> &'static [&'static str] {
+        &["wearable", "genomics"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+
+    fn strip_lossy(mut r: PatientRecord) -> PatientRecord {
+        r.wearable = None;
+        r.genomics = None;
+        r
+    }
+
+    #[test]
+    fn round_trip_modulo_lossy_fields() {
+        let records = CohortGenerator::new("s", SiteProfile::default(), 11).cohort(
+            0,
+            40,
+            &DiseaseModel::stroke(),
+        );
+        let codec = Hl7V2LikeFormat;
+        for r in records {
+            let decoded = codec.decode(&codec.encode(&r)).unwrap();
+            let expected = strip_lossy(r);
+            assert_eq!(decoded.patient_id, expected.patient_id);
+            assert_eq!(decoded.diagnoses, expected.diagnoses);
+            assert_eq!(decoded.medications, expected.medications);
+            assert_eq!(decoded.visits, expected.visits);
+            assert_eq!(decoded.smoker, expected.smoker);
+            assert!((decoded.systolic_bp - expected.systolic_bp).abs() < 0.06);
+            assert!(decoded.wearable.is_none());
+            assert!(decoded.genomics.is_none());
+        }
+    }
+
+    #[test]
+    fn missing_pid_is_an_error() {
+        let codec = Hl7V2LikeFormat;
+        assert!(codec.decode("MSH|^~\\&|X").is_err());
+    }
+
+    #[test]
+    fn obx_before_pid_is_an_error() {
+        let codec = Hl7V2LikeFormat;
+        assert!(codec.decode("OBX|1|NM|SBP||120|mmHg|0").is_err());
+    }
+
+    #[test]
+    fn unknown_segment_is_an_error() {
+        let codec = Hl7V2LikeFormat;
+        let text = "PID|1|5||5|A^P||60.0|F\rZZZ|junk";
+        assert!(codec.decode(text).is_err());
+    }
+
+    #[test]
+    fn garbled_numbers_are_errors() {
+        let codec = Hl7V2LikeFormat;
+        assert!(codec.decode("PID|1|notanumber||x|A||60.0|F").is_err());
+        assert!(codec.decode("PID|1|5||5|A||sixty|F").is_err());
+    }
+}

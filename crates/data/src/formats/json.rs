@@ -1,0 +1,382 @@
+//! A minimal JSON engine used by the FHIR-like format.
+//!
+//! Implemented in-repo because the allowed dependency set has no JSON
+//! crate (DESIGN.md §2). Supports the full JSON value model with the
+//! subset of escapes the FHIR-like encoder emits.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number (stored as f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with sorted keys (deterministic serialization).
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object constructor from pairs.
+    pub fn object(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Gets a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Reads a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Reads a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Reads a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Reads an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses JSON text.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] with the byte offset on malformed input.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, message: &str) -> JsonError {
+    JsonError { at, message: message.to_string() }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Object(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected ':'"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Object(map));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(_) => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit()
+            || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Number)
+        .ok_or_else(|| err(start, "invalid number"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "bad \\u escape"))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let tail = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "invalid utf-8"))?;
+                let c = tail.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested_document() {
+        let doc = Json::object(vec![
+            ("resourceType", Json::String("Patient".into())),
+            ("active", Json::Bool(true)),
+            ("age", Json::Number(63.0)),
+            ("bp", Json::Number(132.5)),
+            ("name", Json::Null),
+            (
+                "conditions",
+                Json::Array(vec![
+                    Json::object(vec![("code", Json::String("I63".into()))]),
+                    Json::object(vec![("code", Json::String("E11".into()))]),
+                ]),
+            ),
+        ]);
+        let text = doc.to_text();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let parsed = parse(" { \"a\" : \"line\\nbreak \\\"q\\\"\" , \"b\" : [ 1 , -2.5 ] } ")
+            .unwrap();
+        assert_eq!(parsed.get("a").unwrap().as_str().unwrap(), "line\nbreak \"q\"");
+        assert_eq!(parsed.get("b").unwrap().as_array().unwrap()[1].as_f64().unwrap(), -2.5);
+    }
+
+    #[test]
+    fn unicode_escape() {
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Json::String("é".into()));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"open", "1 2", "{\"a\" 1}"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn integers_serialize_without_decimal_point() {
+        assert_eq!(Json::Number(42.0).to_text(), "42");
+        assert_eq!(Json::Number(42.5).to_text(), "42.5");
+    }
+
+    #[test]
+    fn object_keys_sorted_deterministically() {
+        let a = Json::object(vec![("z", Json::Number(1.0)), ("a", Json::Number(2.0))]);
+        assert_eq!(a.to_text(), "{\"a\":2,\"z\":1}");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let s = Json::String("\u{1}".into());
+        assert_eq!(s.to_text(), "\"\\u0001\"");
+        assert_eq!(parse(&s.to_text()).unwrap(), s);
+    }
+}

@@ -1,0 +1,61 @@
+//! Heterogeneous legacy EMR formats and the common-format integration
+//! engine (paper Fig. 3, §II challenge (a), §V "integrate various legacy
+//! EMR formats").
+//!
+//! Three wire formats are implemented, with realistic differences in
+//! fidelity:
+//!
+//! | format | carries | loses |
+//! |---|---|---|
+//! | [`fhir::FhirLikeFormat`] (JSON) | everything | nothing |
+//! | [`hl7v2::Hl7V2LikeFormat`] (pipe-delimited) | demographics, dx, labs, meds, visits | wearable, genomics |
+//! | [`csv_legacy::LegacyCsvFormat`] (flat) | scalars + dx codes | meds, labs, visits, wearable, genomics |
+//!
+//! [`common::FormatRegistry::integrate`] converts a mixed batch into the
+//! canonical [`PatientRecord`](crate::emr::PatientRecord) form and
+//! reports conversion losses — the measurable core of experiment E5.
+
+pub mod common;
+pub mod csv_legacy;
+pub mod fhir;
+pub mod hl7v2;
+pub mod json;
+
+use crate::emr::PatientRecord;
+use std::fmt;
+
+/// Error decoding a legacy document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// Offending format.
+    pub format: &'static str,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} decode error: {}", self.format, self.message)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// A legacy EMR wire format.
+pub trait LegacyFormat: Send + Sync {
+    /// Format name, e.g. `"hl7v2"`.
+    fn name(&self) -> &'static str;
+
+    /// Renders a record into this format.
+    fn encode(&self, record: &PatientRecord) -> String;
+
+    /// Parses a document in this format into the common form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on malformed documents.
+    fn decode(&self, text: &str) -> Result<PatientRecord, FormatError>;
+
+    /// Canonical-record fields this format cannot carry.
+    fn lossy_fields(&self) -> &'static [&'static str];
+}

@@ -1,0 +1,268 @@
+//! Wearable-device time series (paper §II: "personal activity record
+//! with analytic tools for environments and lifestyles").
+//!
+//! Hospitals hold episodic EMR snapshots; wearables produce *continuous*
+//! per-day signals that live with the patient or a service provider —
+//! another ownership silo the architecture must integrate. This module
+//! generates realistic daily series (weekly rhythm, seasonal drift,
+//! sick-day excursions), summarizes them into the canonical
+//! [`WearableSummary`](crate::emr::WearableSummary), and extracts
+//! lifestyle features (trend, rhythm regularity, sedentary fraction)
+//! beyond simple means.
+
+use crate::emr::WearableSummary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One day's device readings.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DailyReading {
+    /// Day index from enrollment.
+    pub day: u32,
+    /// Step count.
+    pub steps: f64,
+    /// Resting heart rate (bpm).
+    pub resting_hr: f64,
+    /// Sleep duration (hours).
+    pub sleep_hours: f64,
+}
+
+/// A patient's device history.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct WearableSeries {
+    /// Daily readings in day order.
+    pub readings: Vec<DailyReading>,
+}
+
+/// Generation parameters for a synthetic series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesProfile {
+    /// Baseline daily steps.
+    pub base_steps: f64,
+    /// Baseline resting heart rate.
+    pub base_hr: f64,
+    /// Baseline sleep hours.
+    pub base_sleep: f64,
+    /// Weekend activity multiplier (weekly rhythm).
+    pub weekend_factor: f64,
+    /// Probability of a sick day (activity collapse, HR elevation).
+    pub sick_day_rate: f64,
+    /// Linear activity trend per day (deconditioning < 0 < training).
+    pub daily_trend: f64,
+}
+
+impl Default for SeriesProfile {
+    fn default() -> Self {
+        SeriesProfile {
+            base_steps: 7_000.0,
+            base_hr: 66.0,
+            base_sleep: 7.2,
+            weekend_factor: 1.25,
+            sick_day_rate: 0.03,
+            daily_trend: 0.0,
+        }
+    }
+}
+
+impl WearableSeries {
+    /// Generates `days` of readings under `profile`, deterministically.
+    pub fn generate(profile: &SeriesProfile, days: u32, seed: u64) -> WearableSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut readings = Vec::with_capacity(days as usize);
+        for day in 0..days {
+            let weekend = day % 7 >= 5;
+            let sick = rng.gen_bool(profile.sick_day_rate);
+            let rhythm = if weekend { profile.weekend_factor } else { 1.0 };
+            let trend = profile.daily_trend * f64::from(day);
+            let noise: f64 = rng.gen_range(-0.25..0.25);
+            let steps = if sick {
+                profile.base_steps * rng.gen_range(0.05..0.25)
+            } else {
+                ((profile.base_steps + trend) * rhythm * (1.0 + noise)).max(0.0)
+            };
+            let resting_hr = if sick {
+                profile.base_hr + rng.gen_range(8.0..18.0)
+            } else {
+                profile.base_hr + rng.gen_range(-4.0..4.0)
+            };
+            let sleep_hours = if sick {
+                profile.base_sleep + rng.gen_range(0.5..2.5)
+            } else {
+                (profile.base_sleep + rng.gen_range(-1.2..1.2)).clamp(3.0, 12.0)
+            };
+            readings.push(DailyReading { day, steps, resting_hr, sleep_hours });
+        }
+        WearableSeries { readings }
+    }
+
+    /// Number of recorded days.
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// Collapses the series to the canonical EMR summary.
+    pub fn summarize(&self) -> Option<WearableSummary> {
+        if self.readings.is_empty() {
+            return None;
+        }
+        let n = self.readings.len() as f64;
+        Some(WearableSummary {
+            avg_daily_steps: self.readings.iter().map(|r| r.steps).sum::<f64>() / n,
+            avg_resting_hr: self.readings.iter().map(|r| r.resting_hr).sum::<f64>() / n,
+            avg_sleep_hours: self.readings.iter().map(|r| r.sleep_hours).sum::<f64>() / n,
+        })
+    }
+
+    /// Least-squares slope of daily steps (activity trend per day).
+    pub fn activity_trend(&self) -> f64 {
+        let n = self.readings.len() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        let mean_x = self.readings.iter().map(|r| f64::from(r.day)).sum::<f64>() / n;
+        let mean_y = self.readings.iter().map(|r| r.steps).sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for r in &self.readings {
+            let dx = f64::from(r.day) - mean_x;
+            cov += dx * (r.steps - mean_y);
+            var += dx * dx;
+        }
+        if var == 0.0 {
+            0.0
+        } else {
+            cov / var
+        }
+    }
+
+    /// Fraction of days under `threshold` steps (sedentary days).
+    pub fn sedentary_fraction(&self, threshold: f64) -> f64 {
+        if self.readings.is_empty() {
+            return 0.0;
+        }
+        self.readings.iter().filter(|r| r.steps < threshold).count() as f64
+            / self.readings.len() as f64
+    }
+
+    /// Weekly rhythm strength: mean weekend steps / mean weekday steps
+    /// (1.0 = no rhythm).
+    pub fn weekly_rhythm(&self) -> f64 {
+        let weekday: Vec<f64> = self
+            .readings
+            .iter()
+            .filter(|r| r.day % 7 < 5)
+            .map(|r| r.steps)
+            .collect();
+        let weekend: Vec<f64> = self
+            .readings
+            .iter()
+            .filter(|r| r.day % 7 >= 5)
+            .map(|r| r.steps)
+            .collect();
+        if weekday.is_empty() || weekend.is_empty() {
+            return 1.0;
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let wd = mean(&weekday);
+        if wd == 0.0 {
+            return 1.0;
+        }
+        mean(&weekend) / wd
+    }
+
+    /// Days whose resting HR exceeds the series mean by `sigma` standard
+    /// deviations — candidate illness episodes for RWE monitoring.
+    pub fn elevated_hr_days(&self, sigma: f64) -> Vec<u32> {
+        if self.readings.len() < 3 {
+            return Vec::new();
+        }
+        let n = self.readings.len() as f64;
+        let mean = self.readings.iter().map(|r| r.resting_hr).sum::<f64>() / n;
+        let var = self
+            .readings
+            .iter()
+            .map(|r| (r.resting_hr - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let sd = var.sqrt();
+        self.readings
+            .iter()
+            .filter(|r| r.resting_hr > mean + sigma * sd)
+            .map(|r| r.day)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(days: u32, seed: u64) -> WearableSeries {
+        WearableSeries::generate(&SeriesProfile::default(), days, seed)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(series(90, 1), series(90, 1));
+        assert_ne!(series(90, 1), series(90, 2));
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = series(30, 3);
+        let summary = s.summarize().unwrap();
+        let mean_steps = s.readings.iter().map(|r| r.steps).sum::<f64>() / 30.0;
+        assert!((summary.avg_daily_steps - mean_steps).abs() < 1e-9);
+        assert!(summary.avg_resting_hr > 50.0 && summary.avg_resting_hr < 90.0);
+    }
+
+    #[test]
+    fn empty_series_summarizes_to_none() {
+        assert_eq!(WearableSeries::default().summarize(), None);
+        assert_eq!(WearableSeries::default().activity_trend(), 0.0);
+    }
+
+    #[test]
+    fn weekly_rhythm_detects_weekend_boost() {
+        let profile = SeriesProfile { weekend_factor: 1.5, sick_day_rate: 0.0, ..Default::default() };
+        let s = WearableSeries::generate(&profile, 140, 4);
+        let rhythm = s.weekly_rhythm();
+        assert!(rhythm > 1.2, "rhythm {rhythm}");
+        let flat =
+            WearableSeries::generate(&SeriesProfile { weekend_factor: 1.0, sick_day_rate: 0.0, ..Default::default() }, 140, 4);
+        assert!((flat.weekly_rhythm() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn declining_trend_is_recovered() {
+        let profile = SeriesProfile { daily_trend: -20.0, sick_day_rate: 0.0, ..Default::default() };
+        let s = WearableSeries::generate(&profile, 180, 5);
+        let trend = s.activity_trend();
+        assert!(trend < -10.0, "trend {trend}");
+        let stable = WearableSeries::generate(
+            &SeriesProfile { daily_trend: 0.0, sick_day_rate: 0.0, ..Default::default() },
+            180,
+            5,
+        );
+        assert!(stable.activity_trend().abs() < 10.0);
+    }
+
+    #[test]
+    fn sick_days_show_as_sedentary_and_elevated_hr() {
+        let profile = SeriesProfile { sick_day_rate: 0.2, ..Default::default() };
+        let s = WearableSeries::generate(&profile, 365, 6);
+        assert!(s.sedentary_fraction(2_000.0) > 0.1);
+        assert!(!s.elevated_hr_days(2.0).is_empty());
+        let healthy = WearableSeries::generate(
+            &SeriesProfile { sick_day_rate: 0.0, ..Default::default() },
+            365,
+            6,
+        );
+        assert!(healthy.sedentary_fraction(2_000.0) < 0.02);
+    }
+}

@@ -1,0 +1,471 @@
+//! The standardized, auditable health-information-exchange protocol.
+//!
+//! Implements the paper's §III-B vision: "medical data sharing
+//! mechanisms that can be standardized, transparent, auditable, and
+//! directly interfaced with analytics tools". Every step writes to the
+//! shared [`AuditTrail`]; payloads travel encrypted under a
+//! per-exchange DH session key so only the requester can decrypt
+//! (paper §IV).
+
+use crate::audit::{AuditAction, AuditTrail, BlameVerdict};
+use crate::crypto::{nonce_from, ChaCha20, DhKeypair};
+use medchain_chain::Address;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from the exchange protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// Unknown exchange id.
+    UnknownExchange(u64),
+    /// Site not enrolled in the HIE network.
+    UnknownSite(Address),
+    /// Operation invalid in the exchange's current phase.
+    WrongPhase {
+        /// The exchange.
+        exchange_id: u64,
+        /// What was attempted.
+        attempted: &'static str,
+    },
+    /// Actor is not the party allowed to perform this step.
+    NotAuthorized(Address),
+    /// Decryption produced a malformed payload.
+    CorruptPayload,
+}
+
+impl fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExchangeError::UnknownExchange(id) => write!(f, "unknown exchange {id}"),
+            ExchangeError::UnknownSite(a) => write!(f, "site {a:?} not enrolled"),
+            ExchangeError::WrongPhase { exchange_id, attempted } => {
+                write!(f, "cannot {attempted} exchange {exchange_id} in its current phase")
+            }
+            ExchangeError::NotAuthorized(a) => write!(f, "{a:?} not authorized for this step"),
+            ExchangeError::CorruptPayload => f.write_str("payload failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+/// Lifecycle phase of an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Requested, awaiting owner decision.
+    Requested,
+    /// Approved, awaiting delivery.
+    Approved,
+    /// Denied (terminal).
+    Denied,
+    /// Delivered, awaiting acknowledgement.
+    Delivered,
+    /// Acknowledged (terminal, success).
+    Acknowledged,
+    /// Disputed (terminal, arbitration).
+    Disputed,
+}
+
+/// One tracked exchange.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// Identifier.
+    pub id: u64,
+    /// Requesting site.
+    pub requester: Address,
+    /// Data-owning site.
+    pub owner: Address,
+    /// Dataset label.
+    pub label: String,
+    /// Current phase.
+    pub phase: Phase,
+    /// Encrypted payload once delivered.
+    pub payload: Option<Vec<u8>>,
+}
+
+/// Traffic and outcome counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HieStats {
+    /// Exchanges opened.
+    pub requested: u64,
+    /// Exchanges completed (acknowledged).
+    pub completed: u64,
+    /// Exchanges denied.
+    pub denied: u64,
+    /// Exchanges disputed.
+    pub disputed: u64,
+    /// Ciphertext bytes moved.
+    pub bytes_moved: u64,
+}
+
+/// The HIE network coordinator: enrolled sites, exchange state, and the
+/// shared audit trail.
+#[derive(Debug, Default)]
+pub struct HieNetwork {
+    sites: HashMap<Address, DhKeypair>,
+    exchanges: HashMap<u64, Exchange>,
+    next_id: u64,
+    trail: AuditTrail,
+    stats: HieStats,
+}
+
+impl HieNetwork {
+    /// Creates an empty network.
+    pub fn new() -> HieNetwork {
+        HieNetwork::default()
+    }
+
+    /// Enrolls a site, deriving its DH keypair from `key_seed`.
+    pub fn enroll(&mut self, site: Address, key_seed: &[u8]) {
+        self.sites.insert(site, DhKeypair::from_seed(key_seed));
+    }
+
+    /// The shared audit trail.
+    pub fn trail(&self) -> &AuditTrail {
+        &self.trail
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> HieStats {
+        self.stats
+    }
+
+    /// Exchange lookup.
+    pub fn exchange(&self, id: u64) -> Option<&Exchange> {
+        self.exchanges.get(&id)
+    }
+
+    fn session_cipher(&self, exchange: &Exchange) -> Result<ChaCha20, ExchangeError> {
+        let owner_keys = self
+            .sites
+            .get(&exchange.owner)
+            .ok_or(ExchangeError::UnknownSite(exchange.owner))?;
+        let requester_keys = self
+            .sites
+            .get(&exchange.requester)
+            .ok_or(ExchangeError::UnknownSite(exchange.requester))?;
+        let context = format!("hie-exchange-{}", exchange.id);
+        let key = owner_keys.session_key(requester_keys.public, context.as_bytes());
+        Ok(ChaCha20::new(&key, &nonce_from(exchange.id, 0)))
+    }
+
+    /// Opens an exchange: `requester` asks `owner` for `label`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExchangeError::UnknownSite`] for unenrolled parties.
+    pub fn request(
+        &mut self,
+        requester: Address,
+        owner: Address,
+        label: &str,
+        now_ms: u64,
+    ) -> Result<u64, ExchangeError> {
+        for site in [&requester, &owner] {
+            if !self.sites.contains_key(site) {
+                return Err(ExchangeError::UnknownSite(*site));
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.exchanges.insert(
+            id,
+            Exchange {
+                id,
+                requester,
+                owner,
+                label: label.to_string(),
+                phase: Phase::Requested,
+                payload: None,
+            },
+        );
+        self.trail.record(id, requester, AuditAction::Requested, now_ms);
+        self.stats.requested += 1;
+        Ok(id)
+    }
+
+    fn exchange_mut(&mut self, id: u64) -> Result<&mut Exchange, ExchangeError> {
+        self.exchanges.get_mut(&id).ok_or(ExchangeError::UnknownExchange(id))
+    }
+
+    /// Owner approves the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExchangeError`] on unknown ids, wrong actor, or wrong
+    /// phase.
+    pub fn approve(&mut self, actor: Address, id: u64, now_ms: u64) -> Result<(), ExchangeError> {
+        let exchange = self.exchange_mut(id)?;
+        if exchange.owner != actor {
+            return Err(ExchangeError::NotAuthorized(actor));
+        }
+        if exchange.phase != Phase::Requested {
+            return Err(ExchangeError::WrongPhase { exchange_id: id, attempted: "approve" });
+        }
+        exchange.phase = Phase::Approved;
+        self.trail.record(id, actor, AuditAction::Approved, now_ms);
+        Ok(())
+    }
+
+    /// Owner denies the request (terminal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExchangeError`] on unknown ids, wrong actor, or wrong
+    /// phase.
+    pub fn deny(&mut self, actor: Address, id: u64, now_ms: u64) -> Result<(), ExchangeError> {
+        let exchange = self.exchange_mut(id)?;
+        if exchange.owner != actor {
+            return Err(ExchangeError::NotAuthorized(actor));
+        }
+        if exchange.phase != Phase::Requested {
+            return Err(ExchangeError::WrongPhase { exchange_id: id, attempted: "deny" });
+        }
+        exchange.phase = Phase::Denied;
+        self.trail.record(id, actor, AuditAction::Denied, now_ms);
+        self.stats.denied += 1;
+        Ok(())
+    }
+
+    /// Owner delivers records: they are length-framed, encrypted under
+    /// the per-exchange session key, stored, and audited.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExchangeError`] on unknown ids, wrong actor, or wrong
+    /// phase.
+    pub fn deliver(
+        &mut self,
+        actor: Address,
+        id: u64,
+        records: &[Vec<u8>],
+        now_ms: u64,
+    ) -> Result<usize, ExchangeError> {
+        let exchange = self.exchanges.get(&id).ok_or(ExchangeError::UnknownExchange(id))?;
+        if exchange.owner != actor {
+            return Err(ExchangeError::NotAuthorized(actor));
+        }
+        if exchange.phase != Phase::Approved {
+            return Err(ExchangeError::WrongPhase { exchange_id: id, attempted: "deliver" });
+        }
+        let cipher = self.session_cipher(exchange)?;
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        for record in records {
+            framed.extend_from_slice(&(record.len() as u32).to_le_bytes());
+            framed.extend_from_slice(record);
+        }
+        let ciphertext = cipher.encrypt(&framed);
+        let bytes = ciphertext.len();
+        let exchange = self.exchange_mut(id)?;
+        exchange.payload = Some(ciphertext);
+        exchange.phase = Phase::Delivered;
+        self.trail.record(id, actor, AuditAction::Delivered, now_ms);
+        self.stats.bytes_moved += bytes as u64;
+        Ok(bytes)
+    }
+
+    /// Requester decrypts and acknowledges, completing the exchange.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExchangeError`] on unknown ids, wrong actor, wrong
+    /// phase, or corrupt payloads.
+    pub fn acknowledge(
+        &mut self,
+        actor: Address,
+        id: u64,
+        now_ms: u64,
+    ) -> Result<Vec<Vec<u8>>, ExchangeError> {
+        let exchange = self.exchanges.get(&id).ok_or(ExchangeError::UnknownExchange(id))?;
+        if exchange.requester != actor {
+            return Err(ExchangeError::NotAuthorized(actor));
+        }
+        if exchange.phase != Phase::Delivered {
+            return Err(ExchangeError::WrongPhase { exchange_id: id, attempted: "acknowledge" });
+        }
+        let cipher = self.session_cipher(exchange)?;
+        let ciphertext = exchange.payload.as_ref().expect("delivered phase has payload");
+        let framed = cipher.decrypt(ciphertext);
+        let records = Self::deframe(&framed).ok_or(ExchangeError::CorruptPayload)?;
+        let exchange = self.exchange_mut(id)?;
+        exchange.phase = Phase::Acknowledged;
+        self.trail.record(id, actor, AuditAction::Acknowledged, now_ms);
+        self.stats.completed += 1;
+        Ok(records)
+    }
+
+    /// Requester disputes a missing or failed delivery (terminal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExchangeError`] on unknown ids or wrong actor.
+    pub fn dispute(&mut self, actor: Address, id: u64, now_ms: u64) -> Result<(), ExchangeError> {
+        let exchange = self.exchange_mut(id)?;
+        if exchange.requester != actor {
+            return Err(ExchangeError::NotAuthorized(actor));
+        }
+        exchange.phase = Phase::Disputed;
+        self.trail.record(id, actor, AuditAction::Disputed, now_ms);
+        self.stats.disputed += 1;
+        Ok(())
+    }
+
+    /// Blame analysis for an exchange (delegates to the audit trail).
+    pub fn assign_blame(&self, id: u64) -> BlameVerdict {
+        match self.exchanges.get(&id) {
+            Some(exchange) => self.trail.assign_blame(id, exchange.owner),
+            None => BlameVerdict::Unknown,
+        }
+    }
+
+    fn deframe(framed: &[u8]) -> Option<Vec<Vec<u8>>> {
+        let count = u32::from_le_bytes(framed.get(..4)?.try_into().ok()?) as usize;
+        let mut at = 4;
+        let mut records = Vec::with_capacity(count.min(framed.len()));
+        for _ in 0..count {
+            let len = u32::from_le_bytes(framed.get(at..at + 4)?.try_into().ok()?) as usize;
+            at += 4;
+            records.push(framed.get(at..at + len)?.to_vec());
+            at += len;
+        }
+        (at == framed.len()).then_some(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn network() -> (HieNetwork, Address, Address) {
+        let mut net = HieNetwork::new();
+        let hospital = Address::from_seed(1);
+        let researcher = Address::from_seed(2);
+        net.enroll(hospital, b"hospital-key");
+        net.enroll(researcher, b"researcher-key");
+        (net, hospital, researcher)
+    }
+
+    fn records() -> Vec<Vec<u8>> {
+        (0..5u8).map(|i| format!("record-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn happy_path_round_trips_records() {
+        let (mut net, hospital, researcher) = network();
+        let id = net.request(researcher, hospital, "emr-2018", 1).unwrap();
+        net.approve(hospital, id, 2).unwrap();
+        net.deliver(hospital, id, &records(), 3).unwrap();
+        let received = net.acknowledge(researcher, id, 4).unwrap();
+        assert_eq!(received, records());
+        assert_eq!(net.assign_blame(id), BlameVerdict::Completed);
+        assert_eq!(net.stats().completed, 1);
+        assert_eq!(net.trail().verify(), None);
+    }
+
+    #[test]
+    fn payload_is_actually_encrypted() {
+        let (mut net, hospital, researcher) = network();
+        let id = net.request(researcher, hospital, "emr", 1).unwrap();
+        net.approve(hospital, id, 2).unwrap();
+        net.deliver(hospital, id, &records(), 3).unwrap();
+        let ciphertext = net.exchange(id).unwrap().payload.clone().unwrap();
+        let plaintext_bytes = records().concat();
+        // No record content should be visible in the ciphertext.
+        assert!(!ciphertext
+            .windows(plaintext_bytes.len().min(8))
+            .any(|w| w == &plaintext_bytes[..w.len()]));
+    }
+
+    #[test]
+    fn only_owner_can_approve_and_deliver() {
+        let (mut net, hospital, researcher) = network();
+        let id = net.request(researcher, hospital, "emr", 1).unwrap();
+        assert!(matches!(
+            net.approve(researcher, id, 2),
+            Err(ExchangeError::NotAuthorized(_))
+        ));
+        net.approve(hospital, id, 2).unwrap();
+        assert!(matches!(
+            net.deliver(researcher, id, &records(), 3),
+            Err(ExchangeError::NotAuthorized(_))
+        ));
+    }
+
+    #[test]
+    fn phase_order_is_enforced() {
+        let (mut net, hospital, researcher) = network();
+        let id = net.request(researcher, hospital, "emr", 1).unwrap();
+        // Deliver before approve.
+        assert!(matches!(
+            net.deliver(hospital, id, &records(), 2),
+            Err(ExchangeError::WrongPhase { .. })
+        ));
+        // Acknowledge before delivery.
+        assert!(matches!(
+            net.acknowledge(researcher, id, 2),
+            Err(ExchangeError::WrongPhase { .. })
+        ));
+        net.approve(hospital, id, 2).unwrap();
+        // Double approve.
+        assert!(matches!(
+            net.approve(hospital, id, 3),
+            Err(ExchangeError::WrongPhase { .. })
+        ));
+    }
+
+    #[test]
+    fn denial_is_terminal_and_audited() {
+        let (mut net, hospital, researcher) = network();
+        let id = net.request(researcher, hospital, "emr", 1).unwrap();
+        net.deny(hospital, id, 2).unwrap();
+        assert!(matches!(
+            net.deliver(hospital, id, &records(), 3),
+            Err(ExchangeError::WrongPhase { .. })
+        ));
+        assert_eq!(net.assign_blame(id), BlameVerdict::DeniedByOwner(hospital));
+    }
+
+    #[test]
+    fn dispute_without_delivery_blames_owner() {
+        let (mut net, hospital, researcher) = network();
+        let id = net.request(researcher, hospital, "emr", 1).unwrap();
+        net.approve(hospital, id, 2).unwrap();
+        // Owner never delivers; requester disputes.
+        net.dispute(researcher, id, 10).unwrap();
+        assert_eq!(net.assign_blame(id), BlameVerdict::ConfirmedNonDelivery(hospital));
+    }
+
+    #[test]
+    fn unenrolled_site_cannot_participate() {
+        let (mut net, hospital, _) = network();
+        let ghost = Address::from_seed(99);
+        assert!(matches!(
+            net.request(ghost, hospital, "emr", 1),
+            Err(ExchangeError::UnknownSite(_))
+        ));
+    }
+
+    #[test]
+    fn empty_record_set_round_trips() {
+        let (mut net, hospital, researcher) = network();
+        let id = net.request(researcher, hospital, "emr", 1).unwrap();
+        net.approve(hospital, id, 2).unwrap();
+        net.deliver(hospital, id, &[], 3).unwrap();
+        assert_eq!(net.acknowledge(researcher, id, 4).unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn concurrent_exchanges_have_distinct_keys() {
+        let (mut net, hospital, researcher) = network();
+        let id1 = net.request(researcher, hospital, "a", 1).unwrap();
+        let id2 = net.request(researcher, hospital, "b", 1).unwrap();
+        for id in [id1, id2] {
+            net.approve(hospital, id, 2).unwrap();
+            net.deliver(hospital, id, &records(), 3).unwrap();
+        }
+        let p1 = net.exchange(id1).unwrap().payload.clone().unwrap();
+        let p2 = net.exchange(id2).unwrap().payload.clone().unwrap();
+        assert_ne!(p1, p2, "same plaintext must encrypt differently per exchange");
+    }
+}

@@ -1,0 +1,21 @@
+//! # medchain-hie — health information exchange
+//!
+//! The paper's §III-B data-sharing layer: ChaCha20 encryption and DH key
+//! agreement built from scratch ([`crypto`]), a standardized
+//! request/approve/deliver/acknowledge exchange protocol ([`exchange`])
+//! whose every step lands in a hash-chained, blame-assignable audit
+//! trail ([`audit`]), and the opaque secure-email baseline the paper
+//! criticizes ([`baseline`]).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+pub mod baseline;
+pub mod crypto;
+pub mod exchange;
+
+pub use audit::{AuditAction, AuditEntry, AuditTrail, BlameVerdict};
+pub use baseline::{EmailAuditOutcome, EmailExchange};
+pub use crypto::{ChaCha20, DhKeypair};
+pub use exchange::{Exchange, ExchangeError, HieNetwork, HieStats, Phase};

@@ -1,0 +1,489 @@
+//! Federated averaging across hospital sites (paper §III-C).
+//!
+//! "Google researchers introduced a distributed learning approach, named
+//! federated learning, that enables [devices] to collaboratively learn a
+//! shared prediction model while keeping all the training data on local
+//! devices." Our setting differs as the paper notes: a few powerful,
+//! reliable hospital servers rather than millions of flaky phones — so
+//! the orchestration is synchronous FedAvg over all sites per round.
+//!
+//! Local site training runs on real OS threads, and communication is
+//! metered in bytes so experiment E8 can compare "ship the model" against
+//! "ship the raw records".
+
+use crate::linalg::weighted_average;
+use crate::logistic::{LogisticRegression, SgdConfig};
+use crate::metrics::{accuracy, auc};
+use crate::nn::{Mlp, MlpConfig};
+use medchain_data::Dataset;
+
+/// A model that can participate in federated averaging.
+pub trait LocalLearner: Clone + Send {
+    /// Flat parameter export.
+    fn params(&self) -> Vec<f64>;
+    /// Flat parameter import.
+    fn set_params(&mut self, params: &[f64]);
+    /// One round of local training on the site shard.
+    fn fit_local(&mut self, shard: &Dataset);
+    /// Predicted probabilities.
+    fn predict(&self, data: &Dataset) -> Vec<f64>;
+}
+
+/// Logistic regression with its local-training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedLogistic {
+    /// The model.
+    pub model: LogisticRegression,
+    /// Local epochs/batching per round.
+    pub local: SgdConfig,
+}
+
+impl FedLogistic {
+    /// Fresh model of dimension `dim` training `local_epochs` per round.
+    pub fn new(dim: usize, local_epochs: usize) -> FedLogistic {
+        FedLogistic {
+            model: LogisticRegression::new(dim),
+            local: SgdConfig { epochs: local_epochs, ..SgdConfig::default() },
+        }
+    }
+}
+
+impl LocalLearner for FedLogistic {
+    fn params(&self) -> Vec<f64> {
+        self.model.params()
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        self.model.set_params(params);
+    }
+
+    fn fit_local(&mut self, shard: &Dataset) {
+        self.model.train(shard, &self.local);
+    }
+
+    fn predict(&self, data: &Dataset) -> Vec<f64> {
+        self.model.predict(data)
+    }
+}
+
+/// MLP with its local-training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedMlp {
+    /// The network.
+    pub model: Mlp,
+    /// Local epochs/batching per round.
+    pub local: MlpConfig,
+}
+
+impl FedMlp {
+    /// Fresh network for `dim` inputs training `local_epochs` per round.
+    pub fn new(dim: usize, local_epochs: usize) -> FedMlp {
+        let local = MlpConfig { epochs: local_epochs, ..MlpConfig::default() };
+        FedMlp { model: Mlp::new(dim, &local), local }
+    }
+}
+
+impl LocalLearner for FedMlp {
+    fn params(&self) -> Vec<f64> {
+        self.model.params()
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        self.model.set_params(params);
+    }
+
+    fn fit_local(&mut self, shard: &Dataset) {
+        self.model.train(shard, &self.local);
+    }
+
+    fn predict(&self, data: &Dataset) -> Vec<f64> {
+        self.model.predict(data)
+    }
+}
+
+/// Per-round evaluation snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// Round number (1-based).
+    pub round: usize,
+    /// AUC of the global model on the held-out set.
+    pub auc: f64,
+    /// Accuracy of the global model on the held-out set.
+    pub accuracy: f64,
+}
+
+/// Result of a federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedReport {
+    /// Per-round held-out metrics (empty when no eval set given).
+    pub history: Vec<RoundStats>,
+    /// Bytes uploaded by sites (model parameters only).
+    pub bytes_uplink: u64,
+    /// Bytes downloaded by sites (global model broadcasts).
+    pub bytes_downlink: u64,
+    /// Bytes that centralizing the raw shards would have moved instead.
+    pub bytes_raw_equivalent: u64,
+}
+
+impl FedReport {
+    /// Final-round AUC (0.5 if no history).
+    pub fn final_auc(&self) -> f64 {
+        self.history.last().map_or(0.5, |s| s.auc)
+    }
+}
+
+/// Synchronous FedAvg orchestrator.
+#[derive(Debug, Clone)]
+pub struct FedAvg<M> {
+    global: M,
+    rounds: usize,
+}
+
+impl<M: LocalLearner> FedAvg<M> {
+    /// Creates an orchestrator from an initial global model.
+    pub fn new(initial: M, rounds: usize) -> FedAvg<M> {
+        FedAvg { global: initial, rounds }
+    }
+
+    /// The current global model.
+    pub fn global(&self) -> &M {
+        &self.global
+    }
+
+    /// Consumes the orchestrator, returning the global model.
+    pub fn into_global(self) -> M {
+        self.global
+    }
+
+    /// Runs FedAvg over `shards` (one per site), evaluating on `eval`
+    /// after each round. Raw data never leaves its shard; only
+    /// parameters move.
+    pub fn run(&mut self, shards: &[Dataset], eval: Option<&Dataset>) -> FedReport {
+        assert!(!shards.is_empty(), "need at least one site");
+        let param_bytes = (self.global.params().len() * 8) as u64;
+        let sites = shards.len() as u64;
+        let mut report = FedReport {
+            history: Vec::with_capacity(self.rounds),
+            bytes_uplink: 0,
+            bytes_downlink: 0,
+            bytes_raw_equivalent: shards.iter().map(|s| s.wire_size() as u64).sum(),
+        };
+        for round in 1..=self.rounds {
+            // Broadcast the global model, train locally in parallel.
+            let mut locals: Vec<M> = (0..shards.len()).map(|_| self.global.clone()).collect();
+            crossbeam::thread::scope(|scope| {
+                for (local, shard) in locals.iter_mut().zip(shards) {
+                    scope.spawn(move |_| local.fit_local(shard));
+                }
+            })
+            .expect("local training thread panicked");
+            report.bytes_downlink += param_bytes * sites;
+            report.bytes_uplink += param_bytes * sites;
+
+            // Aggregate weighted by shard size.
+            let params: Vec<Vec<f64>> = locals.iter().map(LocalLearner::params).collect();
+            let weights: Vec<f64> = shards.iter().map(|s| s.len() as f64).collect();
+            self.global.set_params(&weighted_average(&params, &weights));
+
+            if let Some(test) = eval {
+                let probabilities = self.global.predict(test);
+                report.history.push(RoundStats {
+                    round,
+                    auc: auc(&probabilities, &test.labels),
+                    accuracy: accuracy(&probabilities, &test.labels),
+                });
+            }
+        }
+        report
+    }
+}
+
+/// Baseline: train one model on the centralized union of all shards
+/// (what HIPAA-style constraints forbid — the upper bound).
+pub fn centralized_baseline<M: LocalLearner>(mut model: M, shards: &[Dataset]) -> M {
+    let union = Dataset::concat(shards);
+    model.fit_local(&union);
+    model
+}
+
+/// Baseline: each site trains alone; returns per-site models (the
+/// silo'd lower bound the paper's integration argument starts from).
+pub fn local_only_baseline<M: LocalLearner>(model: M, shards: &[Dataset]) -> Vec<M> {
+    shards
+        .iter()
+        .map(|shard| {
+            let mut local = model.clone();
+            local.fit_local(shard);
+            local
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, STROKE_CODE};
+
+    fn site_shards(sites: usize, per_site: usize) -> (Vec<Dataset>, Dataset) {
+        let mut shards = Vec::new();
+        for i in 0..sites {
+            let records =
+                CohortGenerator::new(&format!("site-{i}"), SiteProfile::varied(i), 100 + i as u64)
+                    .cohort((i * per_site) as u64, per_site, &DiseaseModel::stroke());
+            shards.push(Dataset::from_records(&records, STROKE_CODE));
+        }
+        let eval_records = CohortGenerator::new("eval", SiteProfile::default(), 999).cohort(
+            1_000_000,
+            1_500,
+            &DiseaseModel::stroke(),
+        );
+        (shards, Dataset::from_records(&eval_records, STROKE_CODE))
+    }
+
+    #[test]
+    fn federated_beats_chance_and_approaches_centralized() {
+        let (shards, eval) = site_shards(4, 600);
+        let mut fed = FedAvg::new(FedLogistic::new(10, 3), 12);
+        let report = fed.run(&shards, Some(&eval));
+        let fed_auc = report.final_auc();
+
+        let central = centralized_baseline(FedLogistic::new(10, 36), &shards);
+        let central_auc = auc(&central.predict(&eval), &eval.labels);
+
+        assert!(fed_auc > 0.68, "federated AUC {fed_auc}");
+        assert!(
+            central_auc - fed_auc < 0.06,
+            "federated ({fed_auc}) should approach centralized ({central_auc})"
+        );
+    }
+
+    #[test]
+    fn federated_beats_local_only_on_noniid_shards() {
+        let (shards, eval) = site_shards(6, 250);
+        let mut fed = FedAvg::new(FedLogistic::new(10, 3), 10);
+        let fed_auc = fed.run(&shards, Some(&eval)).final_auc();
+
+        let locals = local_only_baseline(FedLogistic::new(10, 30), &shards);
+        let mean_local_auc = locals
+            .iter()
+            .map(|m| auc(&m.predict(&eval), &eval.labels))
+            .sum::<f64>()
+            / locals.len() as f64;
+        assert!(
+            fed_auc > mean_local_auc - 0.01,
+            "federated {fed_auc} vs mean local {mean_local_auc}"
+        );
+    }
+
+    #[test]
+    fn history_improves_over_rounds() {
+        let (shards, eval) = site_shards(4, 500);
+        let mut fed = FedAvg::new(FedLogistic::new(10, 2), 10);
+        let report = fed.run(&shards, Some(&eval));
+        assert_eq!(report.history.len(), 10);
+        let first = report.history.first().unwrap().auc;
+        let last = report.history.last().unwrap().auc;
+        assert!(last >= first - 0.02, "AUC degraded: {first} → {last}");
+    }
+
+    #[test]
+    fn communication_is_orders_of_magnitude_below_raw_centralization() {
+        let (shards, _) = site_shards(5, 800);
+        let mut fed = FedAvg::new(FedLogistic::new(10, 2), 10);
+        let report = fed.run(&shards, None);
+        let model_bytes = report.bytes_uplink + report.bytes_downlink;
+        assert!(
+            report.bytes_raw_equivalent > model_bytes * 10,
+            "raw {} vs model {}",
+            report.bytes_raw_equivalent,
+            model_bytes
+        );
+    }
+
+    #[test]
+    fn fed_mlp_also_learns() {
+        let (shards, eval) = site_shards(3, 500);
+        let mut fed = FedAvg::new(FedMlp::new(10, 4), 8);
+        let report = fed.run(&shards, Some(&eval));
+        assert!(report.final_auc() > 0.62, "MLP federated AUC {}", report.final_auc());
+    }
+
+    #[test]
+    fn single_site_federation_equals_local_training() {
+        let (shards, eval) = site_shards(1, 700);
+        let mut fed = FedAvg::new(FedLogistic::new(10, 5), 1);
+        let fed_report = fed.run(&shards, Some(&eval));
+        let mut solo = FedLogistic::new(10, 5);
+        solo.fit_local(&shards[0]);
+        let solo_auc = auc(&solo.predict(&eval), &eval.labels);
+        assert!((fed_report.final_auc() - solo_auc).abs() < 1e-9);
+    }
+}
+
+/// Gaussian-mechanism differential privacy for federated updates
+/// (paper §III-C: federated learning "all while ensuring privacy" —
+/// data locality alone does not bound what parameters leak; noisy
+/// clipped updates do).
+///
+/// Each site's parameter *update* (delta from the broadcast global) is
+/// L2-clipped to `clip_norm` and perturbed with `N(0, σ²)` per
+/// coordinate, σ = `noise_multiplier × clip_norm`, before leaving the
+/// site. Standard DP-FedAvg shape (Abadi-style moments accounting is out
+/// of scope; the knob reported is the noise multiplier itself).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpConfig {
+    /// Maximum L2 norm of a site's parameter update.
+    pub clip_norm: f64,
+    /// Noise standard deviation as a multiple of `clip_norm`.
+    pub noise_multiplier: f64,
+    /// Noise seed.
+    pub seed: u64,
+}
+
+impl<M: LocalLearner> FedAvg<M> {
+    /// Runs FedAvg with differentially private site updates.
+    pub fn run_private(
+        &mut self,
+        shards: &[Dataset],
+        eval: Option<&Dataset>,
+        dp: &DpConfig,
+    ) -> FedReport {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        assert!(!shards.is_empty(), "need at least one site");
+        let mut rng = StdRng::seed_from_u64(dp.seed);
+        let param_bytes = (self.global.params().len() * 8) as u64;
+        let sites = shards.len() as u64;
+        let mut report = FedReport {
+            history: Vec::with_capacity(self.rounds),
+            bytes_uplink: 0,
+            bytes_downlink: 0,
+            bytes_raw_equivalent: shards.iter().map(|s| s.wire_size() as u64).sum(),
+        };
+        for round in 1..=self.rounds {
+            let global_params = self.global.params();
+            let mut locals: Vec<M> = (0..shards.len()).map(|_| self.global.clone()).collect();
+            crossbeam::thread::scope(|scope| {
+                for (local, shard) in locals.iter_mut().zip(shards) {
+                    scope.spawn(move |_| local.fit_local(shard));
+                }
+            })
+            .expect("local training thread panicked");
+            report.bytes_downlink += param_bytes * sites;
+            report.bytes_uplink += param_bytes * sites;
+
+            // Clip + noise each site's update before it leaves the site.
+            let sanitized: Vec<Vec<f64>> = locals
+                .iter()
+                .map(|local| {
+                    let mut delta: Vec<f64> = local
+                        .params()
+                        .iter()
+                        .zip(&global_params)
+                        .map(|(p, g)| p - g)
+                        .collect();
+                    let norm = crate::linalg::norm(&delta);
+                    if norm > dp.clip_norm && norm > 0.0 {
+                        crate::linalg::scale(dp.clip_norm / norm, &mut delta);
+                    }
+                    let sigma = dp.noise_multiplier * dp.clip_norm;
+                    for d in &mut delta {
+                        // Box–Muller gaussian.
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen();
+                        let z = (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        *d += sigma * z;
+                    }
+                    delta
+                        .iter()
+                        .zip(&global_params)
+                        .map(|(d, g)| g + d)
+                        .collect()
+                })
+                .collect();
+
+            let weights: Vec<f64> = shards.iter().map(|s| s.len() as f64).collect();
+            self.global.set_params(&weighted_average(&sanitized, &weights));
+
+            if let Some(test) = eval {
+                let probabilities = self.global.predict(test);
+                report.history.push(RoundStats {
+                    round,
+                    auc: auc(&probabilities, &test.labels),
+                    accuracy: accuracy(&probabilities, &test.labels),
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod dp_tests {
+    use super::*;
+    use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, STROKE_CODE};
+
+    fn shards_and_eval(sites: usize, per_site: usize) -> (Vec<Dataset>, Dataset) {
+        let shards: Vec<Dataset> = (0..sites)
+            .map(|i| {
+                let records = CohortGenerator::new(
+                    &format!("dp-{i}"),
+                    SiteProfile::varied(i),
+                    400 + i as u64,
+                )
+                .cohort((i * 100_000) as u64, per_site, &DiseaseModel::stroke());
+                Dataset::from_records(&records, STROKE_CODE)
+            })
+            .collect();
+        let eval_records = CohortGenerator::new("dp-eval", SiteProfile::default(), 4_444)
+            .cohort(8_000_000, 1_500, &DiseaseModel::stroke());
+        (shards, Dataset::from_records(&eval_records, STROKE_CODE))
+    }
+
+    #[test]
+    fn mild_noise_preserves_utility() {
+        let (shards, eval) = shards_and_eval(4, 500);
+        let dp = DpConfig { clip_norm: 1.0, noise_multiplier: 0.05, seed: 1 };
+        let mut fed = FedAvg::new(FedLogistic::new(10, 3), 12);
+        let private = fed.run_private(&shards, Some(&eval), &dp);
+        assert!(private.final_auc() > 0.65, "DP AUC {}", private.final_auc());
+    }
+
+    #[test]
+    fn heavy_noise_degrades_utility_monotonically() {
+        let (shards, eval) = shards_and_eval(4, 400);
+        let auc_at = |noise: f64| {
+            let dp = DpConfig { clip_norm: 1.0, noise_multiplier: noise, seed: 2 };
+            let mut fed = FedAvg::new(FedLogistic::new(10, 3), 10);
+            fed.run_private(&shards, Some(&eval), &dp).final_auc()
+        };
+        let clean = auc_at(0.0);
+        let noisy = auc_at(3.0);
+        assert!(clean > noisy + 0.03, "noise should cost utility: {clean} vs {noisy}");
+        assert!(noisy < 0.75, "heavy noise should approach chance: {noisy}");
+    }
+
+    #[test]
+    fn zero_noise_private_matches_clipped_public_run() {
+        // With no noise and a generous clip, run_private ≈ run.
+        let (shards, eval) = shards_and_eval(3, 300);
+        let dp = DpConfig { clip_norm: 1e9, noise_multiplier: 0.0, seed: 3 };
+        let mut private = FedAvg::new(FedLogistic::new(10, 2), 6);
+        let private_auc = private.run_private(&shards, Some(&eval), &dp).final_auc();
+        let mut public = FedAvg::new(FedLogistic::new(10, 2), 6);
+        let public_auc = public.run(&shards, Some(&eval)).final_auc();
+        assert!((private_auc - public_auc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn updates_are_actually_clipped() {
+        let (shards, _) = shards_and_eval(2, 300);
+        // A pathologically tight clip: the global model barely moves.
+        let dp = DpConfig { clip_norm: 1e-6, noise_multiplier: 0.0, seed: 4 };
+        let mut fed = FedAvg::new(FedLogistic::new(10, 5), 3);
+        fed.run_private(&shards, None, &dp);
+        let norm = crate::linalg::norm(&fed.global().params());
+        assert!(norm < 1e-4, "clip ignored: norm {norm}");
+    }
+}

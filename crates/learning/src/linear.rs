@@ -1,0 +1,147 @@
+//! Linear regression with mini-batch SGD, for continuous outcomes
+//! (e.g. predicting systolic blood pressure from lifestyle features).
+
+use crate::linalg::dot;
+use crate::logistic::SgdConfig;
+use medchain_data::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A linear regression model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRegression {
+    /// Zero-initialized model of dimension `dim`.
+    pub fn new(dim: usize) -> LinearRegression {
+        LinearRegression { weights: vec![0.0; dim], bias: 0.0 }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The learned weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Flat parameter vector (weights ‖ bias).
+    pub fn params(&self) -> Vec<f64> {
+        let mut p = self.weights.clone();
+        p.push(self.bias);
+        p
+    }
+
+    /// Installs parameters from [`LinearRegression::params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not `dim + 1`.
+    pub fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.weights.len() + 1, "parameter length mismatch");
+        self.weights.copy_from_slice(&params[..params.len() - 1]);
+        self.bias = params[params.len() - 1];
+    }
+
+    /// Prediction for one row.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        dot(&self.weights, x) + self.bias
+    }
+
+    /// Predictions for a dataset (labels interpreted as targets).
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.features.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Trains in place with mini-batch SGD on squared error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset dimension does not match the model.
+    pub fn train(&mut self, data: &Dataset, config: &SgdConfig) {
+        if data.is_empty() {
+            return;
+        }
+        assert_eq!(data.dim(), self.dim(), "dataset dimension mismatch");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let batch = config.batch_size.max(1);
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                let mut grad_w = vec![0.0; self.dim()];
+                let mut grad_b = 0.0;
+                for &i in chunk {
+                    let error = self.predict_one(&data.features[i]) - data.labels[i];
+                    for (g, xi) in grad_w.iter_mut().zip(&data.features[i]) {
+                        *g += error * xi;
+                    }
+                    grad_b += error;
+                }
+                let scale = config.learning_rate / chunk.len() as f64;
+                for (w, g) in self.weights.iter_mut().zip(&grad_w) {
+                    *w -= scale * g + config.learning_rate * config.l2 * *w;
+                }
+                self.bias -= scale * grad_b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+    use rand::Rng;
+
+    fn synthetic_linear(n: usize, seed: u64) -> Dataset {
+        // y = 2x1 - 3x2 + 1 + noise
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut features = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x1: f64 = rng.gen_range(-1.0..1.0);
+            let x2: f64 = rng.gen_range(-1.0..1.0);
+            features.push(vec![x1, x2]);
+            labels.push(2.0 * x1 - 3.0 * x2 + 1.0 + rng.gen_range(-0.05..0.05));
+        }
+        Dataset { features, labels, feature_names: vec!["x1".into(), "x2".into()] }
+    }
+
+    #[test]
+    fn recovers_linear_coefficients() {
+        let data = synthetic_linear(2_000, 1);
+        let mut model = LinearRegression::new(2);
+        model.train(
+            &data,
+            &SgdConfig { learning_rate: 0.1, epochs: 100, batch_size: 32, l2: 0.0, seed: 2 },
+        );
+        assert!((model.weights()[0] - 2.0).abs() < 0.1, "w0 = {}", model.weights()[0]);
+        assert!((model.weights()[1] + 3.0).abs() < 0.1, "w1 = {}", model.weights()[1]);
+        let error = rmse(&model.predict(&data), &data.labels);
+        assert!(error < 0.1, "rmse {error}");
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let data = synthetic_linear(200, 3);
+        let mut model = LinearRegression::new(2);
+        model.train(&data, &SgdConfig::default());
+        let mut clone = LinearRegression::new(2);
+        clone.set_params(&model.params());
+        assert_eq!(clone, model);
+    }
+
+    #[test]
+    fn empty_dataset_is_noop() {
+        let mut model = LinearRegression::new(2);
+        model.train(&Dataset::default(), &SgdConfig::default());
+        assert_eq!(model.params(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Evaluation metrics for the learning experiments.
+
+/// Classification accuracy at a 0.5 threshold.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn accuracy(probabilities: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = probabilities
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| (**p >= 0.5) == (**y >= 0.5))
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) estimator,
+/// with tie correction. Returns 0.5 when one class is absent.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn auc(probabilities: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len());
+    let positives = labels.iter().filter(|y| **y >= 0.5).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // Rank the scores (average ranks for ties).
+    let mut order: Vec<usize> = (0..probabilities.len()).collect();
+    order.sort_by(|&a, &b| {
+        probabilities[a].partial_cmp(&probabilities[b]).expect("scores must not be NaN")
+    });
+    let mut ranks = vec![0.0; probabilities.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && probabilities[order[j + 1]] == probabilities[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let positive_rank_sum: f64 = labels
+        .iter()
+        .zip(&ranks)
+        .filter(|(y, _)| **y >= 0.5)
+        .map(|(_, r)| *r)
+        .sum();
+    let p = positives as f64;
+    let n = negatives as f64;
+    (positive_rank_sum - p * (p + 1.0) / 2.0) / (p * n)
+}
+
+/// Binary cross-entropy (log loss), clamped for numerical safety.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn log_loss(probabilities: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = probabilities
+        .iter()
+        .zip(labels)
+        .map(|(p, y)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum();
+    total / labels.len() as f64
+}
+
+/// Root-mean-square error for regression.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len());
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / targets.len() as f64;
+    mse.sqrt()
+}
+
+/// A 2×2 confusion matrix at a 0.5 threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn tally(probabilities: &[f64], labels: &[f64]) -> Confusion {
+        assert_eq!(probabilities.len(), labels.len());
+        let mut c = Confusion::default();
+        for (p, y) in probabilities.iter().zip(labels) {
+            match (*p >= 0.5, *y >= 0.5) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Sensitivity (recall): TP / (TP + FN); 0 when no positives.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fn_) as f64
+    }
+
+    /// Precision: TP / (TP + FP); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / (self.tp + self.fp) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let p = [0.9, 0.8, 0.1, 0.2];
+        let y = [1.0, 1.0, 0.0, 0.0];
+        assert_eq!(accuracy(&p, &y), 1.0);
+        assert!((auc(&p, &y) - 1.0).abs() < 1e-12);
+        assert!(log_loss(&p, &y) < 0.3);
+    }
+
+    #[test]
+    fn inverted_classifier_has_zero_auc() {
+        let p = [0.1, 0.2, 0.9, 0.8];
+        let y = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&p, &y) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_give_half_auc() {
+        // Constant scores: all tied → 0.5 by tie correction.
+        let p = [0.5; 10];
+        let y = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        assert!((auc(&p, &y) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_labels_give_half_auc() {
+        assert_eq!(auc(&[0.1, 0.9], &[1.0, 1.0]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[0.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert!((rmse(&[1.0, 2.0], &[1.0, 4.0]) - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let p = [0.9, 0.9, 0.1, 0.1, 0.6];
+        let y = [1.0, 0.0, 0.0, 1.0, 1.0];
+        let c = Confusion::tally(&p, &y);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_clamps_extremes() {
+        assert!(log_loss(&[0.0, 1.0], &[1.0, 0.0]).is_finite());
+    }
+}

@@ -1,0 +1,160 @@
+//! Transfer learning: jump-starting small-cohort models from a large
+//! core dataset (paper §III-A), including the *distributed* variant the
+//! paper calls for in §III-C (federated pretraining + local fine-tune).
+
+use crate::federated::{FedAvg, FedMlp};
+use crate::metrics::auc;
+use crate::nn::{Mlp, MlpConfig};
+use medchain_data::Dataset;
+
+/// Pretrains a feature-extractor network on the large source dataset
+/// (the ImageNet-analogue core medical dataset).
+pub fn pretrain(source: &Dataset, config: &MlpConfig) -> Mlp {
+    let mut net = Mlp::new(source.dim(), config);
+    net.train(source, config);
+    net
+}
+
+/// Pretrains *without centralizing*: FedAvg over source shards — the
+/// paper's distributed transfer learning. Returns the global network.
+pub fn pretrain_federated(shards: &[Dataset], local_epochs: usize, rounds: usize) -> Mlp {
+    let dim = shards.first().map_or(0, Dataset::dim);
+    let mut fed = FedAvg::new(FedMlp::new(dim, local_epochs), rounds);
+    fed.run(shards, None);
+    fed.into_global().model
+}
+
+/// Fine-tunes a pretrained network on a (small) target dataset: freeze
+/// the feature layers, re-initialize and train only the output head.
+pub fn fine_tune(base: &Mlp, target: &Dataset, config: &MlpConfig) -> Mlp {
+    let mut net = base.clone();
+    net.reinit_output(config.seed ^ 0xf1e7);
+    net.freeze_feature_layers();
+    net.train(target, config);
+    net
+}
+
+/// One point on a transfer-learning curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Target-training-set size.
+    pub n_target: usize,
+    /// Held-out AUC with pretrained features.
+    pub transfer_auc: f64,
+    /// Held-out AUC training from scratch on the same n.
+    pub scratch_auc: f64,
+}
+
+/// Sweeps target-set sizes, comparing fine-tuned-from-`base` against
+/// from-scratch training — experiment E9's core loop.
+pub fn learning_curve(
+    base: &Mlp,
+    target_train: &Dataset,
+    target_test: &Dataset,
+    sizes: &[usize],
+    config: &MlpConfig,
+) -> Vec<CurvePoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let subset = target_train.take(n);
+            let tuned = fine_tune(base, &subset, config);
+            let transfer_auc = auc(&tuned.predict(target_test), &target_test.labels);
+            let mut scratch = Mlp::new(subset.dim(), config);
+            scratch.train(&subset, config);
+            let scratch_auc = auc(&scratch.predict(target_test), &target_test.labels);
+            CurvePoint { n_target: n, transfer_auc, scratch_auc }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medchain_data::synth::{
+        CohortGenerator, DiseaseModel, SiteProfile, CANCER_CODE, STROKE_CODE,
+    };
+
+    fn cohort(code: &str, n: usize, seed: u64) -> Dataset {
+        let model = if code == STROKE_CODE {
+            DiseaseModel::stroke()
+        } else {
+            DiseaseModel::cancer()
+        };
+        let records =
+            CohortGenerator::new("s", SiteProfile::default(), seed).cohort(0, n, &model);
+        Dataset::from_records(&records, code)
+    }
+
+    fn quick_config() -> MlpConfig {
+        MlpConfig { hidden: vec![12], epochs: 25, ..MlpConfig::default() }
+    }
+
+    #[test]
+    fn transfer_beats_scratch_on_tiny_targets() {
+        // Source: large stroke cohort. Target: small cancer cohort —
+        // related risk factors (age, smoking, genetics) make features
+        // transferable.
+        let config = quick_config();
+        let source = cohort(STROKE_CODE, 4_000, 51);
+        let base = pretrain(&source, &config);
+        let target_train = cohort(CANCER_CODE, 2_000, 52);
+        let target_test = cohort(CANCER_CODE, 1_500, 53);
+        let curve = learning_curve(&base, &target_train, &target_test, &[60, 150], &config);
+        let mean_gap: f64 = curve
+            .iter()
+            .map(|p| p.transfer_auc - p.scratch_auc)
+            .sum::<f64>()
+            / curve.len() as f64;
+        assert!(
+            mean_gap > -0.02,
+            "transfer should not hurt at small n: curve {curve:?}"
+        );
+        // And transfer at tiny n should be meaningfully above chance.
+        assert!(curve[0].transfer_auc > 0.6, "curve {curve:?}");
+    }
+
+    #[test]
+    fn gap_narrows_with_more_target_data() {
+        let config = quick_config();
+        let source = cohort(STROKE_CODE, 3_000, 61);
+        let base = pretrain(&source, &config);
+        let target_train = cohort(CANCER_CODE, 3_000, 62);
+        let target_test = cohort(CANCER_CODE, 1_200, 63);
+        let curve =
+            learning_curve(&base, &target_train, &target_test, &[80, 2_500], &config);
+        let small_gap = curve[0].transfer_auc - curve[0].scratch_auc;
+        let large_gap = curve[1].transfer_auc - curve[1].scratch_auc;
+        assert!(
+            large_gap < small_gap + 0.05,
+            "advantage should shrink: small {small_gap}, large {large_gap}"
+        );
+    }
+
+    #[test]
+    fn fine_tune_does_not_touch_feature_layers() {
+        let config = quick_config();
+        let source = cohort(STROKE_CODE, 800, 71);
+        let base = pretrain(&source, &config);
+        let target = cohort(CANCER_CODE, 200, 72);
+        let tuned = fine_tune(&base, &target, &config);
+        let head = 12 + 1; // output layer of hidden width 12
+        let base_params = base.params();
+        let tuned_params = tuned.params();
+        let split = base_params.len() - head;
+        assert_eq!(&base_params[..split], &tuned_params[..split]);
+    }
+
+    #[test]
+    fn federated_pretraining_produces_usable_features() {
+        let config = quick_config();
+        let shards: Vec<Dataset> =
+            (0..3).map(|i| cohort(STROKE_CODE, 700, 80 + i)).collect();
+        let base = pretrain_federated(&shards, 4, 6);
+        let target_train = cohort(CANCER_CODE, 400, 90);
+        let target_test = cohort(CANCER_CODE, 1_000, 91);
+        let tuned = fine_tune(&base, &target_train.take(150), &config);
+        let score = auc(&tuned.predict(&target_test), &target_test.labels);
+        assert!(score > 0.58, "federated-pretrained transfer AUC {score}");
+    }
+}

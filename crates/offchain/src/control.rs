@@ -1,0 +1,367 @@
+//! The per-node off-chain control code (paper Fig. 1).
+//!
+//! "The off-chain control code which communicate with on-chain smart
+//! contract of each node is different. Each individual control code will
+//! feed different data to the smart contract. As a result, each smart
+//! contract on each node will effectively behave differently" (§III).
+//!
+//! [`ControlNode`] is that per-site brain: it watches contract events via
+//! its [`MonitorNode`], decides which requests concern data hosted at
+//! *this* site, runs the requested analytics locally through its
+//! [`TaskExecutor`], and emits [`ActionIntent`]s — follow-up on-chain
+//! transactions for the surrounding node to sign and submit. The same
+//! on-chain contract code thus drives *different* computation at every
+//! site, which is exactly the transformation the paper proposes.
+
+use crate::executor::{TaskExecutor, Tool};
+use crate::monitor::{CapturedEvent, MonitorNode};
+use crate::oracle::DataOracle;
+use medchain_chain::{Hash256, Ledger};
+use medchain_contracts::events;
+use medchain_contracts::value::{decode_args, Value};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A follow-up action the control code wants performed on-chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionIntent {
+    /// Post an analytics result hash for a completed task.
+    PostResult {
+        /// Task id assigned by the analytics contract.
+        task_id: i64,
+        /// Hash of the locally computed result.
+        result_hash: Hash256,
+        /// The raw result values (kept off-chain; only the hash goes on).
+        result: Vec<Value>,
+    },
+    /// A permitted data request was served off-chain to the requester.
+    DataServed {
+        /// Dataset label.
+        label: String,
+        /// Access token from the data contract.
+        token: Vec<u8>,
+        /// Number of records delivered.
+        records: usize,
+    },
+}
+
+/// Work statistics for one control node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// Analytics tasks executed locally.
+    pub tasks_run: u64,
+    /// Analytics tasks skipped (data not hosted here).
+    pub tasks_skipped: u64,
+    /// Data requests served.
+    pub data_served: u64,
+    /// Task failures.
+    pub failures: u64,
+}
+
+/// One site's off-chain control code.
+pub struct ControlNode {
+    site: String,
+    monitor: MonitorNode,
+    executor: TaskExecutor,
+    oracle: DataOracle,
+    hosted_datasets: HashSet<String>,
+    stats: ControlStats,
+}
+
+impl fmt::Debug for ControlNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlNode")
+            .field("site", &self.site)
+            .field("hosted_datasets", &self.hosted_datasets.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ControlNode {
+    /// Creates the control code for `site`.
+    pub fn new(site: &str) -> ControlNode {
+        ControlNode {
+            site: site.to_string(),
+            monitor: MonitorNode::new(),
+            executor: TaskExecutor::new(),
+            oracle: DataOracle::new(),
+            hosted_datasets: HashSet::new(),
+            stats: ControlStats::default(),
+        }
+    }
+
+    /// The site name.
+    pub fn site(&self) -> &str {
+        &self.site
+    }
+
+    /// Installs an analytics tool at this site.
+    pub fn install_tool(&mut self, tool: Tool) {
+        self.executor.install(tool);
+    }
+
+    /// Declares that `label` is hosted (physically resident) here.
+    pub fn host_dataset(&mut self, label: &str) {
+        self.hosted_datasets.insert(label.to_string());
+    }
+
+    /// Whether `label` is hosted here.
+    pub fn hosts(&self, label: &str) -> bool {
+        self.hosted_datasets.contains(label)
+    }
+
+    /// The site's oracle bridge (register data backends here).
+    pub fn oracle_mut(&mut self) -> &mut DataOracle {
+        &mut self.oracle
+    }
+
+    /// The site's executor.
+    pub fn executor_mut(&mut self) -> &mut TaskExecutor {
+        &mut self.executor
+    }
+
+    /// Work statistics.
+    pub fn stats(&self) -> ControlStats {
+        self.stats
+    }
+
+    /// One control cycle: observe new contract events, run any analytics
+    /// addressed to data hosted at this site, serve permitted data
+    /// requests, and return the on-chain follow-ups.
+    pub fn step(&mut self, ledger: &Ledger) -> Vec<ActionIntent> {
+        let mut intents = Vec::new();
+        for captured in self.monitor.poll(ledger) {
+            match captured.event.topic.as_str() {
+                events::ANALYTICS_REQUESTED => {
+                    if let Some(intent) = self.handle_analytics_request(&captured) {
+                        intents.push(intent);
+                    }
+                }
+                events::DATA_REQUESTED => {
+                    if let Some(intent) = self.handle_data_request(&captured) {
+                        intents.push(intent);
+                    }
+                }
+                _ => {}
+            }
+        }
+        intents
+    }
+
+    /// Payload: `[task_id, tool, dataset, params, requester]`.
+    fn handle_analytics_request(&mut self, captured: &CapturedEvent) -> Option<ActionIntent> {
+        let values = decode_args(&captured.event.data).ok()?;
+        let task_id = values.first()?.as_int().ok()?;
+        let tool = values.get(1)?.as_str().ok()?.to_string();
+        let dataset = values.get(2)?.as_str().ok()?.to_string();
+        let params_blob = values.get(3)?.as_bytes().ok()?.to_vec();
+        if !self.hosts(&dataset) {
+            self.stats.tasks_skipped += 1;
+            return None;
+        }
+        // Move compute to data: fetch the locally resident dataset through
+        // the site oracle, then run the tool against it.
+        let mut params = vec![Value::str(&dataset), Value::Bytes(params_blob)];
+        if let Ok(local) = self.oracle.call(&crate::oracle::OracleRequest::new(
+            "local-data",
+            "fetch",
+            vec![Value::str(&dataset)],
+        )) {
+            params.extend(local);
+        }
+        match self.executor.run(&tool, &params, None) {
+            Ok(result) => {
+                self.stats.tasks_run += 1;
+                let encoded = medchain_contracts::value::encode_args(&result.output);
+                Some(ActionIntent::PostResult {
+                    task_id,
+                    result_hash: Hash256::digest(&encoded),
+                    result: result.output,
+                })
+            }
+            Err(_) => {
+                self.stats.failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Payload: `[label, requester, purpose, token]`.
+    fn handle_data_request(&mut self, captured: &CapturedEvent) -> Option<ActionIntent> {
+        let values = decode_args(&captured.event.data).ok()?;
+        let label = values.first()?.as_str().ok()?.to_string();
+        let token = values.get(3)?.as_bytes().ok()?.to_vec();
+        if !self.hosts(&label) {
+            return None;
+        }
+        let records = self
+            .oracle
+            .call(&crate::oracle::OracleRequest::new(
+                "local-data",
+                "fetch",
+                vec![Value::str(&label)],
+            ))
+            .map(|v| v.len())
+            .unwrap_or(0);
+        self.stats.data_served += 1;
+        Some(ActionIntent::DataServed { label, token, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medchain_chain::consensus::Application;
+    use medchain_chain::ledger::contract_address;
+    use medchain_chain::node::ChainApp;
+    use medchain_chain::sig::AuthorityKey;
+    use medchain_chain::tx::TxPayload;
+    use medchain_chain::{KeyRegistry, Transaction};
+    use medchain_contracts::native::native_manifest;
+    use medchain_contracts::runtime::{call_data, Runtime};
+    use std::sync::Arc;
+
+    struct Setup {
+        app: ChainApp,
+        key: AuthorityKey,
+        analytics: medchain_chain::Address,
+        nonce: u64,
+    }
+
+    impl Setup {
+        fn new() -> Setup {
+            let key = AuthorityKey::from_seed(1);
+            let mut registry = KeyRegistry::new();
+            registry.enroll(&key);
+            let mut app =
+                ChainApp::with_runtime("control-test", registry, Box::new(Runtime::standard()));
+            let deploy = Transaction::new(
+                key.address(),
+                0,
+                TxPayload::Deploy {
+                    code: native_manifest("analytics_contract"),
+                    init: Vec::new(),
+                },
+                10_000,
+            )
+            .signed(&key);
+            app.submit(deploy);
+            let block = app.make_block(key.address(), 1);
+            assert!(app.commit_block(&block));
+            let analytics = contract_address(&key.address(), 0);
+            Setup { app, key, analytics, nonce: 1 }
+        }
+
+        fn invoke(&mut self, selector: &str, args: &[Value]) {
+            let tx = Transaction::new(
+                self.key.address(),
+                self.nonce,
+                TxPayload::Invoke {
+                    contract: self.analytics,
+                    input: call_data(selector, args),
+                },
+                100_000,
+            )
+            .signed(&self.key);
+            self.nonce += 1;
+            assert!(self.app.submit(tx));
+            let block = self.app.make_block(self.key.address(), 10);
+            assert!(self.app.commit_block(&block));
+        }
+    }
+
+    fn mean_tool() -> Tool {
+        // params: [dataset_label, params_blob, x1, x2, ...]
+        Tool::new("mean", "v1", |params| {
+            let values: Vec<i64> =
+                params.iter().skip(2).filter_map(|v| v.as_int().ok()).collect();
+            if values.is_empty() {
+                return Ok(vec![Value::Int(0)]);
+            }
+            Ok(vec![Value::Int(values.iter().sum::<i64>() / values.len() as i64)])
+        })
+    }
+
+    fn local_data_backend() -> Arc<dyn crate::oracle::OracleBackend> {
+        Arc::new(|_method: &str, params: &[Value]| -> Result<Vec<Value>, String> {
+            match params.first().and_then(|v| v.as_str().ok()) {
+                Some("site-a/emr") => Ok(vec![Value::Int(10), Value::Int(20), Value::Int(30)]),
+                other => Err(format!("not hosted: {other:?}")),
+            }
+        })
+    }
+
+    #[test]
+    fn analytics_request_runs_locally_and_posts_result() {
+        let mut setup = Setup::new();
+        let tool = mean_tool();
+        setup.invoke(
+            "register_tool",
+            &[Value::str("mean"), Value::Bytes(tool.code_hash().0.to_vec())],
+        );
+        setup.invoke(
+            "request_run",
+            &[Value::str("mean"), Value::str("site-a/emr"), Value::Bytes(vec![])],
+        );
+
+        let mut control = ControlNode::new("site-a");
+        control.install_tool(tool);
+        control.host_dataset("site-a/emr");
+        control.oracle_mut().register("local-data", local_data_backend());
+
+        let intents = control.step(setup.app.ledger());
+        assert_eq!(intents.len(), 1);
+        match &intents[0] {
+            ActionIntent::PostResult { task_id, result, .. } => {
+                assert_eq!(*task_id, 0);
+                assert_eq!(result, &vec![Value::Int(20)]);
+            }
+            other => panic!("unexpected intent {other:?}"),
+        }
+        assert_eq!(control.stats().tasks_run, 1);
+        // Nothing new on a second cycle.
+        assert!(control.step(setup.app.ledger()).is_empty());
+    }
+
+    #[test]
+    fn requests_for_other_sites_are_skipped() {
+        let mut setup = Setup::new();
+        let tool = mean_tool();
+        setup.invoke(
+            "register_tool",
+            &[Value::str("mean"), Value::Bytes(tool.code_hash().0.to_vec())],
+        );
+        setup.invoke(
+            "request_run",
+            &[Value::str("mean"), Value::str("site-b/emr"), Value::Bytes(vec![])],
+        );
+
+        let mut control = ControlNode::new("site-a");
+        control.install_tool(tool);
+        control.host_dataset("site-a/emr");
+        let intents = control.step(setup.app.ledger());
+        assert!(intents.is_empty());
+        assert_eq!(control.stats().tasks_skipped, 1);
+    }
+
+    #[test]
+    fn tool_failure_is_counted() {
+        let mut setup = Setup::new();
+        let bad = Tool::new("mean", "broken", |_| Err("crash".to_string()));
+        setup.invoke(
+            "register_tool",
+            &[Value::str("mean"), Value::Bytes(bad.code_hash().0.to_vec())],
+        );
+        setup.invoke(
+            "request_run",
+            &[Value::str("mean"), Value::str("site-a/emr"), Value::Bytes(vec![])],
+        );
+        let mut control = ControlNode::new("site-a");
+        control.install_tool(bad);
+        control.host_dataset("site-a/emr");
+        control.oracle_mut().register("local-data", local_data_backend());
+        assert!(control.step(setup.app.ledger()).is_empty());
+        assert_eq!(control.stats().failures, 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! The off-chain task executor — where the real computation happens.
+//!
+//! The paper's transformation keeps contracts as thin policy gates and
+//! moves "the off-chain real arbitrary computation codes" next to the
+//! data (§III). [`TaskExecutor`] is one site's compute engine: a registry
+//! of analytics *tools* (arbitrary Rust closures keyed by name, with
+//! code-integrity hashes matching the on-chain `ToolRegistered` anchors)
+//! executed against locally resident data. [`run_parallel`] fans a batch
+//! of tasks across OS threads, so wall-clock measurements in the
+//! experiments reflect genuine parallel execution.
+
+use medchain_chain::Hash256;
+use medchain_contracts::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An analytics tool: pure function from parameters to results, in the
+/// standard value format.
+pub type ToolFn = dyn Fn(&[Value]) -> Result<Vec<Value>, String> + Send + Sync;
+
+/// A registered tool with its integrity hash.
+#[derive(Clone)]
+pub struct Tool {
+    name: String,
+    code_hash: Hash256,
+    func: Arc<ToolFn>,
+}
+
+impl fmt::Debug for Tool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tool")
+            .field("name", &self.name)
+            .field("code_hash", &self.code_hash)
+            .finish()
+    }
+}
+
+impl Tool {
+    /// Creates a tool. The `code_hash` is the anchor registered on-chain
+    /// via the analytics contract; `version_tag` feeds the hash so that
+    /// re-deployments are distinguishable.
+    pub fn new(
+        name: &str,
+        version_tag: &str,
+        func: impl Fn(&[Value]) -> Result<Vec<Value>, String> + Send + Sync + 'static,
+    ) -> Tool {
+        let mut material = name.as_bytes().to_vec();
+        material.extend_from_slice(version_tag.as_bytes());
+        Tool { name: name.to_string(), code_hash: Hash256::digest(&material), func: Arc::new(func) }
+    }
+
+    /// Tool name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Integrity hash to anchor on-chain.
+    pub fn code_hash(&self) -> Hash256 {
+        self.code_hash
+    }
+}
+
+/// Result of one task execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskResult {
+    /// Tool that ran.
+    pub tool: String,
+    /// Returned values.
+    pub output: Vec<Value>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// Errors from task execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// Tool not installed at this site.
+    UnknownTool(String),
+    /// The on-chain anchor does not match the local tool code.
+    IntegrityMismatch {
+        /// Tool name.
+        tool: String,
+        /// Hash recorded on-chain.
+        expected: Hash256,
+        /// Hash of the local implementation.
+        actual: Hash256,
+    },
+    /// The tool itself failed.
+    ToolFailed(String),
+}
+
+impl fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecutorError::UnknownTool(name) => write!(f, "tool {name:?} not installed"),
+            ExecutorError::IntegrityMismatch { tool, expected, actual } => write!(
+                f,
+                "integrity mismatch for {tool:?}: on-chain {expected:?}, local {actual:?}"
+            ),
+            ExecutorError::ToolFailed(msg) => write!(f, "tool failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+/// One site's analytics compute engine.
+#[derive(Debug, Default, Clone)]
+pub struct TaskExecutor {
+    tools: HashMap<String, Tool>,
+    executed: u64,
+}
+
+impl TaskExecutor {
+    /// Creates an executor with no tools installed.
+    pub fn new() -> TaskExecutor {
+        TaskExecutor::default()
+    }
+
+    /// Installs a tool.
+    pub fn install(&mut self, tool: Tool) {
+        self.tools.insert(tool.name().to_string(), tool);
+    }
+
+    /// Looks up an installed tool.
+    pub fn tool(&self, name: &str) -> Option<&Tool> {
+        self.tools.get(name)
+    }
+
+    /// Number of tasks executed.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Runs `tool` with `params`, optionally verifying the local code
+    /// hash against an on-chain `anchor` first (the paper's requirement
+    /// that the chain "manage and enforce its integrity of the off-chain
+    /// data and code").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecutorError`] on unknown tools, integrity mismatches,
+    /// or tool failures.
+    pub fn run(
+        &mut self,
+        tool: &str,
+        params: &[Value],
+        anchor: Option<Hash256>,
+    ) -> Result<TaskResult, ExecutorError> {
+        let entry = self
+            .tools
+            .get(tool)
+            .ok_or_else(|| ExecutorError::UnknownTool(tool.to_string()))?;
+        if let Some(expected) = anchor {
+            if expected != entry.code_hash {
+                return Err(ExecutorError::IntegrityMismatch {
+                    tool: tool.to_string(),
+                    expected,
+                    actual: entry.code_hash,
+                });
+            }
+        }
+        let start = Instant::now();
+        let output = (entry.func)(params).map_err(ExecutorError::ToolFailed)?;
+        self.executed += 1;
+        Ok(TaskResult { tool: tool.to_string(), output, elapsed: start.elapsed() })
+    }
+}
+
+/// A task to fan out: `(tool name, parameters)`.
+pub type TaskSpec = (String, Vec<Value>);
+
+/// Runs a batch of tasks across OS threads, one thread per task (the
+/// per-site fan-out of the transformed architecture). Results come back
+/// in task order.
+pub fn run_parallel(
+    executors: &mut [TaskExecutor],
+    tasks: &[TaskSpec],
+) -> Vec<Result<TaskResult, ExecutorError>> {
+    assert_eq!(
+        executors.len(),
+        tasks.len(),
+        "one executor (site) per task; got {} executors, {} tasks",
+        executors.len(),
+        tasks.len()
+    );
+    let mut results: Vec<Option<Result<TaskResult, ExecutorError>>> =
+        (0..tasks.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for ((executor, task), slot) in
+            executors.iter_mut().zip(tasks).zip(results.iter_mut())
+        {
+            scope.spawn(move |_| {
+                *slot = Some(executor.run(&task.0, &task.1, None));
+            });
+        }
+    })
+    .expect("task thread panicked");
+    results.into_iter().map(|slot| slot.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_tool() -> Tool {
+        Tool::new("sum", "v1", |params| {
+            let mut total = 0i64;
+            for p in params {
+                total += p.as_int().map_err(|e| e.to_string())?;
+            }
+            Ok(vec![Value::Int(total)])
+        })
+    }
+
+    #[test]
+    fn run_installed_tool() {
+        let mut executor = TaskExecutor::new();
+        executor.install(sum_tool());
+        let result = executor
+            .run("sum", &[Value::Int(1), Value::Int(2), Value::Int(3)], None)
+            .unwrap();
+        assert_eq!(result.output, vec![Value::Int(6)]);
+        assert_eq!(executor.executed(), 1);
+    }
+
+    #[test]
+    fn unknown_tool_is_an_error() {
+        let mut executor = TaskExecutor::new();
+        assert!(matches!(
+            executor.run("ghost", &[], None),
+            Err(ExecutorError::UnknownTool(_))
+        ));
+    }
+
+    #[test]
+    fn integrity_anchor_is_enforced() {
+        let mut executor = TaskExecutor::new();
+        let tool = sum_tool();
+        let good_anchor = tool.code_hash();
+        executor.install(tool);
+        assert!(executor.run("sum", &[Value::Int(1)], Some(good_anchor)).is_ok());
+        let bad_anchor = Hash256::digest(b"tampered tool");
+        assert!(matches!(
+            executor.run("sum", &[Value::Int(1)], Some(bad_anchor)),
+            Err(ExecutorError::IntegrityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tool_versions_have_distinct_hashes() {
+        let v1 = Tool::new("t", "v1", |_| Ok(vec![]));
+        let v2 = Tool::new("t", "v2", |_| Ok(vec![]));
+        assert_ne!(v1.code_hash(), v2.code_hash());
+    }
+
+    #[test]
+    fn tool_failure_propagates() {
+        let mut executor = TaskExecutor::new();
+        executor.install(Tool::new("bad", "v1", |_| Err("boom".to_string())));
+        assert_eq!(
+            executor.run("bad", &[], None),
+            Err(ExecutorError::ToolFailed("boom".into()))
+        );
+    }
+
+    #[test]
+    fn parallel_fan_out_preserves_order() {
+        let mut executors: Vec<TaskExecutor> = (0..4)
+            .map(|_| {
+                let mut e = TaskExecutor::new();
+                e.install(sum_tool());
+                e
+            })
+            .collect();
+        let tasks: Vec<TaskSpec> = (0..4)
+            .map(|i| ("sum".to_string(), vec![Value::Int(i), Value::Int(i)]))
+            .collect();
+        let results = run_parallel(&mut executors, &tasks);
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.as_ref().unwrap().output, vec![Value::Int(2 * i as i64)]);
+        }
+    }
+
+    #[test]
+    fn parallel_fan_out_is_actually_concurrent() {
+        // Each task sleeps 30 ms; 8 tasks serially would take 240 ms.
+        let mut executors: Vec<TaskExecutor> = (0..8)
+            .map(|_| {
+                let mut e = TaskExecutor::new();
+                e.install(Tool::new("sleep", "v1", |_| {
+                    std::thread::sleep(Duration::from_millis(30));
+                    Ok(vec![Value::Int(1)])
+                }));
+                e
+            })
+            .collect();
+        let tasks: Vec<TaskSpec> = (0..8).map(|_| ("sleep".to_string(), vec![])).collect();
+        let start = Instant::now();
+        let results = run_parallel(&mut executors, &tasks);
+        let elapsed = start.elapsed();
+        assert!(results.iter().all(Result::is_ok));
+        assert!(elapsed < Duration::from_millis(200), "not parallel: {elapsed:?}");
+    }
+}

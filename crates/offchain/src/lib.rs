@@ -1,0 +1,29 @@
+//! # medchain-offchain — the off-chain control plane
+//!
+//! Implements the paper's seamless on-chain/off-chain collaboration
+//! (Figs. 1, 3, 4): the [`monitor::MonitorNode`] watching contract
+//! events, the [`oracle::DataOracle`] RPC bridge with a standard value
+//! format, the [`executor::TaskExecutor`] running arbitrary analytics
+//! tools next to locally hosted data, the per-site
+//! [`control::ControlNode`] that makes identical on-chain contracts
+//! behave differently at every site, and hash-anchored integrity
+//! ([`registry`]) for off-chain data and code.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod control;
+pub mod executor;
+pub mod monitor;
+pub mod oracle;
+pub mod pipeline;
+pub mod registry;
+
+pub use control::{ActionIntent, ControlNode, ControlStats};
+pub use executor::{run_parallel, ExecutorError, TaskExecutor, TaskResult, Tool};
+pub use monitor::{CapturedEvent, MonitorNode};
+pub use oracle::{DataOracle, OracleBackend, OracleError, OracleRequest};
+pub use pipeline::{DynamicPipeline, PipelineCtx, PipelineStep, Route};
+pub use registry::{
+    anchor_label, verify_against_chain, verify_record, AnchoredArtifact, IntegrityVerdict,
+};

@@ -1,0 +1,206 @@
+//! The data oracle — the RPC bridge between on-chain contracts and the
+//! off-chain world (paper Fig. 4).
+//!
+//! "For security reason, on-chain smart contract is strictly limited or
+//! without direct external communication capability with outside world,
+//! and so we need to design a special data oracle mechanism by remote
+//! procedure call" (§IV). The oracle exposes named services; every
+//! request and response uses the VM value codec, so results arrive at
+//! contracts in "a standard format" (§III-A).
+
+use medchain_contracts::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An RPC request to an off-chain service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleRequest {
+    /// Target service (e.g. `"emr-store"`, `"analytics"`).
+    pub service: String,
+    /// Method on the service.
+    pub method: String,
+    /// Parameters in the standard value format.
+    pub params: Vec<Value>,
+}
+
+impl OracleRequest {
+    /// Builds a request.
+    pub fn new(service: &str, method: &str, params: Vec<Value>) -> OracleRequest {
+        OracleRequest { service: service.to_string(), method: method.to_string(), params }
+    }
+}
+
+/// Errors an oracle call can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// No backend registered for the service.
+    UnknownService(String),
+    /// The backend rejected the call.
+    Backend(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::UnknownService(s) => write!(f, "unknown oracle service {s:?}"),
+            OracleError::Backend(msg) => write!(f, "oracle backend error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// An off-chain service reachable through the oracle.
+pub trait OracleBackend: Send + Sync {
+    /// Handles one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a backend-defined message on failure.
+    fn handle(&self, method: &str, params: &[Value]) -> Result<Vec<Value>, String>;
+}
+
+impl<F> OracleBackend for F
+where
+    F: Fn(&str, &[Value]) -> Result<Vec<Value>, String> + Send + Sync,
+{
+    fn handle(&self, method: &str, params: &[Value]) -> Result<Vec<Value>, String> {
+        self(method, params)
+    }
+}
+
+/// Call statistics for the bridge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Successful calls.
+    pub ok: u64,
+    /// Failed calls.
+    pub failed: u64,
+    /// Total parameter bytes moved into backends.
+    pub bytes_in: u64,
+    /// Total result bytes returned.
+    pub bytes_out: u64,
+}
+
+/// The oracle bridge: a registry of named backends plus call metering.
+#[derive(Clone, Default)]
+pub struct DataOracle {
+    backends: HashMap<String, Arc<dyn OracleBackend>>,
+    stats: OracleStats,
+}
+
+impl fmt::Debug for DataOracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut services: Vec<&str> = self.backends.keys().map(String::as_str).collect();
+        services.sort_unstable();
+        f.debug_struct("DataOracle")
+            .field("services", &services)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DataOracle {
+    /// Creates an empty oracle.
+    pub fn new() -> DataOracle {
+        DataOracle::default()
+    }
+
+    /// Registers a backend under `service`.
+    pub fn register(&mut self, service: &str, backend: Arc<dyn OracleBackend>) {
+        self.backends.insert(service.to_string(), backend);
+    }
+
+    /// Registered service names, sorted.
+    pub fn services(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.backends.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Call statistics.
+    pub fn stats(&self) -> OracleStats {
+        self.stats
+    }
+
+    /// Performs an RPC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError`] on unknown services or backend failures.
+    pub fn call(&mut self, request: &OracleRequest) -> Result<Vec<Value>, OracleError> {
+        let backend = self
+            .backends
+            .get(&request.service)
+            .ok_or_else(|| OracleError::UnknownService(request.service.clone()))?
+            .clone();
+        self.stats.bytes_in +=
+            request.params.iter().map(Value::encoded_len).sum::<usize>() as u64;
+        match backend.handle(&request.method, &request.params) {
+            Ok(result) => {
+                self.stats.ok += 1;
+                self.stats.bytes_out +=
+                    result.iter().map(Value::encoded_len).sum::<usize>() as u64;
+                Ok(result)
+            }
+            Err(msg) => {
+                self.stats.failed += 1;
+                Err(OracleError::Backend(msg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_backend() -> Arc<dyn OracleBackend> {
+        Arc::new(|method: &str, params: &[Value]| -> Result<Vec<Value>, String> {
+            match method {
+                "echo" => Ok(params.to_vec()),
+                "fail" => Err("deliberate".to_string()),
+                other => Err(format!("no method {other}")),
+            }
+        })
+    }
+
+    #[test]
+    fn call_round_trip() {
+        let mut oracle = DataOracle::new();
+        oracle.register("echo-svc", echo_backend());
+        let result = oracle
+            .call(&OracleRequest::new("echo-svc", "echo", vec![Value::Int(5), Value::str("x")]))
+            .unwrap();
+        assert_eq!(result, vec![Value::Int(5), Value::str("x")]);
+        assert_eq!(oracle.stats().ok, 1);
+        assert!(oracle.stats().bytes_in > 0);
+        assert!(oracle.stats().bytes_out > 0);
+    }
+
+    #[test]
+    fn unknown_service_is_an_error() {
+        let mut oracle = DataOracle::new();
+        let err = oracle.call(&OracleRequest::new("ghost", "m", vec![])).unwrap_err();
+        assert_eq!(err, OracleError::UnknownService("ghost".into()));
+    }
+
+    #[test]
+    fn backend_failures_are_counted() {
+        let mut oracle = DataOracle::new();
+        oracle.register("svc", echo_backend());
+        let err = oracle.call(&OracleRequest::new("svc", "fail", vec![])).unwrap_err();
+        assert!(matches!(err, OracleError::Backend(_)));
+        assert_eq!(oracle.stats().failed, 1);
+        assert_eq!(oracle.stats().ok, 0);
+    }
+
+    #[test]
+    fn services_are_listed_sorted() {
+        let mut oracle = DataOracle::new();
+        oracle.register("zeta", echo_backend());
+        oracle.register("alpha", echo_backend());
+        assert_eq!(oracle.services(), vec!["alpha", "zeta"]);
+    }
+}

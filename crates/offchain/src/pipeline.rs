@@ -1,0 +1,294 @@
+//! Dynamic analytics pipelines (paper §IV, Analytics Services):
+//! "Blockchain smart contract will manage the right computing tool to
+//! right data set at the right time. The analytics decision tree is
+//! based on the resulting data and condition of the results of previous
+//! computing step. The pipeline of these tools need dynamically
+//! established."
+//!
+//! A [`DynamicPipeline`] is a named graph of steps; each step runs a
+//! tool from the site's [`TaskExecutor`] and a routing function inspects
+//! the output to pick the next step — a decision tree over live results
+//! rather than a static DAG.
+
+use crate::executor::{ExecutorError, TaskExecutor};
+use medchain_contracts::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Where to go after a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// Continue with the named step.
+    Next(String),
+    /// Pipeline complete.
+    Done,
+}
+
+/// Accumulated context visible to parameter builders: outputs of every
+/// completed step, by step name.
+#[derive(Debug, Default, Clone)]
+pub struct PipelineCtx {
+    outputs: HashMap<String, Vec<Value>>,
+}
+
+impl PipelineCtx {
+    /// Output of a completed step.
+    pub fn output(&self, step: &str) -> Option<&[Value]> {
+        self.outputs.get(step).map(Vec::as_slice)
+    }
+
+    /// First integer of a completed step's output, if any.
+    pub fn int_of(&self, step: &str) -> Option<i64> {
+        self.output(step)?.first()?.as_int().ok()
+    }
+}
+
+type ParamsFn = Box<dyn Fn(&PipelineCtx) -> Vec<Value> + Send + Sync>;
+type RouteFn = Box<dyn Fn(&[Value]) -> Route + Send + Sync>;
+
+/// One pipeline step: a tool, its parameter builder, and its router.
+pub struct PipelineStep {
+    tool: String,
+    params: ParamsFn,
+    route: RouteFn,
+}
+
+impl fmt::Debug for PipelineStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineStep").field("tool", &self.tool).finish()
+    }
+}
+
+impl PipelineStep {
+    /// Creates a step running `tool`.
+    pub fn new(
+        tool: &str,
+        params: impl Fn(&PipelineCtx) -> Vec<Value> + Send + Sync + 'static,
+        route: impl Fn(&[Value]) -> Route + Send + Sync + 'static,
+    ) -> PipelineStep {
+        PipelineStep { tool: tool.to_string(), params: Box::new(params), route: Box::new(route) }
+    }
+
+    /// A terminal step (always routes to [`Route::Done`]).
+    pub fn terminal(
+        tool: &str,
+        params: impl Fn(&PipelineCtx) -> Vec<Value> + Send + Sync + 'static,
+    ) -> PipelineStep {
+        PipelineStep::new(tool, params, |_| Route::Done)
+    }
+}
+
+/// Errors from pipeline execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineRunError {
+    /// A routed-to step name does not exist.
+    UnknownStep(String),
+    /// A tool failed.
+    Tool(ExecutorError),
+    /// The step budget was exhausted (cycle guard).
+    StepBudgetExhausted(usize),
+}
+
+impl fmt::Display for PipelineRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineRunError::UnknownStep(name) => write!(f, "unknown pipeline step {name:?}"),
+            PipelineRunError::Tool(e) => write!(f, "pipeline tool failed: {e}"),
+            PipelineRunError::StepBudgetExhausted(budget) => {
+                write!(f, "pipeline exceeded its budget of {budget} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineRunError {}
+
+/// Trace of one executed step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedStep {
+    /// Step name.
+    pub step: String,
+    /// Tool that ran.
+    pub tool: String,
+    /// Tool output.
+    pub output: Vec<Value>,
+}
+
+/// A dynamically routed analytics pipeline.
+#[derive(Debug, Default)]
+pub struct DynamicPipeline {
+    steps: HashMap<String, PipelineStep>,
+    start: Option<String>,
+    max_steps: usize,
+}
+
+impl DynamicPipeline {
+    /// Creates an empty pipeline with a 64-step budget.
+    pub fn new() -> DynamicPipeline {
+        DynamicPipeline { steps: HashMap::new(), start: None, max_steps: 64 }
+    }
+
+    /// Sets the step budget (cycle guard).
+    pub fn with_max_steps(mut self, max_steps: usize) -> DynamicPipeline {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Adds a named step; the first added step is the start.
+    pub fn step(mut self, name: &str, step: PipelineStep) -> DynamicPipeline {
+        if self.start.is_none() {
+            self.start = Some(name.to_string());
+        }
+        self.steps.insert(name.to_string(), step);
+        self
+    }
+
+    /// Runs the pipeline against a site executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineRunError`] on unknown steps, tool failures, or
+    /// budget exhaustion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has no steps.
+    pub fn run(&self, executor: &mut TaskExecutor) -> Result<Vec<ExecutedStep>, PipelineRunError> {
+        let mut current = self.start.clone().expect("pipeline has at least one step");
+        let mut ctx = PipelineCtx::default();
+        let mut trace = Vec::new();
+        for _ in 0..self.max_steps {
+            let step = self
+                .steps
+                .get(&current)
+                .ok_or_else(|| PipelineRunError::UnknownStep(current.clone()))?;
+            let params = (step.params)(&ctx);
+            let result =
+                executor.run(&step.tool, &params, None).map_err(PipelineRunError::Tool)?;
+            ctx.outputs.insert(current.clone(), result.output.clone());
+            trace.push(ExecutedStep {
+                step: current.clone(),
+                tool: step.tool.clone(),
+                output: result.output.clone(),
+            });
+            match (step.route)(&result.output) {
+                Route::Done => return Ok(trace),
+                Route::Next(next) => current = next,
+            }
+        }
+        Err(PipelineRunError::StepBudgetExhausted(self.max_steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Tool;
+
+    /// Build an executor with a triage toolset: `screen` returns a risk
+    /// score from its input, `deep` and `summary` tag their input.
+    fn triage_executor() -> TaskExecutor {
+        let mut executor = TaskExecutor::new();
+        executor.install(Tool::new("screen", "v1", |params| {
+            let x = params.first().and_then(|v| v.as_int().ok()).unwrap_or(0);
+            Ok(vec![Value::Int(x * 2)]) // "risk score"
+        }));
+        executor.install(Tool::new("deep", "v1", |params| {
+            let score = params.first().and_then(|v| v.as_int().ok()).unwrap_or(0);
+            Ok(vec![Value::str("deep-analysis"), Value::Int(score)])
+        }));
+        executor.install(Tool::new("summary", "v1", |_params| {
+            Ok(vec![Value::str("routine-summary")])
+        }));
+        executor
+    }
+
+    fn triage_pipeline(input: i64) -> DynamicPipeline {
+        DynamicPipeline::new()
+            .step(
+                "screen",
+                PipelineStep::new(
+                    "screen",
+                    move |_ctx| vec![Value::Int(input)],
+                    |output| {
+                        let score = output.first().and_then(|v| v.as_int().ok()).unwrap_or(0);
+                        if score >= 100 {
+                            Route::Next("deep".into())
+                        } else {
+                            Route::Next("summary".into())
+                        }
+                    },
+                ),
+            )
+            .step(
+                "deep",
+                PipelineStep::terminal("deep", |ctx| {
+                    vec![Value::Int(ctx.int_of("screen").unwrap_or(0))]
+                }),
+            )
+            .step("summary", PipelineStep::terminal("summary", |_ctx| vec![]))
+    }
+
+    #[test]
+    fn high_risk_routes_to_deep_analysis() {
+        let mut executor = triage_executor();
+        let trace = triage_pipeline(80).run(&mut executor).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].tool, "deep");
+        // The deep step received the screen score via the context.
+        assert_eq!(trace[1].output[1], Value::Int(160));
+    }
+
+    #[test]
+    fn low_risk_routes_to_summary() {
+        let mut executor = triage_executor();
+        let trace = triage_pipeline(10).run(&mut executor).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1].tool, "summary");
+        assert_eq!(trace[1].output[0], Value::str("routine-summary"));
+    }
+
+    #[test]
+    fn unknown_route_is_an_error() {
+        let pipeline = DynamicPipeline::new().step(
+            "start",
+            PipelineStep::new("screen", |_| vec![Value::Int(1)], |_| {
+                Route::Next("ghost".into())
+            }),
+        );
+        let mut executor = triage_executor();
+        assert!(matches!(
+            pipeline.run(&mut executor),
+            Err(PipelineRunError::UnknownStep(name)) if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn cycles_hit_the_step_budget() {
+        let pipeline = DynamicPipeline::new()
+            .with_max_steps(10)
+            .step(
+                "loop",
+                PipelineStep::new("screen", |_| vec![Value::Int(1)], |_| {
+                    Route::Next("loop".into())
+                }),
+            );
+        let mut executor = triage_executor();
+        assert_eq!(
+            pipeline.run(&mut executor),
+            Err(PipelineRunError::StepBudgetExhausted(10))
+        );
+    }
+
+    #[test]
+    fn tool_failure_propagates() {
+        let mut executor = TaskExecutor::new();
+        executor.install(Tool::new("broken", "v1", |_| Err("nope".into())));
+        let pipeline = DynamicPipeline::new()
+            .step("only", PipelineStep::terminal("broken", |_| vec![]));
+        assert!(matches!(
+            pipeline.run(&mut executor),
+            Err(PipelineRunError::Tool(ExecutorError::ToolFailed(_)))
+        ));
+    }
+}

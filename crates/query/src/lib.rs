@@ -1,0 +1,25 @@
+//! # medchain-query — query decomposition and composition
+//!
+//! The paper's Figs. 5/6 query pipeline: structured [`QueryVector`]s
+//! ([`vector`]), a transparent rule-based natural-language mapper
+//! ([`nlp`]), decomposition into per-site tasks executed against locally
+//! resident records ([`planner`]), and exact composition of rows,
+//! aggregates, and federated model parameters ([`composer`]), fronted by
+//! the [`service::GlobalQueryService`].
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod composer;
+pub mod nlp;
+pub mod optimizer;
+pub mod planner;
+pub mod service;
+pub mod vector;
+
+pub use composer::{compose, ComposeError, QueryAnswer};
+pub use nlp::{parse_request, NlpError};
+pub use optimizer::{optimize, run_counted, EvalStats};
+pub use planner::{execute_local, plan, SiteOutput, SiteTask};
+pub use service::{GlobalQueryService, QueryServiceError, QueryStats};
+pub use vector::{cohorts, Computation, QueryVector};

@@ -1,0 +1,416 @@
+//! Natural-language query mapping (paper §IV).
+//!
+//! "The main technical challenge is to invent innovative algorithms to
+//! convert the query request into optimized query vector." This module
+//! implements the rule-based core of that mapping: a keyword/pattern
+//! grammar over epidemiological English. It is intentionally a
+//! *transparent* baseline — each rule is auditable, which matters in a
+//! regulated medical setting — rather than a statistical parser.
+//!
+//! Recognized shapes (case-insensitive):
+//!
+//! * computations — `count`, `mean/average <field>`, `variance of
+//!   <field>`, `histogram of <field>`, `prevalence of <code>`,
+//!   `train <code> model`, `fetch/list records`
+//! * filters — `smokers`, `non-smokers`, `diabetics`, `male/female`,
+//!   `over/under <n>`, `between <a> and <b>`, `with <code>`,
+//!   `without <code>`, `with wearables`, `with genomics`
+//! * purposes — `for treatment`, `for research`, `for a clinical
+//!   trial`, `for public health`, `for audit`
+
+use crate::vector::{Computation, QueryVector};
+use medchain_contracts::policy::Purpose;
+use medchain_data::schema::Field;
+use medchain_data::{Predicate, RecordQuery};
+use medchain_learning::Aggregate;
+use std::fmt;
+
+/// Error mapping a natural-language request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NlpError {
+    /// The request that failed.
+    pub request: String,
+    /// Why it could not be mapped.
+    pub reason: String,
+}
+
+impl fmt::Display for NlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot map request {:?}: {}", self.request, self.reason)
+    }
+}
+
+impl std::error::Error for NlpError {}
+
+fn field_by_name(token: &str) -> Option<Field> {
+    match token {
+        "age" => Some(Field::Age),
+        "sbp" | "blood" | "pressure" | "systolic" => Some(Field::SystolicBp),
+        "cholesterol" => Some(Field::Cholesterol),
+        "bmi" => Some(Field::Bmi),
+        "steps" | "activity" => Some(Field::DailySteps),
+        "risk" | "prs" | "polygenic" => Some(Field::PolygenicRisk),
+        _ => None,
+    }
+}
+
+fn find_field(tokens: &[&str], from: usize) -> Option<Field> {
+    tokens[from..].iter().find_map(|t| field_by_name(t))
+}
+
+fn looks_like_code(token: &str) -> bool {
+    token.len() >= 2
+        && token.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        && token.chars().skip(1).all(|c| c.is_ascii_digit())
+}
+
+/// Maps an English request to a [`QueryVector`].
+///
+/// # Errors
+///
+/// Returns [`NlpError`] when no computation pattern matches.
+///
+/// # Examples
+///
+/// ```
+/// use medchain_query::nlp::parse_request;
+///
+/// let q = parse_request("mean age of smokers over 60 for public health").unwrap();
+/// assert_eq!(q.cohort.predicates.len(), 2);
+/// ```
+pub fn parse_request(request: &str) -> Result<QueryVector, NlpError> {
+    let lowered = request.to_lowercase();
+    let tokens: Vec<&str> = lowered
+        .split(|c: char| c.is_whitespace() || c == ',' || c == '?')
+        .filter(|t| !t.is_empty())
+        .collect();
+    let original_tokens: Vec<&str> = request
+        .split(|c: char| c.is_whitespace() || c == ',' || c == '?')
+        .filter(|t| !t.is_empty())
+        .collect();
+    let err = |reason: &str| NlpError { request: request.to_string(), reason: reason.into() };
+
+    // --- computation ---
+    // Aggregate keywords accumulate ("count and mean age…"); a train or
+    // fetch keyword takes the whole request instead.
+    let mut aggregates: Vec<Aggregate> = Vec::new();
+    let mut computation: Option<Computation> = None;
+    for (i, token) in tokens.iter().enumerate() {
+        let found: Option<Computation> = match *token {
+            "count" | "how" => Some(Computation::Aggregates(vec![Aggregate::Count])),
+            "mean" | "average" => {
+                let field = find_field(&tokens, i + 1)
+                    .ok_or_else(|| err("mean/average needs a field name"))?;
+                Some(Computation::Aggregates(vec![Aggregate::Mean(field)]))
+            }
+            "variance" => {
+                let field = find_field(&tokens, i + 1)
+                    .ok_or_else(|| err("variance needs a field name"))?;
+                Some(Computation::Aggregates(vec![Aggregate::Variance(field)]))
+            }
+            "histogram" | "distribution" => {
+                let field = find_field(&tokens, i + 1)
+                    .ok_or_else(|| err("histogram needs a field name"))?;
+                let (min, max) = match field {
+                    Field::Age => (15.0, 100.0),
+                    Field::SystolicBp => (90.0, 220.0),
+                    Field::Cholesterol => (100.0, 400.0),
+                    Field::Bmi => (15.0, 60.0),
+                    Field::DailySteps => (0.0, 25_000.0),
+                    _ => (0.0, 1.0),
+                };
+                Some(Computation::Aggregates(vec![Aggregate::Histogram {
+                    field,
+                    bins: 10,
+                    min,
+                    max,
+                }]))
+            }
+            "prevalence" => {
+                let code = original_tokens[i + 1..]
+                    .iter()
+                    .find(|t| looks_like_code(t))
+                    .ok_or_else(|| err("prevalence needs a diagnosis code like I63"))?;
+                Some(Computation::Aggregates(vec![Aggregate::Prevalence(code.to_string())]))
+            }
+            "train" | "model" | "predict" => {
+                let code = original_tokens
+                    .iter()
+                    .find(|t| looks_like_code(t))
+                    .map(|t| t.to_string())
+                    .or_else(|| {
+                        // Disease names map to their synthetic codes.
+                        if lowered.contains("stroke") {
+                            Some("I63".to_string())
+                        } else if lowered.contains("cancer") {
+                            Some("C80".to_string())
+                        } else {
+                            None
+                        }
+                    })
+                    .ok_or_else(|| err("training needs a disease code or name"))?;
+                Some(Computation::TrainModel { outcome_code: code, rounds: 10 })
+            }
+            "fetch" | "list" | "show" | "records" => Some(Computation::FetchRows),
+            _ => continue,
+        };
+        match found {
+            Some(Computation::Aggregates(mut new_aggregates)) => {
+                aggregates.append(&mut new_aggregates);
+            }
+            Some(other) => {
+                computation = Some(other);
+                break;
+            }
+            None => {}
+        }
+    }
+    let computation = match computation {
+        Some(c) => c,
+        None if !aggregates.is_empty() => {
+            aggregates.dedup();
+            Computation::Aggregates(aggregates)
+        }
+        None => {
+            return Err(err(
+                "no computation keyword (count/mean/variance/histogram/prevalence/train/fetch)",
+            ))
+        }
+    };
+
+    // --- filters ---
+    let mut cohort = RecordQuery::all();
+    for (i, token) in tokens.iter().enumerate() {
+        match *token {
+            "smokers" | "smoking" => {
+                cohort = cohort.filter(Predicate::Flag { field: Field::Smoker, value: true });
+            }
+            "non-smokers" | "nonsmokers" => {
+                cohort = cohort.filter(Predicate::Flag { field: Field::Smoker, value: false });
+            }
+            "diabetics" | "diabetic" => {
+                cohort = cohort.filter(Predicate::Flag { field: Field::Diabetic, value: true });
+            }
+            "men" | "male" | "males" => {
+                cohort = cohort.filter(Predicate::Flag { field: Field::Sex, value: true });
+            }
+            "women" | "female" | "females" => {
+                cohort = cohort.filter(Predicate::Flag { field: Field::Sex, value: false });
+            }
+            "over" | "above" => {
+                if let Some(n) = tokens.get(i + 1).and_then(|t| t.parse::<f64>().ok()) {
+                    cohort = cohort.filter(Predicate::Range {
+                        field: Field::Age,
+                        min: n,
+                        max: 200.0,
+                    });
+                }
+            }
+            "under" | "below" => {
+                if let Some(n) = tokens.get(i + 1).and_then(|t| t.parse::<f64>().ok()) {
+                    cohort =
+                        cohort.filter(Predicate::Range { field: Field::Age, min: 0.0, max: n });
+                }
+            }
+            "between" => {
+                let a = tokens.get(i + 1).and_then(|t| t.parse::<f64>().ok());
+                let b = tokens.get(i + 3).and_then(|t| t.parse::<f64>().ok());
+                if let (Some(min), Some(max)) = (a, b) {
+                    cohort = cohort.filter(Predicate::Range { field: Field::Age, min, max });
+                }
+            }
+            "with" => match tokens.get(i + 1).copied() {
+                Some("wearables") | Some("wearable") => {
+                    cohort = cohort.filter(Predicate::HasWearable);
+                }
+                Some("genomics") | Some("genome") => {
+                    cohort = cohort.filter(Predicate::HasGenomics);
+                }
+                _ => {
+                    if let Some(code) =
+                        original_tokens.get(i + 1).filter(|t| looks_like_code(t))
+                    {
+                        cohort = cohort.filter(Predicate::HasDiagnosis(code.to_string()));
+                    }
+                }
+            },
+            "without" => {
+                if let Some(code) = original_tokens.get(i + 1).filter(|t| looks_like_code(t)) {
+                    cohort = cohort.filter(Predicate::LacksDiagnosis(code.to_string()));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- purpose ---
+    let purpose = if lowered.contains("treatment") {
+        Purpose::Treatment
+    } else if lowered.contains("clinical trial") || lowered.contains("trial") {
+        Purpose::ClinicalTrial
+    } else if lowered.contains("public health") {
+        Purpose::PublicHealth
+    } else if lowered.contains("audit") {
+        Purpose::RegulatoryAudit
+    } else {
+        Purpose::Research
+    };
+
+    Ok(QueryVector { cohort, computation, purpose })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_with_filters() {
+        let q = parse_request("mean blood pressure of smokers over 60").unwrap();
+        match &q.computation {
+            Computation::Aggregates(aggs) => {
+                assert_eq!(aggs, &vec![Aggregate::Mean(Field::SystolicBp)])
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.cohort.predicates.len(), 2);
+        assert_eq!(q.purpose, Purpose::Research);
+    }
+
+    #[test]
+    fn count_diabetics() {
+        let q = parse_request("count diabetic patients for public health").unwrap();
+        assert!(matches!(&q.computation, Computation::Aggregates(a) if a[0] == Aggregate::Count));
+        assert_eq!(q.purpose, Purpose::PublicHealth);
+        assert_eq!(q.cohort.predicates.len(), 1);
+    }
+
+    #[test]
+    fn train_by_disease_name_and_code() {
+        let by_name = parse_request("train a stroke risk model across all hospitals").unwrap();
+        assert!(matches!(
+            &by_name.computation,
+            Computation::TrainModel { outcome_code, .. } if outcome_code == "I63"
+        ));
+        let by_code = parse_request("train C80 model").unwrap();
+        assert!(matches!(
+            &by_code.computation,
+            Computation::TrainModel { outcome_code, .. } if outcome_code == "C80"
+        ));
+    }
+
+    #[test]
+    fn prevalence_of_code() {
+        let q = parse_request("prevalence of I63 in women between 50 and 70").unwrap();
+        assert!(matches!(
+            &q.computation,
+            Computation::Aggregates(a) if a[0] == Aggregate::Prevalence("I63".into())
+        ));
+        assert_eq!(q.cohort.predicates.len(), 2);
+    }
+
+    #[test]
+    fn diagnosis_filters() {
+        let q = parse_request("fetch records with E11 without I63").unwrap();
+        assert!(q.cohort.predicates.contains(&Predicate::HasDiagnosis("E11".into())));
+        assert!(q.cohort.predicates.contains(&Predicate::LacksDiagnosis("I63".into())));
+    }
+
+    #[test]
+    fn modality_filters() {
+        let q = parse_request("histogram of steps with wearables").unwrap();
+        assert!(q.cohort.predicates.contains(&Predicate::HasWearable));
+    }
+
+    #[test]
+    fn purpose_detection() {
+        assert_eq!(
+            parse_request("count patients for a clinical trial").unwrap().purpose,
+            Purpose::ClinicalTrial
+        );
+        assert_eq!(
+            parse_request("count patients for treatment").unwrap().purpose,
+            Purpose::Treatment
+        );
+        assert_eq!(
+            parse_request("count patients for audit").unwrap().purpose,
+            Purpose::RegulatoryAudit
+        );
+    }
+
+    #[test]
+    fn unmappable_requests_error() {
+        assert!(parse_request("hello world").is_err());
+        assert!(parse_request("mean of nothing in particular").is_err());
+        assert!(parse_request("prevalence of something").is_err());
+    }
+
+    #[test]
+    fn variance_and_histogram() {
+        let v = parse_request("variance of cholesterol in men").unwrap();
+        assert!(matches!(
+            &v.computation,
+            Computation::Aggregates(a) if a[0] == Aggregate::Variance(Field::Cholesterol)
+        ));
+        let h = parse_request("histogram of age").unwrap();
+        assert!(matches!(
+            &h.computation,
+            Computation::Aggregates(a) if matches!(a[0], Aggregate::Histogram { field: Field::Age, .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod multi_aggregate_tests {
+    use super::*;
+
+    #[test]
+    fn multiple_aggregates_accumulate() {
+        let q = parse_request("count and mean age of diabetic smokers").unwrap();
+        match &q.computation {
+            Computation::Aggregates(aggs) => {
+                assert_eq!(aggs.len(), 2);
+                assert_eq!(aggs[0], Aggregate::Count);
+                assert_eq!(aggs[1], Aggregate::Mean(Field::Age));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.cohort.predicates.len(), 2);
+    }
+
+    #[test]
+    fn three_way_aggregate_request() {
+        let q = parse_request(
+            "count, mean cholesterol and variance of bmi in women over 50",
+        )
+        .unwrap();
+        match &q.computation {
+            Computation::Aggregates(aggs) => {
+                assert_eq!(
+                    aggs,
+                    &vec![
+                        Aggregate::Count,
+                        Aggregate::Mean(Field::Cholesterol),
+                        Aggregate::Variance(Field::Bmi),
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_aggregates_dedup() {
+        let q = parse_request("count how many smokers").unwrap();
+        match &q.computation {
+            Computation::Aggregates(aggs) => assert_eq!(aggs, &vec![Aggregate::Count]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_keyword_still_wins_whole_request() {
+        let q = parse_request("count patients and train a stroke model").unwrap();
+        // `count` accumulates first, but `train` takes the request.
+        assert!(matches!(q.computation, Computation::TrainModel { .. }));
+    }
+}

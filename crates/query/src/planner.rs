@@ -1,0 +1,214 @@
+//! Query decomposition into per-site tasks (paper Fig. 5).
+//!
+//! "The function of the query service component … is to … decompose the
+//! requests into various local transformed blockchain system to access
+//! data and execute the request." The planner turns one [`QueryVector`]
+//! into one [`SiteTask`] per participating site; each task is
+//! self-contained and runs entirely against locally resident records.
+
+use crate::vector::{Computation, QueryVector};
+use medchain_data::dataset::Dataset;
+use medchain_data::schema::QueryResult;
+use medchain_data::PatientRecord;
+use medchain_learning::decompose::Partial;
+
+/// A unit of work shipped to one site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteTask {
+    /// Target site name.
+    pub site: String,
+    /// The query to execute locally.
+    pub query: QueryVector,
+}
+
+/// What a site returns from executing its task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteOutput {
+    /// Projected rows (FetchRows).
+    Rows(QueryResult),
+    /// One partial per requested aggregate, in request order.
+    Partials(Vec<Partial>),
+    /// A locally trained model's parameters plus the shard size
+    /// (TrainModel; composed by weighted averaging).
+    ModelParams {
+        /// Flat parameter vector.
+        params: Vec<f64>,
+        /// Training rows at this site.
+        n: usize,
+    },
+}
+
+impl SiteOutput {
+    /// Bytes this output puts on the wire — what actually leaves the
+    /// site under move-compute-to-data.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            SiteOutput::Rows(result) => result.rows.len() * result.schema.columns().len() * 9,
+            SiteOutput::Partials(partials) => partials.iter().map(Partial::wire_size).sum(),
+            SiteOutput::ModelParams { params, .. } => params.len() * 8 + 8,
+        }
+    }
+}
+
+/// Plans a query across `sites`: one identical task per site (the
+/// decomposition is data-parallel; the *data* differs per site, which is
+/// the essence of the transformed architecture).
+pub fn plan(query: &QueryVector, sites: &[String]) -> Vec<SiteTask> {
+    sites
+        .iter()
+        .map(|site| SiteTask { site: site.clone(), query: query.clone() })
+        .collect()
+}
+
+/// Executes one site task against the site's local records — the
+/// per-premise half of Fig. 6. For `TrainModel` the site trains a
+/// logistic model on its local cohort for one federated round starting
+/// from `warm_start` (the global parameters), if provided.
+pub fn execute_local(
+    task: &SiteTask,
+    records: &[PatientRecord],
+    warm_start: Option<&[f64]>,
+) -> SiteOutput {
+    match &task.query.computation {
+        Computation::FetchRows => SiteOutput::Rows(task.query.cohort.run(records)),
+        Computation::Aggregates(aggregates) => {
+            let matching: Vec<PatientRecord> = records
+                .iter()
+                .filter(|r| task.query.cohort.matches(r))
+                .cloned()
+                .collect();
+            SiteOutput::Partials(
+                aggregates.iter().map(|agg| agg.map_site(&matching)).collect(),
+            )
+        }
+        Computation::TrainModel { outcome_code, .. } => {
+            let matching: Vec<PatientRecord> = records
+                .iter()
+                .filter(|r| task.query.cohort.matches(r))
+                .cloned()
+                .collect();
+            let data = Dataset::from_records(&matching, outcome_code);
+            let mut model = medchain_learning::LogisticRegression::new(data.dim().max(10));
+            if let Some(params) = warm_start {
+                model.set_params(params);
+            }
+            model.train(
+                &data,
+                &medchain_learning::SgdConfig { epochs: 3, ..Default::default() },
+            );
+            SiteOutput::ModelParams { params: model.params(), n: data.len() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::cohorts;
+    use medchain_data::schema::Field;
+    use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, STROKE_CODE};
+    use medchain_learning::Aggregate;
+
+    fn records(seed: u64) -> Vec<PatientRecord> {
+        CohortGenerator::new("s", SiteProfile::default(), seed).cohort(
+            0,
+            300,
+            &DiseaseModel::stroke(),
+        )
+    }
+
+    fn sites() -> Vec<String> {
+        (0..3).map(|i| format!("hospital-{i}")).collect()
+    }
+
+    #[test]
+    fn plan_fans_out_one_task_per_site() {
+        let query = QueryVector::fetch_all();
+        let tasks = plan(&query, &sites());
+        assert_eq!(tasks.len(), 3);
+        assert!(tasks.iter().all(|t| t.query == query));
+        assert_eq!(tasks[1].site, "hospital-1");
+    }
+
+    #[test]
+    fn fetch_rows_executes_cohort_locally() {
+        let query = QueryVector::fetch_all().with_cohort(cohorts::smokers());
+        let task = &plan(&query, &sites())[0];
+        let output = execute_local(task, &records(1), None);
+        match output {
+            SiteOutput::Rows(result) => {
+                assert!(!result.rows.is_empty());
+                assert!(result.rows.len() < 300);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_respect_cohort_filter() {
+        let all_count = QueryVector::fetch_all()
+            .with_computation(Computation::Aggregates(vec![Aggregate::Count]));
+        let smoker_count = all_count.clone().with_cohort(cohorts::smokers());
+        let rs = records(2);
+        let all_out = execute_local(&plan(&all_count, &sites())[0], &rs, None);
+        let smoker_out = execute_local(&plan(&smoker_count, &sites())[0], &rs, None);
+        let count = |o: &SiteOutput| match o {
+            SiteOutput::Partials(p) => p[0].n,
+            _ => panic!(),
+        };
+        assert!(count(&smoker_out) < count(&all_out));
+        assert_eq!(count(&all_out), 300);
+    }
+
+    #[test]
+    fn train_model_returns_params_and_shard_size() {
+        let query = QueryVector::fetch_all().with_computation(Computation::TrainModel {
+            outcome_code: STROKE_CODE.into(),
+            rounds: 1,
+        });
+        let output = execute_local(&plan(&query, &sites())[0], &records(3), None);
+        match output {
+            SiteOutput::ModelParams { params, n } => {
+                assert_eq!(params.len(), 11); // 10 features + bias
+                assert_eq!(n, 300);
+                assert!(params.iter().any(|p| *p != 0.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_continues_from_global_params() {
+        let query = QueryVector::fetch_all().with_computation(Computation::TrainModel {
+            outcome_code: STROKE_CODE.into(),
+            rounds: 1,
+        });
+        let task = &plan(&query, &sites())[0];
+        let rs = records(4);
+        let cold = execute_local(task, &rs, None);
+        let warm_params = vec![0.5; 11];
+        let warm = execute_local(task, &rs, Some(&warm_params));
+        assert_ne!(cold, warm, "warm start must influence the result");
+    }
+
+    #[test]
+    fn wire_sizes_reflect_output_kind() {
+        let rs = records(5);
+        let rows = execute_local(
+            &plan(&QueryVector::fetch_all(), &sites())[0],
+            &rs,
+            None,
+        );
+        let partials = execute_local(
+            &plan(
+                &QueryVector::fetch_all().with_computation(Computation::Aggregates(vec![
+                    Aggregate::Mean(Field::Age),
+                ])),
+                &sites(),
+            )[0],
+            &rs,
+            None,
+        );
+        assert!(rows.wire_size() > 100 * partials.wire_size());
+    }
+}

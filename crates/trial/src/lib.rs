@@ -1,0 +1,40 @@
+//! # medchain-trial — real-world-evidence clinical trials
+//!
+//! The paper's §II/§III-B trial layer: registered protocols with
+//! pre-specified outcomes ([`protocol`]), COMPare-style outcome-switch
+//! auditing calibrated to the 9/67 figure ([`compare`]), unbiased
+//! distributed recruitment from per-site EMR screening ([`recruitment`]),
+//! streaming post-approval safety monitoring toward the FDA
+//! real-world-evidence vision ([`monitoring`]), and falsification
+//! injection with blockchain-anchored detection calibrated to the cited
+//! 80% figure ([`falsification`]).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compare;
+pub mod efficacy;
+pub mod falsification;
+pub mod monitoring;
+pub mod protocol;
+pub mod rct;
+pub mod recruitment;
+
+pub use efficacy::{
+    blanket_strategy, precision_strategy, DrugModel, PrecisionPolicy, StrategyOutcome,
+};
+pub use compare::{
+    audit_population, audit_report, simulate_population, AuditFinding, Discrepancy,
+    PopulationAudit, COMPARE_CORRECT_RATE,
+};
+pub use falsification::{
+    audit_registry_only, audit_with_anchors, simulate_sites, DetectionReport, SiteTrialData,
+    REPORTED_FALSIFICATION_RATE,
+};
+pub use monitoring::{batched_detection_day, simulate_stream, OutcomeEvent, RweMonitor};
+pub use protocol::{PublishedReport, TrialProtocol};
+pub use rct::{
+    intention_to_treat, observational_estimate, randomize, simulate_rct_and_observational, Arm,
+    ArmOutcome, EffectEstimate,
+};
+pub use recruitment::{diversity, recruit, screen_site, DiversityReport, Participant};

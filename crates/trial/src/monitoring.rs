@@ -1,0 +1,250 @@
+//! Real-world-evidence continuous monitoring (paper §II, §IV).
+//!
+//! The FDA vision: "keep on monitoring the efficacy and possible side
+//! effects after the drug is approved and used in public", with data
+//! "directly accessed from various hospitals … continuously monitor in
+//! near real time for any personal side effects and drug efficacy".
+//!
+//! [`RweMonitor`] consumes per-site outcome events as they stream in and
+//! raises a safety signal when the observed adverse-event rate exceeds
+//! the expected background rate with a sequential score test — versus
+//! the classical baseline that only looks at data in large periodic
+//! batches.
+
+use std::collections::HashMap;
+
+/// One streamed post-approval outcome event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeEvent {
+    /// Logical day the event was observed.
+    pub day: u32,
+    /// Site index reporting the event.
+    pub site: usize,
+    /// Whether the patient experienced the adverse event.
+    pub adverse: bool,
+}
+
+/// A raised safety signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafetySignal {
+    /// Day the signal was raised.
+    pub day: u32,
+    /// Exposures observed at that point.
+    pub exposures: u64,
+    /// Adverse events observed.
+    pub adverse: u64,
+    /// Observed rate.
+    pub observed_rate: f64,
+}
+
+/// Sequential adverse-event monitor.
+///
+/// Raises a signal when the one-sided binomial z-score of the observed
+/// adverse rate against `background_rate` exceeds `z_threshold` with at
+/// least `min_exposures` observations.
+#[derive(Debug, Clone)]
+pub struct RweMonitor {
+    background_rate: f64,
+    z_threshold: f64,
+    min_exposures: u64,
+    exposures: u64,
+    adverse: u64,
+    per_site: HashMap<usize, (u64, u64)>,
+    signal: Option<SafetySignal>,
+}
+
+impl RweMonitor {
+    /// Creates a monitor for a drug with the given expected background
+    /// adverse-event rate.
+    pub fn new(background_rate: f64, z_threshold: f64, min_exposures: u64) -> RweMonitor {
+        RweMonitor {
+            background_rate,
+            z_threshold,
+            min_exposures,
+            exposures: 0,
+            adverse: 0,
+            per_site: HashMap::new(),
+            signal: None,
+        }
+    }
+
+    /// Total exposures observed.
+    pub fn exposures(&self) -> u64 {
+        self.exposures
+    }
+
+    /// The raised signal, if any.
+    pub fn signal(&self) -> Option<SafetySignal> {
+        self.signal
+    }
+
+    /// Per-site `(exposures, adverse)` counts — the distributed sources.
+    pub fn site_counts(&self) -> &HashMap<usize, (u64, u64)> {
+        &self.per_site
+    }
+
+    /// Current one-sided z-score of observed vs background rate.
+    pub fn z_score(&self) -> f64 {
+        if self.exposures == 0 {
+            return 0.0;
+        }
+        let n = self.exposures as f64;
+        let observed = self.adverse as f64 / n;
+        let p0 = self.background_rate;
+        let se = (p0 * (1.0 - p0) / n).sqrt();
+        if se == 0.0 {
+            return 0.0;
+        }
+        (observed - p0) / se
+    }
+
+    /// Feeds one event; returns the signal if this event triggered it.
+    pub fn observe(&mut self, event: OutcomeEvent) -> Option<SafetySignal> {
+        self.exposures += 1;
+        let site = self.per_site.entry(event.site).or_insert((0, 0));
+        site.0 += 1;
+        if event.adverse {
+            self.adverse += 1;
+            site.1 += 1;
+        }
+        if self.signal.is_none()
+            && self.exposures >= self.min_exposures
+            && self.z_score() >= self.z_threshold
+        {
+            self.signal = Some(SafetySignal {
+                day: event.day,
+                exposures: self.exposures,
+                adverse: self.adverse,
+                observed_rate: self.adverse as f64 / self.exposures as f64,
+            });
+            return self.signal;
+        }
+        None
+    }
+}
+
+/// Classical baseline: data reviewed only at periodic batch boundaries
+/// (e.g. annual safety reports). Returns the day the elevated rate would
+/// first be noticed, given the same stream.
+pub fn batched_detection_day(
+    events: &[OutcomeEvent],
+    background_rate: f64,
+    z_threshold: f64,
+    min_exposures: u64,
+    batch_days: u32,
+) -> Option<u32> {
+    let max_day = events.iter().map(|e| e.day).max()?;
+    let mut boundary = batch_days;
+    while boundary <= max_day + batch_days {
+        let upto: Vec<&OutcomeEvent> = events.iter().filter(|e| e.day <= boundary).collect();
+        let n = upto.len() as u64;
+        if n >= min_exposures {
+            let adverse = upto.iter().filter(|e| e.adverse).count() as f64;
+            let observed = adverse / n as f64;
+            let se = (background_rate * (1.0 - background_rate) / n as f64).sqrt();
+            if se > 0.0 && (observed - background_rate) / se >= z_threshold {
+                return Some(boundary);
+            }
+        }
+        boundary += batch_days;
+    }
+    None
+}
+
+/// Generates a post-approval event stream across `sites` where the true
+/// adverse rate jumps from `background` to `elevated` at `onset_day`.
+pub fn simulate_stream(
+    sites: usize,
+    events_per_day: usize,
+    days: u32,
+    background: f64,
+    elevated: f64,
+    onset_day: u32,
+    seed: u64,
+) -> Vec<OutcomeEvent> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::with_capacity(days as usize * events_per_day);
+    for day in 1..=days {
+        let rate = if day >= onset_day { elevated } else { background };
+        for _ in 0..events_per_day {
+            events.push(OutcomeEvent {
+                day,
+                site: rng.gen_range(0..sites.max(1)),
+                adverse: rng.gen_bool(rate),
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_signal_at_background_rate() {
+        let events = simulate_stream(4, 20, 120, 0.02, 0.02, 999, 1);
+        let mut monitor = RweMonitor::new(0.02, 4.0, 100);
+        for e in &events {
+            monitor.observe(*e);
+        }
+        assert!(monitor.signal().is_none(), "false alarm: {:?}", monitor.signal());
+    }
+
+    #[test]
+    fn elevated_rate_raises_signal_after_onset() {
+        let events = simulate_stream(4, 20, 200, 0.02, 0.10, 50, 2);
+        let mut monitor = RweMonitor::new(0.02, 4.0, 100);
+        for e in &events {
+            monitor.observe(*e);
+        }
+        let signal = monitor.signal().expect("signal should fire");
+        assert!(signal.day >= 50, "signal before onset at day {}", signal.day);
+        assert!(signal.observed_rate > 0.02);
+    }
+
+    #[test]
+    fn streaming_beats_batched_review() {
+        let events = simulate_stream(6, 25, 400, 0.02, 0.08, 60, 3);
+        let mut monitor = RweMonitor::new(0.02, 4.0, 200);
+        let mut stream_day = None;
+        for e in &events {
+            if let Some(signal) = monitor.observe(*e) {
+                stream_day = Some(signal.day);
+                break;
+            }
+        }
+        let batch_day = batched_detection_day(&events, 0.02, 4.0, 200, 180);
+        let stream_day = stream_day.expect("stream detects");
+        let batch_day = batch_day.expect("batch eventually detects");
+        assert!(
+            stream_day < batch_day,
+            "stream {stream_day} should beat batch {batch_day}"
+        );
+    }
+
+    #[test]
+    fn per_site_counts_accumulate() {
+        let events = simulate_stream(3, 10, 30, 0.05, 0.05, 999, 4);
+        let mut monitor = RweMonitor::new(0.05, 10.0, 10_000);
+        for e in &events {
+            monitor.observe(*e);
+        }
+        assert_eq!(monitor.site_counts().len(), 3);
+        let total: u64 = monitor.site_counts().values().map(|(n, _)| n).sum();
+        assert_eq!(total, monitor.exposures());
+    }
+
+    #[test]
+    fn min_exposures_suppresses_early_noise() {
+        // Three adverse events among the first five exposures would give
+        // a huge z-score; min_exposures must suppress it.
+        let mut monitor = RweMonitor::new(0.02, 3.0, 50);
+        for i in 0..5 {
+            monitor.observe(OutcomeEvent { day: 1, site: 0, adverse: i < 3 });
+        }
+        assert!(monitor.signal().is_none());
+    }
+}

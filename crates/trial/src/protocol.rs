@@ -1,0 +1,108 @@
+//! Trial protocols with pre-specified outcomes.
+//!
+//! The unit of the paper's trial-integrity argument (§III-B): a protocol
+//! registered *before* the trial pins the primary and secondary
+//! outcomes; the published report is later audited against it.
+
+use medchain_chain::Hash256;
+use medchain_data::RecordQuery;
+
+/// A registered clinical-trial protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialProtocol {
+    /// Registry identifier, e.g. `"NCT00784433"`.
+    pub trial_id: String,
+    /// Sponsor name.
+    pub sponsor: String,
+    /// The single pre-specified primary outcome.
+    pub primary_outcome: String,
+    /// Pre-specified secondary outcomes.
+    pub secondary_outcomes: Vec<String>,
+    /// Eligibility criteria, expressed as a record query evaluable at
+    /// every site (the paper's unbiased-recruitment mechanism).
+    pub eligibility: RecordQuery,
+    /// Target enrollment.
+    pub target_enrollment: usize,
+}
+
+impl TrialProtocol {
+    /// Canonical bytes covered by the on-chain protocol anchor.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut s = format!(
+            "{}|{}|{}|{}|",
+            self.trial_id, self.sponsor, self.primary_outcome, self.target_enrollment
+        );
+        for outcome in &self.secondary_outcomes {
+            s.push_str(outcome);
+            s.push(';');
+        }
+        s.push('|');
+        s.push_str(&format!("{:?}", self.eligibility));
+        s.into_bytes()
+    }
+
+    /// The protocol's integrity hash (anchored on-chain at registration).
+    pub fn protocol_hash(&self) -> Hash256 {
+        Hash256::digest(&self.canonical_bytes())
+    }
+
+    /// Whether an outcome name was pre-specified (primary or secondary).
+    pub fn prespecified(&self, outcome: &str) -> bool {
+        self.primary_outcome == outcome
+            || self.secondary_outcomes.iter().any(|o| o == outcome)
+    }
+}
+
+/// A published trial report, to be audited against the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishedReport {
+    /// Trial the report claims to describe.
+    pub trial_id: String,
+    /// The outcome reported as primary in the publication.
+    pub reported_primary: String,
+    /// All other outcomes reported.
+    pub reported_secondary: Vec<String>,
+    /// Pre-specified outcomes silently omitted from the publication.
+    pub omitted: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medchain_data::{Field, Predicate};
+
+    fn protocol() -> TrialProtocol {
+        TrialProtocol {
+            trial_id: "NCT001".into(),
+            sponsor: "asia-university".into(),
+            primary_outcome: "mortality-30d".into(),
+            secondary_outcomes: vec!["readmission-90d".into()],
+            eligibility: RecordQuery::all().filter(Predicate::Range {
+                field: Field::Age,
+                min: 40.0,
+                max: 80.0,
+            }),
+            target_enrollment: 200,
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_field_sensitive() {
+        let p = protocol();
+        assert_eq!(p.protocol_hash(), protocol().protocol_hash());
+        let mut q = protocol();
+        q.primary_outcome = "quality-of-life".into();
+        assert_ne!(p.protocol_hash(), q.protocol_hash());
+        let mut r = protocol();
+        r.eligibility = RecordQuery::all();
+        assert_ne!(p.protocol_hash(), r.protocol_hash());
+    }
+
+    #[test]
+    fn prespecified_covers_primary_and_secondary() {
+        let p = protocol();
+        assert!(p.prespecified("mortality-30d"));
+        assert!(p.prespecified("readmission-90d"));
+        assert!(!p.prespecified("quality-of-life"));
+    }
+}

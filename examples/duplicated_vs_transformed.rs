@@ -1,0 +1,39 @@
+//! The paper's headline claim, live: the same analytics job run as a
+//! conventional smart contract (every node re-executes everything)
+//! versus the transformed distributed-parallel architecture (thin
+//! on-chain policy gate, off-chain sharded execution next to the data).
+//!
+//! ```text
+//! cargo run --release --example duplicated_vs_transformed
+//! ```
+
+use medchain::modes::{run_duplicated, run_transformed};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let work: u64 = 600_000;
+    println!("job: {work} work units of real SHA-256 analytics kernel\n");
+    println!(
+        "{:>5}  {:>16}  {:>16}  {:>9}  {:>14}  {:>14}",
+        "nodes", "duplicated wall", "transformed wall", "speedup", "dup total work", "trans work"
+    );
+    for nodes in [1usize, 2, 4, 8] {
+        let duplicated = run_duplicated(nodes, work, 5)?;
+        let transformed = run_transformed(nodes, work, 5)?;
+        println!(
+            "{:>5}  {:>14.1}ms  {:>14.1}ms  {:>8.1}×  {:>14}  {:>14}",
+            nodes,
+            duplicated.wall.as_secs_f64() * 1000.0,
+            transformed.wall.as_secs_f64() * 1000.0,
+            duplicated.wall.as_secs_f64() / transformed.wall.as_secs_f64(),
+            duplicated.total_gas,
+            transformed.total_gas,
+        );
+    }
+    println!(
+        "\nduplicated: total work grows ~N× and wall time grows with consortium size —\n\
+         the paper's §I observation that 'the performance of a single node is better than\n\
+         multiple nodes'. transformed: work stays ~1×, wall time falls with N, and only\n\
+         the policy check and the result hash ever touch the chain."
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! The paper's §II precision-medicine story, end to end: a consortium
+//! GWAS through the on-chain policy gate (no genome leaves its
+//! hospital), the *Nature* 4–25% blanket-benefit problem, a responder
+//! model learned from pooled trial features, and the randomized trial
+//! that validates the targeted therapy without observational bias.
+//!
+//! ```text
+//! cargo run --release --example precision_study
+//! ```
+
+use medchain::pipeline::run_gwas;
+use medchain::MedicalNetwork;
+use medchain_contracts::policy::Purpose;
+use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, STROKE_CODE};
+use medchain_data::Dataset;
+use medchain_trial::{
+    blanket_strategy, intention_to_treat, observational_estimate, precision_strategy,
+    simulate_rct_and_observational, DrugModel, PrecisionPolicy,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A consortium of four hospitals with sequenced cohorts.
+    let mut builder = MedicalNetwork::builder().with_fda();
+    let mut populations = Vec::new();
+    for i in 0..4 {
+        let profile = SiteProfile { genomic_coverage: 0.9, ..SiteProfile::varied(i) };
+        let records = CohortGenerator::new(&format!("hospital-{i}"), profile, i as u64).cohort(
+            (i * 100_000) as u64,
+            800,
+            &DiseaseModel::stroke(),
+        );
+        populations.push(records.clone());
+        builder = builder.site(&format!("hospital-{i}"), records);
+    }
+    let mut net = builder.build()?;
+    let researcher = net.site(0).address();
+    net.grant_all(researcher, Purpose::Research)?;
+
+    // 1. Distributed GWAS: which variants associate with stroke?
+    let (associations, report) = run_gwas(&mut net, 0, STROKE_CODE, Purpose::Research)?;
+    println!(
+        "▸ consortium GWAS over {} cases / {} controls at {} sites — {} bytes of count \
+         tables moved (genomes stayed home)",
+        report.cases, report.controls, report.permitted, report.bytes_returned
+    );
+    for a in associations.iter().take(3) {
+        println!("  top SNP #{:>2}: χ² = {:.1}, OR = {:.2}", a.snp, a.chi_square, a.odds_ratio);
+    }
+
+    // 2. The Nature problem: a blanket-prescribed drug helps few takers.
+    let drug = DrugModel::default();
+    let deployment: Vec<_> = populations.iter().flatten().cloned().collect();
+    let blanket = blanket_strategy(&drug, &deployment);
+    println!(
+        "\n▸ blanket prescribing: {} treated, {:.1}% benefit — inside the paper's cited \
+         4–25% band (Schork, Nature 2015)",
+        blanket.treated,
+        blanket.benefit_rate() * 100.0
+    );
+
+    // 3. Precision targeting: learn a responder model from pooled
+    //    multi-site trial features.
+    let trial_shards: Vec<Dataset> = populations
+        .iter()
+        .enumerate()
+        .map(|(i, pop)| drug.run_trial(pop, 50 + i as u64))
+        .collect();
+    let trial_data = Dataset::concat(&trial_shards);
+    let policy = PrecisionPolicy::learn(&trial_data, 0.3);
+    let targeted = precision_strategy(&drug, &policy, &deployment);
+    println!(
+        "▸ precision prescribing: {} treated, {:.1}% benefit ({:.1}×), reaching {:.0}% of \
+         true responders",
+        targeted.treated,
+        targeted.benefit_rate() * 100.0,
+        targeted.benefit_rate() / blanket.benefit_rate().max(1e-9),
+        targeted.coverage() * 100.0
+    );
+
+    // 4. Validate with a registered RCT — and show why randomization
+    //    matters: the same null comparator drug looks harmful in naive
+    //    observational data under confounding by indication.
+    let (rct, observational) =
+        simulate_rct_and_observational(&deployment, -0.04, 3.0, 7);
+    let rct_estimate = intention_to_treat(&rct).expect("arms filled");
+    let obs_estimate = observational_estimate(&observational).expect("arms filled");
+    println!(
+        "\n▸ registered RCT (randomization re-derivable from the on-chain trial seed):\n  \
+         effect {:.3} [{:.3}, {:.3}] — covers the true −0.040: {}\n  \
+         naive observational estimate: {:.3} [{:.3}, {:.3}] — biased by indication",
+        rct_estimate.risk_difference,
+        rct_estimate.ci_low,
+        rct_estimate.ci_high,
+        rct_estimate.covers(-0.04),
+        obs_estimate.risk_difference,
+        obs_estimate.ci_low,
+        obs_estimate.ci_high,
+    );
+
+    // 5. The regulator's sweep confirms nothing was tampered with along
+    //    the way.
+    let sweep = medchain::pipeline::fda_integrity_sweep(&net);
+    println!(
+        "\n▸ FDA integrity sweep: {} datasets intact, {} tampered, {} blocks verified",
+        sweep.datasets_intact, sweep.datasets_tampered, sweep.blocks_verified
+    );
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Umbrella package: examples and integration tests for the MedChain reproduction.
+pub use medchain as core;

@@ -1,0 +1,260 @@
+//! Failure-injection tests for the consensus substrate: crashes,
+//! message loss, WAN latency, and cross-engine agreement under a real
+//! transaction workload.
+
+use medchain_chain::consensus::pbft::PbftEngine;
+use medchain_chain::consensus::poa::PoaEngine;
+use medchain_chain::consensus::pos::PosEngine;
+use medchain_chain::consensus::{Application, Cluster, Engine};
+use medchain_chain::net::{LatencyModel, NodeId};
+use medchain_chain::node::ChainApp;
+use medchain_chain::sig::AuthorityKey;
+use medchain_chain::tx::TxPayload;
+use medchain_chain::{Hash256, KeyRegistry, Transaction};
+
+fn fund_and_submit(apps: &mut [ChainApp], keys: &[AuthorityKey], txs: u64) {
+    for key in keys {
+        for app in apps.iter_mut() {
+            app.ledger_mut().state_mut().credit(key.address(), 1_000_000);
+        }
+    }
+    for (i, key) in keys.iter().enumerate() {
+        for n in 0..txs {
+            let tx = Transaction::new(
+                key.address(),
+                n,
+                TxPayload::Transfer { to: keys[(i + 1) % keys.len()].address(), amount: 1 },
+                1_000,
+            )
+            .signed(key);
+            for app in apps.iter_mut() {
+                app.submit(tx.clone());
+            }
+        }
+    }
+}
+
+fn keys(n: usize) -> (Vec<AuthorityKey>, KeyRegistry) {
+    let keys: Vec<AuthorityKey> = (0..n).map(|i| AuthorityKey::from_seed(i as u64)).collect();
+    let mut registry = KeyRegistry::new();
+    for k in &keys {
+        registry.enroll(k);
+    }
+    (keys, registry)
+}
+
+fn assert_agreement<E: Engine>(cluster: &Cluster<E, ChainApp>, height: u64, live: &[usize]) {
+    let ids: Vec<Hash256> =
+        live.iter().map(|&i| cluster.replicas[i].app.tip_at(height)).collect();
+    assert!(ids.windows(2).all(|w| w[0] == w[1]), "divergence at height {height}");
+}
+
+#[test]
+fn poa_commits_transfer_workload_under_wan_latency() {
+    let n = 5;
+    let (ks, registry) = keys(n);
+    let (engines, _, _) = PoaEngine::make_validators(n, 80);
+    let mut apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("fault-test", registry.clone())).collect();
+    fund_and_submit(&mut apps, &ks, 20);
+    let mut cluster = Cluster::new(engines, apps, 9);
+    cluster.net.set_latency(LatencyModel::wan());
+    let report = cluster.run_until_height(4, 3_600_000);
+    assert!(report.reached, "stalled under WAN latency: {report:?}");
+    assert_agreement(&cluster, 4, &[0, 1, 2, 3, 4]);
+    // The workload actually committed.
+    let committed: usize = cluster.replicas[0]
+        .app
+        .ledger()
+        .blocks()
+        .iter()
+        .map(|b| b.transactions.len())
+        .sum();
+    assert!(committed >= 60, "only {committed} txs committed");
+}
+
+#[test]
+fn poa_tolerates_moderate_message_loss() {
+    let n = 4;
+    let (_, registry) = keys(n);
+    let (engines, _, _) = PoaEngine::make_validators(n, 60);
+    let apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("lossy-test", registry.clone())).collect();
+    let mut cluster = Cluster::new(engines, apps, 10);
+    cluster.net.set_drop_rate(0.05);
+    let report = cluster.run_until_height(3, 3_600_000);
+    assert!(report.reached, "stalled under 5% loss: {report:?}");
+    assert_agreement(&cluster, 3, &[0, 1, 2, 3]);
+    assert!(cluster.net.stats().dropped > 0, "loss was not exercised");
+}
+
+#[test]
+fn pbft_recovers_from_cascading_primary_failures() {
+    let n = 7; // f = 2: survives two crashed primaries
+    let (_, registry) = keys(n);
+    let (engines, _, _) = PbftEngine::make_replicas(n, 40, 1_500);
+    let apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("cascade-test", registry.clone())).collect();
+    let mut cluster = Cluster::new(engines, apps, 11);
+    cluster.run_until_height(1, 600_000);
+    // Crash the view-0 primary, wait for recovery, then crash the next.
+    cluster.net.fail_node(NodeId(0));
+    let report = cluster.run_until_height(2, 3_600_000);
+    assert!(report.reached, "no recovery from first crash");
+    cluster.net.fail_node(NodeId(1));
+    let report = cluster.run_until_height(3, 7_200_000);
+    assert!(report.reached, "no recovery from second crash");
+    assert_agreement(&cluster, 3, &[2, 3, 4, 5, 6]);
+}
+
+#[test]
+fn pos_progresses_with_crashed_minority_stake() {
+    let n = 5;
+    let (_, registry) = keys(n);
+    let (engines, _) = PosEngine::make_stakers(n, Some(vec![100, 100, 100, 100, 100]), 100);
+    let apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("pos-fault", registry.clone())).collect();
+    let mut cluster = Cluster::new(engines, apps, 12);
+    cluster.run_until_height(1, 1_200_000);
+    cluster.net.fail_node(NodeId(4));
+    let report = cluster.run_until_height(3, 3_600_000);
+    assert!(report.reached, "PoS stalled after one staker crashed: {report:?}");
+    assert_agreement(&cluster, 3, &[0, 1, 2, 3]);
+}
+
+#[test]
+fn healed_node_rejoins_poa_progress() {
+    let n = 4;
+    let (_, registry) = keys(n);
+    let (engines, _, _) = PoaEngine::make_validators(n, 60);
+    let apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("heal-test", registry.clone())).collect();
+    let mut cluster = Cluster::new(engines, apps, 13);
+    cluster.run_until_height(1, 600_000);
+    // Fail the proposer of height 2 (validators rotate round-robin, so
+    // height 2 belongs to node 2): progress stalls at height 1.
+    cluster.net.fail_node(NodeId(2));
+    let stalled = cluster.run_until_height(2, cluster.net.now_ms() + 5_000);
+    assert!(!stalled.reached, "height 2 should stall without its proposer");
+    // Heal and kick: the simulator dropped the node's timers while it
+    // was failed, so it must be restarted to resume ticking.
+    cluster.net.heal_node(NodeId(2));
+    cluster.kick(NodeId(2));
+    let report = cluster.run_until_height(3, 3_600_000);
+    assert!(report.reached, "healed proposer should unblock the chain: {report:?}");
+    assert_agreement(&cluster, 3, &[0, 1, 2, 3]);
+}
+
+#[test]
+fn all_engines_reject_foreign_blocks() {
+    // A block body or state root forged by a non-member never commits:
+    // covered at the ledger layer — exercise via a PoA cluster receiving
+    // transactions signed by a non-enrolled key.
+    let n = 3;
+    let (_, registry) = keys(n);
+    let (engines, _, _) = PoaEngine::make_validators(n, 50);
+    let mut apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("foreign-test", registry.clone())).collect();
+    let intruder = AuthorityKey::from_seed(999);
+    let tx = Transaction::new(
+        intruder.address(),
+        0,
+        TxPayload::Anchor { root: Hash256::digest(b"malicious"), label: "evil".into() },
+        100,
+    )
+    .signed(&intruder);
+    for app in apps.iter_mut() {
+        assert!(!app.submit(tx.clone()), "unenrolled tx must be refused");
+    }
+    let mut cluster = Cluster::new(engines, apps, 14);
+    cluster.run_until_height(2, 600_000);
+    assert_eq!(cluster.replicas[0].app.ledger().state().anchor("evil"), None);
+}
+
+#[test]
+fn lagging_healed_node_syncs_missed_blocks() {
+    // Node 3 crashes, misses committed blocks, then heals: the PoA sync
+    // protocol must deliver the sealed blocks it missed so it catches up
+    // and the chain can pass its proposer turn.
+    let n = 4;
+    let (_, registry) = keys(n);
+    let (engines, _, _) = PoaEngine::make_validators(n, 60);
+    let apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("sync-test", registry.clone())).collect();
+    let mut cluster = Cluster::new(engines, apps, 15);
+    cluster.run_until_height(1, 600_000);
+    cluster.net.fail_node(NodeId(3));
+    // Heights 2 (proposer 2) commits while node 3 is down; the run stops
+    // once live nodes reach 2 (node 3 is excluded as failed).
+    let report = cluster.run_until_height(2, 3_600_000);
+    assert!(report.reached, "live majority should commit height 2");
+    assert_eq!(cluster.replicas[3].app.height(), 1, "node 3 missed height 2");
+
+    cluster.net.heal_node(NodeId(3));
+    cluster.kick(NodeId(3));
+    // Height 3's proposer IS node 3: it must first sync height 2, then
+    // propose height 3 — full recovery.
+    let report = cluster.run_until_height(3, 3_600_000);
+    assert!(report.reached, "healed node should sync and unblock: {report:?}");
+    assert_eq!(cluster.replicas[3].app.height(), 3, "node 3 caught up");
+    assert_agreement(&cluster, 3, &[0, 1, 2, 3]);
+}
+
+#[test]
+fn sync_responses_with_forged_seals_are_rejected() {
+    use medchain_chain::block::Seal;
+    use medchain_chain::consensus::Application;
+    // Craft a sync response whose seal lacks a quorum; the lagging node
+    // must refuse to commit it.
+    let n = 4;
+    let (ks, registry) = keys(n);
+    let (mut engines, _, _) = PoaEngine::make_validators(n, 60);
+    let mut apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("forge-test", registry.clone())).collect();
+
+    // Build a legitimate block for height 1 but seal it with a single
+    // vote (below the 3-of-4 quorum).
+    let proposer = &ks[1]; // validators[1 % 4] proposes height 1
+    let block = apps[1].make_block(proposer.address(), 10);
+    let sig = proposer.sign(&block.id().0);
+    let forged = medchain_chain::Block {
+        seal: Seal::Authority { proposer: sig, votes: vec![sig] },
+        ..block
+    };
+
+    // Feed the forged sync response directly into node 0's engine.
+    let mut out = medchain_chain::consensus::Outbox::new(0);
+    engines[0].on_message(
+        NodeId(1),
+        medchain_chain::consensus::poa::PoaMsg::SyncResponse { blocks: vec![forged] },
+        &mut apps[0],
+        &mut out,
+    );
+    assert_eq!(apps[0].height(), 0, "under-quorum seal must not commit");
+}
+
+#[test]
+fn pbft_healed_replica_syncs_missed_blocks() {
+    let n = 4;
+    let (_, registry) = keys(n);
+    let (engines, _, _) = PbftEngine::make_replicas(n, 40, 800);
+    let apps: Vec<ChainApp> =
+        (0..n).map(|_| ChainApp::new("pbft-sync", registry.clone())).collect();
+    let mut cluster = Cluster::new(engines, apps, 16);
+    cluster.run_until_height(1, 600_000);
+    // Crash a non-primary replica; the cluster keeps committing.
+    cluster.net.fail_node(NodeId(3));
+    let report = cluster.run_until_height(3, 3_600_000);
+    assert!(report.reached, "majority should progress: {report:?}");
+    assert!(cluster.replicas[3].app.height() < 3, "node 3 missed blocks");
+    // Heal + kick: the stall probe fires, peers serve sealed blocks, and
+    // the replica catches up without any view change.
+    cluster.net.heal_node(NodeId(3));
+    cluster.kick(NodeId(3));
+    let caught_up = cluster.run_until(
+        |replicas| replicas[3].app.height() >= 3,
+        cluster.net.now_ms() + 600_000,
+    );
+    assert!(caught_up.reached, "healed PBFT replica failed to sync: {caught_up:?}");
+    assert_agreement(&cluster, 3, &[0, 1, 2, 3]);
+}

@@ -1,0 +1,343 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of every substrate crate.
+
+use medchain_chain::hash::{Hash256, Sha256};
+use medchain_chain::{Address, MerkleTree};
+use medchain_contracts::policy::{AccessPolicy, Purpose};
+use medchain_contracts::value::{decode_args, encode_args, Value};
+use medchain_data::formats::json;
+use medchain_data::formats::LegacyFormat;
+use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+use medchain_data::Dataset;
+use medchain_hie::crypto::{nonce_from, ChaCha20, DhKeypair};
+use medchain_learning::decompose::{Aggregate, Partial};
+use medchain_learning::linalg::weighted_average;
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        proptest::collection::vec(any::<u8>(), 0..200).prop_map(Value::Bytes),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..500), split in 0usize..500) {
+        let split = split.min(data.len());
+        let mut hasher = Sha256::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), Hash256::digest(&data));
+    }
+
+    #[test]
+    fn merkle_proofs_verify_for_every_leaf(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..40)) {
+        let tree = MerkleTree::from_items(&leaves);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i).expect("in range");
+            prop_assert!(proof.verify(&Hash256::digest(leaf), &tree.root()));
+        }
+    }
+
+    #[test]
+    fn merkle_root_changes_with_any_flip(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..30), 2..20), index in any::<prop::sample::Index>()) {
+        let original = MerkleTree::from_items(&leaves).root();
+        let mut mutated = leaves.clone();
+        let i = index.index(mutated.len());
+        mutated[i][0] ^= 1;
+        prop_assert_ne!(MerkleTree::from_items(&mutated).root(), original);
+    }
+
+    #[test]
+    fn value_codec_round_trips(values in proptest::collection::vec(value_strategy(), 0..16)) {
+        let encoded = encode_args(&values);
+        prop_assert_eq!(decode_args(&encoded).unwrap(), values);
+    }
+
+    #[test]
+    fn value_codec_rejects_truncation(values in proptest::collection::vec(value_strategy(), 1..8), cut_fraction in 0.0f64..1.0) {
+        let encoded = encode_args(&values);
+        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
+        if cut < encoded.len() {
+            prop_assert!(decode_args(&encoded[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn chacha20_round_trips(key in any::<[u8; 32]>(), id in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let cipher = ChaCha20::new(&key, &nonce_from(id, 0));
+        prop_assert_eq!(cipher.decrypt(&cipher.encrypt(&data)), data);
+    }
+
+    #[test]
+    fn dh_agreement_is_symmetric(seed_a in any::<[u8; 8]>(), seed_b in any::<[u8; 8]>(), ctx in proptest::collection::vec(any::<u8>(), 1..30)) {
+        let a = DhKeypair::from_seed(&seed_a);
+        let b = DhKeypair::from_seed(&seed_b);
+        prop_assert_eq!(a.session_key(b.public, &ctx), b.session_key(a.public, &ctx));
+    }
+
+    #[test]
+    fn policy_value_encoding_round_trips(
+        owner_seed in any::<u64>(),
+        grants in proptest::collection::vec((any::<u64>(), 0i64..5, proptest::option::of(0u64..100_000)), 0..8),
+        consent in any::<bool>(),
+    ) {
+        let mut policy = AccessPolicy::new(Address::from_seed(owner_seed));
+        if consent {
+            policy.require_consent();
+        }
+        for (seed, purpose_code, expiry) in grants {
+            policy.grant(
+                Address::from_seed(seed),
+                Purpose::from_code(purpose_code).unwrap(),
+                expiry,
+            );
+        }
+        let decoded = AccessPolicy::from_values(&policy.to_values()).unwrap();
+        prop_assert_eq!(decoded, policy);
+    }
+
+    #[test]
+    fn weighted_average_is_bounded_by_extremes(
+        vectors in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3),
+            1..6,
+        ),
+        weights in proptest::collection::vec(0.1f64..10.0, 6),
+    ) {
+        let weights = &weights[..vectors.len()];
+        let avg = weighted_average(&vectors, weights);
+        for dim in 0..3 {
+            let lo = vectors.iter().map(|v| v[dim]).fold(f64::INFINITY, f64::min);
+            let hi = vectors.iter().map(|v| v[dim]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(avg[dim] >= lo - 1e-9 && avg[dim] <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn aggregates_decompose_exactly_for_any_partition(
+        seed in any::<u64>(),
+        cuts in proptest::collection::vec(1usize..100, 0..4),
+    ) {
+        let records = CohortGenerator::new("prop", SiteProfile::default(), seed)
+            .cohort(0, 120, &DiseaseModel::stroke());
+        for aggregate in [
+            Aggregate::Count,
+            Aggregate::Mean(medchain_data::Field::Age),
+            Aggregate::Variance(medchain_data::Field::SystolicBp),
+        ] {
+            let whole = aggregate.compute(&records).scalar();
+            // Partition at arbitrary cut points.
+            let mut partials: Vec<Partial> = Vec::new();
+            let mut start = 0usize;
+            let mut bounds: Vec<usize> = cuts.iter().map(|c| c % records.len()).collect();
+            bounds.sort_unstable();
+            bounds.dedup();
+            for b in bounds {
+                if b > start {
+                    partials.push(aggregate.map_site(&records[start..b]));
+                    start = b;
+                }
+            }
+            partials.push(aggregate.map_site(&records[start..]));
+            let composed = aggregate.compose(&partials).scalar();
+            prop_assert!((whole - composed).abs() < 1e-9, "{aggregate:?}: {whole} vs {composed}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips_arbitrary_strings(s in "\\PC{0,60}") {
+        let doc = json::Json::String(s.clone());
+        let parsed = json::parse(&doc.to_text()).unwrap();
+        prop_assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn dataset_split_preserves_rows(seed in any::<u64>(), frac in 0.0f64..1.0) {
+        let records = CohortGenerator::new("prop", SiteProfile::default(), seed)
+            .cohort(0, 60, &DiseaseModel::stroke());
+        let data = Dataset::from_records(&records, "I63");
+        let (train, test) = data.train_test_split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        let total_pos = data.labels.iter().sum::<f64>();
+        let split_pos = train.labels.iter().sum::<f64>() + test.labels.iter().sum::<f64>();
+        prop_assert!((total_pos - split_pos).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fhir_codec_round_trips_generated_records(seed in any::<u64>()) {
+        let records = CohortGenerator::new("prop", SiteProfile::default(), seed)
+            .cohort(0, 5, &DiseaseModel::cancer());
+        let codec = medchain_data::formats::fhir::FhirLikeFormat;
+        for record in &records {
+            let decoded = codec.decode(&codec.encode(record)).unwrap();
+            prop_assert_eq!(decoded.patient_id, record.patient_id);
+            prop_assert_eq!(&decoded.diagnoses, &record.diagnoses);
+            prop_assert_eq!(&decoded.genomics, &record.genomics);
+        }
+    }
+
+    #[test]
+    fn hash_hex_round_trips(bytes in any::<[u8; 32]>()) {
+        let h = Hash256(bytes);
+        prop_assert_eq!(Hash256::from_hex(&h.to_hex()).unwrap(), h);
+    }
+}
+
+// === VM fuzzing and ledger invariants ===
+
+use medchain_chain::ledger::{Ledger, NullRuntime};
+use medchain_chain::sig::{AuthorityKey, KeyRegistry};
+use medchain_chain::tx::{Transaction, TxPayload};
+use medchain_contracts::opcode::{decode_program, encode_program, Instr};
+use medchain_contracts::vm::{execute, CallEnv};
+use medchain_chain::WorldState;
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        any::<i64>().prop_map(Instr::PushInt),
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(Instr::PushBytes),
+        Just(Instr::Pop),
+        (0u8..4).prop_map(Instr::Dup),
+        (0u8..4).prop_map(Instr::Swap),
+        Just(Instr::Add),
+        Just(Instr::Sub),
+        Just(Instr::Mul),
+        Just(Instr::Div),
+        Just(Instr::Mod),
+        Just(Instr::Neg),
+        Just(Instr::Eq),
+        Just(Instr::Lt),
+        Just(Instr::Gt),
+        Just(Instr::Not),
+        Just(Instr::And),
+        Just(Instr::Or),
+        (0u16..40).prop_map(Instr::Jump),
+        (0u16..40).prop_map(Instr::JumpIf),
+        Just(Instr::Halt),
+        Just(Instr::Revert),
+        Just(Instr::Caller),
+        Just(Instr::SelfAddr),
+        (0u8..4).prop_map(Instr::Arg),
+        Just(Instr::ArgCount),
+        Just(Instr::SLoad),
+        Just(Instr::SStore),
+        Just(Instr::Emit),
+        Just(Instr::Sha256),
+        Just(Instr::Concat),
+        Just(Instr::Len),
+        Just(Instr::IntToBytes),
+        Just(Instr::BytesToInt),
+        // Burn bounded by the gas limit below anyway.
+        Just(Instr::Burn),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fuzz: arbitrary programs never panic the interpreter — they halt,
+    /// trap, or run out of gas, but the host survives.
+    #[test]
+    fn vm_random_programs_never_panic(
+        program in proptest::collection::vec(instr_strategy(), 0..40),
+        args in proptest::collection::vec(value_strategy(), 0..4),
+    ) {
+        let env = CallEnv::new(Address::from_seed(1), Address::from_seed(2), &args, 20_000);
+        let mut state = WorldState::new();
+        let _ = execute(&program, &env, &mut state);
+    }
+
+    /// Fuzz: bytecode round-trips for arbitrary programs.
+    #[test]
+    fn bytecode_round_trips_arbitrary_programs(
+        program in proptest::collection::vec(instr_strategy(), 0..60),
+    ) {
+        let encoded = encode_program(&program);
+        prop_assert_eq!(decode_program(&encoded).unwrap(), program);
+    }
+
+    /// Fuzz: arbitrary byte blobs never panic the bytecode decoder.
+    #[test]
+    fn bytecode_decoder_survives_garbage(blob in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_program(&blob);
+    }
+
+    /// Ledger invariant: the total token supply is conserved under any
+    /// sequence of transfers (successful or failed).
+    #[test]
+    fn token_supply_is_conserved(
+        transfers in proptest::collection::vec((0usize..3, 0usize..3, 0u64..2_000), 1..25),
+    ) {
+        let keys: Vec<AuthorityKey> = (0..3).map(|i| AuthorityKey::from_seed(i as u64)).collect();
+        let mut registry = KeyRegistry::new();
+        for k in &keys {
+            registry.enroll(k);
+        }
+        let mut ledger = Ledger::new("supply-prop", registry, Box::new(NullRuntime));
+        for k in &keys {
+            ledger.state_mut().credit(k.address(), 1_000);
+        }
+        let supply_before: u64 =
+            keys.iter().map(|k| ledger.state().account(&k.address()).balance).sum();
+
+        let mut nonces = [0u64; 3];
+        let txs: Vec<Transaction> = transfers
+            .iter()
+            .map(|&(from, to, amount)| {
+                let tx = Transaction::new(
+                    keys[from].address(),
+                    nonces[from],
+                    TxPayload::Transfer { to: keys[to].address(), amount },
+                    1_000,
+                )
+                .signed(&keys[from]);
+                nonces[from] += 1;
+                tx
+            })
+            .collect();
+        let block = ledger.propose(keys[0].address(), 10, txs);
+        ledger.apply(&block).unwrap();
+
+        let supply_after: u64 =
+            keys.iter().map(|k| ledger.state().account(&k.address()).balance).sum();
+        prop_assert_eq!(supply_before, supply_after);
+    }
+
+    /// Mempool invariant: batches are gap-free nonce runs per sender.
+    #[test]
+    fn mempool_batches_are_nonce_ordered(
+        inserts in proptest::collection::vec((0usize..3, 0u64..8), 1..30),
+        max in 1usize..20,
+    ) {
+        use medchain_chain::mempool::Mempool;
+        let keys: Vec<AuthorityKey> = (0..3).map(|i| AuthorityKey::from_seed(i as u64)).collect();
+        let mut pool = Mempool::new(256);
+        for &(who, nonce) in &inserts {
+            let tx = Transaction::new(
+                keys[who].address(),
+                nonce,
+                TxPayload::Transfer { to: keys[(who + 1) % 3].address(), amount: 1 },
+                100,
+            )
+            .signed(&keys[who]);
+            pool.insert(tx);
+        }
+        let batch = pool.take_batch(max, |_| 0);
+        prop_assert!(batch.len() <= max);
+        // Per sender: nonces start at 0 and are contiguous.
+        for key in &keys {
+            let nonces: Vec<u64> = batch
+                .iter()
+                .filter(|tx| tx.sender == key.address())
+                .map(|tx| tx.nonce)
+                .collect();
+            for (i, n) in nonces.iter().enumerate() {
+                prop_assert_eq!(*n, i as u64, "sender batch not contiguous: {:?}", nonces);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration: wearable time series feed the real-world-evidence
+//! safety monitor — the paper's "personal activity record" modality
+//! contributing post-approval signals (§II, §IV).
+
+use medchain_data::wearable::{SeriesProfile, WearableSeries};
+use medchain_trial::{OutcomeEvent, RweMonitor};
+
+/// A drug that raises sick-day frequency after exposure: per-patient
+/// wearable series show more elevated-HR days, which sites convert to
+/// adverse-event observations for the monitor.
+#[test]
+fn wearable_anomalies_drive_safety_signal() {
+    let sites = 4usize;
+    let patients_per_site = 40usize;
+
+    let build_events = |sick_rate: f64, seed_base: u64| -> Vec<OutcomeEvent> {
+        let mut events = Vec::new();
+        for site in 0..sites {
+            for p in 0..patients_per_site {
+                let seed = seed_base + (site * 1_000 + p) as u64;
+                let series = WearableSeries::generate(
+                    &SeriesProfile { sick_day_rate: sick_rate, ..SeriesProfile::default() },
+                    90,
+                    seed,
+                );
+                // Site-side analytics: a patient with many elevated-HR
+                // days in the window is reported as a possible adverse
+                // event. Raw series never leave the site.
+                let anomalous_days = series.elevated_hr_days(1.5).len();
+                events.push(OutcomeEvent {
+                    day: (p % 90) as u32 + 1,
+                    site,
+                    adverse: anomalous_days >= 6,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.day);
+        events
+    };
+
+    // Background population: calibrate the expected adverse rate.
+    let background_events = build_events(0.03, 10_000);
+    let background_rate = background_events.iter().filter(|e| e.adverse).count() as f64
+        / background_events.len() as f64;
+
+    // Exposed population: the drug doubles sick-day frequency.
+    let exposed_events = build_events(0.12, 20_000);
+    let exposed_rate = exposed_events.iter().filter(|e| e.adverse).count() as f64
+        / exposed_events.len() as f64;
+    assert!(
+        exposed_rate > background_rate + 0.1,
+        "exposure should raise the wearable-derived adverse rate: {background_rate} → {exposed_rate}"
+    );
+
+    // The monitor calibrated to the background rate fires on the exposed
+    // stream but not on a fresh background stream.
+    let mut monitor = RweMonitor::new(background_rate.max(0.01), 3.5, 60);
+    let mut fired = false;
+    for event in &exposed_events {
+        if monitor.observe(*event).is_some() {
+            fired = true;
+            break;
+        }
+    }
+    assert!(fired, "exposed stream must raise a signal");
+
+    let mut control = RweMonitor::new(background_rate.max(0.01), 3.5, 60);
+    for event in &build_events(0.03, 30_000) {
+        control.observe(*event);
+    }
+    assert!(
+        control.signal().is_none(),
+        "background stream must not alarm: z={}",
+        control.z_score()
+    );
+}
+
+/// Wearable summaries remain consistent with their source series after
+/// the site-level summarization step the EMR pipeline uses.
+#[test]
+fn summaries_track_series_statistics() {
+    for seed in 0..10u64 {
+        let series = WearableSeries::generate(&SeriesProfile::default(), 120, seed);
+        let summary = series.summarize().expect("non-empty");
+        let max_steps =
+            series.readings.iter().map(|r| r.steps).fold(f64::NEG_INFINITY, f64::max);
+        let min_steps = series.readings.iter().map(|r| r.steps).fold(f64::INFINITY, f64::min);
+        assert!(summary.avg_daily_steps <= max_steps);
+        assert!(summary.avg_daily_steps >= min_steps);
+        assert!((3.0..=12.0).contains(&summary.avg_sleep_hours));
+    }
+}

@@ -2,71 +2,50 @@
 //! time and message complexity to commit a fixed number of blocks under
 //! PoA, PBFT, and PoS at increasing consortium sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medchain_chain::consensus::pbft::PbftEngine;
 use medchain_chain::consensus::poa::PoaEngine;
 use medchain_chain::consensus::pos::PosEngine;
 use medchain_chain::consensus::Cluster;
 use medchain_chain::node::ChainApp;
+use medchain_runtime::timing::Bench;
 
 const TARGET_HEIGHT: u64 = 3;
 
-fn bench_poa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("poa_commit_3_blocks");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::new("consensus");
+
     for n in [4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let (engines, registry, _) = PoaEngine::make_validators(n, 50);
-                let apps =
-                    (0..n).map(|_| ChainApp::new("bench", registry.clone())).collect();
-                let mut cluster = Cluster::new(engines, apps, 1);
-                let report = cluster.run_until_height(TARGET_HEIGHT, 600_000);
-                assert!(report.reached);
-                report.elapsed_ms
-            })
+        b.bench(&format!("poa_commit_3_blocks/{n}"), || {
+            let (engines, registry, _) = PoaEngine::make_validators(n, 50);
+            let apps = (0..n).map(|_| ChainApp::new("bench", registry.clone())).collect();
+            let mut cluster = Cluster::new(engines, apps, 1);
+            let report = cluster.run_until_height(TARGET_HEIGHT, 600_000);
+            assert!(report.reached);
+            report.elapsed_ms
         });
     }
-    group.finish();
-}
 
-fn bench_pbft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pbft_commit_3_blocks");
-    group.sample_size(10);
     for n in [4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let (engines, registry, _) = PbftEngine::make_replicas(n, 50, 5_000);
-                let apps =
-                    (0..n).map(|_| ChainApp::new("bench", registry.clone())).collect();
-                let mut cluster = Cluster::new(engines, apps, 1);
-                let report = cluster.run_until_height(TARGET_HEIGHT, 600_000);
-                assert!(report.reached);
-                report.elapsed_ms
-            })
+        b.bench(&format!("pbft_commit_3_blocks/{n}"), || {
+            let (engines, registry, _) = PbftEngine::make_replicas(n, 50, 5_000);
+            let apps = (0..n).map(|_| ChainApp::new("bench", registry.clone())).collect();
+            let mut cluster = Cluster::new(engines, apps, 1);
+            let report = cluster.run_until_height(TARGET_HEIGHT, 600_000);
+            assert!(report.reached);
+            report.elapsed_ms
         });
     }
-    group.finish();
-}
 
-fn bench_pos(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pos_commit_3_blocks");
-    group.sample_size(10);
     for n in [4usize, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let (engines, registry) = PosEngine::make_stakers(n, None, 100);
-                let apps =
-                    (0..n).map(|_| ChainApp::new("bench", registry.clone())).collect();
-                let mut cluster = Cluster::new(engines, apps, 1);
-                let report = cluster.run_until_height(TARGET_HEIGHT, 3_600_000);
-                assert!(report.reached);
-                report.elapsed_ms
-            })
+        b.bench(&format!("pos_commit_3_blocks/{n}"), || {
+            let (engines, registry) = PosEngine::make_stakers(n, None, 100);
+            let apps = (0..n).map(|_| ChainApp::new("bench", registry.clone())).collect();
+            let mut cluster = Cluster::new(engines, apps, 1);
+            let report = cluster.run_until_height(TARGET_HEIGHT, 3_600_000);
+            assert!(report.reached);
+            report.elapsed_ms
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_poa, bench_pbft, bench_pos);
-criterion_main!(benches);
+    b.finish();
+}

@@ -2,113 +2,74 @@
 //! Lamport signatures, ChaCha20, DH — the per-operation costs every
 //! higher-level number in EXPERIMENTS.md decomposes into.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use medchain_chain::hash::{hmac_sha256, Hash256};
 use medchain_chain::sig::{AuthorityKey, KeyRegistry, LamportKeypair};
 use medchain_chain::MerkleTree;
 use medchain_hie::crypto::{nonce_from, ChaCha20, DhKeypair};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use medchain_runtime::timing::{black_box, Bench};
+use medchain_runtime::DetRng;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn main() {
+    let mut b = Bench::new("crypto");
+
     for size in [64usize, 1_024, 16_384] {
         let data = vec![0xa5u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| Hash256::digest(black_box(data)))
-        });
+        b.throughput_bytes(size as u64)
+            .bench(&format!("sha256/{size}"), || Hash256::digest(black_box(&data)));
     }
-    group.finish();
-}
 
-fn bench_hmac(c: &mut Criterion) {
-    c.bench_function("hmac_sha256/256B", |b| {
-        let message = vec![7u8; 256];
-        b.iter(|| hmac_sha256(black_box(b"consortium-key"), black_box(&message)))
+    let message = vec![7u8; 256];
+    b.bench("hmac_sha256/256B", || {
+        hmac_sha256(black_box(b"consortium-key"), black_box(&message))
     });
-}
 
-fn bench_merkle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merkle");
     for leaves in [64usize, 1_024] {
         let items: Vec<Vec<u8>> =
             (0..leaves).map(|i| format!("record-{i}").into_bytes()).collect();
-        group.bench_with_input(
-            BenchmarkId::new("build", leaves),
-            &items,
-            |b, items| b.iter(|| MerkleTree::from_items(black_box(items))),
-        );
+        b.bench(&format!("merkle/build/{leaves}"), || {
+            MerkleTree::from_items(black_box(&items))
+        });
         let tree = MerkleTree::from_items(&items);
         let proof = tree.prove(leaves / 2).unwrap();
         let leaf = Hash256::digest(items[leaves / 2].as_slice());
         let root = tree.root();
-        group.bench_with_input(
-            BenchmarkId::new("verify_proof", leaves),
-            &proof,
-            |b, proof| b.iter(|| proof.verify(black_box(&leaf), black_box(&root))),
-        );
+        b.bench(&format!("merkle/verify_proof/{leaves}"), || {
+            proof.verify(black_box(&leaf), black_box(&root))
+        });
     }
-    group.finish();
-}
 
-fn bench_signatures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("signatures");
-    group.bench_function("authority_sign", |b| {
-        let key = AuthorityKey::from_seed(1);
-        b.iter(|| key.sign(black_box(b"block header digest")))
+    let key = AuthorityKey::from_seed(1);
+    b.bench("signatures/authority_sign", || key.sign(black_box(b"block header digest")));
+    let mut registry = KeyRegistry::new();
+    registry.enroll(&key);
+    let sig = key.sign(b"block header digest");
+    b.bench("signatures/authority_verify", || {
+        registry.verify(black_box(b"block header digest"), black_box(&sig))
     });
-    group.bench_function("authority_verify", |b| {
-        let key = AuthorityKey::from_seed(1);
-        let mut registry = KeyRegistry::new();
-        registry.enroll(&key);
-        let sig = key.sign(b"block header digest");
-        b.iter(|| registry.verify(black_box(b"block header digest"), black_box(&sig)))
+    b.bench("signatures/lamport_keygen", || {
+        let mut rng = DetRng::from_seed(7);
+        LamportKeypair::generate(&mut rng)
     });
-    group.bench_function("lamport_keygen", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(7);
-            LamportKeypair::generate(&mut rng)
-        })
+    let mut rng = DetRng::from_seed(7);
+    let mut kp = LamportKeypair::generate(&mut rng);
+    let public = kp.public().clone();
+    let lamport_sig = kp.sign(b"dataset anchor").unwrap();
+    b.bench("signatures/lamport_verify", || {
+        public.verify(black_box(b"dataset anchor"), black_box(&lamport_sig))
     });
-    group.bench_function("lamport_verify", |b| {
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut kp = LamportKeypair::generate(&mut rng);
-        let public = kp.public().clone();
-        let sig = kp.sign(b"dataset anchor").unwrap();
-        b.iter(|| public.verify(black_box(b"dataset anchor"), black_box(&sig)))
-    });
-    group.finish();
-}
 
-fn bench_chacha(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chacha20");
     for size in [1_024usize, 65_536] {
         let cipher = ChaCha20::new(&[9u8; 32], &nonce_from(1, 0));
         let data = vec![0x42u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| cipher.encrypt(black_box(data)))
-        });
+        b.throughput_bytes(size as u64)
+            .bench(&format!("chacha20/{size}"), || cipher.encrypt(black_box(&data)));
     }
-    group.finish();
-}
 
-fn bench_dh(c: &mut Criterion) {
-    c.bench_function("dh_session_key", |b| {
-        let alice = DhKeypair::from_seed(b"a");
-        let bob = DhKeypair::from_seed(b"b");
-        b.iter(|| alice.session_key(black_box(bob.public), black_box(b"exchange-1")))
+    let alice = DhKeypair::from_seed(b"a");
+    let bob = DhKeypair::from_seed(b"b");
+    b.bench("dh_session_key", || {
+        alice.session_key(black_box(bob.public), black_box(b"exchange-1"))
     });
-}
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_hmac,
-    bench_merkle,
-    bench_signatures,
-    bench_chacha,
-    bench_dh
-);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,50 +1,36 @@
 //! E4 kernels: full exchange round trip, audit-chain verification, and
 //! blame assignment.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use medchain_chain::Address;
 use medchain_hie::{AuditAction, AuditTrail, HieNetwork};
+use medchain_runtime::timing::{black_box, Bench};
 
-fn bench_exchange_round_trip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_exchange_round_trip");
+fn main() {
+    let mut b = Bench::new("hie");
+
     for record_count in [10usize, 200] {
         let records: Vec<Vec<u8>> = (0..record_count).map(|i| vec![i as u8; 256]).collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(record_count),
-            &records,
-            |b, records| {
-                b.iter(|| {
-                    let mut net = HieNetwork::new();
-                    let owner = Address::from_seed(1);
-                    let requester = Address::from_seed(2);
-                    net.enroll(owner, b"o");
-                    net.enroll(requester, b"r");
-                    let id = net.request(requester, owner, "ds", 1).unwrap();
-                    net.approve(owner, id, 2).unwrap();
-                    net.deliver(owner, id, black_box(records), 3).unwrap();
-                    net.acknowledge(requester, id, 4).unwrap()
-                })
-            },
-        );
+        b.bench(&format!("e4_exchange_round_trip/{record_count}"), || {
+            let mut net = HieNetwork::new();
+            let owner = Address::from_seed(1);
+            let requester = Address::from_seed(2);
+            net.enroll(owner, b"o");
+            net.enroll(requester, b"r");
+            let id = net.request(requester, owner, "ds", 1).unwrap();
+            net.approve(owner, id, 2).unwrap();
+            net.deliver(owner, id, black_box(records.as_slice()), 3).unwrap();
+            net.acknowledge(requester, id, 4).unwrap()
+        });
     }
-    group.finish();
-}
 
-fn bench_audit_verify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e4_audit_chain_verify");
     for entries in [100usize, 2_000] {
         let mut trail = AuditTrail::new();
         for i in 0..entries {
             trail.record(i as u64 / 4, Address::from_seed(1), AuditAction::Delivered, i as u64);
         }
-        group.bench_with_input(BenchmarkId::from_parameter(entries), &trail, |b, trail| {
-            b.iter(|| trail.verify())
-        });
+        b.bench(&format!("e4_audit_chain_verify/{entries}"), || trail.verify());
     }
-    group.finish();
-}
 
-fn bench_blame(c: &mut Criterion) {
     let mut trail = AuditTrail::new();
     let owner = Address::from_seed(1);
     let requester = Address::from_seed(2);
@@ -58,10 +44,7 @@ fn bench_blame(c: &mut Criterion) {
             trail.record(id, requester, AuditAction::Acknowledged, id * 10 + 3);
         }
     }
-    c.bench_function("e4_assign_blame", |b| {
-        b.iter(|| trail.assign_blame(black_box(250), owner))
-    });
-}
+    b.bench("e4_assign_blame", || trail.assign_blame(black_box(250), owner));
 
-criterion_group!(benches, bench_exchange_round_trip, bench_audit_verify, bench_blame);
-criterion_main!(benches);
+    b.finish();
+}

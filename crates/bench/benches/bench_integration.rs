@@ -1,7 +1,6 @@
 //! E5 kernels: legacy-format encode/decode and the mixed-batch
 //! integration pipeline.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use medchain_data::formats::common::SourceDocument;
 use medchain_data::formats::csv_legacy::LegacyCsvFormat;
 use medchain_data::formats::fhir::FhirLikeFormat;
@@ -9,6 +8,7 @@ use medchain_data::formats::hl7v2::Hl7V2LikeFormat;
 use medchain_data::formats::LegacyFormat;
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_data::{FormatRegistry, PatientRecord};
+use medchain_runtime::timing::{black_box, Bench};
 
 fn sample_records(n: usize) -> Vec<PatientRecord> {
     CohortGenerator::new("bench", SiteProfile::default(), 9).cohort(
@@ -18,27 +18,25 @@ fn sample_records(n: usize) -> Vec<PatientRecord> {
     )
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("integration");
+
     let record = &sample_records(1)[0];
-    let mut group = c.benchmark_group("format_codec");
     let codecs: Vec<(&str, Box<dyn LegacyFormat>)> = vec![
         ("fhir", Box::new(FhirLikeFormat)),
         ("hl7v2", Box::new(Hl7V2LikeFormat)),
         ("csv", Box::new(LegacyCsvFormat)),
     ];
     for (name, codec) in &codecs {
-        group.bench_function(BenchmarkId::new("encode", name), |b| {
-            b.iter(|| codec.encode(black_box(record)))
+        b.bench(&format!("format_codec/encode/{name}"), || {
+            codec.encode(black_box(record))
         });
         let encoded = codec.encode(record);
-        group.bench_function(BenchmarkId::new("decode", name), |b| {
-            b.iter(|| codec.decode(black_box(&encoded)).unwrap())
+        b.bench(&format!("format_codec/decode/{name}"), || {
+            codec.decode(black_box(&encoded)).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_integration(c: &mut Criterion) {
     let registry = FormatRegistry::standard();
     let records = sample_records(600);
     let formats = ["fhir", "hl7v2", "csv"];
@@ -50,25 +48,17 @@ fn bench_integration(c: &mut Criterion) {
             SourceDocument::new(format, registry.encode(format, r).unwrap())
         })
         .collect();
-    let mut group = c.benchmark_group("e5_integration");
-    group.throughput(Throughput::Elements(documents.len() as u64));
-    group.bench_function("mixed_batch_600", |b| {
-        b.iter(|| registry.integrate(black_box(&documents)))
+    b.bench("e5_integration/mixed_batch_600", || {
+        registry.integrate(black_box(&documents))
     });
-    group.finish();
-}
 
-fn bench_cohort_generation(c: &mut Criterion) {
-    c.bench_function("synth_cohort_1000", |b| {
-        b.iter(|| {
-            CohortGenerator::new("bench", SiteProfile::default(), 10).cohort(
-                0,
-                1_000,
-                &DiseaseModel::stroke(),
-            )
-        })
+    b.bench("synth_cohort_1000", || {
+        CohortGenerator::new("bench", SiteProfile::default(), 10).cohort(
+            0,
+            1_000,
+            &DiseaseModel::stroke(),
+        )
     });
-}
 
-criterion_group!(benches, bench_codecs, bench_integration, bench_cohort_generation);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,12 +1,12 @@
 //! E8/E9 kernels: logistic and MLP training epochs, one FedAvg round,
 //! and transfer fine-tuning.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, STROKE_CODE};
 use medchain_data::Dataset;
 use medchain_learning::{
     fine_tune, pretrain, FedAvg, FedLogistic, LogisticRegression, MlpConfig, SgdConfig,
 };
+use medchain_runtime::timing::{black_box, Bench};
 
 fn dataset(n: usize, seed: u64) -> Dataset {
     let records = CohortGenerator::new("bench", SiteProfile::default(), seed).cohort(
@@ -17,50 +17,36 @@ fn dataset(n: usize, seed: u64) -> Dataset {
     Dataset::from_records(&records, STROKE_CODE)
 }
 
-fn bench_logistic_epoch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("logistic_train_1_epoch");
+fn main() {
+    let mut b = Bench::new("learning");
+
     for n in [500usize, 2_000] {
         let data = dataset(n, 1);
         let config = SgdConfig { epochs: 1, ..SgdConfig::default() };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| {
-                let mut model = LogisticRegression::new(data.dim());
-                model.train(black_box(data), &config);
-                model
-            })
+        b.bench(&format!("logistic_train_1_epoch/{n}"), || {
+            let mut model = LogisticRegression::new(data.dim());
+            model.train(black_box(&data), &config);
+            model
         });
     }
-    group.finish();
-}
 
-fn bench_fed_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fedavg_1_round");
-    group.sample_size(10);
     for sites in [2usize, 8] {
         let shards: Vec<Dataset> =
             (0..sites).map(|i| dataset(400, 10 + i as u64)).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(sites), &shards, |b, shards| {
-            b.iter(|| {
-                let mut fed = FedAvg::new(FedLogistic::new(10, 1), 1);
-                fed.run(black_box(shards), None)
-            })
+        b.bench(&format!("fedavg_1_round/{sites}"), || {
+            let mut fed = FedAvg::new(FedLogistic::new(10, 1), 1);
+            fed.run(black_box(&shards), None)
         });
     }
-    group.finish();
-}
 
-fn bench_mlp_and_transfer(c: &mut Criterion) {
     let config = MlpConfig { hidden: vec![12], epochs: 5, ..MlpConfig::default() };
     let source = dataset(1_500, 20);
     let target = dataset(200, 21);
-    c.bench_function("mlp_pretrain_1500x5ep", |b| {
-        b.iter(|| pretrain(black_box(&source), &config))
-    });
+    b.bench("mlp_pretrain_1500x5ep", || pretrain(black_box(&source), &config));
     let base = pretrain(&source, &config);
-    c.bench_function("e9_fine_tune_200", |b| {
-        b.iter(|| fine_tune(black_box(&base), black_box(&target), &config))
+    b.bench("e9_fine_tune_200", || {
+        fine_tune(black_box(&base), black_box(&target), &config)
     });
-}
 
-criterion_group!(benches, bench_logistic_epoch, bench_fed_round, bench_mlp_and_transfer);
-criterion_main!(benches);
+    b.finish();
+}

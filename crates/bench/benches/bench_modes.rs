@@ -1,33 +1,26 @@
-//! The headline E1/E2 measurement under Criterion: wall time of the
-//! same analytics job in duplicated versus transformed-parallel mode at
-//! increasing consortium sizes.
+//! The headline E1/E2 measurement: wall time of the same analytics job
+//! in duplicated versus transformed-parallel mode at increasing
+//! consortium sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use medchain::modes::{run_duplicated, run_transformed};
+use medchain_runtime::timing::Bench;
 
 const WORK: u64 = 150_000;
 
-fn bench_duplicated(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_duplicated_mode");
-    group.sample_size(10);
+fn main() {
+    let mut b = Bench::new("modes");
+
     for nodes in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
-            b.iter(|| run_duplicated(nodes, WORK, 1).expect("run"))
+        b.bench(&format!("e1_duplicated_mode/{nodes}"), || {
+            run_duplicated(nodes, WORK, 1).expect("run")
         });
     }
-    group.finish();
-}
 
-fn bench_transformed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e2_transformed_mode");
-    group.sample_size(10);
     for nodes in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
-            b.iter(|| run_transformed(nodes, WORK, 1).expect("run"))
+        b.bench(&format!("e2_transformed_mode/{nodes}"), || {
+            run_transformed(nodes, WORK, 1).expect("run")
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_duplicated, bench_transformed);
-criterion_main!(benches);
+    b.finish();
+}

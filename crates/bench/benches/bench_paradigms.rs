@@ -1,9 +1,9 @@
 //! E11 kernels: the same analytics job under each computing paradigm.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use medchain::paradigms::{run_paradigm, Paradigm};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_data::PatientRecord;
+use medchain_runtime::timing::{black_box, Bench};
 
 fn site_data(sites: usize, per_site: usize) -> Vec<Vec<PatientRecord>> {
     (0..sites)
@@ -17,24 +17,20 @@ fn site_data(sites: usize, per_site: usize) -> Vec<Vec<PatientRecord>> {
         .collect()
 }
 
-fn bench_paradigms(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("paradigms");
+
     let data = site_data(4, 400);
-    let mut group = c.benchmark_group("e11_paradigm_compute");
-    group.sample_size(10);
     for paradigm in [
         Paradigm::HadoopCentralized,
         Paradigm::GridComputing,
         Paradigm::CloudElastic,
         Paradigm::BlockchainParallel,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(paradigm.to_string()),
-            &paradigm,
-            |b, &paradigm| b.iter(|| run_paradigm(paradigm, black_box(&data), 20)),
-        );
+        b.bench(&format!("e11_paradigm_compute/{paradigm}"), || {
+            run_paradigm(paradigm, black_box(&data), 20)
+        });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_paradigms);
-criterion_main!(benches);
+    b.finish();
+}

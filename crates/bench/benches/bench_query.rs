@@ -1,9 +1,9 @@
 //! E7 kernels: NL parsing, per-site execution, and composition.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_data::PatientRecord;
 use medchain_query::{compose, execute_local, parse_request, plan, SiteOutput};
+use medchain_runtime::timing::{black_box, Bench};
 
 fn records(n: usize) -> Vec<PatientRecord> {
     CohortGenerator::new("bench", SiteProfile::default(), 30).cohort(
@@ -13,42 +13,36 @@ fn records(n: usize) -> Vec<PatientRecord> {
     )
 }
 
-fn bench_nlp(c: &mut Criterion) {
-    c.bench_function("nlp_parse_request", |b| {
-        b.iter(|| {
-            parse_request(black_box(
-                "mean blood pressure of diabetic smokers between 50 and 75 for public health",
-            ))
-            .unwrap()
-        })
-    });
-}
+fn main() {
+    let mut b = Bench::new("query");
 
-fn bench_site_execute(c: &mut Criterion) {
+    b.bench("nlp_parse_request", || {
+        parse_request(black_box(
+            "mean blood pressure of diabetic smokers between 50 and 75 for public health",
+        ))
+        .unwrap()
+    });
+
     let query = parse_request("count smokers over 55").unwrap();
     let sites: Vec<String> = vec!["s0".into()];
-    let task = &plan(&query, &sites)[0];
-    let mut group = c.benchmark_group("e7_site_execute");
+    let tasks = plan(&query, &sites);
+    let task = &tasks[0];
     for n in [500usize, 5_000] {
         let data = records(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| execute_local(black_box(task), data, None))
+        b.bench(&format!("e7_site_execute/{n}"), || {
+            execute_local(black_box(task), &data, None)
         });
     }
-    group.finish();
-}
 
-fn bench_compose(c: &mut Criterion) {
     let query = parse_request("count smokers").unwrap();
     let sites: Vec<String> = (0..8).map(|i| format!("s{i}")).collect();
     let tasks = plan(&query, &sites);
     let data = records(500);
     let outputs: Vec<SiteOutput> =
         tasks.iter().map(|t| execute_local(t, &data, None)).collect();
-    c.bench_function("e7_compose_8_sites", |b| {
-        b.iter(|| compose(black_box(&query), black_box(outputs.clone())).unwrap())
+    b.bench("e7_compose_8_sites", || {
+        compose(black_box(&query), black_box(outputs.clone())).unwrap()
     });
-}
 
-criterion_group!(benches, bench_nlp, bench_site_execute, bench_compose);
-criterion_main!(benches);
+    b.finish();
+}

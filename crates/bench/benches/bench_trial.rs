@@ -1,33 +1,27 @@
 //! E10/E12 kernels: COMPare population audit, Merkle falsification
 //! audit, recruitment screening, and the streaming RWE monitor.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_data::{Field, Predicate, RecordQuery};
+use medchain_runtime::timing::{black_box, Bench};
 use medchain_trial::{
     audit_population, audit_with_anchors, screen_site, simulate_population, simulate_sites,
     simulate_stream, OutcomeEvent, RweMonitor, TrialProtocol, COMPARE_CORRECT_RATE,
 };
 
-fn bench_compare_audit(c: &mut Criterion) {
-    let pairs = simulate_population(670, COMPARE_CORRECT_RATE, 1);
-    c.bench_function("e10_compare_audit_670_trials", |b| {
-        b.iter(|| audit_population(black_box(&pairs)))
-    });
-}
+fn main() {
+    let mut b = Bench::new("trial");
 
-fn bench_falsification_audit(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e10_merkle_audit");
+    let pairs = simulate_population(670, COMPARE_CORRECT_RATE, 1);
+    b.bench("e10_compare_audit_670_trials", || audit_population(black_box(&pairs)));
+
     for sites in [50usize, 300] {
         let data = simulate_sites(sites, 50, 0.8, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(sites), &data, |b, data| {
-            b.iter(|| audit_with_anchors(black_box(data)))
+        b.bench(&format!("e10_merkle_audit/{sites}"), || {
+            audit_with_anchors(black_box(&data))
         });
     }
-    group.finish();
-}
 
-fn bench_screening(c: &mut Criterion) {
     let protocol = TrialProtocol {
         trial_id: "NCT-bench".into(),
         sponsor: "s".into(),
@@ -43,35 +37,18 @@ fn bench_screening(c: &mut Criterion) {
         5_000,
         &DiseaseModel::stroke(),
     );
-    let mut group = c.benchmark_group("e10_eligibility_screening");
-    group.throughput(Throughput::Elements(records.len() as u64));
-    group.bench_function("5000_records", |b| {
-        b.iter(|| screen_site(black_box(&protocol), "bench", black_box(&records)))
+    b.bench("e10_eligibility_screening/5000_records", || {
+        screen_site(black_box(&protocol), "bench", black_box(&records))
     });
-    group.finish();
-}
 
-fn bench_monitor(c: &mut Criterion) {
     let events: Vec<OutcomeEvent> = simulate_stream(8, 50, 100, 0.02, 0.02, 999, 4);
-    let mut group = c.benchmark_group("e12_rwe_monitor");
-    group.throughput(Throughput::Elements(events.len() as u64));
-    group.bench_function("observe_5000_events", |b| {
-        b.iter(|| {
-            let mut monitor = RweMonitor::new(0.02, 4.0, 400);
-            for event in &events {
-                monitor.observe(black_box(*event));
-            }
-            monitor.z_score()
-        })
+    b.bench("e12_rwe_monitor/observe_5000_events", || {
+        let mut monitor = RweMonitor::new(0.02, 4.0, 400);
+        for event in &events {
+            monitor.observe(black_box(*event));
+        }
+        monitor.z_score()
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_compare_audit,
-    bench_falsification_audit,
-    bench_screening,
-    bench_monitor
-);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,69 +1,54 @@
 //! Smart-contract VM kernels (Fig. 4 substrate): interpreter dispatch,
 //! storage ops, the Burn analytics kernel, and native-contract calls.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use medchain_chain::{Address, WorldState};
 use medchain_contracts::asm::assemble;
 use medchain_contracts::native::{NativeContract, NativeCtx};
 use medchain_contracts::standard::DataContract;
 use medchain_contracts::value::{Args, Value};
 use medchain_contracts::vm::{execute, CallEnv};
+use medchain_runtime::timing::{black_box, Bench};
 
 fn env(args: &[Value]) -> CallEnv<'_> {
     CallEnv::new(Address::from_seed(100), Address::from_seed(1), args, 100_000_000)
 }
 
-fn bench_arith_loop(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("vm");
+
     // Tight arithmetic loop: measures dispatch cost per instruction.
-    let program = assemble(
+    let countdown = assemble(
         "arg 0\nloop:\ndup 0\njumpif body\nhalt\nbody:\npush 1\nsub\njump loop",
     )
     .unwrap();
-    let mut group = c.benchmark_group("vm_countdown_loop");
     for n in [1_000i64, 10_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let args = [Value::Int(n)];
-            b.iter(|| {
-                let mut state = WorldState::new();
-                execute(black_box(&program), &env(&args), &mut state).unwrap()
-            })
+        let args = [Value::Int(n)];
+        b.bench(&format!("countdown_loop/{n}"), || {
+            let mut state = WorldState::new();
+            execute(black_box(&countdown), &env(&args), &mut state).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_burn(c: &mut Criterion) {
-    let program = assemble("arg 0\nburn\nhalt").unwrap();
-    let mut group = c.benchmark_group("vm_burn_kernel");
-    group.sample_size(20);
+    let burn = assemble("arg 0\nburn\nhalt").unwrap();
     for units in [10_000i64, 100_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, &units| {
-            let args = [Value::Int(units)];
-            b.iter(|| {
-                let mut state = WorldState::new();
-                execute(black_box(&program), &env(&args), &mut state).unwrap()
-            })
+        let args = [Value::Int(units)];
+        b.bench(&format!("burn_kernel/{units}"), || {
+            let mut state = WorldState::new();
+            execute(black_box(&burn), &env(&args), &mut state).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_storage(c: &mut Criterion) {
     // storage["log"] = "x" ++ storage["log"], then read its length.
-    let program = assemble(
+    let storage = assemble(
         "pushb \"log\"\npushb \"x\"\npushb \"log\"\nsload\nconcat\nsstore\n\
          pushb \"log\"\nsload\nlen\nhalt",
     )
     .unwrap();
-    c.bench_function("vm_storage_read_modify_write", |b| {
-        b.iter(|| {
-            let mut state = WorldState::new();
-            execute(black_box(&program), &env(&[]), &mut state).unwrap()
-        })
+    b.bench("storage_read_modify_write", || {
+        let mut state = WorldState::new();
+        execute(black_box(&storage), &env(&[]), &mut state).unwrap()
     });
-}
 
-fn bench_native_request(c: &mut Criterion) {
     // Full data-contract access-policy evaluation (the paper's
     // light-weight on-chain control point).
     let contract = DataContract;
@@ -87,10 +72,9 @@ fn bench_native_request(c: &mut Criterion) {
         )
         .unwrap();
     let request = Args(vec![Value::str("request"), Value::str("emr"), Value::Int(1)]);
-    c.bench_function("native_data_contract_request", |b| {
-        b.iter(|| contract.call(&ctx, black_box(&request), &mut state).unwrap())
+    b.bench("native_data_contract_request", || {
+        contract.call(&ctx, black_box(&request), &mut state).unwrap()
     });
-}
 
-criterion_group!(benches, bench_arith_loop, bench_burn, bench_storage, bench_native_request);
-criterion_main!(benches);
+    b.finish();
+}

@@ -8,7 +8,31 @@
 //! data, with only the policy gate and result hash on-chain.
 
 use crate::report::{f, ms, Table};
-use medchain::modes::{run_duplicated, run_sharded, run_transformed};
+use medchain::modes::{run_duplicated, run_sharded, run_transformed, ModeReport};
+
+/// By default the tables print the deterministic wall-time model
+/// ([`ModeReport::modeled_wall`]) so that a fixed seed reproduces the
+/// output bit-for-bit across runs. Set `MEDCHAIN_REAL_WALL=1` to print
+/// measured thread wall time instead (machine- and run-dependent).
+fn real_wall() -> bool {
+    std::env::var("MEDCHAIN_REAL_WALL").is_ok_and(|v| v == "1")
+}
+
+fn wall_secs(report: &ModeReport) -> f64 {
+    if real_wall() {
+        report.wall.as_secs_f64()
+    } else {
+        report.modeled_wall().as_secs_f64()
+    }
+}
+
+fn wall_header() -> &'static str {
+    if real_wall() {
+        "wall (measured)"
+    } else {
+        "wall (model)"
+    }
+}
 
 fn node_counts(quick: bool) -> Vec<usize> {
     if quick {
@@ -32,18 +56,19 @@ pub fn run_e1(quick: bool) -> Table {
     let mut table = Table::new(
         "E1",
         &format!("duplicated smart-contract computing, job = {work} work units"),
-        &["nodes", "wall", "total work (gas)", "duplication ×", "jobs/s", "sim latency"],
+        &["nodes", wall_header(), "total work (gas)", "duplication ×", "jobs/s", "sim latency"],
     );
     let mut walls = Vec::new();
     for nodes in node_counts(quick) {
         let report = run_duplicated(nodes, work, 11).expect("duplicated run");
-        walls.push((nodes, report.wall.as_secs_f64()));
+        let wall = wall_secs(&report);
+        walls.push((nodes, wall));
         table.row(vec![
             nodes.to_string(),
-            ms(report.wall.as_secs_f64() * 1000.0),
+            ms(wall * 1000.0),
             report.total_gas.to_string(),
             f(report.duplication_factor()),
-            f(report.throughput_per_sec()),
+            f(1.0 / wall.max(1e-9)),
             format!("{}ms", report.sim_latency_ms),
         ]);
     }
@@ -62,7 +87,10 @@ pub fn run_e2(quick: bool) -> Table {
     let work = work_units(quick);
     let mut table = Table::new(
         "E2",
-        &format!("transformed distributed-parallel architecture, job = {work} work units"),
+        &format!(
+            "transformed distributed-parallel architecture, job = {work} work units, {}",
+            wall_header()
+        ),
         &[
             "nodes",
             "duplicated wall",
@@ -81,13 +109,13 @@ pub fn run_e2(quick: bool) -> Table {
         let shards = (nodes / 2).max(1);
         let sharded = run_sharded(nodes, shards, work, 22).expect("sharded run");
         let transformed = run_transformed(nodes, work, 22).expect("transformed run");
-        let speedup = duplicated.wall.as_secs_f64() / transformed.wall.as_secs_f64();
+        let speedup = wall_secs(&duplicated) / wall_secs(&transformed);
         speedups.push((nodes, speedup));
         table.row(vec![
             nodes.to_string(),
-            ms(duplicated.wall.as_secs_f64() * 1000.0),
-            ms(sharded.wall.as_secs_f64() * 1000.0),
-            ms(transformed.wall.as_secs_f64() * 1000.0),
+            ms(wall_secs(&duplicated) * 1000.0),
+            ms(wall_secs(&sharded) * 1000.0),
+            ms(wall_secs(&transformed) * 1000.0),
             f(speedup),
             duplicated.total_gas.to_string(),
             sharded.total_gas.to_string(),

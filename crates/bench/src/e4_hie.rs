@@ -6,8 +6,7 @@
 use crate::report::{bytes, f, Table};
 use medchain_chain::Address;
 use medchain_hie::{AuditAction, BlameVerdict, EmailAuditOutcome, EmailExchange, HieNetwork};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// Outcome counts for one transport.
 #[derive(Debug, Default, Clone, Copy)]
@@ -20,7 +19,7 @@ struct TransportOutcome {
 }
 
 fn drive_hie(exchanges: usize, fail_rate: f64, seed: u64) -> TransportOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::from_seed(seed);
     let mut net = HieNetwork::new();
     let sites: Vec<Address> = (0..6).map(|i| Address::from_seed(i as u64)).collect();
     for (i, site) in sites.iter().enumerate() {
@@ -61,7 +60,7 @@ fn drive_hie(exchanges: usize, fail_rate: f64, seed: u64) -> TransportOutcome {
 }
 
 fn drive_email(exchanges: usize, fail_rate: f64, seed: u64) -> TransportOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::from_seed(seed);
     let mut email = EmailExchange::new();
     let sites: Vec<Address> = (0..6).map(|i| Address::from_seed(i as u64)).collect();
     let records: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 64]).collect();

@@ -6,7 +6,7 @@ use crate::sig::{Address, AuthoritySignature};
 use crate::tx::Transaction;
 
 /// How a block was sealed by its consensus engine.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Seal {
     /// Genesis block has no seal.
     Genesis,
@@ -42,7 +42,7 @@ pub enum Seal {
 }
 
 /// Block header.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Header {
     /// Height in the chain (genesis = 0).
     pub height: u64,
@@ -80,7 +80,7 @@ impl Header {
 }
 
 /// A sealed block.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// Header.
     pub header: Header,
@@ -200,4 +200,19 @@ mod tests {
         let header = sample_block().header;
         assert_ne!(header.pow_digest(0), header.pow_digest(1));
     }
+}
+
+mod codec_impls {
+    use super::{Block, Header, Seal};
+    use medchain_runtime::{impl_codec_enum, impl_codec_struct};
+
+    impl_codec_enum!(Seal {
+        0 => Genesis,
+        1 => Authority { proposer, votes },
+        2 => Pbft { view, commits },
+        3 => Work { nonce, difficulty_bits },
+        4 => Stake { winner, stake },
+    });
+    impl_codec_struct!(Header { height, parent, tx_root, state_root, timestamp_ms, proposer });
+    impl_codec_struct!(Block { header, transactions, seal });
 }

@@ -174,7 +174,7 @@ impl Sha256 {
 /// assert_eq!(a, b);
 /// assert_ne!(a, Hash256::digest(b"tampered record"));
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Hash256(pub [u8; 32]);
 
 impl Hash256 {
@@ -397,5 +397,22 @@ mod tests {
             tag.to_hex(),
             "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
         );
+    }
+}
+
+mod codec_impls {
+    use super::Hash256;
+    use medchain_runtime::codec::{CodecError, Decode, Encode, Reader};
+
+    impl Encode for Hash256 {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0);
+        }
+    }
+
+    impl Decode for Hash256 {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(Hash256(<[u8; 32]>::decode(r)?))
+        }
     }
 }

@@ -16,7 +16,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// An account record: token balance and replay-protection nonce.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Account {
     /// Token balance in base units.
     pub balance: u64,
@@ -27,7 +27,7 @@ pub struct Account {
 /// An event emitted during contract execution.
 ///
 /// The off-chain monitor node (paper Fig. 3) subscribes to these.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Emitting contract.
     pub contract: Address,
@@ -38,7 +38,7 @@ pub struct Event {
 }
 
 /// Execution receipt for one transaction.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Receipt {
     /// Transaction id.
     pub tx_id: Hash256,
@@ -803,4 +803,13 @@ mod tests {
         assert_ne!(contract_address(&sender, 0), contract_address(&sender, 1));
         assert_eq!(contract_address(&sender, 0), contract_address(&sender, 0));
     }
+}
+
+mod codec_impls {
+    use super::{Account, Event, Receipt};
+    use medchain_runtime::impl_codec_struct;
+
+    impl_codec_struct!(Account { balance, nonce });
+    impl_codec_struct!(Event { contract, topic, data });
+    impl_codec_struct!(Receipt { tx_id, ok, gas_used, output, events, error });
 }

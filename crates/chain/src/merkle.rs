@@ -100,7 +100,7 @@ impl MerkleTree {
 }
 
 /// One step of a Merkle proof: the sibling digest and its side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProofStep {
     /// The sibling node's digest.
     pub sibling: Hash256,
@@ -109,7 +109,7 @@ pub struct ProofStep {
 }
 
 /// A Merkle membership proof.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MerkleProof {
     /// Index of the proven leaf.
     pub leaf_index: usize,
@@ -205,4 +205,12 @@ mod tests {
         assert_eq!(tree.leaf_count(), 3);
         assert_eq!(tree.leaves()[0], Hash256::digest(b"a"));
     }
+}
+
+mod codec_impls {
+    use super::{MerkleProof, ProofStep};
+    use medchain_runtime::impl_codec_struct;
+
+    impl_codec_struct!(ProofStep { sibling, sibling_is_right });
+    impl_codec_struct!(MerkleProof { leaf_index, path });
 }

@@ -6,16 +6,13 @@
 //! discrete-event simulator: messages and timers are delivered in logical
 //! time, links can be failed and healed, and all traffic is metered.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
 /// Index of a node in the simulated network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -53,7 +50,7 @@ impl LatencyModel {
     }
 
     /// Samples a delay for a message of `bytes` bytes.
-    pub fn sample(&self, rng: &mut StdRng, bytes: usize) -> u64 {
+    pub fn sample(&self, rng: &mut DetRng, bytes: usize) -> u64 {
         let jitter = if self.jitter_ms == 0 { 0 } else { rng.gen_range(0..=self.jitter_ms) };
         self.base_ms + self.per_kib_ms * (bytes as u64).div_ceil(1024) + jitter
     }
@@ -143,7 +140,7 @@ pub struct SimNetwork<M> {
     drop_rate: f64,
     failed_nodes: HashSet<NodeId>,
     failed_links: HashSet<(NodeId, NodeId)>,
-    rng: StdRng,
+    rng: DetRng,
     stats: NetStats,
     node_count: usize,
 }
@@ -171,7 +168,7 @@ impl<M: Wire> SimNetwork<M> {
             drop_rate: 0.0,
             failed_nodes: HashSet::new(),
             failed_links: HashSet::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::from_seed(seed),
             stats: NetStats::default(),
             node_count,
         }
@@ -423,5 +420,22 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+}
+
+mod codec_impls {
+    use super::NodeId;
+    use medchain_runtime::codec::{CodecError, Decode, Encode, Reader};
+
+    impl Encode for NodeId {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+    }
+
+    impl Decode for NodeId {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(NodeId(usize::decode(r)?))
+        }
     }
 }

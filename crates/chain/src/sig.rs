@@ -13,7 +13,7 @@
 //!   check. Cheap enough to sign every transaction and block.
 
 use crate::hash::{hmac_sha256, Hash256};
-use rand::RngCore;
+use medchain_runtime::DetRng;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -21,9 +21,7 @@ use std::fmt;
 ///
 /// Addresses are derived from key material by hashing, as in account-model
 /// blockchains.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Address(pub [u8; 20]);
 
 impl Address {
@@ -96,7 +94,7 @@ impl fmt::Debug for LamportSignature {
 
 impl LamportKeypair {
     /// Generates a fresh one-time keypair from `rng`.
-    pub fn generate(rng: &mut dyn RngCore) -> LamportKeypair {
+    pub fn generate(rng: &mut DetRng) -> LamportKeypair {
         let mut secret = Box::new([[[0u8; 32]; 2]; 256]);
         let mut public = Box::new([[Hash256::ZERO; 2]; 256]);
         for i in 0..256 {
@@ -199,7 +197,7 @@ impl fmt::Debug for AuthorityKey {
 }
 
 /// MAC-based signature produced by an [`AuthorityKey`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AuthoritySignature {
     /// Signer address (registry lookup key).
     pub signer: Address,
@@ -209,7 +207,7 @@ pub struct AuthoritySignature {
 
 impl AuthorityKey {
     /// Generates a key from `rng`.
-    pub fn generate(rng: &mut dyn RngCore) -> AuthorityKey {
+    pub fn generate(rng: &mut DetRng) -> AuthorityKey {
         let mut secret = [0u8; 32];
         rng.fill_bytes(&mut secret);
         AuthorityKey { address: Address::from_key_material(&secret), secret }
@@ -277,12 +275,10 @@ impl KeyRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn lamport_sign_verify() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::from_seed(7);
         let mut kp = LamportKeypair::generate(&mut rng);
         let public = kp.public().clone();
         let sig = kp.sign(b"anchor: dataset v1").unwrap();
@@ -292,7 +288,7 @@ mod tests {
 
     #[test]
     fn lamport_key_is_one_time() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = DetRng::from_seed(8);
         let mut kp = LamportKeypair::generate(&mut rng);
         kp.sign(b"first").unwrap();
         assert_eq!(kp.sign(b"second"), Err(SignError::KeyAlreadyUsed));
@@ -300,7 +296,7 @@ mod tests {
 
     #[test]
     fn lamport_rejects_bit_flip() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = DetRng::from_seed(9);
         let mut kp = LamportKeypair::generate(&mut rng);
         let public = kp.public().clone();
         let mut sig = kp.sign(b"msg").unwrap();
@@ -310,7 +306,7 @@ mod tests {
 
     #[test]
     fn authority_sign_verify_via_registry() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = DetRng::from_seed(10);
         let key = AuthorityKey::generate(&mut rng);
         let mut registry = KeyRegistry::new();
         registry.enroll(&key);
@@ -321,7 +317,7 @@ mod tests {
 
     #[test]
     fn registry_rejects_unenrolled_signer() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::from_seed(11);
         let key = AuthorityKey::generate(&mut rng);
         let registry = KeyRegistry::new();
         assert!(!registry.verify(b"m", &key.sign(b"m")));
@@ -346,4 +342,24 @@ mod tests {
         assert_ne!(AuthorityKey::from_seed(5).address(), AuthorityKey::from_seed(6).address());
         assert_eq!(Address::from_seed(3), Address::from_seed(3));
     }
+}
+
+mod codec_impls {
+    use super::{Address, AuthoritySignature};
+    use medchain_runtime::codec::{CodecError, Decode, Encode, Reader};
+    use medchain_runtime::impl_codec_struct;
+
+    impl Encode for Address {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.0);
+        }
+    }
+
+    impl Decode for Address {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            Ok(Address(<[u8; 20]>::decode(r)?))
+        }
+    }
+
+    impl_codec_struct!(AuthoritySignature { signer, tag });
 }

@@ -10,7 +10,7 @@ use crate::hash::Hash256;
 use crate::sig::{Address, AuthorityKey, AuthoritySignature, KeyRegistry};
 
 /// What a transaction asks the chain to do.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxPayload {
     /// Transfer of the consortium accounting token (used for incentive
     /// and cost accounting, not speculation).
@@ -57,7 +57,7 @@ impl TxPayload {
 }
 
 /// A signed transaction.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transaction {
     /// Sender address.
     pub sender: Address,
@@ -222,4 +222,17 @@ mod tests {
         let large = TxPayload::Invoke { contract: Address::from_seed(0), input: vec![0; 400] };
         assert!(large.wire_size() > small.wire_size());
     }
+}
+
+mod codec_impls {
+    use super::{Transaction, TxPayload};
+    use medchain_runtime::{impl_codec_enum, impl_codec_struct};
+
+    impl_codec_enum!(TxPayload {
+        0 => Transfer { to, amount },
+        1 => Deploy { code, init },
+        2 => Invoke { contract, input },
+        3 => Anchor { root, label },
+    });
+    impl_codec_struct!(Transaction { sender, nonce, payload, gas_limit, signature });
 }

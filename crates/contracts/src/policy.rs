@@ -12,9 +12,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Why data is being requested. Mirrors HIPAA-style purpose limitation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Purpose {
     /// Direct patient care.
     Treatment,
@@ -71,7 +69,7 @@ impl fmt::Display for Purpose {
 }
 
 /// A purpose-limited, optionally expiring access grant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Grant {
     /// Who may access.
     pub grantee: Address,
@@ -142,7 +140,7 @@ impl fmt::Display for DenyReason {
 /// assert!(policy.evaluate(&researcher, Purpose::Research, 0).is_permit());
 /// assert!(!policy.evaluate(&researcher, Purpose::Treatment, 0).is_permit());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessPolicy {
     owner: Address,
     grants: Vec<Grant>,
@@ -400,4 +398,19 @@ mod tests {
         }
         assert!(Purpose::from_code(99).is_err());
     }
+}
+
+mod codec_impls {
+    use super::{AccessPolicy, Grant, Purpose};
+    use medchain_runtime::{impl_codec_struct, impl_codec_unit_enum};
+
+    impl_codec_unit_enum!(Purpose {
+        Treatment,
+        Research,
+        ClinicalTrial,
+        PublicHealth,
+        RegulatoryAudit,
+    });
+    impl_codec_struct!(Grant { grantee, purpose, expires_at_ms });
+    impl_codec_struct!(AccessPolicy { owner, grants, consent_required, consented_purposes });
 }

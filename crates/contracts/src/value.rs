@@ -11,7 +11,7 @@ use medchain_chain::Address;
 use std::fmt;
 
 /// A VM stack value.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// Signed 64-bit integer.
     Int(i64),
@@ -373,4 +373,14 @@ mod tests {
         assert_eq!(Value::address(&addr).as_address().unwrap(), addr);
         assert!(Value::Bytes(vec![1, 2, 3]).as_address().is_err());
     }
+}
+
+mod codec_impls {
+    use super::Value;
+    use medchain_runtime::impl_codec_enum;
+
+    impl_codec_enum!(Value {
+        0 => Int(n),
+        1 => Bytes(bytes),
+    });
 }

@@ -67,12 +67,43 @@ pub struct ModeReport {
     pub bytes: u64,
     /// Logical (simulated network) latency of the flow in ms.
     pub sim_latency_ms: u64,
+    /// Work units on the serial critical path — the longest chain of
+    /// gas that cannot overlap with anything else. Duplicated mode
+    /// re-executes every replica in turn, so this is the full
+    /// `total_gas`; sharded mode runs groups concurrently, so it is the
+    /// slowest group's gas; transformed mode runs sites in parallel, so
+    /// it is the largest per-site shard plus the on-chain gate gas.
+    /// Unlike `wall`, this is a pure function of the configuration.
+    pub critical_path_gas: u64,
 }
+
+/// Calibration constant for the deterministic wall-time model:
+/// nanoseconds one work unit (one iterated SHA-256 evaluation of the
+/// `Burn` kernel) takes on the reference machine. Used by
+/// [`ModeReport::modeled_wall`] so experiment tables are bit-identical
+/// across runs; set `MEDCHAIN_REAL_WALL=1` on the experiment harness to
+/// print measured times instead.
+pub const MODEL_NS_PER_WORK_UNIT: u64 = 700;
 
 impl ModeReport {
     /// Jobs per wall-clock second at this configuration.
     pub fn throughput_per_sec(&self) -> f64 {
         1.0 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Deterministic wall-time model: critical-path compute at
+    /// [`MODEL_NS_PER_WORK_UNIT`] plus the simulated network latency.
+    /// A pure function of (mode, nodes, work, seed) — two runs with the
+    /// same inputs produce the same duration, unlike the measured
+    /// [`wall`](Self::wall).
+    pub fn modeled_wall(&self) -> Duration {
+        Duration::from_nanos(self.critical_path_gas * MODEL_NS_PER_WORK_UNIT)
+            + Duration::from_millis(self.sim_latency_ms)
+    }
+
+    /// Jobs per second under the deterministic wall-time model.
+    pub fn modeled_throughput_per_sec(&self) -> f64 {
+        1.0 / self.modeled_wall().as_secs_f64().max(1e-9)
     }
 
     /// Total CPU work relative to one copy of the job (1.0 = no waste).
@@ -141,15 +172,18 @@ fn run_duplicated_at(
     let wall = start.elapsed();
 
     let stats_after = net.net_stats();
+    let total_gas = net.total_ledger_stats().gas_used - gas_before;
     Ok(ModeReport {
         mode: ExecutionMode::Duplicated,
         nodes,
         work_units,
         wall,
-        total_gas: net.total_ledger_stats().gas_used - gas_before,
+        total_gas,
         messages: stats_after.sent - net_before.sent,
         bytes: stats_after.bytes - net_before.bytes,
         sim_latency_ms: net.ledger().tip().header.timestamp_ms.saturating_sub(sim_before),
+        // Replicas re-execute the job one after another at commit.
+        critical_path_gas: total_gas,
     })
 }
 
@@ -238,16 +272,20 @@ pub fn run_transformed(
     let wall = start.elapsed();
 
     let stats_after = net.net_stats();
+    let chain_gas = net.total_ledger_stats().gas_used - gas_before;
     Ok(ModeReport {
         mode: ExecutionMode::TransformedParallel,
         nodes,
         work_units,
         wall,
         // Off-chain work counts once: the whole job, plus on-chain gas.
-        total_gas: work_units + (net.total_ledger_stats().gas_used - gas_before),
+        total_gas: work_units + chain_gas,
         messages: stats_after.sent - net_before.sent,
         bytes: stats_after.bytes - net_before.bytes,
         sim_latency_ms: net.ledger().tip().header.timestamp_ms.saturating_sub(sim_before),
+        // Sites run in parallel: the largest shard bounds the compute,
+        // plus the serial on-chain request/result gate.
+        critical_path_gas: shard + u64::from(remainder > 0) + chain_gas,
     })
 }
 
@@ -278,28 +316,25 @@ pub fn run_sharded(
     let shard_work = work_units / shard_count as u64;
 
     let start = Instant::now();
-    let mut results: Vec<Option<Result<ModeReport, NetworkError>>> =
-        (0..shard_count).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (shard, slot) in results.iter_mut().enumerate() {
-            scope.spawn(move |_| {
-                *slot = Some(run_duplicated(group_size, shard_work, seed + shard as u64));
-            });
-        }
-    })
-    .expect("shard thread panicked");
+    let results = medchain_runtime::sync::scoped_map(
+        (0..shard_count).collect(),
+        |shard| run_duplicated(group_size, shard_work, seed + shard as u64),
+    );
     let wall = start.elapsed();
 
     let mut total_gas = 0u64;
     let mut messages = 0u64;
     let mut bytes = 0u64;
     let mut sim_latency_ms = 0u64;
+    let mut critical_path_gas = 0u64;
     for result in results {
-        let report = result.expect("slot filled")?;
+        let report = result?;
         total_gas += report.total_gas;
         messages += report.messages;
         bytes += report.bytes;
         sim_latency_ms = sim_latency_ms.max(report.sim_latency_ms);
+        // Groups run concurrently; the slowest group bounds the path.
+        critical_path_gas = critical_path_gas.max(report.critical_path_gas);
     }
     Ok(ModeReport {
         mode: ExecutionMode::Sharded,
@@ -310,6 +345,7 @@ pub fn run_sharded(
         messages,
         bytes,
         sim_latency_ms,
+        critical_path_gas,
     })
 }
 

@@ -105,16 +105,10 @@ fn fold_results(parts: Vec<[u8; 32]>) -> Hash256 {
 
 fn parallel_compute(shards: &[&[PatientRecord]], passes: u32, slowdown: u32) -> (Hash256, Duration) {
     let start = Instant::now();
-    let mut parts: Vec<Option<[u8; 32]>> = vec![None; shards.len()];
-    crossbeam::thread::scope(|scope| {
-        for (shard, slot) in shards.iter().zip(parts.iter_mut()) {
-            scope.spawn(move |_| {
-                *slot = Some(compute_shard(shard, passes, slowdown));
-            });
-        }
-    })
-    .expect("compute thread panicked");
-    let result = fold_results(parts.into_iter().map(|p| p.expect("filled")).collect());
+    let parts = medchain_runtime::sync::scoped_map(shards.to_vec(), |shard| {
+        compute_shard(shard, passes, slowdown)
+    });
+    let result = fold_results(parts);
     (result, start.elapsed())
 }
 

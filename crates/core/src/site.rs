@@ -46,7 +46,7 @@ impl Site {
             Arc::new(
                 move |_method: &str,
                       _params: &[medchain_contracts::value::Value]|
-                      -> Result<Vec<medchain_contracts::value::Value>, String> {
+                      -> Result<Vec<medchain_contracts::value::Value>, medchain_offchain::ToolError> {
                     Ok(backend_records
                         .iter()
                         .take(64)

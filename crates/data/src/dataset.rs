@@ -2,9 +2,7 @@
 
 use crate::emr::PatientRecord;
 use crate::synth::{features, FEATURE_NAMES};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use medchain_runtime::DetRng;
 use std::fmt;
 
 /// A dense feature matrix with binary labels, the interchange type
@@ -60,7 +58,7 @@ impl Dataset {
     /// Deterministically shuffles rows.
     pub fn shuffle(&mut self, seed: u64) {
         let mut order: Vec<usize> = (0..self.len()).collect();
-        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        DetRng::from_seed(seed).shuffle(&mut order);
         self.features = order.iter().map(|&i| self.features[i].clone()).collect();
         self.labels = order.iter().map(|&i| self.labels[i]).collect();
     }

@@ -8,9 +8,7 @@
 use std::fmt;
 
 /// Biological sex recorded in the EMR.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Sex {
     /// Female.
     #[default]
@@ -39,7 +37,7 @@ impl Sex {
 }
 
 /// A coded diagnosis (ICD-10-like).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Diagnosis {
     /// Code, e.g. `"I63"` (cerebral infarction).
     pub code: String,
@@ -48,7 +46,7 @@ pub struct Diagnosis {
 }
 
 /// A prescribed medication.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Medication {
     /// Drug name.
     pub name: String,
@@ -59,7 +57,7 @@ pub struct Medication {
 }
 
 /// A laboratory result.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LabResult {
     /// Test name (LOINC-like short name), e.g. `"ldl"`.
     pub name: String,
@@ -72,7 +70,7 @@ pub struct LabResult {
 }
 
 /// An encounter at a site.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Visit {
     /// Day of the visit.
     pub day: u32,
@@ -84,7 +82,7 @@ pub struct Visit {
 
 /// Summary of wearable-device data linked to the patient (paper §II:
 /// "personal activity record … for environments and lifestyles").
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WearableSummary {
     /// Mean daily step count.
     pub avg_daily_steps: f64,
@@ -95,7 +93,7 @@ pub struct WearableSummary {
 }
 
 /// A genomic profile: a small SNP panel plus a polygenic risk proxy.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GenomicProfile {
     /// Genotypes per panel SNP: 0, 1, or 2 risk alleles.
     pub snp_genotypes: Vec<u8>,
@@ -104,7 +102,7 @@ pub struct GenomicProfile {
 }
 
 /// The canonical patient record.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatientRecord {
     /// Stable pseudonymous id (no real-world identifier).
     pub patient_id: u64,
@@ -262,4 +260,36 @@ mod tests {
         r.genomics = Some(GenomicProfile { snp_genotypes: vec![0, 1, 2], polygenic_risk: 0.4 });
         assert_ne!(p.canonical_bytes(), r.canonical_bytes());
     }
+}
+
+mod codec_impls {
+    use super::{
+        Diagnosis, GenomicProfile, LabResult, Medication, PatientRecord, Sex, Visit,
+        WearableSummary,
+    };
+    use medchain_runtime::{impl_codec_struct, impl_codec_unit_enum};
+
+    impl_codec_unit_enum!(Sex { Female, Male });
+    impl_codec_struct!(Diagnosis { code, onset_day });
+    impl_codec_struct!(Medication { name, dose_mg, start_day });
+    impl_codec_struct!(LabResult { name, value, unit, day });
+    impl_codec_struct!(Visit { day, site, reason });
+    impl_codec_struct!(WearableSummary { avg_daily_steps, avg_resting_hr, avg_sleep_hours });
+    impl_codec_struct!(GenomicProfile { snp_genotypes, polygenic_risk });
+    impl_codec_struct!(PatientRecord {
+        patient_id,
+        age,
+        sex,
+        systolic_bp,
+        cholesterol,
+        bmi,
+        smoker,
+        diabetic,
+        diagnoses,
+        medications,
+        labs,
+        visits,
+        wearable,
+        genomics,
+    });
 }

@@ -14,7 +14,7 @@ use crate::synth::SNP_PANEL_SIZE;
 
 /// Per-SNP allele×outcome contingency counts for one site (the map
 /// output; composes by addition).
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SnpCounts {
     /// Risk-allele count among cases.
     pub case_risk: u64,
@@ -63,7 +63,7 @@ impl SnpCounts {
 }
 
 /// One site's GWAS partial: counts per panel SNP plus cohort sizes.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GwasPartial {
     /// Per-SNP counts, indexed by panel position.
     pub snps: Vec<SnpCounts>,
@@ -244,4 +244,12 @@ mod tests {
     fn empty_compose_is_empty() {
         assert!(compose(&[]).is_empty());
     }
+}
+
+mod codec_impls {
+    use super::{GwasPartial, SnpCounts};
+    use medchain_runtime::impl_codec_struct;
+
+    impl_codec_struct!(SnpCounts { case_risk, case_ref, control_risk, control_ref });
+    impl_codec_struct!(GwasPartial { snps, cases, controls });
 }

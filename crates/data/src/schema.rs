@@ -12,7 +12,7 @@ use crate::emr::{PatientRecord, Sex};
 use std::fmt;
 
 /// A queryable scalar field of the canonical record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Field {
     /// Age in years.
     Age,
@@ -126,7 +126,7 @@ impl fmt::Display for Schema {
 }
 
 /// A filter predicate over records.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// `min ≤ field ≤ max`; records missing the modality are excluded.
     Range {
@@ -173,7 +173,7 @@ impl Predicate {
 }
 
 /// A conjunctive query with projection: the unit each site executes.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RecordQuery {
     /// Conjunctive filters.
     pub predicates: Vec<Predicate>,
@@ -379,4 +379,30 @@ mod tests {
             RecordQuery::all().filter(Predicate::LacksDiagnosis(STROKE_CODE.into())).run(&rs);
         assert_eq!(with_dx.rows.len() + without_dx.rows.len(), rs.len());
     }
+}
+
+mod codec_impls {
+    use super::{Field, Predicate, RecordQuery};
+    use medchain_runtime::{impl_codec_enum, impl_codec_struct, impl_codec_unit_enum};
+
+    impl_codec_unit_enum!(Field {
+        Age,
+        SystolicBp,
+        Cholesterol,
+        Bmi,
+        Smoker,
+        Diabetic,
+        Sex,
+        DailySteps,
+        PolygenicRisk,
+    });
+    impl_codec_enum!(Predicate {
+        0 => Range { field, min, max },
+        1 => Flag { field, value },
+        2 => HasDiagnosis(code),
+        3 => LacksDiagnosis(code),
+        4 => HasWearable,
+        5 => HasGenomics,
+    });
+    impl_codec_struct!(RecordQuery { predicates, projection, limit });
 }

@@ -10,8 +10,7 @@
 use crate::emr::{
     Diagnosis, GenomicProfile, LabResult, Medication, PatientRecord, Sex, Visit, WearableSummary,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// Number of SNPs on the synthetic genotyping panel.
 pub const SNP_PANEL_SIZE: usize = 16;
@@ -175,14 +174,14 @@ pub const FEATURE_NAMES: [&str; 10] = [
 pub struct CohortGenerator {
     profile: SiteProfile,
     site_name: String,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl CohortGenerator {
     /// Creates a generator for `site_name` with the given profile and
     /// deterministic seed.
     pub fn new(site_name: &str, profile: SiteProfile, seed: u64) -> CohortGenerator {
-        CohortGenerator { profile, site_name: site_name.to_string(), rng: StdRng::seed_from_u64(seed) }
+        CohortGenerator { profile, site_name: site_name.to_string(), rng: DetRng::from_seed(seed) }
     }
 
     fn gaussian(&mut self, mean: f64, sd: f64) -> f64 {
@@ -248,10 +247,10 @@ impl CohortGenerator {
             unit: "%".into(),
             day: 10,
         });
-        let visit_count = self.rng.gen_range(1..=4);
+        let visit_count = self.rng.gen_range(1u32..=4);
         for v in 0..visit_count {
             record.visits.push(Visit {
-                day: v * 90 + self.rng.gen_range(0..30),
+                day: v * 90 + self.rng.gen_range(0u32..30),
                 site: self.site_name.clone(),
                 reason: "follow-up".into(),
             });

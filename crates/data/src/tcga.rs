@@ -14,8 +14,7 @@
 
 use crate::emr::PatientRecord;
 use crate::synth::{CohortGenerator, DiseaseModel, SiteProfile, CANCER_CODE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// TCGA's headline cohort size.
 pub const TCGA_PATIENT_COUNT: usize = 11_000;
@@ -55,7 +54,7 @@ pub fn generate_cohort(count: usize, seed: u64) -> Vec<TcgaRecord> {
         seed,
     );
     let clinical = generator.cohort(1_000_000, count, &DiseaseModel::cancer());
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7c94);
+    let mut rng = DetRng::from_seed(seed ^ 0x7c94);
     clinical
         .into_iter()
         .map(|record| {

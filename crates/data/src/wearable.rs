@@ -11,11 +11,10 @@
 //! beyond simple means.
 
 use crate::emr::WearableSummary;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// One day's device readings.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DailyReading {
     /// Day index from enrollment.
     pub day: u32,
@@ -28,7 +27,7 @@ pub struct DailyReading {
 }
 
 /// A patient's device history.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct WearableSeries {
     /// Daily readings in day order.
     pub readings: Vec<DailyReading>,
@@ -67,7 +66,7 @@ impl Default for SeriesProfile {
 impl WearableSeries {
     /// Generates `days` of readings under `profile`, deterministically.
     pub fn generate(profile: &SeriesProfile, days: u32, seed: u64) -> WearableSeries {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::from_seed(seed);
         let mut readings = Vec::with_capacity(days as usize);
         for day in 0..days {
             let weekend = day % 7 >= 5;
@@ -88,7 +87,7 @@ impl WearableSeries {
             let sleep_hours = if sick {
                 profile.base_sleep + rng.gen_range(0.5..2.5)
             } else {
-                (profile.base_sleep + rng.gen_range(-1.2..1.2)).clamp(3.0, 12.0)
+                (profile.base_sleep + rng.gen_range(-1.2f64..1.2)).clamp(3.0, 12.0)
             };
             readings.push(DailyReading { day, steps, resting_hr, sleep_hours });
         }
@@ -265,4 +264,12 @@ mod tests {
         );
         assert!(healthy.sedentary_fraction(2_000.0) < 0.02);
     }
+}
+
+mod codec_impls {
+    use super::{DailyReading, WearableSeries};
+    use medchain_runtime::impl_codec_struct;
+
+    impl_codec_struct!(DailyReading { day, steps, resting_hr, sleep_hours });
+    impl_codec_struct!(WearableSeries { readings });
 }

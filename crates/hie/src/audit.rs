@@ -12,7 +12,7 @@ use medchain_chain::{Address, Hash256};
 use std::fmt;
 
 /// The exchange-protocol steps an audit entry can record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AuditAction {
     /// Requester asked for a dataset.
     Requested,
@@ -43,7 +43,7 @@ impl fmt::Display for AuditAction {
 }
 
 /// One immutable audit record.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditEntry {
     /// Position in the chain.
     pub seq: u64,
@@ -332,4 +332,19 @@ mod tests {
         assert_eq!(trail.for_exchange(1).len(), 1);
         assert_eq!(trail.for_exchange(2).len(), 2);
     }
+}
+
+mod codec_impls {
+    use super::{AuditAction, AuditEntry};
+    use medchain_runtime::{impl_codec_struct, impl_codec_unit_enum};
+
+    impl_codec_unit_enum!(AuditAction {
+        Requested,
+        Approved,
+        Denied,
+        Delivered,
+        Acknowledged,
+        Disputed,
+    });
+    impl_codec_struct!(AuditEntry { seq, exchange_id, actor, action, at_ms, prev, hash });
 }

@@ -14,7 +14,7 @@ use medchain_data::PatientRecord;
 use std::fmt;
 
 /// A decomposable aggregate over one field.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Aggregate {
     /// Row count.
     Count,
@@ -40,7 +40,7 @@ pub enum Aggregate {
 }
 
 /// Mergeable sufficient statistics produced by one site.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Partial {
     /// Rows contributing (field present).
     pub n: u64,
@@ -272,4 +272,19 @@ mod tests {
         assert_eq!(Aggregate::Mean(Field::Age).compose(&[]), AggregateValue::Scalar(0.0));
         assert_eq!(Aggregate::Count.compose(&[]), AggregateValue::Scalar(0.0));
     }
+}
+
+mod codec_impls {
+    use super::{Aggregate, Partial};
+    use medchain_runtime::{impl_codec_enum, impl_codec_struct};
+
+    impl_codec_enum!(Aggregate {
+        0 => Count,
+        1 => Sum(field),
+        2 => Mean(field),
+        3 => Variance(field),
+        4 => Histogram { field, bins, min, max },
+        5 => Prevalence(code),
+    });
+    impl_codec_struct!(Partial { n, sum, sum_sq, bins, scanned });
 }

@@ -171,12 +171,10 @@ impl<M: LocalLearner> FedAvg<M> {
         for round in 1..=self.rounds {
             // Broadcast the global model, train locally in parallel.
             let mut locals: Vec<M> = (0..shards.len()).map(|_| self.global.clone()).collect();
-            crossbeam::thread::scope(|scope| {
-                for (local, shard) in locals.iter_mut().zip(shards) {
-                    scope.spawn(move |_| local.fit_local(shard));
-                }
-            })
-            .expect("local training thread panicked");
+            medchain_runtime::sync::scoped_map(
+                locals.iter_mut().zip(shards).collect(),
+                |(local, shard)| local.fit_local(shard),
+            );
             report.bytes_downlink += param_bytes * sites;
             report.bytes_uplink += param_bytes * sites;
 
@@ -348,10 +346,8 @@ impl<M: LocalLearner> FedAvg<M> {
         eval: Option<&Dataset>,
         dp: &DpConfig,
     ) -> FedReport {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
         assert!(!shards.is_empty(), "need at least one site");
-        let mut rng = StdRng::seed_from_u64(dp.seed);
+        let mut rng = medchain_runtime::DetRng::from_seed(dp.seed);
         let param_bytes = (self.global.params().len() * 8) as u64;
         let sites = shards.len() as u64;
         let mut report = FedReport {
@@ -363,12 +359,10 @@ impl<M: LocalLearner> FedAvg<M> {
         for round in 1..=self.rounds {
             let global_params = self.global.params();
             let mut locals: Vec<M> = (0..shards.len()).map(|_| self.global.clone()).collect();
-            crossbeam::thread::scope(|scope| {
-                for (local, shard) in locals.iter_mut().zip(shards) {
-                    scope.spawn(move |_| local.fit_local(shard));
-                }
-            })
-            .expect("local training thread panicked");
+            medchain_runtime::sync::scoped_map(
+                locals.iter_mut().zip(shards).collect(),
+                |(local, shard)| local.fit_local(shard),
+            );
             report.bytes_downlink += param_bytes * sites;
             report.bytes_uplink += param_bytes * sites;
 

@@ -4,9 +4,7 @@
 use crate::linalg::dot;
 use crate::logistic::SgdConfig;
 use medchain_data::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use medchain_runtime::DetRng;
 
 /// A linear regression model.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,11 +67,11 @@ impl LinearRegression {
             return;
         }
         assert_eq!(data.dim(), self.dim(), "dataset dimension mismatch");
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = DetRng::from_seed(config.seed);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let batch = config.batch_size.max(1);
         for _ in 0..config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for chunk in order.chunks(batch) {
                 let mut grad_w = vec![0.0; self.dim()];
                 let mut grad_b = 0.0;
@@ -98,11 +96,10 @@ impl LinearRegression {
 mod tests {
     use super::*;
     use crate::metrics::rmse;
-    use rand::Rng;
 
     fn synthetic_linear(n: usize, seed: u64) -> Dataset {
         // y = 2x1 - 3x2 + 1 + noise
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::from_seed(seed);
         let mut features = Vec::with_capacity(n);
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {

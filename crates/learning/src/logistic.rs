@@ -6,9 +6,7 @@
 
 use crate::linalg::{dot, sigmoid};
 use medchain_data::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use medchain_runtime::DetRng;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,11 +95,11 @@ impl LogisticRegression {
             return;
         }
         assert_eq!(data.dim(), self.dim(), "dataset dimension mismatch");
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = DetRng::from_seed(config.seed);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let batch = config.batch_size.max(1);
         for _ in 0..config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for chunk in order.chunks(batch) {
                 let mut grad_w = vec![0.0; self.dim()];
                 let mut grad_b = 0.0;

@@ -7,9 +7,7 @@
 
 use crate::linalg::sigmoid;
 use medchain_data::Dataset;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// MLP architecture and training hyper-parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,7 +47,7 @@ struct Layer {
 }
 
 impl Layer {
-    fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut DetRng) -> Layer {
         // He-style initialization.
         let scale = (2.0 / inputs as f64).sqrt();
         Layer {
@@ -85,7 +83,7 @@ impl Mlp {
     /// Builds a network for `input_dim` features using `config`'s
     /// architecture and seed.
     pub fn new(input_dim: usize, config: &MlpConfig) -> Mlp {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = DetRng::from_seed(config.seed);
         let mut dims = vec![input_dim];
         dims.extend(&config.hidden);
         dims.push(1);
@@ -116,7 +114,7 @@ impl Mlp {
     /// Re-initializes the output head (start of fine-tuning on a new
     /// target task).
     pub fn reinit_output(&mut self, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::from_seed(seed);
         let last = self.layers.last_mut().expect("at least one layer");
         let inputs = last.w.first().map_or(0, Vec::len);
         *last = Layer::new(inputs, last.w.len(), &mut rng);
@@ -165,11 +163,11 @@ impl Mlp {
         }
         let input_dim = self.layers[0].w.first().map_or(0, Vec::len);
         assert_eq!(data.dim(), input_dim, "dataset dimension mismatch");
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
+        let mut rng = DetRng::from_seed(config.seed ^ 0x5eed);
         let mut order: Vec<usize> = (0..data.len()).collect();
         let batch = config.batch_size.max(1);
         for _ in 0..config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for chunk in order.chunks(batch) {
                 self.train_batch(data, chunk, config);
             }

@@ -212,6 +212,7 @@ impl ControlNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::ToolError;
     use medchain_chain::consensus::Application;
     use medchain_chain::ledger::contract_address;
     use medchain_chain::node::ChainApp;
@@ -284,10 +285,10 @@ mod tests {
     }
 
     fn local_data_backend() -> Arc<dyn crate::oracle::OracleBackend> {
-        Arc::new(|_method: &str, params: &[Value]| -> Result<Vec<Value>, String> {
+        Arc::new(|_method: &str, params: &[Value]| -> Result<Vec<Value>, ToolError> {
             match params.first().and_then(|v| v.as_str().ok()) {
                 Some("site-a/emr") => Ok(vec![Value::Int(10), Value::Int(20), Value::Int(30)]),
-                other => Err(format!("not hosted: {other:?}")),
+                other => Err(ToolError::new(format!("not hosted: {other:?}"))),
             }
         })
     }
@@ -348,7 +349,7 @@ mod tests {
     #[test]
     fn tool_failure_is_counted() {
         let mut setup = Setup::new();
-        let bad = Tool::new("mean", "broken", |_| Err("crash".to_string()));
+        let bad = Tool::new("mean", "broken", |_| Err(ToolError::new("crash")));
         setup.invoke(
             "register_tool",
             &[Value::str("mean"), Value::Bytes(bad.code_hash().0.to_vec())],

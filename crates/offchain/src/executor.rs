@@ -16,9 +16,51 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Failure raised by a tool or oracle backend implementation.
+///
+/// Tool bodies are arbitrary closures, so the error carries a message
+/// rather than a closed set of variants, but it still implements
+/// [`std::error::Error`] so callers can box and chain it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolError {
+    message: String,
+}
+
+impl ToolError {
+    /// Creates a tool error from any message.
+    pub fn new(message: impl Into<String>) -> ToolError {
+        ToolError { message: message.into() }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<&str> for ToolError {
+    fn from(message: &str) -> ToolError {
+        ToolError::new(message)
+    }
+}
+
+impl From<String> for ToolError {
+    fn from(message: String) -> ToolError {
+        ToolError { message }
+    }
+}
+
 /// An analytics tool: pure function from parameters to results, in the
 /// standard value format.
-pub type ToolFn = dyn Fn(&[Value]) -> Result<Vec<Value>, String> + Send + Sync;
+pub type ToolFn = dyn Fn(&[Value]) -> Result<Vec<Value>, ToolError> + Send + Sync;
 
 /// A registered tool with its integrity hash.
 #[derive(Clone)]
@@ -44,7 +86,7 @@ impl Tool {
     pub fn new(
         name: &str,
         version_tag: &str,
-        func: impl Fn(&[Value]) -> Result<Vec<Value>, String> + Send + Sync + 'static,
+        func: impl Fn(&[Value]) -> Result<Vec<Value>, ToolError> + Send + Sync + 'static,
     ) -> Tool {
         let mut material = name.as_bytes().to_vec();
         material.extend_from_slice(version_tag.as_bytes());
@@ -88,7 +130,7 @@ pub enum ExecutorError {
         actual: Hash256,
     },
     /// The tool itself failed.
-    ToolFailed(String),
+    ToolFailed(ToolError),
 }
 
 impl fmt::Display for ExecutorError {
@@ -99,12 +141,19 @@ impl fmt::Display for ExecutorError {
                 f,
                 "integrity mismatch for {tool:?}: on-chain {expected:?}, local {actual:?}"
             ),
-            ExecutorError::ToolFailed(msg) => write!(f, "tool failed: {msg}"),
+            ExecutorError::ToolFailed(err) => write!(f, "tool failed: {err}"),
         }
     }
 }
 
-impl std::error::Error for ExecutorError {}
+impl std::error::Error for ExecutorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecutorError::ToolFailed(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 /// One site's analytics compute engine.
 #[derive(Debug, Default, Clone)]
@@ -186,19 +235,10 @@ pub fn run_parallel(
         executors.len(),
         tasks.len()
     );
-    let mut results: Vec<Option<Result<TaskResult, ExecutorError>>> =
-        (0..tasks.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for ((executor, task), slot) in
-            executors.iter_mut().zip(tasks).zip(results.iter_mut())
-        {
-            scope.spawn(move |_| {
-                *slot = Some(executor.run(&task.0, &task.1, None));
-            });
-        }
-    })
-    .expect("task thread panicked");
-    results.into_iter().map(|slot| slot.expect("slot filled")).collect()
+    medchain_runtime::sync::scoped_map(
+        executors.iter_mut().zip(tasks).collect(),
+        |(executor, task)| executor.run(&task.0, &task.1, None),
+    )
 }
 
 #[cfg(test)]
@@ -209,7 +249,7 @@ mod tests {
         Tool::new("sum", "v1", |params| {
             let mut total = 0i64;
             for p in params {
-                total += p.as_int().map_err(|e| e.to_string())?;
+                total += p.as_int().map_err(|e| ToolError::new(e.to_string()))?;
             }
             Ok(vec![Value::Int(total)])
         })
@@ -259,10 +299,10 @@ mod tests {
     #[test]
     fn tool_failure_propagates() {
         let mut executor = TaskExecutor::new();
-        executor.install(Tool::new("bad", "v1", |_| Err("boom".to_string())));
+        executor.install(Tool::new("bad", "v1", |_| Err(ToolError::new("boom"))));
         assert_eq!(
             executor.run("bad", &[], None),
-            Err(ExecutorError::ToolFailed("boom".into()))
+            Err(ExecutorError::ToolFailed(ToolError::new("boom")))
         );
     }
 

@@ -8,6 +8,7 @@
 //! request and response uses the VM value codec, so results arrive at
 //! contracts in "a standard format" (§III-A).
 
+use crate::executor::ToolError;
 use medchain_contracts::value::Value;
 use std::collections::HashMap;
 use std::fmt;
@@ -37,19 +38,26 @@ pub enum OracleError {
     /// No backend registered for the service.
     UnknownService(String),
     /// The backend rejected the call.
-    Backend(String),
+    Backend(ToolError),
 }
 
 impl fmt::Display for OracleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OracleError::UnknownService(s) => write!(f, "unknown oracle service {s:?}"),
-            OracleError::Backend(msg) => write!(f, "oracle backend error: {msg}"),
+            OracleError::Backend(err) => write!(f, "oracle backend error: {err}"),
         }
     }
 }
 
-impl std::error::Error for OracleError {}
+impl std::error::Error for OracleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OracleError::Backend(err) => Some(err),
+            OracleError::UnknownService(_) => None,
+        }
+    }
+}
 
 /// An off-chain service reachable through the oracle.
 pub trait OracleBackend: Send + Sync {
@@ -57,15 +65,15 @@ pub trait OracleBackend: Send + Sync {
     ///
     /// # Errors
     ///
-    /// Returns a backend-defined message on failure.
-    fn handle(&self, method: &str, params: &[Value]) -> Result<Vec<Value>, String>;
+    /// Returns a backend-defined [`ToolError`] on failure.
+    fn handle(&self, method: &str, params: &[Value]) -> Result<Vec<Value>, ToolError>;
 }
 
 impl<F> OracleBackend for F
 where
-    F: Fn(&str, &[Value]) -> Result<Vec<Value>, String> + Send + Sync,
+    F: Fn(&str, &[Value]) -> Result<Vec<Value>, ToolError> + Send + Sync,
 {
-    fn handle(&self, method: &str, params: &[Value]) -> Result<Vec<Value>, String> {
+    fn handle(&self, method: &str, params: &[Value]) -> Result<Vec<Value>, ToolError> {
         self(method, params)
     }
 }
@@ -144,9 +152,9 @@ impl DataOracle {
                     result.iter().map(Value::encoded_len).sum::<usize>() as u64;
                 Ok(result)
             }
-            Err(msg) => {
+            Err(err) => {
                 self.stats.failed += 1;
-                Err(OracleError::Backend(msg))
+                Err(OracleError::Backend(err))
             }
         }
     }
@@ -157,11 +165,11 @@ mod tests {
     use super::*;
 
     fn echo_backend() -> Arc<dyn OracleBackend> {
-        Arc::new(|method: &str, params: &[Value]| -> Result<Vec<Value>, String> {
+        Arc::new(|method: &str, params: &[Value]| -> Result<Vec<Value>, ToolError> {
             match method {
                 "echo" => Ok(params.to_vec()),
-                "fail" => Err("deliberate".to_string()),
-                other => Err(format!("no method {other}")),
+                "fail" => Err(ToolError::new("deliberate")),
+                other => Err(ToolError::new(format!("no method {other}"))),
             }
         })
     }

@@ -1,0 +1,283 @@
+//! Minimal seeded property-test harness.
+//!
+//! [`check`] runs a property closure over many generated cases. Each
+//! case draws its inputs from a [`Gen`] seeded deterministically from
+//! the base seed and the case index, so a failure report names the one
+//! seed that reproduces it:
+//!
+//! ```text
+//! property 'merkle proofs verify' failed on case 17 (case seed 0x3a2f…):
+//!   proof for leaf 3 rejected
+//! reproduce with: MEDCHAIN_CHECK_SEED=0x3a2f… cargo test <name>
+//! ```
+//!
+//! Set `MEDCHAIN_CHECK_SEED=<hex or decimal>` to re-run only that case,
+//! and `MEDCHAIN_CHECK_CASES=<n>` to override the case count globally.
+
+use crate::rng::DetRng;
+
+/// How a [`check`] run generates cases.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckConfig {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Base seed; case `i` uses a seed derived from `(seed, i)`.
+    pub seed: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        // "MEDCHAIN" in ASCII — a fixed, documented base seed.
+        CheckConfig { cases: 64, seed: 0x4d45_4443_4841_494e }
+    }
+}
+
+impl CheckConfig {
+    /// Default config with `cases` cases.
+    pub fn cases(cases: u32) -> CheckConfig {
+        CheckConfig { cases, ..CheckConfig::default() }
+    }
+}
+
+/// Case-input generator handed to property closures.
+///
+/// Wraps a [`DetRng`] with convenience draws for the shapes properties
+/// need (sized byte blobs, vectors, strings, index picks).
+#[derive(Debug)]
+pub struct Gen {
+    rng: DetRng,
+}
+
+impl Gen {
+    /// A generator seeded directly (for standalone use).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen { rng: DetRng::from_seed(seed) }
+    }
+
+    /// Direct access to the underlying RNG.
+    pub fn rng(&mut self) -> &mut DetRng {
+        &mut self.rng
+    }
+
+    /// Uniform `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `i64`.
+    pub fn i64(&mut self) -> i64 {
+        self.rng.next_u64() as i64
+    }
+
+    /// Uniform `bool`.
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen_f64()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform byte.
+    pub fn byte(&mut self) -> u8 {
+        self.rng.gen_range(0u8..=255)
+    }
+
+    /// Random byte blob with length in `[min_len, max_len)`.
+    pub fn bytes(&mut self, min_len: usize, max_len: usize) -> Vec<u8> {
+        let len = if min_len + 1 >= max_len { min_len } else { self.usize_in(min_len, max_len) };
+        let mut buf = vec![0u8; len];
+        self.rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    /// Fixed-size random byte array.
+    pub fn byte_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut buf = [0u8; N];
+        self.rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    /// Vector with length in `[min_len, max_len)`, elements from `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = if min_len + 1 >= max_len { min_len } else { self.usize_in(min_len, max_len) };
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// ASCII string with length in `[0, max_len)` (printable characters).
+    pub fn string(&mut self, max_len: usize) -> String {
+        let len = if max_len <= 1 { 0 } else { self.usize_in(0, max_len) };
+        (0..len).map(|_| self.rng.gen_range(0x20u8..0x7f) as char).collect()
+    }
+}
+
+/// The result a property closure returns: `Err(message)` fails the case.
+pub type PropResult = Result<(), String>;
+
+fn derive_case_seed(base: u64, case: u64) -> u64 {
+    // One SplitMix64-style mix of (base, case) — avoids correlated
+    // neighbouring case streams.
+    let mut z = base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+/// Runs `property` over `config.cases` generated cases.
+///
+/// # Panics
+///
+/// Panics on the first failing case with the property name, case index,
+/// failure message, and the exact seed that reproduces it.
+pub fn check(name: &str, config: CheckConfig, property: impl Fn(&mut Gen) -> PropResult) {
+    if let Some(seed) = std::env::var("MEDCHAIN_CHECK_SEED").ok().and_then(|s| parse_seed(&s)) {
+        let mut gen = Gen::from_seed(seed);
+        if let Err(msg) = property(&mut gen) {
+            panic!("property '{name}' failed with MEDCHAIN_CHECK_SEED={seed:#x}:\n  {msg}");
+        }
+        return;
+    }
+    let cases = std::env::var("MEDCHAIN_CHECK_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(config.cases);
+    for case in 0..cases as u64 {
+        let case_seed = derive_case_seed(config.seed, case);
+        let mut gen = Gen::from_seed(case_seed);
+        if let Err(msg) = property(&mut gen) {
+            panic!(
+                "property '{name}' failed on case {case} (case seed {case_seed:#x}):\n  {msg}\n\
+                 reproduce with: MEDCHAIN_CHECK_SEED={case_seed:#x}"
+            );
+        }
+    }
+}
+
+/// Fails the surrounding property case unless `cond` holds.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the surrounding property case unless `left == right`.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Fails the surrounding property case unless `left != right`.
+#[macro_export]
+macro_rules! ensure_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check("counts", CheckConfig::cases(16), |g| {
+            counter.set(counter.get() + 1);
+            let _ = g.u64();
+            Ok(())
+        });
+        ran += counter.get();
+        assert_eq!(ran, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'fails' failed on case 0")]
+    fn failing_property_reports_case_and_seed() {
+        check("fails", CheckConfig::cases(8), |_| Err("boom".into()));
+    }
+
+    #[test]
+    fn generator_is_deterministic_per_case() {
+        let mut first: Vec<u64> = Vec::new();
+        let store = std::cell::RefCell::new(Vec::new());
+        check("collect", CheckConfig::cases(8), |g| {
+            store.borrow_mut().push(g.u64());
+            Ok(())
+        });
+        first.append(&mut store.borrow_mut());
+        check("collect again", CheckConfig::cases(8), |g| {
+            store.borrow_mut().push(g.u64());
+            Ok(())
+        });
+        assert_eq!(first, *store.borrow());
+    }
+
+    #[test]
+    fn ensure_macros_produce_messages() {
+        fn prop() -> PropResult {
+            ensure_eq!(1 + 1, 2);
+            ensure_ne!(1, 2);
+            ensure!(true, "never");
+            Ok(())
+        }
+        assert_eq!(prop(), Ok(()));
+        fn bad() -> PropResult {
+            ensure_eq!(1, 2);
+            Ok(())
+        }
+        assert!(bad().unwrap_err().contains("1 == 2"));
+    }
+}

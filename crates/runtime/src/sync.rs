@@ -1,0 +1,87 @@
+//! Scoped parallelism helpers.
+//!
+//! Thin wrappers over [`std::thread::scope`] (std since Rust 1.63) that
+//! express the workspace's one parallel pattern — fan a fixed batch of
+//! independent work units out to one OS thread each and collect results
+//! in input order — without an external scoped-thread crate.
+
+/// Runs `f` over every item on its own OS thread and returns the
+/// results in input order.
+///
+/// Items may borrow from the caller's stack (the scope outlives the
+/// workers), which is exactly what per-site fan-out needs: each worker
+/// gets mutable access to its own site state.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+///
+/// ```
+/// use medchain_runtime::sync::scoped_map;
+/// let squares = scoped_map((1u64..=4).collect(), |x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn scoped_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> =
+            items.into_iter().map(|item| scope.spawn(move || f(item))).collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+/// Runs `f` for each index in `0..count` on its own OS thread and
+/// returns the results in index order — the sharded fan-out shape.
+pub fn scoped_map_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    scoped_map((0..count).collect(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = scoped_map((0..32u64).collect(), |i| {
+            // Stagger finish times so order must come from collection,
+            // not completion.
+            std::thread::sleep(std::time::Duration::from_micros(32 - i));
+            i * 2
+        });
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn workers_can_mutate_borrowed_state() {
+        let mut slots = vec![0u64; 8];
+        let refs: Vec<&mut u64> = slots.iter_mut().collect();
+        scoped_map(refs, |slot| *slot = 7);
+        assert_eq!(slots, vec![7; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        scoped_map(vec![1], |_| panic!("worker boom"));
+    }
+
+    #[test]
+    fn indexed_variant() {
+        assert_eq!(scoped_map_indexed(4, |i| i + 1), vec![1, 2, 3, 4]);
+    }
+}

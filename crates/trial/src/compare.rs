@@ -9,8 +9,7 @@
 
 use crate::protocol::{PublishedReport, TrialProtocol};
 use medchain_data::RecordQuery;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// COMPare's observed correct-reporting rate: 9 of 67 trials.
 pub const COMPARE_CORRECT_RATE: f64 = 9.0 / 67.0;
@@ -137,7 +136,7 @@ pub fn simulate_population(
     correct_rate: f64,
     seed: u64,
 ) -> Vec<(TrialProtocol, PublishedReport)> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::from_seed(seed);
     (0..n)
         .map(|i| {
             let protocol = TrialProtocol {

@@ -16,8 +16,7 @@
 use medchain_data::synth::features;
 use medchain_data::{Dataset, PatientRecord};
 use medchain_learning::{LogisticRegression, SgdConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// A drug with feature-determined response.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +60,7 @@ impl DrugModel {
     /// Simulates an everyone-treated trial, producing a labelled dataset
     /// (canonical features → observed benefit) for responder modelling.
     pub fn run_trial(&self, records: &[PatientRecord], seed: u64) -> Dataset {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::from_seed(seed);
         let mut data = Dataset {
             features: Vec::with_capacity(records.len()),
             labels: Vec::with_capacity(records.len()),

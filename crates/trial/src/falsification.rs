@@ -8,8 +8,7 @@
 //! registered, raw data mutable), rewrites are invisible.
 
 use medchain_chain::{Hash256, MerkleTree};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// Reported Chinese falsification rate cited by the paper.
 pub const REPORTED_FALSIFICATION_RATE: f64 = 0.80;
@@ -45,7 +44,7 @@ pub fn simulate_sites(
     site_falsification_rate: f64,
     seed: u64,
 ) -> Vec<SiteTrialData> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::from_seed(seed);
     (0..sites)
         .map(|s| {
             let original: Vec<Vec<u8>> = (0..records_per_site)

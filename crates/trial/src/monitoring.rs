@@ -162,9 +162,8 @@ pub fn simulate_stream(
     onset_day: u32,
     seed: u64,
 ) -> Vec<OutcomeEvent> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
+    use medchain_runtime::DetRng;
+    let mut rng = DetRng::from_seed(seed);
     let mut events = Vec::with_capacity(days as usize * events_per_day);
     for day in 1..=days {
         let rate = if day >= onset_day { elevated } else { background };

@@ -13,11 +13,10 @@
 //!   while the observational estimate shows spurious harm.
 
 use medchain_data::PatientRecord;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use medchain_runtime::DetRng;
 
 /// Trial arm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Arm {
     /// Receives the intervention.
     Treatment,
@@ -133,7 +132,7 @@ pub fn simulate_rct_and_observational(
     confounding: f64,
     seed: u64,
 ) -> (Vec<ArmOutcome>, Vec<ArmOutcome>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::from_seed(seed);
     let baseline_risk = |r: &PatientRecord| -> f64 {
         (0.05 + 0.004 * (r.age - 50.0).max(0.0) + 0.002 * (r.systolic_bp - 120.0).max(0.0))
             .clamp(0.01, 0.9)
@@ -231,4 +230,11 @@ mod tests {
         };
         assert!(width(20_000) < width(1_000));
     }
+}
+
+mod codec_impls {
+    use super::Arm;
+    use medchain_runtime::impl_codec_unit_enum;
+
+    impl_codec_unit_enum!(Arm { Treatment, Control });
 }

@@ -9,15 +9,7 @@
 //! cargo run --release --example clinical_trial
 //! ```
 
-use medchain::MedicalNetwork;
-use medchain_chain::Hash256;
-use medchain_contracts::value::Value;
-use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
-use medchain_data::{Field, Predicate, RecordQuery};
-use medchain_trial::{
-    batched_detection_day, diversity, recruit, screen_site, simulate_stream, RweMonitor,
-    TrialProtocol,
-};
+use medchain_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A consortium of five hospitals.

@@ -8,13 +8,7 @@
 //! cargo run --release --example custom_contract
 //! ```
 
-use medchain::MedicalNetwork;
-use medchain_chain::TxPayload;
-use medchain_contracts::asm::{assemble, disassemble};
-use medchain_contracts::opcode::encode_program;
-use medchain_contracts::value::Value;
-use medchain_contracts::{decode_args, encode_args};
-use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+use medchain_repro::prelude::*;
 
 /// A consent tally in assembly: method 0 records a consent (increments a
 /// per-patient counter and a global counter, emits an event), method 1

@@ -8,12 +8,7 @@
 //! cargo run --release --example data_integration
 //! ```
 
-use medchain_chain::ledger::{Ledger, NullRuntime};
-use medchain_chain::{AuthorityKey, KeyRegistry};
-use medchain_data::formats::common::SourceDocument;
-use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
-use medchain_data::FormatRegistry;
-use medchain_offchain::{verify_against_chain, verify_record, AnchoredArtifact};
+use medchain_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = FormatRegistry::standard();

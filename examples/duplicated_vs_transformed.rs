@@ -7,7 +7,7 @@
 //! cargo run --release --example duplicated_vs_transformed
 //! ```
 
-use medchain::modes::{run_duplicated, run_transformed};
+use medchain_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let work: u64 = 600_000;

@@ -8,15 +8,7 @@
 //! cargo run --release --example federated_hospitals
 //! ```
 
-use medchain::pipeline::train_federated;
-use medchain::MedicalNetwork;
-use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, CANCER_CODE, STROKE_CODE};
-use medchain_data::Dataset;
-use medchain_learning::metrics::auc;
-use medchain_learning::{
-    centralized_baseline, fine_tune, local_only_baseline, pretrain_federated, FedLogistic,
-    LocalLearner, LogisticRegression, MlpConfig,
-};
+use medchain_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Six hospitals with systematically different populations

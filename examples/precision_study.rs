@@ -8,15 +8,7 @@
 //! cargo run --release --example precision_study
 //! ```
 
-use medchain::pipeline::run_gwas;
-use medchain::MedicalNetwork;
-use medchain_contracts::policy::Purpose;
-use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, STROKE_CODE};
-use medchain_data::Dataset;
-use medchain_trial::{
-    blanket_strategy, intention_to_treat, observational_estimate, precision_strategy,
-    simulate_rct_and_observational, DrugModel, PrecisionPolicy,
-};
+use medchain_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A consortium of four hospitals with sequenced cohorts.

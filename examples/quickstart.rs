@@ -7,11 +7,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use medchain::pipeline::run_query;
-use medchain::MedicalNetwork;
-use medchain_contracts::policy::Purpose;
-use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
-use medchain_query::parse_request;
+use medchain_repro::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Three hospitals with private, locally-hosted synthetic cohorts.

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus the hermetic-build guard.
+#
+# 1. Grep guard: no crates/*/Cargo.toml (or the root manifest) may declare
+#    a registry dependency — every dependency must be a workspace path dep.
+# 2. cargo build --release && cargo test -q (the ROADMAP tier-1 gate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== hermetic guard: no registry dependencies =="
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # A registry dep is a dependency line with a version requirement, i.e.
+    # `foo = "1"` or `foo = { version = "1", ... }`, inside a deps table.
+    # Workspace deps use `foo.workspace = true` / `{ workspace = true }`
+    # or `{ path = "..." }`; the [package] `version.workspace` line and
+    # [workspace.package] metadata are fine.
+    if awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+        in_deps && /^[A-Za-z0-9_-]+[[:space:]]*=/ {
+            if ($0 ~ /"[0-9^~=<>*]/ || $0 ~ /version[[:space:]]*=/) {
+                print FILENAME ": " $0
+                found = 1
+            }
+        }
+        END { exit !found }
+    ' "$manifest"; then
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "ERROR: registry dependency declared; this workspace builds offline-only." >&2
+    exit 1
+fi
+echo "ok: all dependencies are workspace path deps"
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "verify: OK"

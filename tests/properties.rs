@@ -1,5 +1,7 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of every substrate crate.
+//! Property-based tests over the core data structures and invariants of
+//! every substrate crate, driven by the seeded `medchain_runtime::check`
+//! harness (failures print the one `MEDCHAIN_CHECK_SEED` that reproduces
+//! them).
 
 use medchain_chain::hash::{Hash256, Sha256};
 use medchain_chain::{Address, MerkleTree};
@@ -12,118 +14,154 @@ use medchain_data::Dataset;
 use medchain_hie::crypto::{nonce_from, ChaCha20, DhKeypair};
 use medchain_learning::decompose::{Aggregate, Partial};
 use medchain_learning::linalg::weighted_average;
-use proptest::prelude::*;
+use medchain_runtime::check::{check, CheckConfig, Gen};
+use medchain_runtime::{ensure, ensure_eq, ensure_ne};
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        proptest::collection::vec(any::<u8>(), 0..200).prop_map(Value::Bytes),
-    ]
+fn random_value(g: &mut Gen) -> Value {
+    if g.bool() {
+        Value::Int(g.i64())
+    } else {
+        Value::Bytes(g.bytes(0, 200))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..500), split in 0usize..500) {
-        let split = split.min(data.len());
+#[test]
+fn sha256_incremental_equals_oneshot() {
+    check("sha256 incremental equals oneshot", CheckConfig::cases(64), |g| {
+        let data = g.bytes(0, 500);
+        let split = g.usize_in(0, data.len() + 1);
         let mut hasher = Sha256::new();
         hasher.update(&data[..split]);
         hasher.update(&data[split..]);
-        prop_assert_eq!(hasher.finalize(), Hash256::digest(&data));
-    }
+        ensure_eq!(hasher.finalize(), Hash256::digest(&data));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn merkle_proofs_verify_for_every_leaf(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..40)) {
+#[test]
+fn merkle_proofs_verify_for_every_leaf() {
+    check("merkle proofs verify for every leaf", CheckConfig::cases(64), |g| {
+        let leaves = g.vec_of(1, 40, |g| g.bytes(0, 40));
         let tree = MerkleTree::from_items(&leaves);
         for (i, leaf) in leaves.iter().enumerate() {
             let proof = tree.prove(i).expect("in range");
-            prop_assert!(proof.verify(&Hash256::digest(leaf), &tree.root()));
-        }
-    }
-
-    #[test]
-    fn merkle_root_changes_with_any_flip(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..30), 2..20), index in any::<prop::sample::Index>()) {
-        let original = MerkleTree::from_items(&leaves).root();
-        let mut mutated = leaves.clone();
-        let i = index.index(mutated.len());
-        mutated[i][0] ^= 1;
-        prop_assert_ne!(MerkleTree::from_items(&mutated).root(), original);
-    }
-
-    #[test]
-    fn value_codec_round_trips(values in proptest::collection::vec(value_strategy(), 0..16)) {
-        let encoded = encode_args(&values);
-        prop_assert_eq!(decode_args(&encoded).unwrap(), values);
-    }
-
-    #[test]
-    fn value_codec_rejects_truncation(values in proptest::collection::vec(value_strategy(), 1..8), cut_fraction in 0.0f64..1.0) {
-        let encoded = encode_args(&values);
-        let cut = ((encoded.len() as f64) * cut_fraction) as usize;
-        if cut < encoded.len() {
-            prop_assert!(decode_args(&encoded[..cut]).is_err());
-        }
-    }
-
-    #[test]
-    fn chacha20_round_trips(key in any::<[u8; 32]>(), id in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..300)) {
-        let cipher = ChaCha20::new(&key, &nonce_from(id, 0));
-        prop_assert_eq!(cipher.decrypt(&cipher.encrypt(&data)), data);
-    }
-
-    #[test]
-    fn dh_agreement_is_symmetric(seed_a in any::<[u8; 8]>(), seed_b in any::<[u8; 8]>(), ctx in proptest::collection::vec(any::<u8>(), 1..30)) {
-        let a = DhKeypair::from_seed(&seed_a);
-        let b = DhKeypair::from_seed(&seed_b);
-        prop_assert_eq!(a.session_key(b.public, &ctx), b.session_key(a.public, &ctx));
-    }
-
-    #[test]
-    fn policy_value_encoding_round_trips(
-        owner_seed in any::<u64>(),
-        grants in proptest::collection::vec((any::<u64>(), 0i64..5, proptest::option::of(0u64..100_000)), 0..8),
-        consent in any::<bool>(),
-    ) {
-        let mut policy = AccessPolicy::new(Address::from_seed(owner_seed));
-        if consent {
-            policy.require_consent();
-        }
-        for (seed, purpose_code, expiry) in grants {
-            policy.grant(
-                Address::from_seed(seed),
-                Purpose::from_code(purpose_code).unwrap(),
-                expiry,
+            ensure!(
+                proof.verify(&Hash256::digest(leaf), &tree.root()),
+                "proof for leaf {i} rejected"
             );
         }
-        let decoded = AccessPolicy::from_values(&policy.to_values()).unwrap();
-        prop_assert_eq!(decoded, policy);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn weighted_average_is_bounded_by_extremes(
-        vectors in proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, 3),
-            1..6,
-        ),
-        weights in proptest::collection::vec(0.1f64..10.0, 6),
-    ) {
-        let weights = &weights[..vectors.len()];
-        let avg = weighted_average(&vectors, weights);
+#[test]
+fn merkle_root_changes_with_any_flip() {
+    check("merkle root changes with any flip", CheckConfig::cases(64), |g| {
+        let leaves = g.vec_of(2, 20, |g| g.bytes(1, 30));
+        let original = MerkleTree::from_items(&leaves).root();
+        let mut mutated = leaves.clone();
+        let i = g.usize_in(0, mutated.len());
+        mutated[i][0] ^= 1;
+        ensure_ne!(MerkleTree::from_items(&mutated).root(), original);
+        Ok(())
+    });
+}
+
+#[test]
+fn value_codec_round_trips() {
+    check("value codec round trips", CheckConfig::cases(64), |g| {
+        let values = g.vec_of(0, 16, random_value);
+        let encoded = encode_args(&values);
+        ensure_eq!(decode_args(&encoded).unwrap(), values);
+        Ok(())
+    });
+}
+
+#[test]
+fn value_codec_rejects_truncation() {
+    check("value codec rejects truncation", CheckConfig::cases(64), |g| {
+        let values = g.vec_of(1, 8, random_value);
+        let encoded = encode_args(&values);
+        let cut = ((encoded.len() as f64) * g.f64()) as usize;
+        if cut < encoded.len() {
+            ensure!(decode_args(&encoded[..cut]).is_err(), "truncated decode succeeded");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn chacha20_round_trips() {
+    check("chacha20 round trips", CheckConfig::cases(64), |g| {
+        let key: [u8; 32] = g.byte_array();
+        let id = g.u64();
+        let data = g.bytes(0, 300);
+        let cipher = ChaCha20::new(&key, &nonce_from(id, 0));
+        ensure_eq!(cipher.decrypt(&cipher.encrypt(&data)), data);
+        Ok(())
+    });
+}
+
+#[test]
+fn dh_agreement_is_symmetric() {
+    check("dh agreement is symmetric", CheckConfig::cases(64), |g| {
+        let seed_a: [u8; 8] = g.byte_array();
+        let seed_b: [u8; 8] = g.byte_array();
+        let ctx = g.bytes(1, 30);
+        let a = DhKeypair::from_seed(&seed_a);
+        let b = DhKeypair::from_seed(&seed_b);
+        ensure_eq!(a.session_key(b.public, &ctx), b.session_key(a.public, &ctx));
+        Ok(())
+    });
+}
+
+#[test]
+fn policy_value_encoding_round_trips() {
+    check("policy value encoding round trips", CheckConfig::cases(64), |g| {
+        let mut policy = AccessPolicy::new(Address::from_seed(g.u64()));
+        if g.bool() {
+            policy.require_consent();
+        }
+        for _ in 0..g.usize_in(0, 8) {
+            let grantee = Address::from_seed(g.u64());
+            let purpose = Purpose::from_code(g.rng().gen_range(0i64..5)).unwrap();
+            let expiry =
+                if g.bool() { Some(g.rng().gen_range(0u64..100_000)) } else { None };
+            policy.grant(grantee, purpose, expiry);
+        }
+        let decoded = AccessPolicy::from_values(&policy.to_values()).unwrap();
+        ensure_eq!(decoded, policy);
+        Ok(())
+    });
+}
+
+#[test]
+fn weighted_average_is_bounded_by_extremes() {
+    check("weighted average is bounded by extremes", CheckConfig::cases(64), |g| {
+        let vectors = g.vec_of(1, 6, |g| {
+            (0..3).map(|_| g.f64_in(-100.0, 100.0)).collect::<Vec<f64>>()
+        });
+        let weights: Vec<f64> = (0..vectors.len()).map(|_| g.f64_in(0.1, 10.0)).collect();
+        let avg = weighted_average(&vectors, &weights);
         for dim in 0..3 {
             let lo = vectors.iter().map(|v| v[dim]).fold(f64::INFINITY, f64::min);
             let hi = vectors.iter().map(|v| v[dim]).fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(avg[dim] >= lo - 1e-9 && avg[dim] <= hi + 1e-9);
+            ensure!(
+                avg[dim] >= lo - 1e-9 && avg[dim] <= hi + 1e-9,
+                "dim {dim}: {} outside [{lo}, {hi}]",
+                avg[dim]
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn aggregates_decompose_exactly_for_any_partition(
-        seed in any::<u64>(),
-        cuts in proptest::collection::vec(1usize..100, 0..4),
-    ) {
-        let records = CohortGenerator::new("prop", SiteProfile::default(), seed)
+#[test]
+fn aggregates_decompose_exactly_for_any_partition() {
+    check("aggregates decompose exactly for any partition", CheckConfig::cases(32), |g| {
+        let records = CohortGenerator::new("prop", SiteProfile::default(), g.u64())
             .cohort(0, 120, &DiseaseModel::stroke());
+        let cuts = g.vec_of(0, 4, |g| g.usize_in(1, 100));
         for aggregate in [
             Aggregate::Count,
             Aggregate::Mean(medchain_data::Field::Age),
@@ -144,47 +182,65 @@ proptest! {
             }
             partials.push(aggregate.map_site(&records[start..]));
             let composed = aggregate.compose(&partials).scalar();
-            prop_assert!((whole - composed).abs() < 1e-9, "{aggregate:?}: {whole} vs {composed}");
+            ensure!(
+                (whole - composed).abs() < 1e-9,
+                "{aggregate:?}: {whole} vs {composed}"
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn json_round_trips_arbitrary_strings(s in "\\PC{0,60}") {
-        let doc = json::Json::String(s.clone());
+#[test]
+fn json_round_trips_arbitrary_strings() {
+    check("json round trips arbitrary strings", CheckConfig::cases(64), |g| {
+        let doc = json::Json::String(g.string(60));
         let parsed = json::parse(&doc.to_text()).unwrap();
-        prop_assert_eq!(parsed, doc);
-    }
+        ensure_eq!(parsed, doc);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dataset_split_preserves_rows(seed in any::<u64>(), frac in 0.0f64..1.0) {
+#[test]
+fn dataset_split_preserves_rows() {
+    check("dataset split preserves rows", CheckConfig::cases(64), |g| {
+        let seed = g.u64();
+        let frac = g.f64();
         let records = CohortGenerator::new("prop", SiteProfile::default(), seed)
             .cohort(0, 60, &DiseaseModel::stroke());
         let data = Dataset::from_records(&records, "I63");
         let (train, test) = data.train_test_split(frac, seed);
-        prop_assert_eq!(train.len() + test.len(), data.len());
+        ensure_eq!(train.len() + test.len(), data.len());
         let total_pos = data.labels.iter().sum::<f64>();
         let split_pos = train.labels.iter().sum::<f64>() + test.labels.iter().sum::<f64>();
-        prop_assert!((total_pos - split_pos).abs() < 1e-9);
-    }
+        ensure!((total_pos - split_pos).abs() < 1e-9, "positives not preserved");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fhir_codec_round_trips_generated_records(seed in any::<u64>()) {
-        let records = CohortGenerator::new("prop", SiteProfile::default(), seed)
+#[test]
+fn fhir_codec_round_trips_generated_records() {
+    check("fhir codec round trips generated records", CheckConfig::cases(32), |g| {
+        let records = CohortGenerator::new("prop", SiteProfile::default(), g.u64())
             .cohort(0, 5, &DiseaseModel::cancer());
         let codec = medchain_data::formats::fhir::FhirLikeFormat;
         for record in &records {
             let decoded = codec.decode(&codec.encode(record)).unwrap();
-            prop_assert_eq!(decoded.patient_id, record.patient_id);
-            prop_assert_eq!(&decoded.diagnoses, &record.diagnoses);
-            prop_assert_eq!(&decoded.genomics, &record.genomics);
+            ensure_eq!(decoded.patient_id, record.patient_id);
+            ensure_eq!(&decoded.diagnoses, &record.diagnoses);
+            ensure_eq!(&decoded.genomics, &record.genomics);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hash_hex_round_trips(bytes in any::<[u8; 32]>()) {
-        let h = Hash256(bytes);
-        prop_assert_eq!(Hash256::from_hex(&h.to_hex()).unwrap(), h);
-    }
+#[test]
+fn hash_hex_round_trips() {
+    check("hash hex round trips", CheckConfig::cases(64), |g| {
+        let h = Hash256(g.byte_array());
+        ensure_eq!(Hash256::from_hex(&h.to_hex()).unwrap(), h);
+        Ok(())
+    });
 }
 
 // === VM fuzzing and ledger invariants ===
@@ -192,87 +248,95 @@ proptest! {
 use medchain_chain::ledger::{Ledger, NullRuntime};
 use medchain_chain::sig::{AuthorityKey, KeyRegistry};
 use medchain_chain::tx::{Transaction, TxPayload};
+use medchain_chain::WorldState;
 use medchain_contracts::opcode::{decode_program, encode_program, Instr};
 use medchain_contracts::vm::{execute, CallEnv};
-use medchain_chain::WorldState;
 
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        any::<i64>().prop_map(Instr::PushInt),
-        proptest::collection::vec(any::<u8>(), 0..24).prop_map(Instr::PushBytes),
-        Just(Instr::Pop),
-        (0u8..4).prop_map(Instr::Dup),
-        (0u8..4).prop_map(Instr::Swap),
-        Just(Instr::Add),
-        Just(Instr::Sub),
-        Just(Instr::Mul),
-        Just(Instr::Div),
-        Just(Instr::Mod),
-        Just(Instr::Neg),
-        Just(Instr::Eq),
-        Just(Instr::Lt),
-        Just(Instr::Gt),
-        Just(Instr::Not),
-        Just(Instr::And),
-        Just(Instr::Or),
-        (0u16..40).prop_map(Instr::Jump),
-        (0u16..40).prop_map(Instr::JumpIf),
-        Just(Instr::Halt),
-        Just(Instr::Revert),
-        Just(Instr::Caller),
-        Just(Instr::SelfAddr),
-        (0u8..4).prop_map(Instr::Arg),
-        Just(Instr::ArgCount),
-        Just(Instr::SLoad),
-        Just(Instr::SStore),
-        Just(Instr::Emit),
-        Just(Instr::Sha256),
-        Just(Instr::Concat),
-        Just(Instr::Len),
-        Just(Instr::IntToBytes),
-        Just(Instr::BytesToInt),
+fn random_instr(g: &mut Gen) -> Instr {
+    match g.usize_in(0, 34) {
+        0 => Instr::PushInt(g.i64()),
+        1 => Instr::PushBytes(g.bytes(0, 24)),
+        2 => Instr::Pop,
+        3 => Instr::Dup(g.rng().gen_range(0u8..4)),
+        4 => Instr::Swap(g.rng().gen_range(0u8..4)),
+        5 => Instr::Add,
+        6 => Instr::Sub,
+        7 => Instr::Mul,
+        8 => Instr::Div,
+        9 => Instr::Mod,
+        10 => Instr::Neg,
+        11 => Instr::Eq,
+        12 => Instr::Lt,
+        13 => Instr::Gt,
+        14 => Instr::Not,
+        15 => Instr::And,
+        16 => Instr::Or,
+        17 => Instr::Jump(g.rng().gen_range(0u16..40)),
+        18 => Instr::JumpIf(g.rng().gen_range(0u16..40)),
+        19 => Instr::Halt,
+        20 => Instr::Revert,
+        21 => Instr::Caller,
+        22 => Instr::SelfAddr,
+        23 => Instr::Arg(g.rng().gen_range(0u8..4)),
+        24 => Instr::ArgCount,
+        25 => Instr::SLoad,
+        26 => Instr::SStore,
+        27 => Instr::Emit,
+        28 => Instr::Sha256,
+        29 => Instr::Concat,
+        30 => Instr::Len,
+        31 => Instr::IntToBytes,
+        32 => Instr::BytesToInt,
         // Burn bounded by the gas limit below anyway.
-        Just(Instr::Burn),
-    ]
+        _ => Instr::Burn,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Fuzz: arbitrary programs never panic the interpreter — they halt,
-    /// trap, or run out of gas, but the host survives.
-    #[test]
-    fn vm_random_programs_never_panic(
-        program in proptest::collection::vec(instr_strategy(), 0..40),
-        args in proptest::collection::vec(value_strategy(), 0..4),
-    ) {
+/// Fuzz: arbitrary programs never panic the interpreter — they halt,
+/// trap, or run out of gas, but the host survives.
+#[test]
+fn vm_random_programs_never_panic() {
+    check("vm random programs never panic", CheckConfig::cases(128), |g| {
+        let program = g.vec_of(0, 40, random_instr);
+        let args = g.vec_of(0, 4, random_value);
         let env = CallEnv::new(Address::from_seed(1), Address::from_seed(2), &args, 20_000);
         let mut state = WorldState::new();
         let _ = execute(&program, &env, &mut state);
-    }
+        Ok(())
+    });
+}
 
-    /// Fuzz: bytecode round-trips for arbitrary programs.
-    #[test]
-    fn bytecode_round_trips_arbitrary_programs(
-        program in proptest::collection::vec(instr_strategy(), 0..60),
-    ) {
+/// Fuzz: bytecode round-trips for arbitrary programs.
+#[test]
+fn bytecode_round_trips_arbitrary_programs() {
+    check("bytecode round trips arbitrary programs", CheckConfig::cases(128), |g| {
+        let program = g.vec_of(0, 60, random_instr);
         let encoded = encode_program(&program);
-        prop_assert_eq!(decode_program(&encoded).unwrap(), program);
-    }
+        ensure_eq!(decode_program(&encoded).unwrap(), program);
+        Ok(())
+    });
+}
 
-    /// Fuzz: arbitrary byte blobs never panic the bytecode decoder.
-    #[test]
-    fn bytecode_decoder_survives_garbage(blob in proptest::collection::vec(any::<u8>(), 0..200)) {
+/// Fuzz: arbitrary byte blobs never panic the bytecode decoder.
+#[test]
+fn bytecode_decoder_survives_garbage() {
+    check("bytecode decoder survives garbage", CheckConfig::cases(128), |g| {
+        let blob = g.bytes(0, 200);
         let _ = decode_program(&blob);
-    }
+        Ok(())
+    });
+}
 
-    /// Ledger invariant: the total token supply is conserved under any
-    /// sequence of transfers (successful or failed).
-    #[test]
-    fn token_supply_is_conserved(
-        transfers in proptest::collection::vec((0usize..3, 0usize..3, 0u64..2_000), 1..25),
-    ) {
-        let keys: Vec<AuthorityKey> = (0..3).map(|i| AuthorityKey::from_seed(i as u64)).collect();
+/// Ledger invariant: the total token supply is conserved under any
+/// sequence of transfers (successful or failed).
+#[test]
+fn token_supply_is_conserved() {
+    check("token supply is conserved", CheckConfig::cases(64), |g| {
+        let transfers = g.vec_of(1, 25, |g| {
+            (g.usize_in(0, 3), g.usize_in(0, 3), g.rng().gen_range(0u64..2_000))
+        });
+        let keys: Vec<AuthorityKey> =
+            (0..3).map(|i| AuthorityKey::from_seed(i as u64)).collect();
         let mut registry = KeyRegistry::new();
         for k in &keys {
             registry.enroll(k);
@@ -304,17 +368,20 @@ proptest! {
 
         let supply_after: u64 =
             keys.iter().map(|k| ledger.state().account(&k.address()).balance).sum();
-        prop_assert_eq!(supply_before, supply_after);
-    }
+        ensure_eq!(supply_before, supply_after);
+        Ok(())
+    });
+}
 
-    /// Mempool invariant: batches are gap-free nonce runs per sender.
-    #[test]
-    fn mempool_batches_are_nonce_ordered(
-        inserts in proptest::collection::vec((0usize..3, 0u64..8), 1..30),
-        max in 1usize..20,
-    ) {
+/// Mempool invariant: batches are gap-free nonce runs per sender.
+#[test]
+fn mempool_batches_are_nonce_ordered() {
+    check("mempool batches are nonce ordered", CheckConfig::cases(64), |g| {
         use medchain_chain::mempool::Mempool;
-        let keys: Vec<AuthorityKey> = (0..3).map(|i| AuthorityKey::from_seed(i as u64)).collect();
+        let inserts = g.vec_of(1, 30, |g| (g.usize_in(0, 3), g.rng().gen_range(0u64..8)));
+        let max = g.usize_in(1, 20);
+        let keys: Vec<AuthorityKey> =
+            (0..3).map(|i| AuthorityKey::from_seed(i as u64)).collect();
         let mut pool = Mempool::new(256);
         for &(who, nonce) in &inserts {
             let tx = Transaction::new(
@@ -327,7 +394,7 @@ proptest! {
             pool.insert(tx);
         }
         let batch = pool.take_batch(max, |_| 0);
-        prop_assert!(batch.len() <= max);
+        ensure!(batch.len() <= max, "batch exceeds max");
         // Per sender: nonces start at 0 and are contiguous.
         for key in &keys {
             let nonces: Vec<u64> = batch
@@ -336,8 +403,9 @@ proptest! {
                 .map(|tx| tx.nonce)
                 .collect();
             for (i, n) in nonces.iter().enumerate() {
-                prop_assert_eq!(*n, i as u64, "sender batch not contiguous: {:?}", nonces);
+                ensure_eq!(*n, i as u64);
             }
         }
-    }
+        Ok(())
+    });
 }

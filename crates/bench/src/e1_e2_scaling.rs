@@ -9,6 +9,7 @@
 
 use crate::report::{f, ms, Table};
 use medchain::modes::{run_duplicated, run_sharded, run_transformed, ModeReport};
+use medchain::TransportKind;
 
 /// By default the tables print the deterministic wall-time model
 /// ([`ModeReport::modeled_wall`]) so that a fixed seed reproduces the
@@ -51,12 +52,29 @@ fn work_units(quick: bool) -> u64 {
 }
 
 /// Runs E1: duplicated mode across node counts.
+///
+/// Consensus traffic rides the transport selected by
+/// `MEDCHAIN_TRANSPORT` (`tcp` = real loopback sockets; default = the
+/// deterministic simulator); the trailing byte column reports the
+/// canonical encoded bytes the chosen transport actually carried.
 pub fn run_e1(quick: bool) -> Table {
     let work = work_units(quick);
+    let transport = TransportKind::from_env();
     let mut table = Table::new(
         "E1",
-        &format!("duplicated smart-contract computing, job = {work} work units"),
-        &["nodes", wall_header(), "total work (gas)", "duplication ×", "jobs/s", "sim latency"],
+        &format!(
+            "duplicated smart-contract computing, job = {work} work units, transport = {}",
+            transport.label()
+        ),
+        &[
+            "nodes",
+            wall_header(),
+            "total work (gas)",
+            "duplication ×",
+            "jobs/s",
+            "sim latency",
+            "net bytes",
+        ],
     );
     let mut walls = Vec::new();
     for nodes in node_counts(quick) {
@@ -70,6 +88,7 @@ pub fn run_e1(quick: bool) -> Table {
             f(report.duplication_factor()),
             f(1.0 / wall.max(1e-9)),
             format!("{}ms", report.sim_latency_ms),
+            report.bytes.to_string(),
         ]);
     }
     let (n0, w0) = walls[0];
@@ -85,11 +104,14 @@ pub fn run_e1(quick: bool) -> Table {
 /// Runs E2: duplicated vs transformed across node counts.
 pub fn run_e2(quick: bool) -> Table {
     let work = work_units(quick);
+    let transport = TransportKind::from_env();
     let mut table = Table::new(
         "E2",
         &format!(
-            "transformed distributed-parallel architecture, job = {work} work units, {}",
-            wall_header()
+            "transformed distributed-parallel architecture, job = {work} work units, {}, \
+             transport = {}",
+            wall_header(),
+            transport.label()
         ),
         &[
             "nodes",
@@ -100,6 +122,7 @@ pub fn run_e2(quick: bool) -> Table {
             "dup work",
             "shard work",
             "trans work",
+            "dup net bytes",
         ],
     );
     let mut speedups = Vec::new();
@@ -120,6 +143,7 @@ pub fn run_e2(quick: bool) -> Table {
             duplicated.total_gas.to_string(),
             sharded.total_gas.to_string(),
             transformed.total_gas.to_string(),
+            duplicated.bytes.to_string(),
         ]);
     }
     table.finding(

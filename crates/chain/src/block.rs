@@ -120,9 +120,11 @@ impl Block {
         self.header.tx_root == self.computed_tx_root()
     }
 
-    /// Approximate wire size for network accounting.
+    /// Exact wire size for network accounting: the canonical encoded
+    /// length, which is what a socket transport actually frames.
     pub fn wire_size(&self) -> usize {
-        116 + self.transactions.iter().map(Transaction::wire_size).sum::<usize>() + 64
+        use medchain_runtime::codec::Encode;
+        self.encoded().len()
     }
 }
 

@@ -11,9 +11,12 @@
 //! * [`pos::PosEngine`] — "proof of stake" virtual-mining lottery
 //!   (paper §I's energy fix that is *still* duplicated computing).
 //!
-//! Engines are message-driven state machines running over
-//! [`SimNetwork`]; the [`Cluster`] harness drives any engine to a target
-//! height and reports traffic, latency, and work counters.
+//! Engines are message-driven state machines running over any
+//! [`Transport`] — the deterministic [`SimTransport`] simulator by
+//! default, or real TCP sockets via
+//! [`TcpTransport`](crate::net::TcpTransport); the [`Cluster`] harness
+//! drives any engine to a target height and reports traffic, latency,
+//! and work counters.
 
 pub mod pbft;
 pub mod poa;
@@ -22,8 +25,9 @@ pub mod pow;
 
 use crate::block::Block;
 use crate::hash::Hash256;
-use crate::net::{NodeId, SimEvent, SimNetwork, Wire};
+use crate::net::{NodeId, SimEvent, SimTransport, Transport, Wire};
 use crate::sig::Address;
+use std::fmt;
 
 /// The ledger-facing side of a consensus node: the engine decides *when*
 /// to produce and commit blocks, the application decides *what* they
@@ -157,14 +161,32 @@ pub struct RunReport {
     pub work: WorkCounters,
 }
 
-/// Deterministic harness driving `N` replicas over a simulated network.
-#[derive(Debug)]
-pub struct Cluster<E: Engine, A> {
-    /// The simulated fabric (public for latency/fault configuration).
-    pub net: SimNetwork<E::Msg>,
+/// Harness driving `N` replicas over any [`Transport`].
+///
+/// The transport parameter defaults to the deterministic simulator, so
+/// `Cluster<PoaEngine, ChainApp>` and [`Cluster::new`] keep their
+/// historical meaning: logical time, seeded latency, bit-reproducible
+/// runs. [`Cluster::with_transport`] accepts any other transport — real
+/// TCP sockets, or a fault-injecting wrapper around them — and the
+/// harness drives the same engines unchanged.
+pub struct Cluster<E: Engine, A, T = SimTransport<<E as Engine>::Msg>> {
+    /// The network fabric (public for latency/fault configuration).
+    pub net: T,
     /// The replicas (public for inspection between runs).
     pub replicas: Vec<Replica<E, A>>,
     started: bool,
+}
+
+impl<E: Engine, A: fmt::Debug, T> fmt::Debug for Cluster<E, A, T>
+where
+    E: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("replicas", &self.replicas)
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<E, A> Cluster<E, A>
@@ -172,14 +194,34 @@ where
     E: Engine,
     A: Application,
 {
-    /// Builds a cluster from matching engine/application pairs.
+    /// Builds a simulator-backed cluster from matching engine/application
+    /// pairs.
     ///
     /// # Panics
     ///
     /// Panics if `engines` and `apps` differ in length.
     pub fn new(engines: Vec<E>, apps: Vec<A>, seed: u64) -> Cluster<E, A> {
+        let net = SimTransport::new(engines.len(), seed);
+        Cluster::with_transport(engines, apps, net)
+    }
+}
+
+impl<E, A, T> Cluster<E, A, T>
+where
+    E: Engine,
+    A: Application,
+    T: Transport<E::Msg>,
+{
+    /// Builds a cluster over an explicit transport (simulated, TCP, or
+    /// fault-wrapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` and `apps` differ in length, or if the
+    /// transport hosts a different number of nodes.
+    pub fn with_transport(engines: Vec<E>, apps: Vec<A>, net: T) -> Cluster<E, A, T> {
         assert_eq!(engines.len(), apps.len(), "engine/app count mismatch");
-        let net = SimNetwork::new(engines.len(), seed);
+        assert_eq!(engines.len(), net.node_count(), "engine/transport node count mismatch");
         let replicas = engines
             .into_iter()
             .zip(apps)
@@ -188,7 +230,7 @@ where
         Cluster { net, replicas, started: false }
     }
 
-    fn flush(net: &mut SimNetwork<E::Msg>, from: NodeId, out: Outbox<E::Msg>) {
+    fn flush(net: &mut T, from: NodeId, out: Outbox<E::Msg>) {
         for (to, msg) in out.sends {
             net.send(from, to, msg);
         }
@@ -202,7 +244,8 @@ where
 
     /// Re-invokes `start` on one replica's engine. Timers owned by a
     /// failed node are suppressed by the simulator, so a node healed with
-    /// [`SimNetwork::heal_node`] must be kicked to resume participating.
+    /// [`SimNetwork::heal_node`](crate::net::SimNetwork::heal_node) must
+    /// be kicked to resume participating.
     pub fn kick(&mut self, node: NodeId) {
         let replica = &mut self.replicas[node.0];
         let mut out = Outbox::new(self.net.now_ms());
@@ -269,6 +312,12 @@ where
             },
             max_time_ms,
         )
+    }
+
+    /// Gracefully releases the transport (socket transports join their
+    /// threads; the simulator is a no-op).
+    pub fn shutdown(&mut self) {
+        self.net.shutdown();
     }
 }
 

@@ -69,17 +69,19 @@ pub enum PbftMsg {
     },
 }
 
+medchain_runtime::impl_codec_enum!(PbftMsg {
+    0 => PrePrepare { view, block, sig },
+    1 => Prepare { view, height, digest, sig },
+    2 => Commit { view, height, digest, sig },
+    3 => ViewChange { new_view, height, sig },
+    4 => SyncRequest { have },
+    5 => SyncResponse { blocks },
+});
+
 impl Wire for PbftMsg {
     fn wire_size(&self) -> usize {
-        match self {
-            PbftMsg::PrePrepare { block, .. } => 8 + block.wire_size() + 53,
-            PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 8 + 8 + 32 + 53,
-            PbftMsg::ViewChange { .. } => 8 + 8 + 53,
-            PbftMsg::SyncRequest { .. } => 8,
-            PbftMsg::SyncResponse { blocks } => {
-                blocks.iter().map(Block::wire_size).sum::<usize>() + 8
-            }
-        }
+        use medchain_runtime::codec::Encode;
+        self.encoded().len()
     }
 }
 

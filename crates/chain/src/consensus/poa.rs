@@ -47,14 +47,17 @@ pub enum PoaMsg {
     },
 }
 
+medchain_runtime::impl_codec_enum!(PoaMsg {
+    0 => Proposal { block, sig },
+    1 => Vote { height, block_id, sig },
+    2 => SyncRequest { have },
+    3 => SyncResponse { blocks },
+});
+
 impl Wire for PoaMsg {
     fn wire_size(&self) -> usize {
-        match self {
-            PoaMsg::Proposal { block, .. } => block.wire_size() + 53,
-            PoaMsg::Vote { .. } => 8 + 32 + 53,
-            PoaMsg::SyncRequest { .. } => 8,
-            PoaMsg::SyncResponse { blocks } => blocks.iter().map(Block::wire_size).sum::<usize>() + 8,
-        }
+        use medchain_runtime::codec::Encode;
+        self.encoded().len()
     }
 }
 

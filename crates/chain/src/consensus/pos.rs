@@ -35,11 +35,14 @@ pub enum PosMsg {
     },
 }
 
+medchain_runtime::impl_codec_enum!(PosMsg {
+    0 => Proposal { slot, draw, block, sig },
+});
+
 impl Wire for PosMsg {
     fn wire_size(&self) -> usize {
-        match self {
-            PosMsg::Proposal { block, .. } => 16 + block.wire_size() + 53,
-        }
+        use medchain_runtime::codec::Encode;
+        self.encoded().len()
     }
 }
 

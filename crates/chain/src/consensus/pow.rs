@@ -24,11 +24,14 @@ pub enum PowMsg {
     NewBlock(Block),
 }
 
+medchain_runtime::impl_codec_enum!(PowMsg {
+    0 => NewBlock(block),
+});
+
 impl Wire for PowMsg {
     fn wire_size(&self) -> usize {
-        match self {
-            PowMsg::NewBlock(block) => block.wire_size() + 12,
-        }
+        use medchain_runtime::codec::Encode;
+        self.encoded().len()
     }
 }
 

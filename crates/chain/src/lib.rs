@@ -45,6 +45,6 @@ pub use block::{Block, Header, Seal};
 pub use hash::{Hash256, Sha256};
 pub use ledger::{ContractRuntime, Event, ExecError, ExecOutcome, Ledger, Receipt, WorldState};
 pub use merkle::{MerkleProof, MerkleTree};
-pub use net::{NodeId, SimNetwork, Wire};
+pub use net::{NodeId, SimNetwork, SimTransport, TcpTransport, Transport, Wire};
 pub use sig::{Address, AuthorityKey, AuthoritySignature, KeyRegistry};
 pub use tx::{Transaction, TxPayload};

@@ -1,441 +1,13 @@
-//! Discrete-event simulated peer-to-peer network.
+//! Network seam — re-exported from `medchain-transport`.
 //!
-//! Blockchain consensus broadcasts every intended ledger modification to
-//! every participant (paper §I); the experiments need to *count* that
-//! traffic and model its latency. [`SimNetwork`] is a deterministic
-//! discrete-event simulator: messages and timers are delivered in logical
-//! time, links can be failed and healed, and all traffic is metered.
+//! The discrete-event simulator, the `Transport` trait, and the socket
+//! and fault-injection transports all live in the `medchain-transport`
+//! crate (so they can be shared with the off-chain plane without a
+//! dependency cycle). This module re-exports them under their historical
+//! paths: `medchain_chain::net::SimNetwork` and friends keep working,
+//! and the simulator's event enum keeps its old `SimEvent` name here.
 
-use medchain_runtime::DetRng;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
-use std::fmt;
-
-/// Index of a node in the simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub usize);
-
-impl fmt::Display for NodeId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "node{}", self.0)
-    }
-}
-
-/// Types that can report their serialized size for bandwidth accounting.
-pub trait Wire {
-    /// Approximate size in bytes on the wire.
-    fn wire_size(&self) -> usize;
-}
-
-/// Latency model: `base + per_kib·(bytes/1024) ± jitter`.
-#[derive(Debug, Clone, Copy)]
-pub struct LatencyModel {
-    /// Fixed propagation delay in milliseconds.
-    pub base_ms: u64,
-    /// Transmission delay per KiB in milliseconds.
-    pub per_kib_ms: u64,
-    /// Uniform jitter bound in milliseconds.
-    pub jitter_ms: u64,
-}
-
-impl LatencyModel {
-    /// A LAN-like model (hospital consortium over leased lines).
-    pub fn lan() -> LatencyModel {
-        LatencyModel { base_ms: 2, per_kib_ms: 1, jitter_ms: 1 }
-    }
-
-    /// A WAN-like model (internationally distributed consortium).
-    pub fn wan() -> LatencyModel {
-        LatencyModel { base_ms: 60, per_kib_ms: 4, jitter_ms: 20 }
-    }
-
-    /// Samples a delay for a message of `bytes` bytes.
-    pub fn sample(&self, rng: &mut DetRng, bytes: usize) -> u64 {
-        let jitter = if self.jitter_ms == 0 { 0 } else { rng.gen_range(0..=self.jitter_ms) };
-        self.base_ms + self.per_kib_ms * (bytes as u64).div_ceil(1024) + jitter
-    }
-}
-
-/// Traffic counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NetStats {
-    /// Messages enqueued for delivery.
-    pub sent: u64,
-    /// Messages actually delivered.
-    pub delivered: u64,
-    /// Messages dropped by loss or failed links.
-    pub dropped: u64,
-    /// Total bytes offered to the network.
-    pub bytes: u64,
-}
-
-/// An event delivered by the simulator.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SimEvent<M> {
-    /// A message arriving at `to`.
-    Message {
-        /// Sender.
-        from: NodeId,
-        /// Recipient.
-        to: NodeId,
-        /// Payload.
-        msg: M,
-    },
-    /// A timer set by `node` firing with its token.
-    Timer {
-        /// Owner of the timer.
-        node: NodeId,
-        /// Caller-chosen discriminator.
-        token: u64,
-    },
-}
-
-struct QueueEntry<M> {
-    at: u64,
-    seq: u64,
-    event: SimEvent<M>,
-}
-
-impl<M> PartialEq for QueueEntry<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueueEntry<M> {}
-impl<M> PartialOrd for QueueEntry<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueueEntry<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// Deterministic discrete-event network simulator.
-///
-/// # Examples
-///
-/// ```
-/// use medchain_chain::net::{SimNetwork, NodeId, SimEvent, Wire};
-///
-/// #[derive(Clone)]
-/// struct Ping;
-/// impl Wire for Ping {
-///     fn wire_size(&self) -> usize { 8 }
-/// }
-///
-/// let mut net = SimNetwork::<Ping>::new(3, 42);
-/// net.send(NodeId(0), NodeId(1), Ping);
-/// let (at, event) = net.next().unwrap();
-/// assert!(at > 0);
-/// assert!(matches!(event, SimEvent::Message { to: NodeId(1), .. }));
-/// ```
-pub struct SimNetwork<M> {
-    now_ms: u64,
-    seq: u64,
-    queue: BinaryHeap<Reverse<QueueEntry<M>>>,
-    latency: LatencyModel,
-    drop_rate: f64,
-    failed_nodes: HashSet<NodeId>,
-    failed_links: HashSet<(NodeId, NodeId)>,
-    rng: DetRng,
-    stats: NetStats,
-    node_count: usize,
-}
-
-impl<M> fmt::Debug for SimNetwork<M> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SimNetwork")
-            .field("now_ms", &self.now_ms)
-            .field("node_count", &self.node_count)
-            .field("queued", &self.queue.len())
-            .field("stats", &self.stats)
-            .finish()
-    }
-}
-
-impl<M: Wire> SimNetwork<M> {
-    /// Creates a network of `node_count` nodes with LAN latency and no
-    /// loss, seeded deterministically.
-    pub fn new(node_count: usize, seed: u64) -> SimNetwork<M> {
-        SimNetwork {
-            now_ms: 0,
-            seq: 0,
-            queue: BinaryHeap::new(),
-            latency: LatencyModel::lan(),
-            drop_rate: 0.0,
-            failed_nodes: HashSet::new(),
-            failed_links: HashSet::new(),
-            rng: DetRng::from_seed(seed),
-            stats: NetStats::default(),
-            node_count,
-        }
-    }
-
-    /// Sets the latency model.
-    pub fn set_latency(&mut self, latency: LatencyModel) {
-        self.latency = latency;
-    }
-
-    /// Sets the independent per-message drop probability.
-    pub fn set_drop_rate(&mut self, rate: f64) {
-        self.drop_rate = rate.clamp(0.0, 1.0);
-    }
-
-    /// Current logical time in milliseconds.
-    pub fn now_ms(&self) -> u64 {
-        self.now_ms
-    }
-
-    /// Number of nodes.
-    pub fn node_count(&self) -> usize {
-        self.node_count
-    }
-
-    /// Traffic counters.
-    pub fn stats(&self) -> NetStats {
-        self.stats
-    }
-
-    /// Marks a node as crashed: all traffic to and from it is dropped.
-    pub fn fail_node(&mut self, node: NodeId) {
-        self.failed_nodes.insert(node);
-    }
-
-    /// Restores a crashed node.
-    pub fn heal_node(&mut self, node: NodeId) {
-        self.failed_nodes.remove(&node);
-    }
-
-    /// Whether `node` is currently failed.
-    pub fn is_failed(&self, node: NodeId) -> bool {
-        self.failed_nodes.contains(&node)
-    }
-
-    /// Fails the directed link `from → to`.
-    pub fn fail_link(&mut self, from: NodeId, to: NodeId) {
-        self.failed_links.insert((from, to));
-    }
-
-    /// Heals the directed link `from → to`.
-    pub fn heal_link(&mut self, from: NodeId, to: NodeId) {
-        self.failed_links.remove(&(from, to));
-    }
-
-    /// Sends `msg` from `from` to `to` through the simulated fabric.
-    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
-        let bytes = msg.wire_size();
-        self.stats.sent += 1;
-        self.stats.bytes += bytes as u64;
-        let lossy = self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate);
-        if lossy
-            || self.failed_nodes.contains(&from)
-            || self.failed_nodes.contains(&to)
-            || self.failed_links.contains(&(from, to))
-        {
-            self.stats.dropped += 1;
-            return;
-        }
-        let delay = self.latency.sample(&mut self.rng, bytes);
-        self.push(self.now_ms + delay, SimEvent::Message { from, to, msg });
-    }
-
-    /// Broadcasts `msg` from `from` to every other node — the blockchain
-    /// consensus broadcast the paper describes.
-    pub fn broadcast(&mut self, from: NodeId, msg: M)
-    where
-        M: Clone,
-    {
-        for i in 0..self.node_count {
-            if i != from.0 {
-                self.send(from, NodeId(i), msg.clone());
-            }
-        }
-    }
-
-    /// Schedules a timer for `node` at absolute time `at_ms`.
-    pub fn set_timer(&mut self, node: NodeId, at_ms: u64, token: u64) {
-        let at = at_ms.max(self.now_ms);
-        self.push(at, SimEvent::Timer { node, token });
-    }
-
-    fn push(&mut self, at: u64, event: SimEvent<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QueueEntry { at, seq, event }));
-    }
-
-    /// Pops the next event, advancing logical time. Timers owned by
-    /// failed nodes are suppressed. Returns `None` when the simulation
-    /// has quiesced.
-    #[allow(clippy::should_implement_trait)] // not an Iterator: &mut self with internal clock
-    pub fn next(&mut self) -> Option<(u64, SimEvent<M>)> {
-        while let Some(Reverse(entry)) = self.queue.pop() {
-            self.now_ms = self.now_ms.max(entry.at);
-            match &entry.event {
-                SimEvent::Timer { node, .. } if self.failed_nodes.contains(node) => continue,
-                SimEvent::Message { .. } => self.stats.delivered += 1,
-                SimEvent::Timer { .. } => {}
-            }
-            return Some((entry.at, entry.event));
-        }
-        None
-    }
-
-    /// Whether any events remain queued.
-    pub fn has_pending(&self) -> bool {
-        !self.queue.is_empty()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[derive(Debug, Clone, PartialEq)]
-    struct Msg(u64, usize);
-    impl Wire for Msg {
-        fn wire_size(&self) -> usize {
-            self.1
-        }
-    }
-
-    #[test]
-    fn delivery_is_time_ordered() {
-        let mut net = SimNetwork::<Msg>::new(2, 1);
-        net.set_latency(LatencyModel { base_ms: 10, per_kib_ms: 1, jitter_ms: 0 });
-        net.send(NodeId(0), NodeId(1), Msg(1, 100));
-        net.set_timer(NodeId(1), 5, 77);
-        let (at1, e1) = net.next().unwrap();
-        assert_eq!(at1, 5);
-        assert!(matches!(e1, SimEvent::Timer { token: 77, .. }));
-        let (at2, _) = net.next().unwrap();
-        assert!(at2 >= 10);
-        assert!(net.next().is_none());
-    }
-
-    #[test]
-    fn broadcast_reaches_all_others() {
-        let mut net = SimNetwork::<Msg>::new(5, 1);
-        net.broadcast(NodeId(2), Msg(9, 64));
-        let mut recipients = Vec::new();
-        while let Some((_, SimEvent::Message { to, .. })) = net.next() {
-            recipients.push(to.0);
-        }
-        recipients.sort_unstable();
-        assert_eq!(recipients, vec![0, 1, 3, 4]);
-        assert_eq!(net.stats().sent, 4);
-    }
-
-    #[test]
-    fn failed_node_drops_traffic_and_timers() {
-        let mut net = SimNetwork::<Msg>::new(3, 1);
-        net.fail_node(NodeId(1));
-        net.send(NodeId(0), NodeId(1), Msg(1, 10));
-        net.send(NodeId(1), NodeId(2), Msg(2, 10));
-        net.set_timer(NodeId(1), 1, 0);
-        net.send(NodeId(0), NodeId(2), Msg(3, 10));
-        let mut delivered = Vec::new();
-        while let Some((_, event)) = net.next() {
-            delivered.push(event);
-        }
-        assert_eq!(delivered.len(), 1);
-        assert!(matches!(&delivered[0], SimEvent::Message { msg: Msg(3, _), .. }));
-        assert_eq!(net.stats().dropped, 2);
-    }
-
-    #[test]
-    fn healed_node_receives_again() {
-        let mut net = SimNetwork::<Msg>::new(2, 1);
-        net.fail_node(NodeId(1));
-        net.send(NodeId(0), NodeId(1), Msg(1, 10));
-        net.heal_node(NodeId(1));
-        net.send(NodeId(0), NodeId(1), Msg(2, 10));
-        let mut count = 0;
-        while net.next().is_some() {
-            count += 1;
-        }
-        assert_eq!(count, 1);
-    }
-
-    #[test]
-    fn link_failure_is_directional() {
-        let mut net = SimNetwork::<Msg>::new(2, 1);
-        net.fail_link(NodeId(0), NodeId(1));
-        net.send(NodeId(0), NodeId(1), Msg(1, 10));
-        net.send(NodeId(1), NodeId(0), Msg(2, 10));
-        let (_, event) = net.next().unwrap();
-        assert!(matches!(event, SimEvent::Message { to: NodeId(0), .. }));
-        assert!(net.next().is_none());
-    }
-
-    #[test]
-    fn drop_rate_one_drops_everything() {
-        let mut net = SimNetwork::<Msg>::new(2, 1);
-        net.set_drop_rate(1.0);
-        for _ in 0..10 {
-            net.send(NodeId(0), NodeId(1), Msg(0, 10));
-        }
-        assert!(net.next().is_none());
-        assert_eq!(net.stats().dropped, 10);
-    }
-
-    #[test]
-    fn bytes_are_metered() {
-        let mut net = SimNetwork::<Msg>::new(2, 1);
-        net.send(NodeId(0), NodeId(1), Msg(0, 1500));
-        net.send(NodeId(0), NodeId(1), Msg(0, 500));
-        assert_eq!(net.stats().bytes, 2000);
-    }
-
-    #[test]
-    fn larger_messages_take_longer() {
-        let mut small = SimNetwork::<Msg>::new(2, 3);
-        small.set_latency(LatencyModel { base_ms: 1, per_kib_ms: 5, jitter_ms: 0 });
-        small.send(NodeId(0), NodeId(1), Msg(0, 1024));
-        let (t_small, _) = small.next().unwrap();
-
-        let mut big = SimNetwork::<Msg>::new(2, 3);
-        big.set_latency(LatencyModel { base_ms: 1, per_kib_ms: 5, jitter_ms: 0 });
-        big.send(NodeId(0), NodeId(1), Msg(0, 10 * 1024));
-        let (t_big, _) = big.next().unwrap();
-        assert!(t_big > t_small);
-    }
-
-    #[test]
-    fn determinism_under_same_seed() {
-        let run = |seed| {
-            let mut net = SimNetwork::<Msg>::new(4, seed);
-            net.set_latency(LatencyModel { base_ms: 3, per_kib_ms: 2, jitter_ms: 7 });
-            for i in 0..20u64 {
-                net.broadcast(NodeId((i % 4) as usize), Msg(i, 256));
-            }
-            let mut order = Vec::new();
-            while let Some((at, SimEvent::Message { to, msg, .. })) = net.next() {
-                order.push((at, to.0, msg.0));
-            }
-            order
-        };
-        assert_eq!(run(11), run(11));
-        assert_ne!(run(11), run(12));
-    }
-}
-
-mod codec_impls {
-    use super::NodeId;
-    use medchain_runtime::codec::{CodecError, Decode, Encode, Reader};
-
-    impl Encode for NodeId {
-        fn encode(&self, out: &mut Vec<u8>) {
-            self.0.encode(out);
-        }
-    }
-
-    impl Decode for NodeId {
-        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-            Ok(NodeId(usize::decode(r)?))
-        }
-    }
-}
+pub use medchain_transport::{
+    Event as SimEvent, FaultyTransport, LatencyModel, NetStats, NodeId, SimNetwork, SimTransport,
+    TcpTransport, Transport, Wire, FAULT_WAKE_TOKEN, FRAME_OVERHEAD,
+};

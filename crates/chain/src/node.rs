@@ -23,6 +23,7 @@ pub struct ChainApp {
     ledger: Ledger,
     mempool: Mempool,
     max_block_txs: usize,
+    timestamp_quantum_ms: u64,
 }
 
 impl std::fmt::Debug for ChainApp {
@@ -50,12 +51,26 @@ impl ChainApp {
             ledger: Ledger::new(chain_id, registry, runtime),
             mempool: Mempool::new(DEFAULT_MEMPOOL_CAPACITY),
             max_block_txs: DEFAULT_MAX_BLOCK_TXS,
+            timestamp_quantum_ms: 1,
         }
     }
 
     /// Sets the per-block transaction cap.
     pub fn set_max_block_txs(&mut self, max: usize) {
         self.max_block_txs = max;
+    }
+
+    /// Quantizes proposed block timestamps down to a multiple of
+    /// `quantum_ms` (0 is treated as 1, i.e. no quantization).
+    ///
+    /// Block ids commit to the header timestamp, so a cluster running on
+    /// wall-clock sockets produces different hashes from a logical-clock
+    /// simulation unless proposals land on the same grid. Setting the
+    /// quantum to the block interval on every replica makes the two
+    /// transports byte-identical for the same workload: a proposal made
+    /// anywhere inside tick *k* is stamped `k · interval`.
+    pub fn set_timestamp_quantum_ms(&mut self, quantum_ms: u64) {
+        self.timestamp_quantum_ms = quantum_ms.max(1);
     }
 
     /// Submits a client transaction to the local mempool.
@@ -117,7 +132,8 @@ impl Application for ChainApp {
         let batch = self
             .mempool
             .take_batch(self.max_block_txs, |sender| state.account(sender).nonce);
-        self.ledger.propose(proposer, now_ms, batch)
+        let stamped = (now_ms / self.timestamp_quantum_ms) * self.timestamp_quantum_ms;
+        self.ledger.propose(proposer, stamped, batch)
     }
 
     fn validate_block(&self, block: &Block) -> bool {

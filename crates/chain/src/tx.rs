@@ -129,9 +129,11 @@ impl Transaction {
         }
     }
 
-    /// Approximate wire size for network accounting.
+    /// Exact wire size for network accounting: the canonical encoded
+    /// length, which is what a socket transport actually frames.
     pub fn wire_size(&self) -> usize {
-        20 + 8 + 8 + self.payload.wire_size() + 53
+        use medchain_runtime::codec::Encode;
+        self.encoded().len()
     }
 }
 

@@ -21,7 +21,9 @@ pub mod pipeline;
 pub mod site;
 
 pub use modes::{run_duplicated, run_sharded, run_transformed, ExecutionMode, ModeReport};
-pub use network::{ContractAddresses, MedicalNetwork, NetworkBuilder, NetworkError};
+pub use network::{
+    ContractAddresses, MedicalNetwork, NetworkBuilder, NetworkError, TransportKind,
+};
 pub use paradigms::{compare_all, run_paradigm, Paradigm, ParadigmReport};
 pub use pipeline::{
     fda_integrity_sweep, run_gwas, run_query, train_federated, FdaSweepReport,

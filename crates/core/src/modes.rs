@@ -114,7 +114,10 @@ impl ModeReport {
 
 fn tiny_network(nodes: usize, seed: u64) -> Result<MedicalNetwork, NetworkError> {
     use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
-    let mut builder = MedicalNetwork::builder().seed(seed).block_interval_ms(20);
+    let mut builder = MedicalNetwork::builder()
+        .seed(seed)
+        .block_interval_ms(20)
+        .transport(crate::network::TransportKind::from_env());
     for i in 0..nodes {
         // Two records per site: enough to exist, cheap to anchor.
         let records = CohortGenerator::new(&format!("h{i}"), SiteProfile::default(), seed + i as u64)

@@ -9,9 +9,10 @@
 //! and the control-plane cycle.
 
 use crate::site::Site;
-use medchain_chain::consensus::poa::PoaEngine;
+use medchain_chain::consensus::poa::{PoaEngine, PoaMsg};
 use medchain_chain::consensus::{Application, Cluster, RunReport};
 use medchain_chain::ledger::contract_address;
+use medchain_chain::net::{SimTransport, TcpTransport, Transport};
 use medchain_chain::node::ChainApp;
 use medchain_chain::{Address, AuthorityKey, Hash256, KeyRegistry, Receipt, Transaction, TxPayload};
 use medchain_contracts::native::native_manifest;
@@ -32,6 +33,36 @@ pub struct ContractAddresses {
     pub analytics: Address,
     /// The clinical-trial contract.
     pub trial: Address,
+}
+
+/// Which transport carries the consortium's consensus traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Deterministic discrete-event simulator (logical time, seeded).
+    #[default]
+    Sim,
+    /// Real TCP sockets on loopback (wall-clock time, real bytes).
+    Tcp,
+}
+
+impl TransportKind {
+    /// Reads the `MEDCHAIN_TRANSPORT` environment variable: `tcp` (any
+    /// case) selects [`TransportKind::Tcp`], everything else — including
+    /// an unset variable — the simulator.
+    pub fn from_env() -> TransportKind {
+        match std::env::var("MEDCHAIN_TRANSPORT") {
+            Ok(v) if v.eq_ignore_ascii_case("tcp") => TransportKind::Tcp,
+            _ => TransportKind::Sim,
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportKind::Sim => "sim",
+            TransportKind::Tcp => "tcp",
+        }
+    }
 }
 
 /// Errors from network operations.
@@ -55,6 +86,9 @@ pub enum NetworkError {
     MissingReceipt(Hash256),
     /// Site index out of range.
     NoSuchSite(usize),
+    /// The requested transport could not be brought up (e.g. socket
+    /// bind failure).
+    TransportInit(String),
 }
 
 impl fmt::Display for NetworkError {
@@ -68,6 +102,7 @@ impl fmt::Display for NetworkError {
             }
             NetworkError::MissingReceipt(id) => write!(f, "no receipt for {id:?}"),
             NetworkError::NoSuchSite(i) => write!(f, "no site with index {i}"),
+            NetworkError::TransportInit(e) => write!(f, "transport init failed: {e}"),
         }
     }
 }
@@ -81,6 +116,7 @@ pub struct NetworkBuilder {
     block_interval_ms: u64,
     seed: u64,
     with_fda: bool,
+    transport: TransportKind,
 }
 
 impl fmt::Debug for NetworkBuilder {
@@ -92,7 +128,13 @@ impl fmt::Debug for NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a builder with defaults (50 ms blocks, seed 42).
     pub fn new() -> NetworkBuilder {
-        NetworkBuilder { sites: Vec::new(), block_interval_ms: 50, seed: 42, with_fda: false }
+        NetworkBuilder {
+            sites: Vec::new(),
+            block_interval_ms: 50,
+            seed: 42,
+            with_fda: false,
+            transport: TransportKind::Sim,
+        }
     }
 
     /// Adds a site hosting `records`.
@@ -113,6 +155,15 @@ impl NetworkBuilder {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> NetworkBuilder {
         self.seed = seed;
+        self
+    }
+
+    /// Selects the transport carrying consensus traffic (default: the
+    /// deterministic simulator). Use
+    /// [`TransportKind::from_env`] to honor `MEDCHAIN_TRANSPORT=tcp`.
+    #[must_use]
+    pub fn transport(mut self, kind: TransportKind) -> NetworkBuilder {
+        self.transport = kind;
         self
     }
 
@@ -148,14 +199,27 @@ impl NetworkBuilder {
             PoaEngine::make_validators(n, self.block_interval_ms);
         let apps: Vec<ChainApp> = (0..n)
             .map(|_| {
-                ChainApp::with_runtime(
+                let mut app = ChainApp::with_runtime(
                     "medchain",
                     registry.clone(),
                     Box::new(Runtime::standard()),
-                )
+                );
+                // Quantize block timestamps to the tick grid so the
+                // committed chain is byte-identical whether consensus
+                // runs on the logical-clock simulator or wall-clock
+                // sockets.
+                app.set_timestamp_quantum_ms(self.block_interval_ms);
+                app
             })
             .collect();
-        let cluster = Cluster::new(engines, apps, self.seed);
+        let net: Box<dyn Transport<PoaMsg>> = match self.transport {
+            TransportKind::Sim => Box::new(SimTransport::new(n, self.seed)),
+            TransportKind::Tcp => Box::new(
+                TcpTransport::bind(n)
+                    .map_err(|e| NetworkError::TransportInit(e.to_string()))?,
+            ),
+        };
+        let cluster = Cluster::with_transport(engines, apps, net);
         let sites: Vec<Site> = self
             .sites
             .into_iter()
@@ -173,6 +237,7 @@ impl NetworkBuilder {
             nonces: HashMap::new(),
             block_interval_ms: self.block_interval_ms,
             registry,
+            transport: self.transport,
         };
         network.deploy_standard_contracts()?;
         network.register_all_datasets()?;
@@ -189,12 +254,13 @@ impl NetworkBuilder {
 
 /// The running consortium.
 pub struct MedicalNetwork {
-    cluster: Cluster<PoaEngine, ChainApp>,
+    cluster: Cluster<PoaEngine, ChainApp, Box<dyn Transport<PoaMsg>>>,
     sites: Vec<Site>,
     contracts: ContractAddresses,
     nonces: HashMap<Address, u64>,
     block_interval_ms: u64,
     registry: KeyRegistry,
+    transport: TransportKind,
 }
 
 impl fmt::Debug for MedicalNetwork {
@@ -266,6 +332,17 @@ impl MedicalNetwork {
     /// Consensus network statistics.
     pub fn net_stats(&self) -> medchain_chain::net::NetStats {
         self.cluster.net.stats()
+    }
+
+    /// Which transport carries this network's consensus traffic.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// Gracefully releases the transport (socket transports join their
+    /// threads; the simulator is a no-op).
+    pub fn shutdown(&mut self) {
+        self.cluster.shutdown();
     }
 
     /// Aggregate ledger statistics across all replicas (the duplicated

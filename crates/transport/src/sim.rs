@@ -1,0 +1,459 @@
+//! Discrete-event simulated peer-to-peer network.
+//!
+//! Blockchain consensus broadcasts every intended ledger modification to
+//! every participant (paper §I); the experiments need to *count* that
+//! traffic and model its latency. [`SimNetwork`] is a deterministic
+//! discrete-event simulator: messages and timers are delivered in logical
+//! time, links can be failed and healed, and all traffic is metered.
+//! [`SimTransport`] adapts it to the [`Transport`] seam so the same
+//! protocol code runs over the simulator or over real sockets.
+
+use crate::{Event, LatencyModel, NetStats, NodeId, Transport, Wire};
+use medchain_runtime::DetRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+struct QueueEntry<M> {
+    at: u64,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for QueueEntry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueueEntry<M> {}
+impl<M> PartialOrd for QueueEntry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueueEntry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Deterministic discrete-event network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use medchain_transport::{SimNetwork, NodeId, Event, Wire};
+///
+/// #[derive(Clone)]
+/// struct Ping;
+/// impl Wire for Ping {
+///     fn wire_size(&self) -> usize { 8 }
+/// }
+///
+/// let mut net = SimNetwork::<Ping>::new(3, 42);
+/// net.send(NodeId(0), NodeId(1), Ping);
+/// let (at, event) = net.next().unwrap();
+/// assert!(at > 0);
+/// assert!(matches!(event, Event::Message { to: NodeId(1), .. }));
+/// ```
+pub struct SimNetwork<M> {
+    now_ms: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<QueueEntry<M>>>,
+    latency: LatencyModel,
+    drop_rate: f64,
+    failed_nodes: HashSet<NodeId>,
+    failed_links: HashSet<(NodeId, NodeId)>,
+    rng: DetRng,
+    stats: NetStats,
+    node_count: usize,
+}
+
+impl<M> fmt::Debug for SimNetwork<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("now_ms", &self.now_ms)
+            .field("node_count", &self.node_count)
+            .field("queued", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<M: Wire> SimNetwork<M> {
+    /// Creates a network of `node_count` nodes with LAN latency and no
+    /// loss, seeded deterministically.
+    pub fn new(node_count: usize, seed: u64) -> SimNetwork<M> {
+        SimNetwork {
+            now_ms: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            latency: LatencyModel::lan(),
+            drop_rate: 0.0,
+            failed_nodes: HashSet::new(),
+            failed_links: HashSet::new(),
+            rng: DetRng::from_seed(seed),
+            stats: NetStats::default(),
+            node_count,
+        }
+    }
+
+    /// Sets the latency model.
+    pub fn set_latency(&mut self, latency: LatencyModel) {
+        self.latency = latency;
+    }
+
+    /// Sets the independent per-message drop probability.
+    pub fn set_drop_rate(&mut self, rate: f64) {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+    }
+
+    /// Current logical time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Marks a node as crashed: all traffic to and from it is dropped.
+    pub fn fail_node(&mut self, node: NodeId) {
+        self.failed_nodes.insert(node);
+    }
+
+    /// Restores a crashed node.
+    pub fn heal_node(&mut self, node: NodeId) {
+        self.failed_nodes.remove(&node);
+    }
+
+    /// Whether `node` is currently failed.
+    pub fn is_failed(&self, node: NodeId) -> bool {
+        self.failed_nodes.contains(&node)
+    }
+
+    /// Fails the directed link `from → to`.
+    pub fn fail_link(&mut self, from: NodeId, to: NodeId) {
+        self.failed_links.insert((from, to));
+    }
+
+    /// Heals the directed link `from → to`.
+    pub fn heal_link(&mut self, from: NodeId, to: NodeId) {
+        self.failed_links.remove(&(from, to));
+    }
+
+    /// Sends `msg` from `from` to `to` through the simulated fabric.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let bytes = msg.wire_size();
+        self.stats.sent += 1;
+        self.stats.bytes += bytes as u64;
+        let lossy = self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate);
+        if lossy
+            || self.failed_nodes.contains(&from)
+            || self.failed_nodes.contains(&to)
+            || self.failed_links.contains(&(from, to))
+        {
+            self.stats.dropped += 1;
+            return;
+        }
+        let delay = self.latency.sample(&mut self.rng, bytes);
+        self.push(self.now_ms + delay, Event::Message { from, to, msg });
+    }
+
+    /// Broadcasts `msg` from `from` to every other node — the blockchain
+    /// consensus broadcast the paper describes.
+    pub fn broadcast(&mut self, from: NodeId, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.node_count {
+            if i != from.0 {
+                self.send(from, NodeId(i), msg.clone());
+            }
+        }
+    }
+
+    /// Schedules a timer for `node` at absolute time `at_ms`.
+    pub fn set_timer(&mut self, node: NodeId, at_ms: u64, token: u64) {
+        let at = at_ms.max(self.now_ms);
+        self.push(at, Event::Timer { node, token });
+    }
+
+    fn push(&mut self, at: u64, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueueEntry { at, seq, event }));
+    }
+
+    /// Pops the next event, advancing logical time. Timers owned by
+    /// failed nodes are suppressed. Returns `None` when the simulation
+    /// has quiesced.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: &mut self with internal clock
+    pub fn next(&mut self) -> Option<(u64, Event<M>)> {
+        while let Some(Reverse(entry)) = self.queue.pop() {
+            self.now_ms = self.now_ms.max(entry.at);
+            match &entry.event {
+                Event::Timer { node, .. } if self.failed_nodes.contains(node) => continue,
+                Event::Message { .. } => self.stats.delivered += 1,
+                Event::Timer { .. } => {}
+            }
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Whether any *deliverable* events remain queued.
+    ///
+    /// Timers owned by currently failed nodes are suppressed by
+    /// [`SimNetwork::next`], so they are discounted here: a queue holding
+    /// only such timers answers `false`, keeping `has_pending()` in
+    /// agreement with what `next()` would return. Queued messages always
+    /// count — sends to failed nodes were already dropped at send time.
+    pub fn has_pending(&self) -> bool {
+        self.queue.iter().any(|Reverse(entry)| match &entry.event {
+            Event::Timer { node, .. } => !self.failed_nodes.contains(node),
+            Event::Message { .. } => true,
+        })
+    }
+}
+
+/// The deterministic simulator behind the [`Transport`] seam.
+///
+/// A thin newtype over [`SimNetwork`]: it derefs to the simulator, so
+/// latency, loss, and failure knobs remain directly reachable, and it
+/// implements [`Transport`] so the consensus harness can run over it or
+/// over real sockets interchangeably.
+#[derive(Debug)]
+pub struct SimTransport<M>(pub SimNetwork<M>);
+
+impl<M: Wire> SimTransport<M> {
+    /// Creates a simulated transport of `node_count` nodes (LAN latency,
+    /// no loss), seeded deterministically.
+    pub fn new(node_count: usize, seed: u64) -> SimTransport<M> {
+        SimTransport(SimNetwork::new(node_count, seed))
+    }
+}
+
+impl<M> Deref for SimTransport<M> {
+    type Target = SimNetwork<M>;
+    fn deref(&self) -> &SimNetwork<M> {
+        &self.0
+    }
+}
+
+impl<M> DerefMut for SimTransport<M> {
+    fn deref_mut(&mut self) -> &mut SimNetwork<M> {
+        &mut self.0
+    }
+}
+
+impl<M: Wire + Clone> Transport<M> for SimTransport<M> {
+    fn node_count(&self) -> usize {
+        self.0.node_count()
+    }
+    fn now_ms(&self) -> u64 {
+        self.0.now_ms()
+    }
+    fn stats(&self) -> NetStats {
+        self.0.stats()
+    }
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.0.send(from, to, msg);
+    }
+    fn broadcast(&mut self, from: NodeId, msg: M) {
+        self.0.broadcast(from, msg);
+    }
+    fn set_timer(&mut self, node: NodeId, at_ms: u64, token: u64) {
+        self.0.set_timer(node, at_ms, token);
+    }
+    fn next(&mut self) -> Option<(u64, Event<M>)> {
+        self.0.next()
+    }
+    fn has_pending(&self) -> bool {
+        self.0.has_pending()
+    }
+    fn is_failed(&self, node: NodeId) -> bool {
+        self.0.is_failed(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Msg(u64, usize);
+    impl Wire for Msg {
+        fn wire_size(&self) -> usize {
+            self.1
+        }
+    }
+
+    #[test]
+    fn delivery_is_time_ordered() {
+        let mut net = SimNetwork::<Msg>::new(2, 1);
+        net.set_latency(LatencyModel { base_ms: 10, per_kib_ms: 1, jitter_ms: 0 });
+        net.send(NodeId(0), NodeId(1), Msg(1, 100));
+        net.set_timer(NodeId(1), 5, 77);
+        let (at1, e1) = net.next().unwrap();
+        assert_eq!(at1, 5);
+        assert!(matches!(e1, Event::Timer { token: 77, .. }));
+        let (at2, _) = net.next().unwrap();
+        assert!(at2 >= 10);
+        assert!(net.next().is_none());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_others() {
+        let mut net = SimNetwork::<Msg>::new(5, 1);
+        net.broadcast(NodeId(2), Msg(9, 64));
+        let mut recipients = Vec::new();
+        while let Some((_, Event::Message { to, .. })) = net.next() {
+            recipients.push(to.0);
+        }
+        recipients.sort_unstable();
+        assert_eq!(recipients, vec![0, 1, 3, 4]);
+        assert_eq!(net.stats().sent, 4);
+    }
+
+    #[test]
+    fn failed_node_drops_traffic_and_timers() {
+        let mut net = SimNetwork::<Msg>::new(3, 1);
+        net.fail_node(NodeId(1));
+        net.send(NodeId(0), NodeId(1), Msg(1, 10));
+        net.send(NodeId(1), NodeId(2), Msg(2, 10));
+        net.set_timer(NodeId(1), 1, 0);
+        net.send(NodeId(0), NodeId(2), Msg(3, 10));
+        let mut delivered = Vec::new();
+        while let Some((_, event)) = net.next() {
+            delivered.push(event);
+        }
+        assert_eq!(delivered.len(), 1);
+        assert!(matches!(&delivered[0], Event::Message { msg: Msg(3, _), .. }));
+        assert_eq!(net.stats().dropped, 2);
+    }
+
+    #[test]
+    fn healed_node_receives_again() {
+        let mut net = SimNetwork::<Msg>::new(2, 1);
+        net.fail_node(NodeId(1));
+        net.send(NodeId(0), NodeId(1), Msg(1, 10));
+        net.heal_node(NodeId(1));
+        net.send(NodeId(0), NodeId(1), Msg(2, 10));
+        let mut count = 0;
+        while net.next().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn link_failure_is_directional() {
+        let mut net = SimNetwork::<Msg>::new(2, 1);
+        net.fail_link(NodeId(0), NodeId(1));
+        net.send(NodeId(0), NodeId(1), Msg(1, 10));
+        net.send(NodeId(1), NodeId(0), Msg(2, 10));
+        let (_, event) = net.next().unwrap();
+        assert!(matches!(event, Event::Message { to: NodeId(0), .. }));
+        assert!(net.next().is_none());
+    }
+
+    #[test]
+    fn drop_rate_one_drops_everything() {
+        let mut net = SimNetwork::<Msg>::new(2, 1);
+        net.set_drop_rate(1.0);
+        for _ in 0..10 {
+            net.send(NodeId(0), NodeId(1), Msg(0, 10));
+        }
+        assert!(net.next().is_none());
+        assert_eq!(net.stats().dropped, 10);
+    }
+
+    #[test]
+    fn bytes_are_metered() {
+        let mut net = SimNetwork::<Msg>::new(2, 1);
+        net.send(NodeId(0), NodeId(1), Msg(0, 1500));
+        net.send(NodeId(0), NodeId(1), Msg(0, 500));
+        assert_eq!(net.stats().bytes, 2000);
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let mut small = SimNetwork::<Msg>::new(2, 3);
+        small.set_latency(LatencyModel { base_ms: 1, per_kib_ms: 5, jitter_ms: 0 });
+        small.send(NodeId(0), NodeId(1), Msg(0, 1024));
+        let (t_small, _) = small.next().unwrap();
+
+        let mut big = SimNetwork::<Msg>::new(2, 3);
+        big.set_latency(LatencyModel { base_ms: 1, per_kib_ms: 5, jitter_ms: 0 });
+        big.send(NodeId(0), NodeId(1), Msg(0, 10 * 1024));
+        let (t_big, _) = big.next().unwrap();
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn determinism_under_same_seed() {
+        let run = |seed| {
+            let mut net = SimNetwork::<Msg>::new(4, seed);
+            net.set_latency(LatencyModel { base_ms: 3, per_kib_ms: 2, jitter_ms: 7 });
+            for i in 0..20u64 {
+                net.broadcast(NodeId((i % 4) as usize), Msg(i, 256));
+            }
+            let mut order = Vec::new();
+            while let Some((at, Event::Message { to, msg, .. })) = net.next() {
+                order.push((at, to.0, msg.0));
+            }
+            order
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn has_pending_discounts_suppressed_timers() {
+        // Regression: when only timers owned by failed nodes remain
+        // queued, has_pending() used to answer true while next()
+        // returned None.
+        let mut net = SimNetwork::<Msg>::new(2, 1);
+        net.set_timer(NodeId(1), 10, 7);
+        assert!(net.has_pending());
+        net.fail_node(NodeId(1));
+        assert!(!net.has_pending(), "suppressed timer must not count as pending");
+        assert!(net.next().is_none());
+        // Healing makes the still-queued timer deliverable again…
+        net.set_timer(NodeId(1), 20, 8);
+        net.heal_node(NodeId(1));
+        assert!(net.has_pending());
+        assert!(matches!(net.next(), Some((_, Event::Timer { token: 8, .. }))));
+        // …and messages always count, even alongside suppressed timers.
+        net.fail_node(NodeId(1));
+        net.set_timer(NodeId(1), 30, 9);
+        net.send(NodeId(0), NodeId(0), Msg(1, 4));
+        assert!(net.has_pending());
+    }
+
+    #[test]
+    fn sim_transport_derefs_and_transports() {
+        let mut t = SimTransport::<Msg>::new(3, 5);
+        // Inherent SimNetwork API through Deref…
+        t.set_drop_rate(0.0);
+        t.fail_node(NodeId(2));
+        assert!(Transport::is_failed(&t, NodeId(2)));
+        t.heal_node(NodeId(2));
+        // …and the Transport seam.
+        Transport::broadcast(&mut t, NodeId(0), Msg(1, 16));
+        let mut seen = 0;
+        while let Some((_, Event::Message { .. })) = Transport::next(&mut t) {
+            seen += 1;
+        }
+        assert_eq!(seen, 2);
+        assert_eq!(Transport::stats(&t).delivered, 2);
+    }
+}

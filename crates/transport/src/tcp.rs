@@ -1,0 +1,477 @@
+//! Real-socket transport: `std::net` TCP on loopback or a LAN.
+//!
+//! Every node gets its own listener; messages travel as length-prefixed
+//! frames of canonically encoded bytes. One writer thread per *directed*
+//! peer link connects lazily with exponential backoff and reconnects on
+//! write failure; one detached reader thread per accepted connection
+//! reassembles frames and feeds a single shared inbox. Timers stay local
+//! (a wall-clock heap) so protocol code sees exactly the same
+//! [`Event`](crate::Event) stream the simulator produces — just in real
+//! time over real bytes.
+
+use crate::{Event, NetStats, NodeId, Transport, Wire};
+use medchain_runtime::codec::{Decode, Encode};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::marker::PhantomData;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Fixed per-frame header size: `[u32 payload_len LE][u64 from LE]`.
+pub const FRAME_OVERHEAD: usize = 12;
+
+/// Largest payload a reader will accept (defends against a corrupt
+/// length prefix allocating unbounded memory).
+const MAX_FRAME_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Raw inbound record: `(from, to, payload)`.
+type Inbound = (NodeId, NodeId, Vec<u8>);
+
+fn frame(from: NodeId, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(from.0 as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Reads frames off one accepted connection into the shared inbox.
+/// Exits on shutdown, peer close, or a malformed frame.
+fn reader_loop(
+    mut stream: TcpStream,
+    to: NodeId,
+    inbox: Sender<Inbound>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while buf.len() >= FRAME_OVERHEAD {
+                    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+                    if len > MAX_FRAME_PAYLOAD {
+                        return; // corrupt stream: drop the connection
+                    }
+                    let total = FRAME_OVERHEAD + len as usize;
+                    if buf.len() < total {
+                        break;
+                    }
+                    let from = u64::from_le_bytes([
+                        buf[4], buf[5], buf[6], buf[7], buf[8], buf[9], buf[10], buf[11],
+                    ]);
+                    let payload = buf[FRAME_OVERHEAD..total].to_vec();
+                    buf.drain(..total);
+                    if inbox.send((NodeId(from as usize), to, payload)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Accepts connections on one node's listener, spawning a detached
+/// reader per connection.
+fn acceptor_loop(
+    listener: TcpListener,
+    to: NodeId,
+    inbox: Sender<Inbound>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = listener.set_nonblocking(true);
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let inbox = inbox.clone();
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || reader_loop(stream, to, inbox, shutdown));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_INTERVAL),
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Connects to `addr` with exponential backoff until it succeeds or
+/// shutdown is requested.
+fn connect_backoff(addr: SocketAddr, shutdown: &AtomicBool) -> Option<TcpStream> {
+    let mut wait = Duration::from_millis(1);
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return None;
+        }
+        match TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Some(stream);
+            }
+            Err(_) => {
+                std::thread::sleep(wait);
+                wait = (wait * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Ships pre-framed bytes for one directed link, reconnecting on error.
+fn writer_loop(addr: SocketAddr, frames: Receiver<Vec<u8>>, shutdown: Arc<AtomicBool>) {
+    let mut conn: Option<TcpStream> = None;
+    'frames: for frame in frames.iter() {
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if conn.is_none() {
+                conn = connect_backoff(addr, &shutdown);
+                if conn.is_none() {
+                    return; // shutdown while reconnecting
+                }
+            }
+            match conn.as_mut().unwrap().write_all(&frame) {
+                Ok(()) => continue 'frames,
+                Err(_) => conn = None, // reconnect and retry this frame
+            }
+        }
+    }
+    if let Some(stream) = conn {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Transport over real TCP sockets with wall-clock time.
+///
+/// All `node_count` endpoints are hosted in one process; each binds a
+/// loopback listener. The frame format on the wire is
+/// `[u32 payload_len LE][u64 from LE][payload]` where `payload` is the
+/// message's canonical [`Encode`] bytes, so every frame costs exactly
+/// [`FRAME_OVERHEAD`]` + msg.wire_size()` bytes.
+///
+/// [`Transport::next`] returns `None` only after no event arrives within
+/// the idle window (default 200 ms) with no timers outstanding — the
+/// socket analogue of the simulator quiescing.
+pub struct TcpTransport<M> {
+    node_count: usize,
+    addrs: Vec<SocketAddr>,
+    start: Instant,
+    /// Lazily created per directed link `(from, to)`.
+    writers: HashMap<(usize, usize), Sender<Vec<u8>>>,
+    inbox: Receiver<Inbound>,
+    /// Kept so the inbox never disconnects while the transport lives
+    /// (also used for zero-copy self-sends).
+    inbox_tx: Sender<Inbound>,
+    timers: BinaryHeap<Reverse<(u64, u64, usize, u64)>>,
+    timer_seq: u64,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+    stats: NetStats,
+    framed_bytes: u64,
+    idle_timeout: Duration,
+    down: bool,
+    _msg: PhantomData<M>,
+}
+
+impl<M: Wire + Clone + Encode + Decode> TcpTransport<M> {
+    /// Binds `node_count` loopback listeners and starts their acceptor
+    /// threads.
+    pub fn bind(node_count: usize) -> std::io::Result<TcpTransport<M>> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (inbox_tx, inbox) = mpsc::channel();
+        let mut addrs = Vec::with_capacity(node_count);
+        let mut handles = Vec::with_capacity(node_count);
+        for i in 0..node_count {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            let inbox_tx = inbox_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(std::thread::spawn(move || {
+                acceptor_loop(listener, NodeId(i), inbox_tx, shutdown)
+            }));
+        }
+        Ok(TcpTransport {
+            node_count,
+            addrs,
+            start: Instant::now(),
+            writers: HashMap::new(),
+            inbox,
+            inbox_tx,
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            shutdown,
+            handles,
+            stats: NetStats::default(),
+            framed_bytes: 0,
+            idle_timeout: Duration::from_millis(200),
+            down: false,
+            _msg: PhantomData,
+        })
+    }
+
+    /// Socket addresses of the hosted endpoints (index = node id).
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Total bytes actually framed onto sockets: payload bytes plus
+    /// [`FRAME_OVERHEAD`] per message.
+    pub fn framed_bytes(&self) -> u64 {
+        self.framed_bytes
+    }
+
+    /// Sets how long [`Transport::next`] waits with no timers
+    /// outstanding before concluding the network has quiesced.
+    pub fn set_idle_timeout_ms(&mut self, ms: u64) {
+        self.idle_timeout = Duration::from_millis(ms.max(1));
+    }
+
+    fn writer(&mut self, from: usize, to: usize) -> &Sender<Vec<u8>> {
+        let addr = self.addrs[to];
+        let shutdown = Arc::clone(&self.shutdown);
+        let handles = &mut self.handles;
+        self.writers.entry((from, to)).or_insert_with(|| {
+            let (tx, rx) = mpsc::channel::<Vec<u8>>();
+            handles.push(std::thread::spawn(move || writer_loop(addr, rx, shutdown)));
+            tx
+        })
+    }
+}
+
+impl<M: Wire + Clone + Encode + Decode> Transport<M> for TcpTransport<M> {
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        let payload = msg.encoded();
+        debug_assert_eq!(
+            payload.len(),
+            msg.wire_size(),
+            "wire_size must equal canonical encoded length"
+        );
+        self.stats.sent += 1;
+        self.stats.bytes += payload.len() as u64;
+        self.framed_bytes += (FRAME_OVERHEAD + payload.len()) as u64;
+        if self.down {
+            self.stats.dropped += 1;
+            return;
+        }
+        if from == to {
+            // Local delivery: skip the sockets but keep byte accounting.
+            let _ = self.inbox_tx.send((from, to, payload));
+            return;
+        }
+        if self.writer(from.0, to.0).send(frame(from, &payload)).is_err() {
+            self.stats.dropped += 1;
+        }
+    }
+
+    fn set_timer(&mut self, node: NodeId, at_ms: u64, token: u64) {
+        let at = at_ms.max(self.now_ms());
+        let seq = self.timer_seq;
+        self.timer_seq += 1;
+        self.timers.push(Reverse((at, seq, node.0, token)));
+    }
+
+    fn next(&mut self) -> Option<(u64, Event<M>)> {
+        loop {
+            let now = self.now_ms();
+            // Fire a due timer before waiting on the sockets.
+            if let Some(&Reverse((at, _, node, token))) = self.timers.peek() {
+                if at <= now {
+                    self.timers.pop();
+                    return Some((at, Event::Timer { node: NodeId(node), token }));
+                }
+            }
+            if self.down {
+                return None;
+            }
+            // Wait for a frame until the earliest timer deadline, or for
+            // the idle window when no timers are outstanding.
+            let wait = match self.timers.peek() {
+                Some(&Reverse((at, ..))) => Duration::from_millis(at - now),
+                None => self.idle_timeout,
+            };
+            match self.inbox.recv_timeout(wait) {
+                Ok((from, to, payload)) => match M::decoded(&payload) {
+                    Ok(msg) => {
+                        self.stats.delivered += 1;
+                        return Some((self.now_ms(), Event::Message { from, to, msg }));
+                    }
+                    Err(_) => {
+                        self.stats.dropped += 1;
+                        continue;
+                    }
+                },
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.timers.is_empty() {
+                        return None; // quiesced: idle window elapsed
+                    }
+                    // Loop back around to fire the now-due timer.
+                }
+                Err(RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        // Frames in flight are invisible until they land in the inbox;
+        // outstanding timers are the only pending work we can see.
+        !self.timers.is_empty()
+    }
+
+    fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.writers.clear(); // closes frame channels → writers exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M> Drop for TcpTransport<M> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.writers.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medchain_runtime::impl_codec_struct;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping {
+        id: u64,
+        note: String,
+    }
+    impl_codec_struct!(Ping { id, note });
+    impl Wire for Ping {
+        fn wire_size(&self) -> usize {
+            self.encoded().len()
+        }
+    }
+
+    fn drain(t: &mut TcpTransport<Ping>, expect: usize) -> Vec<(NodeId, NodeId, Ping)> {
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while got.len() < expect && Instant::now() < deadline {
+            if let Some((_, Event::Message { from, to, msg })) = t.next() {
+                got.push((from, to, msg));
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn frames_round_trip_over_loopback() {
+        let mut t = TcpTransport::<Ping>::bind(3).unwrap();
+        t.send(NodeId(0), NodeId(1), Ping { id: 1, note: "a".into() });
+        t.send(NodeId(2), NodeId(1), Ping { id: 2, note: "bb".into() });
+        t.send(NodeId(1), NodeId(0), Ping { id: 3, note: String::new() });
+        let mut got = drain(&mut t, 3);
+        got.sort_by_key(|(_, _, m)| m.id);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (NodeId(0), NodeId(1), Ping { id: 1, note: "a".into() }));
+        assert_eq!(got[1].2.note, "bb");
+        assert_eq!(got[2].0, NodeId(1));
+        let stats = t.stats();
+        assert_eq!(stats.sent, 3);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(t.framed_bytes(), stats.bytes + 3 * FRAME_OVERHEAD as u64);
+        t.shutdown();
+    }
+
+    #[test]
+    fn broadcast_reaches_all_other_nodes() {
+        let mut t = TcpTransport::<Ping>::bind(4).unwrap();
+        t.broadcast(NodeId(2), Ping { id: 7, note: "hi".into() });
+        let mut got = drain(&mut t, 3);
+        let mut recipients: Vec<usize> = got.drain(..).map(|(_, to, _)| to.0).collect();
+        recipients.sort_unstable();
+        assert_eq!(recipients, vec![0, 1, 3]);
+        t.shutdown();
+    }
+
+    #[test]
+    fn ordering_is_fifo_per_directed_link() {
+        let mut t = TcpTransport::<Ping>::bind(2).unwrap();
+        for id in 0..50 {
+            t.send(NodeId(0), NodeId(1), Ping { id, note: "x".repeat((id % 7) as usize) });
+        }
+        let got = drain(&mut t, 50);
+        let ids: Vec<u64> = got.iter().map(|(_, _, m)| m.id).collect();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>(), "TCP link must preserve send order");
+        t.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order() {
+        let mut t = TcpTransport::<Ping>::bind(1).unwrap();
+        let now = Transport::<Ping>::now_ms(&t);
+        t.set_timer(NodeId(0), now + 30, 2);
+        t.set_timer(NodeId(0), now + 5, 1);
+        assert!(Transport::<Ping>::has_pending(&t));
+        let (at1, e1) = t.next().unwrap();
+        let (at2, e2) = t.next().unwrap();
+        assert!(matches!(e1, Event::Timer { token: 1, .. }));
+        assert!(matches!(e2, Event::Timer { token: 2, .. }));
+        assert!(at1 <= at2);
+        assert!(!Transport::<Ping>::has_pending(&t));
+        t.shutdown();
+    }
+
+    #[test]
+    fn idle_transport_quiesces() {
+        let mut t = TcpTransport::<Ping>::bind(2).unwrap();
+        t.set_idle_timeout_ms(30);
+        assert!(t.next().is_none());
+        t.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drops_later_sends() {
+        let mut t = TcpTransport::<Ping>::bind(2).unwrap();
+        t.send(NodeId(0), NodeId(1), Ping { id: 1, note: String::new() });
+        drain(&mut t, 1);
+        t.shutdown();
+        t.shutdown();
+        t.send(NodeId(0), NodeId(1), Ping { id: 2, note: String::new() });
+        assert_eq!(t.stats().dropped, 1);
+        assert!(t.next().is_none());
+    }
+}

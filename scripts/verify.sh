@@ -40,4 +40,13 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+# The transport suites involve real sockets and wall-clock waits, so they
+# get an explicit wall-clock ceiling: a hung listener/reader thread must
+# fail the gate instead of wedging it.
+echo "== transport: unit tests (wall-clock guarded) =="
+timeout 180 cargo test -q -p medchain-transport
+
+echo "== transport: loopback TCP integration tests (wall-clock guarded) =="
+timeout 240 cargo test -q --test transport
+
 echo "verify: OK"

@@ -19,7 +19,13 @@ pub mod prelude {
     pub use medchain::modes::{run_duplicated, run_sharded, run_transformed, ModeReport};
     pub use medchain::paradigms::{run_paradigm, Paradigm};
     pub use medchain::pipeline::{run_gwas, run_query, train_federated};
-    pub use medchain::MedicalNetwork;
+    pub use medchain::{MedicalNetwork, TransportKind};
+
+    // Transport seam: deterministic simulator, real TCP sockets, and
+    // the fault-injection wrapper.
+    pub use medchain_transport::{
+        FaultyTransport, LatencyModel, NetStats, SimTransport, TcpTransport, Transport,
+    };
 
     // Chain substrate.
     pub use medchain_chain::ledger::{Ledger, NullRuntime};

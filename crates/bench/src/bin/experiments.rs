@@ -5,8 +5,13 @@
 //! cargo run --release -p medchain-bench --bin experiments -- --quick
 //! cargo run --release -p medchain-bench --bin experiments -- e1 e8  # subset
 //! ```
+//!
+//! Set `MEDCHAIN_METRICS_TSV=<path>` to install a metrics registry on
+//! every metered layer and dump its counters/gauges/histograms as TSV
+//! to `<path>` when the run finishes.
 
-use medchain_bench::{run_experiment, ALL_EXPERIMENTS};
+use medchain_bench::{run_experiment, run_experiment_metered, ALL_EXPERIMENTS};
+use medchain_runtime::metrics::Registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,8 +37,19 @@ fn main() {
         to_run.len(),
         if quick { "quick" } else { "full" }
     );
+    let tsv_path = std::env::var("MEDCHAIN_METRICS_TSV").ok();
+    let registry = Registry::default();
     for id in to_run {
-        let table = run_experiment(id, quick);
+        let table = if tsv_path.is_some() {
+            run_experiment_metered(id, quick, registry.handle())
+        } else {
+            run_experiment(id, quick)
+        };
         println!("{table}");
+    }
+    if let Some(path) = tsv_path {
+        std::fs::write(&path, registry.to_tsv())
+            .unwrap_or_else(|e| panic!("writing metrics TSV to {path:?}: {e}"));
+        eprintln!("metrics TSV written to {path}");
     }
 }

@@ -8,8 +8,11 @@
 //! data, with only the policy gate and result hash on-chain.
 
 use crate::report::{f, ms, Table};
-use medchain::modes::{run_duplicated, run_sharded, run_transformed, ModeReport};
+use medchain::modes::{
+    run_duplicated_metered, run_sharded_metered, run_transformed_metered, ModeReport,
+};
 use medchain::TransportKind;
+use medchain_runtime::metrics::Metrics;
 
 /// By default the tables print the deterministic wall-time model
 /// ([`ModeReport::modeled_wall`]) so that a fixed seed reproduces the
@@ -58,6 +61,12 @@ fn work_units(quick: bool) -> u64 {
 /// deterministic simulator); the trailing byte column reports the
 /// canonical encoded bytes the chosen transport actually carried.
 pub fn run_e1(quick: bool) -> Table {
+    run_e1_metered(quick, Metrics::noop())
+}
+
+/// [`run_e1`] with every layer reporting to `metrics`; tests assert on
+/// the sink's counters rather than parsing the printed table.
+pub fn run_e1_metered(quick: bool, metrics: Metrics) -> Table {
     let work = work_units(quick);
     let transport = TransportKind::from_env();
     let mut table = Table::new(
@@ -78,7 +87,8 @@ pub fn run_e1(quick: bool) -> Table {
     );
     let mut walls = Vec::new();
     for nodes in node_counts(quick) {
-        let report = run_duplicated(nodes, work, 11).expect("duplicated run");
+        let report =
+            run_duplicated_metered(nodes, work, 11, metrics.clone()).expect("duplicated run");
         let wall = wall_secs(&report);
         walls.push((nodes, wall));
         table.row(vec![
@@ -103,6 +113,12 @@ pub fn run_e1(quick: bool) -> Table {
 
 /// Runs E2: duplicated vs transformed across node counts.
 pub fn run_e2(quick: bool) -> Table {
+    run_e2_metered(quick, Metrics::noop())
+}
+
+/// [`run_e2`] with every layer reporting to `metrics` (including the
+/// transformed mode's off-chain executors).
+pub fn run_e2_metered(quick: bool, metrics: Metrics) -> Table {
     let work = work_units(quick);
     let transport = TransportKind::from_env();
     let mut table = Table::new(
@@ -127,11 +143,14 @@ pub fn run_e2(quick: bool) -> Table {
     );
     let mut speedups = Vec::new();
     for nodes in node_counts(quick) {
-        let duplicated = run_duplicated(nodes, work, 22).expect("duplicated run");
+        let duplicated =
+            run_duplicated_metered(nodes, work, 22, metrics.clone()).expect("duplicated run");
         // Sharding (paper §I's partial fix): √N-ish groups.
         let shards = (nodes / 2).max(1);
-        let sharded = run_sharded(nodes, shards, work, 22).expect("sharded run");
-        let transformed = run_transformed(nodes, work, 22).expect("transformed run");
+        let sharded = run_sharded_metered(nodes, shards, work, 22, metrics.clone())
+            .expect("sharded run");
+        let transformed =
+            run_transformed_metered(nodes, work, 22, metrics.clone()).expect("transformed run");
         let speedup = wall_secs(&duplicated) / wall_secs(&transformed);
         speedups.push((nodes, speedup));
         table.row(vec![
@@ -169,28 +188,65 @@ pub fn run_e2(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medchain_runtime::metrics::Registry;
 
     #[test]
     fn e1_shows_antiscaling() {
-        let table = run_e1(true);
+        // Typed reports, not table-cell strings: the deterministic wall
+        // model at 4 nodes must exceed 1 node for the same job.
+        let work = work_units(true);
+        let one = run_duplicated_metered(1, work, 11, Metrics::noop()).unwrap();
+        let four = run_duplicated_metered(4, work, 11, Metrics::noop()).unwrap();
+        assert!(
+            four.modeled_wall() > one.modeled_wall(),
+            "4-node wall {:?} vs 1-node {:?}",
+            four.modeled_wall(),
+            one.modeled_wall()
+        );
+    }
+
+    #[test]
+    fn e1_asserts_on_sink_counters() {
+        let registry = Registry::default();
+        let table = run_e1_metered(true, registry.handle());
         assert_eq!(table.rows.len(), 3);
-        // Wall time at 4 nodes must exceed wall at 1 node.
-        let wall = |row: usize| {
-            table.rows[row][1].trim_end_matches("ms").parse::<f64>().unwrap()
-        };
-        assert!(wall(2) > wall(0), "4-node wall {} vs 1-node {}", wall(2), wall(0));
+        // The whole stack reported through the sink while the table ran.
+        assert!(registry.counter_value("consensus.rounds") > 0);
+        assert!(registry.counter_value("chain.blocks_committed") > 0);
+        assert!(registry.counter_value("mempool.inserted") > 0);
+        assert!(registry.counter_value("transport.bytes") > 0);
     }
 
     #[test]
     fn e2_transformed_wins_at_four_nodes() {
-        let table = run_e2(true);
-        let last = table.rows.last().unwrap();
-        let speedup: f64 = last[4].parse().unwrap();
-        assert!(speedup > 1.0, "speedup {speedup}");
+        let work = work_units(true);
+        let duplicated = run_duplicated_metered(4, work, 22, Metrics::noop()).unwrap();
+        let sharded = run_sharded_metered(4, 2, work, 22, Metrics::noop()).unwrap();
+        let transformed = run_transformed_metered(4, work, 22, Metrics::noop()).unwrap();
+        assert!(
+            duplicated.modeled_wall() > transformed.modeled_wall(),
+            "duplicated {:?} vs transformed {:?}",
+            duplicated.modeled_wall(),
+            transformed.modeled_wall()
+        );
         // Ordering of total work: duplicated > sharded > transformed.
-        let dup: u64 = last[5].parse().unwrap();
-        let shard: u64 = last[6].parse().unwrap();
-        let trans: u64 = last[7].parse().unwrap();
-        assert!(dup > shard && shard > trans, "work ordering {dup} {shard} {trans}");
+        assert!(
+            duplicated.total_gas > sharded.total_gas && sharded.total_gas > transformed.total_gas,
+            "work ordering {} {} {}",
+            duplicated.total_gas,
+            sharded.total_gas,
+            transformed.total_gas
+        );
+    }
+
+    #[test]
+    fn e2_asserts_on_sink_counters() {
+        let registry = Registry::default();
+        let table = run_e2_metered(true, registry.handle());
+        assert_eq!(table.rows.len(), 3);
+        // Transformed mode fans out one off-chain shard per site.
+        assert!(registry.counter_value("offchain.tasks") >= (1 + 2 + 4));
+        assert!(registry.counter_value("consensus.rounds") > 0);
+        assert!(registry.counter_value("transport.bytes") > 0);
     }
 }

@@ -19,6 +19,7 @@ use medchain_chain::node::ChainApp;
 use medchain_chain::sig::AuthorityKey;
 use medchain_chain::tx::TxPayload;
 use medchain_chain::{KeyRegistry, Transaction};
+use medchain_runtime::metrics::Metrics;
 
 const SITES: usize = 5;
 
@@ -52,7 +53,13 @@ struct EngineRun {
     model: EnergyModel,
 }
 
-fn run_engine<E, F>(name: &'static str, quick: bool, model: EnergyModel, make: F) -> EngineRun
+fn run_engine<E, F>(
+    name: &'static str,
+    quick: bool,
+    model: EnergyModel,
+    make: F,
+    metrics: Metrics,
+) -> EngineRun
 where
     E: Engine,
     F: FnOnce(&KeyRegistry) -> Vec<E>,
@@ -66,8 +73,12 @@ where
     let engines = make(&registry);
     let mut apps: Vec<ChainApp> =
         (0..SITES).map(|_| ChainApp::new("energy-bench", registry.clone())).collect();
+    // Replica 0 reports app-level counters; the cluster reports
+    // consensus-level ones (hash/signature work sums all replicas).
+    apps[0].set_metrics(metrics.clone());
     submit_workload(&mut apps, &keys, if quick { 10 } else { 40 });
     let mut cluster = Cluster::new(engines, apps, 33);
+    cluster.set_metrics(metrics);
     let report = cluster.run_until_height(height, 3_600_000_000);
     let per_replica_stats = cluster.replicas[0].app.stats();
     EngineRun { name, report, per_replica_stats, model }
@@ -75,23 +86,47 @@ where
 
 /// Runs E3 over all four engines.
 pub fn run_e3(quick: bool) -> Table {
+    run_e3_metered(quick, Metrics::noop())
+}
+
+/// [`run_e3`] with every engine's cluster reporting to `metrics`
+/// (`consensus.*` work counters plus replica-0 `mempool.*`/`chain.*`).
+pub fn run_e3_metered(quick: bool, metrics: Metrics) -> Table {
     // Same hardware model (hospital CPUs) for all engines so the
     // comparison isolates the consensus mechanism; the ASIC/Digiconomist
     // extrapolation is reported separately below.
     let runs = vec![
-        run_engine("pow", quick, EnergyModel::cpu(), |registry| {
-            let _ = registry;
-            PowEngine::make_miners(SITES, if quick { 14 } else { 16 }, 2_000_000, 100)
-        }),
-        run_engine("poa", quick, EnergyModel::cpu(), |_registry| {
-            PoaEngine::make_validators(SITES, 50).0
-        }),
-        run_engine("pbft", quick, EnergyModel::cpu(), |_registry| {
-            PbftEngine::make_replicas(SITES, 50, 5_000).0
-        }),
-        run_engine("pos (virtual mining)", quick, EnergyModel::cpu(), |_registry| {
-            PosEngine::make_stakers(SITES, None, 100).0
-        }),
+        run_engine(
+            "pow",
+            quick,
+            EnergyModel::cpu(),
+            |registry| {
+                let _ = registry;
+                PowEngine::make_miners(SITES, if quick { 14 } else { 16 }, 2_000_000, 100)
+            },
+            metrics.clone(),
+        ),
+        run_engine(
+            "poa",
+            quick,
+            EnergyModel::cpu(),
+            |_registry| PoaEngine::make_validators(SITES, 50).0,
+            metrics.clone(),
+        ),
+        run_engine(
+            "pbft",
+            quick,
+            EnergyModel::cpu(),
+            |_registry| PbftEngine::make_replicas(SITES, 50, 5_000).0,
+            metrics.clone(),
+        ),
+        run_engine(
+            "pos (virtual mining)",
+            quick,
+            EnergyModel::cpu(),
+            |_registry| PosEngine::make_stakers(SITES, None, 100).0,
+            metrics,
+        ),
     ];
     let mut table = Table::new(
         "E3",
@@ -152,9 +187,13 @@ pub fn run_e3(quick: bool) -> Table {
 
 /// Exposes per-engine work counters for the criterion benches.
 pub fn pow_work(quick: bool) -> WorkCounters {
-    run_engine("pow", quick, EnergyModel::asic_calibrated(), |_| {
-        PowEngine::make_miners(SITES, 12, 500_000, 100)
-    })
+    run_engine(
+        "pow",
+        quick,
+        EnergyModel::asic_calibrated(),
+        |_| PowEngine::make_miners(SITES, 12, 500_000, 100),
+        Metrics::noop(),
+    )
     .report
     .work
 }
@@ -162,14 +201,59 @@ pub fn pow_work(quick: bool) -> WorkCounters {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medchain_runtime::metrics::Registry;
 
     #[test]
     fn e3_pow_dominates_energy() {
-        let table = run_e3(true);
+        // Assert on per-engine sink counters, not printed table cells:
+        // PoW hashes dwarf PoA's and PoS's for the same history.
+        let pow = Registry::default();
+        run_engine(
+            "pow",
+            true,
+            EnergyModel::cpu(),
+            |_| PowEngine::make_miners(SITES, 14, 2_000_000, 100),
+            pow.handle(),
+        );
+        let poa = Registry::default();
+        run_engine(
+            "poa",
+            true,
+            EnergyModel::cpu(),
+            |_| PoaEngine::make_validators(SITES, 50).0,
+            poa.handle(),
+        );
+        let pos = Registry::default();
+        run_engine(
+            "pos",
+            true,
+            EnergyModel::cpu(),
+            |_| PosEngine::make_stakers(SITES, None, 100).0,
+            pos.handle(),
+        );
+        let hashes = |r: &Registry| r.counter_value("consensus.hashes");
+        assert!(
+            hashes(&pow) > 50 * hashes(&poa).max(1),
+            "pow {} vs poa {}",
+            hashes(&pow),
+            hashes(&poa)
+        );
+        assert!(
+            hashes(&pow) > 50 * hashes(&pos).max(1),
+            "pow {} vs pos {}",
+            hashes(&pow),
+            hashes(&pos)
+        );
+    }
+
+    #[test]
+    fn e3_asserts_on_sink_counters() {
+        let registry = Registry::default();
+        let table = run_e3_metered(true, registry.handle());
         assert_eq!(table.rows.len(), 4);
-        let hashes = |row: usize| table.rows[row][1].parse::<u64>().unwrap();
-        // PoW hashes dwarf every other engine's.
-        assert!(hashes(0) > 50 * hashes(1), "pow {} vs poa {}", hashes(0), hashes(1));
-        assert!(hashes(0) > 50 * hashes(3), "pow {} vs pos {}", hashes(0), hashes(3));
+        assert!(registry.counter_value("consensus.hashes") > 0);
+        assert!(registry.counter_value("consensus.signatures") > 0);
+        assert!(registry.counter_value("consensus.rounds") > 0);
+        assert!(registry.counter_value("mempool.inserted") > 0);
     }
 }

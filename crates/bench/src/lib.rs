@@ -62,3 +62,24 @@ pub fn run_experiment(id: &str, quick: bool) -> Table {
         other => panic!("unknown experiment {other:?}"),
     }
 }
+
+/// Runs one experiment by id with `metrics` installed on every layer
+/// that supports it (E1–E3 today; the remaining experiments run
+/// unmetered and simply ignore the handle).
+///
+/// # Panics
+///
+/// Panics on unknown ids (callers validate against
+/// [`ALL_EXPERIMENTS`]).
+pub fn run_experiment_metered(
+    id: &str,
+    quick: bool,
+    metrics: medchain_runtime::metrics::Metrics,
+) -> Table {
+    match id {
+        "e1" => e1_e2_scaling::run_e1_metered(quick, metrics),
+        "e2" => e1_e2_scaling::run_e2_metered(quick, metrics),
+        "e3" => e3_energy::run_e3_metered(quick, metrics),
+        other => run_experiment(other, quick),
+    }
+}

@@ -175,6 +175,9 @@ pub struct Cluster<E: Engine, A, T = SimTransport<<E as Engine>::Msg>> {
     /// The replicas (public for inspection between runs).
     pub replicas: Vec<Replica<E, A>>,
     started: bool,
+    metrics: medchain_runtime::metrics::Metrics,
+    reported_work: WorkCounters,
+    reported_height: u64,
 }
 
 impl<E: Engine, A: fmt::Debug, T> fmt::Debug for Cluster<E, A, T>
@@ -227,7 +230,21 @@ where
             .zip(apps)
             .map(|(engine, app)| Replica { engine, app })
             .collect();
-        Cluster { net, replicas, started: false }
+        Cluster {
+            net,
+            replicas,
+            started: false,
+            metrics: medchain_runtime::metrics::Metrics::noop(),
+            reported_work: WorkCounters::default(),
+            reported_height: 0,
+        }
+    }
+
+    /// Installs a metrics handle; each [`Cluster::run_until`] call then
+    /// emits `consensus.*` counters (rounds, messages, timers, and the
+    /// [`WorkCounters`] deltas since the previous report).
+    pub fn set_metrics(&mut self, metrics: medchain_runtime::metrics::Metrics) {
+        self.metrics = metrics;
     }
 
     fn flush(net: &mut T, from: NodeId, out: Outbox<E::Msg>) {
@@ -270,6 +287,7 @@ where
             }
         }
         let mut reached = pred(&self.replicas);
+        let (mut messages, mut timers) = (0u64, 0u64);
         while !reached {
             let Some((at, event)) = self.net.next() else { break };
             if at > max_time_ms {
@@ -277,12 +295,14 @@ where
             }
             match event {
                 SimEvent::Message { from, to, msg } => {
+                    messages += 1;
                     let replica = &mut self.replicas[to.0];
                     let mut out = Outbox::new(at);
                     replica.engine.on_message(from, msg, &mut replica.app, &mut out);
                     Self::flush(&mut self.net, to, out);
                 }
                 SimEvent::Timer { node, token } => {
+                    timers += 1;
                     let replica = &mut self.replicas[node.0];
                     let mut out = Outbox::new(at);
                     replica.engine.on_timer(token, &mut replica.app, &mut out);
@@ -294,6 +314,24 @@ where
         let mut work = WorkCounters::default();
         for replica in &self.replicas {
             work.merge(replica.engine.work());
+        }
+        if self.metrics.enabled() {
+            self.metrics.counter("consensus.messages", messages);
+            self.metrics.counter("consensus.timers", timers);
+            let tip = self.replicas.iter().map(|r| r.app.height()).max().unwrap_or(0);
+            self.metrics.counter("consensus.rounds", tip.saturating_sub(self.reported_height));
+            self.reported_height = tip.max(self.reported_height);
+            // WorkCounters are cumulative per engine; report only the
+            // delta since the last run so repeated runs don't double-count.
+            self.metrics
+                .counter("consensus.hashes", work.hashes - self.reported_work.hashes);
+            self.metrics
+                .counter("consensus.signatures", work.signatures - self.reported_work.signatures);
+            self.metrics.counter(
+                "consensus.verifications",
+                work.verifications - self.reported_work.verifications,
+            );
+            self.reported_work = work;
         }
         RunReport { elapsed_ms: self.net.now_ms(), reached, work }
     }

@@ -35,7 +35,8 @@ pub struct EnergyModel {
 impl EnergyModel {
     /// ASIC miner efficiency, calibrated so that the 2017 Bitcoin network
     /// dissipates the Digiconomist figure:
-    /// `J/hash = 30.14 TWh / (hashrate × seconds-per-year)` ≈ 1e-10 J.
+    /// `J/hash = 30.14 TWh / (hashrate × seconds-per-year)` ≈ 2.6e-10 J
+    /// (30.14e12 Wh × 3600 s/h ÷ (13e18 H/s × 31 557 600 s) ≈ 2.645e-10).
     pub fn asic_calibrated() -> EnergyModel {
         let joules_per_hash =
             DIGICONOMIST_BITCOIN_TWH_2017 * 1e12 * 3600.0 / (BITCOIN_HASHRATE_2017 * SECONDS_PER_YEAR);
@@ -135,6 +136,18 @@ mod tests {
             model.joules_per_hash * BITCOIN_HASHRATE_2017 * SECONDS_PER_YEAR;
         let annual_twh = annual_joules / 3600.0 / 1e12;
         assert!((annual_twh - DIGICONOMIST_BITCOIN_TWH_2017).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asic_joules_per_hash_is_about_2_6e_minus_10() {
+        // Pins the calibrated value the doc comment quotes; the old
+        // comment claimed ≈1e-10, off by ~2.6×.
+        let model = EnergyModel::asic_calibrated();
+        assert!(
+            (model.joules_per_hash - 2.645e-10).abs() < 0.005e-10,
+            "joules_per_hash = {}",
+            model.joules_per_hash
+        );
     }
 
     #[test]

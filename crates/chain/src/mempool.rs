@@ -3,7 +3,24 @@
 use crate::hash::Hash256;
 use crate::sig::Address;
 use crate::tx::Transaction;
+use medchain_runtime::metrics::Metrics;
 use std::collections::{BTreeMap, HashSet};
+
+/// Outcome of [`Mempool::try_insert`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The transaction entered a previously empty `(sender, nonce)` slot.
+    Inserted,
+    /// The transaction replaced the prior occupant of its `(sender,
+    /// nonce)` slot; the evicted transaction is returned so callers can
+    /// surface or re-gossip it, and its id is forgotten so it may be
+    /// re-submitted.
+    Replaced(Transaction),
+    /// The exact transaction id is already pending or was gossiped.
+    DuplicateId,
+    /// The pool is at capacity and the transaction would grow it.
+    Full,
+}
 
 /// A mempool holding admissible transactions until block inclusion.
 ///
@@ -16,12 +33,18 @@ pub struct Mempool {
     seen: HashSet<Hash256>,
     capacity: usize,
     size: usize,
+    metrics: Metrics,
 }
 
 impl Mempool {
     /// Creates a pool bounded at `capacity` transactions.
     pub fn new(capacity: usize) -> Mempool {
         Mempool { capacity, ..Mempool::default() }
+    }
+
+    /// Installs a metrics handle; all `mempool.*` counters report there.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Number of pending transactions.
@@ -39,17 +62,60 @@ impl Mempool {
         self.seen.contains(id)
     }
 
+    /// Sum of per-sender queue lengths. Always equals [`Mempool::len`];
+    /// exposed so tests can check the invariant from outside.
+    pub fn queued(&self) -> usize {
+        self.by_sender.values().map(|queue| queue.len()).sum()
+    }
+
     /// Inserts a transaction. Returns `false` if it was a duplicate or
-    /// the pool is full.
+    /// the pool is full; a replacement of an existing `(sender, nonce)`
+    /// slot counts as success. See [`Mempool::try_insert`] for the
+    /// evicted transaction.
     pub fn insert(&mut self, tx: Transaction) -> bool {
-        if self.size >= self.capacity || !self.seen.insert(tx.id()) {
-            return false;
+        matches!(self.try_insert(tx), InsertOutcome::Inserted | InsertOutcome::Replaced(_))
+    }
+
+    /// Inserts a transaction, reporting exactly what happened.
+    ///
+    /// Replacing an occupied `(sender, nonce)` slot removes the evicted
+    /// transaction's id from the seen-set (so it can be re-submitted
+    /// later) and returns it in [`InsertOutcome::Replaced`]. A
+    /// replacement is admitted even at capacity because the pool size
+    /// does not grow.
+    pub fn try_insert(&mut self, tx: Transaction) -> InsertOutcome {
+        if self.seen.contains(&tx.id()) {
+            self.metrics.counter("mempool.dedup_hits", 1);
+            return InsertOutcome::DuplicateId;
         }
-        let slot = self.by_sender.entry(tx.sender).or_default().insert(tx.nonce, tx);
-        if slot.is_none() {
-            self.size += 1;
+        let replacing =
+            self.by_sender.get(&tx.sender).is_some_and(|queue| queue.contains_key(&tx.nonce));
+        if !replacing && self.size >= self.capacity {
+            self.metrics.counter("mempool.full_rejects", 1);
+            return InsertOutcome::Full;
         }
-        true
+        self.seen.insert(tx.id());
+        let sender = tx.sender;
+        let nonce = tx.nonce;
+        match self.by_sender.entry(sender).or_default().insert(nonce, tx) {
+            Some(evicted) => {
+                // The bug this fixes: the evicted id used to stay in
+                // `seen` forever, permanently banning re-submission.
+                self.seen.remove(&evicted.id());
+                self.metrics.counter("mempool.evictions", 1);
+                self.metrics.event(
+                    "mempool",
+                    "evicted",
+                    &[("sender", format!("{sender:?}")), ("nonce", nonce.to_string())],
+                );
+                InsertOutcome::Replaced(evicted)
+            }
+            None => {
+                self.size += 1;
+                self.metrics.counter("mempool.inserted", 1);
+                InsertOutcome::Inserted
+            }
+        }
     }
 
     /// Takes up to `max` transactions, respecting gap-free nonce runs
@@ -83,12 +149,16 @@ impl Mempool {
                 break 'outer;
             }
         }
+        if !batch.is_empty() {
+            self.metrics.observe("mempool.batch_size", batch.len() as f64);
+        }
         batch
     }
 
     /// Removes transactions already included in a committed block and
     /// stale nonces below each sender's account nonce.
     pub fn prune(&mut self, committed: &[Transaction], account_nonce: impl Fn(&Address) -> u64) {
+        let before = self.size;
         for tx in committed {
             if let Some(queue) = self.by_sender.get_mut(&tx.sender) {
                 if queue.remove(&tx.nonce).is_some() {
@@ -108,6 +178,9 @@ impl Mempool {
             if queue.is_empty() {
                 self.by_sender.remove(&sender);
             }
+        }
+        if before > self.size {
+            self.metrics.counter("mempool.pruned", (before - self.size) as u64);
         }
     }
 }
@@ -193,6 +266,106 @@ mod tests {
         let batch = pool.take_batch(10, |_| 1);
         assert_eq!(batch[0].nonce, 1);
         assert_eq!(batch[0].sender, a.address());
+    }
+
+    /// Same `(sender, nonce)` slot, different payload → different id.
+    fn tx_with_amount(key: &AuthorityKey, nonce: u64, amount: u64) -> Transaction {
+        Transaction::new(
+            key.address(),
+            nonce,
+            TxPayload::Transfer { to: Address::from_seed(99), amount },
+            100,
+        )
+        .signed(key)
+    }
+
+    #[test]
+    fn replacement_surfaces_eviction_and_frees_seen_id() {
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(10);
+        let original = tx_with_amount(&key, 0, 1);
+        let replacement = tx_with_amount(&key, 0, 2);
+        assert_eq!(pool.try_insert(original.clone()), InsertOutcome::Inserted);
+        // The replacement evicts the original and hands it back.
+        assert_eq!(pool.try_insert(replacement.clone()), InsertOutcome::Replaced(original.clone()));
+        assert_eq!(pool.len(), 1);
+        // Regression: the evicted id must leave the seen-set so the
+        // original can be re-submitted (it used to be banned forever).
+        assert!(!pool.contains(&original.id()));
+        assert!(pool.contains(&replacement.id()));
+        assert_eq!(pool.try_insert(original.clone()), InsertOutcome::Replaced(replacement));
+        assert!(pool.contains(&original.id()));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn replacement_is_admitted_at_capacity() {
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(2);
+        assert!(pool.insert(tx_with_amount(&key, 0, 1)));
+        assert!(pool.insert(tx_with_amount(&key, 1, 1)));
+        // Pool is full, but a replacement does not grow it.
+        assert!(matches!(
+            pool.try_insert(tx_with_amount(&key, 0, 7)),
+            InsertOutcome::Replaced(_)
+        ));
+        assert_eq!(pool.try_insert(tx_with_amount(&key, 2, 1)), InsertOutcome::Full);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn insert_outcomes_feed_metrics_counters() {
+        use medchain_runtime::metrics::Registry;
+        let registry = Registry::new();
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(2);
+        pool.set_metrics(registry.handle());
+        pool.insert(tx_with_amount(&key, 0, 1)); // inserted
+        pool.insert(tx_with_amount(&key, 0, 1)); // dedup hit
+        pool.insert(tx_with_amount(&key, 0, 2)); // eviction
+        pool.insert(tx_with_amount(&key, 1, 1)); // inserted
+        pool.insert(tx_with_amount(&key, 2, 1)); // full
+        assert_eq!(registry.counter_value("mempool.inserted"), 2);
+        assert_eq!(registry.counter_value("mempool.dedup_hits"), 1);
+        assert_eq!(registry.counter_value("mempool.evictions"), 1);
+        assert_eq!(registry.counter_value("mempool.full_rejects"), 1);
+        let events = registry.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].scope, "mempool");
+        assert_eq!(events[0].name, "evicted");
+    }
+
+    #[test]
+    fn len_matches_queued_after_mixed_operations() {
+        // Property: size bookkeeping equals the sum of per-sender queue
+        // lengths after arbitrary insert/take/prune sequences.
+        use medchain_runtime::check::{check, CheckConfig};
+        use medchain_runtime::ensure_eq;
+        let keys: Vec<AuthorityKey> = (0..4).map(AuthorityKey::from_seed).collect();
+        check("mempool len == queued", CheckConfig::cases(64), |g| {
+            let mut pool = Mempool::new(g.usize_in(1, 24));
+            let steps = g.usize_in(1, 60);
+            for _ in 0..steps {
+                match g.usize_in(0, 3) {
+                    0 | 1 => {
+                        let key = &keys[g.usize_in(0, keys.len() - 1)];
+                        let nonce = g.u64() % 8;
+                        let amount = 1 + g.u64() % 4;
+                        pool.try_insert(tx_with_amount(key, nonce, amount));
+                    }
+                    2 => {
+                        let floor = g.u64() % 8;
+                        pool.take_batch(g.usize_in(0, 8), |_| floor);
+                    }
+                    _ => {
+                        let floor = g.u64() % 8;
+                        pool.prune(&[], |_| floor);
+                    }
+                }
+                ensure_eq!(pool.len(), pool.queued());
+            }
+            Ok(())
+        });
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! and the simulator's event enum keeps its old `SimEvent` name here.
 
 pub use medchain_transport::{
-    Event as SimEvent, FaultyTransport, LatencyModel, NetStats, NodeId, SimNetwork, SimTransport,
-    TcpTransport, Transport, Wire, FAULT_WAKE_TOKEN, FRAME_OVERHEAD,
+    parse_addr_list, Event as SimEvent, FaultyTransport, LatencyModel, NetStats, NodeId,
+    SimNetwork, SimTransport, TcpTransport, Transport, Wire, DEFAULT_WRITER_QUEUE_CAP,
+    FAULT_WAKE_TOKEN, FRAME_OVERHEAD, TCP_ADDRS_ENV,
 };

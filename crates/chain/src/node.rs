@@ -24,6 +24,7 @@ pub struct ChainApp {
     mempool: Mempool,
     max_block_txs: usize,
     timestamp_quantum_ms: u64,
+    metrics: medchain_runtime::metrics::Metrics,
 }
 
 impl std::fmt::Debug for ChainApp {
@@ -52,7 +53,15 @@ impl ChainApp {
             mempool: Mempool::new(DEFAULT_MEMPOOL_CAPACITY),
             max_block_txs: DEFAULT_MAX_BLOCK_TXS,
             timestamp_quantum_ms: 1,
+            metrics: medchain_runtime::metrics::Metrics::noop(),
         }
+    }
+
+    /// Installs a metrics handle on the app and its mempool; commits
+    /// report under `chain.*`, admission under `mempool.*`.
+    pub fn set_metrics(&mut self, metrics: medchain_runtime::metrics::Metrics) {
+        self.mempool.set_metrics(metrics.clone());
+        self.metrics = metrics;
     }
 
     /// Sets the per-block transaction cap.
@@ -78,6 +87,7 @@ impl ChainApp {
     /// Returns `false` if the transaction is inadmissible or a duplicate.
     pub fn submit(&mut self, tx: Transaction) -> bool {
         if self.ledger.check_admissible(&tx).is_err() {
+            self.metrics.counter("mempool.inadmissible", 1);
             return false;
         }
         self.mempool.insert(tx)
@@ -158,9 +168,14 @@ impl Application for ChainApp {
                     .collect();
                 self.mempool
                     .prune(&block.transactions, |addr| nonces.get(addr).copied().unwrap_or(0));
+                self.metrics.counter("chain.blocks_committed", 1);
+                self.metrics.counter("chain.txs_committed", block.transactions.len() as u64);
                 true
             }
-            Err(_) => false,
+            Err(_) => {
+                self.metrics.counter("chain.commit_failures", 1);
+                false
+            }
         }
     }
 }

@@ -20,7 +20,10 @@ pub mod paradigms;
 pub mod pipeline;
 pub mod site;
 
-pub use modes::{run_duplicated, run_sharded, run_transformed, ExecutionMode, ModeReport};
+pub use modes::{
+    run_duplicated, run_duplicated_metered, run_sharded, run_sharded_metered, run_transformed,
+    run_transformed_metered, ExecutionMode, ModeReport,
+};
 pub use network::{
     ContractAddresses, MedicalNetwork, NetworkBuilder, NetworkError, TransportKind,
 };

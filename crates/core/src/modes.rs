@@ -22,6 +22,7 @@ use medchain_contracts::asm::assemble;
 use medchain_contracts::opcode::encode_program;
 use medchain_contracts::value::Value;
 use medchain_offchain::{run_parallel, TaskExecutor, Tool};
+use medchain_runtime::metrics::Metrics;
 use std::time::{Duration, Instant};
 
 /// Which execution strategy to measure.
@@ -112,11 +113,12 @@ impl ModeReport {
     }
 }
 
-fn tiny_network(nodes: usize, seed: u64) -> Result<MedicalNetwork, NetworkError> {
+fn tiny_network(nodes: usize, seed: u64, metrics: Metrics) -> Result<MedicalNetwork, NetworkError> {
     use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
     let mut builder = MedicalNetwork::builder()
         .seed(seed)
         .block_interval_ms(20)
+        .metrics(metrics)
         .transport(crate::network::TransportKind::from_env());
     for i in 0..nodes {
         // Two records per site: enough to exist, cheap to anchor.
@@ -137,7 +139,22 @@ pub fn run_duplicated(
     work_units: u64,
     seed: u64,
 ) -> Result<ModeReport, NetworkError> {
-    let mut net = tiny_network(nodes, seed)?;
+    run_duplicated_metered(nodes, work_units, seed, Metrics::noop())
+}
+
+/// [`run_duplicated`] with every layer reporting to `metrics`
+/// (consensus, mempool, chain, transport counters).
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on consensus or contract failure.
+pub fn run_duplicated_metered(
+    nodes: usize,
+    work_units: u64,
+    seed: u64,
+    metrics: Metrics,
+) -> Result<ModeReport, NetworkError> {
+    let mut net = tiny_network(nodes, seed, metrics)?;
     // The analytics job as on-chain bytecode: burn `arg0` work units.
     let program = assemble("arg 0\nburn\npush 1\nhalt").expect("static program assembles");
     let deploy = net.submit_as(
@@ -202,7 +219,22 @@ pub fn run_transformed(
     work_units: u64,
     seed: u64,
 ) -> Result<ModeReport, NetworkError> {
-    let mut net = tiny_network(nodes, seed)?;
+    run_transformed_metered(nodes, work_units, seed, Metrics::noop())
+}
+
+/// [`run_transformed`] with every layer reporting to `metrics`,
+/// including the off-chain executors (`offchain.*`).
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on consensus or contract failure.
+pub fn run_transformed_metered(
+    nodes: usize,
+    work_units: u64,
+    seed: u64,
+    metrics: Metrics,
+) -> Result<ModeReport, NetworkError> {
+    let mut net = tiny_network(nodes, seed, metrics.clone())?;
     let analytics = net.contracts().analytics;
     // Register the burn tool on-chain (integrity anchor).
     let tool_hash = burn_tool().code_hash();
@@ -241,6 +273,10 @@ pub fn run_transformed(
     let mut executors: Vec<TaskExecutor> = (0..nodes)
         .map(|_| {
             let mut e = TaskExecutor::new();
+            // Unlike replicated on-chain work, each executor runs a
+            // *distinct* shard, so all of them report: offchain.tasks
+            // counts real fan-out, not duplication.
+            e.set_metrics(metrics.clone());
             e.install(burn_tool());
             e
         })
@@ -314,6 +350,26 @@ pub fn run_sharded(
     work_units: u64,
     seed: u64,
 ) -> Result<ModeReport, NetworkError> {
+    run_sharded_metered(nodes, shard_count, work_units, seed, Metrics::noop())
+}
+
+/// [`run_sharded`] with every shard's layers reporting to `metrics`
+/// (counters sum across the concurrent groups).
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] if any shard's consensus or contract fails.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero or exceeds `nodes`.
+pub fn run_sharded_metered(
+    nodes: usize,
+    shard_count: usize,
+    work_units: u64,
+    seed: u64,
+    metrics: Metrics,
+) -> Result<ModeReport, NetworkError> {
     assert!(shard_count > 0 && shard_count <= nodes, "1 ≤ shards ≤ nodes");
     let group_size = (nodes / shard_count).max(1);
     let shard_work = work_units / shard_count as u64;
@@ -321,7 +377,9 @@ pub fn run_sharded(
     let start = Instant::now();
     let results = medchain_runtime::sync::scoped_map(
         (0..shard_count).collect(),
-        |shard| run_duplicated(group_size, shard_work, seed + shard as u64),
+        |shard| {
+            run_duplicated_metered(group_size, shard_work, seed + shard as u64, metrics.clone())
+        },
     );
     let wall = start.elapsed();
 
@@ -412,6 +470,18 @@ mod tests {
         assert!(report.messages > 0);
         assert!(report.bytes > 0);
         assert!(report.sim_latency_ms > 0);
+    }
+
+    #[test]
+    fn metered_transformed_reports_every_layer() {
+        let registry = medchain_runtime::metrics::Registry::default();
+        run_transformed_metered(3, 10_000, 5, registry.handle()).unwrap();
+        assert!(registry.counter_value("consensus.rounds") > 0);
+        assert!(registry.counter_value("chain.blocks_committed") > 0);
+        assert!(registry.counter_value("mempool.inserted") > 0);
+        assert!(registry.counter_value("transport.bytes") > 0);
+        // One off-chain shard per site ran in parallel.
+        assert_eq!(registry.counter_value("offchain.tasks"), 3);
     }
 }
 

@@ -21,6 +21,7 @@ use medchain_contracts::runtime::{call_data, Runtime};
 use medchain_contracts::value::Value;
 use medchain_data::PatientRecord;
 use medchain_offchain::ActionIntent;
+use medchain_runtime::metrics::Metrics;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -117,6 +118,7 @@ pub struct NetworkBuilder {
     seed: u64,
     with_fda: bool,
     transport: TransportKind,
+    metrics: Metrics,
 }
 
 impl fmt::Debug for NetworkBuilder {
@@ -134,7 +136,18 @@ impl NetworkBuilder {
             seed: 42,
             with_fda: false,
             transport: TransportKind::Sim,
+            metrics: Metrics::noop(),
         }
+    }
+
+    /// Installs a metrics handle on every layer of the network: the
+    /// transport (`transport.*`), each replica's app and mempool
+    /// (`chain.*`, `mempool.*`), and the consensus harness
+    /// (`consensus.*`).
+    #[must_use]
+    pub fn metrics(mut self, metrics: Metrics) -> NetworkBuilder {
+        self.metrics = metrics;
+        self
     }
 
     /// Adds a site hosting `records`.
@@ -198,7 +211,7 @@ impl NetworkBuilder {
         let (engines, registry, _validators) =
             PoaEngine::make_validators(n, self.block_interval_ms);
         let apps: Vec<ChainApp> = (0..n)
-            .map(|_| {
+            .map(|i| {
                 let mut app = ChainApp::with_runtime(
                     "medchain",
                     registry.clone(),
@@ -209,17 +222,31 @@ impl NetworkBuilder {
                 // runs on the logical-clock simulator or wall-clock
                 // sockets.
                 app.set_timestamp_quantum_ms(self.block_interval_ms);
+                // Only replica 0 reports, so counters reflect one node's
+                // view rather than summing all replicas' identical work.
+                if i == 0 {
+                    app.set_metrics(self.metrics.clone());
+                }
                 app
             })
             .collect();
         let net: Box<dyn Transport<PoaMsg>> = match self.transport {
-            TransportKind::Sim => Box::new(SimTransport::new(n, self.seed)),
-            TransportKind::Tcp => Box::new(
-                TcpTransport::bind(n)
-                    .map_err(|e| NetworkError::TransportInit(e.to_string()))?,
-            ),
+            TransportKind::Sim => {
+                let mut sim = SimTransport::new(n, self.seed);
+                sim.set_metrics(self.metrics.clone());
+                Box::new(sim)
+            }
+            TransportKind::Tcp => {
+                // bind_from_env honors MEDCHAIN_TCP_ADDRS for explicit /
+                // multi-host addressing, defaulting to loopback.
+                let mut tcp = TcpTransport::bind_from_env(n)
+                    .map_err(|e| NetworkError::TransportInit(e.to_string()))?;
+                tcp.set_metrics(self.metrics.clone());
+                Box::new(tcp)
+            }
         };
-        let cluster = Cluster::with_transport(engines, apps, net);
+        let mut cluster = Cluster::with_transport(engines, apps, net);
+        cluster.set_metrics(self.metrics.clone());
         let sites: Vec<Site> = self
             .sites
             .into_iter()

@@ -137,12 +137,19 @@ impl FedReport {
 pub struct FedAvg<M> {
     global: M,
     rounds: usize,
+    metrics: medchain_runtime::metrics::Metrics,
 }
 
 impl<M: LocalLearner> FedAvg<M> {
     /// Creates an orchestrator from an initial global model.
     pub fn new(initial: M, rounds: usize) -> FedAvg<M> {
-        FedAvg { global: initial, rounds }
+        FedAvg { global: initial, rounds, metrics: medchain_runtime::metrics::Metrics::noop() }
+    }
+
+    /// Installs a metrics handle; `learning.*` counters (rounds, model
+    /// bytes moved up/down) report there alongside [`FedReport`].
+    pub fn set_metrics(&mut self, metrics: medchain_runtime::metrics::Metrics) {
+        self.metrics = metrics;
     }
 
     /// The current global model.
@@ -177,6 +184,9 @@ impl<M: LocalLearner> FedAvg<M> {
             );
             report.bytes_downlink += param_bytes * sites;
             report.bytes_uplink += param_bytes * sites;
+            self.metrics.counter("learning.rounds", 1);
+            self.metrics.counter("learning.bytes_downlink", param_bytes * sites);
+            self.metrics.counter("learning.bytes_uplink", param_bytes * sites);
 
             // Aggregate weighted by shard size.
             let params: Vec<Vec<f64>> = locals.iter().map(LocalLearner::params).collect();
@@ -299,6 +309,18 @@ mod tests {
     }
 
     #[test]
+    fn rounds_and_bytes_feed_metrics_counters() {
+        let (shards, _) = site_shards(2, 200);
+        let registry = medchain_runtime::metrics::Registry::default();
+        let mut fed = FedAvg::new(FedLogistic::new(10, 1), 3);
+        fed.set_metrics(registry.handle());
+        let report = fed.run(&shards, None);
+        assert_eq!(registry.counter_value("learning.rounds"), 3);
+        assert_eq!(registry.counter_value("learning.bytes_uplink"), report.bytes_uplink);
+        assert_eq!(registry.counter_value("learning.bytes_downlink"), report.bytes_downlink);
+    }
+
+    #[test]
     fn fed_mlp_also_learns() {
         let (shards, eval) = site_shards(3, 500);
         let mut fed = FedAvg::new(FedMlp::new(10, 4), 8);
@@ -365,6 +387,9 @@ impl<M: LocalLearner> FedAvg<M> {
             );
             report.bytes_downlink += param_bytes * sites;
             report.bytes_uplink += param_bytes * sites;
+            self.metrics.counter("learning.rounds", 1);
+            self.metrics.counter("learning.bytes_downlink", param_bytes * sites);
+            self.metrics.counter("learning.bytes_uplink", param_bytes * sites);
 
             // Clip + noise each site's update before it leaves the site.
             let sanitized: Vec<Vec<f64>> = locals

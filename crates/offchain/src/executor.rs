@@ -160,12 +160,19 @@ impl std::error::Error for ExecutorError {
 pub struct TaskExecutor {
     tools: HashMap<String, Tool>,
     executed: u64,
+    metrics: medchain_runtime::metrics::Metrics,
 }
 
 impl TaskExecutor {
     /// Creates an executor with no tools installed.
     pub fn new() -> TaskExecutor {
         TaskExecutor::default()
+    }
+
+    /// Installs a metrics handle; `offchain.*` counters (tasks run,
+    /// failures, wall-clock task latency) report there.
+    pub fn set_metrics(&mut self, metrics: medchain_runtime::metrics::Metrics) {
+        self.metrics = metrics;
     }
 
     /// Installs a tool.
@@ -212,9 +219,18 @@ impl TaskExecutor {
             }
         }
         let start = Instant::now();
-        let output = (entry.func)(params).map_err(ExecutorError::ToolFailed)?;
+        let output = match (entry.func)(params) {
+            Ok(output) => output,
+            Err(err) => {
+                self.metrics.counter("offchain.task_failures", 1);
+                return Err(ExecutorError::ToolFailed(err));
+            }
+        };
         self.executed += 1;
-        Ok(TaskResult { tool: tool.to_string(), output, elapsed: start.elapsed() })
+        let elapsed = start.elapsed();
+        self.metrics.counter("offchain.tasks", 1);
+        self.metrics.observe("offchain.task_ms", elapsed.as_secs_f64() * 1e3);
+        Ok(TaskResult { tool: tool.to_string(), output, elapsed })
     }
 }
 

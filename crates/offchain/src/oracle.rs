@@ -10,9 +10,11 @@
 
 use crate::executor::ToolError;
 use medchain_contracts::value::Value;
+use medchain_runtime::metrics::Metrics;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An RPC request to an off-chain service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +98,7 @@ pub struct OracleStats {
 pub struct DataOracle {
     backends: HashMap<String, Arc<dyn OracleBackend>>,
     stats: OracleStats,
+    metrics: Metrics,
 }
 
 impl fmt::Debug for DataOracle {
@@ -132,6 +135,12 @@ impl DataOracle {
         self.stats
     }
 
+    /// Installs a metrics handle; `oracle.*` counters (calls, failures,
+    /// RPC latency, bytes moved) report there alongside [`OracleStats`].
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
     /// Performs an RPC.
     ///
     /// # Errors
@@ -143,17 +152,24 @@ impl DataOracle {
             .get(&request.service)
             .ok_or_else(|| OracleError::UnknownService(request.service.clone()))?
             .clone();
-        self.stats.bytes_in +=
-            request.params.iter().map(Value::encoded_len).sum::<usize>() as u64;
-        match backend.handle(&request.method, &request.params) {
+        let bytes_in = request.params.iter().map(Value::encoded_len).sum::<usize>() as u64;
+        self.stats.bytes_in += bytes_in;
+        self.metrics.counter("oracle.calls", 1);
+        self.metrics.counter("oracle.bytes_in", bytes_in);
+        let start = Instant::now();
+        let outcome = backend.handle(&request.method, &request.params);
+        self.metrics.observe("oracle.rpc_ms", start.elapsed().as_secs_f64() * 1e3);
+        match outcome {
             Ok(result) => {
                 self.stats.ok += 1;
-                self.stats.bytes_out +=
-                    result.iter().map(Value::encoded_len).sum::<usize>() as u64;
+                let bytes_out = result.iter().map(Value::encoded_len).sum::<usize>() as u64;
+                self.stats.bytes_out += bytes_out;
+                self.metrics.counter("oracle.bytes_out", bytes_out);
                 Ok(result)
             }
             Err(err) => {
                 self.stats.failed += 1;
+                self.metrics.counter("oracle.failures", 1);
                 Err(OracleError::Backend(err))
             }
         }
@@ -202,6 +218,21 @@ mod tests {
         assert!(matches!(err, OracleError::Backend(_)));
         assert_eq!(oracle.stats().failed, 1);
         assert_eq!(oracle.stats().ok, 0);
+    }
+
+    #[test]
+    fn calls_feed_metrics_counters() {
+        let registry = medchain_runtime::metrics::Registry::default();
+        let mut oracle = DataOracle::new();
+        oracle.set_metrics(registry.handle());
+        oracle.register("svc", echo_backend());
+        oracle.call(&OracleRequest::new("svc", "echo", vec![Value::Int(9)])).unwrap();
+        let _ = oracle.call(&OracleRequest::new("svc", "fail", vec![]));
+        assert_eq!(registry.counter_value("oracle.calls"), 2);
+        assert_eq!(registry.counter_value("oracle.failures"), 1);
+        assert_eq!(registry.counter_value("oracle.bytes_in"), oracle.stats().bytes_in);
+        assert_eq!(registry.counter_value("oracle.bytes_out"), oracle.stats().bytes_out);
+        assert_eq!(registry.histogram("oracle.rpc_ms").map(|h| h.count), Some(2));
     }
 
     #[test]

@@ -15,17 +15,22 @@
 //!   `proptest` for the workspace's invariant tests.
 //! - [`timing`] — an `Instant`-based micro-benchmark harness replacing
 //!   `criterion` for the `crates/bench` targets.
+//! - [`metrics`] — structured counter/gauge/histogram/event sink behind
+//!   the [`MetricsSink`] trait with a lock-cheap [`Registry`] and TSV
+//!   exporter, so experiments assert on internals instead of stdout.
 
 #![deny(missing_docs)]
 
 pub mod check;
 pub mod codec;
+pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod timing;
 
 pub use check::{check, CheckConfig, Gen};
 pub use codec::{CodecError, Decode, Encode, Reader};
+pub use metrics::{Metrics, MetricsSink, Registry};
 pub use rng::DetRng;
 pub use sync::scoped_map;
 pub use timing::{black_box, Bench};

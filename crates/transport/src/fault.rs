@@ -67,6 +67,7 @@ pub struct FaultyTransport<M, T> {
     sent: u64,
     bytes: u64,
     dropped: u64,
+    metrics: medchain_runtime::metrics::Metrics,
 }
 
 impl<M: Wire + Clone, T: Transport<M>> FaultyTransport<M, T> {
@@ -85,7 +86,15 @@ impl<M: Wire + Clone, T: Transport<M>> FaultyTransport<M, T> {
             sent: 0,
             bytes: 0,
             dropped: 0,
+            metrics: medchain_runtime::metrics::Metrics::noop(),
         }
+    }
+
+    /// Installs a metrics handle for the fault layer's own accounting
+    /// (`transport.fault_drops`). The wrapped transport keeps its own
+    /// handle, so surviving traffic is metered exactly once.
+    pub fn set_metrics(&mut self, metrics: medchain_runtime::metrics::Metrics) {
+        self.metrics = metrics;
     }
 
     /// Holds forwarded messages back by a seeded sample of `latency`
@@ -163,6 +172,7 @@ impl<M: Wire + Clone, T: Transport<M>> Transport<M> for FaultyTransport<M, T> {
             delivered: inner.delivered,
             dropped: self.dropped + inner.dropped,
             bytes: self.bytes,
+            backpressure: inner.backpressure,
         }
     }
 
@@ -179,6 +189,7 @@ impl<M: Wire + Clone, T: Transport<M>> Transport<M> for FaultyTransport<M, T> {
             || self.failed_links.contains(&(from, to))
         {
             self.dropped += 1;
+            self.metrics.counter("transport.fault_drops", 1);
             return;
         }
         match self.latency {

@@ -31,7 +31,9 @@ pub mod tcp;
 
 pub use fault::{FaultyTransport, FAULT_WAKE_TOKEN};
 pub use sim::{SimNetwork, SimTransport};
-pub use tcp::{TcpTransport, FRAME_OVERHEAD};
+pub use tcp::{
+    parse_addr_list, TcpTransport, DEFAULT_WRITER_QUEUE_CAP, FRAME_OVERHEAD, TCP_ADDRS_ENV,
+};
 
 use medchain_runtime::DetRng;
 use std::fmt;
@@ -107,6 +109,10 @@ pub struct NetStats {
     pub dropped: u64,
     /// Total payload bytes offered to the network.
     pub bytes: u64,
+    /// Frames discarded by bounded writer queues under backpressure
+    /// (oldest-first; also counted in `dropped`). Only [`TcpTransport`]
+    /// can report a non-zero value.
+    pub backpressure: u64,
 }
 
 /// An event delivered by a transport.

@@ -9,6 +9,7 @@
 //! protocol code runs over the simulator or over real sockets.
 
 use crate::{Event, LatencyModel, NetStats, NodeId, Transport, Wire};
+use medchain_runtime::metrics::Metrics;
 use medchain_runtime::DetRng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -68,6 +69,7 @@ pub struct SimNetwork<M> {
     rng: DetRng,
     stats: NetStats,
     node_count: usize,
+    metrics: Metrics,
 }
 
 impl<M> fmt::Debug for SimNetwork<M> {
@@ -96,12 +98,20 @@ impl<M: Wire> SimNetwork<M> {
             rng: DetRng::from_seed(seed),
             stats: NetStats::default(),
             node_count,
+            metrics: Metrics::noop(),
         }
     }
 
     /// Sets the latency model.
     pub fn set_latency(&mut self, latency: LatencyModel) {
         self.latency = latency;
+    }
+
+    /// Installs a metrics handle; `transport.*` counters report there.
+    /// The same keys the socket transport emits, so sim-vs-TCP byte
+    /// accounting can be compared sink-to-sink.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Sets the independent per-message drop probability.
@@ -154,6 +164,8 @@ impl<M: Wire> SimNetwork<M> {
         let bytes = msg.wire_size();
         self.stats.sent += 1;
         self.stats.bytes += bytes as u64;
+        self.metrics.counter("transport.sent", 1);
+        self.metrics.counter("transport.bytes", bytes as u64);
         let lossy = self.drop_rate > 0.0 && self.rng.gen_bool(self.drop_rate);
         if lossy
             || self.failed_nodes.contains(&from)
@@ -161,6 +173,7 @@ impl<M: Wire> SimNetwork<M> {
             || self.failed_links.contains(&(from, to))
         {
             self.stats.dropped += 1;
+            self.metrics.counter("transport.dropped", 1);
             return;
         }
         let delay = self.latency.sample(&mut self.rng, bytes);
@@ -201,7 +214,10 @@ impl<M: Wire> SimNetwork<M> {
             self.now_ms = self.now_ms.max(entry.at);
             match &entry.event {
                 Event::Timer { node, .. } if self.failed_nodes.contains(node) => continue,
-                Event::Message { .. } => self.stats.delivered += 1,
+                Event::Message { .. } => {
+                    self.stats.delivered += 1;
+                    self.metrics.counter("transport.delivered", 1);
+                }
                 Event::Timer { .. } => {}
             }
             return Some((entry.at, entry.event));

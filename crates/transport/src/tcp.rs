@@ -11,19 +11,29 @@
 
 use crate::{Event, NetStats, NodeId, Transport, Wire};
 use medchain_runtime::codec::{Decode, Encode};
+use medchain_runtime::metrics::Metrics;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::marker::PhantomData;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Fixed per-frame header size: `[u32 payload_len LE][u64 from LE]`.
 pub const FRAME_OVERHEAD: usize = 12;
+
+/// Default bound on each directed writer link's frame queue.
+pub const DEFAULT_WRITER_QUEUE_CAP: usize = 1024;
+
+/// Environment variable naming the consortium's socket addresses as a
+/// comma-separated list (one per node, in node-id order), e.g.
+/// `MEDCHAIN_TCP_ADDRS=10.0.0.1:9701,10.0.0.2:9701,10.0.0.3:9701`.
+/// Read by [`TcpTransport::bind_from_env`].
+pub const TCP_ADDRS_ENV: &str = "MEDCHAIN_TCP_ADDRS";
 
 /// Largest payload a reader will accept (defends against a corrupt
 /// length prefix allocating unbounded memory).
@@ -34,6 +44,87 @@ const POLL_INTERVAL: Duration = Duration::from_millis(1);
 
 /// Raw inbound record: `(from, to, payload)`.
 type Inbound = (NodeId, NodeId, Vec<u8>);
+
+struct LinkQueueState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// Bounded frame queue for one directed writer link.
+///
+/// A slow or partitioned peer must not grow the queue without limit (the
+/// failure mode of the old unbounded `mpsc::channel` links): when full,
+/// the *oldest* frame is discarded — consensus traffic is superseded by
+/// newer rounds, so fresh frames are worth more than stale ones — and the
+/// discard is surfaced through [`NetStats::backpressure`].
+struct LinkQueue {
+    state: Mutex<LinkQueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl LinkQueue {
+    fn new(cap: usize) -> LinkQueue {
+        LinkQueue {
+            state: Mutex::new(LinkQueueState { frames: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues a frame. Returns how many old frames were discarded to
+    /// make room, or `None` if the queue is closed.
+    fn push(&self, frame: Vec<u8>) -> Option<u64> {
+        let mut state = self.state.lock().expect("link queue poisoned");
+        if state.closed {
+            return None;
+        }
+        let mut discarded = 0;
+        while state.frames.len() >= self.cap {
+            state.frames.pop_front();
+            discarded += 1;
+        }
+        state.frames.push_back(frame);
+        drop(state);
+        self.ready.notify_one();
+        Some(discarded)
+    }
+
+    /// Blocks for the next frame; `None` once closed and drained.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut state = self.state.lock().expect("link queue poisoned");
+        loop {
+            if let Some(frame) = state.frames.pop_front() {
+                return Some(frame);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("link queue poisoned");
+        }
+    }
+
+    /// Closes the queue and wakes the writer (it drains, then exits).
+    fn close(&self) {
+        self.state.lock().expect("link queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current number of queued frames.
+    fn depth(&self) -> usize {
+        self.state.lock().expect("link queue poisoned").frames.len()
+    }
+}
+
+/// Parses a comma-separated socket-address list (the
+/// [`TCP_ADDRS_ENV`] format). Whitespace around entries is ignored.
+pub fn parse_addr_list(raw: &str) -> Result<Vec<SocketAddr>, String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|entry| !entry.is_empty())
+        .map(|entry| entry.parse::<SocketAddr>().map_err(|e| format!("bad address {entry:?}: {e}")))
+        .collect()
+}
 
 fn frame(from: NodeId, payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
@@ -134,9 +225,15 @@ fn connect_backoff(addr: SocketAddr, shutdown: &AtomicBool) -> Option<TcpStream>
 }
 
 /// Ships pre-framed bytes for one directed link, reconnecting on error.
-fn writer_loop(addr: SocketAddr, frames: Receiver<Vec<u8>>, shutdown: Arc<AtomicBool>) {
+fn writer_loop(
+    addr: SocketAddr,
+    frames: Arc<LinkQueue>,
+    shutdown: Arc<AtomicBool>,
+    reconnects: Arc<AtomicU64>,
+    metrics: Metrics,
+) {
     let mut conn: Option<TcpStream> = None;
-    'frames: for frame in frames.iter() {
+    'frames: while let Some(frame) = frames.pop() {
         loop {
             if shutdown.load(Ordering::Relaxed) {
                 return;
@@ -149,7 +246,12 @@ fn writer_loop(addr: SocketAddr, frames: Receiver<Vec<u8>>, shutdown: Arc<Atomic
             }
             match conn.as_mut().unwrap().write_all(&frame) {
                 Ok(()) => continue 'frames,
-                Err(_) => conn = None, // reconnect and retry this frame
+                Err(_) => {
+                    // Reconnect and retry this frame.
+                    conn = None;
+                    reconnects.fetch_add(1, Ordering::Relaxed);
+                    metrics.counter("transport.reconnects", 1);
+                }
             }
         }
     }
@@ -174,7 +276,8 @@ pub struct TcpTransport<M> {
     addrs: Vec<SocketAddr>,
     start: Instant,
     /// Lazily created per directed link `(from, to)`.
-    writers: HashMap<(usize, usize), Sender<Vec<u8>>>,
+    writers: HashMap<(usize, usize), Arc<LinkQueue>>,
+    writer_queue_cap: usize,
     inbox: Receiver<Inbound>,
     /// Kept so the inbox never disconnects while the transport lives
     /// (also used for zero-copy self-sends).
@@ -185,22 +288,49 @@ pub struct TcpTransport<M> {
     handles: Vec<JoinHandle<()>>,
     stats: NetStats,
     framed_bytes: u64,
+    reconnects: Arc<AtomicU64>,
+    metrics: Metrics,
     idle_timeout: Duration,
     down: bool,
     _msg: PhantomData<M>,
 }
 
 impl<M: Wire + Clone + Encode + Decode> TcpTransport<M> {
-    /// Binds `node_count` loopback listeners and starts their acceptor
-    /// threads.
+    /// Binds `node_count` loopback listeners on OS-assigned ports and
+    /// starts their acceptor threads — the single-host convenience
+    /// constructor. See [`TcpTransport::bind_at`] for explicit addresses
+    /// and [`TcpTransport::bind_from_env`] for [`TCP_ADDRS_ENV`].
     pub fn bind(node_count: usize) -> std::io::Result<TcpTransport<M>> {
+        let loopback: SocketAddr = (IpAddr::V4(Ipv4Addr::LOCALHOST), 0).into();
+        Self::bind_at(&vec![loopback; node_count])
+    }
+
+    /// Binds one listener per entry of `bind_addrs` (index = node id)
+    /// and starts their acceptor threads.
+    ///
+    /// Port 0 asks the OS for a free port; the actually-bound port is
+    /// what peers dial. An unspecified bind IP (`0.0.0.0` / `::`)
+    /// listens on every interface but is not dialable, so the advertised
+    /// peer address falls back to loopback on the bound port.
+    pub fn bind_at(bind_addrs: &[SocketAddr]) -> std::io::Result<TcpTransport<M>> {
+        let node_count = bind_addrs.len();
         let shutdown = Arc::new(AtomicBool::new(false));
         let (inbox_tx, inbox) = mpsc::channel();
         let mut addrs = Vec::with_capacity(node_count);
         let mut handles = Vec::with_capacity(node_count);
-        for i in 0..node_count {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            addrs.push(listener.local_addr()?);
+        for (i, bind_addr) in bind_addrs.iter().enumerate() {
+            let listener = TcpListener::bind(bind_addr)?;
+            let local = listener.local_addr()?;
+            let advertised = if local.ip().is_unspecified() {
+                let loopback = match local.ip() {
+                    IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                    IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+                };
+                SocketAddr::new(loopback, local.port())
+            } else {
+                local
+            };
+            addrs.push(advertised);
             let inbox_tx = inbox_tx.clone();
             let shutdown = Arc::clone(&shutdown);
             handles.push(std::thread::spawn(move || {
@@ -212,6 +342,7 @@ impl<M: Wire + Clone + Encode + Decode> TcpTransport<M> {
             addrs,
             start: Instant::now(),
             writers: HashMap::new(),
+            writer_queue_cap: DEFAULT_WRITER_QUEUE_CAP,
             inbox,
             inbox_tx,
             timers: BinaryHeap::new(),
@@ -220,15 +351,68 @@ impl<M: Wire + Clone + Encode + Decode> TcpTransport<M> {
             handles,
             stats: NetStats::default(),
             framed_bytes: 0,
+            reconnects: Arc::new(AtomicU64::new(0)),
+            metrics: Metrics::noop(),
             idle_timeout: Duration::from_millis(200),
             down: false,
             _msg: PhantomData,
         })
     }
 
+    /// Binds per the [`TCP_ADDRS_ENV`] environment variable when set
+    /// (comma-separated, one address per node, in node-id order), falling
+    /// back to [`TcpTransport::bind`]'s loopback defaults otherwise.
+    pub fn bind_from_env(node_count: usize) -> std::io::Result<TcpTransport<M>> {
+        match std::env::var(TCP_ADDRS_ENV) {
+            Ok(raw) if !raw.trim().is_empty() => {
+                let addrs = parse_addr_list(&raw).map_err(|e| {
+                    std::io::Error::new(ErrorKind::InvalidInput, format!("{TCP_ADDRS_ENV}: {e}"))
+                })?;
+                if addrs.len() != node_count {
+                    return Err(std::io::Error::new(
+                        ErrorKind::InvalidInput,
+                        format!(
+                            "{TCP_ADDRS_ENV} names {} addresses but the cluster has {} nodes",
+                            addrs.len(),
+                            node_count
+                        ),
+                    ));
+                }
+                Self::bind_at(&addrs)
+            }
+            _ => Self::bind(node_count),
+        }
+    }
+
     /// Socket addresses of the hosted endpoints (index = node id).
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// Overrides the address writers dial to reach `node`. Affects links
+    /// created after the call (writer links cache their address), so set
+    /// it before the first send to that peer. Useful to point a link at
+    /// another host — or, in tests, at a dead port to blackhole a peer.
+    pub fn redirect_peer(&mut self, node: NodeId, addr: SocketAddr) {
+        self.addrs[node.0] = addr;
+    }
+
+    /// Bounds each *newly created* writer link's frame queue at `cap`
+    /// (default [`DEFAULT_WRITER_QUEUE_CAP`]). When a queue is full the
+    /// oldest frame is discarded and counted in
+    /// [`NetStats::backpressure`].
+    pub fn set_writer_queue_cap(&mut self, cap: usize) {
+        self.writer_queue_cap = cap.max(1);
+    }
+
+    /// Installs a metrics handle; `transport.*` counters report there.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    /// Writer reconnect attempts after a failed write, across all links.
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
     }
 
     /// Total bytes actually framed onto sockets: payload bytes plus
@@ -243,15 +427,21 @@ impl<M: Wire + Clone + Encode + Decode> TcpTransport<M> {
         self.idle_timeout = Duration::from_millis(ms.max(1));
     }
 
-    fn writer(&mut self, from: usize, to: usize) -> &Sender<Vec<u8>> {
+    fn writer(&mut self, from: usize, to: usize) -> Arc<LinkQueue> {
         let addr = self.addrs[to];
         let shutdown = Arc::clone(&self.shutdown);
+        let reconnects = Arc::clone(&self.reconnects);
+        let metrics = self.metrics.clone();
+        let cap = self.writer_queue_cap;
         let handles = &mut self.handles;
-        self.writers.entry((from, to)).or_insert_with(|| {
-            let (tx, rx) = mpsc::channel::<Vec<u8>>();
-            handles.push(std::thread::spawn(move || writer_loop(addr, rx, shutdown)));
-            tx
-        })
+        Arc::clone(self.writers.entry((from, to)).or_insert_with(|| {
+            let queue = Arc::new(LinkQueue::new(cap));
+            let writer_queue = Arc::clone(&queue);
+            handles.push(std::thread::spawn(move || {
+                writer_loop(addr, writer_queue, shutdown, reconnects, metrics)
+            }));
+            queue
+        }))
     }
 }
 
@@ -278,8 +468,11 @@ impl<M: Wire + Clone + Encode + Decode> Transport<M> for TcpTransport<M> {
         self.stats.sent += 1;
         self.stats.bytes += payload.len() as u64;
         self.framed_bytes += (FRAME_OVERHEAD + payload.len()) as u64;
+        self.metrics.counter("transport.sent", 1);
+        self.metrics.counter("transport.bytes", payload.len() as u64);
         if self.down {
             self.stats.dropped += 1;
+            self.metrics.counter("transport.dropped", 1);
             return;
         }
         if from == to {
@@ -287,8 +480,21 @@ impl<M: Wire + Clone + Encode + Decode> Transport<M> for TcpTransport<M> {
             let _ = self.inbox_tx.send((from, to, payload));
             return;
         }
-        if self.writer(from.0, to.0).send(frame(from, &payload)).is_err() {
-            self.stats.dropped += 1;
+        let queue = self.writer(from.0, to.0);
+        match queue.push(frame(from, &payload)) {
+            Some(discarded) => {
+                if discarded > 0 {
+                    self.stats.dropped += discarded;
+                    self.stats.backpressure += discarded;
+                    self.metrics.counter("transport.dropped", discarded);
+                    self.metrics.counter("transport.backpressure_drops", discarded);
+                }
+                self.metrics.observe("transport.queue_depth", queue.depth() as f64);
+            }
+            None => {
+                self.stats.dropped += 1;
+                self.metrics.counter("transport.dropped", 1);
+            }
         }
     }
 
@@ -322,10 +528,12 @@ impl<M: Wire + Clone + Encode + Decode> Transport<M> for TcpTransport<M> {
                 Ok((from, to, payload)) => match M::decoded(&payload) {
                     Ok(msg) => {
                         self.stats.delivered += 1;
+                        self.metrics.counter("transport.delivered", 1);
                         return Some((self.now_ms(), Event::Message { from, to, msg }));
                     }
                     Err(_) => {
                         self.stats.dropped += 1;
+                        self.metrics.counter("transport.dropped", 1);
                         continue;
                     }
                 },
@@ -352,7 +560,10 @@ impl<M: Wire + Clone + Encode + Decode> Transport<M> for TcpTransport<M> {
         }
         self.down = true;
         self.shutdown.store(true, Ordering::Relaxed);
-        self.writers.clear(); // closes frame channels → writers exit
+        for queue in self.writers.values() {
+            queue.close(); // wakes blocked writers → they exit
+        }
+        self.writers.clear();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
@@ -362,6 +573,9 @@ impl<M: Wire + Clone + Encode + Decode> Transport<M> for TcpTransport<M> {
 impl<M> Drop for TcpTransport<M> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        for queue in self.writers.values() {
+            queue.close();
+        }
         self.writers.clear();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -461,6 +675,102 @@ mod tests {
         t.set_idle_timeout_ms(30);
         assert!(t.next().is_none());
         t.shutdown();
+    }
+
+    #[test]
+    fn link_queue_drops_oldest_when_full() {
+        let q = LinkQueue::new(3);
+        assert_eq!(q.push(vec![1]), Some(0));
+        assert_eq!(q.push(vec![2]), Some(0));
+        assert_eq!(q.push(vec![3]), Some(0));
+        assert_eq!(q.depth(), 3);
+        // Full: the oldest frame makes room for the newest.
+        assert_eq!(q.push(vec![4]), Some(1));
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop(), Some(vec![2]));
+        assert_eq!(q.pop(), Some(vec![3]));
+        q.close();
+        assert_eq!(q.push(vec![5]), None);
+        assert_eq!(q.pop(), Some(vec![4])); // drains after close…
+        assert_eq!(q.pop(), None); // …then reports closed
+    }
+
+    #[test]
+    fn backpressure_from_partitioned_peer_is_bounded_and_counted() {
+        use medchain_runtime::metrics::Registry;
+        // A dead port: bind, learn the address, drop the listener.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let registry = Registry::new();
+        let mut t = TcpTransport::<Ping>::bind(2).unwrap();
+        t.set_metrics(registry.handle());
+        t.set_writer_queue_cap(4);
+        t.redirect_peer(NodeId(1), dead);
+        const SENDS: u64 = 20;
+        for id in 0..SENDS {
+            t.send(NodeId(0), NodeId(1), Ping { id, note: String::new() });
+        }
+        let stats = t.stats();
+        assert_eq!(stats.sent, SENDS);
+        // The writer holds at most one frame beyond the queue; everything
+        // else past the cap was dropped oldest-first and surfaced.
+        assert!(
+            stats.backpressure >= SENDS - 4 - 1,
+            "expected ≥{} backpressure drops, saw {}",
+            SENDS - 5,
+            stats.backpressure
+        );
+        assert_eq!(stats.dropped, stats.backpressure);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(
+            registry.counter_value("transport.backpressure_drops"),
+            stats.backpressure,
+            "sink counter must match NetStats"
+        );
+        t.shutdown();
+    }
+
+    #[test]
+    fn bind_at_unspecified_ip_advertises_loopback() {
+        let addrs: Vec<SocketAddr> = vec!["0.0.0.0:0".parse().unwrap(); 2];
+        let mut t = TcpTransport::<Ping>::bind_at(&addrs).unwrap();
+        for addr in t.addrs() {
+            assert!(addr.ip().is_loopback(), "advertised {addr} must be dialable");
+            assert_ne!(addr.port(), 0);
+        }
+        t.send(NodeId(0), NodeId(1), Ping { id: 9, note: "via 0.0.0.0".into() });
+        let got = drain(&mut t, 1);
+        assert_eq!(got[0].2.id, 9);
+        t.shutdown();
+    }
+
+    #[test]
+    fn bind_at_explicit_ports_are_respected() {
+        // Reserve two free ports, release them, then bind explicitly.
+        let (a, b) = {
+            let la = TcpListener::bind("127.0.0.1:0").unwrap();
+            let lb = TcpListener::bind("127.0.0.1:0").unwrap();
+            (la.local_addr().unwrap(), lb.local_addr().unwrap())
+        };
+        let mut t = TcpTransport::<Ping>::bind_at(&[a, b]).unwrap();
+        assert_eq!(t.addrs(), &[a, b]);
+        t.send(NodeId(1), NodeId(0), Ping { id: 3, note: String::new() });
+        assert_eq!(drain(&mut t, 1)[0].2.id, 3);
+        t.shutdown();
+    }
+
+    #[test]
+    fn parse_addr_list_handles_spacing_and_rejects_garbage() {
+        let addrs = parse_addr_list(" 127.0.0.1:9001 , 10.0.0.2:9002,[::1]:9003 ").unwrap();
+        assert_eq!(addrs.len(), 3);
+        assert_eq!(addrs[0], "127.0.0.1:9001".parse().unwrap());
+        assert_eq!(addrs[1], "10.0.0.2:9002".parse().unwrap());
+        assert_eq!(addrs[2], "[::1]:9003".parse().unwrap());
+        assert!(parse_addr_list("not-an-addr").is_err());
+        assert!(parse_addr_list("127.0.0.1:9001,nope:x").is_err());
+        assert_eq!(parse_addr_list("").unwrap(), vec![]);
     }
 
     #[test]

@@ -49,4 +49,20 @@ timeout 180 cargo test -q -p medchain-transport
 echo "== transport: loopback TCP integration tests (wall-clock guarded) =="
 timeout 240 cargo test -q --test transport
 
+# Metrics spine: run one quick experiment with the TSV exporter and check
+# the required counter keys landed in the dump (DESIGN.md §Observability).
+echo "== metrics: E1 quick run with TSV exporter =="
+metrics_tsv="$(mktemp)"
+trap 'rm -f "$metrics_tsv"' EXIT
+MEDCHAIN_METRICS_TSV="$metrics_tsv" \
+    cargo run --release -q -p medchain-bench --bin experiments -- --quick e1 > /dev/null
+for key in consensus.rounds mempool.inserted transport.bytes chain.blocks_committed; do
+    if ! grep -q "^counter	${key}	" "$metrics_tsv"; then
+        echo "ERROR: metrics TSV missing counter ${key}" >&2
+        cat "$metrics_tsv" >&2
+        exit 1
+    fi
+done
+echo "ok: metrics TSV carries the required counters"
+
 echo "verify: OK"

@@ -11,7 +11,7 @@
 //! to `<path>` when the run finishes.
 
 use medchain_bench::{run_experiment, run_experiment_metered, ALL_EXPERIMENTS};
-use medchain_runtime::metrics::Registry;
+use medchain_runtime::metrics::{GaugeSnapshotter, Registry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +39,10 @@ fn main() {
     );
     let tsv_path = std::env::var("MEDCHAIN_METRICS_TSV").ok();
     let registry = Registry::default();
+    // One gauge snapshot per experiment boundary: the event log keeps
+    // the trajectory of queue depths etc. across the run, not just the
+    // last-written values.
+    let mut snapshotter = GaugeSnapshotter::new(registry.clone(), 1);
     for id in to_run {
         let table = if tsv_path.is_some() {
             run_experiment_metered(id, quick, registry.handle())
@@ -46,6 +50,9 @@ fn main() {
             run_experiment(id, quick)
         };
         println!("{table}");
+        if tsv_path.is_some() {
+            snapshotter.tick();
+        }
     }
     if let Some(path) = tsv_path {
         std::fs::write(&path, registry.to_tsv())

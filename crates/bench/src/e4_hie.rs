@@ -6,6 +6,7 @@
 use crate::report::{bytes, f, Table};
 use medchain_chain::Address;
 use medchain_hie::{AuditAction, BlameVerdict, EmailAuditOutcome, EmailExchange, HieNetwork};
+use medchain_runtime::metrics::Metrics;
 use medchain_runtime::DetRng;
 
 /// Outcome counts for one transport.
@@ -18,9 +19,15 @@ struct TransportOutcome {
     bytes_moved: u64,
 }
 
-fn drive_hie(exchanges: usize, fail_rate: f64, seed: u64) -> TransportOutcome {
+fn drive_hie(
+    exchanges: usize,
+    fail_rate: f64,
+    seed: u64,
+    metrics: &Metrics,
+) -> TransportOutcome {
     let mut rng = DetRng::from_seed(seed);
     let mut net = HieNetwork::new();
+    net.set_metrics(metrics.clone());
     let sites: Vec<Address> = (0..6).map(|i| Address::from_seed(i as u64)).collect();
     for (i, site) in sites.iter().enumerate() {
         net.enroll(*site, format!("site-key-{i}").as_bytes());
@@ -87,9 +94,15 @@ fn drive_email(exchanges: usize, fail_rate: f64, seed: u64) -> TransportOutcome 
 
 /// Runs E4.
 pub fn run_e4(quick: bool) -> Table {
+    run_e4_metered(quick, Metrics::noop())
+}
+
+/// Runs E4 with the HIE network reporting `hie.*` counters (requests,
+/// completed, denied, disputed, bytes_moved) into `metrics`.
+pub fn run_e4_metered(quick: bool, metrics: Metrics) -> Table {
     let exchanges = if quick { 60 } else { 400 };
     let fail_rate = 0.2;
-    let hie = drive_hie(exchanges, fail_rate, 44);
+    let hie = drive_hie(exchanges, fail_rate, 44, &metrics);
     let email = drive_email(exchanges, fail_rate, 44);
     let mut table = Table::new(
         "E4",
@@ -141,5 +154,17 @@ mod tests {
         assert!(hie_disputes > 0);
         assert_eq!(hie_blamed, hie_disputes);
         assert_eq!(email_blamed, 0);
+    }
+
+    #[test]
+    fn e4_metered_reports_hie_counters() {
+        let registry = medchain_runtime::metrics::Registry::new();
+        let table = run_e4_metered(true, registry.handle());
+        assert_eq!(registry.counter_value("hie.requests"), 60);
+        let completed: u64 = table.rows[0][1].parse().unwrap();
+        let disputed: u64 = table.rows[0][2].parse().unwrap();
+        assert_eq!(registry.counter_value("hie.completed"), completed);
+        assert_eq!(registry.counter_value("hie.disputed"), disputed);
+        assert!(registry.counter_value("hie.bytes_moved") > 0);
     }
 }

@@ -9,10 +9,17 @@ use medchain_data::formats::common::SourceDocument;
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_data::tcga::TCGA_PATIENT_COUNT;
 use medchain_data::FormatRegistry;
+use medchain_runtime::metrics::Metrics;
 use std::time::Instant;
 
 /// Runs E5.
 pub fn run_e5(quick: bool) -> Table {
+    run_e5_metered(quick, Metrics::noop())
+}
+
+/// Runs E5 with the integration batch reporting `integration.*`
+/// counters (converted, failed, unknown_format) into `metrics`.
+pub fn run_e5_metered(quick: bool, metrics: Metrics) -> Table {
     let sites = if quick { 4 } else { 12 };
     let per_site = if quick { 400 } else { 2_000 };
     let registry = FormatRegistry::standard();
@@ -39,7 +46,7 @@ pub fn run_e5(quick: bool) -> Table {
     }
 
     let start = Instant::now();
-    let (integrated, report) = registry.integrate(&documents);
+    let (integrated, report) = registry.integrate_metered(&documents, &metrics);
     let elapsed = start.elapsed();
 
     let mut table = Table::new(
@@ -76,6 +83,16 @@ pub fn run_e5(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e5_metered_reports_integration_counters() {
+        let sink = medchain_runtime::metrics::Registry::new();
+        let table = run_e5_metered(true, sink.handle());
+        let converted: u64 =
+            table.rows.iter().map(|r| r[1].parse::<u64>().unwrap()).sum();
+        assert_eq!(sink.counter_value("integration.converted"), converted);
+        assert!(sink.counter_value("integration.failed") > 0);
+    }
 
     #[test]
     fn e5_converts_most_records() {

@@ -9,13 +9,20 @@ use medchain_contracts::policy::Purpose;
 use medchain_contracts::value::Value;
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_chain::Hash256;
+use medchain_runtime::metrics::Metrics;
 use std::time::Instant;
 
 /// Runs E6.
 pub fn run_e6(quick: bool) -> Table {
+    run_e6_metered(quick, Metrics::noop())
+}
+
+/// Runs E6 with `metrics` installed on every layer of the network
+/// (`chain.*`, `mempool.*`, `consensus.*`, `transport.*`).
+pub fn run_e6_metered(quick: bool, metrics: Metrics) -> Table {
     let sites = 3;
     let rounds = if quick { 8 } else { 40 };
-    let mut builder = MedicalNetwork::builder().seed(66);
+    let mut builder = MedicalNetwork::builder().seed(66).metrics(metrics);
     for i in 0..sites {
         let records = CohortGenerator::new(&format!("h{i}"), SiteProfile::varied(i), 60 + i as u64)
             .cohort((i * 1_000) as u64, 30, &DiseaseModel::stroke());
@@ -145,6 +152,15 @@ pub fn run_e6(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e6_metered_reports_chain_counters() {
+        let sink = medchain_runtime::metrics::Registry::new();
+        run_e6_metered(true, sink.handle());
+        // The workload's 24 contract requests all committed on-chain.
+        assert!(sink.counter_value("chain.txs_committed") >= 24);
+        assert!(sink.counter_value("chain.blocks_committed") > 0);
+    }
 
     #[test]
     fn e6_processes_all_categories() {

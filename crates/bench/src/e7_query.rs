@@ -11,6 +11,7 @@ use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_data::PatientRecord;
 use medchain_learning::AggregateValue;
 use medchain_query::{parse_request, Computation, QueryAnswer};
+use medchain_runtime::metrics::Metrics;
 use std::time::Instant;
 
 fn site_records(i: usize, n: usize) -> Vec<PatientRecord> {
@@ -23,6 +24,13 @@ fn site_records(i: usize, n: usize) -> Vec<PatientRecord> {
 
 /// Runs E7.
 pub fn run_e7(quick: bool) -> Table {
+    run_e7_metered(quick, Metrics::noop())
+}
+
+/// Runs E7 with `metrics` installed on the network and the query
+/// pipeline (`query.*` counters: pipeline_runs, site_tasks,
+/// bytes_returned).
+pub fn run_e7_metered(quick: bool, metrics: Metrics) -> Table {
     let per_site = if quick { 150 } else { 600 };
     let site_counts: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 12] };
     let request = "count smokers over 55 for public health";
@@ -32,7 +40,7 @@ pub fn run_e7(quick: bool) -> Table {
         &["sites", "permitted", "wall", "chain latency", "result bytes", "count", "exact?"],
     );
     for sites in site_counts {
-        let mut builder = MedicalNetwork::builder().seed(77);
+        let mut builder = MedicalNetwork::builder().seed(77).metrics(metrics.clone());
         let mut all_records = Vec::new();
         for i in 0..sites {
             let records = site_records(i, per_site);
@@ -93,6 +101,21 @@ pub fn run_e7(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e7_metered_reports_query_counters() {
+        let sink = medchain_runtime::metrics::Registry::new();
+        let table = run_e7_metered(true, sink.handle());
+        // One pipeline run per site-count row.
+        assert_eq!(
+            sink.counter_value("query.pipeline_runs"),
+            table.rows.len() as u64
+        );
+        let permitted: u64 =
+            table.rows.iter().map(|r| r[1].parse::<u64>().unwrap()).sum();
+        assert_eq!(sink.counter_value("query.site_tasks"), permitted);
+        assert!(sink.counter_value("query.bytes_returned") > 0);
+    }
 
     #[test]
     fn e7_exactness_at_every_size() {

@@ -64,8 +64,8 @@ pub fn run_experiment(id: &str, quick: bool) -> Table {
 }
 
 /// Runs one experiment by id with `metrics` installed on every layer
-/// that supports it (E1–E3 today; the remaining experiments run
-/// unmetered and simply ignore the handle).
+/// that supports it (E1–E7; the remaining experiments run unmetered
+/// and simply ignore the handle).
 ///
 /// # Panics
 ///
@@ -80,6 +80,10 @@ pub fn run_experiment_metered(
         "e1" => e1_e2_scaling::run_e1_metered(quick, metrics),
         "e2" => e1_e2_scaling::run_e2_metered(quick, metrics),
         "e3" => e3_energy::run_e3_metered(quick, metrics),
+        "e4" => e4_hie::run_e4_metered(quick, metrics),
+        "e5" => e5_integration::run_e5_metered(quick, metrics),
+        "e6" => e6_contracts::run_e6_metered(quick, metrics),
+        "e7" => e7_query::run_e7_metered(quick, metrics),
         other => run_experiment(other, quick),
     }
 }

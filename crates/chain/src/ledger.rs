@@ -11,6 +11,7 @@ use crate::block::{Block, Header};
 use crate::hash::{Hash256, Sha256};
 use crate::merkle::MerkleTree;
 use crate::sig::{Address, KeyRegistry};
+use crate::store::BlockStore;
 use crate::tx::{Transaction, TxPayload};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -235,6 +236,12 @@ impl WorldState {
         self.anchors.get(label).copied()
     }
 
+    /// Records a data anchor directly (genesis/state construction; live
+    /// chains anchor through [`TxPayload::Anchor`] transactions).
+    pub fn set_anchor(&mut self, label: &str, root: Hash256) {
+        self.anchors.insert(label.to_string(), root);
+    }
+
     /// Number of recorded anchors.
     pub fn anchor_count(&self) -> usize {
         self.anchors.len()
@@ -305,6 +312,9 @@ pub enum LedgerError {
     StateRootMismatch,
     /// An anchor label was re-registered with a different root.
     AnchorConflict(String),
+    /// The attached [`BlockStore`] failed to persist the block; the
+    /// in-memory commit was aborted (write-ahead ordering).
+    Storage(String),
 }
 
 impl fmt::Display for LedgerError {
@@ -328,6 +338,7 @@ impl fmt::Display for LedgerError {
             LedgerError::AnchorConflict(label) => {
                 write!(f, "anchor label {label:?} already registered with different root")
             }
+            LedgerError::Storage(e) => write!(f, "block store rejected commit: {e}"),
         }
     }
 }
@@ -349,13 +360,22 @@ pub struct LedgerStats {
 }
 
 /// A node's replicated ledger: block store + world state + receipts.
+///
+/// The ledger retains a suffix of the chain in memory (`base_height` is
+/// the height of the oldest retained block — 0 until
+/// [`Ledger::prune_below`] or [`Ledger::restore`] is used) and, when a
+/// [`BlockStore`] is attached, persists every block write-ahead before
+/// the in-memory commit.
 pub struct Ledger {
+    /// Retained blocks; `blocks[0]` has height `base_height`.
     blocks: Vec<Block>,
+    base_height: u64,
     state: WorldState,
     receipts: BTreeMap<Hash256, Receipt>,
     registry: KeyRegistry,
     runtime: Box<dyn ContractRuntime>,
     stats: LedgerStats,
+    store: Option<Box<dyn BlockStore>>,
 }
 
 impl fmt::Debug for Ledger {
@@ -372,12 +392,32 @@ impl Ledger {
     pub fn new(chain_id: &str, registry: KeyRegistry, runtime: Box<dyn ContractRuntime>) -> Ledger {
         Ledger {
             blocks: vec![Block::genesis(chain_id)],
+            base_height: 0,
             state: WorldState::new(),
             receipts: BTreeMap::new(),
             registry,
             runtime,
             stats: LedgerStats::default(),
+            store: None,
         }
+    }
+
+    /// Attaches a durable [`BlockStore`]: every subsequent
+    /// [`Ledger::apply`] persists the block *before* committing it in
+    /// memory. Attach after any recovery replay so replayed blocks are
+    /// not re-appended.
+    pub fn attach_store(&mut self, store: Box<dyn BlockStore>) {
+        self.store = Some(store);
+    }
+
+    /// Whether a durable store is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Mutable access to the attached store (diagnostics, flushing).
+    pub fn store_mut(&mut self) -> Option<&mut (dyn BlockStore + 'static)> {
+        self.store.as_deref_mut()
     }
 
     /// Current chain height (genesis = 0).
@@ -390,14 +430,68 @@ impl Ledger {
         self.blocks.last().expect("genesis always present")
     }
 
-    /// Block at `height`, if applied.
+    /// Block at `height`, if applied **and still retained in memory**
+    /// (pruned heights return `None`; a storage-backed node serves them
+    /// from its block log).
     pub fn block(&self, height: u64) -> Option<&Block> {
-        self.blocks.get(height as usize)
+        let index = height.checked_sub(self.base_height)?;
+        self.blocks.get(index as usize)
     }
 
-    /// All applied blocks, genesis first.
+    /// The retained blocks, oldest first. Before any pruning this is the
+    /// whole chain, genesis first; after [`Ledger::prune_below`] or a
+    /// snapshot [`Ledger::restore`] it is the retained suffix starting
+    /// at [`Ledger::base_height`].
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
+    }
+
+    /// Height of the oldest retained block (0 until pruned/restored).
+    pub fn base_height(&self) -> u64 {
+        self.base_height
+    }
+
+    /// Retained blocks with height ≥ `height`, oldest first. Returns the
+    /// whole retained suffix when `height` predates it — callers that
+    /// need truly older blocks must go to the block store.
+    pub fn blocks_from(&self, height: u64) -> &[Block] {
+        let from = height.saturating_sub(self.base_height).min(self.blocks.len() as u64);
+        &self.blocks[from as usize..]
+    }
+
+    /// Drops retained blocks below `height` (the tip is always kept), so
+    /// a storage-backed node can bound in-memory history. Returns the
+    /// number of blocks dropped. State, receipts, and stats are
+    /// untouched; pruned heights remain readable from the block store.
+    pub fn prune_below(&mut self, height: u64) -> usize {
+        let keep_from = height.min(self.height());
+        let drop = keep_from.saturating_sub(self.base_height) as usize;
+        if drop > 0 {
+            self.blocks.drain(..drop);
+            self.base_height = keep_from;
+        }
+        drop
+    }
+
+    /// Fast-sync restore: installs a snapshot (`state` at `tip`) as the
+    /// new chain suffix, replacing all retained history. Subsequent
+    /// [`Ledger::apply`] calls replay blocks above `tip`'s height.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::StateRootMismatch`] if `state` does not
+    /// hash to `tip.header.state_root` — a snapshot that disagrees with
+    /// its block is never installed.
+    pub fn restore(&mut self, state: WorldState, tip: Block) -> Result<(), LedgerError> {
+        if state.state_root() != tip.header.state_root {
+            return Err(LedgerError::StateRootMismatch);
+        }
+        self.base_height = tip.header.height;
+        self.blocks = vec![tip];
+        self.state = state;
+        self.receipts.clear();
+        self.stats = LedgerStats::default();
+        Ok(())
     }
 
     /// Current world state.
@@ -521,6 +615,12 @@ impl Ledger {
         if state.state_root() != block.header.state_root {
             return Err(LedgerError::StateRootMismatch);
         }
+        // Write-ahead: the block must be durable before the in-memory
+        // commit, so a crash leaves disk and memory agreeing (disk may
+        // carry a torn tail record, which recovery truncates).
+        if let Some(store) = self.store.as_mut() {
+            store.append(block, &state).map_err(|e| LedgerError::Storage(e.to_string()))?;
+        }
         // Commit.
         for receipt in &receipts {
             self.stats.transactions += 1;
@@ -639,6 +739,50 @@ mod tests {
 
     fn transfer(key: &AuthorityKey, nonce: u64, to: Address, amount: u64) -> Transaction {
         Transaction::new(key.address(), nonce, TxPayload::Transfer { to, amount }, 100).signed(key)
+    }
+
+    fn grow_by_transfers(ledger: &mut Ledger, key: &AuthorityKey, to: Address, n: u64) {
+        for _ in 0..n {
+            let nonce = ledger.state().account(&key.address()).nonce;
+            let block = ledger.propose(
+                key.address(),
+                (ledger.height() + 1) * 10,
+                vec![transfer(key, nonce, to, 1)],
+            );
+            ledger.apply(&block).unwrap();
+        }
+    }
+
+    #[test]
+    fn blocks_from_and_prune_below_respect_base_height() {
+        let alice = AuthorityKey::from_seed(1);
+        let bob = AuthorityKey::from_seed(2);
+        let mut ledger = funded_ledger(&[alice.clone(), bob.clone()]);
+        grow_by_transfers(&mut ledger, &alice, bob.address(), 5);
+        assert_eq!(ledger.base_height(), 0);
+        assert_eq!(ledger.blocks_from(0).len(), 6); // genesis..=5
+        assert_eq!(ledger.blocks_from(3).len(), 3);
+        assert_eq!(ledger.blocks_from(3)[0].header.height, 3);
+        assert!(ledger.blocks_from(99).is_empty());
+
+        // Prune everything below height 4: 0..=3 dropped, 4..=5 kept.
+        assert_eq!(ledger.prune_below(4), 4);
+        assert_eq!(ledger.base_height(), 4);
+        assert!(ledger.block(3).is_none());
+        assert_eq!(ledger.block(4).unwrap().header.height, 4);
+        assert_eq!(ledger.blocks_from(0).len(), 2);
+        assert_eq!(ledger.tip().header.height, 5);
+
+        // Pruning past the tip always keeps the tip block.
+        assert_eq!(ledger.prune_below(100), 1);
+        assert_eq!(ledger.base_height(), 5);
+        assert_eq!(ledger.tip().header.height, 5);
+        assert_eq!(ledger.blocks_from(5).len(), 1);
+
+        // The pruned ledger still extends normally.
+        grow_by_transfers(&mut ledger, &alice, bob.address(), 1);
+        assert_eq!(ledger.height(), 6);
+        assert_eq!(ledger.block(6).unwrap().header.height, 6);
     }
 
     #[test]
@@ -806,10 +950,11 @@ mod tests {
 }
 
 mod codec_impls {
-    use super::{Account, Event, Receipt};
+    use super::{Account, Event, Receipt, WorldState};
     use medchain_runtime::impl_codec_struct;
 
     impl_codec_struct!(Account { balance, nonce });
     impl_codec_struct!(Event { contract, topic, data });
     impl_codec_struct!(Receipt { tx_id, ok, gas_used, output, events, error });
+    impl_codec_struct!(WorldState { accounts, storage, code, anchors });
 }

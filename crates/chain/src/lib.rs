@@ -39,6 +39,7 @@ pub mod merkle;
 pub mod net;
 pub mod node;
 pub mod sig;
+pub mod store;
 pub mod tx;
 
 pub use block::{Block, Header, Seal};
@@ -47,4 +48,5 @@ pub use ledger::{ContractRuntime, Event, ExecError, ExecOutcome, Ledger, Receipt
 pub use merkle::{MerkleProof, MerkleTree};
 pub use net::{NodeId, SimNetwork, SimTransport, TcpTransport, Transport, Wire};
 pub use sig::{Address, AuthorityKey, AuthoritySignature, KeyRegistry};
+pub use store::{BlockStore, MemStore, StoreError};
 pub use tx::{Transaction, TxPayload};

@@ -113,6 +113,7 @@ impl Mempool {
             None => {
                 self.size += 1;
                 self.metrics.counter("mempool.inserted", 1);
+                self.metrics.gauge("mempool.len", self.size as i64);
                 InsertOutcome::Inserted
             }
         }
@@ -151,6 +152,7 @@ impl Mempool {
         }
         if !batch.is_empty() {
             self.metrics.observe("mempool.batch_size", batch.len() as f64);
+            self.metrics.gauge("mempool.len", self.size as i64);
         }
         batch
     }
@@ -181,6 +183,7 @@ impl Mempool {
         }
         if before > self.size {
             self.metrics.counter("mempool.pruned", (before - self.size) as u64);
+            self.metrics.gauge("mempool.len", self.size as i64);
         }
     }
 }

@@ -103,6 +103,12 @@ impl ChainApp {
         &mut self.ledger
     }
 
+    /// Attaches a durable [`crate::store::BlockStore`] to the ledger:
+    /// every committed block is persisted before the in-memory commit.
+    pub fn attach_store(&mut self, store: Box<dyn crate::store::BlockStore>) {
+        self.ledger.attach_store(store);
+    }
+
     /// Pending transaction count.
     pub fn mempool_len(&self) -> usize {
         self.mempool.len()

@@ -22,8 +22,10 @@ use medchain_contracts::value::Value;
 use medchain_data::PatientRecord;
 use medchain_offchain::ActionIntent;
 use medchain_runtime::metrics::Metrics;
+use medchain_storage::{DiskStore, StorageConfig};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Addresses of the three standard contracts after deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +92,8 @@ pub enum NetworkError {
     /// The requested transport could not be brought up (e.g. socket
     /// bind failure).
     TransportInit(String),
+    /// Durable storage failed to open, recover, or resume consistently.
+    Storage(String),
 }
 
 impl fmt::Display for NetworkError {
@@ -104,6 +108,7 @@ impl fmt::Display for NetworkError {
             NetworkError::MissingReceipt(id) => write!(f, "no receipt for {id:?}"),
             NetworkError::NoSuchSite(i) => write!(f, "no site with index {i}"),
             NetworkError::TransportInit(e) => write!(f, "transport init failed: {e}"),
+            NetworkError::Storage(e) => write!(f, "storage failed: {e}"),
         }
     }
 }
@@ -119,6 +124,7 @@ pub struct NetworkBuilder {
     with_fda: bool,
     transport: TransportKind,
     metrics: Metrics,
+    storage: Option<(PathBuf, StorageConfig)>,
 }
 
 impl fmt::Debug for NetworkBuilder {
@@ -137,7 +143,31 @@ impl NetworkBuilder {
             with_fda: false,
             transport: TransportKind::Sim,
             metrics: Metrics::noop(),
+            storage: None,
         }
+    }
+
+    /// Persists every site's chain under `root` (one data directory per
+    /// site: `<root>/site-<i>`) with the default [`StorageConfig`].
+    /// Building against a directory that already holds a persisted
+    /// chain *resumes* it: each site recovers its ledger from disk and
+    /// the one-time setup (contract deployment, dataset registration)
+    /// is skipped.
+    #[must_use]
+    pub fn storage(self, root: impl Into<PathBuf>) -> NetworkBuilder {
+        self.storage_with(root, StorageConfig::default())
+    }
+
+    /// [`NetworkBuilder::storage`] with an explicit [`StorageConfig`]
+    /// (segment size, fsync policy, snapshot cadence, fault injection).
+    #[must_use]
+    pub fn storage_with(
+        mut self,
+        root: impl Into<PathBuf>,
+        config: StorageConfig,
+    ) -> NetworkBuilder {
+        self.storage = Some((root.into(), config));
+        self
     }
 
     /// Installs a metrics handle on every layer of the network: the
@@ -210,7 +240,7 @@ impl NetworkBuilder {
         let n = self.sites.len();
         let (engines, registry, _validators) =
             PoaEngine::make_validators(n, self.block_interval_ms);
-        let apps: Vec<ChainApp> = (0..n)
+        let mut apps: Vec<ChainApp> = (0..n)
             .map(|i| {
                 let mut app = ChainApp::with_runtime(
                     "medchain",
@@ -230,6 +260,41 @@ impl NetworkBuilder {
                 app
             })
             .collect();
+        // Durable storage: recover each site's ledger from its data dir
+        // (replaying the persisted chain), then attach the store so
+        // every later commit is persisted write-ahead.
+        let mut resumed_height = 0u64;
+        if let Some((root, config)) = &self.storage {
+            let mut reports = Vec::with_capacity(n);
+            for (i, app) in apps.iter_mut().enumerate() {
+                let dir = root.join(format!("site-{i}"));
+                // Replica-0 convention: only site 0's store reports.
+                let metrics =
+                    if i == 0 { self.metrics.clone() } else { Metrics::noop() };
+                let mut store = DiskStore::open_with_metrics(dir, *config, metrics)
+                    .map_err(|e| NetworkError::Storage(e.to_string()))?;
+                let report = store
+                    .recover_into(app.ledger_mut())
+                    .map_err(|e| NetworkError::Storage(format!("site {i}: {e}")))?;
+                app.attach_store(Box::new(store));
+                reports.push(report);
+            }
+            // A resumed consortium must agree before consensus restarts:
+            // the sites live in one process, so a crash stops them at the
+            // same commit (modulo a torn tail, which recovery removed).
+            let tip0 = reports[0].tip_id;
+            if let Some((i, r)) =
+                reports.iter().enumerate().find(|(_, r)| r.tip_id != tip0)
+            {
+                return Err(NetworkError::Storage(format!(
+                    "site {i} recovered height {} (tip {:?}) but site 0 \
+                     recovered height {} (tip {tip0:?})",
+                    r.height, r.tip_id, reports[0].height
+                )));
+            }
+            resumed_height = reports[0].height;
+        }
+        let resumed = resumed_height > 0;
         let net: Box<dyn Transport<PoaMsg>> = match self.transport {
             TransportKind::Sim => {
                 let mut sim = SimTransport::new(n, self.seed);
@@ -265,15 +330,43 @@ impl NetworkBuilder {
             block_interval_ms: self.block_interval_ms,
             registry,
             transport: self.transport,
+            metrics: self.metrics,
+            resumed,
         };
-        network.deploy_standard_contracts()?;
-        network.register_all_datasets()?;
-        if with_fda {
-            let fda = network
-                .fda_index()
-                .expect("fda site appended above");
-            let fda_address = network.site(fda).address();
-            network.grant_all(fda_address, Purpose::RegulatoryAudit)?;
+        if resumed {
+            // The persisted chain already holds the one-time setup;
+            // re-derive the deterministic contract addresses (site 0
+            // deployed with nonces 0/1/2) and verify the code is there.
+            let deployer = network.site(0).address();
+            let contracts = ContractAddresses {
+                data: contract_address(&deployer, 0),
+                analytics: contract_address(&deployer, 1),
+                trial: contract_address(&deployer, 2),
+            };
+            let state = network.ledger().state();
+            for (name, addr) in [
+                ("data", contracts.data),
+                ("analytics", contracts.analytics),
+                ("trial", contracts.trial),
+            ] {
+                if state.code(&addr).is_none() {
+                    return Err(NetworkError::Storage(format!(
+                        "resumed chain at height {resumed_height} has no \
+                         {name} contract at {addr:?}"
+                    )));
+                }
+            }
+            network.contracts = contracts;
+        } else {
+            network.deploy_standard_contracts()?;
+            network.register_all_datasets()?;
+            if with_fda {
+                let fda = network
+                    .fda_index()
+                    .expect("fda site appended above");
+                let fda_address = network.site(fda).address();
+                network.grant_all(fda_address, Purpose::RegulatoryAudit)?;
+            }
         }
         Ok(network)
     }
@@ -288,6 +381,8 @@ pub struct MedicalNetwork {
     block_interval_ms: u64,
     registry: KeyRegistry,
     transport: TransportKind,
+    metrics: Metrics,
+    resumed: bool,
 }
 
 impl fmt::Debug for MedicalNetwork {
@@ -364,6 +459,18 @@ impl MedicalNetwork {
     /// Which transport carries this network's consensus traffic.
     pub fn transport_kind(&self) -> TransportKind {
         self.transport
+    }
+
+    /// The metrics handle installed at build time (noop by default) —
+    /// higher layers (query pipeline, experiments) emit through it.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Whether this network resumed a persisted chain from disk instead
+    /// of running the one-time setup.
+    pub fn resumed(&self) -> bool {
+        self.resumed
     }
 
     /// Gracefully releases the transport (socket transports join their
@@ -767,6 +874,58 @@ mod tests {
         let receipt = net.commit_and_check(id).unwrap();
         let values = medchain_contracts::decode_args(&receipt.output).unwrap();
         assert_eq!(values[4], Value::Int(1), "task should be marked done");
+    }
+
+    #[test]
+    fn storage_backed_network_resumes_from_disk() {
+        let root = std::env::temp_dir()
+            .join(format!("medchain-net-resume-{}", std::process::id()));
+        if root.exists() {
+            std::fs::remove_dir_all(&root).unwrap();
+        }
+
+        // First life: build, do some work beyond the setup, remember the
+        // chain tip.
+        let mut net = MedicalNetwork::builder()
+            .site("hospital-0", records(0, 40))
+            .site("hospital-1", records(1, 40))
+            .storage(&root)
+            .build()
+            .unwrap();
+        assert!(!net.resumed());
+        let researcher = net.site(1).address();
+        net.grant_all(researcher, Purpose::Research).unwrap();
+        let height = net.height();
+        let tip = net.ledger().tip().id();
+        let contracts = net.contracts();
+        drop(net);
+
+        // Second life: same directory, same sites — resume, not re-setup.
+        let mut net = MedicalNetwork::builder()
+            .site("hospital-0", records(0, 40))
+            .site("hospital-1", records(1, 40))
+            .storage(&root)
+            .build()
+            .unwrap();
+        assert!(net.resumed());
+        assert_eq!(net.height(), height);
+        assert_eq!(net.ledger().tip().id(), tip);
+        assert_eq!(net.contracts(), contracts);
+        // The recovered state still enforces the pre-crash grants, and
+        // the chain keeps growing.
+        let id = net
+            .invoke_as(
+                1,
+                contracts.data,
+                "request",
+                &[Value::str("hospital-0/emr"), Value::Int(Purpose::Research.code())],
+                50_000,
+            )
+            .unwrap();
+        let receipt = net.commit_and_check(id).unwrap();
+        assert_eq!(receipt.events[0].topic, events::DATA_REQUESTED);
+        assert!(net.height() > height);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -145,6 +145,11 @@ pub fn run_query(
             .timestamp_ms
             .saturating_sub(sim_before),
     };
+    let metrics = net.metrics();
+    metrics.counter("query.pipeline_runs", 1);
+    metrics.counter("query.site_tasks", report.permitted as u64);
+    metrics.counter("query.denied_sites", report.denied as u64);
+    metrics.counter("query.bytes_returned", report.bytes_returned);
     Ok((answer, report))
 }
 

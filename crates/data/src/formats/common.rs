@@ -149,6 +149,17 @@ impl FormatRegistry {
         &self,
         documents: &[SourceDocument],
     ) -> (Vec<PatientRecord>, IntegrationReport) {
+        self.integrate_metered(documents, &medchain_runtime::metrics::Metrics::noop())
+    }
+
+    /// [`FormatRegistry::integrate`] with a metrics handle: emits
+    /// `integration.converted`, `integration.failed`, and
+    /// `integration.unknown_format` counters for the batch.
+    pub fn integrate_metered(
+        &self,
+        documents: &[SourceDocument],
+        metrics: &medchain_runtime::metrics::Metrics,
+    ) -> (Vec<PatientRecord>, IntegrationReport) {
         let mut records = Vec::with_capacity(documents.len());
         let mut report = IntegrationReport::default();
         for doc in documents {
@@ -166,6 +177,9 @@ impl FormatRegistry {
                 Err(_) => tally.failed += 1,
             }
         }
+        metrics.counter("integration.converted", report.converted());
+        metrics.counter("integration.failed", report.failed());
+        metrics.counter("integration.unknown_format", report.unknown_format);
         (records, report)
     }
 }

@@ -10,6 +10,7 @@
 use crate::audit::{AuditAction, AuditTrail, BlameVerdict};
 use crate::crypto::{nonce_from, ChaCha20, DhKeypair};
 use medchain_chain::Address;
+use medchain_runtime::metrics::Metrics;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -107,12 +108,20 @@ pub struct HieNetwork {
     next_id: u64,
     trail: AuditTrail,
     stats: HieStats,
+    metrics: Metrics,
 }
 
 impl HieNetwork {
     /// Creates an empty network.
     pub fn new() -> HieNetwork {
         HieNetwork::default()
+    }
+
+    /// Installs a metrics handle: exchange outcomes are emitted as
+    /// `hie.*` counters (`requests`, `completed`, `denied`, `disputed`,
+    /// `bytes_moved`) alongside the in-struct [`HieStats`].
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Enrolls a site, deriving its DH keypair from `key_seed`.
@@ -181,6 +190,7 @@ impl HieNetwork {
         );
         self.trail.record(id, requester, AuditAction::Requested, now_ms);
         self.stats.requested += 1;
+        self.metrics.counter("hie.requests", 1);
         Ok(id)
     }
 
@@ -224,6 +234,7 @@ impl HieNetwork {
         exchange.phase = Phase::Denied;
         self.trail.record(id, actor, AuditAction::Denied, now_ms);
         self.stats.denied += 1;
+        self.metrics.counter("hie.denied", 1);
         Ok(())
     }
 
@@ -262,6 +273,7 @@ impl HieNetwork {
         exchange.phase = Phase::Delivered;
         self.trail.record(id, actor, AuditAction::Delivered, now_ms);
         self.stats.bytes_moved += bytes as u64;
+        self.metrics.counter("hie.bytes_moved", bytes as u64);
         Ok(bytes)
     }
 
@@ -292,6 +304,7 @@ impl HieNetwork {
         exchange.phase = Phase::Acknowledged;
         self.trail.record(id, actor, AuditAction::Acknowledged, now_ms);
         self.stats.completed += 1;
+        self.metrics.counter("hie.completed", 1);
         Ok(records)
     }
 
@@ -308,6 +321,7 @@ impl HieNetwork {
         exchange.phase = Phase::Disputed;
         self.trail.record(id, actor, AuditAction::Disputed, now_ms);
         self.stats.disputed += 1;
+        self.metrics.counter("hie.disputed", 1);
         Ok(())
     }
 

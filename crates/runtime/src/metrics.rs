@@ -212,6 +212,12 @@ impl Registry {
         state.counters.keys().cloned().collect()
     }
 
+    /// All gauges as sorted `(key, value)` pairs.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        let state = self.state.lock().expect("metrics registry poisoned");
+        state.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
     /// Retained structured events, oldest first.
     pub fn events(&self) -> Vec<EventRecord> {
         let state = self.state.lock().expect("metrics registry poisoned");
@@ -312,6 +318,63 @@ impl MetricsSink for Registry {
     }
 }
 
+/// Samples every gauge on a [`Registry`] into its own event log at a
+/// fixed tick cadence.
+///
+/// Gauges are last-write-wins: a TSV export at the end of a run shows
+/// only the final value, hiding how a queue depth or mempool length
+/// evolved. Drive `tick()` from any loop the harness already has (block
+/// rounds, experiment iterations); every `every`-th tick appends one
+/// `metrics.gauge_snapshot` event carrying the tick number and the
+/// current value of each gauge, so the trajectory survives into
+/// [`Registry::events`] and the TSV export.
+#[derive(Debug)]
+pub struct GaugeSnapshotter {
+    registry: Registry,
+    every: u64,
+    ticks: u64,
+    taken: u64,
+}
+
+impl GaugeSnapshotter {
+    /// Snapshots `registry`'s gauges every `every` ticks (`every == 0`
+    /// disables sampling).
+    pub fn new(registry: Registry, every: u64) -> GaugeSnapshotter {
+        GaugeSnapshotter { registry, every, ticks: 0, taken: 0 }
+    }
+
+    /// Advances one tick; on every `every`-th tick records a
+    /// `metrics.gauge_snapshot` event. Returns `true` when a snapshot
+    /// was taken this tick.
+    pub fn tick(&mut self) -> bool {
+        self.ticks += 1;
+        if self.every == 0 || self.ticks % self.every != 0 {
+            return false;
+        }
+        let gauges = self.registry.gauges();
+        if gauges.is_empty() {
+            return false;
+        }
+        let mut fields: Vec<(&str, String)> = vec![("tick", self.ticks.to_string())];
+        for (key, value) in &gauges {
+            fields.push((key.as_str(), value.to_string()));
+        }
+        self.registry.handle().event("metrics", "gauge_snapshot", &fields);
+        self.taken += 1;
+        true
+    }
+
+    /// Ticks elapsed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Snapshots recorded so far.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +452,47 @@ mod tests {
         assert!(lines.contains(&"gauge\tmempool.len\t3"));
         assert!(tsv.contains("hist\toracle.rpc_ms\tcount=1"));
         assert!(tsv.contains("event\tmempool.evicted\tnonce=3"));
+    }
+
+    #[test]
+    fn gauge_snapshotter_samples_on_cadence() {
+        let registry = Registry::new();
+        let m = registry.handle();
+        let mut snap = GaugeSnapshotter::new(registry.clone(), 3);
+        for i in 0..9i64 {
+            m.gauge("mempool.len", i);
+            m.gauge("transport.inflight", i * 2);
+            snap.tick();
+        }
+        assert_eq!(snap.ticks(), 9);
+        assert_eq!(snap.taken(), 3);
+        let events: Vec<EventRecord> = registry
+            .events()
+            .into_iter()
+            .filter(|e| e.scope == "metrics" && e.name == "gauge_snapshot")
+            .collect();
+        assert_eq!(events.len(), 3);
+        // Snapshot at tick 6 captured the gauge values set on tick 6
+        // (i = 5), not the final ones.
+        let at6 = &events[1];
+        assert!(at6.fields.contains(&("tick".to_string(), "6".to_string())));
+        assert!(at6.fields.contains(&("mempool.len".to_string(), "5".to_string())));
+        assert!(at6.fields.contains(&("transport.inflight".to_string(), "10".to_string())));
+    }
+
+    #[test]
+    fn gauge_snapshotter_skips_when_disabled_or_empty() {
+        let registry = Registry::new();
+        // No gauges yet: nothing to record even on the cadence tick.
+        let mut snap = GaugeSnapshotter::new(registry.clone(), 1);
+        assert!(!snap.tick());
+        // every == 0 disables sampling entirely.
+        registry.handle().gauge("g", 1);
+        let mut off = GaugeSnapshotter::new(registry.clone(), 0);
+        for _ in 0..5 {
+            assert!(!off.tick());
+        }
+        assert_eq!(registry.events().len(), 0);
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! World-state snapshots: the fast-sync anchor that bounds replay.
+//!
+//! A snapshot file `snap-<height, zero-padded>.bin` holds one CRC-framed
+//! record (same framing as the block log) whose payload is the canonical
+//! bytes of the tip [`Block`] followed by the canonical bytes of the
+//! post-execution [`WorldState`]. Carrying the block — not just the
+//! state — gives recovery the parent-linkage anchor it needs to replay
+//! the log tail, and lets it cross-check the snapshot against the log
+//! (`snapshot tip id == logged block id at that height`) before
+//! trusting it.
+//!
+//! Writes go to a `.tmp` sibling first and rename into place, so a
+//! crash mid-snapshot leaves either the old set or the new set — never
+//! a half-written file that parses.
+
+use crate::crc::crc32;
+use crate::wal::{frame, RECORD_HEADER_BYTES};
+use medchain_chain::store::StoreError;
+use medchain_chain::{Block, WorldState};
+use medchain_runtime::codec::{Decode, Encode, Reader};
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+const SNAP_PREFIX: &str = "snap-";
+const SNAP_SUFFIX: &str = ".bin";
+
+/// A decoded snapshot: the chain tip it was taken at plus the full
+/// world state after executing that tip.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Height of [`Snapshot::tip`].
+    pub height: u64,
+    /// The block this snapshot was taken after.
+    pub tip: Block,
+    /// World state after executing `tip`.
+    pub state: WorldState,
+}
+
+/// The snapshot directory manager.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+fn snap_name(height: u64) -> String {
+    format!("{SNAP_PREFIX}{height:020}{SNAP_SUFFIX}")
+}
+
+fn snap_height(name: &str) -> Option<u64> {
+    name.strip_prefix(SNAP_PREFIX)?.strip_suffix(SNAP_SUFFIX)?.parse().ok()
+}
+
+impl SnapshotStore {
+    /// Opens (creating if absent) the snapshot directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn open(dir: &Path) -> Result<SnapshotStore, StoreError> {
+        fs::create_dir_all(dir)?;
+        Ok(SnapshotStore { dir: dir.to_path_buf() })
+    }
+
+    /// Writes a snapshot at `tip`'s height. Returns the bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure.
+    pub fn write(&self, tip: &Block, state: &WorldState) -> Result<u64, StoreError> {
+        let mut payload = tip.encoded();
+        state.encode(&mut payload);
+        let record = frame(&payload);
+        let final_path = self.dir.join(snap_name(tip.header.height));
+        let tmp_path = final_path.with_extension("bin.tmp");
+        let mut file = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp_path)?;
+        file.write_all(&record)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(record.len() as u64)
+    }
+
+    /// Heights of all snapshot files, ascending (validity unchecked).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn heights(&self) -> Result<Vec<u64>, StoreError> {
+        let mut heights = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(h) = snap_height(name) {
+                heights.push(h);
+            }
+        }
+        heights.sort_unstable();
+        Ok(heights)
+    }
+
+    /// The newest snapshot with height ≤ `max_height` that passes CRC
+    /// and decode checks and whose state hashes to the tip's state root.
+    /// Unreadable candidates are skipped, not fatal — an older valid
+    /// snapshot still anchors recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn latest_valid(&self, max_height: u64) -> Result<Option<Snapshot>, StoreError> {
+        let mut heights = self.heights()?;
+        heights.retain(|h| *h <= max_height);
+        for height in heights.into_iter().rev() {
+            if let Some(snap) = self.load(height)? {
+                return Ok(Some(snap));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Loads and validates the snapshot at `height`; `None` if the file
+    /// is missing, torn, corrupt, or inconsistent with itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on read failure (other than absence).
+    pub fn load(&self, height: u64) -> Result<Option<Snapshot>, StoreError> {
+        let path = self.dir.join(snap_name(height));
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let header = RECORD_HEADER_BYTES as usize;
+        if bytes.len() < header {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if bytes.len() < header + len {
+            return Ok(None);
+        }
+        let payload = &bytes[header..header + len];
+        if crc32(payload) != crc {
+            return Ok(None);
+        }
+        let mut reader = Reader::new(payload);
+        let (Ok(tip), Ok(state)) = (Block::decode(&mut reader), WorldState::decode(&mut reader))
+        else {
+            return Ok(None);
+        };
+        if reader.remaining() != 0
+            || tip.header.height != height
+            || state.state_root() != tip.header.state_root
+        {
+            return Ok(None);
+        }
+        Ok(Some(Snapshot { height, tip, state }))
+    }
+
+    /// Deletes all but the newest `retain` snapshot files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn prune(&self, retain: usize) -> Result<(), StoreError> {
+        let heights = self.heights()?;
+        if heights.len() <= retain {
+            return Ok(());
+        }
+        for height in &heights[..heights.len() - retain] {
+            fs::remove_file(self.dir.join(snap_name(*height)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::test_dir;
+
+    fn tip_and_state(height: u64) -> (Block, WorldState) {
+        let mut state = WorldState::new();
+        state.set_code(medchain_chain::Address::from_seed(height), vec![height as u8; 4]);
+        let mut tip = Block::genesis("snap-test");
+        tip.header.height = height;
+        tip.header.state_root = state.state_root();
+        (tip, state)
+    }
+
+    #[test]
+    fn write_load_prune_round_trip() {
+        let dir = test_dir("snap-roundtrip");
+        let store = SnapshotStore::open(&dir).unwrap();
+        for h in [4u64, 8, 12] {
+            let (tip, state) = tip_and_state(h);
+            store.write(&tip, &state).unwrap();
+        }
+        let snap = store.latest_valid(u64::MAX).unwrap().unwrap();
+        assert_eq!(snap.height, 12);
+        assert_eq!(snap.state.state_root(), snap.tip.header.state_root);
+        // Bounded lookup skips newer files.
+        assert_eq!(store.latest_valid(9).unwrap().unwrap().height, 8);
+        store.prune(1).unwrap();
+        assert_eq!(store.heights().unwrap(), vec![12]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_skipped_for_older_valid_one() {
+        let dir = test_dir("snap-corrupt");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let (tip4, state4) = tip_and_state(4);
+        let (tip8, state8) = tip_and_state(8);
+        store.write(&tip4, &state4).unwrap();
+        store.write(&tip8, &state8).unwrap();
+        // Flip one byte in the newest snapshot's payload.
+        let path = dir.join(snap_name(8));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[12] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        let snap = store.latest_valid(u64::MAX).unwrap().unwrap();
+        assert_eq!(snap.height, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -65,4 +65,45 @@ for key in consensus.rounds mempool.inserted transport.bytes chain.blocks_commit
 done
 echo "ok: metrics TSV carries the required counters"
 
+# Storage crate purity: the durable-persistence crate must stay std-only
+# on top of the runtime codec and chain types — no other dependencies,
+# so the on-disk format never grows an external decoder.
+echo "== storage: dependency guard =="
+if awk '
+    /^\[/ { in_deps = ($0 ~ /^\[dependencies\]$/) }
+    in_deps && /^[A-Za-z0-9_-]+[.[:space:]]*[=.]/ {
+        if ($0 !~ /^medchain-(runtime|chain)[.[:space:]]/) {
+            print "crates/storage/Cargo.toml: " $0
+            found = 1
+        }
+    }
+    END { exit !found }
+' crates/storage/Cargo.toml; then
+    echo "ERROR: crates/storage may depend only on medchain-runtime and medchain-chain." >&2
+    exit 1
+fi
+echo "ok: medchain-storage depends only on medchain-runtime + medchain-chain"
+
+# Crash recovery: run the restart example twice against one data dir.
+# The first life bootstraps and commits; the second must resume from
+# disk at the persisted height instead of re-bootstrapping. Wall-clock
+# guarded — a recovery loop that wedges must fail the gate.
+echo "== storage: kill-and-restart round trip (wall-clock guarded) =="
+restart_dir="$(mktemp -d)"
+restart_log="$(mktemp)"
+trap 'rm -f "$metrics_tsv" "$restart_log"; rm -rf "$restart_dir"' EXIT
+timeout 120 cargo run --release -q --example restart_node "$restart_dir" > "$restart_log"
+if grep -q "resumed at height" "$restart_log"; then
+    echo "ERROR: first life of restart_node claims to have resumed" >&2
+    cat "$restart_log" >&2
+    exit 1
+fi
+timeout 120 cargo run --release -q --example restart_node "$restart_dir" > "$restart_log"
+if ! grep -q "resumed at height" "$restart_log"; then
+    echo "ERROR: second life of restart_node did not resume from disk" >&2
+    cat "$restart_log" >&2
+    exit 1
+fi
+echo "ok: restart_node resumed from its write-ahead log"
+
 echo "verify: OK"

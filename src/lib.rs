@@ -33,6 +33,13 @@ pub mod prelude {
         Address, AuthorityKey, Hash256, KeyRegistry, MerkleTree, Transaction, TxPayload,
     };
 
+    // Durable persistence: block store trait plus the disk-backed
+    // segmented-WAL / snapshot implementation.
+    pub use medchain_chain::store::{BlockStore, MemStore, StoreError};
+    pub use medchain_storage::{
+        DiskStore, FsyncPolicy, RecoveryReport, StorageConfig, StorageFault,
+    };
+
     // Contracts: assembler, bytecode, values, access policy.
     pub use medchain_contracts::asm::{assemble, disassemble};
     pub use medchain_contracts::opcode::{decode_program, encode_program};

@@ -9,7 +9,8 @@
 
 use crate::report::{f, ms, Table};
 use medchain::modes::{
-    run_duplicated_metered, run_sharded_metered, run_transformed_metered, ModeReport,
+    run_duplicated_metered, run_sharded_consensus_metered, run_sharded_metered,
+    run_transformed_metered, ModeReport,
 };
 use medchain::TransportKind;
 use medchain_runtime::metrics::Metrics;
@@ -133,10 +134,12 @@ pub fn run_e2_metered(quick: bool, metrics: Metrics) -> Table {
             "nodes",
             "duplicated wall",
             "sharded wall",
+            "chain-shard wall",
             "transformed wall",
             "speedup ×",
             "dup work",
             "shard work",
+            "chain-shard work",
             "trans work",
             "dup net bytes",
         ],
@@ -149,6 +152,11 @@ pub fn run_e2_metered(quick: bool, metrics: Metrics) -> Table {
         let shards = (nodes / 2).max(1);
         let sharded = run_sharded_metered(nodes, shards, work, 22, metrics.clone())
             .expect("sharded run");
+        // The same split enforced at the chain layer: real sub-chains
+        // with committees and cross-links (DESIGN.md §9).
+        let chain_sharded =
+            run_sharded_consensus_metered(nodes, shards, work, 22, metrics.clone())
+                .expect("sharded-consensus run");
         let transformed =
             run_transformed_metered(nodes, work, 22, metrics.clone()).expect("transformed run");
         let speedup = wall_secs(&duplicated) / wall_secs(&transformed);
@@ -157,18 +165,21 @@ pub fn run_e2_metered(quick: bool, metrics: Metrics) -> Table {
             nodes.to_string(),
             ms(wall_secs(&duplicated) * 1000.0),
             ms(wall_secs(&sharded) * 1000.0),
+            ms(wall_secs(&chain_sharded) * 1000.0),
             ms(wall_secs(&transformed) * 1000.0),
             f(speedup),
             duplicated.total_gas.to_string(),
             sharded.total_gas.to_string(),
+            chain_sharded.total_gas.to_string(),
             transformed.total_gas.to_string(),
             duplicated.bytes.to_string(),
         ]);
     }
     table.finding(
         "sharding (paper §I) cuts duplication to group size but still re-executes within each \
-         shard; only the transformed architecture reaches ~1× total work for arbitrary \
-         computation"
+         shard; consensus-level sharding (chain-shard, DESIGN.md §9) confirms the same \
+         N/k asymptote with real sub-chains and cross-links; only the transformed \
+         architecture reaches ~1× total work for arbitrary computation"
             .to_string(),
     );
     if let Some((n, s)) = speedups.last() {
@@ -222,6 +233,8 @@ mod tests {
         let work = work_units(true);
         let duplicated = run_duplicated_metered(4, work, 22, Metrics::noop()).unwrap();
         let sharded = run_sharded_metered(4, 2, work, 22, Metrics::noop()).unwrap();
+        let chain_sharded =
+            run_sharded_consensus_metered(4, 2, work, 22, Metrics::noop()).unwrap();
         let transformed = run_transformed_metered(4, work, 22, Metrics::noop()).unwrap();
         assert!(
             duplicated.modeled_wall() > transformed.modeled_wall(),
@@ -229,12 +242,22 @@ mod tests {
             duplicated.modeled_wall(),
             transformed.modeled_wall()
         );
-        // Ordering of total work: duplicated > sharded > transformed.
+        // Ordering of total work: duplicated > sharded > transformed,
+        // and the chain-level sharding lands at the same N/k asymptote
+        // as the modeled split (within cross-link/deploy overhead).
         assert!(
             duplicated.total_gas > sharded.total_gas && sharded.total_gas > transformed.total_gas,
             "work ordering {} {} {}",
             duplicated.total_gas,
             sharded.total_gas,
+            transformed.total_gas
+        );
+        assert!(
+            duplicated.total_gas > chain_sharded.total_gas
+                && chain_sharded.total_gas > transformed.total_gas,
+            "chain-shard ordering {} {} {}",
+            duplicated.total_gas,
+            chain_sharded.total_gas,
             transformed.total_gas
         );
     }
@@ -248,5 +271,10 @@ mod tests {
         assert!(registry.counter_value("offchain.tasks") >= (1 + 2 + 4));
         assert!(registry.counter_value("consensus.rounds") > 0);
         assert!(registry.counter_value("transport.bytes") > 0);
+        // The chain-shard column ran real committees reporting under
+        // per-shard scoped keys (DESIGN.md §9).
+        assert!(registry.counter_value("shard-0.consensus.rounds") > 0);
+        assert!(registry.counter_value("shard-0.chain.blocks_committed") > 0);
+        assert!(registry.counter_value("coordinator.consensus.rounds") > 0);
     }
 }

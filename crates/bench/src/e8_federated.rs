@@ -10,6 +10,7 @@ use medchain_learning::metrics::auc;
 use medchain_learning::{
     centralized_baseline, local_only_baseline, FedAvg, FedLogistic, LocalLearner,
 };
+use medchain_runtime::metrics::Metrics;
 
 fn shards_and_eval(sites: usize, per_site: usize) -> (Vec<Dataset>, Dataset) {
     let shards: Vec<Dataset> = (0..sites)
@@ -30,6 +31,12 @@ fn shards_and_eval(sites: usize, per_site: usize) -> (Vec<Dataset>, Dataset) {
 
 /// Runs E8.
 pub fn run_e8(quick: bool) -> Table {
+    run_e8_metered(quick, Metrics::noop())
+}
+
+/// [`run_e8`] with the FedAvg loop reporting `learning.*` counters
+/// (rounds, uplink/downlink parameter bytes) to `metrics`.
+pub fn run_e8_metered(quick: bool, metrics: Metrics) -> Table {
     let per_site = if quick { 400 } else { 800 };
     let rounds = if quick { 10 } else { 20 };
     let site_counts: Vec<usize> = if quick { vec![2, 6] } else { vec![2, 4, 8, 16] };
@@ -49,6 +56,7 @@ pub fn run_e8(quick: bool) -> Table {
     for sites in site_counts {
         let (shards, eval) = shards_and_eval(sites, per_site);
         let mut fed = FedAvg::new(FedLogistic::new(10, 3), rounds);
+        fed.set_metrics(metrics.clone());
         let report = fed.run(&shards, Some(&eval));
         let fed_auc = report.final_auc();
 
@@ -89,6 +97,20 @@ pub fn run_e8(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e8_asserts_on_sink_counters() {
+        let registry = medchain_runtime::metrics::Registry::default();
+        let table = run_e8_metered(true, registry.handle());
+        // Quick mode: 10 rounds for each of the 2- and 6-site runs.
+        assert_eq!(registry.counter_value("learning.rounds"), 20);
+        assert!(registry.counter_value("learning.bytes_uplink") > 0);
+        assert_eq!(
+            registry.counter_value("learning.bytes_uplink"),
+            registry.counter_value("learning.bytes_downlink")
+        );
+        assert_eq!(table.rows.len(), 2);
+    }
 
     #[test]
     fn e8_federated_between_local_and_centralized() {

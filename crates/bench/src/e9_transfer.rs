@@ -6,7 +6,8 @@
 use crate::report::{f, Table};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, CANCER_CODE, STROKE_CODE};
 use medchain_data::Dataset;
-use medchain_learning::{learning_curve, pretrain, pretrain_federated, MlpConfig};
+use medchain_learning::{learning_curve, pretrain, pretrain_federated_metered, MlpConfig};
+use medchain_runtime::metrics::Metrics;
 
 fn cohort(code: &str, n: usize, seed: u64) -> Dataset {
     let model =
@@ -17,6 +18,13 @@ fn cohort(code: &str, n: usize, seed: u64) -> Dataset {
 
 /// Runs E9.
 pub fn run_e9(quick: bool) -> Table {
+    run_e9_metered(quick, Metrics::noop())
+}
+
+/// [`run_e9`] with the federated pretraining phase reporting
+/// `learning.*` counters to `metrics` (the centralized pretrain and the
+/// fine-tunes are local work with nothing to meter).
+pub fn run_e9_metered(quick: bool, metrics: Metrics) -> Table {
     let source_n = if quick { 3_000 } else { 10_000 };
     let sizes: Vec<usize> =
         if quick { vec![50, 150, 600] } else { vec![50, 100, 250, 500, 1_000, 3_000] };
@@ -27,7 +35,8 @@ pub fn run_e9(quick: bool) -> Table {
     let base = pretrain(&source, &config);
     // Federated pretraining variant (the paper's distributed transfer).
     let fed_shards: Vec<Dataset> = (0..4).map(|i| cohort(STROKE_CODE, source_n / 4, 92 + i)).collect();
-    let fed_base = pretrain_federated(&fed_shards, 4, if quick { 5 } else { 12 });
+    let fed_base =
+        pretrain_federated_metered(&fed_shards, 4, if quick { 5 } else { 12 }, metrics);
 
     // Target: small cancer cohorts.
     let target_train = cohort(CANCER_CODE, *sizes.last().unwrap(), 95);
@@ -72,6 +81,17 @@ pub fn run_e9(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e9_asserts_on_sink_counters() {
+        let registry = medchain_runtime::metrics::Registry::default();
+        let table = run_e9_metered(true, registry.handle());
+        // Quick mode: 5 federated pretraining rounds over 4 shards.
+        assert_eq!(registry.counter_value("learning.rounds"), 5);
+        assert!(registry.counter_value("learning.bytes_uplink") > 0);
+        assert!(registry.counter_value("learning.bytes_downlink") > 0);
+        assert_eq!(table.rows.len(), 3);
+    }
 
     #[test]
     fn e9_transfer_helps_at_small_n() {

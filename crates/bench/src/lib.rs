@@ -64,8 +64,9 @@ pub fn run_experiment(id: &str, quick: bool) -> Table {
 }
 
 /// Runs one experiment by id with `metrics` installed on every layer
-/// that supports it (E1–E7; the remaining experiments run unmetered
-/// and simply ignore the handle).
+/// that supports it (E1–E9; the remaining experiments run unmetered
+/// and simply ignore the handle). E8/E9 report `learning.*` counters
+/// from their federated loops.
 ///
 /// # Panics
 ///
@@ -84,6 +85,8 @@ pub fn run_experiment_metered(
         "e5" => e5_integration::run_e5_metered(quick, metrics),
         "e6" => e6_contracts::run_e6_metered(quick, metrics),
         "e7" => e7_query::run_e7_metered(quick, metrics),
+        "e8" => e8_federated::run_e8_metered(quick, metrics),
+        "e9" => e9_transfer::run_e9_metered(quick, metrics),
         other => run_experiment(other, quick),
     }
 }

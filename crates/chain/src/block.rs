@@ -2,6 +2,7 @@
 
 use crate::hash::Hash256;
 use crate::merkle::MerkleTree;
+use crate::shard::ShardId;
 use crate::sig::{Address, AuthoritySignature};
 use crate::tx::Transaction;
 
@@ -56,18 +57,23 @@ pub struct Header {
     pub timestamp_ms: u64,
     /// Address of the proposer / miner.
     pub proposer: Address,
+    /// Which sub-chain this block belongs to: `ShardId(0)` on an
+    /// unsharded chain, `0..k` for data shards,
+    /// [`ShardId::COORDINATOR`] for the cross-link chain (DESIGN.md §9).
+    pub shard: ShardId,
 }
 
 impl Header {
     /// Digest of the header fields (excluding the seal).
     pub fn digest(&self) -> Hash256 {
-        let mut bytes = Vec::with_capacity(116);
+        let mut bytes = Vec::with_capacity(118);
         bytes.extend_from_slice(&self.height.to_le_bytes());
         bytes.extend_from_slice(&self.parent.0);
         bytes.extend_from_slice(&self.tx_root.0);
         bytes.extend_from_slice(&self.state_root.0);
         bytes.extend_from_slice(&self.timestamp_ms.to_le_bytes());
         bytes.extend_from_slice(&self.proposer.0);
+        bytes.extend_from_slice(&self.shard.0.to_le_bytes());
         Hash256::digest(&bytes)
     }
 
@@ -93,6 +99,13 @@ pub struct Block {
 impl Block {
     /// The genesis block of a chain identified by `chain_id`.
     pub fn genesis(chain_id: &str) -> Block {
+        Block::genesis_sharded(chain_id, ShardId::default())
+    }
+
+    /// The genesis block of sub-chain `shard` in a sharded topology.
+    /// Distinct shards get distinct genesis ids even under one
+    /// `chain_id`, because the header commits to the shard.
+    pub fn genesis_sharded(chain_id: &str, shard: ShardId) -> Block {
         let header = Header {
             height: 0,
             parent: Hash256::ZERO,
@@ -100,6 +113,7 @@ impl Block {
             state_root: Hash256::digest(chain_id.as_bytes()),
             timestamp_ms: 0,
             proposer: Address::from_seed(0),
+            shard,
         };
         Block { header, transactions: Vec::new(), seal: Seal::Genesis }
     }
@@ -154,6 +168,7 @@ mod tests {
             state_root: Hash256::digest(b"state"),
             timestamp_ms: 1_000,
             proposer: key.address(),
+            shard: ShardId::default(),
         };
         Block { header, transactions: txs, seal: Seal::Genesis }
     }
@@ -162,6 +177,16 @@ mod tests {
     fn genesis_is_deterministic_per_chain_id() {
         assert_eq!(Block::genesis("med").id(), Block::genesis("med").id());
         assert_ne!(Block::genesis("med").id(), Block::genesis("other").id());
+    }
+
+    #[test]
+    fn sharded_genesis_differs_per_shard() {
+        let a = Block::genesis_sharded("med", ShardId(0));
+        let b = Block::genesis_sharded("med", ShardId(1));
+        assert_ne!(a.id(), b.id());
+        // The unsharded genesis is shard 0 of a one-shard topology.
+        assert_eq!(Block::genesis("med").id(), a.id());
+        assert_eq!(b.header.shard, ShardId(1));
     }
 
     #[test]
@@ -192,6 +217,9 @@ mod tests {
         let mut h = base.clone();
         h.proposer = Address::from_seed(42);
         variants.push(h);
+        let mut h = base.clone();
+        h.shard = ShardId(7);
+        variants.push(h);
         for v in variants {
             assert_ne!(v.digest(), base.digest());
         }
@@ -215,6 +243,14 @@ mod codec_impls {
         3 => Work { nonce, difficulty_bits },
         4 => Stake { winner, stake },
     });
-    impl_codec_struct!(Header { height, parent, tx_root, state_root, timestamp_ms, proposer });
+    impl_codec_struct!(Header {
+        height,
+        parent,
+        tx_root,
+        state_root,
+        timestamp_ms,
+        proposer,
+        shard
+    });
     impl_codec_struct!(Block { header, transactions, seal });
 }

@@ -10,11 +10,22 @@
 use crate::block::{Block, Header};
 use crate::hash::{Hash256, Sha256};
 use crate::merkle::MerkleTree;
+use crate::shard::{sharded_contract_address, ShardId};
 use crate::sig::{Address, KeyRegistry};
 use crate::store::BlockStore;
 use crate::tx::{Transaction, TxPayload};
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// The newest cross-link the coordinator chain holds for one shard:
+/// the shard's committed tip at link time (DESIGN.md §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossLinkRecord {
+    /// Height of the linked shard tip.
+    pub height: u64,
+    /// Digest of the linked shard tip header.
+    pub tip: Hash256,
+}
 
 /// An account record: token balance and replay-protection nonce.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -160,6 +171,7 @@ pub struct WorldState {
     storage: BTreeMap<(Address, Vec<u8>), Vec<u8>>,
     code: BTreeMap<Address, Vec<u8>>,
     anchors: BTreeMap<String, Hash256>,
+    crosslinks: BTreeMap<u16, CrossLinkRecord>,
 }
 
 impl WorldState {
@@ -247,6 +259,18 @@ impl WorldState {
         self.anchors.len()
     }
 
+    /// The newest cross-link recorded for `shard` (coordinator chains
+    /// only; always `None` on data shards).
+    pub fn cross_link(&self, shard: ShardId) -> Option<CrossLinkRecord> {
+        self.crosslinks.get(&shard.0).copied()
+    }
+
+    /// All recorded cross-links as `(shard, record)` pairs, sorted by
+    /// shard — what recovery checks each sub-chain against.
+    pub fn cross_links(&self) -> impl Iterator<Item = (ShardId, CrossLinkRecord)> + '_ {
+        self.crosslinks.iter().map(|(s, r)| (ShardId(*s), *r))
+    }
+
     /// Deterministic commitment to the entire state.
     pub fn state_root(&self) -> Hash256 {
         let mut h = Sha256::new();
@@ -269,6 +293,11 @@ impl WorldState {
         for (label, root) in &self.anchors {
             h.update(label.as_bytes());
             h.update(&root.0);
+        }
+        for (shard, link) in &self.crosslinks {
+            h.update(&shard.to_le_bytes());
+            h.update(&link.height.to_le_bytes());
+            h.update(&link.tip.0);
         }
         h.finalize()
     }
@@ -310,6 +339,13 @@ pub enum LedgerError {
     BodyMismatch,
     /// Header `state_root` does not match post-execution state.
     StateRootMismatch,
+    /// Block belongs to a different shard sub-chain than this ledger.
+    WrongShard {
+        /// Shard this ledger follows.
+        expected: ShardId,
+        /// Shard the header carried.
+        got: ShardId,
+    },
     /// An anchor label was re-registered with a different root.
     AnchorConflict(String),
     /// The attached [`BlockStore`] failed to persist the block; the
@@ -334,6 +370,9 @@ impl fmt::Display for LedgerError {
             LedgerError::BodyMismatch => f.write_str("tx root does not commit to block body"),
             LedgerError::StateRootMismatch => {
                 f.write_str("state root does not match post-execution state")
+            }
+            LedgerError::WrongShard { expected, got } => {
+                write!(f, "block belongs to {got}, this ledger follows {expected}")
             }
             LedgerError::AnchorConflict(label) => {
                 write!(f, "anchor label {label:?} already registered with different root")
@@ -376,6 +415,8 @@ pub struct Ledger {
     runtime: Box<dyn ContractRuntime>,
     stats: LedgerStats,
     store: Option<Box<dyn BlockStore>>,
+    shard: ShardId,
+    shard_count: u16,
 }
 
 impl fmt::Debug for Ledger {
@@ -388,10 +429,29 @@ impl fmt::Debug for Ledger {
 }
 
 impl Ledger {
-    /// Creates a ledger with the genesis block for `chain_id`.
+    /// Creates a ledger with the genesis block for `chain_id` — the
+    /// unsharded case: shard 0 of a one-shard topology.
     pub fn new(chain_id: &str, registry: KeyRegistry, runtime: Box<dyn ContractRuntime>) -> Ledger {
+        Ledger::new_sharded(chain_id, ShardId::default(), 1, registry, runtime)
+    }
+
+    /// Creates the ledger of sub-chain `shard` in a `shard_count`-shard
+    /// topology (DESIGN.md §9). Contract addresses deployed here are
+    /// derived with [`sharded_contract_address`] when `shard_count > 1`,
+    /// so the invoke routing rule maps them back to this shard; blocks
+    /// from any other shard are rejected with
+    /// [`LedgerError::WrongShard`]. Pass [`ShardId::COORDINATOR`] for
+    /// the cross-link chain.
+    pub fn new_sharded(
+        chain_id: &str,
+        shard: ShardId,
+        shard_count: u16,
+        registry: KeyRegistry,
+        runtime: Box<dyn ContractRuntime>,
+    ) -> Ledger {
+        assert!(shard_count > 0, "shard_count must be at least 1");
         Ledger {
-            blocks: vec![Block::genesis(chain_id)],
+            blocks: vec![Block::genesis_sharded(chain_id, shard)],
             base_height: 0,
             state: WorldState::new(),
             receipts: BTreeMap::new(),
@@ -399,7 +459,20 @@ impl Ledger {
             runtime,
             stats: LedgerStats::default(),
             store: None,
+            shard,
+            shard_count,
         }
+    }
+
+    /// Which sub-chain this ledger follows.
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// Number of data shards in the topology this ledger is part of
+    /// (1 for unsharded chains).
+    pub fn shard_count(&self) -> u16 {
+        self.shard_count
     }
 
     /// Attaches a durable [`BlockStore`]: every subsequent
@@ -551,7 +624,7 @@ impl Ledger {
         let mut included = Vec::with_capacity(txs.len());
         for tx in txs {
             if self.admission_against(&state, &tx).is_ok() {
-                let _ = Self::execute_tx(&*self.runtime, &mut state, &tx, timestamp_ms);
+                let _ = self.execute_tx(&mut state, &tx, timestamp_ms);
                 included.push(tx);
             }
         }
@@ -563,6 +636,7 @@ impl Ledger {
             state_root: state.state_root(),
             timestamp_ms,
             proposer,
+            shard: self.shard,
         };
         Block { header, transactions: included, seal: crate::block::Seal::Genesis }
     }
@@ -589,6 +663,12 @@ impl Ledger {
     /// Returns a [`LedgerError`] and leaves the ledger unchanged if any
     /// structural or execution-commitment check fails.
     pub fn apply(&mut self, block: &Block) -> Result<Vec<Receipt>, LedgerError> {
+        if block.header.shard != self.shard {
+            return Err(LedgerError::WrongShard {
+                expected: self.shard,
+                got: block.header.shard,
+            });
+        }
         if block.header.parent != self.tip().id() {
             return Err(LedgerError::WrongParent);
         }
@@ -605,12 +685,7 @@ impl Ledger {
         let mut receipts = Vec::with_capacity(block.transactions.len());
         for tx in &block.transactions {
             self.admission_against(&state, tx)?;
-            receipts.push(Self::execute_tx(
-                &*self.runtime,
-                &mut state,
-                tx,
-                block.header.timestamp_ms,
-            ));
+            receipts.push(self.execute_tx(&mut state, tx, block.header.timestamp_ms));
         }
         if state.state_root() != block.header.state_root {
             return Err(LedgerError::StateRootMismatch);
@@ -637,12 +712,8 @@ impl Ledger {
     }
 
     /// Executes one admissible transaction against `state`.
-    fn execute_tx(
-        runtime: &dyn ContractRuntime,
-        state: &mut WorldState,
-        tx: &Transaction,
-        now_ms: u64,
-    ) -> Receipt {
+    fn execute_tx(&self, state: &mut WorldState, tx: &Transaction, now_ms: u64) -> Receipt {
+        let runtime = &*self.runtime;
         // Bump nonce first: failed transactions still consume it.
         let account = state.accounts.entry(tx.sender).or_default();
         account.nonce += 1;
@@ -664,7 +735,14 @@ impl Ledger {
                 })
                 .map_err(|e| ExecError { gas_used: 21, reason: e.to_string() }),
             TxPayload::Deploy { code, init } => {
-                let contract_addr = contract_address(&tx.sender, tx.nonce);
+                // On a sharded ledger the address is ground so that the
+                // invoke routing rule (shard_for_key on the address)
+                // lands back on this shard (DESIGN.md §9).
+                let contract_addr = if self.shard_count > 1 {
+                    sharded_contract_address(&tx.sender, tx.nonce, self.shard, self.shard_count)
+                } else {
+                    contract_address(&tx.sender, tx.nonce)
+                };
                 runtime
                     .deploy(tx.sender, contract_addr, code, init, tx.gas_limit, now_ms, state)
                     .map(|mut outcome| {
@@ -685,6 +763,38 @@ impl Ledger {
                     Ok(ExecOutcome { gas_used: 30, ..ExecOutcome::default() })
                 }
             },
+            TxPayload::CrossLink { shard, height, tip } => {
+                if !self.shard.is_coordinator() {
+                    Err(ExecError {
+                        gas_used: 40,
+                        reason: format!("cross-link for {shard} on non-coordinator chain"),
+                    })
+                } else if shard.is_coordinator() {
+                    Err(ExecError {
+                        gas_used: 40,
+                        reason: "cross-link cannot reference the coordinator itself".into(),
+                    })
+                } else {
+                    match state.crosslinks.get(&shard.0) {
+                        // A shard's committed height is monotonic: a
+                        // link at or below the last one is a rewind.
+                        Some(prev) if prev.height >= *height => Err(ExecError {
+                            gas_used: 40,
+                            reason: format!(
+                                "cross-link height regression for {shard}: \
+                                 have {}, got {height}",
+                                prev.height
+                            ),
+                        }),
+                        _ => {
+                            state
+                                .crosslinks
+                                .insert(shard.0, CrossLinkRecord { height: *height, tip: *tip });
+                            Ok(ExecOutcome { gas_used: 40, ..ExecOutcome::default() })
+                        }
+                    }
+                }
+            }
         };
 
         match result {
@@ -947,14 +1057,201 @@ mod tests {
         assert_ne!(contract_address(&sender, 0), contract_address(&sender, 1));
         assert_eq!(contract_address(&sender, 0), contract_address(&sender, 0));
     }
+
+    // === Consensus-level sharding (DESIGN.md §9) ===
+
+    fn sharded_ledger(shard: ShardId, shard_count: u16, keys: &[AuthorityKey]) -> Ledger {
+        let mut registry = KeyRegistry::new();
+        for k in keys {
+            registry.enroll(k);
+        }
+        let mut ledger =
+            Ledger::new_sharded("test-chain", shard, shard_count, registry, Box::new(NullRuntime));
+        for k in keys {
+            ledger.state_mut().credit(k.address(), 1_000);
+        }
+        ledger
+    }
+
+    fn cross_link_tx(key: &AuthorityKey, nonce: u64, shard: ShardId, height: u64) -> Transaction {
+        let tip = Hash256::digest(&height.to_le_bytes());
+        Transaction::new(
+            key.address(),
+            nonce,
+            TxPayload::CrossLink { shard, height, tip },
+            100,
+        )
+        .signed(key)
+    }
+
+    #[test]
+    fn coordinator_records_monotonic_cross_links() {
+        let alice = AuthorityKey::from_seed(1);
+        let mut coord =
+            sharded_ledger(ShardId::COORDINATOR, 2, std::slice::from_ref(&alice));
+        let block = coord.propose(
+            alice.address(),
+            10,
+            vec![
+                cross_link_tx(&alice, 0, ShardId(0), 4),
+                cross_link_tx(&alice, 1, ShardId(1), 3),
+            ],
+        );
+        let receipts = coord.apply(&block).unwrap();
+        assert!(receipts.iter().all(|r| r.ok));
+        assert_eq!(coord.state().cross_link(ShardId(0)).unwrap().height, 4);
+        assert_eq!(coord.state().cross_link(ShardId(1)).unwrap().height, 3);
+
+        // Advancing shard 0 supersedes its record; rewinding it fails.
+        let block = coord.propose(
+            alice.address(),
+            20,
+            vec![
+                cross_link_tx(&alice, 2, ShardId(0), 7),
+                cross_link_tx(&alice, 3, ShardId(0), 5),
+            ],
+        );
+        let receipts = coord.apply(&block).unwrap();
+        assert!(receipts[0].ok);
+        assert!(!receipts[1].ok, "height regression must fail");
+        assert!(receipts[1].error.as_deref().unwrap().contains("regression"));
+        assert_eq!(coord.state().cross_link(ShardId(0)).unwrap().height, 7);
+        assert_eq!(coord.state().cross_links().count(), 2);
+    }
+
+    #[test]
+    fn cross_link_fails_on_data_shard_and_for_coordinator_target() {
+        let alice = AuthorityKey::from_seed(1);
+        let mut data = sharded_ledger(ShardId(0), 2, std::slice::from_ref(&alice));
+        let block =
+            data.propose(alice.address(), 10, vec![cross_link_tx(&alice, 0, ShardId(1), 2)]);
+        let receipts = data.apply(&block).unwrap();
+        assert!(!receipts[0].ok);
+        assert!(receipts[0].error.as_deref().unwrap().contains("non-coordinator"));
+
+        let mut coord =
+            sharded_ledger(ShardId::COORDINATOR, 2, std::slice::from_ref(&alice));
+        let block = coord.propose(
+            alice.address(),
+            10,
+            vec![cross_link_tx(&alice, 0, ShardId::COORDINATOR, 2)],
+        );
+        let receipts = coord.apply(&block).unwrap();
+        assert!(!receipts[0].ok, "a cross-link cannot reference the coordinator");
+    }
+
+    #[test]
+    fn apply_rejects_block_from_another_shard() {
+        let alice = AuthorityKey::from_seed(1);
+        let mut shard0 = sharded_ledger(ShardId(0), 2, std::slice::from_ref(&alice));
+        let mut shard1 = sharded_ledger(ShardId(1), 2, std::slice::from_ref(&alice));
+        let foreign = shard1.propose(alice.address(), 10, Vec::new());
+        assert_eq!(
+            shard0.apply(&foreign),
+            Err(LedgerError::WrongShard { expected: ShardId(0), got: ShardId(1) })
+        );
+        // The rejected block would have applied cleanly on its own chain.
+        assert!(shard1.apply(&foreign).is_ok());
+    }
+
+    /// Accepts every deploy by storing the code verbatim — enough to
+    /// observe the derived contract address in the receipt.
+    struct StoreCodeRuntime;
+
+    impl ContractRuntime for StoreCodeRuntime {
+        fn deploy(
+            &self,
+            _sender: Address,
+            contract_addr: Address,
+            code: &[u8],
+            _init: &[u8],
+            _gas_limit: u64,
+            _now_ms: u64,
+            state: &mut WorldState,
+        ) -> Result<ExecOutcome, ExecError> {
+            state.set_code(contract_addr, code.to_vec());
+            Ok(ExecOutcome { gas_used: 50, ..ExecOutcome::default() })
+        }
+
+        fn invoke(
+            &self,
+            _sender: Address,
+            _contract: Address,
+            _input: &[u8],
+            _gas_limit: u64,
+            _now_ms: u64,
+            _state: &mut WorldState,
+        ) -> Result<ExecOutcome, ExecError> {
+            Ok(ExecOutcome { gas_used: 10, ..ExecOutcome::default() })
+        }
+    }
+
+    #[test]
+    fn sharded_deploy_lands_in_own_shard() {
+        let alice = AuthorityKey::from_seed(1);
+        let shard_count = 3u16;
+        let home = crate::shard::shard_for_key(&alice.address().0, shard_count);
+        let mut registry = KeyRegistry::new();
+        registry.enroll(&alice);
+        let mut ledger = Ledger::new_sharded(
+            "test-chain",
+            home,
+            shard_count,
+            registry,
+            Box::new(StoreCodeRuntime),
+        );
+        ledger.state_mut().credit(alice.address(), 1_000);
+        let deploy = Transaction::new(
+            alice.address(),
+            0,
+            TxPayload::Deploy { code: vec![1, 2, 3], init: Vec::new() },
+            1_000,
+        )
+        .signed(&alice);
+        let block = ledger.propose(alice.address(), 10, vec![deploy]);
+        let receipts = ledger.apply(&block).unwrap();
+        assert!(receipts[0].ok);
+        let addr = Address(receipts[0].output.clone().try_into().unwrap());
+        assert_eq!(
+            crate::shard::shard_for_key(&addr.0, shard_count),
+            home,
+            "invoke routing must map the deployed address back to its shard"
+        );
+        assert_eq!(addr, sharded_contract_address(&alice.address(), 0, home, shard_count));
+    }
+
+    #[test]
+    fn state_root_covers_cross_links() {
+        // Two states differing only in the cross-link table must have
+        // different roots, else a forged link would escape the header's
+        // state commitment.
+        let mut with_link = WorldState::new();
+        with_link
+            .crosslinks
+            .insert(0, CrossLinkRecord { height: 1, tip: Hash256::digest(b"tip") });
+        assert_ne!(with_link.state_root(), WorldState::new().state_root());
+
+        let alice = AuthorityKey::from_seed(1);
+        let mut coord = sharded_ledger(ShardId::COORDINATOR, 2, std::slice::from_ref(&alice));
+        let block =
+            coord.propose(alice.address(), 10, vec![cross_link_tx(&alice, 0, ShardId(0), 1)]);
+        coord.apply(&block).unwrap();
+        // Codec round-trip preserves the cross-link table and the root.
+        use medchain_runtime::codec::{Decode, Encode};
+        let bytes = coord.state().encoded();
+        let decoded = WorldState::decoded(&bytes).unwrap();
+        assert_eq!(decoded.cross_link(ShardId(0)), coord.state().cross_link(ShardId(0)));
+        assert_eq!(decoded.state_root(), coord.state().state_root());
+    }
 }
 
 mod codec_impls {
-    use super::{Account, Event, Receipt, WorldState};
+    use super::{Account, CrossLinkRecord, Event, Receipt, WorldState};
     use medchain_runtime::impl_codec_struct;
 
     impl_codec_struct!(Account { balance, nonce });
     impl_codec_struct!(Event { contract, topic, data });
     impl_codec_struct!(Receipt { tx_id, ok, gas_used, output, events, error });
-    impl_codec_struct!(WorldState { accounts, storage, code, anchors });
+    impl_codec_struct!(CrossLinkRecord { height, tip });
+    impl_codec_struct!(WorldState { accounts, storage, code, anchors, crosslinks });
 }

@@ -38,15 +38,19 @@ pub mod mempool;
 pub mod merkle;
 pub mod net;
 pub mod node;
+pub mod shard;
 pub mod sig;
 pub mod store;
 pub mod tx;
 
 pub use block::{Block, Header, Seal};
 pub use hash::{Hash256, Sha256};
-pub use ledger::{ContractRuntime, Event, ExecError, ExecOutcome, Ledger, Receipt, WorldState};
+pub use ledger::{
+    ContractRuntime, CrossLinkRecord, Event, ExecError, ExecOutcome, Ledger, Receipt, WorldState,
+};
 pub use merkle::{MerkleProof, MerkleTree};
 pub use net::{NodeId, SimNetwork, SimTransport, TcpTransport, Transport, Wire};
+pub use shard::{shard_for_key, shard_for_tx, sharded_contract_address, CrossLink, ShardId};
 pub use sig::{Address, AuthorityKey, AuthoritySignature, KeyRegistry};
 pub use store::{BlockStore, MemStore, StoreError};
 pub use tx::{Transaction, TxPayload};

@@ -48,8 +48,25 @@ impl ChainApp {
         registry: KeyRegistry,
         runtime: Box<dyn ContractRuntime>,
     ) -> ChainApp {
+        Self::from_ledger(Ledger::new(chain_id, registry, runtime))
+    }
+
+    /// Creates a replica of sub-chain `shard` in a `shard_count`-shard
+    /// topology (DESIGN.md §9): the ledger follows that shard's genesis
+    /// and rejects blocks from any other sub-chain.
+    pub fn sharded(
+        chain_id: &str,
+        shard: crate::shard::ShardId,
+        shard_count: u16,
+        registry: KeyRegistry,
+        runtime: Box<dyn ContractRuntime>,
+    ) -> ChainApp {
+        Self::from_ledger(Ledger::new_sharded(chain_id, shard, shard_count, registry, runtime))
+    }
+
+    fn from_ledger(ledger: Ledger) -> ChainApp {
         ChainApp {
-            ledger: Ledger::new(chain_id, registry, runtime),
+            ledger,
             mempool: Mempool::new(DEFAULT_MEMPOOL_CAPACITY),
             max_block_txs: DEFAULT_MAX_BLOCK_TXS,
             timestamp_quantum_ms: 1,

@@ -8,6 +8,30 @@
 //! while `medchain-storage`'s `DiskStore` runs a segmented CRC-framed
 //! write-ahead log with periodic world-state snapshots and crash
 //! recovery.
+//!
+//! One store persists *one* sub-chain: the trait knows nothing about
+//! sharding. A sharded consortium (DESIGN.md §9) simply opens one store
+//! per (shard, site) pair under `root/shard-<s>/site-<j>` — plus
+//! `root/coordinator/site-<i>` for the coordinator chain — and each
+//! recovers independently through the same replay-and-validate path as
+//! a single chain. Cross-shard consistency is re-established *above*
+//! this layer: after every store has recovered, `ShardedNetwork` audits
+//! each sub-chain tip against the newest cross-link records replayed
+//! from the coordinator's own store, so a rolled-back or forked
+//! sub-chain fails the restart instead of silently rejoining consensus.
+//!
+//! Contract for implementors, in order of importance:
+//!
+//! 1. **Atomic append or error.** If [`BlockStore::append`] returns
+//!    `Ok`, the block must survive a crash; if it returns `Err`, the
+//!    ledger never commits the block, so the store must not expose a
+//!    partial record to recovery (torn tails are truncated, not
+//!    parsed).
+//! 2. **Contiguous heights.** Appends arrive in height order;
+//!    implementations reject gaps with [`StoreError::HeightGap`].
+//! 3. **Snapshots are an optimization, not a source of truth.** A
+//!    snapshot may only replace replay for the prefix it covers;
+//!    everything after it is re-validated block by block.
 
 use crate::block::Block;
 use crate::ledger::WorldState;

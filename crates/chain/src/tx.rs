@@ -42,6 +42,18 @@ pub enum TxPayload {
         /// Human-readable label, e.g. `"hospital-3/emr/2018-q2"`.
         label: String,
     },
+    /// Commit one shard sub-chain's tip onto the coordinator chain
+    /// (consensus-level sharding, DESIGN.md §9). Only valid on a
+    /// coordinator ledger; the apply-time checks enforce monotonic
+    /// heights per shard so a shard cannot silently rewind.
+    CrossLink {
+        /// The shard whose tip is being committed.
+        shard: crate::shard::ShardId,
+        /// Height of the shard's tip block.
+        height: u64,
+        /// Digest of the shard's tip block header.
+        tip: Hash256,
+    },
 }
 
 impl TxPayload {
@@ -52,6 +64,7 @@ impl TxPayload {
             TxPayload::Deploy { code, init } => 8 + code.len() + init.len(),
             TxPayload::Invoke { input, .. } => 20 + input.len(),
             TxPayload::Anchor { label, .. } => 32 + label.len(),
+            TxPayload::CrossLink { .. } => 42,
         }
     }
 }
@@ -104,6 +117,12 @@ impl Transaction {
                 out.push(3);
                 out.extend_from_slice(&root.0);
                 out.extend_from_slice(label.as_bytes());
+            }
+            TxPayload::CrossLink { shard, height, tip } => {
+                out.push(4);
+                out.extend_from_slice(&shard.0.to_le_bytes());
+                out.extend_from_slice(&height.to_le_bytes());
+                out.extend_from_slice(&tip.0);
             }
         }
         out
@@ -235,6 +254,7 @@ mod codec_impls {
         1 => Deploy { code, init },
         2 => Invoke { contract, input },
         3 => Anchor { root, label },
+        4 => CrossLink { shard, height, tip },
     });
     impl_codec_struct!(Transaction { sender, nonce, payload, gas_limit, signature });
 }

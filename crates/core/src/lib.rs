@@ -18,10 +18,12 @@ pub mod modes;
 pub mod network;
 pub mod paradigms;
 pub mod pipeline;
+pub mod sharded;
 pub mod site;
 
 pub use modes::{
-    run_duplicated, run_duplicated_metered, run_sharded, run_sharded_metered, run_transformed,
+    run_duplicated, run_duplicated_metered, run_sharded, run_sharded_consensus,
+    run_sharded_consensus_metered, run_sharded_metered, run_transformed,
     run_transformed_metered, ExecutionMode, ModeReport,
 };
 pub use network::{
@@ -32,4 +34,5 @@ pub use pipeline::{
     fda_integrity_sweep, run_gwas, run_query, train_federated, FdaSweepReport,
     FederatedPipelineReport, GwasPipelineReport, QueryPipelineReport,
 };
+pub use sharded::ShardedNetwork;
 pub use site::Site;

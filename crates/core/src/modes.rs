@@ -34,6 +34,13 @@ pub enum ExecutionMode {
     /// groups, each executing only its shard of the workload — but every
     /// member of a group still re-executes that whole shard.
     Sharded,
+    /// Consensus-level sharding (DESIGN.md §9): `k` real sub-chains with
+    /// their own committees plus a coordinator chain committing
+    /// cross-links. Like [`ExecutionMode::Sharded`] the duplication
+    /// factor falls to ~`nodes/k`, but here the partition is enforced by
+    /// the chain layer (per-shard genesis, routing, cross-link audit)
+    /// rather than modeled by running `k` independent full networks.
+    ShardedConsensus,
     /// Thin on-chain policy gate + off-chain parallel execution.
     TransformedParallel,
 }
@@ -43,6 +50,7 @@ impl std::fmt::Display for ExecutionMode {
         match self {
             ExecutionMode::Duplicated => f.write_str("duplicated"),
             ExecutionMode::Sharded => f.write_str("sharded"),
+            ExecutionMode::ShardedConsensus => f.write_str("sharded-consensus"),
             ExecutionMode::TransformedParallel => f.write_str("transformed-parallel"),
         }
     }
@@ -410,6 +418,178 @@ pub fn run_sharded_metered(
     })
 }
 
+/// Runs the job under **consensus-level sharding** (DESIGN.md §9): a
+/// real [`crate::sharded::ShardedNetwork`] with `shard_count` sub-chains
+/// (site *i* on committee `i % k`), the burn kernel deployed to every
+/// sub-chain with a shard-ground address, `work/k` invoked on each, and
+/// a cross-link round committing every shard tip on the coordinator
+/// chain. Each committee member re-executes only its own sub-chain's
+/// slice, so total on-chain work is `nodes/k × job` plus the (tiny)
+/// coordinator cross-link gas — the same asymptote as
+/// [`run_sharded`], but enforced by the chain layer instead of modeled
+/// by independent networks.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on consensus, contract, or cross-link
+/// failure.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero or exceeds `nodes`.
+pub fn run_sharded_consensus(
+    nodes: usize,
+    shard_count: usize,
+    work_units: u64,
+    seed: u64,
+) -> Result<ModeReport, NetworkError> {
+    run_sharded_consensus_metered(nodes, shard_count, work_units, seed, Metrics::noop())
+}
+
+/// [`run_sharded_consensus`] with every committee reporting to `metrics`
+/// under scoped keys (`shard-0.consensus.*`, `coordinator.chain.*`, …).
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on consensus, contract, or cross-link
+/// failure.
+///
+/// # Panics
+///
+/// Panics if `shard_count` is zero or exceeds `nodes`.
+pub fn run_sharded_consensus_metered(
+    nodes: usize,
+    shard_count: usize,
+    work_units: u64,
+    seed: u64,
+    metrics: Metrics,
+) -> Result<ModeReport, NetworkError> {
+    use medchain_chain::shard::ShardId;
+    assert!(shard_count > 0 && shard_count <= nodes, "1 ≤ shards ≤ nodes");
+    let k = shard_count as u16;
+    let mut builder = MedicalNetwork::builder()
+        .seed(seed)
+        .block_interval_ms(20)
+        .shards(k)
+        .metrics(metrics)
+        .transport(crate::network::TransportKind::from_env());
+    for i in 0..nodes {
+        builder = builder.site(&format!("hospital-{i}"), Vec::new());
+    }
+    let mut net = builder.build_sharded()?;
+
+    // The burn kernel on every sub-chain, each at a shard-ground address.
+    let program = assemble("arg 0\nburn\npush 1\nhalt").expect("static program assembles");
+    let code = encode_program(&program);
+    let mut deploys = Vec::with_capacity(shard_count);
+    for s in 0..k {
+        deploys.push((ShardId(s), net.deploy_to(ShardId(s), 0, code.clone(), Vec::new(), 100_000)?));
+    }
+    net.advance(2)?;
+    let mut contracts = Vec::with_capacity(shard_count);
+    for (shard, id) in &deploys {
+        let receipt =
+            net.receipt_on(*shard, id).ok_or(NetworkError::MissingReceipt(*id))?;
+        if !receipt.ok {
+            return Err(NetworkError::TxFailed {
+                tx_id: *id,
+                error: receipt.error.clone().unwrap_or_default(),
+            });
+        }
+        let mut raw = [0u8; 20];
+        raw.copy_from_slice(&receipt.output);
+        contracts.push(medchain_chain::Address(raw));
+    }
+
+    let gas_before = net.total_ledger_stats().gas_used;
+    let shard_gas_before = net.shard_gas();
+    let coordinator_gas_before = net.coordinator_ledger().stats().gas_used;
+    let net_before = net.net_stats();
+    let shard_sim_before: Vec<u64> = (0..k)
+        .map(|s| net.ledger_of_shard(ShardId(s)).tip().header.timestamp_ms)
+        .collect();
+    let coordinator_sim_before = net.coordinator_ledger().tip().header.timestamp_ms;
+
+    let start = Instant::now();
+    // Each sub-chain executes its slice of the job; an invoke routes to
+    // the shard holding the code because the address was ground there.
+    let shard_work = work_units / u64::from(k);
+    let mut invokes = Vec::with_capacity(shard_count);
+    for (s, contract) in contracts.iter().enumerate() {
+        let (routed, id) = net.submit_as(
+            0,
+            TxPayload::Invoke {
+                contract: *contract,
+                input: medchain_contracts::encode_args(&[Value::Int(shard_work as i64)]),
+            },
+            shard_work + 10_000,
+        )?;
+        debug_assert_eq!(routed, ShardId(s as u16));
+        invokes.push((routed, id));
+    }
+    net.advance(2)?;
+    for (shard, id) in &invokes {
+        let receipt =
+            net.receipt_on(*shard, id).ok_or(NetworkError::MissingReceipt(*id))?;
+        if !receipt.ok {
+            return Err(NetworkError::TxFailed {
+                tx_id: *id,
+                error: receipt.error.clone().unwrap_or_default(),
+            });
+        }
+    }
+    // Cross-link round: every advanced shard tip committed on the
+    // coordinator chain.
+    let links = net.cross_link()?;
+    debug_assert_eq!(links.len(), shard_count);
+    let wall = start.elapsed();
+
+    let stats_after = net.net_stats();
+    let total_gas = net.total_ledger_stats().gas_used - gas_before;
+    // Committees run concurrently: the slowest group's duplicated slice
+    // bounds the path, then the coordinator's cross-link round runs.
+    let slowest_group_gas = net
+        .shard_gas()
+        .iter()
+        .zip(&shard_gas_before)
+        .enumerate()
+        .map(|(s, (after, before))| {
+            (after - before) * net.committee_sites(ShardId(s as u16)).len() as u64
+        })
+        .max()
+        .unwrap_or(0);
+    let coordinator_gas =
+        (net.coordinator_ledger().stats().gas_used - coordinator_gas_before) * nodes as u64;
+    let shard_latency = (0..k)
+        .map(|s| {
+            net.ledger_of_shard(ShardId(s))
+                .tip()
+                .header
+                .timestamp_ms
+                .saturating_sub(shard_sim_before[s as usize])
+        })
+        .max()
+        .unwrap_or(0);
+    let coordinator_latency = net
+        .coordinator_ledger()
+        .tip()
+        .header
+        .timestamp_ms
+        .saturating_sub(coordinator_sim_before);
+    net.shutdown();
+    Ok(ModeReport {
+        mode: ExecutionMode::ShardedConsensus,
+        nodes,
+        work_units,
+        wall,
+        total_gas,
+        messages: stats_after.sent - net_before.sent,
+        bytes: stats_after.bytes - net_before.bytes,
+        sim_latency_ms: shard_latency + coordinator_latency,
+        critical_path_gas: slowest_group_gas + coordinator_gas,
+    })
+}
+
 /// The real-work kernel both modes execute: `units` iterated SHA-256
 /// evaluations, identical to the VM's `Burn` instruction.
 pub fn burn_tool() -> Tool {
@@ -503,6 +683,35 @@ mod sharding_tests {
             "sharded factor {}",
             sharded.duplication_factor()
         );
+    }
+
+    #[test]
+    fn sharded_consensus_duplication_falls_to_nodes_over_k() {
+        const WORK: u64 = 80_000;
+        let report = run_sharded_consensus(8, 2, WORK, 11).unwrap();
+        assert_eq!(report.mode, ExecutionMode::ShardedConsensus);
+        // 8 sites in 2 committees of 4: each slice of WORK/2 is executed
+        // by 4 replicas → total ≈ 4 × WORK (plus coordinator gas).
+        assert!(
+            (3.5..=4.8).contains(&report.duplication_factor()),
+            "factor {}",
+            report.duplication_factor()
+        );
+        // The critical path is one committee's slice, about half the
+        // duplicated total.
+        assert!(report.critical_path_gas < report.total_gas * 3 / 4);
+        assert!(report.messages > 0 && report.bytes > 0);
+    }
+
+    #[test]
+    fn sharded_consensus_tracks_the_modeled_sharding_asymptote() {
+        const WORK: u64 = 60_000;
+        let modeled = run_sharded(6, 3, WORK, 12).unwrap();
+        let real = run_sharded_consensus(6, 3, WORK, 12).unwrap();
+        // Both split 6 sites into committees of 2 → factor ≈ 2; the real
+        // chain adds deploy + cross-link overhead on top.
+        let delta = (real.duplication_factor() - modeled.duplication_factor()).abs();
+        assert!(delta < 0.5, "modeled {} vs real {}", modeled.duplication_factor(), real.duplication_factor());
     }
 
     #[test]

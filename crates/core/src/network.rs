@@ -94,6 +94,9 @@ pub enum NetworkError {
     TransportInit(String),
     /// Durable storage failed to open, recover, or resume consistently.
     Storage(String),
+    /// A cross-link failed verification against the shard's actual
+    /// sub-chain, or a sharding invariant was violated (DESIGN.md §9).
+    CrossLink(String),
 }
 
 impl fmt::Display for NetworkError {
@@ -109,22 +112,26 @@ impl fmt::Display for NetworkError {
             NetworkError::NoSuchSite(i) => write!(f, "no site with index {i}"),
             NetworkError::TransportInit(e) => write!(f, "transport init failed: {e}"),
             NetworkError::Storage(e) => write!(f, "storage failed: {e}"),
+            NetworkError::CrossLink(e) => write!(f, "cross-link violation: {e}"),
         }
     }
 }
 
 impl std::error::Error for NetworkError {}
 
-/// Builder for a [`MedicalNetwork`].
+/// Builder for a [`MedicalNetwork`] (or, via
+/// [`NetworkBuilder::shards`] + [`NetworkBuilder::build_sharded`], a
+/// [`crate::sharded::ShardedNetwork`]).
 #[derive(Default)]
 pub struct NetworkBuilder {
-    sites: Vec<(String, Vec<PatientRecord>)>,
-    block_interval_ms: u64,
-    seed: u64,
+    pub(crate) sites: Vec<(String, Vec<PatientRecord>)>,
+    pub(crate) block_interval_ms: u64,
+    pub(crate) seed: u64,
     with_fda: bool,
-    transport: TransportKind,
-    metrics: Metrics,
-    storage: Option<(PathBuf, StorageConfig)>,
+    pub(crate) transport: TransportKind,
+    pub(crate) metrics: Metrics,
+    pub(crate) storage: Option<(PathBuf, StorageConfig)>,
+    pub(crate) shards: u16,
 }
 
 impl fmt::Debug for NetworkBuilder {
@@ -144,7 +151,22 @@ impl NetworkBuilder {
             transport: TransportKind::Sim,
             metrics: Metrics::noop(),
             storage: None,
+            shards: 1,
         }
+    }
+
+    /// Splits the consortium into `k` consensus shards (DESIGN.md §9):
+    /// site *i* joins the committee of shard `i % k`, each committee
+    /// drives its own sub-chain, and a coordinator chain run by every
+    /// site commits periodic cross-links. Only
+    /// [`NetworkBuilder::build_sharded`] honors this setting;
+    /// [`NetworkBuilder::build`] ignores it and produces the single
+    /// monolithic chain.
+    #[must_use]
+    pub fn shards(mut self, k: u16) -> NetworkBuilder {
+        assert!(k > 0, "a sharded consortium needs at least one shard");
+        self.shards = k;
+        self
     }
 
     /// Persists every site's chain under `root` (one data directory per

@@ -1,0 +1,836 @@
+//! Consensus-level sharding: per-shard sub-chains with cross-links
+//! (DESIGN.md §9).
+//!
+//! [`crate::modes::run_sharded`] partitions the *workload* above one
+//! monolithic chain — every committee member still re-validates a shared
+//! ledger, so the paper's duplication factor only drops in the numerator.
+//! A [`ShardedNetwork`] pushes the partition into consensus itself: the
+//! consortium's sites split into `k` committees (site *i* serves shard
+//! `i % k`), each committee drives its own [`medchain_chain::Ledger`]
+//! sub-chain under its own PoA instance, and a **coordinator chain** —
+//! run by every site — periodically commits a
+//! [`CrossLink`] (tip hash + height) per shard. A shard can therefore
+//! not fork past its last cross-link unnoticed: the link is verified
+//! against the shard's actual blocks before submission, the coordinator
+//! ledger rejects height regressions at apply time, and recovery
+//! re-checks every recovered sub-chain against the newest cross-links.
+//!
+//! Transactions route deterministically via
+//! [`medchain_chain::shard_for_tx`]: invokes by contract key, everything
+//! else by site key or anchor label. Contract addresses are ground with
+//! [`medchain_chain::sharded_contract_address`] so an address always
+//! routes invokes back to the sub-chain that holds the code.
+
+use crate::network::{NetworkBuilder, NetworkError, TransportKind};
+use medchain_chain::consensus::poa::{PoaEngine, PoaMsg};
+use medchain_chain::consensus::{Application, Cluster};
+use medchain_chain::ledger::NullRuntime;
+use medchain_chain::net::{NodeId, SimTransport, TcpTransport, Transport};
+use medchain_chain::node::ChainApp;
+use medchain_chain::shard::{shard_for_tx, CrossLink, ShardId};
+use medchain_chain::{
+    Address, AuthorityKey, Hash256, KeyRegistry, Receipt, Transaction, TxPayload,
+};
+use medchain_contracts::runtime::Runtime;
+use medchain_runtime::metrics::Metrics;
+use medchain_storage::{DiskStore, RecoveryReport};
+use std::collections::HashMap;
+use std::fmt;
+
+type PoaCluster = Cluster<PoaEngine, ChainApp, Box<dyn Transport<PoaMsg>>>;
+
+/// One committee and the sub-chain it drives: either a data shard
+/// (subset of sites, contract runtime installed) or the coordinator
+/// (every site, cross-links only).
+struct Committee {
+    /// Global site indices; the local replica index is the position.
+    sites: Vec<usize>,
+    cluster: PoaCluster,
+}
+
+impl Committee {
+    fn ledger(&self) -> &medchain_chain::Ledger {
+        self.cluster.replicas[0].app.ledger()
+    }
+}
+
+/// The sharded consortium: `k` data sub-chains plus the coordinator
+/// chain. Built with [`NetworkBuilder::shards`] +
+/// [`NetworkBuilder::build_sharded`].
+pub struct ShardedNetwork {
+    committees: Vec<Committee>,
+    coordinator: Committee,
+    keys: Vec<AuthorityKey>,
+    site_names: Vec<String>,
+    /// Account nonces are per-ledger, so track them per (chain, sender).
+    nonces: HashMap<(u16, Address), u64>,
+    block_interval_ms: u64,
+    registry: KeyRegistry,
+    transport: TransportKind,
+    metrics: Metrics,
+    resumed: bool,
+}
+
+impl fmt::Debug for ShardedNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedNetwork")
+            .field("sites", &self.keys.len())
+            .field("shards", &self.committees.len())
+            .field("coordinator_height", &self.coordinator.ledger().height())
+            .finish()
+    }
+}
+
+fn make_transport(
+    kind: TransportKind,
+    n: usize,
+    seed: u64,
+    metrics: &Metrics,
+) -> Result<Box<dyn Transport<PoaMsg>>, NetworkError> {
+    Ok(match kind {
+        TransportKind::Sim => {
+            let mut sim = SimTransport::new(n, seed);
+            sim.set_metrics(metrics.clone());
+            Box::new(sim)
+        }
+        TransportKind::Tcp => {
+            // Each committee binds its own loopback listeners on
+            // OS-assigned ports; MEDCHAIN_TCP_ADDRS addresses one flat
+            // cluster and does not apply to a sharded topology.
+            let mut tcp = TcpTransport::bind(n)
+                .map_err(|e| NetworkError::TransportInit(e.to_string()))?;
+            tcp.set_metrics(metrics.clone());
+            Box::new(tcp)
+        }
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_committee(
+    shard: ShardId,
+    sites: Vec<usize>,
+    shard_count: u16,
+    keys: &[AuthorityKey],
+    registry: &KeyRegistry,
+    builder: &NetworkBuilder,
+    seed: u64,
+    metrics: Metrics,
+) -> Result<(Committee, Vec<RecoveryReport>), NetworkError> {
+    let chain_id =
+        if shard.is_coordinator() { "medchain/coordinator".to_string() } else { format!("medchain/{shard}") };
+    let validators: Vec<Address> = sites.iter().map(|&g| keys[g].address()).collect();
+    let engines: Vec<PoaEngine> = sites
+        .iter()
+        .enumerate()
+        .map(|(local, &g)| {
+            PoaEngine::new(
+                NodeId(local),
+                keys[g].clone(),
+                validators.clone(),
+                registry.clone(),
+                builder.block_interval_ms,
+            )
+        })
+        .collect();
+    let mut apps: Vec<ChainApp> = sites
+        .iter()
+        .enumerate()
+        .map(|(local, _)| {
+            let runtime: Box<dyn medchain_chain::ContractRuntime> = if shard.is_coordinator() {
+                // The coordinator holds cross-links only; no contracts.
+                Box::new(NullRuntime)
+            } else {
+                Box::new(Runtime::standard())
+            };
+            let mut app =
+                ChainApp::sharded(&chain_id, shard, shard_count, registry.clone(), runtime);
+            app.set_timestamp_quantum_ms(builder.block_interval_ms);
+            if local == 0 {
+                app.set_metrics(metrics.clone());
+            }
+            app
+        })
+        .collect();
+    // Durable per-shard storage: `<root>/<shard>/site-<local>`, recovered
+    // before consensus restarts (cross-link agreement is re-checked by
+    // the caller once the coordinator is recovered too).
+    let mut reports = Vec::new();
+    if let Some((root, config)) = &builder.storage {
+        for (local, app) in apps.iter_mut().enumerate() {
+            let dir = root.join(shard.to_string()).join(format!("site-{local}"));
+            let store_metrics = if local == 0 { metrics.clone() } else { Metrics::noop() };
+            let mut store = DiskStore::open_with_metrics(dir, *config, store_metrics)
+                .map_err(|e| NetworkError::Storage(format!("{shard}: {e}")))?;
+            let report = store
+                .recover_into(app.ledger_mut())
+                .map_err(|e| NetworkError::Storage(format!("{shard} site {local}: {e}")))?;
+            app.attach_store(Box::new(store));
+            reports.push(report);
+        }
+        // All replicas of one committee live in this process, so a crash
+        // stopped them at the same commit (modulo the torn tail recovery
+        // already removed) — they must agree before consensus restarts.
+        let tip0 = reports[0].tip_id;
+        if let Some((local, r)) = reports.iter().enumerate().find(|(_, r)| r.tip_id != tip0) {
+            return Err(NetworkError::Storage(format!(
+                "{shard}: site {local} recovered tip {:?} but site 0 recovered {tip0:?}",
+                r.tip_id
+            )));
+        }
+    }
+    let net = make_transport(builder.transport, sites.len(), seed, &metrics)?;
+    let mut cluster = Cluster::with_transport(engines, apps, net);
+    cluster.set_metrics(metrics);
+    Ok((Committee { sites, cluster }, reports))
+}
+
+impl NetworkBuilder {
+    /// Builds the sharded consortium configured with
+    /// [`NetworkBuilder::shards`]: one PoA committee and sub-chain per
+    /// shard (site *i* serves shard `i % k`) plus the coordinator chain
+    /// run by all sites. Unlike [`NetworkBuilder::build`] this performs
+    /// no contract deployment or dataset registration — the sub-chains
+    /// start empty and the caller routes work with
+    /// [`ShardedNetwork::submit_as`].
+    ///
+    /// With storage configured, building against a directory holding a
+    /// persisted sharded topology *resumes* it, re-checking that every
+    /// recovered sub-chain agrees with the newest cross-link on the
+    /// recovered coordinator chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] on transport or storage failure, or when
+    /// recovery contradicts a cross-link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sites were added or there are fewer sites than
+    /// shards.
+    pub fn build_sharded(self) -> Result<ShardedNetwork, NetworkError> {
+        assert!(!self.sites.is_empty(), "a network needs at least one site");
+        let n = self.sites.len();
+        let k = self.shards;
+        assert!(
+            n >= k as usize,
+            "{n} sites cannot fill {k} shard committees"
+        );
+        let keys: Vec<AuthorityKey> =
+            (0..n).map(|i| AuthorityKey::from_seed(i as u64)).collect();
+        let mut registry = KeyRegistry::new();
+        for key in &keys {
+            registry.enroll(key);
+        }
+        let site_names: Vec<String> = self.sites.iter().map(|(name, _)| name.clone()).collect();
+
+        let mut committees = Vec::with_capacity(k as usize);
+        let mut shard_reports = Vec::with_capacity(k as usize);
+        for s in 0..k {
+            let members: Vec<usize> = (0..n).filter(|i| i % k as usize == s as usize).collect();
+            let shard = ShardId(s);
+            let (committee, reports) = make_committee(
+                shard,
+                members,
+                k,
+                &keys,
+                &registry,
+                &self,
+                self.seed.wrapping_add(1 + u64::from(s)),
+                self.metrics.scoped(&shard.to_string()),
+            )?;
+            committees.push(committee);
+            shard_reports.push(reports);
+        }
+        let (coordinator, coordinator_reports) = make_committee(
+            ShardId::COORDINATOR,
+            (0..n).collect(),
+            k,
+            &keys,
+            &registry,
+            &self,
+            self.seed,
+            self.metrics.scoped("coordinator"),
+        )?;
+
+        let resumed = coordinator_reports.first().map(|r| r.height > 0).unwrap_or(false)
+            || shard_reports.iter().any(|r| r.first().map(|r| r.height > 0).unwrap_or(false));
+        let network = ShardedNetwork {
+            committees,
+            coordinator,
+            keys,
+            site_names,
+            nonces: HashMap::new(),
+            block_interval_ms: self.block_interval_ms,
+            registry,
+            transport: self.transport,
+            metrics: self.metrics,
+            resumed,
+        };
+        if resumed {
+            network.check_recovery_against_cross_links()?;
+        }
+        Ok(network)
+    }
+}
+
+impl ShardedNetwork {
+    /// Number of data shards.
+    pub fn shard_count(&self) -> u16 {
+        self.committees.len() as u16
+    }
+
+    /// Number of sites (every site is a validator of exactly one data
+    /// shard and of the coordinator chain).
+    pub fn site_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// All site names.
+    pub fn site_names(&self) -> &[String] {
+        &self.site_names
+    }
+
+    /// Global site indices serving shard `s`'s committee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn committee_sites(&self, shard: ShardId) -> &[usize] {
+        &self.committees[shard.0 as usize].sites
+    }
+
+    /// The sub-chain ledger of `shard` (committee replica 0's view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn ledger_of_shard(&self, shard: ShardId) -> &medchain_chain::Ledger {
+        self.committees[shard.0 as usize].ledger()
+    }
+
+    /// The coordinator chain's ledger (its world state holds the newest
+    /// [`medchain_chain::CrossLinkRecord`] per shard).
+    pub fn coordinator_ledger(&self) -> &medchain_chain::Ledger {
+        self.coordinator.ledger()
+    }
+
+    /// The consortium membership registry.
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    /// Which transport carries consensus traffic.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// The metrics handle installed at build time. Per-committee
+    /// subsystems report under scoped keys: `shard-0.consensus.rounds`,
+    /// `coordinator.transport.bytes`, …
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Whether this network resumed persisted sub-chains from disk.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Committed height of every data sub-chain, indexed by shard.
+    pub fn shard_heights(&self) -> Vec<u64> {
+        self.committees.iter().map(|c| c.ledger().height()).collect()
+    }
+
+    /// Deterministic routing of a payload submitted by `site` — the rule
+    /// every honest node applies ([`shard_for_tx`]).
+    pub fn route(&self, site: usize, payload: &TxPayload) -> ShardId {
+        let tx = Transaction::new(self.keys[site].address(), 0, payload.clone(), 0);
+        shard_for_tx(&tx, self.shard_count())
+    }
+
+    fn chain_key(shard: ShardId) -> u16 {
+        shard.0
+    }
+
+    fn next_nonce(&mut self, shard: ShardId, sender: Address) -> u64 {
+        let on_chain = if shard.is_coordinator() {
+            self.coordinator.ledger().state().account(&sender).nonce
+        } else {
+            self.committees[shard.0 as usize].ledger().state().account(&sender).nonce
+        };
+        let tracked = self.nonces.entry((Self::chain_key(shard), sender)).or_insert(on_chain);
+        if *tracked < on_chain {
+            *tracked = on_chain;
+        }
+        let nonce = *tracked;
+        *tracked += 1;
+        nonce
+    }
+
+    fn submit_to_committee(&mut self, shard: ShardId, tx: Transaction) {
+        let committee = if shard.is_coordinator() {
+            &mut self.coordinator
+        } else {
+            &mut self.committees[shard.0 as usize]
+        };
+        for replica in &mut committee.cluster.replicas {
+            replica.app.submit(tx.clone());
+        }
+    }
+
+    /// Builds, signs, routes, and submits a transaction from `site`,
+    /// returning the shard it was routed to and the transaction id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] for bad indices and
+    /// [`NetworkError::CrossLink`] for cross-link payloads — those go
+    /// through [`ShardedNetwork::submit_cross_link`], which verifies the
+    /// claimed tip first.
+    pub fn submit_as(
+        &mut self,
+        site: usize,
+        payload: TxPayload,
+        gas_limit: u64,
+    ) -> Result<(ShardId, Hash256), NetworkError> {
+        if site >= self.keys.len() {
+            return Err(NetworkError::NoSuchSite(site));
+        }
+        if matches!(payload, TxPayload::CrossLink { .. }) {
+            return Err(NetworkError::CrossLink(
+                "cross-links must be submitted via submit_cross_link".into(),
+            ));
+        }
+        let shard = self.route(site, &payload);
+        let key = self.keys[site].clone();
+        let nonce = self.next_nonce(shard, key.address());
+        let tx = Transaction::new(key.address(), nonce, payload, gas_limit).signed(&key);
+        let id = tx.id();
+        self.submit_to_committee(shard, tx);
+        Ok((shard, id))
+    }
+
+    /// Operator-directed contract placement: submits a deploy from
+    /// `site` straight to `shard`'s sub-chain instead of routing by the
+    /// site key. The derived address is ground to `shard`
+    /// ([`medchain_chain::sharded_contract_address`]), so invokes still
+    /// route to the chain that holds the code — placement is free,
+    /// routing stays canonical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] / [`NetworkError::CrossLink`]
+    /// on bad site or shard.
+    pub fn deploy_to(
+        &mut self,
+        shard: ShardId,
+        site: usize,
+        code: Vec<u8>,
+        init: Vec<u8>,
+        gas_limit: u64,
+    ) -> Result<Hash256, NetworkError> {
+        if site >= self.keys.len() {
+            return Err(NetworkError::NoSuchSite(site));
+        }
+        if shard.0 as usize >= self.committees.len() {
+            return Err(NetworkError::CrossLink(format!(
+                "cannot deploy to {shard}: not a data shard"
+            )));
+        }
+        let key = self.keys[site].clone();
+        let nonce = self.next_nonce(shard, key.address());
+        let tx = Transaction::new(
+            key.address(),
+            nonce,
+            TxPayload::Deploy { code, init },
+            gas_limit,
+        )
+        .signed(&key);
+        let id = tx.id();
+        self.submit_to_committee(shard, tx);
+        Ok(id)
+    }
+
+    fn advance_committee(
+        committee: &mut Committee,
+        blocks: u64,
+        block_interval_ms: u64,
+    ) -> Result<(), NetworkError> {
+        let target = committee.cluster.replicas[0].app.height() + blocks;
+        let budget = committee.cluster.net.now_ms()
+            + blocks * block_interval_ms * 40
+            + 20 * block_interval_ms * committee.sites.len() as u64;
+        let report = committee.cluster.run_until_height(target, budget);
+        if !report.reached {
+            return Err(NetworkError::ConsensusStalled {
+                target,
+                reached: committee.cluster.replicas[0].app.height(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs every data-shard committee until `blocks` more blocks commit
+    /// on its sub-chain. Committees run independently — this is the
+    /// (N/k)-duplication regime the mode harness measures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ConsensusStalled`] if any committee times
+    /// out.
+    pub fn advance(&mut self, blocks: u64) -> Result<(), NetworkError> {
+        for committee in &mut self.committees {
+            Self::advance_committee(committee, blocks, self.block_interval_ms)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the coordinator committee until `blocks` more blocks commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ConsensusStalled`] on timeout.
+    pub fn advance_coordinator(&mut self, blocks: u64) -> Result<(), NetworkError> {
+        Self::advance_committee(&mut self.coordinator, blocks, self.block_interval_ms)
+    }
+
+    /// The current tip of `shard`'s sub-chain as a [`CrossLink`] claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_tip(&self, shard: ShardId) -> CrossLink {
+        let ledger = self.ledger_of_shard(shard);
+        CrossLink { shard, height: ledger.height(), tip: ledger.tip().id() }
+    }
+
+    /// Verifies a cross-link claim against the shard's actual sub-chain:
+    /// the claimed height must not exceed the tip, and — when the block
+    /// at that height is still retained — its id must equal the claimed
+    /// tip hash. A tampered or forked claim is rejected here, before it
+    /// can reach the coordinator chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::CrossLink`] describing the violation.
+    pub fn verify_link(&self, link: &CrossLink) -> Result<(), NetworkError> {
+        let Some(committee) = self.committees.get(link.shard.0 as usize) else {
+            return Err(NetworkError::CrossLink(format!(
+                "cross-link names unknown shard {}",
+                link.shard
+            )));
+        };
+        let ledger = committee.ledger();
+        if link.height > ledger.height() {
+            return Err(NetworkError::CrossLink(format!(
+                "{} claims height {} but the sub-chain tip is {}",
+                link.shard,
+                link.height,
+                ledger.height()
+            )));
+        }
+        match ledger.block(link.height) {
+            Some(block) if block.id() != link.tip => Err(NetworkError::CrossLink(format!(
+                "{} tip mismatch at height {}: chain has {:?}, link claims {:?}",
+                link.shard,
+                link.height,
+                block.id(),
+                link.tip
+            ))),
+            // Pruned below the claim: the hash is no longer checkable
+            // locally; monotonicity on the coordinator still holds.
+            _ => Ok(()),
+        }
+    }
+
+    /// Verifies `link` and submits it to the coordinator chain's
+    /// mempools, signed by site 0. Call
+    /// [`ShardedNetwork::advance_coordinator`] to commit it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::CrossLink`] if verification fails.
+    pub fn submit_cross_link(&mut self, link: CrossLink) -> Result<Hash256, NetworkError> {
+        self.verify_link(&link)?;
+        let key = self.keys[0].clone();
+        let nonce = self.next_nonce(ShardId::COORDINATOR, key.address());
+        let tx = Transaction::new(
+            key.address(),
+            nonce,
+            TxPayload::CrossLink { shard: link.shard, height: link.height, tip: link.tip },
+            1_000,
+        )
+        .signed(&key);
+        let id = tx.id();
+        self.submit_to_committee(ShardId::COORDINATOR, tx);
+        Ok(id)
+    }
+
+    /// One cross-link round: for every shard whose sub-chain advanced
+    /// past its last committed cross-link, verify and submit the current
+    /// tip, then commit on the coordinator chain. Returns the links that
+    /// were committed this round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if verification, consensus, or a receipt
+    /// fails.
+    pub fn cross_link(&mut self) -> Result<Vec<CrossLink>, NetworkError> {
+        let recorded: HashMap<u16, u64> = self
+            .coordinator
+            .ledger()
+            .state()
+            .cross_links()
+            .map(|(shard, record)| (shard.0, record.height))
+            .collect();
+        let links: Vec<CrossLink> = (0..self.shard_count())
+            .map(|s| self.shard_tip(ShardId(s)))
+            .filter(|link| recorded.get(&link.shard.0).map_or(true, |&h| link.height > h))
+            .collect();
+        if links.is_empty() {
+            return Ok(links);
+        }
+        let mut ids = Vec::with_capacity(links.len());
+        for link in &links {
+            ids.push(self.submit_cross_link(*link)?);
+        }
+        self.advance_coordinator(2)?;
+        for (id, link) in ids.iter().zip(&links) {
+            match self.coordinator.cluster.replicas[0].app.receipt(id) {
+                None => return Err(NetworkError::MissingReceipt(*id)),
+                Some(receipt) if !receipt.ok => {
+                    return Err(NetworkError::TxFailed {
+                        tx_id: *id,
+                        error: receipt
+                            .error
+                            .clone()
+                            .unwrap_or_else(|| format!("cross-link for {} failed", link.shard)),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(links)
+    }
+
+    /// Receipt lookup on `shard`'s sub-chain (replica 0).
+    pub fn receipt_on(&self, shard: ShardId, tx_id: &Hash256) -> Option<&Receipt> {
+        let committee = if shard.is_coordinator() {
+            &self.coordinator
+        } else {
+            &self.committees[shard.0 as usize]
+        };
+        committee.cluster.replicas[0].app.receipt(tx_id)
+    }
+
+    /// Aggregate ledger statistics across every replica of every
+    /// committee (data shards and coordinator) — the total duplicated
+    /// execution cost of the sharded topology.
+    pub fn total_ledger_stats(&self) -> medchain_chain::ledger::LedgerStats {
+        let mut total = medchain_chain::ledger::LedgerStats::default();
+        for committee in self.committees.iter().chain(std::iter::once(&self.coordinator)) {
+            for replica in &committee.cluster.replicas {
+                let stats = replica.app.stats();
+                total.blocks += stats.blocks;
+                total.transactions += stats.transactions;
+                total.gas_used += stats.gas_used;
+                total.failed += stats.failed;
+            }
+        }
+        total
+    }
+
+    /// Per-shard gas executed on one replica of each sub-chain — the
+    /// per-committee slice of the workload (index = shard).
+    pub fn shard_gas(&self) -> Vec<u64> {
+        self.committees.iter().map(|c| c.ledger().stats().gas_used).collect()
+    }
+
+    /// Aggregate transport statistics over all committees and the
+    /// coordinator.
+    pub fn net_stats(&self) -> medchain_chain::net::NetStats {
+        let mut total = medchain_chain::net::NetStats::default();
+        for committee in self.committees.iter().chain(std::iter::once(&self.coordinator)) {
+            let stats = committee.cluster.net.stats();
+            total.sent += stats.sent;
+            total.delivered += stats.delivered;
+            total.dropped += stats.dropped;
+            total.bytes += stats.bytes;
+            total.backpressure += stats.backpressure;
+        }
+        total
+    }
+
+    /// Gracefully releases every committee's transport.
+    pub fn shutdown(&mut self) {
+        for committee in &mut self.committees {
+            committee.cluster.shutdown();
+        }
+        self.coordinator.cluster.shutdown();
+    }
+
+    /// Recovery invariant (DESIGN.md §9): every recovered sub-chain must
+    /// agree with the newest cross-link the recovered coordinator holds —
+    /// at least as high, and hash-equal where the linked block is still
+    /// retained.
+    fn check_recovery_against_cross_links(&self) -> Result<(), NetworkError> {
+        for (shard, record) in self.coordinator.ledger().state().cross_links() {
+            let Some(committee) = self.committees.get(shard.0 as usize) else {
+                return Err(NetworkError::CrossLink(format!(
+                    "coordinator holds a cross-link for unknown shard {shard}"
+                )));
+            };
+            let ledger = committee.ledger();
+            if record.height > ledger.height() {
+                return Err(NetworkError::CrossLink(format!(
+                    "{shard} recovered to height {} but its newest cross-link \
+                     commits height {}",
+                    ledger.height(),
+                    record.height
+                )));
+            }
+            if let Some(block) = ledger.block(record.height) {
+                if block.id() != record.tip {
+                    return Err(NetworkError::CrossLink(format!(
+                        "{shard} recovered a different block at cross-linked \
+                         height {}: chain has {:?}, cross-link commits {:?}",
+                        record.height,
+                        block.id(),
+                        record.tip
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::MedicalNetwork;
+    use medchain_chain::shard::shard_for_key;
+
+    fn sharded(sites: usize, shards: u16) -> ShardedNetwork {
+        let mut builder = MedicalNetwork::builder().shards(shards).block_interval_ms(20);
+        for i in 0..sites {
+            builder = builder.site(&format!("hospital-{i}"), Vec::new());
+        }
+        builder.build_sharded().expect("sharded network builds")
+    }
+
+    #[test]
+    fn committees_partition_sites_round_robin() {
+        let net = sharded(8, 2);
+        assert_eq!(net.shard_count(), 2);
+        assert_eq!(net.committee_sites(ShardId(0)), &[0, 2, 4, 6]);
+        assert_eq!(net.committee_sites(ShardId(1)), &[1, 3, 5, 7]);
+        // Distinct genesis per sub-chain, distinct from the coordinator.
+        let g0 = net.ledger_of_shard(ShardId(0)).block(0).unwrap().id();
+        let g1 = net.ledger_of_shard(ShardId(1)).block(0).unwrap().id();
+        let gc = net.coordinator_ledger().block(0).unwrap().id();
+        assert_ne!(g0, g1);
+        assert_ne!(g0, gc);
+    }
+
+    #[test]
+    fn anchors_route_by_label_and_commit_on_their_shard() {
+        let mut net = sharded(8, 2);
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let label = format!("hospital-{i}/emr");
+            let expected = shard_for_key(label.as_bytes(), 2);
+            let (shard, id) = net
+                .submit_as(i, TxPayload::Anchor { root: Hash256::digest(label.as_bytes()), label }, 1_000)
+                .unwrap();
+            assert_eq!(shard, expected);
+            ids.push((shard, id));
+        }
+        net.advance(2).unwrap();
+        for (shard, id) in ids {
+            let receipt = net.receipt_on(shard, &id).expect("committed on its shard");
+            assert!(receipt.ok);
+        }
+        // Work landed on both sub-chains.
+        assert!(net.shard_heights().iter().all(|&h| h >= 1));
+    }
+
+    #[test]
+    fn cross_link_round_commits_every_tip() {
+        let mut net = sharded(8, 2);
+        for i in 0..8 {
+            let label = format!("hospital-{i}/emr");
+            net.submit_as(i, TxPayload::Anchor { root: Hash256::ZERO, label }, 1_000).unwrap();
+        }
+        net.advance(2).unwrap();
+        let links = net.cross_link().unwrap();
+        assert_eq!(links.len(), 2, "both shards advanced, both get linked");
+        let state = net.coordinator_ledger().state();
+        for link in &links {
+            let record = state.cross_link(link.shard).expect("recorded");
+            assert_eq!(record.height, link.height);
+            assert_eq!(record.tip, link.tip);
+        }
+        // A second round with no new shard blocks commits nothing.
+        assert!(net.cross_link().unwrap().is_empty());
+    }
+
+    #[test]
+    fn tampered_shard_tip_is_rejected() {
+        let mut net = sharded(4, 2);
+        net.advance(1).unwrap();
+        let mut link = net.shard_tip(ShardId(0));
+        link.tip = Hash256::digest(b"forged tip");
+        let err = net.submit_cross_link(link).unwrap_err();
+        assert!(matches!(err, NetworkError::CrossLink(_)));
+        assert!(err.to_string().contains("mismatch"), "got: {err}");
+        // A height beyond the tip is also rejected.
+        let mut link = net.shard_tip(ShardId(1));
+        link.height += 10;
+        assert!(matches!(net.submit_cross_link(link), Err(NetworkError::CrossLink(_))));
+    }
+
+    #[test]
+    fn deploy_to_grinds_address_onto_target_shard() {
+        let mut net = sharded(4, 2);
+        let program =
+            medchain_contracts::asm::assemble("push 1\nhalt").expect("static program assembles");
+        let code = medchain_contracts::opcode::encode_program(&program);
+        for s in 0..2u16 {
+            let id = net.deploy_to(ShardId(s), 0, code.clone(), Vec::new(), 100_000).unwrap();
+            net.advance(2).unwrap();
+            let receipt = net.receipt_on(ShardId(s), &id).expect("deploy committed").clone();
+            assert!(receipt.ok, "deploy failed: {:?}", receipt.error);
+            let mut raw = [0u8; 20];
+            raw.copy_from_slice(&receipt.output);
+            let addr = Address(raw);
+            assert_eq!(shard_for_key(&addr.0, 2), ShardId(s));
+            // Invoking that address routes back to the hosting shard.
+            let (routed, _) = net
+                .submit_as(1, TxPayload::Invoke { contract: addr, input: Vec::new() }, 10_000)
+                .unwrap();
+            assert_eq!(routed, ShardId(s));
+        }
+    }
+
+    #[test]
+    fn scoped_metrics_key_each_committee() {
+        let registry = medchain_runtime::metrics::Registry::new();
+        let mut builder = MedicalNetwork::builder()
+            .shards(2)
+            .block_interval_ms(20)
+            .metrics(registry.handle());
+        for i in 0..4 {
+            builder = builder.site(&format!("h{i}"), Vec::new());
+        }
+        let mut net = builder.build_sharded().unwrap();
+        net.advance(2).unwrap();
+        net.cross_link().unwrap();
+        assert!(registry.counter_value("shard-0.consensus.rounds") >= 2);
+        assert!(registry.counter_value("shard-1.consensus.rounds") >= 2);
+        assert!(registry.counter_value("coordinator.consensus.rounds") >= 1);
+        assert!(registry.counter_value("coordinator.chain.blocks_committed") >= 1);
+        // The unscoped keys stay silent — everything is per-committee.
+        assert_eq!(registry.counter_value("consensus.rounds"), 0);
+    }
+}

@@ -27,4 +27,7 @@ pub use federated::{
 pub use logistic::{LogisticRegression, SgdConfig};
 pub use metrics::{accuracy, auc, log_loss, rmse, Confusion};
 pub use nn::{Mlp, MlpConfig};
-pub use transfer::{fine_tune, learning_curve, pretrain, pretrain_federated, CurvePoint};
+pub use transfer::{
+    fine_tune, learning_curve, pretrain, pretrain_federated, pretrain_federated_metered,
+    CurvePoint,
+};

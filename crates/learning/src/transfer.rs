@@ -18,8 +18,26 @@ pub fn pretrain(source: &Dataset, config: &MlpConfig) -> Mlp {
 /// Pretrains *without centralizing*: FedAvg over source shards — the
 /// paper's distributed transfer learning. Returns the global network.
 pub fn pretrain_federated(shards: &[Dataset], local_epochs: usize, rounds: usize) -> Mlp {
+    pretrain_federated_metered(
+        shards,
+        local_epochs,
+        rounds,
+        medchain_runtime::metrics::Metrics::noop(),
+    )
+}
+
+/// [`pretrain_federated`] with the aggregation loop reporting
+/// `learning.*` counters (rounds, uplink/downlink parameter bytes) to
+/// `metrics`.
+pub fn pretrain_federated_metered(
+    shards: &[Dataset],
+    local_epochs: usize,
+    rounds: usize,
+    metrics: medchain_runtime::metrics::Metrics,
+) -> Mlp {
     let dim = shards.first().map_or(0, Dataset::dim);
     let mut fed = FedAvg::new(FedMlp::new(dim, local_epochs), rounds);
+    fed.set_metrics(metrics);
     fed.run(shards, None);
     fed.into_global().model
 }

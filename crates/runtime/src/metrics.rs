@@ -103,6 +103,56 @@ impl Metrics {
             sink.event(scope, name, fields);
         }
     }
+
+    /// A handle that prepends `prefix.` to every key (and event scope)
+    /// before forwarding to this handle's sink. Instrumented code keeps
+    /// emitting its canonical keys (`consensus.rounds`,
+    /// `transport.bytes`); the caller decides the namespace — e.g. a
+    /// sharded network hands each committee
+    /// `metrics.scoped("shard-0")`, so its rounds land under
+    /// `shard-0.consensus.rounds`. Scoping a disabled handle stays
+    /// disabled (and free); nesting composes: scoping twice prepends
+    /// both prefixes.
+    pub fn scoped(&self, prefix: &str) -> Metrics {
+        match &self.sink {
+            None => Metrics::noop(),
+            Some(sink) => Metrics::new(Arc::new(PrefixSink {
+                prefix: prefix.to_string(),
+                inner: Arc::clone(sink),
+            })),
+        }
+    }
+}
+
+/// A [`MetricsSink`] adapter that namespaces every key under a prefix.
+/// Built by [`Metrics::scoped`].
+struct PrefixSink {
+    prefix: String,
+    inner: Arc<dyn MetricsSink>,
+}
+
+impl PrefixSink {
+    fn key(&self, key: &str) -> String {
+        format!("{}.{key}", self.prefix)
+    }
+}
+
+impl MetricsSink for PrefixSink {
+    fn counter(&self, key: &str, delta: u64) {
+        self.inner.counter(&self.key(key), delta);
+    }
+
+    fn gauge(&self, key: &str, value: i64) {
+        self.inner.gauge(&self.key(key), value);
+    }
+
+    fn observe(&self, key: &str, value: f64) {
+        self.inner.observe(&self.key(key), value);
+    }
+
+    fn event(&self, scope: &str, name: &str, fields: &[(&str, String)]) {
+        self.inner.event(&self.key(scope), name, fields);
+    }
 }
 
 /// Summary of a histogram's observations.
@@ -493,6 +543,29 @@ mod tests {
             assert!(!off.tick());
         }
         assert_eq!(registry.events().len(), 0);
+    }
+
+    #[test]
+    fn scoped_handles_namespace_every_key() {
+        let registry = Registry::new();
+        let m = registry.handle();
+        let shard0 = m.scoped("shard-0");
+        let coord = m.scoped("coordinator");
+        shard0.counter("consensus.rounds", 3);
+        coord.counter("consensus.rounds", 1);
+        shard0.gauge("mempool.len", 5);
+        shard0.observe("transport.delay_ms", 2.0);
+        shard0.event("mempool", "evicted", &[("nonce", "1".to_string())]);
+        assert_eq!(registry.counter_value("shard-0.consensus.rounds"), 3);
+        assert_eq!(registry.counter_value("coordinator.consensus.rounds"), 1);
+        assert_eq!(registry.counter_value("consensus.rounds"), 0);
+        assert_eq!(registry.gauge_value("shard-0.mempool.len"), Some(5));
+        assert_eq!(registry.histogram("shard-0.transport.delay_ms").unwrap().count, 1);
+        assert_eq!(registry.events()[0].scope, "shard-0.mempool");
+        // Nesting composes; scoping a noop handle stays disabled.
+        m.scoped("a").scoped("b").counter("c", 1);
+        assert_eq!(registry.counter_value("a.b.c"), 1);
+        assert!(!Metrics::noop().scoped("x").enabled());
     }
 
     #[test]

@@ -14,9 +14,72 @@
 //! ```
 //!
 //! The data directory defaults to `<tmp>/medchain-restart-node`.
+//!
+//! With `MEDCHAIN_SHARDS=k` (k ≥ 2) the same flow runs the sharded
+//! consortium instead (DESIGN.md §9): per-shard sub-chains persist under
+//! `<data-dir>/shard-<s>/site-<j>`, the coordinator chain under
+//! `<data-dir>/coordinator/site-<i>`, and a restart re-checks every
+//! recovered sub-chain against the newest committed cross-links before
+//! consensus resumes.
 
 use medchain_repro::prelude::*;
 use std::path::PathBuf;
+
+/// The sharded variant: anchors routed across sub-chains, a cross-link
+/// round on the coordinator, and a restart audited against those links.
+fn run_sharded_flow(
+    data_dir: &std::path::Path,
+    shards: u16,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let sites = 4usize.max(shards as usize);
+    let mut builder = MedicalNetwork::builder()
+        .shards(shards)
+        .storage(data_dir)
+        .transport(TransportKind::from_env());
+    for i in 0..sites {
+        builder = builder.site(&format!("hospital-{i}"), Vec::new());
+    }
+    let mut net = builder.build_sharded()?;
+
+    if net.resumed() {
+        println!(
+            "▸ resumed {} sub-chains at heights {:?} — recovery re-checked against the \
+             coordinator's cross-links",
+            net.shard_count(),
+            net.shard_heights(),
+        );
+    } else {
+        println!(
+            "▸ fresh sharded consortium: {} sites across {} sub-chain committees + coordinator",
+            net.site_count(),
+            net.shard_count(),
+        );
+    }
+
+    // Either life does real work on every sub-chain…
+    for i in 0..sites {
+        let label = format!("hospital-{i}/emr-{}", net.shard_heights().iter().sum::<u64>());
+        let (shard, _) = net.submit_as(
+            i,
+            TxPayload::Anchor { root: Hash256::digest(label.as_bytes()), label: label.clone() },
+            1_000,
+        )?;
+        println!("▸ anchor {label:?} routed to {shard}");
+    }
+    net.advance(2)?;
+
+    // …then commits a cross-link round so no sub-chain can fork past
+    // this point unnoticed.
+    for link in net.cross_link()? {
+        println!("▸ committed {link}");
+    }
+    println!(
+        "▸ coordinator chain at height {}; kill this process and run again — every sub-chain \
+         must come back agreeing with these cross-links",
+        net.coordinator_ledger().height()
+    );
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data_dir: PathBuf = std::env::args()
@@ -24,6 +87,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("medchain-restart-node"));
     println!("▸ data directory: {}", data_dir.display());
+
+    if let Ok(k) = std::env::var("MEDCHAIN_SHARDS") {
+        let shards: u16 = k.parse().map_err(|_| format!("bad MEDCHAIN_SHARDS={k}"))?;
+        if shards >= 2 {
+            return run_sharded_flow(&data_dir, shards);
+        }
+    }
 
     // Site datasets are generated deterministically, so a restarted
     // process re-derives the same local data its anchors commit to.

@@ -16,10 +16,12 @@ pub mod prelude {
     pub use medchain_runtime::{Decode, DetRng, Encode};
 
     // Network simulation and the paper's execution modes/pipelines.
-    pub use medchain::modes::{run_duplicated, run_sharded, run_transformed, ModeReport};
+    pub use medchain::modes::{
+        run_duplicated, run_sharded, run_sharded_consensus, run_transformed, ModeReport,
+    };
     pub use medchain::paradigms::{run_paradigm, Paradigm};
     pub use medchain::pipeline::{run_gwas, run_query, train_federated};
-    pub use medchain::{MedicalNetwork, TransportKind};
+    pub use medchain::{MedicalNetwork, ShardedNetwork, TransportKind};
 
     // Transport seam: deterministic simulator, real TCP sockets, and
     // the fault-injection wrapper.
@@ -27,8 +29,9 @@ pub mod prelude {
         FaultyTransport, LatencyModel, NetStats, SimTransport, TcpTransport, Transport,
     };
 
-    // Chain substrate.
+    // Chain substrate, including consensus-level sharding (DESIGN.md §9).
     pub use medchain_chain::ledger::{Ledger, NullRuntime};
+    pub use medchain_chain::shard::{shard_for_key, shard_for_tx, CrossLink, ShardId};
     pub use medchain_chain::{
         Address, AuthorityKey, Hash256, KeyRegistry, MerkleTree, Transaction, TxPayload,
     };

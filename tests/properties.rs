@@ -381,6 +381,17 @@ fn token_supply_is_conserved() {
 // store writes comes back bit-equal (and hash-equal) on recovery.
 
 use medchain_chain::block::{Block, Header, Seal};
+use medchain_chain::shard::ShardId;
+
+/// Any shard a header can carry: unsharded, a data shard, or the
+/// coordinator chain.
+fn random_shard(g: &mut Gen) -> ShardId {
+    match g.usize_in(0, 2) {
+        0 => ShardId::default(),
+        1 => ShardId(g.rng().gen_range(0u16..8)),
+        _ => ShardId::COORDINATOR,
+    }
+}
 use medchain_runtime::codec::{Decode, Encode, Reader};
 
 fn random_payload(g: &mut Gen) -> TxPayload {
@@ -435,6 +446,7 @@ fn block_codec_round_trips_arbitrary_blocks() {
             state_root: Hash256(g.byte_array()),
             timestamp_ms: g.u64(),
             proposer: Address::from_seed(g.u64()),
+            shard: random_shard(g),
         };
         let digest = header.digest();
         let block = Block {
@@ -496,6 +508,7 @@ fn block_decoder_survives_truncation() {
             state_root: Hash256(g.byte_array()),
             timestamp_ms: g.u64(),
             proposer: Address::from_seed(g.u64()),
+            shard: random_shard(g),
         };
         let digest = header.digest();
         let block = Block {

@@ -173,6 +173,101 @@ fn flipped_byte_in_log_record_stops_recovery_at_prior_record() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+fn sharded_net(root: &std::path::Path, sites: usize, shards: u16) -> ShardedNetwork {
+    let mut builder =
+        MedicalNetwork::builder().shards(shards).block_interval_ms(20).storage(root);
+    for i in 0..sites {
+        builder = builder.site(&format!("hospital-{i}"), Vec::new());
+    }
+    builder.build_sharded().expect("sharded network builds")
+}
+
+/// Kill-and-restart for the sharded topology (DESIGN.md §9): every
+/// sub-chain and the coordinator chain resume from their own data
+/// directories, the recovered sub-chains agree with the newest
+/// cross-links the recovered coordinator holds, and the consortium keeps
+/// committing — including a fresh cross-link round past the old tips.
+#[test]
+fn sharded_network_restart_recovers_subchains_agreeing_with_cross_links() {
+    let root = test_dir("sharded-restart");
+
+    // First life: work on both shards, then a committed cross-link round.
+    let mut net = sharded_net(&root, 4, 2);
+    assert!(!net.resumed());
+    for i in 0..4 {
+        let label = format!("hospital-{i}/emr");
+        net.submit_as(i, TxPayload::Anchor { root: Hash256::digest(label.as_bytes()), label }, 1_000)
+            .unwrap();
+    }
+    net.advance(2).unwrap();
+    let links = net.cross_link().unwrap();
+    assert_eq!(links.len(), 2);
+    let heights = net.shard_heights();
+    let tips: Vec<Hash256> =
+        (0..2).map(|s| net.ledger_of_shard(ShardId(s)).tip().id()).collect();
+    let coordinator_tip = net.coordinator_ledger().tip().id();
+    drop(net);
+
+    // Second life: all sub-chains resume and pass the cross-link audit.
+    let mut net = sharded_net(&root, 4, 2);
+    assert!(net.resumed());
+    assert_eq!(net.shard_heights(), heights);
+    for s in 0..2u16 {
+        assert_eq!(net.ledger_of_shard(ShardId(s)).tip().id(), tips[s as usize]);
+    }
+    assert_eq!(net.coordinator_ledger().tip().id(), coordinator_tip);
+    // The recovered coordinator still holds the pre-crash cross-links.
+    for link in &links {
+        let record =
+            net.coordinator_ledger().state().cross_link(link.shard).expect("recorded");
+        assert_eq!(record.tip, link.tip);
+    }
+    // The resumed consortium keeps growing and cross-links past the old
+    // tips.
+    net.submit_as(0, TxPayload::Anchor { root: Hash256::ZERO, label: "post-restart".into() }, 1_000)
+        .unwrap();
+    net.advance(1).unwrap();
+    let new_links = net.cross_link().unwrap();
+    assert!(!new_links.is_empty());
+    assert!(new_links.iter().all(|l| {
+        links.iter().find(|p| p.shard == l.shard).map_or(true, |p| l.height > p.height)
+    }));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A shard whose durable chain was rolled back behind its committed
+/// cross-link (here: its data wiped entirely) must be caught at resume —
+/// the recovery audit refuses to bring up a consortium whose coordinator
+/// commits a height the sub-chain no longer has.
+#[test]
+fn sharded_restart_rejects_subchain_rolled_back_behind_cross_link() {
+    let root = test_dir("sharded-rollback");
+
+    let mut net = sharded_net(&root, 4, 2);
+    for i in 0..4 {
+        let label = format!("hospital-{i}/emr");
+        net.submit_as(i, TxPayload::Anchor { root: Hash256::ZERO, label }, 1_000).unwrap();
+    }
+    net.advance(2).unwrap();
+    assert_eq!(net.cross_link().unwrap().len(), 2);
+    drop(net);
+
+    // Roll shard-0 back to genesis by wiping its data directories.
+    std::fs::remove_dir_all(root.join("shard-0")).unwrap();
+    let mut builder =
+        MedicalNetwork::builder().shards(2).block_interval_ms(20).storage(&root);
+    for i in 0..4 {
+        builder = builder.site(&format!("hospital-{i}"), Vec::new());
+    }
+    let err = builder.build_sharded().expect_err("rolled-back shard must not resume");
+    let text = err.to_string();
+    assert!(
+        text.contains("cross-link") && text.contains("shard-0"),
+        "unexpected error: {text}"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 /// Restarting a `MedicalNetwork` from its data directory resumes at the
 /// persisted height with the identical tip hash, and the storage
 /// counters on the sink show the persistence actually happening.

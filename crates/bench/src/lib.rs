@@ -15,6 +15,7 @@ pub mod e13_e15_ablations;
 pub mod e16_precision;
 pub mod e17_rct;
 pub mod e18_privacy;
+pub mod e19_gateway;
 pub mod e1_e2_scaling;
 pub mod e3_energy;
 pub mod e4_hie;
@@ -28,9 +29,9 @@ pub mod report;
 pub use report::Table;
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18",
+    "e15", "e16", "e17", "e18", "e19",
 ];
 
 /// Runs one experiment by id.
@@ -59,12 +60,13 @@ pub fn run_experiment(id: &str, quick: bool) -> Table {
         "e16" => e16_precision::run_e16(quick),
         "e17" => e17_rct::run_e17(quick),
         "e18" => e18_privacy::run_e18(quick),
+        "e19" => e19_gateway::run_e19(quick),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
 /// Runs one experiment by id with `metrics` installed on every layer
-/// that supports it (E1–E9; the remaining experiments run unmetered
+/// that supports it (E1–E9 and E19; the remaining experiments run unmetered
 /// and simply ignore the handle). E8/E9 report `learning.*` counters
 /// from their federated loops.
 ///
@@ -87,6 +89,7 @@ pub fn run_experiment_metered(
         "e7" => e7_query::run_e7_metered(quick, metrics),
         "e8" => e8_federated::run_e8_metered(quick, metrics),
         "e9" => e9_transfer::run_e9_metered(quick, metrics),
+        "e19" => e19_gateway::run_e19_metered(quick, metrics),
         other => run_experiment(other, quick),
     }
 }

@@ -411,6 +411,9 @@ pub struct Ledger {
     base_height: u64,
     state: WorldState,
     receipts: BTreeMap<Hash256, Receipt>,
+    /// `tx id → (block height, index in body)` for every committed
+    /// transaction, feeding [`Ledger::tx_receipt`] proofs.
+    tx_locations: BTreeMap<Hash256, (u64, usize)>,
     registry: KeyRegistry,
     runtime: Box<dyn ContractRuntime>,
     stats: LedgerStats,
@@ -455,6 +458,7 @@ impl Ledger {
             base_height: 0,
             state: WorldState::new(),
             receipts: BTreeMap::new(),
+            tx_locations: BTreeMap::new(),
             registry,
             runtime,
             stats: LedgerStats::default(),
@@ -563,6 +567,9 @@ impl Ledger {
         self.blocks = vec![tip];
         self.state = state;
         self.receipts.clear();
+        // Like receipts, locations only cover blocks applied after the
+        // snapshot: a restored node re-learns them as it replays.
+        self.tx_locations.clear();
         self.stats = LedgerStats::default();
         Ok(())
     }
@@ -580,6 +587,25 @@ impl Ledger {
     /// Receipt for a transaction, if executed.
     pub fn receipt(&self, tx_id: &Hash256) -> Option<&Receipt> {
         self.receipts.get(tx_id)
+    }
+
+    /// `(block height, index in body)` of a committed transaction.
+    pub fn locate_tx(&self, tx_id: &Hash256) -> Option<(u64, usize)> {
+        self.tx_locations.get(tx_id).copied()
+    }
+
+    /// Builds the proof-carrying client receipt for a committed
+    /// transaction (DESIGN.md §10).
+    ///
+    /// Returns `None` if the transaction never committed here or its
+    /// block has been pruned from in-memory history — storage-backed
+    /// nodes can still serve old blocks from the block log, but this
+    /// fast path only proves against retained blocks.
+    pub fn tx_receipt(&self, tx_id: &Hash256) -> Option<crate::receipt::TxReceipt> {
+        let (height, _) = self.locate_tx(tx_id)?;
+        let block = self.block(height)?;
+        let exec = self.receipt(tx_id)?;
+        crate::receipt::TxReceipt::for_block(block, *tx_id, exec)
     }
 
     /// Work counters.
@@ -602,6 +628,25 @@ impl Ledger {
         if !tx.verify(&self.registry) {
             return Err(LedgerError::BadSignature(tx.id()));
         }
+        let account = self.state.account(&tx.sender);
+        if tx.nonce < account.nonce {
+            return Err(LedgerError::BadNonce {
+                tx_id: tx.id(),
+                expected: account.nonce,
+                got: tx.nonce,
+            });
+        }
+        Ok(())
+    }
+
+    /// Nonce-only admission check against current state, for callers
+    /// that have **already verified the signature** (the gateway's
+    /// batch-verify path, see `ChainApp::submit_verified`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::BadNonce`] for an already-used nonce.
+    pub fn check_nonce(&self, tx: &Transaction) -> Result<(), LedgerError> {
         let account = self.state.account(&tx.sender);
         if tx.nonce < account.nonce {
             return Err(LedgerError::BadNonce {
@@ -704,6 +749,9 @@ impl Ledger {
                 self.stats.failed += 1;
             }
             self.receipts.insert(receipt.tx_id, receipt.clone());
+        }
+        for (index, tx) in block.transactions.iter().enumerate() {
+            self.tx_locations.insert(tx.id(), (block.header.height, index));
         }
         self.stats.blocks += 1;
         self.state = state;

@@ -38,6 +38,7 @@ pub mod mempool;
 pub mod merkle;
 pub mod net;
 pub mod node;
+pub mod receipt;
 pub mod shard;
 pub mod sig;
 pub mod store;
@@ -48,8 +49,11 @@ pub use hash::{Hash256, Sha256};
 pub use ledger::{
     ContractRuntime, CrossLinkRecord, Event, ExecError, ExecOutcome, Ledger, Receipt, WorldState,
 };
+pub use mempool::Lane;
 pub use merkle::{MerkleProof, MerkleTree};
 pub use net::{NodeId, SimNetwork, SimTransport, TcpTransport, Transport, Wire};
+pub use node::SubmitOutcome;
+pub use receipt::TxReceipt;
 pub use shard::{shard_for_key, shard_for_tx, sharded_contract_address, CrossLink, ShardId};
 pub use sig::{Address, AuthorityKey, AuthoritySignature, KeyRegistry};
 pub use store::{BlockStore, MemStore, StoreError};

@@ -1,4 +1,14 @@
-//! Pending-transaction pool with per-sender nonce ordering.
+//! Pending-transaction pool with per-sender nonce ordering and
+//! fee/priority lanes.
+//!
+//! Admission is lane-aware (DESIGN.md §10): the gateway routes client
+//! transactions into a **priority** or **normal** lane, block proposal
+//! drains priority senders first, and a slice of the pool's capacity is
+//! reserved for priority traffic so a flood of normal-lane submissions
+//! cannot starve it. Mutating methods are `pub(crate)`: outside
+//! `medchain-chain`, transactions enter a pool only through
+//! [`crate::node::ChainApp`]'s admission API, which enforces
+//! signature/nonce checks and dedup-before-verify.
 
 use crate::hash::Hash256;
 use crate::sig::Address;
@@ -6,11 +16,45 @@ use crate::tx::Transaction;
 use medchain_runtime::metrics::Metrics;
 use std::collections::{BTreeMap, HashSet};
 
-/// Outcome of [`Mempool::try_insert`].
+/// Which admission lane a transaction was routed into.
+///
+/// A sender occupies one lane at a time: the lane of its first queued
+/// transaction sticks until the sender's queue empties (so nonce runs
+/// are never split across lanes), and later submissions in a different
+/// lane are coerced onto the sticky one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Lane {
+    /// Drained first at block proposal; admitted into the reserved
+    /// capacity slice even when the normal lane is full.
+    Priority,
+    /// Default lane for ordinary traffic.
+    #[default]
+    Normal,
+}
+
+impl Lane {
+    /// Human-readable label (metrics keys, reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Lane::Priority => "priority",
+            Lane::Normal => "normal",
+        }
+    }
+}
+
+impl std::fmt::Display for Lane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome of [`Mempool::try_insert_in`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InsertOutcome {
-    /// The transaction entered a previously empty `(sender, nonce)` slot.
-    Inserted,
+    /// The transaction entered a previously empty `(sender, nonce)`
+    /// slot, on the lane it was actually queued in (the sender's sticky
+    /// lane, which may differ from the requested one).
+    Inserted(Lane),
     /// The transaction replaced the prior occupant of its `(sender,
     /// nonce)` slot; the evicted transaction is returned so callers can
     /// surface or re-gossip it, and its id is forgotten so it may be
@@ -18,33 +62,46 @@ pub enum InsertOutcome {
     Replaced(Transaction),
     /// The exact transaction id is already pending or was gossiped.
     DuplicateId,
-    /// The pool is at capacity and the transaction would grow it.
+    /// The pool (or, for normal-lane inserts, the unreserved slice of
+    /// it) is at capacity and the transaction would grow it.
     Full,
 }
 
 /// A mempool holding admissible transactions until block inclusion.
 ///
 /// Transactions are keyed by `(sender, nonce)`; [`Mempool::take_batch`]
-/// pops a gap-free nonce run per sender so the proposer never includes a
-/// transaction whose predecessor is missing.
+/// pops a gap-free nonce run per sender, priority-lane senders first, so
+/// the proposer never includes a transaction whose predecessor is
+/// missing.
 #[derive(Debug, Default, Clone)]
 pub struct Mempool {
     by_sender: BTreeMap<Address, BTreeMap<u64, Transaction>>,
+    /// Sticky lane per sender with queued transactions.
+    lane_of: BTreeMap<Address, Lane>,
     seen: HashSet<Hash256>,
     capacity: usize,
+    /// Capacity slice only priority-lane inserts may use.
+    priority_reserve: usize,
     size: usize,
     metrics: Metrics,
 }
 
 impl Mempool {
-    /// Creates a pool bounded at `capacity` transactions.
+    /// Creates a pool bounded at `capacity` transactions, with a quarter
+    /// of the capacity reserved for the priority lane.
     pub fn new(capacity: usize) -> Mempool {
-        Mempool { capacity, ..Mempool::default() }
+        Mempool { capacity, priority_reserve: capacity / 4, ..Mempool::default() }
     }
 
     /// Installs a metrics handle; all `mempool.*` counters report there.
     pub fn set_metrics(&mut self, metrics: Metrics) {
         self.metrics = metrics;
+    }
+
+    /// Sets the capacity slice reserved for priority-lane admissions
+    /// (clamped to the pool capacity).
+    pub fn set_priority_reserve(&mut self, reserve: usize) {
+        self.priority_reserve = reserve.min(self.capacity);
     }
 
     /// Number of pending transactions.
@@ -62,41 +119,84 @@ impl Mempool {
         self.seen.contains(id)
     }
 
+    /// The sticky lane a sender's queued transactions occupy, if any.
+    pub fn lane_of(&self, sender: &Address) -> Option<Lane> {
+        self.lane_of.get(sender).copied()
+    }
+
+    /// Pending transactions queued on `lane`.
+    pub fn lane_len(&self, lane: Lane) -> usize {
+        self.by_sender
+            .iter()
+            .filter(|(sender, _)| self.lane_of.get(sender).copied().unwrap_or_default() == lane)
+            .map(|(_, queue)| queue.len())
+            .sum()
+    }
+
     /// Sum of per-sender queue lengths. Always equals [`Mempool::len`];
     /// exposed so tests can check the invariant from outside.
     pub fn queued(&self) -> usize {
         self.by_sender.values().map(|queue| queue.len()).sum()
     }
 
-    /// Inserts a transaction. Returns `false` if it was a duplicate or
-    /// the pool is full; a replacement of an existing `(sender, nonce)`
-    /// slot counts as success. See [`Mempool::try_insert`] for the
-    /// evicted transaction.
-    pub fn insert(&mut self, tx: Transaction) -> bool {
-        matches!(self.try_insert(tx), InsertOutcome::Inserted | InsertOutcome::Replaced(_))
+    /// Inserts a transaction on the normal lane (test convenience).
+    /// Returns `false` if it was a duplicate or the pool is full; a
+    /// replacement of an existing `(sender, nonce)` slot counts as
+    /// success.
+    #[cfg(test)]
+    pub(crate) fn insert(&mut self, tx: Transaction) -> bool {
+        matches!(
+            self.try_insert(tx),
+            InsertOutcome::Inserted(_) | InsertOutcome::Replaced(_)
+        )
     }
 
-    /// Inserts a transaction, reporting exactly what happened.
+    /// Normal-lane [`Mempool::try_insert_in`] (test convenience).
+    #[cfg(test)]
+    pub(crate) fn try_insert(&mut self, tx: Transaction) -> InsertOutcome {
+        self.try_insert_in(tx, Lane::Normal)
+    }
+
+    /// Inserts a transaction on `lane`, reporting exactly what happened.
     ///
     /// Replacing an occupied `(sender, nonce)` slot removes the evicted
     /// transaction's id from the seen-set (so it can be re-submitted
     /// later) and returns it in [`InsertOutcome::Replaced`]. A
     /// replacement is admitted even at capacity because the pool size
-    /// does not grow.
-    pub fn try_insert(&mut self, tx: Transaction) -> InsertOutcome {
+    /// does not grow. Normal-lane inserts are rejected once the pool
+    /// reaches `capacity - priority_reserve`, keeping the reserved slice
+    /// available for priority traffic under backpressure.
+    pub(crate) fn try_insert_in(&mut self, tx: Transaction, lane: Lane) -> InsertOutcome {
         if self.seen.contains(&tx.id()) {
             self.metrics.counter("mempool.dedup_hits", 1);
             return InsertOutcome::DuplicateId;
         }
+        let sender = tx.sender;
+        // Sticky sender lane: the first queued transaction fixes it.
+        let effective = match self.lane_of.get(&sender) {
+            Some(&current) => {
+                if current != lane {
+                    self.metrics.counter("mempool.lane_coerced", 1);
+                }
+                current
+            }
+            None => lane,
+        };
         let replacing =
-            self.by_sender.get(&tx.sender).is_some_and(|queue| queue.contains_key(&tx.nonce));
-        if !replacing && self.size >= self.capacity {
-            self.metrics.counter("mempool.full_rejects", 1);
-            return InsertOutcome::Full;
+            self.by_sender.get(&sender).is_some_and(|queue| queue.contains_key(&tx.nonce));
+        if !replacing {
+            let limit = match effective {
+                Lane::Priority => self.capacity,
+                Lane::Normal => self.capacity.saturating_sub(self.priority_reserve),
+            };
+            if self.size >= limit {
+                self.metrics.counter("mempool.full_rejects", 1);
+                return InsertOutcome::Full;
+            }
         }
         self.seen.insert(tx.id());
-        let sender = tx.sender;
         let nonce = tx.nonce;
+        self.lane_of.insert(sender, effective);
         match self.by_sender.entry(sender).or_default().insert(nonce, tx) {
             Some(evicted) => {
                 // The bug this fixes: the evicted id used to stay in
@@ -113,21 +213,32 @@ impl Mempool {
             None => {
                 self.size += 1;
                 self.metrics.counter("mempool.inserted", 1);
+                self.metrics.counter(
+                    match effective {
+                        Lane::Priority => "mempool.inserted_priority",
+                        Lane::Normal => "mempool.inserted_normal",
+                    },
+                    1,
+                );
                 self.metrics.gauge("mempool.len", self.size as i64);
-                InsertOutcome::Inserted
+                InsertOutcome::Inserted(effective)
             }
         }
     }
 
     /// Takes up to `max` transactions, respecting gap-free nonce runs
-    /// starting from each sender's `next_nonce`.
-    pub fn take_batch(
+    /// starting from each sender's `next_nonce`. Priority-lane senders
+    /// are drained before normal-lane senders.
+    pub(crate) fn take_batch(
         &mut self,
         max: usize,
         mut next_nonce: impl FnMut(&Address) -> u64,
     ) -> Vec<Transaction> {
         let mut batch = Vec::new();
-        let senders: Vec<Address> = self.by_sender.keys().copied().collect();
+        let mut senders: Vec<Address> = self.by_sender.keys().copied().collect();
+        // Stable partition: priority senders first, address order within
+        // each lane (BTreeMap iteration is already address-ordered).
+        senders.sort_by_key(|s| self.lane_of.get(s).copied().unwrap_or_default());
         'outer: for sender in senders {
             let mut nonce = next_nonce(&sender);
             while batch.len() < max {
@@ -144,6 +255,7 @@ impl Mempool {
             if let Some(queue) = self.by_sender.get(&sender) {
                 if queue.is_empty() {
                     self.by_sender.remove(&sender);
+                    self.lane_of.remove(&sender);
                 }
             }
             if batch.len() >= max {
@@ -159,7 +271,11 @@ impl Mempool {
 
     /// Removes transactions already included in a committed block and
     /// stale nonces below each sender's account nonce.
-    pub fn prune(&mut self, committed: &[Transaction], account_nonce: impl Fn(&Address) -> u64) {
+    pub(crate) fn prune(
+        &mut self,
+        committed: &[Transaction],
+        account_nonce: impl Fn(&Address) -> u64,
+    ) {
         let before = self.size;
         for tx in committed {
             if let Some(queue) = self.by_sender.get_mut(&tx.sender) {
@@ -179,11 +295,36 @@ impl Mempool {
             }
             if queue.is_empty() {
                 self.by_sender.remove(&sender);
+                self.lane_of.remove(&sender);
             }
         }
         if before > self.size {
             self.metrics.counter("mempool.pruned", (before - self.size) as u64);
             self.metrics.gauge("mempool.len", self.size as i64);
+        }
+    }
+}
+
+mod codec_impls {
+    use super::Lane;
+    use medchain_runtime::codec::{CodecError, Decode, Encode, Reader};
+
+    impl Encode for Lane {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.push(match self {
+                Lane::Priority => 0,
+                Lane::Normal => 1,
+            });
+        }
+    }
+
+    impl Decode for Lane {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            match u8::decode(r)? {
+                0 => Ok(Lane::Priority),
+                1 => Ok(Lane::Normal),
+                tag => Err(CodecError::InvalidTag { ty: "Lane", tag }),
+            }
         }
     }
 }
@@ -217,6 +358,7 @@ mod tests {
     fn capacity_is_enforced() {
         let key = AuthorityKey::from_seed(1);
         let mut pool = Mempool::new(2);
+        pool.set_priority_reserve(0);
         assert!(pool.insert(tx(&key, 0)));
         assert!(pool.insert(tx(&key, 1)));
         assert!(!pool.insert(tx(&key, 2)));
@@ -288,7 +430,7 @@ mod tests {
         let mut pool = Mempool::new(10);
         let original = tx_with_amount(&key, 0, 1);
         let replacement = tx_with_amount(&key, 0, 2);
-        assert_eq!(pool.try_insert(original.clone()), InsertOutcome::Inserted);
+        assert_eq!(pool.try_insert(original.clone()), InsertOutcome::Inserted(Lane::Normal));
         // The replacement evicts the original and hands it back.
         assert_eq!(pool.try_insert(replacement.clone()), InsertOutcome::Replaced(original.clone()));
         assert_eq!(pool.len(), 1);
@@ -305,6 +447,7 @@ mod tests {
     fn replacement_is_admitted_at_capacity() {
         let key = AuthorityKey::from_seed(1);
         let mut pool = Mempool::new(2);
+        pool.set_priority_reserve(0);
         assert!(pool.insert(tx_with_amount(&key, 0, 1)));
         assert!(pool.insert(tx_with_amount(&key, 1, 1)));
         // Pool is full, but a replacement does not grow it.
@@ -322,6 +465,7 @@ mod tests {
         let registry = Registry::new();
         let key = AuthorityKey::from_seed(1);
         let mut pool = Mempool::new(2);
+        pool.set_priority_reserve(0);
         pool.set_metrics(registry.handle());
         pool.insert(tx_with_amount(&key, 0, 1)); // inserted
         pool.insert(tx_with_amount(&key, 0, 1)); // dedup hit
@@ -336,6 +480,30 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].scope, "mempool");
         assert_eq!(events[0].name, "evicted");
+    }
+
+    /// Moved from `tests/metrics.rs` when mempool mutators became
+    /// `pub(crate)`: a replacement eviction is visible at the sink and
+    /// frees the evicted id for re-submission.
+    #[test]
+    fn replacement_eviction_reaches_the_sink() {
+        use medchain_runtime::metrics::Registry;
+        let registry = Registry::default();
+        let key = AuthorityKey::from_seed(9);
+        let mut pool = Mempool::new(16);
+        pool.set_metrics(registry.handle());
+        assert!(matches!(pool.try_insert(tx_with_amount(&key, 0, 1)), InsertOutcome::Inserted(_)));
+        let evicted = match pool.try_insert(tx_with_amount(&key, 0, 2)) {
+            InsertOutcome::Replaced(old) => old,
+            other => panic!("expected replacement, got {other:?}"),
+        };
+        assert_eq!(registry.counter_value("mempool.evictions"), 1);
+        assert_eq!(registry.counter_value("mempool.inserted"), 1);
+        // The evicted id is free again: re-inserting it is not a dedup hit.
+        assert!(matches!(pool.try_insert(evicted), InsertOutcome::Replaced(_)));
+        assert_eq!(registry.counter_value("mempool.dedup_hits"), 0);
+        assert_eq!(registry.counter_value("mempool.evictions"), 2);
+        assert_eq!(pool.len(), 1);
     }
 
     #[test]
@@ -354,7 +522,9 @@ mod tests {
                         let key = &keys[g.usize_in(0, keys.len() - 1)];
                         let nonce = g.u64() % 8;
                         let amount = 1 + g.u64() % 4;
-                        pool.try_insert(tx_with_amount(key, nonce, amount));
+                        let lane =
+                            if g.usize_in(0, 1) == 0 { Lane::Priority } else { Lane::Normal };
+                        pool.try_insert_in(tx_with_amount(key, nonce, amount), lane);
                     }
                     2 => {
                         let floor = g.u64() % 8;
@@ -366,6 +536,47 @@ mod tests {
                     }
                 }
                 ensure_eq!(pool.len(), pool.queued());
+                ensure_eq!(pool.len(), pool.lane_len(Lane::Priority) + pool.lane_len(Lane::Normal));
+            }
+            Ok(())
+        });
+    }
+
+    /// Moved from `tests/properties.rs` when mempool mutators became
+    /// `pub(crate)`: batches are gap-free nonce runs per sender.
+    #[test]
+    fn batches_are_nonce_ordered() {
+        use medchain_runtime::check::{check, CheckConfig};
+        use medchain_runtime::{ensure, ensure_eq};
+        check("mempool batches are nonce ordered", CheckConfig::cases(64), |g| {
+            let inserts = g.vec_of(1, 30, |g| (g.usize_in(0, 3), g.rng().gen_range(0u64..8)));
+            let max = g.usize_in(1, 20);
+            let keys: Vec<AuthorityKey> =
+                (0..3).map(|i| AuthorityKey::from_seed(i as u64)).collect();
+            let mut pool = Mempool::new(256);
+            for &(who, nonce) in &inserts {
+                let who = who.min(2);
+                let tx = Transaction::new(
+                    keys[who].address(),
+                    nonce,
+                    TxPayload::Transfer { to: keys[(who + 1) % 3].address(), amount: 1 },
+                    100,
+                )
+                .signed(&keys[who]);
+                pool.insert(tx);
+            }
+            let batch = pool.take_batch(max, |_| 0);
+            ensure!(batch.len() <= max, "batch exceeds max");
+            // Per sender: nonces start at 0 and are contiguous.
+            for key in &keys {
+                let nonces: Vec<u64> = batch
+                    .iter()
+                    .filter(|tx| tx.sender == key.address())
+                    .map(|tx| tx.nonce)
+                    .collect();
+                for (i, n) in nonces.iter().enumerate() {
+                    ensure_eq!(*n, i as u64);
+                }
             }
             Ok(())
         });
@@ -381,5 +592,79 @@ mod tests {
         pool.insert(tx(&b, 1));
         let batch = pool.take_batch(10, |_| 0);
         assert_eq!(batch.len(), 3);
+    }
+
+    #[test]
+    fn priority_lane_drains_first() {
+        let a = AuthorityKey::from_seed(1); // normal
+        let b = AuthorityKey::from_seed(2); // priority
+        let mut pool = Mempool::new(10);
+        pool.try_insert_in(tx(&a, 0), Lane::Normal);
+        pool.try_insert_in(tx(&b, 0), Lane::Priority);
+        pool.try_insert_in(tx(&b, 1), Lane::Priority);
+        let batch = pool.take_batch(2, |_| 0);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|t| t.sender == b.address()), "priority sender first");
+        // The normal-lane transaction is still queued.
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.lane_len(Lane::Normal), 1);
+    }
+
+    #[test]
+    fn priority_reserve_admits_priority_when_normal_is_full() {
+        let a = AuthorityKey::from_seed(1);
+        let b = AuthorityKey::from_seed(2);
+        let mut pool = Mempool::new(4);
+        pool.set_priority_reserve(2);
+        // Normal lane fills its unreserved slice (4 - 2 = 2)…
+        assert!(matches!(pool.try_insert_in(tx(&a, 0), Lane::Normal), InsertOutcome::Inserted(_)));
+        assert!(matches!(pool.try_insert_in(tx(&a, 1), Lane::Normal), InsertOutcome::Inserted(_)));
+        assert_eq!(pool.try_insert_in(tx(&a, 2), Lane::Normal), InsertOutcome::Full);
+        // …but priority traffic still gets in, up to full capacity.
+        assert!(matches!(
+            pool.try_insert_in(tx(&b, 0), Lane::Priority),
+            InsertOutcome::Inserted(Lane::Priority)
+        ));
+        assert!(matches!(
+            pool.try_insert_in(tx(&b, 1), Lane::Priority),
+            InsertOutcome::Inserted(Lane::Priority)
+        ));
+        assert_eq!(pool.try_insert_in(tx(&b, 2), Lane::Priority), InsertOutcome::Full);
+    }
+
+    #[test]
+    fn sender_lane_is_sticky_until_queue_empties() {
+        use medchain_runtime::metrics::Registry;
+        let registry = Registry::new();
+        let key = AuthorityKey::from_seed(1);
+        let mut pool = Mempool::new(10);
+        pool.set_metrics(registry.handle());
+        assert_eq!(
+            pool.try_insert_in(tx(&key, 0), Lane::Priority),
+            InsertOutcome::Inserted(Lane::Priority)
+        );
+        // A normal-lane submission from the same sender is coerced onto
+        // the sticky priority lane so its nonce run stays unsplit.
+        assert_eq!(
+            pool.try_insert_in(tx(&key, 1), Lane::Normal),
+            InsertOutcome::Inserted(Lane::Priority)
+        );
+        assert_eq!(registry.counter_value("mempool.lane_coerced"), 1);
+        // Draining the sender resets the lane.
+        pool.take_batch(10, |_| 0);
+        assert_eq!(
+            pool.try_insert_in(tx(&key, 2), Lane::Normal),
+            InsertOutcome::Inserted(Lane::Normal)
+        );
+    }
+
+    #[test]
+    fn lane_round_trips_through_codec() {
+        use medchain_runtime::codec::{Decode, Encode, Reader};
+        for lane in [Lane::Priority, Lane::Normal] {
+            let bytes = lane.encoded();
+            let mut reader = Reader::new(&bytes);
+            assert_eq!(Lane::decode(&mut reader).unwrap(), lane);
+        }
     }
 }

@@ -5,7 +5,8 @@ use crate::block::Block;
 use crate::consensus::Application;
 use crate::hash::Hash256;
 use crate::ledger::{ContractRuntime, Ledger, LedgerStats, NullRuntime, Receipt};
-use crate::mempool::Mempool;
+use crate::mempool::{InsertOutcome, Lane, Mempool};
+use crate::receipt::TxReceipt;
 use crate::sig::{Address, KeyRegistry};
 use crate::tx::Transaction;
 
@@ -13,6 +14,36 @@ use crate::tx::Transaction;
 pub const DEFAULT_MEMPOOL_CAPACITY: usize = 4096;
 /// Default maximum transactions per block.
 pub const DEFAULT_MAX_BLOCK_TXS: usize = 256;
+
+/// Outcome of lane-aware admission ([`ChainApp::submit_in`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Queued for inclusion on `lane` (the sender's sticky lane, which
+    /// may differ from the requested one); `replaced` is true when the
+    /// transaction displaced a prior occupant of its `(sender, nonce)`
+    /// slot.
+    Admitted {
+        /// Lane the transaction was queued on.
+        lane: Lane,
+        /// Whether a prior transaction in the same slot was evicted.
+        replaced: bool,
+    },
+    /// The exact transaction id is already pending — detected *before*
+    /// any signature work, so re-submission of a duplicate never
+    /// re-verifies a one-time signature.
+    Duplicate,
+    /// The pool (or the normal lane's unreserved slice) is full.
+    Full,
+    /// Signature or nonce check failed.
+    Inadmissible,
+}
+
+impl SubmitOutcome {
+    /// Whether the transaction is now queued.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, SubmitOutcome::Admitted { .. })
+    }
+}
 
 /// A full node's chain-facing application state.
 ///
@@ -103,11 +134,76 @@ impl ChainApp {
     ///
     /// Returns `false` if the transaction is inadmissible or a duplicate.
     pub fn submit(&mut self, tx: Transaction) -> bool {
+        self.submit_in(tx, Lane::Normal).is_admitted()
+    }
+
+    /// Lane-aware submission with full signature verification.
+    ///
+    /// Dedup by transaction id runs **before** the signature check: a
+    /// one-time (Lamport-style) signature scheme consumes key state on
+    /// signing, so a client retrying a submission must get a cheap
+    /// idempotent answer rather than a second verification pass that
+    /// could misread key-reuse bookkeeping.
+    pub fn submit_in(&mut self, tx: Transaction, lane: Lane) -> SubmitOutcome {
+        if self.mempool.contains(&tx.id()) {
+            self.metrics.counter("mempool.dedup_hits", 1);
+            return SubmitOutcome::Duplicate;
+        }
         if self.ledger.check_admissible(&tx).is_err() {
             self.metrics.counter("mempool.inadmissible", 1);
-            return false;
+            return SubmitOutcome::Inadmissible;
         }
-        self.mempool.insert(tx)
+        self.insert_checked(tx, lane)
+    }
+
+    /// Lane-aware submission for transactions whose signature was
+    /// **already verified by the caller** — the gateway's batch-verify
+    /// path. Only the nonce is re-checked against current state.
+    ///
+    /// Trust boundary: callers must have run `tx.verify(registry)` (or
+    /// equivalent) on this exact transaction; passing unverified
+    /// transactions here would let unsigned data into blocks, which
+    /// honest replicas then reject at proposal time.
+    pub fn submit_verified(&mut self, tx: Transaction, lane: Lane) -> SubmitOutcome {
+        if self.mempool.contains(&tx.id()) {
+            self.metrics.counter("mempool.dedup_hits", 1);
+            return SubmitOutcome::Duplicate;
+        }
+        if self.ledger.check_nonce(&tx).is_err() {
+            self.metrics.counter("mempool.inadmissible", 1);
+            return SubmitOutcome::Inadmissible;
+        }
+        self.insert_checked(tx, lane)
+    }
+
+    fn insert_checked(&mut self, tx: Transaction, lane: Lane) -> SubmitOutcome {
+        let sender = tx.sender;
+        match self.mempool.try_insert_in(tx, lane) {
+            InsertOutcome::Inserted(lane) => SubmitOutcome::Admitted { lane, replaced: false },
+            InsertOutcome::Replaced(_) => SubmitOutcome::Admitted {
+                // A replacement lands on the sender's sticky lane.
+                lane: self.mempool.lane_of(&sender).unwrap_or(lane),
+                replaced: true,
+            },
+            InsertOutcome::DuplicateId => SubmitOutcome::Duplicate,
+            InsertOutcome::Full => SubmitOutcome::Full,
+        }
+    }
+
+    /// Whether a transaction id is currently pending in the mempool.
+    pub fn mempool_contains(&self, tx_id: &Hash256) -> bool {
+        self.mempool.contains(tx_id)
+    }
+
+    /// Sets the mempool capacity slice reserved for the priority lane.
+    pub fn set_priority_reserve(&mut self, reserve: usize) {
+        self.mempool.set_priority_reserve(reserve);
+    }
+
+    /// Proof-carrying client receipt for a committed transaction
+    /// (see [`crate::ledger::Ledger::tx_receipt`]).
+    pub fn tx_receipt(&self, tx_id: &Hash256) -> Option<TxReceipt> {
+        self.ledger.tx_receipt(tx_id)
     }
 
     /// The underlying ledger.

@@ -1,0 +1,625 @@
+//! Client ingress gateway: the RPC front-end of the consortium
+//! (DESIGN.md §10).
+//!
+//! Clients connect over TCP and speak length-framed canonical-codec
+//! messages: `[u32 length LE][GatewayRequest bytes]` up to
+//! [`MAX_FRAME`]. The gateway owns the admission path the paper's
+//! million-user population needs:
+//!
+//! 1. **Dedup before signature work** — a re-submitted transaction id is
+//!    answered from the gateway's bounded seen-window (or with its
+//!    committed receipt) without touching signature state, so one-time
+//!    signature schemes are never double-verified.
+//! 2. **Batched verification** — fresh transactions are verified in
+//!    parallel chunks across a worker pool
+//!    ([`medchain_runtime::sync::scoped_map`]), amortizing per-batch
+//!    overhead.
+//! 3. **Lane routing** — a client may request priority; the gateway
+//!    grants it only when the transaction's gas limit clears
+//!    [`GatewayConfig::priority_gas_floor`] (the fee-style policy), and
+//!    admission goes through the mempool's lane-aware API.
+//! 4. **Receipts as API** — a `Status` query for a committed
+//!    transaction returns a [`TxReceipt`] whose Merkle proof the client
+//!    verifies against the committed transaction root, so the gateway
+//!    never has to be trusted about inclusion.
+//!
+//! The server is transport-only: it buffers decoded requests and the
+//! network that owns it calls [`GatewayServer::pump`] between consensus
+//! rounds with itself as the [`GatewayBackend`].
+
+use medchain_chain::node::SubmitOutcome;
+use medchain_chain::receipt::TxReceipt;
+use medchain_chain::{Hash256, KeyRegistry, Lane, ShardId, Transaction};
+use medchain_runtime::codec::{Decode, Encode};
+use medchain_runtime::metrics::Metrics;
+use medchain_runtime::sync::scoped_map;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Maximum gateway frame payload (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Client keys the builder enrolls into the consortium registry
+    /// (seeds `0x1000_0000..`), retrievable via the network's
+    /// `client_keys()` accessor.
+    pub clients: usize,
+    /// Worker threads for batched signature verification.
+    pub verify_workers: usize,
+    /// Maximum submissions processed per [`GatewayServer::pump`] call.
+    pub max_batch: usize,
+    /// Size of the bounded recently-seen tx-id window used for dedup
+    /// before signature work.
+    pub dedup_capacity: usize,
+    /// Minimum gas limit for a requested priority upgrade to be granted
+    /// (the fee-based lane policy).
+    pub priority_gas_floor: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            clients: 64,
+            verify_workers: 4,
+            max_batch: 256,
+            dedup_capacity: 8_192,
+            priority_gas_floor: 10_000,
+        }
+    }
+}
+
+/// A client-to-gateway message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayRequest {
+    /// Submit a signed transaction; `priority` requests the priority
+    /// lane (granted only above the gateway's gas floor).
+    Submit {
+        /// The signed transaction.
+        tx: Transaction,
+        /// Whether the client requests the priority lane.
+        priority: bool,
+    },
+    /// Ask what happened to a previously submitted transaction.
+    Status {
+        /// The transaction id being queried.
+        tx_id: Hash256,
+    },
+}
+
+/// A gateway-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatewayResponse {
+    /// The transaction passed verification and entered the mempool.
+    Accepted {
+        /// The transaction id.
+        tx_id: Hash256,
+        /// The sub-chain it was routed to.
+        shard: ShardId,
+        /// The lane it was queued on.
+        lane: Lane,
+    },
+    /// The transaction was not admitted.
+    Rejected {
+        /// The transaction id.
+        tx_id: Hash256,
+        /// Why admission failed.
+        reason: String,
+    },
+    /// Known but not yet committed.
+    Pending {
+        /// The transaction id.
+        tx_id: Hash256,
+    },
+    /// Committed: the proof-carrying receipt.
+    Committed {
+        /// The receipt with its Merkle inclusion proof.
+        receipt: TxReceipt,
+    },
+    /// The gateway has never seen this transaction id.
+    Unknown {
+        /// The transaction id.
+        tx_id: Hash256,
+    },
+}
+
+mod codec_impls {
+    use super::{GatewayRequest, GatewayResponse};
+    use medchain_runtime::impl_codec_enum;
+
+    impl_codec_enum!(GatewayRequest {
+        0 => Submit { tx, priority },
+        1 => Status { tx_id },
+    });
+    impl_codec_enum!(GatewayResponse {
+        0 => Accepted { tx_id, shard, lane },
+        1 => Rejected { tx_id, reason },
+        2 => Pending { tx_id },
+        3 => Committed { receipt },
+        4 => Unknown { tx_id },
+    });
+}
+
+/// Writes one `[u32 len LE][payload]` frame.
+pub(crate) fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    stream.write_all(&buf)
+}
+
+/// Incremental frame parser over a non-blocking / timeout-read stream.
+///
+/// Feed it raw reads; it hands back complete frames, tolerating frames
+/// split across arbitrary read boundaries.
+pub(crate) struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    pub(crate) fn new() -> FrameBuffer {
+        FrameBuffer { buf: Vec::new() }
+    }
+
+    pub(crate) fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the declared frame length exceeds
+    /// [`MAX_FRAME`] — the connection is unrecoverable at that point.
+    pub(crate) fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds {MAX_FRAME}"),
+            ));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}
+
+/// Reads frames from `stream` into `out` until EOF/error, polling `stop`.
+fn reader_loop(
+    conn: u64,
+    mut stream: TcpStream,
+    out: Sender<(u64, GatewayRequest)>,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 8192];
+    while !stop.load(Ordering::Relaxed) {
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client hung up
+            Ok(n) => {
+                frames.extend(&chunk[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(payload)) => {
+                            match GatewayRequest::decoded(&payload) {
+                                Ok(req) => {
+                                    if out.send((conn, req)).is_err() {
+                                        return; // server dropped
+                                    }
+                                }
+                                // Undecodable request: the stream is
+                                // framed correctly but the payload is
+                                // garbage — drop the connection.
+                                Err(_) => return,
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => return, // oversized frame
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// What a network must provide for the gateway to admit traffic and
+/// answer status queries. Implemented by `MedicalNetwork` (single chain)
+/// and `ShardedNetwork` (routes by [`medchain_chain::shard_for_tx`]).
+pub trait GatewayBackend {
+    /// The consortium registry used for batched signature verification.
+    fn registry(&self) -> &KeyRegistry;
+
+    /// Admits a transaction whose signature the gateway already
+    /// verified, returning the sub-chain it was routed to and the
+    /// admission outcome.
+    fn admit_verified(&mut self, tx: Transaction, lane: Lane) -> (ShardId, SubmitOutcome);
+
+    /// The proof-carrying receipt of a committed transaction, if any.
+    fn find_receipt(&self, tx_id: &Hash256) -> Option<TxReceipt>;
+
+    /// Whether the transaction id is pending in a mempool.
+    fn is_pending(&self, tx_id: &Hash256) -> bool;
+}
+
+/// Per-pump summary, for callers that drive the serve loop themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpReport {
+    /// Submissions processed (after dedup).
+    pub submitted: usize,
+    /// Transactions admitted into a mempool.
+    pub accepted: usize,
+    /// Transactions rejected (bad signature, full pool, bad nonce).
+    pub rejected: usize,
+    /// Re-submissions answered without signature work.
+    pub dedup_hits: usize,
+    /// Status queries answered.
+    pub status_queries: usize,
+}
+
+/// Bounded recently-seen window: O(1) membership plus FIFO eviction.
+struct SeenWindow {
+    set: HashSet<Hash256>,
+    order: VecDeque<Hash256>,
+    capacity: usize,
+}
+
+impl SeenWindow {
+    fn new(capacity: usize) -> SeenWindow {
+        SeenWindow { set: HashSet::new(), order: VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    fn contains(&self, id: &Hash256) -> bool {
+        self.set.contains(id)
+    }
+
+    fn insert(&mut self, id: Hash256) {
+        if self.set.insert(id) {
+            self.order.push_back(id);
+            while self.order.len() > self.capacity {
+                let evicted = self.order.pop_front().expect("non-empty");
+                self.set.remove(&evicted);
+            }
+        }
+    }
+}
+
+/// The TCP ingress server. Owns the listener, per-connection reader
+/// threads, and the dedup window; admission happens when the owning
+/// network calls [`GatewayServer::pump`].
+pub struct GatewayServer {
+    config: GatewayConfig,
+    addr: SocketAddr,
+    inbox: Receiver<(u64, GatewayRequest)>,
+    writers: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    seen: SeenWindow,
+    metrics: Metrics,
+}
+
+impl std::fmt::Debug for GatewayServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayServer").field("addr", &self.addr).finish()
+    }
+}
+
+impl GatewayServer {
+    /// Binds a listener on an OS-assigned loopback port and starts
+    /// accepting client connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the loopback listener cannot start.
+    pub fn start(config: GatewayConfig, metrics: Metrics) -> io::Result<GatewayServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (tx, rx) = channel();
+        let writers: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let writers = Arc::clone(&writers);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut next_conn = 0u64;
+                let mut readers = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let conn = next_conn;
+                            next_conn += 1;
+                            if let Ok(write_half) = stream.try_clone() {
+                                writers.lock().expect("writer map").insert(conn, write_half);
+                            }
+                            let tx = tx.clone();
+                            let stop = Arc::clone(&stop);
+                            readers.push(std::thread::spawn(move || {
+                                reader_loop(conn, stream, tx, stop)
+                            }));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for handle in readers {
+                    let _ = handle.join();
+                }
+            })
+        };
+        let seen = SeenWindow::new(config.dedup_capacity);
+        Ok(GatewayServer {
+            config,
+            addr,
+            inbox: rx,
+            writers,
+            stop,
+            acceptor: Some(acceptor),
+            seen,
+            metrics,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The gateway's configuration.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Drains buffered client requests (up to `max_batch` submissions),
+    /// batch-verifies fresh signatures across the worker pool, admits
+    /// them through `backend`, and writes responses back to clients.
+    pub fn pump(&mut self, backend: &mut dyn GatewayBackend) -> PumpReport {
+        let mut report = PumpReport::default();
+        let mut responses: Vec<(u64, GatewayResponse)> = Vec::new();
+        // (conn, tx, priority-requested) for fresh submissions.
+        let mut fresh: Vec<(u64, Transaction, bool)> = Vec::new();
+        while fresh.len() < self.config.max_batch {
+            let Ok((conn, request)) = self.inbox.try_recv() else { break };
+            self.metrics.counter("gateway.requests", 1);
+            match request {
+                GatewayRequest::Status { tx_id } => {
+                    report.status_queries += 1;
+                    responses.push((conn, Self::status_of(backend, &self.seen, tx_id)));
+                }
+                GatewayRequest::Submit { tx, priority } => {
+                    let tx_id = tx.id();
+                    // Dedup BEFORE signature work: a retried submission
+                    // gets its current status, and a one-time signature
+                    // is never verified twice (see `ChainApp::submit_in`).
+                    if self.seen.contains(&tx_id) {
+                        report.dedup_hits += 1;
+                        self.metrics.counter("gateway.dedup_hits", 1);
+                        responses.push((conn, Self::status_of(backend, &self.seen, tx_id)));
+                    } else {
+                        fresh.push((conn, tx, priority));
+                    }
+                }
+            }
+        }
+
+        if !fresh.is_empty() {
+            report.submitted = fresh.len();
+            self.metrics.counter("gateway.submits", fresh.len() as u64);
+            self.metrics.observe("gateway.batch_size", fresh.len() as f64);
+            self.metrics.counter("gateway.sig_batches", 1);
+            // Batched verification: chunk the batch across the worker
+            // pool; each worker verifies its slice against the shared
+            // registry.
+            let registry = backend.registry().clone();
+            let workers = self.config.verify_workers.max(1);
+            let chunk_size = fresh.len().div_ceil(workers);
+            let txs: Vec<Transaction> = fresh.iter().map(|(_, tx, _)| tx.clone()).collect();
+            let verdicts: Vec<bool> = scoped_map(
+                txs.chunks(chunk_size).map(<[Transaction]>::to_vec).collect(),
+                |chunk| chunk.iter().map(|tx| tx.verify(&registry)).collect::<Vec<bool>>(),
+            )
+            .into_iter()
+            .flatten()
+            .collect();
+            self.metrics.counter("gateway.sig_checks", fresh.len() as u64);
+
+            for ((conn, tx, priority), verified) in fresh.into_iter().zip(verdicts) {
+                let tx_id = tx.id();
+                if !verified {
+                    report.rejected += 1;
+                    self.metrics.counter("gateway.sig_rejects", 1);
+                    responses.push((
+                        conn,
+                        GatewayResponse::Rejected { tx_id, reason: "bad signature".into() },
+                    ));
+                    continue;
+                }
+                // Fee-style lane policy: priority is granted only when
+                // requested AND the gas limit clears the floor.
+                let lane = if priority && tx.gas_limit >= self.config.priority_gas_floor {
+                    Lane::Priority
+                } else {
+                    Lane::Normal
+                };
+                let (shard, outcome) = backend.admit_verified(tx, lane);
+                match outcome {
+                    SubmitOutcome::Admitted { lane, .. } => {
+                        report.accepted += 1;
+                        self.seen.insert(tx_id);
+                        self.metrics.counter("gateway.accepted", 1);
+                        if lane == Lane::Priority {
+                            self.metrics.counter("gateway.priority_admitted", 1);
+                        }
+                        responses.push((conn, GatewayResponse::Accepted { tx_id, shard, lane }));
+                    }
+                    SubmitOutcome::Duplicate => {
+                        // Already pending on the backend (e.g. submitted
+                        // through the in-process API): treat as seen.
+                        report.dedup_hits += 1;
+                        self.seen.insert(tx_id);
+                        self.metrics.counter("gateway.dedup_hits", 1);
+                        responses.push((conn, GatewayResponse::Pending { tx_id }));
+                    }
+                    SubmitOutcome::Full => {
+                        report.rejected += 1;
+                        self.metrics.counter("gateway.full_rejects", 1);
+                        responses.push((
+                            conn,
+                            GatewayResponse::Rejected { tx_id, reason: "mempool full".into() },
+                        ));
+                    }
+                    SubmitOutcome::Inadmissible => {
+                        report.rejected += 1;
+                        self.metrics.counter("gateway.inadmissible", 1);
+                        responses.push((
+                            conn,
+                            GatewayResponse::Rejected { tx_id, reason: "bad nonce".into() },
+                        ));
+                    }
+                }
+            }
+        }
+
+        if !responses.is_empty() {
+            let mut writers = self.writers.lock().expect("writer map");
+            for (conn, response) in responses {
+                let Some(stream) = writers.get_mut(&conn) else { continue };
+                if write_frame(stream, &response.encoded()).is_err() {
+                    writers.remove(&conn);
+                }
+            }
+        }
+        report
+    }
+
+    fn status_of(
+        backend: &dyn GatewayBackend,
+        seen: &SeenWindow,
+        tx_id: Hash256,
+    ) -> GatewayResponse {
+        if let Some(receipt) = backend.find_receipt(&tx_id) {
+            GatewayResponse::Committed { receipt }
+        } else if backend.is_pending(&tx_id) || seen.contains(&tx_id) {
+            GatewayResponse::Pending { tx_id }
+        } else {
+            GatewayResponse::Unknown { tx_id }
+        }
+    }
+
+    /// Stops the acceptor and reader threads and closes the listener.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.writers.lock().expect("writer map").clear();
+    }
+}
+
+impl Drop for GatewayServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use medchain_chain::tx::TxPayload;
+    use medchain_chain::AuthorityKey;
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut frames = FrameBuffer::new();
+        let payload = b"hello frame".to_vec();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        // Feed one byte at a time: no frame until the last byte lands.
+        for (i, byte) in wire.iter().enumerate() {
+            frames.extend(&[*byte]);
+            let frame = frames.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert!(frame.is_none(), "premature frame at byte {i}");
+            } else {
+                assert_eq!(frame.unwrap(), payload);
+            }
+        }
+        assert!(frames.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversized_frames() {
+        let mut frames = FrameBuffer::new();
+        frames.extend(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(frames.next_frame().is_err());
+    }
+
+    #[test]
+    fn requests_and_responses_round_trip_through_codec() {
+        let key = AuthorityKey::from_seed(7);
+        let tx = Transaction::new(
+            key.address(),
+            0,
+            TxPayload::Anchor { root: Hash256::digest(b"r"), label: "l".into() },
+            1_000,
+        )
+        .signed(&key);
+        let requests = [
+            GatewayRequest::Submit { tx: tx.clone(), priority: true },
+            GatewayRequest::Status { tx_id: tx.id() },
+        ];
+        for request in requests {
+            assert_eq!(GatewayRequest::decoded(&request.encoded()).unwrap(), request);
+        }
+        let responses = [
+            GatewayResponse::Accepted {
+                tx_id: tx.id(),
+                shard: ShardId(3),
+                lane: Lane::Priority,
+            },
+            GatewayResponse::Rejected { tx_id: tx.id(), reason: "bad signature".into() },
+            GatewayResponse::Pending { tx_id: tx.id() },
+            GatewayResponse::Unknown { tx_id: tx.id() },
+        ];
+        for response in responses {
+            assert_eq!(GatewayResponse::decoded(&response.encoded()).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn seen_window_is_bounded_fifo() {
+        let mut seen = SeenWindow::new(2);
+        let ids: Vec<Hash256> = (0u8..3).map(|i| Hash256::digest(&[i])).collect();
+        seen.insert(ids[0]);
+        seen.insert(ids[1]);
+        assert!(seen.contains(&ids[0]));
+        seen.insert(ids[2]); // evicts ids[0]
+        assert!(!seen.contains(&ids[0]));
+        assert!(seen.contains(&ids[1]));
+        assert!(seen.contains(&ids[2]));
+    }
+}

@@ -10,10 +10,19 @@
 //! duplicated smart-contract computing versus the transformed
 //! distributed-parallel architecture — and [`paradigms`] implements the
 //! Hadoop/Grid/Cloud comparison of §III.
+//!
+//! Client-facing ingress (DESIGN.md §10) lives in [`gateway`] (the TCP
+//! front-end with batched signature verification and priority lanes),
+//! [`client`] (the `submit → PendingTx → TxReceipt` surface with local
+//! proof verification), and [`loadgen`] (the open-loop million-user
+//! load generator).
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod client;
+pub mod gateway;
+pub mod loadgen;
 pub mod modes;
 pub mod network;
 pub mod paradigms;
@@ -21,6 +30,11 @@ pub mod pipeline;
 pub mod sharded;
 pub mod site;
 
+pub use client::{Client, ClientError, PendingTx};
+pub use gateway::{
+    GatewayBackend, GatewayConfig, GatewayRequest, GatewayResponse, GatewayServer, PumpReport,
+};
+pub use loadgen::{run_sessions, LoadConfig, LoadReport};
 pub use modes::{
     run_duplicated, run_duplicated_metered, run_sharded, run_sharded_consensus,
     run_sharded_consensus_metered, run_sharded_metered, run_transformed,

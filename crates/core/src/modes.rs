@@ -165,12 +165,14 @@ pub fn run_duplicated_metered(
     let mut net = tiny_network(nodes, seed, metrics)?;
     // The analytics job as on-chain bytecode: burn `arg0` work units.
     let program = assemble("arg 0\nburn\npush 1\nhalt").expect("static program assembles");
-    let deploy = net.submit_as(
+    let deploy = net.submit(
         0,
         TxPayload::Deploy { code: encode_program(&program), init: Vec::new() },
         100_000,
     )?;
-    let receipt = net.commit_and_check(deploy)?;
+    // `confirm` also checks the receipt's Merkle inclusion proof
+    // against the committed block's tx root.
+    let receipt = net.confirm(&deploy)?;
     // The deploy receipt returns the contract address as its output.
     let mut addr = [0u8; 20];
     addr.copy_from_slice(&receipt.output);
@@ -188,7 +190,7 @@ fn run_duplicated_at(
     let sim_before = net.ledger().tip().header.timestamp_ms;
 
     let start = Instant::now();
-    let invoke = net.submit_as(
+    let invoke = net.submit(
         0,
         TxPayload::Invoke {
             contract,
@@ -196,7 +198,7 @@ fn run_duplicated_at(
         },
         work_units + 10_000,
     )?;
-    net.commit_and_check(invoke)?;
+    net.confirm(&invoke)?;
     let wall = start.elapsed();
 
     let stats_after = net.net_stats();
@@ -246,14 +248,14 @@ pub fn run_transformed_metered(
     let analytics = net.contracts().analytics;
     // Register the burn tool on-chain (integrity anchor).
     let tool_hash = burn_tool().code_hash();
-    let register = net.invoke_as(
+    let register = net.invoke(
         0,
         analytics,
         "register_tool",
         &[Value::str("burn-kernel"), Value::Bytes(tool_hash.0.to_vec())],
         50_000,
     )?;
-    net.commit_and_check(register)?;
+    net.confirm(&register)?;
 
     let gas_before = net.total_ledger_stats().gas_used;
     let net_before = net.net_stats();
@@ -261,7 +263,7 @@ pub fn run_transformed_metered(
 
     let start = Instant::now();
     // 1. Thin on-chain request (the access-policy control point).
-    let request = net.invoke_as(
+    let request = net.invoke(
         0,
         analytics,
         "request_run",
@@ -272,7 +274,7 @@ pub fn run_transformed_metered(
         ],
         50_000,
     )?;
-    net.commit_and_check(request)?;
+    net.confirm(&request)?;
 
     // 2. Off-chain decomposed execution: each site burns its shard in
     //    parallel on real OS threads.
@@ -308,14 +310,14 @@ pub fn run_transformed_metered(
     let result_hash = Hash256::digest(&digest_material);
 
     // 3. Result hash back on-chain (task id 0 on this fresh network).
-    let post = net.invoke_as(
+    let post = net.invoke(
         0,
         analytics,
         "post_result",
         &[Value::Int(0), Value::Bytes(result_hash.0.to_vec())],
         50_000,
     )?;
-    net.commit_and_check(post)?;
+    net.confirm(&post)?;
     let wall = start.elapsed();
 
     let stats_after = net.net_stats();
@@ -516,7 +518,7 @@ pub fn run_sharded_consensus_metered(
     let shard_work = work_units / u64::from(k);
     let mut invokes = Vec::with_capacity(shard_count);
     for (s, contract) in contracts.iter().enumerate() {
-        let (routed, id) = net.submit_as(
+        let pending = net.submit(
             0,
             TxPayload::Invoke {
                 contract: *contract,
@@ -524,19 +526,13 @@ pub fn run_sharded_consensus_metered(
             },
             shard_work + 10_000,
         )?;
-        debug_assert_eq!(routed, ShardId(s as u16));
-        invokes.push((routed, id));
+        debug_assert_eq!(pending.shard, ShardId(s as u16));
+        invokes.push(pending);
     }
-    net.advance(2)?;
-    for (shard, id) in &invokes {
-        let receipt =
-            net.receipt_on(*shard, id).ok_or(NetworkError::MissingReceipt(*id))?;
-        if !receipt.ok {
-            return Err(NetworkError::TxFailed {
-                tx_id: *id,
-                error: receipt.error.clone().unwrap_or_default(),
-            });
-        }
+    // `confirm` commits each sub-chain and verifies the receipt's
+    // inclusion proof against that chain's block root.
+    for pending in &invokes {
+        net.confirm(pending)?;
     }
     // Cross-link round: every advanced shard tip committed on the
     // coordinator chain.

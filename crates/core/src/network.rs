@@ -8,13 +8,18 @@
 //! locally resident data, transaction submission with nonce tracking,
 //! and the control-plane cycle.
 
+use crate::client::PendingTx;
+use crate::gateway::{GatewayBackend, GatewayConfig, GatewayServer, PumpReport};
 use crate::site::Site;
 use medchain_chain::consensus::poa::{PoaEngine, PoaMsg};
 use medchain_chain::consensus::{Application, Cluster, RunReport};
 use medchain_chain::ledger::contract_address;
 use medchain_chain::net::{SimTransport, TcpTransport, Transport};
-use medchain_chain::node::ChainApp;
-use medchain_chain::{Address, AuthorityKey, Hash256, KeyRegistry, Receipt, Transaction, TxPayload};
+use medchain_chain::node::{ChainApp, SubmitOutcome};
+use medchain_chain::receipt::TxReceipt;
+use medchain_chain::{
+    Address, AuthorityKey, Hash256, KeyRegistry, Lane, Receipt, ShardId, Transaction, TxPayload,
+};
 use medchain_contracts::native::native_manifest;
 use medchain_contracts::policy::Purpose;
 use medchain_contracts::runtime::{call_data, Runtime};
@@ -97,6 +102,20 @@ pub enum NetworkError {
     /// A cross-link failed verification against the shard's actual
     /// sub-chain, or a sharding invariant was violated (DESIGN.md §9).
     CrossLink(String),
+    /// Admission refused a transaction (full pool, bad nonce, bad
+    /// signature).
+    Rejected {
+        /// The refused transaction.
+        tx_id: Hash256,
+        /// Why admission failed.
+        reason: String,
+    },
+    /// A committed transaction's receipt proof failed to verify against
+    /// the block's transaction root — should be impossible on an honest
+    /// node and always worth surfacing loudly.
+    ReceiptProof(Hash256),
+    /// The ingress gateway could not be started or is not configured.
+    Gateway(String),
 }
 
 impl fmt::Display for NetworkError {
@@ -113,15 +132,49 @@ impl fmt::Display for NetworkError {
             NetworkError::TransportInit(e) => write!(f, "transport init failed: {e}"),
             NetworkError::Storage(e) => write!(f, "storage failed: {e}"),
             NetworkError::CrossLink(e) => write!(f, "cross-link violation: {e}"),
+            NetworkError::Rejected { tx_id, reason } => {
+                write!(f, "admission rejected {tx_id:?}: {reason}")
+            }
+            NetworkError::ReceiptProof(id) => {
+                write!(f, "receipt proof for {id:?} fails against the committed root")
+            }
+            NetworkError::Gateway(e) => write!(f, "gateway: {e}"),
         }
     }
 }
 
 impl std::error::Error for NetworkError {}
 
-/// Builder for a [`MedicalNetwork`] (or, via
-/// [`NetworkBuilder::shards`] + [`NetworkBuilder::build_sharded`], a
-/// [`crate::sharded::ShardedNetwork`]).
+/// The one builder for both network shapes — a monolithic
+/// [`MedicalNetwork`] ([`NetworkBuilder::build`]) or a
+/// [`crate::sharded::ShardedNetwork`]
+/// ([`NetworkBuilder::build_sharded`]).
+///
+/// Every option composes with every other, in any order:
+///
+/// - [`NetworkBuilder::site`] — add a hospital site (required, ≥ 1)
+/// - [`NetworkBuilder::shards`] — split consensus into `k` committees
+///   (only `build_sharded` honors it)
+/// - [`NetworkBuilder::storage`] / [`NetworkBuilder::storage_with`] —
+///   durable per-site chains, resumed when the directory already holds
+///   one
+/// - [`NetworkBuilder::metrics`] — install a metrics sink on every layer
+/// - [`NetworkBuilder::gateway`] — start the client ingress gateway
+///   (DESIGN.md §10) and enroll its client keys
+/// - [`NetworkBuilder::transport`], [`NetworkBuilder::block_interval_ms`],
+///   [`NetworkBuilder::seed`], [`NetworkBuilder::with_fda`] — consensus
+///   transport and topology knobs
+///
+/// ```no_run
+/// use medchain::{GatewayConfig, MedicalNetwork};
+/// let net = MedicalNetwork::builder()
+///     .site("hospital-0", Vec::new())
+///     .site("hospital-1", Vec::new())
+///     .shards(2)
+///     .gateway(GatewayConfig::default())
+///     .build_sharded()
+///     .unwrap();
+/// ```
 #[derive(Default)]
 pub struct NetworkBuilder {
     pub(crate) sites: Vec<(String, Vec<PatientRecord>)>,
@@ -132,6 +185,7 @@ pub struct NetworkBuilder {
     pub(crate) metrics: Metrics,
     pub(crate) storage: Option<(PathBuf, StorageConfig)>,
     pub(crate) shards: u16,
+    pub(crate) gateway: Option<GatewayConfig>,
 }
 
 impl fmt::Debug for NetworkBuilder {
@@ -152,7 +206,21 @@ impl NetworkBuilder {
             metrics: Metrics::noop(),
             storage: None,
             shards: 1,
+            gateway: None,
         }
+    }
+
+    /// Starts a client ingress gateway alongside the network
+    /// (DESIGN.md §10): a TCP front-end that batch-verifies signed
+    /// client transactions and admits them into fee/priority mempool
+    /// lanes. `cfg.clients` client keys (seeds `0x1000_0000..`) are
+    /// enrolled into the consortium registry at build time so their
+    /// transactions verify on every replica; fetch them with
+    /// `client_keys()` on the built network.
+    #[must_use]
+    pub fn gateway(mut self, cfg: GatewayConfig) -> NetworkBuilder {
+        self.gateway = Some(cfg);
+        self
     }
 
     /// Splits the consortium into `k` consensus shards (DESIGN.md §9):
@@ -260,8 +328,16 @@ impl NetworkBuilder {
         }
         let with_fda = self.with_fda;
         let n = self.sites.len();
-        let (engines, registry, _validators) =
+        let (engines, mut registry, _validators) =
             PoaEngine::make_validators(n, self.block_interval_ms);
+        // Gateway client keys are consortium members too: enroll them
+        // BEFORE the apps clone the registry, so client signatures
+        // verify on every replica. (The engines' clones lack them, but
+        // engines only check validator seals.)
+        let client_keys = client_keys_for(self.gateway.as_ref());
+        for key in &client_keys {
+            registry.enroll(key);
+        }
         let mut apps: Vec<ChainApp> = (0..n)
             .map(|i| {
                 let mut app = ChainApp::with_runtime(
@@ -354,7 +430,14 @@ impl NetworkBuilder {
             transport: self.transport,
             metrics: self.metrics,
             resumed,
+            gateway: None,
+            client_keys,
         };
+        if let Some(cfg) = self.gateway {
+            let server = GatewayServer::start(cfg, network.metrics.clone())
+                .map_err(|e| NetworkError::Gateway(e.to_string()))?;
+            network.gateway = Some(server);
+        }
         if resumed {
             // The persisted chain already holds the one-time setup;
             // re-derive the deterministic contract addresses (site 0
@@ -394,6 +477,12 @@ impl NetworkBuilder {
     }
 }
 
+/// Derives the gateway's client keys (disjoint from validator seeds).
+pub(crate) fn client_keys_for(cfg: Option<&GatewayConfig>) -> Vec<AuthorityKey> {
+    let clients = cfg.map(|c| c.clients).unwrap_or(0);
+    (0..clients).map(|i| AuthorityKey::from_seed(0x1000_0000 + i as u64)).collect()
+}
+
 /// The running consortium.
 pub struct MedicalNetwork {
     cluster: Cluster<PoaEngine, ChainApp, Box<dyn Transport<PoaMsg>>>,
@@ -405,6 +494,8 @@ pub struct MedicalNetwork {
     transport: TransportKind,
     metrics: Metrics,
     resumed: bool,
+    gateway: Option<GatewayServer>,
+    client_keys: Vec<AuthorityKey>,
 }
 
 impl fmt::Debug for MedicalNetwork {
@@ -496,9 +587,63 @@ impl MedicalNetwork {
     }
 
     /// Gracefully releases the transport (socket transports join their
-    /// threads; the simulator is a no-op).
+    /// threads; the simulator is a no-op) and stops the gateway.
     pub fn shutdown(&mut self) {
+        if let Some(gateway) = self.gateway.as_mut() {
+            gateway.shutdown();
+        }
         self.cluster.shutdown();
+    }
+
+    /// The ingress gateway's TCP address, when built with
+    /// [`NetworkBuilder::gateway`].
+    pub fn gateway_addr(&self) -> Option<std::net::SocketAddr> {
+        self.gateway.as_ref().map(GatewayServer::addr)
+    }
+
+    /// The enrolled gateway client keys (empty without a gateway).
+    pub fn client_keys(&self) -> &[AuthorityKey] {
+        &self.client_keys
+    }
+
+    /// Drains buffered gateway requests through admission and answers
+    /// status queries. No-op without a gateway.
+    pub fn pump_gateway(&mut self) -> PumpReport {
+        let Some(mut gateway) = self.gateway.take() else { return PumpReport::default() };
+        let report = gateway.pump(self);
+        self.gateway = Some(gateway);
+        report
+    }
+
+    /// Serves gateway traffic until `stop` is raised: pump admissions,
+    /// commit blocks whenever transactions are pending, then drain the
+    /// in-flight tail so every accepted transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ConsensusStalled`] if a commit round
+    /// times out.
+    pub fn serve_until(
+        &mut self,
+        stop: &std::sync::atomic::AtomicBool,
+    ) -> Result<(), NetworkError> {
+        use std::sync::atomic::Ordering;
+        while !stop.load(Ordering::Relaxed) {
+            self.pump_gateway();
+            if self.cluster.replicas[0].app.mempool_len() > 0 {
+                self.advance(1)?;
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        // Drain the tail: requests buffered before the stop, and
+        // anything already admitted but not yet committed.
+        self.pump_gateway();
+        while self.cluster.replicas[0].app.mempool_len() > 0 {
+            self.advance(1)?;
+            self.pump_gateway();
+        }
+        Ok(())
     }
 
     /// Aggregate ledger statistics across all replicas (the duplicated
@@ -526,15 +671,82 @@ impl MedicalNetwork {
         nonce
     }
 
-    /// Submits a signed transaction to every replica's mempool (gossip
-    /// shortcut: duplicate ids are deduplicated by the pools).
-    fn submit_all(&mut self, tx: Transaction) {
+    /// Verifies `tx` once against the consortium registry, then fans it
+    /// out to every replica's mempool on `lane` via the verified-path
+    /// admission API (gossip shortcut: duplicate ids are deduplicated by
+    /// the pools). Returns replica 0's outcome.
+    fn submit_verified_all(&mut self, tx: Transaction, lane: Lane) -> SubmitOutcome {
+        if !tx.verify(&self.registry) {
+            return SubmitOutcome::Inadmissible;
+        }
+        let mut first: Option<SubmitOutcome> = None;
         for replica in &mut self.cluster.replicas {
-            replica.app.submit(tx.clone());
+            let outcome = replica.app.submit_verified(tx.clone(), lane);
+            if first.is_none() {
+                first = Some(outcome);
+            }
+        }
+        first.unwrap_or(SubmitOutcome::Inadmissible)
+    }
+
+    /// Submits a transaction from `site` on the normal lane — the
+    /// `submit → PendingTx → confirm → TxReceipt` client API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] for bad indices and
+    /// [`NetworkError::Rejected`] when admission refuses the
+    /// transaction.
+    pub fn submit(
+        &mut self,
+        site: usize,
+        payload: TxPayload,
+        gas_limit: u64,
+    ) -> Result<PendingTx, NetworkError> {
+        self.submit_lane(site, payload, gas_limit, Lane::Normal)
+    }
+
+    /// [`MedicalNetwork::submit`] with an explicit mempool lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] / [`NetworkError::Rejected`].
+    pub fn submit_lane(
+        &mut self,
+        site: usize,
+        payload: TxPayload,
+        gas_limit: u64,
+        lane: Lane,
+    ) -> Result<PendingTx, NetworkError> {
+        if site >= self.sites.len() {
+            return Err(NetworkError::NoSuchSite(site));
+        }
+        let key = self.sites[site].key().clone();
+        let nonce = self.next_nonce(key.address());
+        let tx = Transaction::new(key.address(), nonce, payload, gas_limit).signed(&key);
+        let tx_id = tx.id();
+        let shard = self.ledger().shard();
+        match self.submit_verified_all(tx, lane) {
+            SubmitOutcome::Admitted { lane, .. } => Ok(PendingTx { tx_id, shard, lane }),
+            SubmitOutcome::Duplicate => Ok(PendingTx { tx_id, shard, lane: Lane::Normal }),
+            outcome @ (SubmitOutcome::Full | SubmitOutcome::Inadmissible) => {
+                // Give the burned nonce back so the next submission is
+                // not stuck behind a gap forever.
+                if let Some(tracked) = self.nonces.get_mut(&key.address()) {
+                    *tracked = tracked.saturating_sub(1);
+                }
+                let reason = match outcome {
+                    SubmitOutcome::Full => "mempool full",
+                    _ => "inadmissible",
+                };
+                Err(NetworkError::Rejected { tx_id, reason: reason.into() })
+            }
         }
     }
 
-    /// Builds, signs, and submits a transaction from `site`.
+    /// Builds, signs, and submits a transaction from `site`, returning
+    /// only its id (legacy surface; prefer [`MedicalNetwork::submit`],
+    /// whose [`PendingTx`] pairs with proof-carrying confirmation).
     ///
     /// # Errors
     ///
@@ -545,18 +757,33 @@ impl MedicalNetwork {
         payload: TxPayload,
         gas_limit: u64,
     ) -> Result<Hash256, NetworkError> {
-        if site >= self.sites.len() {
-            return Err(NetworkError::NoSuchSite(site));
-        }
-        let key = self.sites[site].key().clone();
-        let nonce = self.next_nonce(key.address());
-        let tx = Transaction::new(key.address(), nonce, payload, gas_limit).signed(&key);
-        let id = tx.id();
-        self.submit_all(tx);
-        Ok(id)
+        Ok(self.submit(site, payload, gas_limit)?.tx_id)
     }
 
-    /// Convenience: invoke a standard contract method from `site`.
+    /// Convenience: invoke a standard contract method from `site`,
+    /// through the [`MedicalNetwork::submit`] API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] / [`NetworkError::Rejected`].
+    pub fn invoke(
+        &mut self,
+        site: usize,
+        contract: Address,
+        selector: &str,
+        args: &[Value],
+        gas_limit: u64,
+    ) -> Result<PendingTx, NetworkError> {
+        self.submit(
+            site,
+            TxPayload::Invoke { contract, input: call_data(selector, args) },
+            gas_limit,
+        )
+    }
+
+    /// Convenience: invoke a standard contract method from `site`,
+    /// returning only the transaction id (legacy surface; prefer
+    /// [`MedicalNetwork::invoke`]).
     ///
     /// # Errors
     ///
@@ -569,11 +796,46 @@ impl MedicalNetwork {
         args: &[Value],
         gas_limit: u64,
     ) -> Result<Hash256, NetworkError> {
-        self.submit_as(
-            site,
-            TxPayload::Invoke { contract, input: call_data(selector, args) },
-            gas_limit,
-        )
+        Ok(self.invoke(site, contract, selector, args, gas_limit)?.tx_id)
+    }
+
+    /// Commits pending work and returns the proof-carrying receipt of a
+    /// submitted transaction, verified against the **independently
+    /// read** committed block root before it is handed back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] on stall, missing receipt, proof
+    /// failure, or failed execution.
+    pub fn confirm(&mut self, pending: &PendingTx) -> Result<TxReceipt, NetworkError> {
+        self.advance(1)?;
+        // The transaction may land a block later if it raced the proposer.
+        if self.cluster.replicas[0].app.tx_receipt(&pending.tx_id).is_none() {
+            self.advance(1)?;
+        }
+        let receipt = self
+            .cluster
+            .replicas[0]
+            .app
+            .tx_receipt(&pending.tx_id)
+            .ok_or(NetworkError::MissingReceipt(pending.tx_id))?;
+        // Check the proof against the root from the committed header,
+        // not the root the receipt carries.
+        let root = self
+            .ledger()
+            .block(receipt.height)
+            .map(|b| b.header.tx_root)
+            .ok_or(NetworkError::ReceiptProof(pending.tx_id))?;
+        if !receipt.verify_against(&root) {
+            return Err(NetworkError::ReceiptProof(pending.tx_id));
+        }
+        if !receipt.ok {
+            return Err(NetworkError::TxFailed {
+                tx_id: pending.tx_id,
+                error: receipt.error.clone().unwrap_or_default(),
+            });
+        }
+        Ok(receipt)
     }
 
     /// Runs consensus until `blocks` more blocks commit on all replicas.
@@ -762,6 +1024,32 @@ impl MedicalNetwork {
             }
         }
         Ok(count)
+    }
+}
+
+impl GatewayBackend for MedicalNetwork {
+    fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    fn admit_verified(&mut self, tx: Transaction, lane: Lane) -> (ShardId, SubmitOutcome) {
+        let shard = self.ledger().shard();
+        let mut first: Option<SubmitOutcome> = None;
+        for replica in &mut self.cluster.replicas {
+            let outcome = replica.app.submit_verified(tx.clone(), lane);
+            if first.is_none() {
+                first = Some(outcome);
+            }
+        }
+        (shard, first.unwrap_or(SubmitOutcome::Inadmissible))
+    }
+
+    fn find_receipt(&self, tx_id: &Hash256) -> Option<TxReceipt> {
+        self.cluster.replicas[0].app.tx_receipt(tx_id)
+    }
+
+    fn is_pending(&self, tx_id: &Hash256) -> bool {
+        self.cluster.replicas[0].app.mempool_contains(tx_id)
     }
 }
 

@@ -21,15 +21,18 @@
 //! [`medchain_chain::sharded_contract_address`] so an address always
 //! routes invokes back to the sub-chain that holds the code.
 
-use crate::network::{NetworkBuilder, NetworkError, TransportKind};
+use crate::client::PendingTx;
+use crate::gateway::{GatewayBackend, GatewayServer, PumpReport};
+use crate::network::{client_keys_for, NetworkBuilder, NetworkError, TransportKind};
 use medchain_chain::consensus::poa::{PoaEngine, PoaMsg};
 use medchain_chain::consensus::{Application, Cluster};
 use medchain_chain::ledger::NullRuntime;
 use medchain_chain::net::{NodeId, SimTransport, TcpTransport, Transport};
-use medchain_chain::node::ChainApp;
+use medchain_chain::node::{ChainApp, SubmitOutcome};
+use medchain_chain::receipt::TxReceipt;
 use medchain_chain::shard::{shard_for_tx, CrossLink, ShardId};
 use medchain_chain::{
-    Address, AuthorityKey, Hash256, KeyRegistry, Receipt, Transaction, TxPayload,
+    Address, AuthorityKey, Hash256, KeyRegistry, Lane, Receipt, Transaction, TxPayload,
 };
 use medchain_contracts::runtime::Runtime;
 use medchain_runtime::metrics::Metrics;
@@ -69,6 +72,8 @@ pub struct ShardedNetwork {
     transport: TransportKind,
     metrics: Metrics,
     resumed: bool,
+    gateway: Option<GatewayServer>,
+    client_keys: Vec<AuthorityKey>,
 }
 
 impl fmt::Debug for ShardedNetwork {
@@ -221,6 +226,12 @@ impl NetworkBuilder {
         for key in &keys {
             registry.enroll(key);
         }
+        // Gateway clients enroll before committees clone the registry,
+        // so their signatures verify on every shard.
+        let client_keys = client_keys_for(self.gateway.as_ref());
+        for key in &client_keys {
+            registry.enroll(key);
+        }
         let site_names: Vec<String> = self.sites.iter().map(|(name, _)| name.clone()).collect();
 
         let mut committees = Vec::with_capacity(k as usize);
@@ -254,7 +265,7 @@ impl NetworkBuilder {
 
         let resumed = coordinator_reports.first().map(|r| r.height > 0).unwrap_or(false)
             || shard_reports.iter().any(|r| r.first().map(|r| r.height > 0).unwrap_or(false));
-        let network = ShardedNetwork {
+        let mut network = ShardedNetwork {
             committees,
             coordinator,
             keys,
@@ -263,11 +274,20 @@ impl NetworkBuilder {
             block_interval_ms: self.block_interval_ms,
             registry,
             transport: self.transport,
-            metrics: self.metrics,
+            metrics: self.metrics.clone(),
             resumed,
+            gateway: None,
+            client_keys,
         };
         if resumed {
             network.check_recovery_against_cross_links()?;
+        }
+        if let Some(cfg) = self.gateway {
+            // Unscoped handle: ingress reports the same `gateway.*` keys
+            // whether it fronts a flat chain or a sharded one.
+            let server = GatewayServer::start(cfg, self.metrics.clone())
+                .map_err(|e| NetworkError::Gateway(e.to_string()))?;
+            network.gateway = Some(server);
         }
         Ok(network)
     }
@@ -367,14 +387,51 @@ impl ShardedNetwork {
         nonce
     }
 
-    fn submit_to_committee(&mut self, shard: ShardId, tx: Transaction) {
+    fn committee(&self, shard: ShardId) -> &Committee {
+        if shard.is_coordinator() {
+            &self.coordinator
+        } else {
+            &self.committees[shard.0 as usize]
+        }
+    }
+
+    /// Fans an already-verified transaction out to every replica of the
+    /// target committee; the reported outcome is replica 0's (replicas
+    /// share deterministic state, so they agree).
+    fn submit_verified_to_committee(
+        &mut self,
+        shard: ShardId,
+        tx: Transaction,
+        lane: Lane,
+    ) -> SubmitOutcome {
         let committee = if shard.is_coordinator() {
             &mut self.coordinator
         } else {
             &mut self.committees[shard.0 as usize]
         };
+        let mut first: Option<SubmitOutcome> = None;
         for replica in &mut committee.cluster.replicas {
-            replica.app.submit(tx.clone());
+            let outcome = replica.app.submit_verified(tx.clone(), lane);
+            if first.is_none() {
+                first = Some(outcome);
+            }
+        }
+        first.unwrap_or(SubmitOutcome::Inadmissible)
+    }
+
+    /// Verifies the signature once, then fans out to the committee.
+    fn submit_to_committee(&mut self, shard: ShardId, tx: Transaction, lane: Lane) -> SubmitOutcome {
+        if !tx.verify(&self.registry) {
+            return SubmitOutcome::Inadmissible;
+        }
+        self.submit_verified_to_committee(shard, tx, lane)
+    }
+
+    /// Rolls back a client-side nonce reservation after a rejected
+    /// submission, so the next attempt does not leave a gap.
+    fn unreserve_nonce(&mut self, shard: ShardId, sender: Address) {
+        if let Some(tracked) = self.nonces.get_mut(&(Self::chain_key(shard), sender)) {
+            *tracked = tracked.saturating_sub(1);
         }
     }
 
@@ -393,6 +450,44 @@ impl ShardedNetwork {
         payload: TxPayload,
         gas_limit: u64,
     ) -> Result<(ShardId, Hash256), NetworkError> {
+        let pending = self.submit_lane(site, payload, gas_limit, Lane::Normal)?;
+        Ok((pending.shard, pending.tx_id))
+    }
+
+    /// Like [`ShardedNetwork::submit_as`], but returns the
+    /// [`PendingTx`] handle for the `submit → PendingTx → TxReceipt`
+    /// surface. Normal lane.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedNetwork::submit_lane`].
+    pub fn submit(
+        &mut self,
+        site: usize,
+        payload: TxPayload,
+        gas_limit: u64,
+    ) -> Result<PendingTx, NetworkError> {
+        self.submit_lane(site, payload, gas_limit, Lane::Normal)
+    }
+
+    /// Builds, signs, routes, and submits a transaction from `site` on
+    /// the requested mempool lane, returning a [`PendingTx`] to confirm
+    /// later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] for bad indices,
+    /// [`NetworkError::CrossLink`] for cross-link payloads (those go
+    /// through [`ShardedNetwork::submit_cross_link`]), and
+    /// [`NetworkError::Rejected`] when the target committee's admission
+    /// refuses the transaction (the reserved nonce is rolled back).
+    pub fn submit_lane(
+        &mut self,
+        site: usize,
+        payload: TxPayload,
+        gas_limit: u64,
+        lane: Lane,
+    ) -> Result<PendingTx, NetworkError> {
         if site >= self.keys.len() {
             return Err(NetworkError::NoSuchSite(site));
         }
@@ -403,11 +498,69 @@ impl ShardedNetwork {
         }
         let shard = self.route(site, &payload);
         let key = self.keys[site].clone();
-        let nonce = self.next_nonce(shard, key.address());
-        let tx = Transaction::new(key.address(), nonce, payload, gas_limit).signed(&key);
-        let id = tx.id();
-        self.submit_to_committee(shard, tx);
-        Ok((shard, id))
+        let sender = key.address();
+        let nonce = self.next_nonce(shard, sender);
+        let tx = Transaction::new(sender, nonce, payload, gas_limit).signed(&key);
+        let tx_id = tx.id();
+        match self.submit_to_committee(shard, tx, lane) {
+            SubmitOutcome::Admitted { lane, .. } => Ok(PendingTx { tx_id, shard, lane }),
+            SubmitOutcome::Duplicate => Ok(PendingTx { tx_id, shard, lane }),
+            SubmitOutcome::Full => {
+                self.unreserve_nonce(shard, sender);
+                Err(NetworkError::Rejected { tx_id, reason: "mempool full".into() })
+            }
+            SubmitOutcome::Inadmissible => {
+                self.unreserve_nonce(shard, sender);
+                Err(NetworkError::Rejected { tx_id, reason: "inadmissible".into() })
+            }
+        }
+    }
+
+    /// Commits pending work on the transaction's sub-chain and returns
+    /// its proof-carrying [`TxReceipt`], verified against the tx root of
+    /// the committed block read independently from the ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::MissingReceipt`] if the transaction still
+    /// has not committed after two rounds,
+    /// [`NetworkError::ReceiptProof`] if the inclusion proof does not
+    /// check out, and [`NetworkError::TxFailed`] if execution failed.
+    pub fn confirm(&mut self, pending: &PendingTx) -> Result<TxReceipt, NetworkError> {
+        let shard = pending.shard;
+        let mut receipt = None;
+        for _ in 0..2 {
+            if shard.is_coordinator() {
+                self.advance_coordinator(1)?;
+            } else {
+                Self::advance_committee(
+                    &mut self.committees[shard.0 as usize],
+                    1,
+                    self.block_interval_ms,
+                )?;
+            }
+            receipt = self.committee(shard).cluster.replicas[0].app.tx_receipt(&pending.tx_id);
+            if receipt.is_some() {
+                break;
+            }
+        }
+        let receipt = receipt.ok_or(NetworkError::MissingReceipt(pending.tx_id))?;
+        let root = self
+            .committee(shard)
+            .ledger()
+            .block(receipt.height)
+            .map(|b| b.header.tx_root)
+            .ok_or(NetworkError::ReceiptProof(pending.tx_id))?;
+        if !receipt.verify_against(&root) {
+            return Err(NetworkError::ReceiptProof(pending.tx_id));
+        }
+        if !receipt.ok {
+            return Err(NetworkError::TxFailed {
+                tx_id: pending.tx_id,
+                error: receipt.error.clone().unwrap_or_else(|| "execution failed".into()),
+            });
+        }
+        Ok(receipt)
     }
 
     /// Operator-directed contract placement: submits a deploy from
@@ -438,16 +591,15 @@ impl ShardedNetwork {
             )));
         }
         let key = self.keys[site].clone();
-        let nonce = self.next_nonce(shard, key.address());
-        let tx = Transaction::new(
-            key.address(),
-            nonce,
-            TxPayload::Deploy { code, init },
-            gas_limit,
-        )
-        .signed(&key);
+        let sender = key.address();
+        let nonce = self.next_nonce(shard, sender);
+        let tx = Transaction::new(sender, nonce, TxPayload::Deploy { code, init }, gas_limit)
+            .signed(&key);
         let id = tx.id();
-        self.submit_to_committee(shard, tx);
+        if !self.submit_to_committee(shard, tx, Lane::Normal).is_admitted() {
+            self.unreserve_nonce(shard, sender);
+            return Err(NetworkError::Rejected { tx_id: id, reason: "deploy not admitted".into() });
+        }
         Ok(id)
     }
 
@@ -553,16 +705,25 @@ impl ShardedNetwork {
     pub fn submit_cross_link(&mut self, link: CrossLink) -> Result<Hash256, NetworkError> {
         self.verify_link(&link)?;
         let key = self.keys[0].clone();
-        let nonce = self.next_nonce(ShardId::COORDINATOR, key.address());
+        let sender = key.address();
+        let nonce = self.next_nonce(ShardId::COORDINATOR, sender);
         let tx = Transaction::new(
-            key.address(),
+            sender,
             nonce,
             TxPayload::CrossLink { shard: link.shard, height: link.height, tip: link.tip },
             1_000,
         )
         .signed(&key);
         let id = tx.id();
-        self.submit_to_committee(ShardId::COORDINATOR, tx);
+        // Control-plane traffic rides the priority lane: a cross-link
+        // must land even when data shards saturate the normal lane.
+        if !self.submit_to_committee(ShardId::COORDINATOR, tx, Lane::Priority).is_admitted() {
+            self.unreserve_nonce(ShardId::COORDINATOR, sender);
+            return Err(NetworkError::Rejected {
+                tx_id: id,
+                reason: "coordinator mempool refused the cross-link".into(),
+            });
+        }
         Ok(id)
     }
 
@@ -615,12 +776,7 @@ impl ShardedNetwork {
 
     /// Receipt lookup on `shard`'s sub-chain (replica 0).
     pub fn receipt_on(&self, shard: ShardId, tx_id: &Hash256) -> Option<&Receipt> {
-        let committee = if shard.is_coordinator() {
-            &self.coordinator
-        } else {
-            &self.committees[shard.0 as usize]
-        };
-        committee.cluster.replicas[0].app.receipt(tx_id)
+        self.committee(shard).cluster.replicas[0].app.receipt(tx_id)
     }
 
     /// Aggregate ledger statistics across every replica of every
@@ -661,8 +817,75 @@ impl ShardedNetwork {
         total
     }
 
-    /// Gracefully releases every committee's transport.
+    /// The ingress gateway's listen address, when one was configured
+    /// with [`NetworkBuilder::gateway`].
+    pub fn gateway_addr(&self) -> Option<std::net::SocketAddr> {
+        self.gateway.as_ref().map(GatewayServer::addr)
+    }
+
+    /// The enrolled gateway client keys (empty without a gateway).
+    pub fn client_keys(&self) -> &[AuthorityKey] {
+        &self.client_keys
+    }
+
+    /// Drains buffered gateway requests through admission — each
+    /// transaction routes to its sub-chain via [`shard_for_tx`] — and
+    /// answers status queries. No-op without a gateway.
+    pub fn pump_gateway(&mut self) -> PumpReport {
+        let Some(mut gateway) = self.gateway.take() else { return PumpReport::default() };
+        let report = gateway.pump(self);
+        self.gateway = Some(gateway);
+        report
+    }
+
+    /// Advances every chain (data shards and coordinator) that has
+    /// pending transactions by one block. Returns whether any advanced.
+    fn advance_pending(&mut self) -> Result<bool, NetworkError> {
+        let mut advanced = false;
+        for committee in &mut self.committees {
+            if committee.cluster.replicas[0].app.mempool_len() > 0 {
+                Self::advance_committee(committee, 1, self.block_interval_ms)?;
+                advanced = true;
+            }
+        }
+        if self.coordinator.cluster.replicas[0].app.mempool_len() > 0 {
+            Self::advance_committee(&mut self.coordinator, 1, self.block_interval_ms)?;
+            advanced = true;
+        }
+        Ok(advanced)
+    }
+
+    /// Serves gateway traffic until `stop` is raised: pump admissions,
+    /// commit blocks on whichever sub-chains have pending work, then
+    /// drain the in-flight tail so every accepted transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::ConsensusStalled`] if a commit round
+    /// times out.
+    pub fn serve_until(
+        &mut self,
+        stop: &std::sync::atomic::AtomicBool,
+    ) -> Result<(), NetworkError> {
+        use std::sync::atomic::Ordering;
+        while !stop.load(Ordering::Relaxed) {
+            self.pump_gateway();
+            if !self.advance_pending()? {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        self.pump_gateway();
+        while self.advance_pending()? {
+            self.pump_gateway();
+        }
+        Ok(())
+    }
+
+    /// Gracefully releases the gateway and every committee's transport.
     pub fn shutdown(&mut self) {
+        if let Some(mut gateway) = self.gateway.take() {
+            gateway.shutdown();
+        }
         for committee in &mut self.committees {
             committee.cluster.shutdown();
         }
@@ -702,6 +925,38 @@ impl ShardedNetwork {
             }
         }
         Ok(())
+    }
+}
+
+impl GatewayBackend for ShardedNetwork {
+    fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    fn admit_verified(&mut self, tx: Transaction, lane: Lane) -> (ShardId, SubmitOutcome) {
+        // External clients may not mint cross-links: those carry
+        // consortium attestations and only enter via
+        // `submit_cross_link`'s verification path.
+        if matches!(tx.payload, TxPayload::CrossLink { .. }) {
+            return (ShardId::COORDINATOR, SubmitOutcome::Inadmissible);
+        }
+        let shard = shard_for_tx(&tx, self.shard_count());
+        let outcome = self.submit_verified_to_committee(shard, tx, lane);
+        (shard, outcome)
+    }
+
+    fn find_receipt(&self, tx_id: &Hash256) -> Option<TxReceipt> {
+        self.committees
+            .iter()
+            .chain(std::iter::once(&self.coordinator))
+            .find_map(|c| c.cluster.replicas[0].app.tx_receipt(tx_id))
+    }
+
+    fn is_pending(&self, tx_id: &Hash256) -> bool {
+        self.committees
+            .iter()
+            .chain(std::iter::once(&self.coordinator))
+            .any(|c| c.cluster.replicas[0].app.mempool_contains(tx_id))
     }
 }
 

@@ -135,6 +135,39 @@ if ! grep -q "committed cross-link: shard-" "$shard_log"; then
 fi
 echo "ok: sharded consortium cross-linked, restarted, and passed the recovery audit"
 
+# Ingress gateway (DESIGN.md §10): a sharded cluster fronted by the TCP
+# gateway, driven by the open-loop load generator, with every receipt's
+# Merkle proof verified client-side. Wall-clock guarded — a wedged
+# accept/read/serve loop must fail the gate.
+echo "== gateway: TCP round trip with client-verified receipts (wall-clock guarded) =="
+gateway_log="$(mktemp)"
+trap 'rm -f "$metrics_tsv" "$restart_log" "$shard_log" "$gateway_log"; rm -rf "$restart_dir" "$shard_dir"' EXIT
+timeout 120 cargo run --release -q --example gateway_load > "$gateway_log"
+if ! grep -q "gateway round-trip OK" "$gateway_log"; then
+    echo "ERROR: gateway_load did not complete a verified round trip" >&2
+    cat "$gateway_log" >&2
+    exit 1
+fi
+if ! grep -q "0 proof failures" "$gateway_log"; then
+    echo "ERROR: gateway_load reported client-side proof failures" >&2
+    cat "$gateway_log" >&2
+    exit 1
+fi
+echo "ok: gateway served open-loop load and every receipt proof verified client-side"
+
+# Admission-boundary guard: mempool insertion is the chain layer's job.
+# Everything outside crates/chain must go through the ChainApp submit
+# API (submit / submit_in / submit_verified), which runs dedup-before-
+# signature and admission checks — never call the mempool directly.
+echo "== ingress: mempool admission-boundary guard =="
+if grep -rn "try_insert_in(\|mempool\.insert(\|\.try_insert(" \
+    crates/*/src src examples tests --include="*.rs" \
+    | grep -v "^crates/chain/src"; then
+    echo "ERROR: direct mempool insertion outside crates/chain — use ChainApp::submit*." >&2
+    exit 1
+fi
+echo "ok: all mempool admission goes through the chain layer"
+
 # Doc-drift guard: the sharding layer is documented end to end in
 # DESIGN.md §9 — if ShardId exists in code, the design doc must cover it
 # (and the section must actually exist).

@@ -23,6 +23,13 @@ pub mod prelude {
     pub use medchain::pipeline::{run_gwas, run_query, train_federated};
     pub use medchain::{MedicalNetwork, ShardedNetwork, TransportKind};
 
+    // Ingress: client gateway, trustless receipts, open-loop load
+    // generation (DESIGN.md §10).
+    pub use medchain::loadgen::{run_sessions, LoadConfig, LoadReport};
+    pub use medchain::{Client, ClientError, GatewayConfig, PendingTx};
+    pub use medchain_chain::receipt::TxReceipt;
+    pub use medchain_chain::Lane;
+
     // Transport seam: deterministic simulator, real TCP sockets, and
     // the fault-injection wrapper.
     pub use medchain_transport::{

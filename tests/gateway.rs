@@ -1,0 +1,206 @@
+//! End-to-end ingress tests (DESIGN.md §10): a real TCP [`Client`]
+//! against a [`MedicalNetwork`] / [`ShardedNetwork`] gateway.
+//!
+//! Covered: (1) submit → `PendingTx` → `TxReceipt` over TCP with the
+//! proof checked against an **independently read** committed block
+//! root, (2) the Lamport-safety regression — re-submitting a signed
+//! transaction never re-runs signature verification, (3) fee-gated
+//! priority-lane admission, and (4) the sharded topology routing
+//! gateway traffic onto the right sub-chains.
+
+use medchain::{Client, GatewayConfig, MedicalNetwork, TransportKind};
+use medchain_chain::shard::shard_for_key;
+use medchain_chain::{Hash256, Lane, Transaction, TxPayload};
+use medchain_runtime::metrics::Registry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const COMMIT_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn anchor(label: &str) -> TxPayload {
+    TxPayload::Anchor { root: Hash256::digest(label.as_bytes()), label: label.to_string() }
+}
+
+#[test]
+fn tcp_round_trip_receipt_verifies_against_committed_root() {
+    let registry = Registry::new();
+    let mut builder = MedicalNetwork::builder()
+        .block_interval_ms(20)
+        .transport(TransportKind::Tcp)
+        .metrics(registry.handle())
+        .gateway(GatewayConfig { clients: 1, ..GatewayConfig::default() });
+    for i in 0..3 {
+        builder = builder.site(&format!("hospital-{i}"), Vec::new());
+    }
+    let mut net = builder.build().expect("TCP gateway network builds");
+    let addr = net.gateway_addr().expect("gateway listening");
+    let keys = net.client_keys().to_vec();
+
+    let stop = AtomicBool::new(false);
+    let receipt = std::thread::scope(|scope| {
+        let client_side = scope.spawn(|| {
+            let key = &keys[0];
+            let mut client = Client::connect(addr).expect("connects");
+            let tx = Transaction::new(key.address(), 0, anchor("e2e/emr"), 1_000).signed(key);
+            let pending = client.submit(&tx, false).expect("accepted");
+            assert_eq!(pending.tx_id, tx.id());
+            // wait_receipt verifies the proof locally before returning.
+            let receipt = client.wait_receipt(&pending, COMMIT_TIMEOUT).expect("commits");
+            stop.store(true, Ordering::Relaxed);
+            receipt
+        });
+        net.serve_until(&stop).expect("serving succeeds");
+        client_side.join().expect("client thread")
+    });
+
+    // Trustless check against a root the gateway never touched: read the
+    // committed block straight from a validator's ledger.
+    let root = net
+        .ledger()
+        .block(receipt.height)
+        .expect("block retained")
+        .header
+        .tx_root;
+    assert!(receipt.verify_against(&root), "receipt proof fails against the real block root");
+    assert!(receipt.ok);
+    // The ingress pipeline metered itself.
+    assert!(registry.counter_value("gateway.requests") >= 1);
+    assert!(registry.counter_value("gateway.accepted") >= 1);
+    net.shutdown();
+}
+
+#[test]
+fn resubmission_never_reverifies_a_signature() {
+    let registry = Registry::new();
+    let mut builder = MedicalNetwork::builder()
+        .block_interval_ms(20)
+        .metrics(registry.handle())
+        .gateway(GatewayConfig { clients: 1, ..GatewayConfig::default() });
+    for i in 0..3 {
+        builder = builder.site(&format!("h{i}"), Vec::new());
+    }
+    let mut net = builder.build().expect("network builds");
+    let addr = net.gateway_addr().expect("gateway listening");
+    let keys = net.client_keys().to_vec();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let client_side = scope.spawn(|| {
+            let key = &keys[0];
+            let mut client = Client::connect(addr).expect("connects");
+            let tx = Transaction::new(key.address(), 0, anchor("dup/doc"), 1_000).signed(key);
+            let pending = client.submit(&tx, false).expect("accepted");
+            // Retry while still pending: answered from the dedup window.
+            let again = client.submit(&tx, false).expect("idempotent");
+            assert_eq!(again.tx_id, pending.tx_id);
+            client.wait_receipt(&pending, COMMIT_TIMEOUT).expect("commits");
+            // Retry after commit: answered straight from the receipt.
+            let after = client.submit(&tx, false).expect("still idempotent");
+            assert_eq!(after.tx_id, pending.tx_id);
+            stop.store(true, Ordering::Relaxed);
+        });
+        net.serve_until(&stop).expect("serving succeeds");
+        client_side.join().expect("client thread");
+    });
+
+    // One transaction, three submissions: exactly one signature check —
+    // a one-time-signature scheme must never see a second verification
+    // of the same submission (Lamport safety).
+    assert_eq!(registry.counter_value("gateway.sig_checks"), 1);
+    assert!(registry.counter_value("gateway.dedup_hits") >= 2);
+    net.shutdown();
+}
+
+#[test]
+fn priority_is_fee_gated() {
+    let mut builder = MedicalNetwork::builder()
+        .block_interval_ms(20)
+        .gateway(GatewayConfig { clients: 1, ..GatewayConfig::default() });
+    for i in 0..3 {
+        builder = builder.site(&format!("h{i}"), Vec::new());
+    }
+    let mut net = builder.build().expect("network builds");
+    let addr = net.gateway_addr().expect("gateway listening");
+    let keys = net.client_keys().to_vec();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let client_side = scope.spawn(|| {
+            let key = &keys[0];
+            let mut client = Client::connect(addr).expect("connects");
+            // Gas above the floor: priority honored.
+            let rich = Transaction::new(key.address(), 0, anchor("lane/rich"), 20_000).signed(key);
+            let pending = client.submit(&rich, true).expect("accepted");
+            assert_eq!(pending.lane, Lane::Priority);
+            client.wait_receipt(&pending, COMMIT_TIMEOUT).expect("commits");
+            // Gas below the floor: the request is coerced to normal.
+            let poor = Transaction::new(key.address(), 1, anchor("lane/poor"), 1_000).signed(key);
+            let pending = client.submit(&poor, true).expect("accepted");
+            assert_eq!(pending.lane, Lane::Normal);
+            client.wait_receipt(&pending, COMMIT_TIMEOUT).expect("commits");
+            stop.store(true, Ordering::Relaxed);
+        });
+        net.serve_until(&stop).expect("serving succeeds");
+        client_side.join().expect("client thread");
+    });
+    net.shutdown();
+}
+
+#[test]
+fn sharded_gateway_routes_and_proves_on_the_right_sub_chain() {
+    let shards = 2u16;
+    let mut builder = MedicalNetwork::builder()
+        .block_interval_ms(20)
+        .shards(shards)
+        .gateway(GatewayConfig { clients: 1, ..GatewayConfig::default() });
+    for i in 0..4 {
+        builder = builder.site(&format!("hospital-{i}"), Vec::new());
+    }
+    let mut net = builder.build_sharded().expect("sharded gateway network builds");
+    let addr = net.gateway_addr().expect("gateway listening");
+    let keys = net.client_keys().to_vec();
+
+    let stop = AtomicBool::new(false);
+    let receipts = std::thread::scope(|scope| {
+        let client_side = scope.spawn(|| {
+            let key = &keys[0];
+            let mut client = Client::connect(addr).expect("connects");
+            // Nonces are per sub-chain: route each label first, then
+            // pick the next nonce on that chain.
+            let mut nonces: HashMap<u16, u64> = HashMap::new();
+            let mut receipts = Vec::new();
+            for label in ["ward/alpha", "ward/beta", "ward/gamma", "ward/delta"] {
+                let shard = shard_for_key(label.as_bytes(), shards);
+                let slot = nonces.entry(shard.0).or_insert(0);
+                let nonce = *slot;
+                *slot += 1;
+                let tx =
+                    Transaction::new(key.address(), nonce, anchor(label), 1_000).signed(key);
+                let pending = client.submit(&tx, false).expect("accepted");
+                assert_eq!(pending.shard, shard, "gateway must route by the anchor label");
+                receipts.push((shard, client.wait_receipt(&pending, COMMIT_TIMEOUT).expect("commits")));
+            }
+            stop.store(true, Ordering::Relaxed);
+            receipts
+        });
+        net.serve_until(&stop).expect("serving succeeds");
+        client_side.join().expect("client thread")
+    });
+
+    let mut shards_hit = [false; 2];
+    for (shard, receipt) in &receipts {
+        assert_eq!(receipt.shard, *shard);
+        // Independent root from the sub-chain the tx was routed to.
+        let root = net
+            .ledger_of_shard(*shard)
+            .block(receipt.height)
+            .expect("block retained")
+            .header
+            .tx_root;
+        assert!(receipt.verify_against(&root), "proof fails on {shard}");
+        shards_hit[shard.0 as usize] = true;
+    }
+    assert!(shards_hit.iter().all(|&h| h), "labels should spread over both sub-chains");
+    net.shutdown();
+}

@@ -5,14 +5,13 @@
 //! Covered here: (1) the simulator and the TCP transport report the
 //! *identical* `transport.bytes` counter for the same seed and workload
 //! (the sink-level restatement of the byte-parity invariant in
-//! `tests/transport.rs`), (2) an end-to-end [`MedicalNetwork`] run
+//! `tests/transport.rs`), and (2) an end-to-end [`MedicalNetwork`] run
 //! populates consensus, chain, mempool, and transport counters and the
-//! TSV export carries them, and (3) a mempool replacement eviction is
-//! visible at the sink.
+//! TSV export carries them. (Mempool-level sink tests live with the
+//! mempool itself in `crates/chain/src/mempool.rs`.)
 
 use medchain_chain::consensus::poa::{PoaEngine, PoaMsg};
 use medchain_chain::consensus::Cluster;
-use medchain_chain::mempool::{InsertOutcome, Mempool};
 use medchain_chain::net::{SimTransport, TcpTransport, Transport};
 use medchain_chain::node::ChainApp;
 use medchain_chain::sig::AuthorityKey;
@@ -138,34 +137,4 @@ fn medical_network_populates_the_sink_end_to_end() {
             "TSV missing {key}:\n{tsv}"
         );
     }
-}
-
-#[test]
-fn mempool_replacement_eviction_reaches_the_sink() {
-    let registry = Registry::default();
-    let key = AuthorityKey::from_seed(9);
-    let mut pool = Mempool::new(16);
-    pool.set_metrics(registry.handle());
-
-    let tx = |amount: u64| {
-        Transaction::new(
-            key.address(),
-            0,
-            TxPayload::Transfer { to: key.address(), amount },
-            1_000,
-        )
-        .signed(&key)
-    };
-    assert!(matches!(pool.try_insert(tx(1)), InsertOutcome::Inserted));
-    let evicted = match pool.try_insert(tx(2)) {
-        InsertOutcome::Replaced(old) => old,
-        other => panic!("expected replacement, got {other:?}"),
-    };
-    assert_eq!(registry.counter_value("mempool.evictions"), 1);
-    assert_eq!(registry.counter_value("mempool.inserted"), 1);
-    // The evicted id is free again: re-inserting it is not a dedup hit.
-    assert!(matches!(pool.try_insert(evicted), InsertOutcome::Replaced(_)));
-    assert_eq!(registry.counter_value("mempool.dedup_hits"), 0);
-    assert_eq!(registry.counter_value("mempool.evictions"), 2);
-    assert_eq!(pool.len(), 1);
 }

@@ -524,37 +524,72 @@ fn block_decoder_survives_truncation() {
     });
 }
 
-/// Mempool invariant: batches are gap-free nonce runs per sender.
+/// Receipts-as-API property (DESIGN.md §10): a [`TxReceipt`]'s Merkle
+/// inclusion proof verifies for any block size and transaction index —
+/// and **any** single-byte tamper of the leaf (the tx id), of any
+/// sibling hash on the proof path, or of the root makes verification
+/// fail. (The batch-ordering invariant that used to live here moved
+/// next to the mempool in `crates/chain/src/mempool.rs`.)
 #[test]
-fn mempool_batches_are_nonce_ordered() {
-    check("mempool batches are nonce ordered", CheckConfig::cases(64), |g| {
-        use medchain_chain::mempool::Mempool;
-        let inserts = g.vec_of(1, 30, |g| (g.usize_in(0, 3), g.rng().gen_range(0u64..8)));
-        let max = g.usize_in(1, 20);
-        let keys: Vec<AuthorityKey> =
-            (0..3).map(|i| AuthorityKey::from_seed(i as u64)).collect();
-        let mut pool = Mempool::new(256);
-        for &(who, nonce) in &inserts {
-            let tx = Transaction::new(
-                keys[who].address(),
-                nonce,
-                TxPayload::Transfer { to: keys[(who + 1) % 3].address(), amount: 1 },
-                100,
-            )
-            .signed(&keys[who]);
-            pool.insert(tx);
+fn tx_receipt_proof_verifies_and_rejects_every_single_byte_tamper() {
+    use medchain_chain::receipt::TxReceipt;
+    check("tx receipt proofs reject tampering", CheckConfig::cases(48), |g| {
+        let key = AuthorityKey::from_seed(7);
+        let mut registry = KeyRegistry::new();
+        registry.enroll(&key);
+        let mut ledger = Ledger::new("receipt-prop", registry, Box::new(NullRuntime));
+        let n = g.usize_in(1, 24);
+        let txs: Vec<Transaction> = (0..n)
+            .map(|nonce| {
+                Transaction::new(
+                    key.address(),
+                    nonce as u64,
+                    TxPayload::Anchor {
+                        root: Hash256(g.byte_array()),
+                        label: format!("ds/{nonce}"),
+                    },
+                    1_000,
+                )
+                .signed(&key)
+            })
+            .collect();
+        let block = ledger.propose(key.address(), 10, txs);
+        ledger.apply(&block).expect("block applies");
+
+        let index = g.usize_in(0, n);
+        let tx_id = block.transactions[index].id();
+        let exec = ledger.receipt(&tx_id).expect("executed").clone();
+        let receipt = TxReceipt::for_block(&block, tx_id, &exec).expect("included");
+        ensure!(receipt.verify(), "untampered proof rejected");
+        ensure!(
+            receipt.verify_against(&block.header.tx_root),
+            "proof rejected against the committed root"
+        );
+
+        // Leaf tampering: every byte of the proven tx id.
+        for byte in 0..32 {
+            let mut tampered = receipt.clone();
+            tampered.tx_id.0[byte] ^= 1;
+            ensure!(
+                !tampered.verify_against(&block.header.tx_root),
+                "leaf byte {byte} tamper verified"
+            );
         }
-        let batch = pool.take_batch(max, |_| 0);
-        ensure!(batch.len() <= max, "batch exceeds max");
-        // Per sender: nonces start at 0 and are contiguous.
-        for key in &keys {
-            let nonces: Vec<u64> = batch
-                .iter()
-                .filter(|tx| tx.sender == key.address())
-                .map(|tx| tx.nonce)
-                .collect();
-            for (i, n) in nonces.iter().enumerate() {
-                ensure_eq!(*n, i as u64);
+        // Root tampering: every byte of the carried root.
+        for byte in 0..32 {
+            let mut tampered = receipt.clone();
+            tampered.tx_root.0[byte] ^= 1;
+            ensure!(!tampered.verify(), "root byte {byte} tamper verified");
+        }
+        // Path tampering: every byte of every sibling hash.
+        for step in 0..receipt.proof.path.len() {
+            for byte in 0..32 {
+                let mut tampered = receipt.clone();
+                tampered.proof.path[step].sibling.0[byte] ^= 1;
+                ensure!(
+                    !tampered.verify_against(&block.header.tx_root),
+                    "path step {step} byte {byte} tamper verified"
+                );
             }
         }
         Ok(())

@@ -4,6 +4,7 @@
 //! versus the registry-only status quo.
 
 use crate::report::{f, Table};
+use medchain_runtime::metrics::Metrics;
 use medchain_trial::{
     audit_population, audit_registry_only, audit_with_anchors, simulate_population,
     simulate_sites, COMPARE_CORRECT_RATE, REPORTED_FALSIFICATION_RATE,
@@ -11,6 +12,13 @@ use medchain_trial::{
 
 /// Runs E10.
 pub fn run_e10(quick: bool) -> Table {
+    run_e10_metered(quick, Metrics::noop())
+}
+
+/// [`run_e10`] reporting `trial.*` counters to `metrics` (audited
+/// populations, violations present, and what each auditor detected —
+/// the trial layer itself is pure, so the runner meters).
+pub fn run_e10_metered(quick: bool, metrics: Metrics) -> Table {
     let trials = if quick { 201 } else { 670 };
     let sites = if quick { 60 } else { 300 };
 
@@ -22,6 +30,17 @@ pub fn run_e10(quick: bool) -> Table {
     let falsified = simulate_sites(sites, 50, REPORTED_FALSIFICATION_RATE, 102);
     let anchored = audit_with_anchors(&falsified);
     let registry_only = audit_registry_only(&falsified);
+
+    metrics.counter("trial.trials_audited", trials as u64);
+    metrics.counter("trial.sites_audited", sites as u64);
+    metrics.counter("trial.outcome_switches_present", (audit.total - audit.correct) as u64);
+    metrics.counter("trial.outcome_switches_detected", (audit.total - audit.correct) as u64);
+    metrics.counter("trial.falsified_sites_present", anchored.falsified as u64);
+    metrics.counter("trial.falsified_sites_detected_anchored", anchored.detected as u64);
+    metrics.counter(
+        "trial.falsified_sites_detected_registry_only",
+        registry_only.detected as u64,
+    );
 
     let mut table = Table::new(
         "E10",
@@ -71,6 +90,25 @@ pub fn run_e10(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medchain_runtime::metrics::Registry;
+
+    #[test]
+    fn e10_metered_reports_trial_counters() {
+        let registry = Registry::new();
+        let table = run_e10_metered(true, registry.handle());
+        assert_eq!(registry.counter_value("trial.trials_audited"), 201);
+        assert_eq!(registry.counter_value("trial.sites_audited"), 60);
+        // The anchored auditor catches every falsifying site; the
+        // registry-only status quo catches none.
+        let present = registry.counter_value("trial.falsified_sites_present");
+        assert!(present > 0);
+        assert_eq!(
+            registry.counter_value("trial.falsified_sites_detected_anchored"),
+            present
+        );
+        assert_eq!(registry.counter_value("trial.falsified_sites_detected_registry_only"), 0);
+        assert_eq!(table.rows.len(), 3);
+    }
 
     #[test]
     fn e10_anchored_beats_registry_only() {

@@ -6,9 +6,18 @@ use crate::report::{bytes, ms, Table};
 use medchain::paradigms::{compare_all, Paradigm};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_data::PatientRecord;
+use medchain_runtime::metrics::Metrics;
 
 /// Runs E11.
 pub fn run_e11(quick: bool) -> Table {
+    run_e11_metered(quick, Metrics::noop())
+}
+
+/// [`run_e11`] reporting `paradigms.*` to `metrics`: one
+/// `paradigms.compared` tick, per-paradigm `bytes_moved` /
+/// `raw_records_exposed` counters, and the modeled total wall as a
+/// `paradigms.total_ms` histogram.
+pub fn run_e11_metered(quick: bool, metrics: Metrics) -> Table {
     let sites = if quick { 4 } else { 8 };
     let per_site = if quick { 500 } else { 3_000 };
     let passes = if quick { 50 } else { 200 };
@@ -19,6 +28,15 @@ pub fn run_e11(quick: bool) -> Table {
         })
         .collect();
     let reports = compare_all(&site_records, passes);
+    for report in &reports {
+        metrics.counter("paradigms.compared", 1);
+        metrics.counter(&format!("paradigms.bytes_moved.{}", report.paradigm), report.bytes_moved);
+        metrics.counter(
+            &format!("paradigms.raw_records_exposed.{}", report.paradigm),
+            report.raw_records_moved as u64,
+        );
+        metrics.observe("paradigms.total_ms", report.total_ms() as f64);
+    }
     let mut table = Table::new(
         "E11",
         &format!("paradigm comparison: {sites} sites × {per_site} records, {passes} passes/record"),
@@ -61,6 +79,27 @@ pub fn run_e11(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medchain_runtime::metrics::Registry;
+
+    #[test]
+    fn e11_metered_reports_paradigm_counters() {
+        let registry = Registry::new();
+        let table = run_e11_metered(true, registry.handle());
+        assert_eq!(registry.counter_value("paradigms.compared"), table.rows.len() as u64);
+        // Compute-to-data: the blockchain paradigm exposes no raw
+        // records while hadoop ships them all to the central cluster.
+        assert_eq!(
+            registry.counter_value("paradigms.raw_records_exposed.blockchain-parallel"),
+            0
+        );
+        assert!(registry.counter_value("paradigms.raw_records_exposed.hadoop-centralized") > 0);
+        assert!(
+            registry.counter_value("paradigms.bytes_moved.blockchain-parallel")
+                < registry.counter_value("paradigms.bytes_moved.hadoop-centralized")
+        );
+        let walls = registry.histogram("paradigms.total_ms").expect("histogram recorded");
+        assert_eq!(walls.count, table.rows.len() as u64);
+    }
 
     #[test]
     fn e11_blockchain_parallel_is_private_and_cheap_to_move() {

@@ -4,10 +4,19 @@
 //! periodic batch review.
 
 use crate::report::{f, Table};
+use medchain_runtime::metrics::Metrics;
 use medchain_trial::{batched_detection_day, simulate_stream, RweMonitor};
 
 /// Runs E12.
 pub fn run_e12(quick: bool) -> Table {
+    run_e12_metered(quick, Metrics::noop())
+}
+
+/// [`run_e12`] reporting `rwe.*` to `metrics`: events streamed into the
+/// monitor, signals raised, total review days saved versus the batch
+/// baseline, and the stream detection day as an `rwe.detect_day`
+/// histogram.
+pub fn run_e12_metered(quick: bool, metrics: Metrics) -> Table {
     let sites = if quick { 4 } else { 10 };
     let events_per_day = if quick { 20 } else { 60 };
     let days = if quick { 400 } else { 720 };
@@ -37,6 +46,7 @@ pub fn run_e12(quick: bool) -> Table {
         let mut stream_day = None;
         let mut exposures = 0;
         for event in &events {
+            metrics.counter("rwe.events_streamed", 1);
             if let Some(signal) = monitor.observe(*event) {
                 stream_day = Some(signal.day);
                 exposures = signal.exposures;
@@ -45,6 +55,13 @@ pub fn run_e12(quick: bool) -> Table {
         }
         let batch_day = batched_detection_day(&events, background, 4.0, 400, batch_days);
         let (s, b) = (stream_day, batch_day);
+        if let Some(day) = s {
+            metrics.counter("rwe.signals_detected", 1);
+            metrics.observe("rwe.detect_day", day as f64);
+        }
+        if let (Some(s), Some(b)) = (s, b) {
+            metrics.counter("rwe.days_saved", b.saturating_sub(s) as u64);
+        }
         table.row(vec![
             f(elevated),
             s.map_or("—".into(), |d| d.to_string()),
@@ -71,6 +88,19 @@ pub fn run_e12(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medchain_runtime::metrics::Registry;
+
+    #[test]
+    fn e12_metered_reports_rwe_counters() {
+        let registry = Registry::new();
+        let table = run_e12_metered(true, registry.handle());
+        // Quick mode sweeps two effect sizes; both must signal.
+        assert_eq!(registry.counter_value("rwe.signals_detected"), table.rows.len() as u64);
+        assert!(registry.counter_value("rwe.events_streamed") > 0);
+        assert!(registry.counter_value("rwe.days_saved") > 0);
+        let days = registry.histogram("rwe.detect_day").expect("histogram recorded");
+        assert_eq!(days.count, table.rows.len() as u64);
+    }
 
     #[test]
     fn e12_stream_beats_batch() {

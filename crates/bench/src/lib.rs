@@ -17,6 +17,7 @@ pub mod e17_rct;
 pub mod e18_privacy;
 pub mod e19_gateway;
 pub mod e1_e2_scaling;
+pub mod e20_parallel_exec;
 pub mod e3_energy;
 pub mod e4_hie;
 pub mod e5_integration;
@@ -29,9 +30,9 @@ pub mod report;
 pub use report::Table;
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19",
+    "e15", "e16", "e17", "e18", "e19", "e20",
 ];
 
 /// Runs one experiment by id.
@@ -61,14 +62,17 @@ pub fn run_experiment(id: &str, quick: bool) -> Table {
         "e17" => e17_rct::run_e17(quick),
         "e18" => e18_privacy::run_e18(quick),
         "e19" => e19_gateway::run_e19(quick),
+        "e20" => e20_parallel_exec::run_e20(quick),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
 /// Runs one experiment by id with `metrics` installed on every layer
-/// that supports it (E1–E9 and E19; the remaining experiments run unmetered
-/// and simply ignore the handle). E8/E9 report `learning.*` counters
-/// from their federated loops.
+/// that supports it (E1–E12, E19, and E20; the remaining experiments
+/// run unmetered and simply ignore the handle). E8/E9 report
+/// `learning.*` counters from their federated loops; E10–E12 report
+/// `trial.*` / `paradigms.*` / `rwe.*` from their runners; E20 reports
+/// the ledger's `exec.*` family.
 ///
 /// # Panics
 ///
@@ -89,7 +93,11 @@ pub fn run_experiment_metered(
         "e7" => e7_query::run_e7_metered(quick, metrics),
         "e8" => e8_federated::run_e8_metered(quick, metrics),
         "e9" => e9_transfer::run_e9_metered(quick, metrics),
+        "e10" => e10_trial::run_e10_metered(quick, metrics),
+        "e11" => e11_paradigms::run_e11_metered(quick, metrics),
+        "e12" => e12_rwe::run_e12_metered(quick, metrics),
         "e19" => e19_gateway::run_e19_metered(quick, metrics),
+        "e20" => e20_parallel_exec::run_e20_metered(quick, metrics),
         other => run_experiment(other, quick),
     }
 }

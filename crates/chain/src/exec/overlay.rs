@@ -1,0 +1,372 @@
+//! Buffered world-state access: the overlay commit cache.
+//!
+//! [`StateAccess`] is the uniform read/write surface over
+//! [`WorldState`]: the ledger, the contract runtime, and the VM all
+//! mutate state through it, never through the maps directly. That
+//! indirection is what makes block execution cheap to speculate:
+//! a [`WorldStateOverlay`] implements the same trait with reads falling
+//! through to a base and writes buffered in a [`StateDelta`], so
+//!
+//! - sequential apply runs a whole block against one overlay and
+//!   commits the delta only after the state-root check passes (no more
+//!   whole-state clone per block);
+//! - contract atomicity is a *child* overlay discarded on trap (no more
+//!   whole-state snapshot per `Deploy`/`Invoke`);
+//! - parallel apply gives every transaction its own recording overlay
+//!   over the shared block overlay, audits the recorded footprint
+//!   against the declared read/write set, and commits deltas in
+//!   deterministic tx order (DESIGN.md §11).
+//!
+//! Deletion semantics mirror [`WorldState::set_storage`]: an empty
+//! value is a delete, buffered here as a `None` tombstone so the delta
+//! replays identically onto any base.
+
+use super::read_write_set::StateKey;
+use crate::hash::Hash256;
+use crate::ledger::{Account, CrossLinkRecord, LedgerError};
+use crate::shard::ShardId;
+use crate::sig::Address;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// Uniform mutable access to world state.
+///
+/// Implemented by [`WorldState`] itself (direct map access) and by
+/// [`WorldStateOverlay`] (buffered). During block application all
+/// mutation flows through this trait — verify.sh greps that nothing
+/// outside `exec/` and the ledger commit path touches the maps.
+pub trait StateAccess: Send + Sync {
+    /// Returns the account for `addr` (default if absent).
+    fn account(&self, addr: &Address) -> Account;
+    /// Installs `account` at `addr` (materializes the entry even when
+    /// default-valued — entry presence is root-visible).
+    fn set_account(&mut self, addr: Address, account: Account);
+    /// Reads a contract storage slot.
+    fn storage(&self, contract: &Address, key: &[u8]) -> Option<&[u8]>;
+    /// Writes a contract storage slot (empty value deletes).
+    fn set_storage(&mut self, contract: Address, key: Vec<u8>, value: Vec<u8>);
+    /// Returns deployed code at `addr`.
+    fn code(&self, addr: &Address) -> Option<&[u8]>;
+    /// Installs contract code.
+    fn set_code(&mut self, addr: Address, code: Vec<u8>);
+    /// Looks up a data anchor by label.
+    fn anchor(&self, label: &str) -> Option<Hash256>;
+    /// Records a data anchor.
+    fn set_anchor(&mut self, label: &str, root: Hash256);
+    /// The newest cross-link recorded for `shard`.
+    fn cross_link(&self, shard: ShardId) -> Option<CrossLinkRecord>;
+    /// Records a cross-link.
+    fn set_cross_link(&mut self, shard: ShardId, record: CrossLinkRecord);
+
+    /// Credits `amount` to `addr`, materializing the entry.
+    fn credit(&mut self, addr: Address, amount: u64) {
+        let mut account = self.account(&addr);
+        account.balance += amount;
+        self.set_account(addr, account);
+    }
+
+    /// Debits `amount` from `addr`.
+    ///
+    /// Like [`WorldState::debit`], the account entry is materialized
+    /// even when the debit fails — byte-compatible state roots depend
+    /// on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::InsufficientBalance`] if funds are missing.
+    fn debit(&mut self, addr: Address, amount: u64) -> Result<(), LedgerError> {
+        let mut account = self.account(&addr);
+        if account.balance < amount {
+            let have = account.balance;
+            self.set_account(addr, account);
+            return Err(LedgerError::InsufficientBalance { address: addr, have, need: amount });
+        }
+        account.balance -= amount;
+        self.set_account(addr, account);
+        Ok(())
+    }
+}
+
+/// The buffered writes of one overlay: everything needed to replay its
+/// effects onto the base, in map order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateDelta {
+    pub(crate) accounts: BTreeMap<Address, Account>,
+    /// `None` is a deletion tombstone (empty-value `set_storage`).
+    pub(crate) storage: BTreeMap<(Address, Vec<u8>), Option<Vec<u8>>>,
+    pub(crate) code: BTreeMap<Address, Vec<u8>>,
+    pub(crate) anchors: BTreeMap<String, Hash256>,
+    pub(crate) crosslinks: BTreeMap<u16, CrossLinkRecord>,
+}
+
+impl StateDelta {
+    /// Whether the delta buffers no writes at all.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+            && self.storage.is_empty()
+            && self.code.is_empty()
+            && self.anchors.is_empty()
+            && self.crosslinks.is_empty()
+    }
+
+    /// Number of buffered entries across all maps.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+            + self.storage.len()
+            + self.code.len()
+            + self.anchors.len()
+            + self.crosslinks.len()
+    }
+
+    /// The [`StateKey`]s this delta writes — what the parallel executor
+    /// audits against the declared write set.
+    pub fn write_keys(&self) -> BTreeSet<StateKey> {
+        let mut keys = BTreeSet::new();
+        for addr in self.accounts.keys() {
+            keys.insert(StateKey::Account(*addr));
+        }
+        for (addr, _) in self.storage.keys() {
+            keys.insert(StateKey::Contract(*addr));
+        }
+        for addr in self.code.keys() {
+            keys.insert(StateKey::Contract(*addr));
+        }
+        for label in self.anchors.keys() {
+            keys.insert(StateKey::Anchor(label.clone()));
+        }
+        for shard in self.crosslinks.keys() {
+            keys.insert(StateKey::CrossLink(*shard));
+        }
+        keys
+    }
+
+    /// Replays the buffered writes onto `target` — the single commit
+    /// path by which speculative execution reaches real state.
+    pub fn apply_to(self, target: &mut dyn StateAccess) {
+        for (addr, account) in self.accounts {
+            target.set_account(addr, account);
+        }
+        for ((addr, key), value) in self.storage {
+            // A tombstone replays as the empty-value delete.
+            target.set_storage(addr, key, value.unwrap_or_default());
+        }
+        for (addr, code) in self.code {
+            target.set_code(addr, code);
+        }
+        for (label, root) in self.anchors {
+            target.set_anchor(&label, root);
+        }
+        for (shard, record) in self.crosslinks {
+            target.set_cross_link(ShardId(shard), record);
+        }
+    }
+}
+
+/// A copy-on-write view over any [`StateAccess`] base: reads fall
+/// through, writes buffer in a [`StateDelta`]. Dropping the overlay
+/// discards the speculation; [`WorldStateOverlay::into_delta`] extracts
+/// it for commit.
+///
+/// Overlays chain: a per-transaction overlay sits on the shared block
+/// overlay, and contract execution gets a further child for trap
+/// atomicity. With [`WorldStateOverlay::recording`] enabled, every read
+/// is logged as a [`StateKey`] so the executor can audit the actual
+/// footprint against the declared one.
+pub struct WorldStateOverlay<'a> {
+    base: &'a dyn StateAccess,
+    delta: StateDelta,
+    read_log: Option<Mutex<BTreeSet<StateKey>>>,
+}
+
+impl<'a> WorldStateOverlay<'a> {
+    /// Creates an overlay over `base` with read recording off.
+    pub fn new(base: &'a dyn StateAccess) -> WorldStateOverlay<'a> {
+        WorldStateOverlay { base, delta: StateDelta::default(), read_log: None }
+    }
+
+    /// Enables read recording (builder style).
+    pub fn recording(mut self) -> WorldStateOverlay<'a> {
+        self.read_log = Some(Mutex::new(BTreeSet::new()));
+        self
+    }
+
+    /// The buffered writes so far (borrowing inspection).
+    pub fn delta(&self) -> &StateDelta {
+        &self.delta
+    }
+
+    /// Consumes the overlay, returning its buffered writes.
+    pub fn into_delta(self) -> StateDelta {
+        self.delta
+    }
+
+    /// Consumes the overlay, returning buffered writes plus the
+    /// recorded read footprint (empty when recording was off).
+    pub fn into_parts(self) -> (StateDelta, BTreeSet<StateKey>) {
+        let reads = self
+            .read_log
+            .map(|log| log.into_inner().expect("read log poisoned"))
+            .unwrap_or_default();
+        (self.delta, reads)
+    }
+
+    fn record(&self, key: StateKey) {
+        if let Some(log) = &self.read_log {
+            log.lock().expect("read log poisoned").insert(key);
+        }
+    }
+}
+
+impl StateAccess for WorldStateOverlay<'_> {
+    fn account(&self, addr: &Address) -> Account {
+        self.record(StateKey::Account(*addr));
+        match self.delta.accounts.get(addr) {
+            Some(account) => *account,
+            None => self.base.account(addr),
+        }
+    }
+
+    fn set_account(&mut self, addr: Address, account: Account) {
+        self.delta.accounts.insert(addr, account);
+    }
+
+    fn storage(&self, contract: &Address, key: &[u8]) -> Option<&[u8]> {
+        self.record(StateKey::Contract(*contract));
+        match self.delta.storage.get(&(*contract, key.to_vec())) {
+            Some(Some(value)) => Some(value.as_slice()),
+            Some(None) => None, // deleted in this overlay
+            None => self.base.storage(contract, key),
+        }
+    }
+
+    fn set_storage(&mut self, contract: Address, key: Vec<u8>, value: Vec<u8>) {
+        let buffered = if value.is_empty() { None } else { Some(value) };
+        self.delta.storage.insert((contract, key), buffered);
+    }
+
+    fn code(&self, addr: &Address) -> Option<&[u8]> {
+        self.record(StateKey::Contract(*addr));
+        match self.delta.code.get(addr) {
+            Some(code) => Some(code.as_slice()),
+            None => self.base.code(addr),
+        }
+    }
+
+    fn set_code(&mut self, addr: Address, code: Vec<u8>) {
+        self.delta.code.insert(addr, code);
+    }
+
+    fn anchor(&self, label: &str) -> Option<Hash256> {
+        self.record(StateKey::Anchor(label.to_string()));
+        match self.delta.anchors.get(label) {
+            Some(root) => Some(*root),
+            None => self.base.anchor(label),
+        }
+    }
+
+    fn set_anchor(&mut self, label: &str, root: Hash256) {
+        self.delta.anchors.insert(label.to_string(), root);
+    }
+
+    fn cross_link(&self, shard: ShardId) -> Option<CrossLinkRecord> {
+        self.record(StateKey::CrossLink(shard.0));
+        match self.delta.crosslinks.get(&shard.0) {
+            Some(record) => Some(*record),
+            None => self.base.cross_link(shard),
+        }
+    }
+
+    fn set_cross_link(&mut self, shard: ShardId, record: CrossLinkRecord) {
+        self.delta.crosslinks.insert(shard.0, record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::WorldState;
+
+    #[test]
+    fn reads_fall_through_and_writes_buffer() {
+        let mut base = WorldState::new();
+        let a = Address::from_seed(1);
+        base.credit(a, 100);
+        base.set_storage(a, b"k".to_vec(), b"v".to_vec());
+
+        let mut overlay = WorldStateOverlay::new(&base);
+        assert_eq!(overlay.account(&a).balance, 100);
+        assert_eq!(overlay.storage(&a, b"k"), Some(b"v".as_slice()));
+
+        overlay.credit(a, 50);
+        overlay.set_storage(a, b"k".to_vec(), b"w".to_vec());
+        assert_eq!(overlay.account(&a).balance, 150);
+        assert_eq!(overlay.storage(&a, b"k"), Some(b"w".as_slice()));
+        // Base untouched until commit.
+        assert_eq!(base.account(&a).balance, 100);
+        assert_eq!(base.storage(&a, b"k"), Some(b"v".as_slice()));
+    }
+
+    #[test]
+    fn empty_value_tombstone_shadows_base_and_replays_as_delete() {
+        let mut base = WorldState::new();
+        let a = Address::from_seed(1);
+        base.set_storage(a, b"k".to_vec(), b"v".to_vec());
+
+        let mut overlay = WorldStateOverlay::new(&base);
+        overlay.set_storage(a, b"k".to_vec(), Vec::new());
+        assert_eq!(overlay.storage(&a, b"k"), None, "tombstone hides the base value");
+
+        let delta = overlay.into_delta();
+        delta.apply_to(&mut base);
+        assert_eq!(base.storage(&a, b"k"), None, "delete replayed onto base");
+    }
+
+    #[test]
+    fn chained_overlays_commit_through_parent() {
+        let mut base = WorldState::new();
+        let a = Address::from_seed(1);
+        base.credit(a, 10);
+
+        let mut block = WorldStateOverlay::new(&base);
+        block.credit(a, 5);
+        let child_delta = {
+            let mut child = WorldStateOverlay::new(&block);
+            assert_eq!(child.account(&a).balance, 15, "child sees parent's buffer");
+            child.credit(a, 1);
+            child.into_delta()
+        };
+        child_delta.apply_to(&mut block);
+        assert_eq!(block.account(&a).balance, 16);
+        assert_eq!(base.account(&a).balance, 10);
+    }
+
+    #[test]
+    fn recording_overlay_logs_read_keys() {
+        let base = WorldState::new();
+        let overlay = WorldStateOverlay::new(&base).recording();
+        let a = Address::from_seed(1);
+        let _ = overlay.account(&a);
+        let _ = overlay.storage(&a, b"k");
+        let _ = overlay.anchor("lbl");
+        let (_, reads) = overlay.into_parts();
+        assert!(reads.contains(&StateKey::Account(a)));
+        assert!(reads.contains(&StateKey::Contract(a)));
+        assert!(reads.contains(&StateKey::Anchor("lbl".into())));
+    }
+
+    #[test]
+    fn failed_debit_materializes_entry_like_world_state() {
+        // WorldState::debit inserts a default entry on failure; the
+        // overlay must replay the same, or roots diverge.
+        let a = Address::from_seed(7);
+        let mut direct = WorldState::new();
+        let _ = direct.debit(a, 5);
+
+        let base = WorldState::new();
+        let mut overlay = WorldStateOverlay::new(&base);
+        assert!(overlay.debit(a, 5).is_err());
+        let mut via_overlay = base.clone();
+        overlay.into_delta().apply_to(&mut via_overlay);
+        assert_eq!(direct.state_root(), via_overlay.state_root());
+    }
+}

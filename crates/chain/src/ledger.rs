@@ -8,14 +8,17 @@
 //! exploit and then reform.
 
 use crate::block::{Block, Header};
+use crate::exec::{self, ExecScope, StateAccess, StateDelta, WorldStateOverlay};
 use crate::hash::{Hash256, Sha256};
 use crate::merkle::MerkleTree;
-use crate::shard::{sharded_contract_address, ShardId};
+use crate::shard::ShardId;
 use crate::sig::{Address, KeyRegistry};
 use crate::store::BlockStore;
-use crate::tx::{Transaction, TxPayload};
+use crate::tx::Transaction;
+use medchain_runtime::metrics::Metrics;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Instant;
 
 /// The newest cross-link the coordinator chain holds for one shard:
 /// the shard's committed tip at link time (DESIGN.md §9).
@@ -95,6 +98,11 @@ impl fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Pluggable smart-contract execution layer.
+///
+/// Execution mutates state through the [`StateAccess`] trait rather
+/// than a concrete [`WorldState`]: during block application the ledger
+/// hands the runtime a buffered overlay, so contract writes stay
+/// speculative until the block's delta commits (DESIGN.md §11).
 #[allow(clippy::too_many_arguments)] // execution context is intrinsically wide
 pub trait ContractRuntime: Send + Sync {
     /// Deploys `code` at `contract_addr`, running any constructor with
@@ -112,7 +120,7 @@ pub trait ContractRuntime: Send + Sync {
         init: &[u8],
         gas_limit: u64,
         now_ms: u64,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError>;
 
     /// Invokes the contract at `contract` with `input`.
@@ -127,8 +135,18 @@ pub trait ContractRuntime: Send + Sync {
         input: &[u8],
         gas_limit: u64,
         now_ms: u64,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError>;
+
+    /// Statically classifies the state footprint of `code` for
+    /// read/write-set inference (`exec::read_write_set`). The default is
+    /// the conservative [`ExecScope::MayEscape`]; runtimes that can
+    /// prove code touches only its own contract return
+    /// [`ExecScope::SelfContained`] to unlock parallel scheduling.
+    fn code_scope(&self, code: &[u8]) -> ExecScope {
+        let _ = code;
+        ExecScope::MayEscape
+    }
 }
 
 /// Runtime that rejects all contract transactions; used by chain-only
@@ -145,7 +163,7 @@ impl ContractRuntime for NullRuntime {
         _init: &[u8],
         gas_limit: u64,
         _now_ms: u64,
-        _state: &mut WorldState,
+        _state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError> {
         let _ = gas_limit;
         Err(ExecError { gas_used: 0, reason: "no contract runtime installed".into() })
@@ -158,9 +176,14 @@ impl ContractRuntime for NullRuntime {
         _input: &[u8],
         _gas_limit: u64,
         _now_ms: u64,
-        _state: &mut WorldState,
+        _state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError> {
         Err(ExecError { gas_used: 0, reason: "no contract runtime installed".into() })
+    }
+
+    fn code_scope(&self, _code: &[u8]) -> ExecScope {
+        // Rejecting an invoke touches no state at all.
+        ExecScope::SelfContained
     }
 }
 
@@ -301,6 +324,222 @@ impl WorldState {
         }
         h.finalize()
     }
+
+    /// [`WorldState::state_root`] as if `delta` were already committed,
+    /// computed by merge-joining the sorted committed maps with the
+    /// sorted delta — no clone, no mutation. Byte-identical to
+    /// committing the delta and hashing (property-tested below).
+    pub fn state_root_with(&self, delta: &StateDelta) -> Hash256 {
+        let mut h = Sha256::new();
+        merged_for_each(&self.accounts, &delta.accounts, |addr, entry| {
+            let account = match entry {
+                Merged::Base(a) => a,
+                Merged::Delta(a) => a,
+            };
+            h.update(&addr.0);
+            h.update(&account.balance.to_le_bytes());
+            h.update(&account.nonce.to_le_bytes());
+        });
+        merged_for_each(&self.storage, &delta.storage, |(addr, key), entry| {
+            let value = match entry {
+                Merged::Base(v) => Some(v),
+                Merged::Delta(v) => v.as_ref(), // None tombstone: slot deleted
+            };
+            if let Some(value) = value {
+                h.update(&addr.0);
+                h.update(&(key.len() as u64).to_le_bytes());
+                h.update(key);
+                h.update(&(value.len() as u64).to_le_bytes());
+                h.update(value);
+            }
+        });
+        merged_for_each(&self.code, &delta.code, |addr, entry| {
+            let code = match entry {
+                Merged::Base(c) => c,
+                Merged::Delta(c) => c,
+            };
+            h.update(&addr.0);
+            h.update(code);
+        });
+        merged_for_each(&self.anchors, &delta.anchors, |label, entry| {
+            let root = match entry {
+                Merged::Base(r) => r,
+                Merged::Delta(r) => r,
+            };
+            h.update(label.as_bytes());
+            h.update(&root.0);
+        });
+        merged_for_each(&self.crosslinks, &delta.crosslinks, |shard, entry| {
+            let link = match entry {
+                Merged::Base(l) => l,
+                Merged::Delta(l) => l,
+            };
+            h.update(&shard.to_le_bytes());
+            h.update(&link.height.to_le_bytes());
+            h.update(&link.tip.0);
+        });
+        h.finalize()
+    }
+
+    /// Commits `delta` into the state, returning the undo log that
+    /// [`WorldState::revert`] uses if the write-ahead store append fails
+    /// after the in-memory mutation.
+    pub(crate) fn apply_delta(&mut self, delta: StateDelta) -> StateUndo {
+        let mut undo = StateUndo::default();
+        let StateDelta { accounts, storage, code, anchors, crosslinks } = delta;
+        for (addr, account) in accounts {
+            undo.accounts.push((addr, self.accounts.insert(addr, account)));
+        }
+        for (slot, value) in storage {
+            let prior = match value {
+                Some(value) => self.storage.insert(slot.clone(), value),
+                None => self.storage.remove(&slot),
+            };
+            undo.storage.push((slot, prior));
+        }
+        for (addr, code) in code {
+            undo.code.push((addr, self.code.insert(addr, code)));
+        }
+        for (label, root) in anchors {
+            let prior = self.anchors.insert(label.clone(), root);
+            undo.anchors.push((label, prior));
+        }
+        for (shard, link) in crosslinks {
+            undo.crosslinks.push((shard, self.crosslinks.insert(shard, link)));
+        }
+        undo
+    }
+
+    /// Rolls back a [`WorldState::apply_delta`] exactly.
+    pub(crate) fn revert(&mut self, undo: StateUndo) {
+        for (addr, prior) in undo.accounts {
+            match prior {
+                Some(account) => self.accounts.insert(addr, account),
+                None => self.accounts.remove(&addr),
+            };
+        }
+        for (slot, prior) in undo.storage {
+            match prior {
+                Some(value) => self.storage.insert(slot, value),
+                None => self.storage.remove(&slot),
+            };
+        }
+        for (addr, prior) in undo.code {
+            match prior {
+                Some(code) => self.code.insert(addr, code),
+                None => self.code.remove(&addr),
+            };
+        }
+        for (label, prior) in undo.anchors {
+            match prior {
+                Some(root) => self.anchors.insert(label, root),
+                None => self.anchors.remove(&label),
+            };
+        }
+        for (shard, prior) in undo.crosslinks {
+            match prior {
+                Some(link) => self.crosslinks.insert(shard, link),
+                None => self.crosslinks.remove(&shard),
+            };
+        }
+    }
+}
+
+/// Direct map access: [`WorldState`] is the root implementor of the
+/// state-access surface that overlays buffer in front of.
+impl StateAccess for WorldState {
+    fn account(&self, addr: &Address) -> Account {
+        WorldState::account(self, addr)
+    }
+
+    fn set_account(&mut self, addr: Address, account: Account) {
+        self.accounts.insert(addr, account);
+    }
+
+    fn storage(&self, contract: &Address, key: &[u8]) -> Option<&[u8]> {
+        WorldState::storage(self, contract, key)
+    }
+
+    fn set_storage(&mut self, contract: Address, key: Vec<u8>, value: Vec<u8>) {
+        WorldState::set_storage(self, contract, key, value)
+    }
+
+    fn code(&self, addr: &Address) -> Option<&[u8]> {
+        WorldState::code(self, addr)
+    }
+
+    fn set_code(&mut self, addr: Address, code: Vec<u8>) {
+        WorldState::set_code(self, addr, code)
+    }
+
+    fn anchor(&self, label: &str) -> Option<Hash256> {
+        WorldState::anchor(self, label)
+    }
+
+    fn set_anchor(&mut self, label: &str, root: Hash256) {
+        WorldState::set_anchor(self, label, root)
+    }
+
+    fn cross_link(&self, shard: ShardId) -> Option<CrossLinkRecord> {
+        WorldState::cross_link(self, shard)
+    }
+
+    fn set_cross_link(&mut self, shard: ShardId, record: CrossLinkRecord) {
+        self.crosslinks.insert(shard.0, record);
+    }
+}
+
+/// Prior values captured by [`WorldState::apply_delta`], `None` meaning
+/// the key was absent.
+#[derive(Debug, Default)]
+pub(crate) struct StateUndo {
+    accounts: Vec<(Address, Option<Account>)>,
+    storage: Vec<((Address, Vec<u8>), Option<Vec<u8>>)>,
+    code: Vec<(Address, Option<Vec<u8>>)>,
+    anchors: Vec<(String, Option<Hash256>)>,
+    crosslinks: Vec<(u16, Option<CrossLinkRecord>)>,
+}
+
+/// One entry of a merge-join over a committed map and a delta map.
+enum Merged<'a, V, D> {
+    /// Key only present in the committed map.
+    Base(&'a V),
+    /// Key present in the delta (which overrides the committed value).
+    Delta(&'a D),
+}
+
+/// Merge-joins two sorted maps, emitting each key once in ascending
+/// order; delta entries shadow base entries on equal keys.
+fn merged_for_each<K: Ord, V, D>(
+    base: &BTreeMap<K, V>,
+    delta: &BTreeMap<K, D>,
+    mut emit: impl FnMut(&K, Merged<'_, V, D>),
+) {
+    let mut base_iter = base.iter().peekable();
+    let mut delta_iter = delta.iter().peekable();
+    loop {
+        let order = match (base_iter.peek(), delta_iter.peek()) {
+            (Some((bk, _)), Some((dk, _))) => bk.cmp(dk),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => break,
+        };
+        match order {
+            std::cmp::Ordering::Less => {
+                let (k, v) = base_iter.next().expect("peeked");
+                emit(k, Merged::Base(v));
+            }
+            std::cmp::Ordering::Greater => {
+                let (k, v) = delta_iter.next().expect("peeked");
+                emit(k, Merged::Delta(v));
+            }
+            std::cmp::Ordering::Equal => {
+                base_iter.next();
+                let (k, v) = delta_iter.next().expect("peeked");
+                emit(k, Merged::Delta(v));
+            }
+        }
+    }
 }
 
 /// Errors raised while validating or applying blocks and transactions.
@@ -420,6 +659,9 @@ pub struct Ledger {
     store: Option<Box<dyn BlockStore>>,
     shard: ShardId,
     shard_count: u16,
+    /// Worker lanes for parallel block execution; 0 or 1 = sequential.
+    exec_threads: usize,
+    metrics: Metrics,
 }
 
 impl fmt::Debug for Ledger {
@@ -465,6 +707,37 @@ impl Ledger {
             store: None,
             shard,
             shard_count,
+            exec_threads: 1,
+            metrics: Metrics::noop(),
+        }
+    }
+
+    /// Enables wave-parallel block execution over `threads` worker
+    /// lanes (DESIGN.md §11). `0` or `1` keeps the sequential path; the
+    /// parallel schedule is guaranteed — property-tested — to produce
+    /// byte-identical state roots and receipts.
+    pub fn set_parallel_exec(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
+    }
+
+    /// Configured parallel-execution lanes (1 = sequential).
+    pub fn parallel_exec(&self) -> usize {
+        self.exec_threads
+    }
+
+    /// Installs a metrics handle; block application reports `exec.*`
+    /// counters and histograms (waves per block, wave widths, conflict
+    /// rate, per-wave wall) through it.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
+    }
+
+    pub(crate) fn exec_ctx(&self) -> exec::ExecCtx<'_> {
+        exec::ExecCtx {
+            runtime: &*self.runtime,
+            registry: &self.registry,
+            shard: self.shard,
+            shard_count: self.shard_count,
         }
     }
 
@@ -659,46 +932,34 @@ impl Ledger {
     }
 
     /// Builds an unsealed block extending the tip with `txs`, executing
-    /// them against a copy of the state to compute the state root.
+    /// them against a buffered overlay of the state (never a clone) to
+    /// compute the state root.
     ///
     /// Transactions that fail admission are dropped; transactions that
     /// fail execution are included with failure receipts (as real chains
     /// do), so their gas is still accounted.
     pub fn propose(&self, proposer: Address, timestamp_ms: u64, txs: Vec<Transaction>) -> Block {
-        let mut state = self.state.clone();
+        let ctx = self.exec_ctx();
+        let mut overlay = WorldStateOverlay::new(&self.state);
         let mut included = Vec::with_capacity(txs.len());
         for tx in txs {
-            if self.admission_against(&state, &tx).is_ok() {
-                let _ = self.execute_tx(&mut state, &tx, timestamp_ms);
+            if exec::admission_check(&self.registry, &overlay, &tx).is_ok() {
+                let _ = exec::execute_tx(&ctx, &mut overlay, &tx, timestamp_ms);
                 included.push(tx);
             }
         }
+        let delta = overlay.into_delta();
         let header = Header {
             height: self.height() + 1,
             parent: self.tip().id(),
             tx_root: MerkleTree::from_leaves(included.iter().map(Transaction::id).collect())
                 .root(),
-            state_root: state.state_root(),
+            state_root: self.state.state_root_with(&delta),
             timestamp_ms,
             proposer,
             shard: self.shard,
         };
         Block { header, transactions: included, seal: crate::block::Seal::Genesis }
-    }
-
-    fn admission_against(&self, state: &WorldState, tx: &Transaction) -> Result<(), LedgerError> {
-        if !tx.verify(&self.registry) {
-            return Err(LedgerError::BadSignature(tx.id()));
-        }
-        let account = state.account(&tx.sender);
-        if tx.nonce != account.nonce {
-            return Err(LedgerError::BadNonce {
-                tx_id: tx.id(),
-                expected: account.nonce,
-                got: tx.nonce,
-            });
-        }
-        Ok(())
     }
 
     /// Validates and applies a sealed block, executing all transactions.
@@ -726,20 +987,48 @@ impl Ledger {
         if !block.is_body_consistent() {
             return Err(LedgerError::BodyMismatch);
         }
-        let mut state = self.state.clone();
-        let mut receipts = Vec::with_capacity(block.transactions.len());
-        for tx in &block.transactions {
-            self.admission_against(&state, tx)?;
-            receipts.push(self.execute_tx(&mut state, tx, block.header.timestamp_ms));
-        }
-        if state.state_root() != block.header.state_root {
+        let started = Instant::now();
+        let tx_count = block.transactions.len();
+        // Execute against an overlay — sequentially, or wave-parallel
+        // when enabled (exec::run_block_parallel guarantees identical
+        // receipts and delta, falling back to sequential on any audited
+        // footprint violation).
+        let (receipts, delta, parallel_stats) = {
+            let ctx = self.exec_ctx();
+            if self.exec_threads > 1 && tx_count > 1 {
+                let run = exec::run_block_parallel(
+                    &ctx,
+                    &self.state,
+                    &block.transactions,
+                    block.header.timestamp_ms,
+                    self.exec_threads,
+                )?;
+                (run.receipts, run.delta, Some(run.stats))
+            } else {
+                let (receipts, delta) = exec::run_block_sequential(
+                    &ctx,
+                    &self.state,
+                    &block.transactions,
+                    block.header.timestamp_ms,
+                )?;
+                (receipts, delta, None)
+            }
+        };
+        // Merged-root check before any mutation: no state clone needed.
+        if self.state.state_root_with(&delta) != block.header.state_root {
             return Err(LedgerError::StateRootMismatch);
         }
         // Write-ahead: the block must be durable before the in-memory
         // commit, so a crash leaves disk and memory agreeing (disk may
-        // carry a torn tail record, which recovery truncates).
+        // carry a torn tail record, which recovery truncates). The store
+        // needs the post-state, so the delta commits first and is
+        // reverted exactly if the append fails.
+        let undo = self.state.apply_delta(delta);
         if let Some(store) = self.store.as_mut() {
-            store.append(block, &state).map_err(|e| LedgerError::Storage(e.to_string()))?;
+            if let Err(e) = store.append(block, &self.state) {
+                self.state.revert(undo);
+                return Err(LedgerError::Storage(e.to_string()));
+            }
         }
         // Commit.
         for receipt in &receipts {
@@ -754,120 +1043,30 @@ impl Ledger {
             self.tx_locations.insert(tx.id(), (block.header.height, index));
         }
         self.stats.blocks += 1;
-        self.state = state;
         self.blocks.push(block.clone());
-        Ok(receipts)
-    }
-
-    /// Executes one admissible transaction against `state`.
-    fn execute_tx(&self, state: &mut WorldState, tx: &Transaction, now_ms: u64) -> Receipt {
-        let runtime = &*self.runtime;
-        // Bump nonce first: failed transactions still consume it.
-        let account = state.accounts.entry(tx.sender).or_default();
-        account.nonce += 1;
-
-        // Contract execution is atomic: a trap or revert must leave no
-        // partial writes behind. Snapshot after the nonce bump so the
-        // nonce survives the rollback.
-        let snapshot = match &tx.payload {
-            TxPayload::Deploy { .. } | TxPayload::Invoke { .. } => Some(state.clone()),
-            _ => None,
-        };
-
-        let result: Result<ExecOutcome, ExecError> = match &tx.payload {
-            TxPayload::Transfer { to, amount } => state
-                .debit(tx.sender, *amount)
-                .map(|()| {
-                    state.credit(*to, *amount);
-                    ExecOutcome { gas_used: 21, ..ExecOutcome::default() }
-                })
-                .map_err(|e| ExecError { gas_used: 21, reason: e.to_string() }),
-            TxPayload::Deploy { code, init } => {
-                // On a sharded ledger the address is ground so that the
-                // invoke routing rule (shard_for_key on the address)
-                // lands back on this shard (DESIGN.md §9).
-                let contract_addr = if self.shard_count > 1 {
-                    sharded_contract_address(&tx.sender, tx.nonce, self.shard, self.shard_count)
-                } else {
-                    contract_address(&tx.sender, tx.nonce)
-                };
-                runtime
-                    .deploy(tx.sender, contract_addr, code, init, tx.gas_limit, now_ms, state)
-                    .map(|mut outcome| {
-                        outcome.output = contract_addr.0.to_vec();
-                        outcome
-                    })
-            }
-            TxPayload::Invoke { contract, input } => {
-                runtime.invoke(tx.sender, *contract, input, tx.gas_limit, now_ms, state)
-            }
-            TxPayload::Anchor { root, label } => match state.anchors.get(label) {
-                Some(existing) if existing != root => Err(ExecError {
-                    gas_used: 30,
-                    reason: LedgerError::AnchorConflict(label.clone()).to_string(),
-                }),
-                _ => {
-                    state.anchors.insert(label.clone(), *root);
-                    Ok(ExecOutcome { gas_used: 30, ..ExecOutcome::default() })
+        if self.metrics.enabled() {
+            self.metrics.counter("exec.blocks", 1);
+            self.metrics.counter("exec.txs", tx_count as u64);
+            self.metrics.observe("exec.block_apply_us", started.elapsed().as_secs_f64() * 1e6);
+            if let Some(stats) = parallel_stats {
+                self.metrics.counter("exec.parallel_blocks", 1);
+                self.metrics.observe("exec.waves_per_block", stats.waves as f64);
+                self.metrics.observe(
+                    "exec.conflict_rate",
+                    stats.delayed as f64 / tx_count.max(1) as f64,
+                );
+                for width in stats.wave_widths {
+                    self.metrics.observe("exec.wave_width", width as f64);
                 }
-            },
-            TxPayload::CrossLink { shard, height, tip } => {
-                if !self.shard.is_coordinator() {
-                    Err(ExecError {
-                        gas_used: 40,
-                        reason: format!("cross-link for {shard} on non-coordinator chain"),
-                    })
-                } else if shard.is_coordinator() {
-                    Err(ExecError {
-                        gas_used: 40,
-                        reason: "cross-link cannot reference the coordinator itself".into(),
-                    })
-                } else {
-                    match state.crosslinks.get(&shard.0) {
-                        // A shard's committed height is monotonic: a
-                        // link at or below the last one is a rewind.
-                        Some(prev) if prev.height >= *height => Err(ExecError {
-                            gas_used: 40,
-                            reason: format!(
-                                "cross-link height regression for {shard}: \
-                                 have {}, got {height}",
-                                prev.height
-                            ),
-                        }),
-                        _ => {
-                            state
-                                .crosslinks
-                                .insert(shard.0, CrossLinkRecord { height: *height, tip: *tip });
-                            Ok(ExecOutcome { gas_used: 40, ..ExecOutcome::default() })
-                        }
-                    }
+                for wall in stats.wave_walls_us {
+                    self.metrics.observe("exec.wave_wall_us", wall);
                 }
-            }
-        };
-
-        match result {
-            Ok(outcome) => Receipt {
-                tx_id: tx.id(),
-                ok: true,
-                gas_used: outcome.gas_used,
-                output: outcome.output,
-                events: outcome.events,
-                error: None,
-            },
-            Err(err) => {
-                if let Some(snapshot) = snapshot {
-                    *state = snapshot;
-                }
-                Receipt {
-                    tx_id: tx.id(),
-                    ok: false,
-                    gas_used: err.gas_used,
-                    output: Vec::new(),
-                    events: Vec::new(),
-                    error: Some(err.reason),
+                if stats.fell_back {
+                    self.metrics.counter("exec.fallback_blocks", 1);
                 }
             }
         }
+        Ok(receipts)
     }
 }
 
@@ -881,7 +1080,9 @@ pub fn contract_address(sender: &Address, nonce: u64) -> Address {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::sharded_contract_address;
     use crate::sig::AuthorityKey;
+    use crate::tx::TxPayload;
 
     fn funded_ledger(keys: &[AuthorityKey]) -> Ledger {
         let mut registry = KeyRegistry::new();
@@ -1088,6 +1289,43 @@ mod tests {
     }
 
     #[test]
+    fn state_root_with_matches_materialized_commit() {
+        // Base with entries that get overridden, deleted, and kept.
+        let mut base = WorldState::new();
+        let a = Address::from_seed(1);
+        let b = Address::from_seed(2);
+        base.credit(a, 100);
+        base.set_storage(a, b"keep".to_vec(), b"1".to_vec());
+        base.set_storage(a, b"gone".to_vec(), b"2".to_vec());
+        base.set_code(a, vec![9]);
+        base.set_anchor("lbl", Hash256::digest(b"x"));
+
+        let mut overlay = WorldStateOverlay::new(&base);
+        overlay.credit(a, 5);
+        overlay.credit(b, 7);
+        overlay.set_storage(a, b"gone".to_vec(), Vec::new()); // tombstone
+        overlay.set_storage(b, b"new".to_vec(), b"3".to_vec());
+        overlay.set_code(b, vec![8]);
+        overlay.set_anchor("lbl2", Hash256::digest(b"y"));
+        overlay.set_cross_link(ShardId(3), CrossLinkRecord {
+            height: 1,
+            tip: Hash256::digest(b"t"),
+        });
+        let delta = overlay.into_delta();
+
+        let merged_root = base.state_root_with(&delta);
+        let mut materialized = base.clone();
+        let undo = materialized.apply_delta(delta);
+        assert_eq!(merged_root, materialized.state_root(), "merge-join root must match commit");
+        assert_ne!(merged_root, base.state_root());
+
+        // Revert restores the base exactly (write-ahead failure path).
+        materialized.revert(undo);
+        assert_eq!(materialized.state_root(), base.state_root());
+        assert_eq!(materialized, base);
+    }
+
+    #[test]
     fn storage_of_iterates_only_own_contract() {
         let mut s = WorldState::new();
         let a = Address::from_seed(1);
@@ -1215,7 +1453,7 @@ mod tests {
             _init: &[u8],
             _gas_limit: u64,
             _now_ms: u64,
-            state: &mut WorldState,
+            state: &mut dyn StateAccess,
         ) -> Result<ExecOutcome, ExecError> {
             state.set_code(contract_addr, code.to_vec());
             Ok(ExecOutcome { gas_used: 50, ..ExecOutcome::default() })
@@ -1228,7 +1466,7 @@ mod tests {
             _input: &[u8],
             _gas_limit: u64,
             _now_ms: u64,
-            _state: &mut WorldState,
+            _state: &mut dyn StateAccess,
         ) -> Result<ExecOutcome, ExecError> {
             Ok(ExecOutcome { gas_used: 10, ..ExecOutcome::default() })
         }

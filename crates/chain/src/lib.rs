@@ -32,6 +32,7 @@
 pub mod block;
 pub mod consensus;
 pub mod energy;
+pub mod exec;
 pub mod hash;
 pub mod ledger;
 pub mod mempool;
@@ -45,6 +46,7 @@ pub mod store;
 pub mod tx;
 
 pub use block::{Block, Header, Seal};
+pub use exec::{ExecScope, RwSet, StateAccess, StateDelta, StateKey, WorldStateOverlay};
 pub use hash::{Hash256, Sha256};
 pub use ledger::{
     ContractRuntime, CrossLinkRecord, Event, ExecError, ExecOutcome, Ledger, Receipt, WorldState,

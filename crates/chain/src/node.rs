@@ -105,10 +105,12 @@ impl ChainApp {
         }
     }
 
-    /// Installs a metrics handle on the app and its mempool; commits
-    /// report under `chain.*`, admission under `mempool.*`.
+    /// Installs a metrics handle on the app, its mempool, and its
+    /// ledger; commits report under `chain.*`, admission under
+    /// `mempool.*`, block execution under `exec.*`.
     pub fn set_metrics(&mut self, metrics: medchain_runtime::metrics::Metrics) {
         self.mempool.set_metrics(metrics.clone());
+        self.ledger.set_metrics(metrics.clone());
         self.metrics = metrics;
     }
 

@@ -8,7 +8,7 @@
 //! native contracts in [`crate::standard`].
 
 use crate::value::{Args, Value, ValueError};
-use medchain_chain::{Address, Event, WorldState};
+use medchain_chain::{Address, Event, ExecScope, StateAccess};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -102,8 +102,19 @@ pub trait NativeContract: Send + Sync {
         &self,
         ctx: &NativeCtx,
         args: &Args,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<NativeOutcome, NativeError>;
+
+    /// Static state-footprint classification for parallel scheduling.
+    ///
+    /// [`ExecScope::SelfContained`] promises the implementation only
+    /// touches storage under its own contract address (e.g. via
+    /// [`Cell`]); the scheduler then keys it by that address alone.
+    /// Anything that reaches accounts or other contracts must keep the
+    /// conservative [`ExecScope::MayEscape`] default.
+    fn scope(&self) -> ExecScope {
+        ExecScope::MayEscape
+    }
 }
 
 /// Registry of native contract implementations available on a node.
@@ -159,16 +170,15 @@ impl NativeRegistry {
 
 /// Helper for native contracts: typed storage cells in the contract's
 /// world-state namespace, storing value sequences.
-#[derive(Debug)]
 pub struct Cell<'a> {
     contract: Address,
     key: Vec<u8>,
-    state: &'a mut WorldState,
+    state: &'a mut dyn StateAccess,
 }
 
 impl<'a> Cell<'a> {
     /// Binds a storage cell at `key` parts joined with `/`.
-    pub fn at(state: &'a mut WorldState, contract: Address, parts: &[&str]) -> Cell<'a> {
+    pub fn at(state: &'a mut dyn StateAccess, contract: Address, parts: &[&str]) -> Cell<'a> {
         Cell { contract, key: parts.join("/").into_bytes(), state }
     }
 
@@ -190,9 +200,19 @@ impl<'a> Cell<'a> {
     }
 }
 
+impl fmt::Debug for Cell<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cell")
+            .field("contract", &self.contract)
+            .field("key", &String::from_utf8_lossy(&self.key))
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medchain_chain::WorldState;
 
     #[test]
     fn manifest_round_trip() {

@@ -6,10 +6,10 @@
 //! machinery.
 
 use crate::native::{parse_manifest, NativeCtx, NativeError, NativeRegistry};
-use crate::opcode::{decode_program, BYTECODE_MAGIC};
+use crate::opcode::{decode_program, Instr, BYTECODE_MAGIC};
 use crate::value::{decode_args, encode_args, Args, Value};
 use crate::vm::{execute, CallDispatcher, CallEnv, MAX_CALL_DEPTH};
-use medchain_chain::{Address, ContractRuntime, ExecError, ExecOutcome, WorldState};
+use medchain_chain::{Address, ContractRuntime, ExecError, ExecOutcome, ExecScope, StateAccess};
 
 /// Gas charged for a deploy before any constructor runs.
 pub const DEPLOY_BASE_GAS: u64 = 100;
@@ -56,7 +56,7 @@ impl Runtime {
         gas_limit: u64,
         now_ms: u64,
         depth: u32,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError> {
         let program = decode_program(code)
             .map_err(|e| ExecError { gas_used: DEPLOY_BASE_GAS, reason: e.to_string() })?;
@@ -90,7 +90,7 @@ impl Runtime {
         gas_limit: u64,
         now_ms: u64,
         depth: u32,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError> {
         if depth > MAX_CALL_DEPTH {
             return Err(ExecError {
@@ -120,7 +120,7 @@ impl Runtime {
         input: &[u8],
         gas_limit: u64,
         now_ms: u64,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError> {
         let implementation = self.natives.get(name).ok_or_else(|| ExecError {
             gas_used: DEPLOY_BASE_GAS,
@@ -157,7 +157,7 @@ impl ContractRuntime for Runtime {
         init: &[u8],
         gas_limit: u64,
         now_ms: u64,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError> {
         if let Some(name) = parse_manifest(code) {
             if self.natives.get(name).is_none() {
@@ -207,9 +207,35 @@ impl ContractRuntime for Runtime {
         input: &[u8],
         gas_limit: u64,
         now_ms: u64,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError> {
         self.invoke_at_depth(sender, contract, input, gas_limit, now_ms, 0, state)
+    }
+
+    fn code_scope(&self, code: &[u8]) -> ExecScope {
+        if let Some(name) = parse_manifest(code) {
+            // Unknown natives can't run here; MayEscape is the safe
+            // answer either way.
+            return self
+                .natives
+                .get(name)
+                .map_or(ExecScope::MayEscape, |native| native.scope());
+        }
+        match decode_program(code) {
+            // A bytecode program with no `callc` can only touch its own
+            // contract's storage slice — every sload/sstore is keyed by
+            // the executing contract address.
+            Ok(program) => {
+                if program.iter().any(|i| matches!(i, Instr::CallContract)) {
+                    ExecScope::MayEscape
+                } else {
+                    ExecScope::SelfContained
+                }
+            }
+            // Undecodable code traps before touching any state, so a
+            // self-contained classification is still sound.
+            Err(_) => ExecScope::SelfContained,
+        }
     }
 }
 
@@ -228,7 +254,7 @@ impl CallDispatcher for RuntimeDispatcher<'_> {
         input: &[u8],
         gas_limit: u64,
         depth: u32,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError> {
         self.runtime
             .invoke_at_depth(caller, contract, input, gas_limit, self.now_ms, depth, state)
@@ -337,6 +363,26 @@ mod tests {
         assert!(receipt.ok, "{:?}", receipt.error);
         assert_eq!(receipt.events.len(), 1);
         assert_eq!(receipt.events[0].topic, crate::events::DATASET_REGISTERED);
+    }
+
+    #[test]
+    fn code_scope_classifies_contract_footprints() {
+        let runtime = Runtime::standard();
+        let plain = encode_program(&assemble("arg 0\nhalt").unwrap());
+        assert_eq!(runtime.code_scope(&plain), ExecScope::SelfContained);
+        let calling = encode_program(
+            &assemble("pushb 0x0000000000000000000000000000000000000000\npushb 0x00\ncallc\nhalt")
+                .unwrap(),
+        );
+        assert_eq!(runtime.code_scope(&calling), ExecScope::MayEscape);
+        // Registered natives declare their own scope; unknown natives
+        // and empty code stay conservative / inert respectively.
+        assert_eq!(
+            runtime.code_scope(&native_manifest("data_contract")),
+            ExecScope::SelfContained
+        );
+        assert_eq!(runtime.code_scope(&native_manifest("ghost")), ExecScope::MayEscape);
+        assert_eq!(runtime.code_scope(b"junk"), ExecScope::SelfContained);
     }
 
     #[test]
@@ -476,7 +522,7 @@ mod call_tests {
     use medchain_chain::node::ChainApp;
     use medchain_chain::sig::AuthorityKey;
     use medchain_chain::tx::TxPayload;
-    use medchain_chain::{KeyRegistry, Transaction};
+    use medchain_chain::{KeyRegistry, Transaction, WorldState};
 
     fn chain() -> (ChainApp, AuthorityKey) {
         let key = AuthorityKey::from_seed(1);

@@ -11,7 +11,7 @@ use crate::events;
 use crate::native::{Cell, NativeContract, NativeCtx, NativeError, NativeOutcome};
 use crate::policy::{AccessPolicy, Decision, Purpose};
 use crate::value::{encode_args, Args, Value};
-use medchain_chain::{Event, Hash256, WorldState};
+use medchain_chain::{Event, ExecScope, Hash256, StateAccess};
 
 fn emit(ctx: &NativeCtx, topic: &str, payload: &[Value]) -> Event {
     Event { contract: ctx.contract, topic: topic.to_string(), data: encode_args(payload) }
@@ -53,7 +53,7 @@ pub struct DataContract;
 
 impl DataContract {
     fn load_policy(
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
         ctx: &NativeCtx,
         label: &str,
     ) -> Result<AccessPolicy, NativeError> {
@@ -64,7 +64,12 @@ impl DataContract {
             .map_err(|e| NativeError::Refused(format!("corrupt policy: {e}")))
     }
 
-    fn store_policy(state: &mut WorldState, ctx: &NativeCtx, label: &str, policy: &AccessPolicy) {
+    fn store_policy(
+        state: &mut dyn StateAccess,
+        ctx: &NativeCtx,
+        label: &str,
+        policy: &AccessPolicy,
+    ) {
         Cell::at(state, ctx.contract, &["ds", label, "policy"]).write(&policy.to_values());
     }
 }
@@ -74,11 +79,17 @@ impl NativeContract for DataContract {
         "data_contract"
     }
 
+    // Policy and metadata cells all live under the contract's own
+    // address, so parallel scheduling may key this contract by address.
+    fn scope(&self) -> ExecScope {
+        ExecScope::SelfContained
+    }
+
     fn call(
         &self,
         ctx: &NativeCtx,
         args: &Args,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<NativeOutcome, NativeError> {
         let method = args.str(0)?;
         let mut outcome = NativeOutcome { gas_used: 50, ..NativeOutcome::default() };
@@ -227,11 +238,15 @@ impl NativeContract for AnalyticsContract {
         "analytics_contract"
     }
 
+    fn scope(&self) -> ExecScope {
+        ExecScope::SelfContained
+    }
+
     fn call(
         &self,
         ctx: &NativeCtx,
         args: &Args,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<NativeOutcome, NativeError> {
         let method = args.str(0)?;
         let mut outcome = NativeOutcome { gas_used: 50, ..NativeOutcome::default() };
@@ -346,11 +361,15 @@ impl NativeContract for TrialContract {
         "trial_contract"
     }
 
+    fn scope(&self) -> ExecScope {
+        ExecScope::SelfContained
+    }
+
     fn call(
         &self,
         ctx: &NativeCtx,
         args: &Args,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<NativeOutcome, NativeError> {
         let method = args.str(0)?;
         let mut outcome = NativeOutcome { gas_used: 50, ..NativeOutcome::default() };
@@ -462,7 +481,7 @@ impl NativeContract for TrialContract {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use medchain_chain::Address;
+    use medchain_chain::{Address, WorldState};
 
     fn ctx(caller_seed: u64) -> NativeCtx {
         NativeCtx {
@@ -477,7 +496,7 @@ mod tests {
         contract: &dyn NativeContract,
         caller_seed: u64,
         args: Vec<Value>,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<NativeOutcome, NativeError> {
         contract.call(&ctx(caller_seed), &Args(args), state)
     }
@@ -876,7 +895,7 @@ mod tests {
 
     fn call_dyn(
         contract: &dyn NativeContract,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<NativeOutcome, NativeError> {
         contract.call(&ctx(1), &Args(vec![Value::str("no_such_method")]), state)
     }

@@ -1,13 +1,15 @@
 //! The gas-metered stack-machine interpreter.
 //!
 //! Runs [`Instr`] programs against a contract's storage slice of the
-//! replicated [`WorldState`]. Every replica runs the same program with
+//! replicated world state (any [`StateAccess`] — the ledger hands the
+//! VM an overlay during block execution). Every replica runs the same
+//! program with
 //! the same inputs — the duplicated smart-contract computing of paper §I
 //! — and the gas meter makes that cost measurable.
 
 use crate::opcode::Instr;
 use crate::value::Value;
-use medchain_chain::{Address, Event, ExecError, ExecOutcome, Hash256, WorldState};
+use medchain_chain::{Address, Event, ExecError, ExecOutcome, Hash256, StateAccess};
 use std::fmt;
 
 /// Default hard cap on interpreter steps, a second defence beyond gas.
@@ -33,7 +35,7 @@ pub trait CallDispatcher {
         input: &[u8],
         gas_limit: u64,
         depth: u32,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
     ) -> Result<ExecOutcome, ExecError>;
 }
 
@@ -153,7 +155,7 @@ impl<'a> CallEnv<'a> {
 pub fn execute(
     program: &[Instr],
     env: &CallEnv<'_>,
-    state: &mut WorldState,
+    state: &mut dyn StateAccess,
 ) -> Result<VmOutcome, (Trap, u64)> {
     let mut vm = Vm {
         stack: Vec::with_capacity(16),
@@ -237,7 +239,7 @@ impl Vm {
         &mut self,
         instr: &Instr,
         env: &CallEnv<'_>,
-        state: &mut WorldState,
+        state: &mut dyn StateAccess,
         pc: &mut usize,
     ) -> Result<Flow, Trap> {
         let mut next = *pc + 1;
@@ -414,6 +416,7 @@ impl Vm {
 mod tests {
     use super::*;
     use crate::opcode::Instr as I;
+    use medchain_chain::WorldState;
 
     fn env<'a>(args: &'a [Value]) -> CallEnv<'a> {
         CallEnv::new(Address::from_seed(100), Address::from_seed(1), args, 100_000)

@@ -186,6 +186,7 @@ pub struct NetworkBuilder {
     pub(crate) storage: Option<(PathBuf, StorageConfig)>,
     pub(crate) shards: u16,
     pub(crate) gateway: Option<GatewayConfig>,
+    pub(crate) parallel_exec: usize,
 }
 
 impl fmt::Debug for NetworkBuilder {
@@ -207,7 +208,20 @@ impl NetworkBuilder {
             storage: None,
             shards: 1,
             gateway: None,
+            parallel_exec: 1,
         }
+    }
+
+    /// Executes committed blocks on `threads` worker threads via the
+    /// conflict-free wave scheduler (DESIGN.md §11). Transactions are
+    /// partitioned by inferred read/write sets; the parallel schedule is
+    /// guaranteed byte-identical to sequential apply, so any replica may
+    /// enable this independently. `1` (the default) keeps the classic
+    /// sequential path.
+    #[must_use]
+    pub fn parallel_exec(mut self, threads: usize) -> NetworkBuilder {
+        self.parallel_exec = threads.max(1);
+        self
     }
 
     /// Starts a client ingress gateway alongside the network
@@ -350,6 +364,7 @@ impl NetworkBuilder {
                 // runs on the logical-clock simulator or wall-clock
                 // sockets.
                 app.set_timestamp_quantum_ms(self.block_interval_ms);
+                app.ledger_mut().set_parallel_exec(self.parallel_exec);
                 // Only replica 0 reports, so counters reflect one node's
                 // view rather than summing all replicas' identical work.
                 if i == 0 {

@@ -150,6 +150,7 @@ fn make_committee(
             let mut app =
                 ChainApp::sharded(&chain_id, shard, shard_count, registry.clone(), runtime);
             app.set_timestamp_quantum_ms(builder.block_interval_ms);
+            app.ledger_mut().set_parallel_exec(builder.parallel_exec);
             if local == 0 {
                 app.set_metrics(metrics.clone());
             }

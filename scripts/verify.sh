@@ -180,4 +180,41 @@ if grep -rq "ShardId" crates/*/src; then
 fi
 echo "ok: DESIGN.md documents the sharding layer"
 
+# Parallel execution engine (DESIGN.md §11): apply one mixed block
+# sequentially and across 2- and 4-lane wave schedules; the example
+# asserts state-root equality against the sequential header and prints
+# one OK line per lane count. Wall-clock guarded.
+echo "== exec: parallel-vs-sequential state-root round trip (wall-clock guarded) =="
+exec_log="$(mktemp)"
+trap 'rm -f "$metrics_tsv" "$restart_log" "$shard_log" "$gateway_log" "$exec_log"; rm -rf "$restart_dir" "$shard_dir"' EXIT
+timeout 120 cargo run --release -q --example parallel_apply > "$exec_log"
+for lanes in 2 4; do
+    if ! grep -q "parallel apply OK at ${lanes} thread(s)" "$exec_log"; then
+        echo "ERROR: parallel_apply did not commit the sequential state root at ${lanes} threads" >&2
+        cat "$exec_log" >&2
+        exit 1
+    fi
+done
+echo "ok: 2- and 4-lane wave schedules committed byte-identical state roots"
+
+# Overlay commit discipline: during block application, every state
+# mutation must flow through WorldStateOverlay and commit via its
+# StateDelta — only the ledger apply path and the exec subsystem itself
+# may materialize or apply deltas.
+echo "== exec: overlay commit-path guard =="
+if grep -rn "\.into_delta(\|\.apply_to(" crates/*/src --include="*.rs" \
+    | grep -v "^crates/chain/src/exec/\|^crates/chain/src/ledger.rs"; then
+    echo "ERROR: StateDelta materialized/applied outside the exec commit path." >&2
+    exit 1
+fi
+# Direct WorldState mutation in the crates is reserved for genesis
+# funding (state_mut().credit); anything else bypasses the overlay and
+# would break parallel/sequential equivalence.
+if grep -rn "state_mut()\." crates/*/src --include="*.rs" \
+    | grep -v "state_mut()\.credit("; then
+    echo "ERROR: direct WorldState mutation outside genesis funding — go through the overlay." >&2
+    exit 1
+fi
+echo "ok: all block-application state flows through the overlay commit path"
+
 echo "verify: OK"

@@ -16,10 +16,18 @@ use medchain_learning::{FedAvg, FedLogistic};
 use medchain_offchain::TaskExecutor;
 use medchain_query::optimizer::{optimize, run_counted};
 use medchain_query::QueryVector;
+use medchain_runtime::metrics::Metrics;
 use std::time::Instant;
 
 /// E13: duplicated vs transformed-sequential vs transformed-parallel.
 pub fn run_e13(quick: bool) -> Table {
+    run_e13_metered(quick, Metrics::noop())
+}
+
+/// [`run_e13`] reporting `ablation.*` to `metrics`: one `variants_run`
+/// tick per variant timed, the work-unit budget, and the observed
+/// parallel-over-duplicated speedup.
+pub fn run_e13_metered(quick: bool, metrics: Metrics) -> Table {
     let work: u64 = if quick { 300_000 } else { 1_500_000 };
     let nodes = if quick { 4 } else { 8 };
     let mut table = Table::new(
@@ -28,6 +36,7 @@ pub fn run_e13(quick: bool) -> Table {
         &["variant", "wall", "total work", "vs duplicated"],
     );
     let duplicated = run_duplicated(nodes, work, 31).expect("duplicated");
+    metrics.counter("ablation.work_units", work);
 
     // Transformed but *sequential*: shards executed one after another on
     // a single executor — isolates the no-duplication saving.
@@ -48,8 +57,10 @@ pub fn run_e13(quick: bool) -> Table {
         start.elapsed()
     };
     let parallel = run_transformed(nodes, work, 31).expect("transformed");
+    metrics.counter("ablation.variants_run", 3);
 
     let dup_wall = duplicated.wall.as_secs_f64();
+    metrics.observe("ablation.parallel_speedup", dup_wall / parallel.wall.as_secs_f64());
     table.row(vec![
         "duplicated (on-chain, every replica)".into(),
         ms(dup_wall * 1000.0),
@@ -78,6 +89,12 @@ pub fn run_e13(quick: bool) -> Table {
 
 /// E14: FedAvg local epochs vs rounds at fixed total compute.
 pub fn run_e14(quick: bool) -> Table {
+    run_e14_metered(quick, Metrics::noop())
+}
+
+/// [`run_e14`] reporting `fedavg.*` to `metrics`: configurations tried,
+/// rounds run, model bytes moved, and every final AUC observed.
+pub fn run_e14_metered(quick: bool, metrics: Metrics) -> Table {
     let per_site = if quick { 400 } else { 800 };
     let sites = if quick { 4 } else { 8 };
     let total_epochs = 24usize;
@@ -105,6 +122,10 @@ pub fn run_e14(quick: bool) -> Table {
         let rounds = total_epochs / local_epochs;
         let mut fed = FedAvg::new(FedLogistic::new(10, local_epochs), rounds);
         let report = fed.run(&shards, Some(&eval));
+        metrics.counter("fedavg.configs", 1);
+        metrics.counter("fedavg.rounds", rounds as u64);
+        metrics.counter("fedavg.bytes_moved", report.bytes_uplink + report.bytes_downlink);
+        metrics.observe("fedavg.final_auc", report.final_auc());
         table.row(vec![
             local_epochs.to_string(),
             rounds.to_string(),
@@ -123,6 +144,13 @@ pub fn run_e14(quick: bool) -> Table {
 
 /// E15: query-vector optimizer on/off.
 pub fn run_e15(quick: bool) -> Table {
+    run_e15_metered(quick, Metrics::noop())
+}
+
+/// [`run_e15`] reporting `query_opt.*` to `metrics`: records scanned,
+/// predicate evaluations per variant, and the evaluations the optimizer
+/// saved.
+pub fn run_e15_metered(quick: bool, metrics: Metrics) -> Table {
     let n = if quick { 4_000 } else { 20_000 };
     let records = CohortGenerator::new("opt", SiteProfile::default(), 15).cohort(
         0,
@@ -144,10 +172,14 @@ pub fn run_e15(quick: bool) -> Table {
         &format!("ablation: §V query-vector optimization over {n} records"),
         &["variant", "predicate evals", "matched", "wall"],
     );
+    metrics.counter("query_opt.records", n as u64);
+    let mut evals = Vec::new();
     for (name, q) in [("as written", &query), ("optimized order", &optimized)] {
         let start = Instant::now();
         let stats = run_counted(q, &records);
         let wall = start.elapsed();
+        metrics.counter("query_opt.predicate_evals", stats.predicate_evals);
+        evals.push(stats.predicate_evals);
         table.row(vec![
             name.to_string(),
             stats.predicate_evals.to_string(),
@@ -160,12 +192,41 @@ pub fn run_e15(quick: bool) -> Table {
          results — the 'optimized query vector' of the paper's research agenda"
             .to_string(),
     );
+    metrics.counter("query_opt.evals_saved", evals[0].saturating_sub(evals[1]));
     table
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use medchain_runtime::metrics::Registry;
+
+    #[test]
+    fn e13_metered_reports_ablation_counters() {
+        let registry = Registry::new();
+        run_e13_metered(true, registry.handle());
+        assert_eq!(registry.counter_value("ablation.variants_run"), 3);
+        assert!(registry.counter_value("ablation.work_units") >= 300_000);
+    }
+
+    #[test]
+    fn e14_metered_reports_fedavg_counters() {
+        let registry = Registry::new();
+        run_e14_metered(true, registry.handle());
+        assert_eq!(registry.counter_value("fedavg.configs"), 4);
+        assert!(registry.counter_value("fedavg.rounds") > 0);
+        assert!(registry.counter_value("fedavg.bytes_moved") > 0);
+    }
+
+    #[test]
+    fn e15_metered_reports_saved_evals() {
+        let registry = Registry::new();
+        let table = run_e15_metered(true, registry.handle());
+        let evals = |row: usize| table.rows[row][1].parse::<u64>().unwrap();
+        assert!(registry.counter_value("query_opt.records") > 0);
+        assert_eq!(registry.counter_value("query_opt.predicate_evals"), evals(0) + evals(1));
+        assert_eq!(registry.counter_value("query_opt.evals_saved"), evals(0) - evals(1));
+    }
 
     #[test]
     fn e13_parallel_beats_sequential_beats_duplicated() {

@@ -9,6 +9,7 @@
 use crate::report::{f, Table};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
 use medchain_data::{Dataset, PatientRecord};
+use medchain_runtime::metrics::Metrics;
 use medchain_trial::{
     blanket_strategy, precision_strategy, DrugModel, PrecisionPolicy,
 };
@@ -20,6 +21,13 @@ fn population(n: usize, seed: u64) -> Vec<PatientRecord> {
 
 /// Runs E16.
 pub fn run_e16(quick: bool) -> Table {
+    run_e16_metered(quick, Metrics::noop())
+}
+
+/// [`run_e16`] reporting `precision.*` to `metrics`: deployment
+/// population, benefited counts per strategy, and the observed benefit
+/// lift of the learned policy.
+pub fn run_e16_metered(quick: bool, metrics: Metrics) -> Table {
     let n = if quick { 5_000 } else { 20_000 };
     let drug = DrugModel::default();
 
@@ -36,6 +44,13 @@ pub fn run_e16(quick: bool) -> Table {
     let fresh = population(n, 99);
     let blanket = blanket_strategy(&drug, &fresh);
     let targeted = precision_strategy(&drug, &policy, &fresh);
+    metrics.counter("precision.patients", n as u64);
+    metrics.counter("precision.blanket_benefited", blanket.benefited as u64);
+    metrics.counter("precision.targeted_benefited", targeted.benefited as u64);
+    metrics.observe(
+        "precision.benefit_lift",
+        targeted.benefit_rate() / blanket.benefit_rate().max(1e-9),
+    );
 
     let mut table = Table::new(
         "E16",
@@ -76,6 +91,15 @@ pub fn run_e16(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e16_metered_reports_precision_counters() {
+        let registry = medchain_runtime::metrics::Registry::new();
+        run_e16_metered(true, registry.handle());
+        assert_eq!(registry.counter_value("precision.patients"), 5_000);
+        assert!(registry.counter_value("precision.blanket_benefited") > 0);
+        assert!(registry.counter_value("precision.targeted_benefited") > 0);
+    }
 
     #[test]
     fn e16_precision_beats_blanket_within_band() {

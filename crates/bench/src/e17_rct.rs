@@ -6,12 +6,19 @@
 
 use crate::report::{f, Table};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile};
+use medchain_runtime::metrics::Metrics;
 use medchain_trial::{
     intention_to_treat, observational_estimate, simulate_rct_and_observational,
 };
 
 /// Runs E17.
 pub fn run_e17(quick: bool) -> Table {
+    run_e17_metered(quick, Metrics::noop())
+}
+
+/// [`run_e17`] reporting `rct.*` to `metrics`: estimates produced and
+/// how many covered / missed the true effect.
+pub fn run_e17_metered(quick: bool, metrics: Metrics) -> Table {
     let n = if quick { 20_000 } else { 80_000 };
     let cohort = CohortGenerator::new("e17", SiteProfile::default(), 17).cohort(
         0,
@@ -30,6 +37,11 @@ pub fn run_e17(quick: bool) -> Table {
         let obs_estimate = observational_estimate(&obs).expect("both arms filled");
         for (design, e) in [("RCT", rct_estimate), ("observational", obs_estimate)] {
             let verdict = if e.covers(true_effect) { "unbiased" } else { "BIASED" };
+            metrics.counter("rct.estimates", 1);
+            metrics.counter(
+                if e.covers(true_effect) { "rct.unbiased" } else { "rct.biased" },
+                1,
+            );
             table.row(vec![
                 format!("{label} ({true_effect:+.2})"),
                 design.to_string(),
@@ -52,6 +64,18 @@ pub fn run_e17(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e17_metered_reports_bias_counters() {
+        let registry = medchain_runtime::metrics::Registry::new();
+        run_e17_metered(true, registry.handle());
+        assert_eq!(registry.counter_value("rct.estimates"), 4);
+        assert_eq!(
+            registry.counter_value("rct.unbiased") + registry.counter_value("rct.biased"),
+            4
+        );
+        assert!(registry.counter_value("rct.biased") >= 1, "confounding must bite");
+    }
 
     #[test]
     fn e17_rct_unbiased_observational_biased_for_null() {

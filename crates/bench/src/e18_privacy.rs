@@ -9,9 +9,16 @@ use crate::report::{f, Table};
 use medchain_data::synth::{CohortGenerator, DiseaseModel, SiteProfile, STROKE_CODE};
 use medchain_data::Dataset;
 use medchain_learning::{DpConfig, FedAvg, FedLogistic};
+use medchain_runtime::metrics::Metrics;
 
 /// Runs E18.
 pub fn run_e18(quick: bool) -> Table {
+    run_e18_metered(quick, Metrics::noop())
+}
+
+/// [`run_e18`] reporting `dp.*` to `metrics`: noise levels swept,
+/// private rounds run, and every private final AUC observed.
+pub fn run_e18_metered(quick: bool, metrics: Metrics) -> Table {
     let sites = if quick { 4 } else { 8 };
     let per_site = if quick { 500 } else { 1_000 };
     let rounds = if quick { 10 } else { 20 };
@@ -42,6 +49,9 @@ pub fn run_e18(quick: bool) -> Table {
         let dp = DpConfig { clip_norm: 1.0, noise_multiplier: noise, seed: 18 };
         let mut fed = FedAvg::new(FedLogistic::new(10, 3), rounds);
         let auc = fed.run_private(&shards, Some(&eval), &dp).final_auc();
+        metrics.counter("dp.noise_levels", 1);
+        metrics.counter("dp.private_rounds", rounds as u64);
+        metrics.observe("dp.final_auc", auc);
         table.row(vec![f(noise), f(auc), format!("{:+.3}", auc - baseline)]);
     }
     table.finding(
@@ -56,6 +66,14 @@ pub fn run_e18(quick: bool) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn e18_metered_reports_dp_counters() {
+        let registry = medchain_runtime::metrics::Registry::new();
+        run_e18_metered(true, registry.handle());
+        assert_eq!(registry.counter_value("dp.noise_levels"), 5);
+        assert_eq!(registry.counter_value("dp.private_rounds"), 5 * 10);
+    }
 
     #[test]
     fn e18_utility_decays_with_noise() {

@@ -18,6 +18,7 @@ pub mod e18_privacy;
 pub mod e19_gateway;
 pub mod e1_e2_scaling;
 pub mod e20_parallel_exec;
+pub mod e21_cross_shard;
 pub mod e3_energy;
 pub mod e4_hie;
 pub mod e5_integration;
@@ -30,9 +31,9 @@ pub mod report;
 pub use report::Table;
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e20",
+    "e15", "e16", "e17", "e18", "e19", "e20", "e21",
 ];
 
 /// Runs one experiment by id.
@@ -63,16 +64,18 @@ pub fn run_experiment(id: &str, quick: bool) -> Table {
         "e18" => e18_privacy::run_e18(quick),
         "e19" => e19_gateway::run_e19(quick),
         "e20" => e20_parallel_exec::run_e20(quick),
+        "e21" => e21_cross_shard::run_e21(quick),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
 /// Runs one experiment by id with `metrics` installed on every layer
-/// that supports it (E1–E12, E19, and E20; the remaining experiments
-/// run unmetered and simply ignore the handle). E8/E9 report
-/// `learning.*` counters from their federated loops; E10–E12 report
-/// `trial.*` / `paradigms.*` / `rwe.*` from their runners; E20 reports
-/// the ledger's `exec.*` family.
+/// that supports it (all of E1–E21). E8/E9 report `learning.*`
+/// counters from their federated loops; E10–E12 report `trial.*` /
+/// `paradigms.*` / `rwe.*` from their runners; E13–E18 report
+/// `ablation.*` / `fedavg.*` / `query_opt.*` / `precision.*` / `rct.*`
+/// / `dp.*`; E20 reports the ledger's `exec.*` family; E21 reports the
+/// cross-shard 2PC `xs.*` family.
 ///
 /// # Panics
 ///
@@ -96,8 +99,15 @@ pub fn run_experiment_metered(
         "e10" => e10_trial::run_e10_metered(quick, metrics),
         "e11" => e11_paradigms::run_e11_metered(quick, metrics),
         "e12" => e12_rwe::run_e12_metered(quick, metrics),
+        "e13" => e13_e15_ablations::run_e13_metered(quick, metrics),
+        "e14" => e13_e15_ablations::run_e14_metered(quick, metrics),
+        "e15" => e13_e15_ablations::run_e15_metered(quick, metrics),
+        "e16" => e16_precision::run_e16_metered(quick, metrics),
+        "e17" => e17_rct::run_e17_metered(quick, metrics),
+        "e18" => e18_privacy::run_e18_metered(quick, metrics),
         "e19" => e19_gateway::run_e19_metered(quick, metrics),
         "e20" => e20_parallel_exec::run_e20_metered(quick, metrics),
+        "e21" => e21_cross_shard::run_e21_metered(quick, metrics),
         other => run_experiment(other, quick),
     }
 }

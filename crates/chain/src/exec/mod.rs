@@ -188,6 +188,104 @@ pub(crate) fn execute_tx(
                 }
             }
         }
+        TxPayload::XsPrepare { xid, leg, deadline_ms } => {
+            if ctx.shard.is_coordinator() {
+                Err(ExecError {
+                    gas_used: 45,
+                    reason: "cross-shard prepare on the coordinator chain".into(),
+                })
+            } else if leg.shard != ctx.shard {
+                Err(ExecError {
+                    gas_used: 45,
+                    reason: format!("prepare leg for {} executed on {}", leg.shard, ctx.shard),
+                })
+            } else if leg.shard != crate::shard::shard_for_key(&leg.account.0, ctx.shard_count) {
+                // Locks must live on the account's home shard, because the
+                // finalize that releases them routes by `shard_for_key` —
+                // a lock anywhere else would be unreachable forever.
+                Err(ExecError {
+                    gas_used: 45,
+                    reason: format!(
+                        "prepare leg locks {:?} away from its home shard",
+                        leg.account
+                    ),
+                })
+            } else if let Some(held) = state.lock(&leg.account) {
+                Err(ExecError {
+                    gas_used: 45,
+                    reason: LedgerError::AccountLocked { address: leg.account, xid: held.xid }
+                        .to_string(),
+                })
+            } else {
+                // A debit leg escrows the amount at prepare time, so a
+                // later commit can never fail for funds; a credit leg
+                // only records the pending payout.
+                let escrow = if leg.debit { state.debit(leg.account, leg.amount) } else { Ok(()) };
+                match escrow {
+                    Err(e) => Err(ExecError { gas_used: 45, reason: e.to_string() }),
+                    Ok(()) => {
+                        state.set_lock(
+                            leg.account,
+                            crate::ledger::XsLock {
+                                xid: *xid,
+                                amount: leg.amount,
+                                debit: leg.debit,
+                                deadline_ms: *deadline_ms,
+                            },
+                        );
+                        Ok(ExecOutcome { gas_used: 45, ..ExecOutcome::default() })
+                    }
+                }
+            }
+        }
+        TxPayload::XsDecide { xid, commit } => {
+            if !ctx.shard.is_coordinator() {
+                Err(ExecError {
+                    gas_used: 45,
+                    reason: "cross-shard decision on non-coordinator chain".into(),
+                })
+            } else if state.xs_decision(xid).is_some() {
+                // Decisions are write-once: participants resolving an
+                // interrupted round must never see the verdict flip.
+                Err(ExecError {
+                    gas_used: 45,
+                    reason: format!("cross-shard transaction {xid:?} already decided"),
+                })
+            } else {
+                state.set_xs_decision(
+                    *xid,
+                    crate::ledger::XsDecisionRecord { commit: *commit, tx_id: tx.id() },
+                );
+                Ok(ExecOutcome {
+                    gas_used: 45,
+                    output: vec![u8::from(*commit)],
+                    ..ExecOutcome::default()
+                })
+            }
+        }
+        TxPayload::XsFinalize { xid, account, commit } => match state.lock(account) {
+            None => Err(ExecError {
+                gas_used: 45,
+                reason: format!("no cross-shard lock held on {account:?}"),
+            }),
+            Some(lock) if lock.xid != *xid => Err(ExecError {
+                gas_used: 45,
+                reason: format!(
+                    "lock on {account:?} held by a different cross-shard transaction"
+                ),
+            }),
+            Some(lock) => {
+                // Commit: a debit leg's escrow is burned here (the
+                // credit leg mints on its own shard); a credit leg pays
+                // out. Abort: the debit escrow is refunded; a credit
+                // leg never moved funds.
+                if *commit != lock.debit {
+                    state.credit(*account, lock.amount);
+                }
+                state.clear_lock(account);
+                Ok(ExecOutcome { gas_used: 45, ..ExecOutcome::default() })
+            }
+        },
     };
 
     match result {
@@ -662,8 +760,15 @@ mod inference_props {
         }
     }
 
+    /// A small shared xid pool so random prepares, decisions, and
+    /// finalizes actually collide on the same cross-shard transaction —
+    /// exercising the success paths, not just the failure arms.
+    fn random_xid(g: &mut Gen) -> Hash256 {
+        Hash256::digest(&[g.usize_in(0, 3) as u8])
+    }
+
     fn random_payload(g: &mut Gen, contracts: &[Address]) -> TxPayload {
-        match g.usize_in(0, 5) {
+        match g.usize_in(0, 8) {
             0 => TxPayload::Transfer {
                 to: Address::from_seed(100 + g.usize_in(0, 6) as u64),
                 amount: g.usize_in(0, 60) as u64,
@@ -685,10 +790,26 @@ mod inference_props {
                 root: Hash256::digest(&g.bytes(0, 8)),
                 label: format!("label-{}", g.usize_in(0, 4)),
             },
-            _ => TxPayload::CrossLink {
+            4 => TxPayload::CrossLink {
                 shard: ShardId(1 + g.usize_in(0, 3) as u16),
                 height: g.usize_in(0, 100) as u64,
                 tip: Hash256::digest(&g.bytes(0, 8)),
+            },
+            5 => TxPayload::XsPrepare {
+                xid: random_xid(g),
+                leg: crate::tx::XsLeg {
+                    shard: ShardId(g.usize_in(0, 3) as u16),
+                    account: Address::from_seed(100 + g.usize_in(0, 6) as u64),
+                    amount: g.usize_in(0, 60) as u64,
+                    debit: g.bool(),
+                },
+                deadline_ms: g.usize_in(0, 1_000) as u64,
+            },
+            6 => TxPayload::XsDecide { xid: random_xid(g), commit: g.bool() },
+            _ => TxPayload::XsFinalize {
+                xid: random_xid(g),
+                account: Address::from_seed(100 + g.usize_in(0, 6) as u64),
+                commit: g.bool(),
             },
         }
     }
@@ -750,6 +871,76 @@ mod inference_props {
                 // Evolve the state so later cases see deployed code,
                 // existing anchors, advancing nonces, and cross-links.
                 delta.apply_to(&mut state);
+            }
+            Ok(())
+        });
+    }
+
+    /// Satellite of DESIGN.md §12: a 2PC prepare leg's inferred rw-set
+    /// is a superset of its actual footprint on flat, coordinator, and
+    /// sharded topologies — across every outcome arm (escrow success,
+    /// credit-side success, already-locked, wrong shard, insufficient
+    /// escrow funds). An under-declared prepare would let the wave
+    /// scheduler race a lock write against a transfer on the same
+    /// account.
+    #[test]
+    fn prepare_rw_set_covers_every_outcome_on_all_topologies() {
+        check("2PC prepare rw-set superset", CheckConfig::cases(64), |g| {
+            let key = AuthorityKey::from_seed(1);
+            let mut registry = KeyRegistry::new();
+            registry.enroll(&key);
+            let (shard, shard_count) = match g.usize_in(0, 3) {
+                0 => (ShardId::default(), 1),
+                1 => (ShardId::COORDINATOR, 1),
+                _ => (ShardId(g.usize_in(0, 2) as u16), 2),
+            };
+            let runtime = ScribbleRuntime;
+            let ctx = ExecCtx { runtime: &runtime, registry: &registry, shard, shard_count };
+            let mut state = WorldState::new();
+            state.credit(key.address(), 1_000);
+            let account = Address::from_seed(200 + g.usize_in(0, 3) as u64);
+            if g.bool() {
+                state.credit(account, g.usize_in(0, 100) as u64);
+            }
+            if g.bool() {
+                // A pre-held lock forces the already-locked arm.
+                StateAccess::set_lock(
+                    &mut state,
+                    account,
+                    crate::ledger::XsLock {
+                        xid: Hash256::digest(b"held"),
+                        amount: 5,
+                        debit: g.bool(),
+                        deadline_ms: 100,
+                    },
+                );
+            }
+            let tx = Transaction::new(
+                key.address(),
+                state.account(&key.address()).nonce,
+                TxPayload::XsPrepare {
+                    xid: Hash256::digest(&g.bytes(1, 8)),
+                    leg: crate::tx::XsLeg {
+                        shard: ShardId(g.usize_in(0, 3) as u16),
+                        account,
+                        amount: g.usize_in(0, 120) as u64,
+                        debit: g.bool(),
+                    },
+                    deadline_ms: g.usize_in(0, 10_000) as u64,
+                },
+                1_000,
+            )
+            .signed(&key);
+            let set = infer_rw_set(&tx, shard, shard_count, &state, &runtime);
+            ensure!(!set.global, "a prepare is account-keyed, never global");
+            let mut overlay = WorldStateOverlay::new(&state).recording();
+            execute_tx(&ctx, &mut overlay, &tx, 10);
+            let (delta, reads) = overlay.into_parts();
+            for k in &reads {
+                ensure!(set.declares(k), "undeclared prepare read {k:?}");
+            }
+            for k in delta.write_keys().iter() {
+                ensure!(set.declares_write(k), "undeclared prepare write {k:?}");
             }
             Ok(())
         });

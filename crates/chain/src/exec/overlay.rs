@@ -23,7 +23,7 @@
 
 use super::read_write_set::StateKey;
 use crate::hash::Hash256;
-use crate::ledger::{Account, CrossLinkRecord, LedgerError};
+use crate::ledger::{Account, CrossLinkRecord, LedgerError, XsDecisionRecord, XsLock};
 use crate::shard::ShardId;
 use crate::sig::Address;
 use std::collections::{BTreeMap, BTreeSet};
@@ -57,6 +57,16 @@ pub trait StateAccess: Send + Sync {
     fn cross_link(&self, shard: ShardId) -> Option<CrossLinkRecord>;
     /// Records a cross-link.
     fn set_cross_link(&mut self, shard: ShardId, record: CrossLinkRecord);
+    /// The 2PC lock held on `addr`, if any (DESIGN.md §12).
+    fn lock(&self, addr: &Address) -> Option<XsLock>;
+    /// Places a 2PC lock on `addr`.
+    fn set_lock(&mut self, addr: Address, lock: XsLock);
+    /// Releases the 2PC lock on `addr`.
+    fn clear_lock(&mut self, addr: &Address);
+    /// The coordinator's recorded decision for `xid`, if any.
+    fn xs_decision(&self, xid: &Hash256) -> Option<XsDecisionRecord>;
+    /// Records a cross-shard commit/abort decision.
+    fn set_xs_decision(&mut self, xid: Hash256, decision: XsDecisionRecord);
 
     /// Credits `amount` to `addr`, materializing the entry.
     fn credit(&mut self, addr: Address, amount: u64) {
@@ -97,6 +107,9 @@ pub struct StateDelta {
     pub(crate) code: BTreeMap<Address, Vec<u8>>,
     pub(crate) anchors: BTreeMap<String, Hash256>,
     pub(crate) crosslinks: BTreeMap<u16, CrossLinkRecord>,
+    /// `None` is a release tombstone (a finalize dropped the lock).
+    pub(crate) locks: BTreeMap<Address, Option<XsLock>>,
+    pub(crate) xs_decisions: BTreeMap<Hash256, XsDecisionRecord>,
 }
 
 impl StateDelta {
@@ -107,6 +120,8 @@ impl StateDelta {
             && self.code.is_empty()
             && self.anchors.is_empty()
             && self.crosslinks.is_empty()
+            && self.locks.is_empty()
+            && self.xs_decisions.is_empty()
     }
 
     /// Number of buffered entries across all maps.
@@ -116,6 +131,8 @@ impl StateDelta {
             + self.code.len()
             + self.anchors.len()
             + self.crosslinks.len()
+            + self.locks.len()
+            + self.xs_decisions.len()
     }
 
     /// The [`StateKey`]s this delta writes — what the parallel executor
@@ -136,6 +153,15 @@ impl StateDelta {
         }
         for shard in self.crosslinks.keys() {
             keys.insert(StateKey::CrossLink(*shard));
+        }
+        // A lock is account-scoped state: scheduling under the account
+        // key keeps 2PC writes ordered against transfers on the same
+        // account without a second conflict dimension.
+        for addr in self.locks.keys() {
+            keys.insert(StateKey::Account(*addr));
+        }
+        for xid in self.xs_decisions.keys() {
+            keys.insert(StateKey::XsDecision(*xid));
         }
         keys
     }
@@ -158,6 +184,15 @@ impl StateDelta {
         }
         for (shard, record) in self.crosslinks {
             target.set_cross_link(ShardId(shard), record);
+        }
+        for (addr, lock) in self.locks {
+            match lock {
+                Some(lock) => target.set_lock(addr, lock),
+                None => target.clear_lock(&addr),
+            }
+        }
+        for (xid, decision) in self.xs_decisions {
+            target.set_xs_decision(xid, decision);
         }
     }
 }
@@ -278,6 +313,37 @@ impl StateAccess for WorldStateOverlay<'_> {
 
     fn set_cross_link(&mut self, shard: ShardId, record: CrossLinkRecord) {
         self.delta.crosslinks.insert(shard.0, record);
+    }
+
+    fn lock(&self, addr: &Address) -> Option<XsLock> {
+        // Lock state is account-scoped: record under the account key so
+        // the declared sets (which already cover touched accounts) stay
+        // supersets of the actual footprint.
+        self.record(StateKey::Account(*addr));
+        match self.delta.locks.get(addr) {
+            Some(lock) => *lock,
+            None => self.base.lock(addr),
+        }
+    }
+
+    fn set_lock(&mut self, addr: Address, lock: XsLock) {
+        self.delta.locks.insert(addr, Some(lock));
+    }
+
+    fn clear_lock(&mut self, addr: &Address) {
+        self.delta.locks.insert(*addr, None);
+    }
+
+    fn xs_decision(&self, xid: &Hash256) -> Option<XsDecisionRecord> {
+        self.record(StateKey::XsDecision(*xid));
+        match self.delta.xs_decisions.get(xid) {
+            Some(decision) => Some(*decision),
+            None => self.base.xs_decision(xid),
+        }
+    }
+
+    fn set_xs_decision(&mut self, xid: Hash256, decision: XsDecisionRecord) {
+        self.delta.xs_decisions.insert(xid, decision);
     }
 }
 

@@ -17,6 +17,10 @@
 //! - `Anchor` writes `Anchor(label)` (the conflict check reads the same
 //!   label);
 //! - `CrossLink` writes `CrossLink(shard)`;
+//! - `XsPrepare` / `XsFinalize` write `Account(account)` of their leg —
+//!   lock state is account-scoped, so the account key already covers
+//!   both the balance and the lock; `XsDecide` writes
+//!   `XsDecision(xid)`;
 //! - `Deploy` writes `Contract(addr)` for the statically derivable
 //!   contract address; a non-empty constructor runs the deployed code,
 //!   so the code is classified via [`ContractRuntime::code_scope`];
@@ -60,6 +64,10 @@ pub enum StateKey {
     Anchor(String),
     /// The coordinator's cross-link record for one shard.
     CrossLink(u16),
+    /// The coordinator's commit/abort record for one cross-shard
+    /// transaction (2PC locks themselves are account-scoped and ride
+    /// under [`StateKey::Account`]).
+    XsDecision(crate::hash::Hash256),
 }
 
 /// The declared read/write footprint of one transaction.
@@ -135,6 +143,12 @@ pub fn infer_rw_set(
         TxPayload::Transfer { to, .. } => set.write(StateKey::Account(*to)),
         TxPayload::Anchor { label, .. } => set.write(StateKey::Anchor(label.clone())),
         TxPayload::CrossLink { shard, .. } => set.write(StateKey::CrossLink(shard.0)),
+        // 2PC lock state is account-scoped (DESIGN.md §12): prepare and
+        // finalize read/write the lock *and* the balance of the leg's
+        // account, both covered by `Account(account)`.
+        TxPayload::XsPrepare { leg, .. } => set.write(StateKey::Account(leg.account)),
+        TxPayload::XsFinalize { account, .. } => set.write(StateKey::Account(*account)),
+        TxPayload::XsDecide { xid, .. } => set.write(StateKey::XsDecision(*xid)),
         TxPayload::Deploy { code, init } => {
             if shard_count > 1 && shard.is_coordinator() {
                 // No data-shard address exists for a coordinator deploy;

@@ -30,6 +30,34 @@ pub struct CrossLinkRecord {
     pub tip: Hash256,
 }
 
+/// A two-phase-commit lock held on one account by an in-flight
+/// cross-shard transaction (DESIGN.md §12). Created by `XsPrepare`,
+/// released by `XsFinalize`. A debit-side lock has already escrowed
+/// `amount` out of the balance; an abort-finalize refunds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsLock {
+    /// Cross-shard transaction holding the lock.
+    pub xid: Hash256,
+    /// Amount escrowed (debit) or pending (credit).
+    pub amount: u64,
+    /// Whether this is the debit (escrow) side.
+    pub debit: bool,
+    /// Chain-time deadline after which the coordinator may abort.
+    pub deadline_ms: u64,
+}
+
+/// The coordinator chain's recorded commit/abort decision for one
+/// cross-shard transaction. At most one record ever exists per `xid`;
+/// participants resolve interrupted 2PC rounds against it on restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsDecisionRecord {
+    /// `true` for commit, `false` for abort.
+    pub commit: bool,
+    /// Id of the `XsDecide` transaction, so gateways can serve the
+    /// proof-carrying coordinator receipt for the decision.
+    pub tx_id: Hash256,
+}
+
 /// An account record: token balance and replay-protection nonce.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Account {
@@ -195,6 +223,8 @@ pub struct WorldState {
     code: BTreeMap<Address, Vec<u8>>,
     anchors: BTreeMap<String, Hash256>,
     crosslinks: BTreeMap<u16, CrossLinkRecord>,
+    locks: BTreeMap<Address, XsLock>,
+    xs_decisions: BTreeMap<Hash256, XsDecisionRecord>,
 }
 
 impl WorldState {
@@ -294,6 +324,28 @@ impl WorldState {
         self.crosslinks.iter().map(|(s, r)| (ShardId(*s), *r))
     }
 
+    /// The 2PC lock held on `addr`, if any (data shards only).
+    pub fn lock(&self, addr: &Address) -> Option<XsLock> {
+        self.locks.get(addr).copied()
+    }
+
+    /// All held 2PC locks as `(account, lock)` pairs, sorted by
+    /// account — what the cross-shard resolver scans after a restart.
+    pub fn locks(&self) -> impl Iterator<Item = (Address, XsLock)> + '_ {
+        self.locks.iter().map(|(a, l)| (*a, *l))
+    }
+
+    /// The coordinator's recorded decision for cross-shard transaction
+    /// `xid`, if one was ever committed (coordinator chains only).
+    pub fn xs_decision(&self, xid: &Hash256) -> Option<XsDecisionRecord> {
+        self.xs_decisions.get(xid).copied()
+    }
+
+    /// All recorded cross-shard decisions, sorted by `xid`.
+    pub fn xs_decisions(&self) -> impl Iterator<Item = (Hash256, XsDecisionRecord)> + '_ {
+        self.xs_decisions.iter().map(|(x, d)| (*x, *d))
+    }
+
     /// Deterministic commitment to the entire state.
     pub fn state_root(&self) -> Hash256 {
         let mut h = Sha256::new();
@@ -321,6 +373,18 @@ impl WorldState {
             h.update(&shard.to_le_bytes());
             h.update(&link.height.to_le_bytes());
             h.update(&link.tip.0);
+        }
+        for (addr, lock) in &self.locks {
+            h.update(&addr.0);
+            h.update(&lock.xid.0);
+            h.update(&lock.amount.to_le_bytes());
+            h.update(&[u8::from(lock.debit)]);
+            h.update(&lock.deadline_ms.to_le_bytes());
+        }
+        for (xid, decision) in &self.xs_decisions {
+            h.update(&xid.0);
+            h.update(&[u8::from(decision.commit)]);
+            h.update(&decision.tx_id.0);
         }
         h.finalize()
     }
@@ -378,6 +442,28 @@ impl WorldState {
             h.update(&link.height.to_le_bytes());
             h.update(&link.tip.0);
         });
+        merged_for_each(&self.locks, &delta.locks, |addr, entry| {
+            let lock = match entry {
+                Merged::Base(l) => Some(l),
+                Merged::Delta(l) => l.as_ref(), // None tombstone: lock released
+            };
+            if let Some(lock) = lock {
+                h.update(&addr.0);
+                h.update(&lock.xid.0);
+                h.update(&lock.amount.to_le_bytes());
+                h.update(&[u8::from(lock.debit)]);
+                h.update(&lock.deadline_ms.to_le_bytes());
+            }
+        });
+        merged_for_each(&self.xs_decisions, &delta.xs_decisions, |xid, entry| {
+            let decision = match entry {
+                Merged::Base(d) => d,
+                Merged::Delta(d) => d,
+            };
+            h.update(&xid.0);
+            h.update(&[u8::from(decision.commit)]);
+            h.update(&decision.tx_id.0);
+        });
         h.finalize()
     }
 
@@ -386,7 +472,8 @@ impl WorldState {
     /// after the in-memory mutation.
     pub(crate) fn apply_delta(&mut self, delta: StateDelta) -> StateUndo {
         let mut undo = StateUndo::default();
-        let StateDelta { accounts, storage, code, anchors, crosslinks } = delta;
+        let StateDelta { accounts, storage, code, anchors, crosslinks, locks, xs_decisions } =
+            delta;
         for (addr, account) in accounts {
             undo.accounts.push((addr, self.accounts.insert(addr, account)));
         }
@@ -406,6 +493,16 @@ impl WorldState {
         }
         for (shard, link) in crosslinks {
             undo.crosslinks.push((shard, self.crosslinks.insert(shard, link)));
+        }
+        for (addr, lock) in locks {
+            let prior = match lock {
+                Some(lock) => self.locks.insert(addr, lock),
+                None => self.locks.remove(&addr),
+            };
+            undo.locks.push((addr, prior));
+        }
+        for (xid, decision) in xs_decisions {
+            undo.xs_decisions.push((xid, self.xs_decisions.insert(xid, decision)));
         }
         undo
     }
@@ -440,6 +537,18 @@ impl WorldState {
             match prior {
                 Some(link) => self.crosslinks.insert(shard, link),
                 None => self.crosslinks.remove(&shard),
+            };
+        }
+        for (addr, prior) in undo.locks {
+            match prior {
+                Some(lock) => self.locks.insert(addr, lock),
+                None => self.locks.remove(&addr),
+            };
+        }
+        for (xid, prior) in undo.xs_decisions {
+            match prior {
+                Some(decision) => self.xs_decisions.insert(xid, decision),
+                None => self.xs_decisions.remove(&xid),
             };
         }
     }
@@ -487,6 +596,26 @@ impl StateAccess for WorldState {
     fn set_cross_link(&mut self, shard: ShardId, record: CrossLinkRecord) {
         self.crosslinks.insert(shard.0, record);
     }
+
+    fn lock(&self, addr: &Address) -> Option<XsLock> {
+        WorldState::lock(self, addr)
+    }
+
+    fn set_lock(&mut self, addr: Address, lock: XsLock) {
+        self.locks.insert(addr, lock);
+    }
+
+    fn clear_lock(&mut self, addr: &Address) {
+        self.locks.remove(addr);
+    }
+
+    fn xs_decision(&self, xid: &Hash256) -> Option<XsDecisionRecord> {
+        WorldState::xs_decision(self, xid)
+    }
+
+    fn set_xs_decision(&mut self, xid: Hash256, decision: XsDecisionRecord) {
+        self.xs_decisions.insert(xid, decision);
+    }
 }
 
 /// Prior values captured by [`WorldState::apply_delta`], `None` meaning
@@ -498,6 +627,8 @@ pub(crate) struct StateUndo {
     code: Vec<(Address, Option<Vec<u8>>)>,
     anchors: Vec<(String, Option<Hash256>)>,
     crosslinks: Vec<(u16, Option<CrossLinkRecord>)>,
+    locks: Vec<(Address, Option<XsLock>)>,
+    xs_decisions: Vec<(Hash256, Option<XsDecisionRecord>)>,
 }
 
 /// One entry of a merge-join over a committed map and a delta map.
@@ -587,6 +718,14 @@ pub enum LedgerError {
     },
     /// An anchor label was re-registered with a different root.
     AnchorConflict(String),
+    /// The account is locked by an in-flight cross-shard transaction
+    /// (DESIGN.md §12); admission defers until the lock resolves.
+    AccountLocked {
+        /// Locked account.
+        address: Address,
+        /// Cross-shard transaction holding the lock.
+        xid: Hash256,
+    },
     /// The attached [`BlockStore`] failed to persist the block; the
     /// in-memory commit was aborted (write-ahead ordering).
     Storage(String),
@@ -615,6 +754,9 @@ impl fmt::Display for LedgerError {
             }
             LedgerError::AnchorConflict(label) => {
                 write!(f, "anchor label {label:?} already registered with different root")
+            }
+            LedgerError::AccountLocked { address, xid } => {
+                write!(f, "account {address:?} locked by cross-shard transaction {xid:?}")
             }
             LedgerError::Storage(e) => write!(f, "block store rejected commit: {e}"),
         }
@@ -909,6 +1051,25 @@ impl Ledger {
                 got: tx.nonce,
             });
         }
+        self.check_locks(tx)
+    }
+
+    /// Lock-aware admission (DESIGN.md §12): while a 2PC lock is held
+    /// on an account, any new balance-moving transaction touching it is
+    /// deferred instead of queueing work that is guaranteed to fail
+    /// execution. `XsFinalize` stays admissible — it is what releases
+    /// the lock.
+    fn check_locks(&self, tx: &Transaction) -> Result<(), LedgerError> {
+        let touched: &[&Address] = match &tx.payload {
+            crate::tx::TxPayload::Transfer { to, .. } => &[&tx.sender, to],
+            crate::tx::TxPayload::XsPrepare { leg, .. } => &[&leg.account],
+            _ => &[],
+        };
+        for addr in touched {
+            if let Some(lock) = self.state.lock(addr) {
+                return Err(LedgerError::AccountLocked { address: **addr, xid: lock.xid });
+            }
+        }
         Ok(())
     }
 
@@ -928,7 +1089,7 @@ impl Ledger {
                 got: tx.nonce,
             });
         }
-        Ok(())
+        self.check_locks(tx)
     }
 
     /// Builds an unsealed block extending the tip with `txs`, executing
@@ -1532,12 +1693,24 @@ mod tests {
 }
 
 mod codec_impls {
-    use super::{Account, CrossLinkRecord, Event, Receipt, WorldState};
+    use super::{
+        Account, CrossLinkRecord, Event, Receipt, WorldState, XsDecisionRecord, XsLock,
+    };
     use medchain_runtime::impl_codec_struct;
 
     impl_codec_struct!(Account { balance, nonce });
     impl_codec_struct!(Event { contract, topic, data });
     impl_codec_struct!(Receipt { tx_id, ok, gas_used, output, events, error });
     impl_codec_struct!(CrossLinkRecord { height, tip });
-    impl_codec_struct!(WorldState { accounts, storage, code, anchors, crosslinks });
+    impl_codec_struct!(XsLock { xid, amount, debit, deadline_ms });
+    impl_codec_struct!(XsDecisionRecord { commit, tx_id });
+    impl_codec_struct!(WorldState {
+        accounts,
+        storage,
+        code,
+        anchors,
+        crosslinks,
+        locks,
+        xs_decisions
+    });
 }

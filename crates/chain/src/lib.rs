@@ -50,6 +50,7 @@ pub use exec::{ExecScope, RwSet, StateAccess, StateDelta, StateKey, WorldStateOv
 pub use hash::{Hash256, Sha256};
 pub use ledger::{
     ContractRuntime, CrossLinkRecord, Event, ExecError, ExecOutcome, Ledger, Receipt, WorldState,
+    XsDecisionRecord, XsLock,
 };
 pub use mempool::Lane;
 pub use merkle::{MerkleProof, MerkleTree};
@@ -59,4 +60,4 @@ pub use receipt::TxReceipt;
 pub use shard::{shard_for_key, shard_for_tx, sharded_contract_address, CrossLink, ShardId};
 pub use sig::{Address, AuthorityKey, AuthoritySignature, KeyRegistry};
 pub use store::{BlockStore, MemStore, StoreError};
-pub use tx::{Transaction, TxPayload};
+pub use tx::{Transaction, TxPayload, XsLeg};

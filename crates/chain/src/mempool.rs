@@ -100,6 +100,16 @@ impl Mempool {
 
     /// Sets the capacity slice reserved for priority-lane admissions
     /// (clamped to the pool capacity).
+    ///
+    /// Resizing never evicts queued transactions: if the reserve grows
+    /// while the pool already holds more than `capacity - reserve`
+    /// transactions, the existing occupancy stays queued and drains
+    /// through [`Mempool::take_batch`]/[`Mempool::prune`] as usual. The
+    /// new limit binds at *admission* time only — normal-lane inserts
+    /// are rejected with [`InsertOutcome::Full`] until the pool shrinks
+    /// back below `capacity - reserve`, and priority-lane inserts keep
+    /// the full capacity. Property-tested in
+    /// `reserve_resize_never_evicts_and_binds_at_admission`.
     pub fn set_priority_reserve(&mut self, reserve: usize) {
         self.priority_reserve = reserve.min(self.capacity);
     }
@@ -537,6 +547,74 @@ mod tests {
                 }
                 ensure_eq!(pool.len(), pool.queued());
                 ensure_eq!(pool.len(), pool.lane_len(Lane::Priority) + pool.lane_len(Lane::Normal));
+            }
+            Ok(())
+        });
+    }
+
+    /// Post-resize invariant of [`Mempool::set_priority_reserve`]: a
+    /// reserve change never evicts queued transactions, and the new
+    /// limit binds at admission — a fresh normal-lane insert succeeds
+    /// iff `len < capacity - reserve`, a priority-lane insert iff
+    /// `len < capacity` (sticky sender lanes aside, which the probe
+    /// senders below avoid by being fresh each check).
+    #[test]
+    fn reserve_resize_never_evicts_and_binds_at_admission() {
+        use medchain_runtime::check::{check, CheckConfig};
+        use medchain_runtime::{ensure, ensure_eq};
+        let keys: Vec<AuthorityKey> = (0..4).map(AuthorityKey::from_seed).collect();
+        check("mempool reserve resize invariant", CheckConfig::cases(64), |g| {
+            let capacity = g.usize_in(2, 24);
+            let mut pool = Mempool::new(capacity);
+            let mut probe_seed = 100u64;
+            let steps = g.usize_in(1, 40);
+            for _ in 0..steps {
+                match g.usize_in(0, 4) {
+                    0 | 1 => {
+                        let key = &keys[g.usize_in(0, keys.len() - 1)];
+                        let nonce = g.u64() % 8;
+                        let lane =
+                            if g.usize_in(0, 1) == 0 { Lane::Priority } else { Lane::Normal };
+                        pool.try_insert_in(tx(key, nonce), lane);
+                    }
+                    2 => {
+                        // Resize, possibly past current occupancy. Must
+                        // never evict.
+                        let before = pool.len();
+                        pool.set_priority_reserve(g.usize_in(0, capacity + 4));
+                        ensure_eq!(pool.len(), before);
+                    }
+                    _ => {
+                        let floor = g.u64() % 8;
+                        pool.take_batch(g.usize_in(0, 6), |_| floor);
+                    }
+                }
+                ensure!(
+                    pool.priority_reserve <= capacity,
+                    "reserve clamped to capacity"
+                );
+                // Probe both lanes with fresh senders (fresh sender =
+                // no sticky-lane coercion, no slot replacement).
+                for (lane, limit) in [
+                    (Lane::Normal, capacity - pool.priority_reserve),
+                    (Lane::Priority, capacity),
+                ] {
+                    let probe = AuthorityKey::from_seed(probe_seed);
+                    probe_seed += 1;
+                    let before = pool.len();
+                    let outcome = pool.try_insert_in(tx(&probe, 0), lane);
+                    if before < limit {
+                        ensure_eq!(outcome, InsertOutcome::Inserted(lane));
+                        // Undo the probe so it doesn't skew occupancy.
+                        pool.take_batch(usize::MAX, |s| {
+                            if *s == probe.address() { 0 } else { u64::MAX }
+                        });
+                        ensure_eq!(pool.len(), before);
+                    } else {
+                        ensure_eq!(outcome, InsertOutcome::Full);
+                    }
+                }
+                ensure_eq!(pool.len(), pool.queued());
             }
             Ok(())
         });

@@ -18,6 +18,9 @@
 //!   address) or anchor label.
 //! * `CrossLink` → never routed to a data shard; it executes only on the
 //!   coordinator chain ([`ShardId::COORDINATOR`]).
+//! * `XsPrepare` → the shard named by its leg; `XsFinalize` → the locked
+//!   account's home shard; `XsDecide` → the coordinator chain, like
+//!   `CrossLink` (two-phase commit, DESIGN.md §12).
 //!
 //! Contract addresses on a sharded ledger are derived by
 //! [`sharded_contract_address`], which grinds a salt until the address
@@ -92,7 +95,9 @@ pub fn shard_for_tx(tx: &Transaction, shard_count: u16) -> ShardId {
     match &tx.payload {
         TxPayload::Invoke { contract, .. } => shard_for_key(&contract.0, shard_count),
         TxPayload::Anchor { label, .. } => shard_for_key(label.as_bytes(), shard_count),
-        TxPayload::CrossLink { .. } => ShardId::COORDINATOR,
+        TxPayload::CrossLink { .. } | TxPayload::XsDecide { .. } => ShardId::COORDINATOR,
+        TxPayload::XsPrepare { leg, .. } => leg.shard,
+        TxPayload::XsFinalize { account, .. } => shard_for_key(&account.0, shard_count),
         TxPayload::Transfer { .. } | TxPayload::Deploy { .. } => {
             shard_for_key(&tx.sender.0, shard_count)
         }
@@ -207,6 +212,18 @@ mod tests {
             tip: Hash256::ZERO,
         });
         assert_eq!(shard_for_tx(&link, k), ShardId::COORDINATOR);
+        let account = Address::from_seed(5);
+        let prepare = mk(TxPayload::XsPrepare {
+            xid: Hash256::digest(b"xfer"),
+            leg: crate::tx::XsLeg { shard: ShardId(3), account, amount: 5, debit: true },
+            deadline_ms: 1_000,
+        });
+        assert_eq!(shard_for_tx(&prepare, k), ShardId(3), "prepare runs on its leg's shard");
+        let decide = mk(TxPayload::XsDecide { xid: Hash256::digest(b"xfer"), commit: true });
+        assert_eq!(shard_for_tx(&decide, k), ShardId::COORDINATOR);
+        let finalize =
+            mk(TxPayload::XsFinalize { xid: Hash256::digest(b"xfer"), account, commit: true });
+        assert_eq!(shard_for_tx(&finalize, k), shard_for_key(&account.0, k));
     }
 
     #[test]

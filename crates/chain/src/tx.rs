@@ -54,6 +54,58 @@ pub enum TxPayload {
         /// Digest of the shard's tip block header.
         tip: Hash256,
     },
+    /// Phase one of a cross-shard atomic transfer (DESIGN.md §12):
+    /// lock one leg's account on the participant shard named by the
+    /// leg. A debit leg escrows the amount at prepare time; a credit
+    /// leg only records the pending credit. The lock receipt is the
+    /// ordinary transaction receipt committed on that shard's
+    /// sub-chain.
+    XsPrepare {
+        /// Cross-shard transaction id shared by every leg.
+        xid: Hash256,
+        /// The leg this prepare locks.
+        leg: XsLeg,
+        /// Chain-time deadline after which the coordinator may
+        /// record an abort for `xid` (timeout-abort path).
+        deadline_ms: u64,
+    },
+    /// Coordinator-chain decision for a cross-shard transaction:
+    /// commit or abort. Only valid on the coordinator ledger; at most
+    /// one decision per `xid` is ever recorded, and participants
+    /// resolve interrupted 2PC rounds against it on restart.
+    XsDecide {
+        /// The cross-shard transaction being decided.
+        xid: Hash256,
+        /// `true` to commit, `false` to abort.
+        commit: bool,
+    },
+    /// Phase two on a participant shard: apply the coordinator's
+    /// decision to the lock held for `account`, paying out a credit
+    /// leg / refunding an aborted debit leg, and releasing the lock.
+    XsFinalize {
+        /// The cross-shard transaction being finalized.
+        xid: Hash256,
+        /// The locked account this finalize releases.
+        account: Address,
+        /// The coordinator's decision being applied.
+        commit: bool,
+    },
+}
+
+/// One leg of a cross-shard transfer: which shard it executes on,
+/// which account it touches, and whether it debits (escrow at
+/// prepare) or credits (pay out at commit-finalize).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsLeg {
+    /// The shard this leg must execute on.
+    pub shard: crate::shard::ShardId,
+    /// The account locked by this leg.
+    pub account: Address,
+    /// Amount moved by this leg, in base units.
+    pub amount: u64,
+    /// `true` for the debit (escrow) side, `false` for the credit
+    /// side.
+    pub debit: bool,
 }
 
 impl TxPayload {
@@ -65,6 +117,9 @@ impl TxPayload {
             TxPayload::Invoke { input, .. } => 20 + input.len(),
             TxPayload::Anchor { label, .. } => 32 + label.len(),
             TxPayload::CrossLink { .. } => 42,
+            TxPayload::XsPrepare { .. } => 71,
+            TxPayload::XsDecide { .. } => 33,
+            TxPayload::XsFinalize { .. } => 53,
         }
     }
 }
@@ -123,6 +178,26 @@ impl Transaction {
                 out.extend_from_slice(&shard.0.to_le_bytes());
                 out.extend_from_slice(&height.to_le_bytes());
                 out.extend_from_slice(&tip.0);
+            }
+            TxPayload::XsPrepare { xid, leg, deadline_ms } => {
+                out.push(5);
+                out.extend_from_slice(&xid.0);
+                out.extend_from_slice(&leg.shard.0.to_le_bytes());
+                out.extend_from_slice(&leg.account.0);
+                out.extend_from_slice(&leg.amount.to_le_bytes());
+                out.push(u8::from(leg.debit));
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            TxPayload::XsDecide { xid, commit } => {
+                out.push(6);
+                out.extend_from_slice(&xid.0);
+                out.push(u8::from(*commit));
+            }
+            TxPayload::XsFinalize { xid, account, commit } => {
+                out.push(7);
+                out.extend_from_slice(&xid.0);
+                out.extend_from_slice(&account.0);
+                out.push(u8::from(*commit));
             }
         }
         out
@@ -238,6 +313,37 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_payloads_round_trip_and_have_distinct_ids() {
+        use crate::shard::ShardId;
+        use medchain_runtime::codec::{Decode, Encode};
+        let key = AuthorityKey::from_seed(4);
+        let leg = XsLeg {
+            shard: ShardId(1),
+            account: Address::from_seed(7),
+            amount: 25,
+            debit: true,
+        };
+        let payloads = [
+            TxPayload::XsPrepare { xid: Hash256::digest(b"x"), leg, deadline_ms: 9_000 },
+            TxPayload::XsDecide { xid: Hash256::digest(b"x"), commit: true },
+            TxPayload::XsDecide { xid: Hash256::digest(b"x"), commit: false },
+            TxPayload::XsFinalize {
+                xid: Hash256::digest(b"x"),
+                account: Address::from_seed(7),
+                commit: true,
+            },
+        ];
+        let mut ids = std::collections::BTreeSet::new();
+        for payload in payloads {
+            let tx = Transaction::new(key.address(), 0, payload.clone(), 100).signed(&key);
+            assert!(tx.verify(&registry_with(&key)));
+            assert_eq!(TxPayload::decoded(&payload.encoded()).unwrap(), payload);
+            ids.insert(tx.id());
+        }
+        assert_eq!(ids.len(), 4, "each payload shape must hash distinctly");
+    }
+
+    #[test]
     fn wire_size_tracks_payload() {
         let small = TxPayload::Invoke { contract: Address::from_seed(0), input: vec![0; 4] };
         let large = TxPayload::Invoke { contract: Address::from_seed(0), input: vec![0; 400] };
@@ -246,7 +352,7 @@ mod tests {
 }
 
 mod codec_impls {
-    use super::{Transaction, TxPayload};
+    use super::{Transaction, TxPayload, XsLeg};
     use medchain_runtime::{impl_codec_enum, impl_codec_struct};
 
     impl_codec_enum!(TxPayload {
@@ -255,6 +361,10 @@ mod codec_impls {
         2 => Invoke { contract, input },
         3 => Anchor { root, label },
         4 => CrossLink { shard, height, tip },
+        5 => XsPrepare { xid, leg, deadline_ms },
+        6 => XsDecide { xid, commit },
+        7 => XsFinalize { xid, account, commit },
     });
+    impl_codec_struct!(XsLeg { shard, account, amount, debit });
     impl_codec_struct!(Transaction { sender, nonce, payload, gas_limit, signature });
 }

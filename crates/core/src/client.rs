@@ -153,9 +153,66 @@ impl Client {
                 shard: receipt.shard,
                 lane: Lane::Normal,
             }),
-            GatewayResponse::Unknown { .. } => {
-                Err(ClientError::Protocol(format!("Unknown in reply to Submit of {tx_id:?}")))
+            GatewayResponse::Unknown { .. } | GatewayResponse::XsDecision { .. } => {
+                Err(ClientError::Protocol(format!("bad reply to Submit of {tx_id:?}")))
             }
+        }
+    }
+
+    /// One coordinator-decision query for cross-shard transaction `xid`
+    /// (two-phase commit, DESIGN.md §12). Returns
+    /// `Some((commit, decision_receipt))` once decided, `None` while
+    /// undecided.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] / [`ClientError::Protocol`] on
+    /// transport trouble or a non-decision reply.
+    pub fn xs_status(
+        &mut self,
+        xid: Hash256,
+    ) -> Result<Option<(bool, Option<TxReceipt>)>, ClientError> {
+        match self.request(
+            &GatewayRequest::XsStatus { xid },
+            Instant::now() + Duration::from_secs(10),
+        )? {
+            GatewayResponse::XsDecision { decided: false, .. } => Ok(None),
+            GatewayResponse::XsDecision { commit, receipt, .. } => Ok(Some((commit, receipt))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected XsStatus reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Polls until the coordinator decides cross-shard transaction
+    /// `xid`, returning the verdict (`true` = commit). When the decision
+    /// receipt is retrievable its Merkle proof is verified locally
+    /// before the verdict is trusted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Timeout`] if the deadline passes,
+    /// [`ClientError::BadProof`] if the decision receipt does not
+    /// verify.
+    pub fn wait_xs_decision(
+        &mut self,
+        xid: Hash256,
+        timeout: Duration,
+    ) -> Result<bool, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some((commit, receipt)) = self.xs_status(xid)? {
+                if let Some(receipt) = receipt {
+                    if !receipt.verify() {
+                        return Err(ClientError::BadProof(xid));
+                    }
+                }
+                return Ok(commit);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout(xid));
+            }
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 

@@ -91,6 +91,12 @@ pub enum GatewayRequest {
         /// The transaction id being queried.
         tx_id: Hash256,
     },
+    /// Ask the coordinator's commit/abort verdict for a cross-shard
+    /// transaction (two-phase commit, DESIGN.md §12).
+    XsStatus {
+        /// The cross-shard transaction id being queried.
+        xid: Hash256,
+    },
 }
 
 /// A gateway-to-client message.
@@ -127,6 +133,19 @@ pub enum GatewayResponse {
         /// The transaction id.
         tx_id: Hash256,
     },
+    /// The coordinator's verdict on a cross-shard transaction.
+    XsDecision {
+        /// The cross-shard transaction id.
+        xid: Hash256,
+        /// Whether the coordinator has recorded a decision yet.
+        decided: bool,
+        /// The decision (meaningful only when `decided`): `true` =
+        /// commit, `false` = abort.
+        commit: bool,
+        /// The proof-carrying receipt of the coordinator's decision
+        /// transaction, when it is still retrievable.
+        receipt: Option<TxReceipt>,
+    },
 }
 
 mod codec_impls {
@@ -136,6 +155,7 @@ mod codec_impls {
     impl_codec_enum!(GatewayRequest {
         0 => Submit { tx, priority },
         1 => Status { tx_id },
+        2 => XsStatus { xid },
     });
     impl_codec_enum!(GatewayResponse {
         0 => Accepted { tx_id, shard, lane },
@@ -143,6 +163,7 @@ mod codec_impls {
         2 => Pending { tx_id },
         3 => Committed { receipt },
         4 => Unknown { tx_id },
+        5 => XsDecision { xid, decided, commit, receipt },
     });
 }
 
@@ -261,6 +282,15 @@ pub trait GatewayBackend {
 
     /// Whether the transaction id is pending in a mempool.
     fn is_pending(&self, tx_id: &Hash256) -> bool;
+
+    /// The coordinator's verdict on a cross-shard transaction:
+    /// `Some((commit, decision_receipt))` once decided, `None` while
+    /// undecided. Backends without a coordinator chain (single-chain
+    /// networks) keep the default: never decided.
+    fn xs_status(&self, xid: &Hash256) -> Option<(bool, Option<TxReceipt>)> {
+        let _ = xid;
+        None
+    }
 }
 
 /// Per-pump summary, for callers that drive the serve loop themselves.
@@ -305,6 +335,40 @@ impl SeenWindow {
     }
 }
 
+/// Bounded holding pen for transactions that passed signature
+/// verification but bounced off a full mempool. A resubmission of a
+/// held id retries admission directly — the (one-time) signature is
+/// never re-verified. FIFO-bounded like [`SeenWindow`]; an evicted
+/// entry simply costs the client one fresh verification on its next
+/// retry.
+struct VerifiedCache {
+    entries: HashMap<Hash256, (Transaction, bool)>,
+    order: VecDeque<Hash256>,
+    capacity: usize,
+}
+
+impl VerifiedCache {
+    fn new(capacity: usize) -> VerifiedCache {
+        VerifiedCache { entries: HashMap::new(), order: VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    fn insert(&mut self, id: Hash256, tx: Transaction, priority: bool) {
+        if self.entries.insert(id, (tx, priority)).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > self.capacity {
+                let evicted = self.order.pop_front().expect("non-empty");
+                self.entries.remove(&evicted);
+            }
+        }
+    }
+
+    fn take(&mut self, id: &Hash256) -> Option<(Transaction, bool)> {
+        // The id stays in `order` until an eviction sweep pops it;
+        // removing an already-taken id there is a no-op.
+        self.entries.remove(id)
+    }
+}
+
 /// The TCP ingress server. Owns the listener, per-connection reader
 /// threads, and the dedup window; admission happens when the owning
 /// network calls [`GatewayServer::pump`].
@@ -316,6 +380,7 @@ pub struct GatewayServer {
     stop: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
     seen: SeenWindow,
+    verified: VerifiedCache,
     metrics: Metrics,
 }
 
@@ -371,6 +436,7 @@ impl GatewayServer {
             })
         };
         let seen = SeenWindow::new(config.dedup_capacity);
+        let verified = VerifiedCache::new(config.dedup_capacity);
         Ok(GatewayServer {
             config,
             addr,
@@ -379,6 +445,7 @@ impl GatewayServer {
             stop,
             acceptor: Some(acceptor),
             seen,
+            verified,
             metrics,
         })
     }
@@ -409,6 +476,21 @@ impl GatewayServer {
                     report.status_queries += 1;
                     responses.push((conn, Self::status_of(backend, &self.seen, tx_id)));
                 }
+                GatewayRequest::XsStatus { xid } => {
+                    report.status_queries += 1;
+                    let response = match backend.xs_status(&xid) {
+                        Some((commit, receipt)) => {
+                            GatewayResponse::XsDecision { xid, decided: true, commit, receipt }
+                        }
+                        None => GatewayResponse::XsDecision {
+                            xid,
+                            decided: false,
+                            commit: false,
+                            receipt: None,
+                        },
+                    };
+                    responses.push((conn, response));
+                }
                 GatewayRequest::Submit { tx, priority } => {
                     let tx_id = tx.id();
                     // Dedup BEFORE signature work: a retried submission
@@ -418,6 +500,20 @@ impl GatewayServer {
                         report.dedup_hits += 1;
                         self.metrics.counter("gateway.dedup_hits", 1);
                         responses.push((conn, Self::status_of(backend, &self.seen, tx_id)));
+                    } else if let Some((cached, cached_priority)) = self.verified.take(&tx_id) {
+                        // Verified earlier but bounced off a full pool:
+                        // retry admission on the cached copy — the
+                        // one-time signature is NOT re-verified.
+                        report.submitted += 1;
+                        self.metrics.counter("gateway.cached_retries", 1);
+                        self.admit_verified_tx(
+                            backend,
+                            conn,
+                            cached,
+                            cached_priority || priority,
+                            &mut report,
+                            &mut responses,
+                        );
                     } else {
                         fresh.push((conn, tx, priority));
                     }
@@ -426,7 +522,7 @@ impl GatewayServer {
         }
 
         if !fresh.is_empty() {
-            report.submitted = fresh.len();
+            report.submitted += fresh.len();
             self.metrics.counter("gateway.submits", fresh.len() as u64);
             self.metrics.observe("gateway.batch_size", fresh.len() as f64);
             self.metrics.counter("gateway.sig_batches", 1);
@@ -457,49 +553,7 @@ impl GatewayServer {
                     ));
                     continue;
                 }
-                // Fee-style lane policy: priority is granted only when
-                // requested AND the gas limit clears the floor.
-                let lane = if priority && tx.gas_limit >= self.config.priority_gas_floor {
-                    Lane::Priority
-                } else {
-                    Lane::Normal
-                };
-                let (shard, outcome) = backend.admit_verified(tx, lane);
-                match outcome {
-                    SubmitOutcome::Admitted { lane, .. } => {
-                        report.accepted += 1;
-                        self.seen.insert(tx_id);
-                        self.metrics.counter("gateway.accepted", 1);
-                        if lane == Lane::Priority {
-                            self.metrics.counter("gateway.priority_admitted", 1);
-                        }
-                        responses.push((conn, GatewayResponse::Accepted { tx_id, shard, lane }));
-                    }
-                    SubmitOutcome::Duplicate => {
-                        // Already pending on the backend (e.g. submitted
-                        // through the in-process API): treat as seen.
-                        report.dedup_hits += 1;
-                        self.seen.insert(tx_id);
-                        self.metrics.counter("gateway.dedup_hits", 1);
-                        responses.push((conn, GatewayResponse::Pending { tx_id }));
-                    }
-                    SubmitOutcome::Full => {
-                        report.rejected += 1;
-                        self.metrics.counter("gateway.full_rejects", 1);
-                        responses.push((
-                            conn,
-                            GatewayResponse::Rejected { tx_id, reason: "mempool full".into() },
-                        ));
-                    }
-                    SubmitOutcome::Inadmissible => {
-                        report.rejected += 1;
-                        self.metrics.counter("gateway.inadmissible", 1);
-                        responses.push((
-                            conn,
-                            GatewayResponse::Rejected { tx_id, reason: "bad nonce".into() },
-                        ));
-                    }
-                }
+                self.admit_verified_tx(backend, conn, tx, priority, &mut report, &mut responses);
             }
         }
 
@@ -515,6 +569,77 @@ impl GatewayServer {
         report
     }
 
+    /// Routes one verified transaction through the lane policy and
+    /// backend admission, recording the outcome. Shared by the fresh
+    /// batch path and the verified-cache retry path; a `Full` outcome
+    /// parks the transaction in the cache so its signature is never
+    /// verified again.
+    fn admit_verified_tx(
+        &mut self,
+        backend: &mut dyn GatewayBackend,
+        conn: u64,
+        tx: Transaction,
+        priority: bool,
+        report: &mut PumpReport,
+        responses: &mut Vec<(u64, GatewayResponse)>,
+    ) {
+        let tx_id = tx.id();
+        // Fee-style lane policy: priority is granted only when
+        // requested AND the gas limit clears the floor.
+        let lane = if priority && tx.gas_limit >= self.config.priority_gas_floor {
+            Lane::Priority
+        } else {
+            Lane::Normal
+        };
+        let (shard, outcome) = backend.admit_verified(tx.clone(), lane);
+        match outcome {
+            SubmitOutcome::Admitted { lane, .. } => {
+                report.accepted += 1;
+                self.seen.insert(tx_id);
+                self.metrics.counter("gateway.accepted", 1);
+                if lane == Lane::Priority {
+                    self.metrics.counter("gateway.priority_admitted", 1);
+                }
+                responses.push((conn, GatewayResponse::Accepted { tx_id, shard, lane }));
+            }
+            SubmitOutcome::Duplicate => {
+                // Already pending on the backend (e.g. submitted
+                // through the in-process API): treat as seen.
+                report.dedup_hits += 1;
+                self.seen.insert(tx_id);
+                self.metrics.counter("gateway.dedup_hits", 1);
+                responses.push((conn, GatewayResponse::Pending { tx_id }));
+            }
+            SubmitOutcome::Full => {
+                report.rejected += 1;
+                self.metrics.counter("gateway.full_rejects", 1);
+                // The signature work is already spent: park the
+                // verified transaction so a resubmission retries
+                // admission without re-verifying (one-time signatures
+                // must never be checked twice).
+                self.verified.insert(tx_id, tx, priority);
+                responses.push((
+                    conn,
+                    GatewayResponse::Rejected { tx_id, reason: "mempool full".into() },
+                ));
+            }
+            SubmitOutcome::Inadmissible => {
+                report.rejected += 1;
+                self.metrics.counter("gateway.inadmissible", 1);
+                responses.push((
+                    conn,
+                    GatewayResponse::Rejected { tx_id, reason: "bad nonce".into() },
+                ));
+            }
+        }
+    }
+
+    /// Status lookup order is a durability contract: the committed
+    /// receipt is consulted *first*, so a committed transaction keeps
+    /// answering `Committed` even after its id ages out of the bounded
+    /// seen-window — the window only widens `Pending`, it never gates
+    /// `Committed`. Regression-tested in `tests/gateway.rs`
+    /// (`committed_status_survives_seen_window_eviction`).
     fn status_of(
         backend: &dyn GatewayBackend,
         seen: &SeenWindow,
@@ -591,6 +716,7 @@ mod tests {
         let requests = [
             GatewayRequest::Submit { tx: tx.clone(), priority: true },
             GatewayRequest::Status { tx_id: tx.id() },
+            GatewayRequest::XsStatus { xid: Hash256::digest(b"xid") },
         ];
         for request in requests {
             assert_eq!(GatewayRequest::decoded(&request.encoded()).unwrap(), request);
@@ -604,10 +730,41 @@ mod tests {
             GatewayResponse::Rejected { tx_id: tx.id(), reason: "bad signature".into() },
             GatewayResponse::Pending { tx_id: tx.id() },
             GatewayResponse::Unknown { tx_id: tx.id() },
+            GatewayResponse::XsDecision {
+                xid: Hash256::digest(b"xid"),
+                decided: true,
+                commit: false,
+                receipt: None,
+            },
         ];
         for response in responses {
             assert_eq!(GatewayResponse::decoded(&response.encoded()).unwrap(), response);
         }
+    }
+
+    #[test]
+    fn verified_cache_is_bounded_and_take_removes() {
+        let key = AuthorityKey::from_seed(7);
+        let mk = |n: u64| {
+            Transaction::new(
+                key.address(),
+                n,
+                TxPayload::Transfer { to: key.address(), amount: 1 },
+                100,
+            )
+            .signed(&key)
+        };
+        let mut cache = VerifiedCache::new(2);
+        let txs: Vec<Transaction> = (0..3).map(mk).collect();
+        cache.insert(txs[0].id(), txs[0].clone(), false);
+        cache.insert(txs[1].id(), txs[1].clone(), true);
+        cache.insert(txs[2].id(), txs[2].clone(), false); // evicts txs[0]
+        assert!(cache.take(&txs[0].id()).is_none(), "FIFO-evicted");
+        let (cached, priority) = cache.take(&txs[1].id()).expect("still cached");
+        assert_eq!(cached, txs[1]);
+        assert!(priority);
+        assert!(cache.take(&txs[1].id()).is_none(), "take removes");
+        assert!(cache.take(&txs[2].id()).is_some());
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub use pipeline::{
     fda_integrity_sweep, run_gwas, run_query, train_federated, FdaSweepReport,
     FederatedPipelineReport, GwasPipelineReport, QueryPipelineReport,
 };
-pub use sharded::ShardedNetwork;
+pub use sharded::{ShardedNetwork, XsResolution, XsTransfer};
 pub use site::Site;

@@ -30,14 +30,15 @@ use medchain_chain::ledger::NullRuntime;
 use medchain_chain::net::{NodeId, SimTransport, TcpTransport, Transport};
 use medchain_chain::node::{ChainApp, SubmitOutcome};
 use medchain_chain::receipt::TxReceipt;
-use medchain_chain::shard::{shard_for_tx, CrossLink, ShardId};
+use medchain_chain::shard::{shard_for_key, shard_for_tx, CrossLink, ShardId};
 use medchain_chain::{
-    Address, AuthorityKey, Hash256, KeyRegistry, Lane, Receipt, Transaction, TxPayload,
+    Address, AuthorityKey, Hash256, KeyRegistry, Lane, Receipt, Transaction, TxPayload, XsLeg,
+    XsLock,
 };
 use medchain_contracts::runtime::Runtime;
 use medchain_runtime::metrics::Metrics;
 use medchain_storage::{DiskStore, RecoveryReport};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
 type PoaCluster = Cluster<PoaEngine, ChainApp, Box<dyn Transport<PoaMsg>>>;
@@ -57,6 +58,30 @@ impl Committee {
     }
 }
 
+/// Handle to an in-flight cross-shard transfer: two prepare legs under
+/// one transaction id, resolved by the coordinator chain
+/// ([`ShardedNetwork::begin_cross_shard_transfer`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsTransfer {
+    /// The cross-shard transaction id the coordinator decides on.
+    pub xid: Hash256,
+    /// The debit prepare leg on the sender's home shard.
+    pub debit: PendingTx,
+    /// The credit prepare leg on the receiver's home shard.
+    pub credit: PendingTx,
+}
+
+/// What one [`ShardedNetwork::resolve_cross_shard`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XsResolution {
+    /// Commit decisions submitted this pass.
+    pub committed: usize,
+    /// Timeout-abort decisions submitted this pass.
+    pub aborted: usize,
+    /// Finalize legs submitted this pass (locks released).
+    pub finalized: usize,
+}
+
 /// The sharded consortium: `k` data sub-chains plus the coordinator
 /// chain. Built with [`NetworkBuilder::shards`] +
 /// [`NetworkBuilder::build_sharded`].
@@ -74,6 +99,9 @@ pub struct ShardedNetwork {
     resumed: bool,
     gateway: Option<GatewayServer>,
     client_keys: Vec<AuthorityKey>,
+    /// Uniquifies locally-minted cross-shard transaction ids (two-phase
+    /// commit, DESIGN.md §12).
+    xs_seq: u64,
 }
 
 impl fmt::Debug for ShardedNetwork {
@@ -279,6 +307,7 @@ impl NetworkBuilder {
             resumed,
             gateway: None,
             client_keys,
+            xs_seq: 0,
         };
         if resumed {
             network.check_recovery_against_cross_links()?;
@@ -871,7 +900,11 @@ impl ShardedNetwork {
         use std::sync::atomic::Ordering;
         while !stop.load(Ordering::Relaxed) {
             self.pump_gateway();
-            if !self.advance_pending()? {
+            let advanced = self.advance_pending()?;
+            // Drive in-flight 2PC transfers: commit fully-locked ones,
+            // timeout-abort stragglers. Cheap when no locks are held.
+            self.resolve_cross_shard()?;
+            if !advanced {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         }
@@ -879,6 +912,7 @@ impl ShardedNetwork {
         while self.advance_pending()? {
             self.pump_gateway();
         }
+        self.resolve_cross_shard()?;
         Ok(())
     }
 
@@ -891,6 +925,224 @@ impl ShardedNetwork {
             committee.cluster.shutdown();
         }
         self.coordinator.cluster.shutdown();
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-shard atomic transfers: two-phase commit over the
+    // coordinator chain (DESIGN.md §12).
+    // ------------------------------------------------------------------
+
+    /// Wall/sim clock of the coordinator committee, the reference clock
+    /// for 2PC prepare deadlines.
+    pub fn now_ms(&self) -> u64 {
+        self.coordinator.cluster.net.now_ms()
+    }
+
+    /// Out-of-band funding for tests and experiments: credits `addr` on
+    /// every replica of its home-shard committee. Note this bypasses the
+    /// block pipeline — with storage configured it only survives restart
+    /// through a snapshot taken *after* it (commit a block with
+    /// `snapshot_every: 1`, or fund again on resume).
+    pub fn fund(&mut self, addr: Address, amount: u64) {
+        let shard = shard_for_key(&addr.0, self.shard_count());
+        for replica in &mut self.committees[shard.0 as usize].cluster.replicas {
+            replica.app.ledger_mut().state_mut().credit(addr, amount);
+        }
+    }
+
+    /// Spendable balance of `addr` on its home sub-chain.
+    pub fn balance_of(&self, addr: &Address) -> u64 {
+        let shard = shard_for_key(&addr.0, self.shard_count());
+        self.committees[shard.0 as usize].ledger().state().account(addr).balance
+    }
+
+    /// The 2PC lock held on `addr`'s home sub-chain, if any.
+    pub fn lock_of(&self, addr: &Address) -> Option<XsLock> {
+        let shard = shard_for_key(&addr.0, self.shard_count());
+        self.committees[shard.0 as usize].ledger().state().lock(addr)
+    }
+
+    /// Submits one 2PC prepare leg from `site`: lock `account` on its
+    /// home shard for cross-shard transaction `xid`, escrowing `amount`
+    /// when `debit`. The leg commits when its sub-chain next advances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::NoSuchSite`] / [`NetworkError::Rejected`]
+    /// as [`ShardedNetwork::submit_lane`] does (admission refuses a
+    /// prepare while the account is already locked).
+    pub fn submit_prepare(
+        &mut self,
+        site: usize,
+        xid: Hash256,
+        account: Address,
+        amount: u64,
+        debit: bool,
+        deadline_ms: u64,
+    ) -> Result<PendingTx, NetworkError> {
+        let shard = shard_for_key(&account.0, self.shard_count());
+        let leg = XsLeg { shard, account, amount, debit };
+        self.submit_lane(site, TxPayload::XsPrepare { xid, leg, deadline_ms }, 1_000, Lane::Normal)
+    }
+
+    /// Begins an atomic cross-shard transfer of `amount` from `site`'s
+    /// own account to `to`: submits a debit prepare on the sender's home
+    /// shard and a credit prepare on the receiver's. Once both legs
+    /// commit their locks, [`ShardedNetwork::resolve_cross_shard`]
+    /// commits the transfer on the coordinator chain and finalizes both
+    /// shards; if either leg never locks by `deadline_ms` (coordinator
+    /// clock), it aborts instead and the escrow is refunded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::Rejected`] when a leg is refused — a
+    /// refused *credit* leg leaves the debit lock behind, which the
+    /// resolver cleans up via timeout-abort after `deadline_ms`.
+    pub fn begin_cross_shard_transfer(
+        &mut self,
+        site: usize,
+        to: Address,
+        amount: u64,
+        deadline_ms: u64,
+    ) -> Result<XsTransfer, NetworkError> {
+        if site >= self.keys.len() {
+            return Err(NetworkError::NoSuchSite(site));
+        }
+        let from = self.keys[site].address();
+        self.xs_seq += 1;
+        let mut material = Vec::with_capacity(64);
+        material.extend_from_slice(&from.0);
+        material.extend_from_slice(&to.0);
+        material.extend_from_slice(&amount.to_le_bytes());
+        material.extend_from_slice(&deadline_ms.to_le_bytes());
+        material.extend_from_slice(&self.xs_seq.to_le_bytes());
+        let xid = Hash256::digest(&material);
+        self.metrics.counter("xs.transfers", 1);
+        let debit = self.submit_prepare(site, xid, from, amount, true, deadline_ms)?;
+        let credit = self.submit_prepare(site, xid, to, amount, false, deadline_ms)?;
+        Ok(XsTransfer { xid, debit, credit })
+    }
+
+    /// Every held lock across all data sub-chains, grouped by
+    /// cross-shard transaction id.
+    fn collect_locks(&self) -> BTreeMap<Hash256, Vec<(ShardId, Address, XsLock)>> {
+        let mut groups: BTreeMap<Hash256, Vec<(ShardId, Address, XsLock)>> = BTreeMap::new();
+        for (s, committee) in self.committees.iter().enumerate() {
+            for (addr, lock) in committee.ledger().state().locks() {
+                groups.entry(lock.xid).or_default().push((ShardId(s as u16), addr, lock));
+            }
+        }
+        groups
+    }
+
+    /// One resolver pass over every in-flight cross-shard transaction —
+    /// the consortium-side half of the 2PC protocol:
+    ///
+    /// 1. **Decide.** For each undecided transaction holding locks: if
+    ///    both the debit and the credit leg are locked, submit a commit
+    ///    decision to the coordinator chain; if any held leg's deadline
+    ///    has passed (and the partner leg never locked — e.g. its shard
+    ///    crashed), submit an abort. Decisions are write-once on the
+    ///    coordinator ledger.
+    /// 2. **Finalize.** For each held lock whose transaction the
+    ///    coordinator has decided, submit a finalize to the lock's shard:
+    ///    commit pays the credit out / keeps the debited escrow, abort
+    ///    refunds the escrow — then the lock is released either way.
+    ///
+    /// Safe to call repeatedly (and it is what
+    /// [`ShardedNetwork::serve_until`] calls between pump rounds): an
+    /// undecided transfer whose deadline has not passed is simply left
+    /// alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] on consensus stalls or refused
+    /// control-plane submissions.
+    pub fn resolve_cross_shard(&mut self) -> Result<XsResolution, NetworkError> {
+        let now_ms = self.now_ms();
+        let mut resolution = XsResolution::default();
+        // Phase 1: decide undecided transactions on the coordinator.
+        let groups = self.collect_locks();
+        let mut decides: Vec<(Hash256, bool)> = Vec::new();
+        for (xid, legs) in &groups {
+            if self.coordinator.ledger().state().xs_decision(xid).is_some() {
+                continue;
+            }
+            let debit_locked = legs.iter().any(|(_, _, l)| l.debit);
+            let credit_locked = legs.iter().any(|(_, _, l)| !l.debit);
+            if debit_locked && credit_locked {
+                // Both legs locked: the escrow exists, commit is safe.
+                decides.push((*xid, true));
+            } else if legs.iter().any(|(_, _, l)| l.deadline_ms < now_ms) {
+                // A leg never arrived and the deadline passed — abort so
+                // a crashed shard cannot wedge the survivors' accounts.
+                decides.push((*xid, false));
+            }
+        }
+        if !decides.is_empty() {
+            for &(xid, commit) in &decides {
+                self.submit_lane(0, TxPayload::XsDecide { xid, commit }, 1_000, Lane::Priority)?;
+                if commit {
+                    resolution.committed += 1;
+                    self.metrics.counter("xs.committed", 1);
+                } else {
+                    resolution.aborted += 1;
+                    self.metrics.counter("xs.aborted", 1);
+                }
+            }
+            self.advance_coordinator(2)?;
+        }
+        // Phase 2: finalize every lock the coordinator has decided.
+        let mut touched: BTreeSet<u16> = BTreeSet::new();
+        for (xid, legs) in self.collect_locks() {
+            let Some(decision) = self.coordinator.ledger().state().xs_decision(&xid) else {
+                continue;
+            };
+            for (shard, account, _) in legs {
+                self.submit_lane(
+                    0,
+                    TxPayload::XsFinalize { xid, account, commit: decision.commit },
+                    1_000,
+                    Lane::Priority,
+                )?;
+                touched.insert(shard.0);
+                resolution.finalized += 1;
+                self.metrics.counter("xs.finalized", 1);
+            }
+        }
+        for s in touched {
+            Self::advance_committee(&mut self.committees[s as usize], 2, self.block_interval_ms)?;
+        }
+        Ok(resolution)
+    }
+
+    /// Convenience path: begin a cross-shard transfer, commit both
+    /// prepare legs, resolve, and return `(xid, committed)` — the
+    /// coordinator's recorded verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if a leg fails to commit or resolution
+    /// stalls.
+    pub fn run_cross_shard_transfer(
+        &mut self,
+        site: usize,
+        to: Address,
+        amount: u64,
+        deadline_ms: u64,
+    ) -> Result<(Hash256, bool), NetworkError> {
+        let transfer = self.begin_cross_shard_transfer(site, to, amount, deadline_ms)?;
+        self.confirm(&transfer.debit)?;
+        self.confirm(&transfer.credit)?;
+        self.resolve_cross_shard()?;
+        let committed = self
+            .coordinator
+            .ledger()
+            .state()
+            .xs_decision(&transfer.xid)
+            .map(|d| d.commit)
+            .unwrap_or(false);
+        Ok((transfer.xid, committed))
     }
 
     /// Recovery invariant (DESIGN.md §9): every recovered sub-chain must
@@ -935,10 +1187,16 @@ impl GatewayBackend for ShardedNetwork {
     }
 
     fn admit_verified(&mut self, tx: Transaction, lane: Lane) -> (ShardId, SubmitOutcome) {
-        // External clients may not mint cross-links: those carry
-        // consortium attestations and only enter via
-        // `submit_cross_link`'s verification path.
-        if matches!(tx.payload, TxPayload::CrossLink { .. }) {
+        // External clients may not mint control-plane records: cross-links
+        // carry consortium attestations (enter via `submit_cross_link`'s
+        // verification path), and 2PC decisions/finalizes are the
+        // resolver's alone — a client forging a decide could release
+        // locks it never held. Prepares are fine: clients start
+        // transfers, the consortium resolves them.
+        if matches!(
+            tx.payload,
+            TxPayload::CrossLink { .. } | TxPayload::XsDecide { .. } | TxPayload::XsFinalize { .. }
+        ) {
             return (ShardId::COORDINATOR, SubmitOutcome::Inadmissible);
         }
         let shard = shard_for_tx(&tx, self.shard_count());
@@ -958,6 +1216,12 @@ impl GatewayBackend for ShardedNetwork {
             .iter()
             .chain(std::iter::once(&self.coordinator))
             .any(|c| c.cluster.replicas[0].app.mempool_contains(tx_id))
+    }
+
+    fn xs_status(&self, xid: &Hash256) -> Option<(bool, Option<TxReceipt>)> {
+        let decision = self.coordinator.ledger().state().xs_decision(xid)?;
+        let receipt = self.coordinator.cluster.replicas[0].app.tx_receipt(&decision.tx_id);
+        Some((decision.commit, receipt))
     }
 }
 
@@ -1067,6 +1331,115 @@ mod tests {
                 .unwrap();
             assert_eq!(routed, ShardId(s));
         }
+    }
+
+    /// An address whose home shard differs from `other`'s (for a
+    /// genuinely cross-shard transfer).
+    fn address_on_other_shard(other: Address, shards: u16) -> Address {
+        let home = shard_for_key(&other.0, shards);
+        (1000..)
+            .map(Address::from_seed)
+            .find(|a| shard_for_key(&a.0, shards) != home)
+            .unwrap()
+    }
+
+    #[test]
+    fn cross_shard_transfer_commits_atomically() {
+        let mut net = sharded(8, 2);
+        let from = net.keys[0].address();
+        let to = address_on_other_shard(from, 2);
+        net.fund(from, 100);
+        let deadline = net.now_ms() + 1_000_000;
+        let (xid, committed) = net.run_cross_shard_transfer(0, to, 40, deadline).unwrap();
+        assert!(committed, "both legs locked, so the coordinator commits");
+        // Debit applied on the sender's shard, credit on the receiver's.
+        assert_eq!(net.balance_of(&from), 60);
+        assert_eq!(net.balance_of(&to), 40);
+        // Both locks released, decision durable on the coordinator.
+        assert!(net.lock_of(&from).is_none());
+        assert!(net.lock_of(&to).is_none());
+        let decision = net.coordinator_ledger().state().xs_decision(&xid).expect("recorded");
+        assert!(decision.commit);
+        // A second resolver pass finds nothing left to do.
+        let again = net.resolve_cross_shard().unwrap();
+        assert_eq!(again, XsResolution::default());
+    }
+
+    #[test]
+    fn withheld_credit_leg_aborts_on_timeout_and_refunds_escrow() {
+        let mut net = sharded(8, 2);
+        let from = net.keys[0].address();
+        let to = address_on_other_shard(from, 2);
+        net.fund(from, 100);
+        // Only the debit leg is ever submitted — the "crashed shard"
+        // scenario: the credit lock never appears.
+        let xid = Hash256::digest(b"withheld-credit-leg");
+        let debit = net.submit_prepare(0, xid, from, 40, true, 0).unwrap();
+        net.confirm(&debit).unwrap();
+        assert_eq!(net.balance_of(&from), 60, "escrow taken at prepare");
+        assert!(net.lock_of(&from).is_some());
+        // Move the coordinator clock past the (already-expired) deadline.
+        net.advance_coordinator(1).unwrap();
+        let resolution = net.resolve_cross_shard().unwrap();
+        assert_eq!(resolution.aborted, 1);
+        assert_eq!(resolution.committed, 0);
+        assert_eq!(resolution.finalized, 1);
+        // The abort refunded the escrow and released the lock; the
+        // receiver saw nothing.
+        assert_eq!(net.balance_of(&from), 100);
+        assert_eq!(net.balance_of(&to), 0);
+        assert!(net.lock_of(&from).is_none());
+        let decision = net.coordinator_ledger().state().xs_decision(&xid).expect("recorded");
+        assert!(!decision.commit);
+    }
+
+    #[test]
+    fn undecided_transfer_before_deadline_is_left_alone() {
+        let mut net = sharded(4, 2);
+        let from = net.keys[0].address();
+        net.fund(from, 100);
+        let far = net.now_ms() + 1_000_000;
+        let xid = Hash256::digest(b"still-waiting");
+        let debit = net.submit_prepare(0, xid, from, 10, true, far).unwrap();
+        net.confirm(&debit).unwrap();
+        let resolution = net.resolve_cross_shard().unwrap();
+        assert_eq!(resolution, XsResolution::default(), "deadline not passed, no decision");
+        assert!(net.lock_of(&from).is_some(), "lock stays until decided");
+        assert!(net.coordinator_ledger().state().xs_decision(&xid).is_none());
+    }
+
+    #[test]
+    fn gateway_clients_cannot_mint_decides_or_finalizes() {
+        let mut net = sharded(4, 2);
+        let key = net.keys[1].clone();
+        for payload in [
+            TxPayload::XsDecide { xid: Hash256::digest(b"forged"), commit: true },
+            TxPayload::XsFinalize {
+                xid: Hash256::digest(b"forged"),
+                account: key.address(),
+                commit: true,
+            },
+        ] {
+            let tx = Transaction::new(key.address(), 0, payload, 1_000).signed(&key);
+            let (_, outcome) = GatewayBackend::admit_verified(&mut net, tx, Lane::Normal);
+            assert_eq!(outcome, SubmitOutcome::Inadmissible);
+        }
+    }
+
+    #[test]
+    fn locked_account_defers_new_prepares_until_release() {
+        let mut net = sharded(4, 2);
+        let from = net.keys[0].address();
+        net.fund(from, 100);
+        let far = net.now_ms() + 1_000_000;
+        let debit =
+            net.submit_prepare(0, Hash256::digest(b"first"), from, 10, true, far).unwrap();
+        net.confirm(&debit).unwrap();
+        // While the lock is held, a second prepare on the same account is
+        // refused at admission (not queued to fail later).
+        let err =
+            net.submit_prepare(0, Hash256::digest(b"second"), from, 10, true, far).unwrap_err();
+        assert!(matches!(err, NetworkError::Rejected { .. }), "got: {err:?}");
     }
 
     #[test]

@@ -155,6 +155,49 @@ if ! grep -q "0 proof failures" "$gateway_log"; then
 fi
 echo "ok: gateway served open-loop load and every receipt proof verified client-side"
 
+# Cross-shard atomicity (DESIGN.md §12): two-phase commit over the
+# coordinator chain. The example runs a committed transfer spanning both
+# shards of a 2-shard consortium, then kills a participant mid-prepare
+# and restarts the whole consortium from disk — the recovered lock must
+# timeout-abort and refund its escrow. Wall-clock guarded.
+echo "== 2pc: cross-shard transfer + crash-mid-prepare timeout-abort (wall-clock guarded) =="
+xs_log="$(mktemp)"
+trap 'rm -f "$metrics_tsv" "$restart_log" "$shard_log" "$gateway_log" "$xs_log"; rm -rf "$restart_dir" "$shard_dir"' EXIT
+timeout 120 cargo run --release -q --example cross_shard_transfer > "$xs_log"
+if ! grep -q "cross-shard transfer committed atomically" "$xs_log"; then
+    echo "ERROR: cross_shard_transfer did not commit a transfer atomically" >&2
+    cat "$xs_log" >&2
+    exit 1
+fi
+if ! grep -q "timeout-abort released all locks" "$xs_log"; then
+    echo "ERROR: cross_shard_transfer did not timeout-abort the crashed participant's lock" >&2
+    cat "$xs_log" >&2
+    exit 1
+fi
+echo "ok: 2PC committed across shards and timeout-aborted across a restart"
+
+# Scheduler-coverage guard: every TxPayload variant must have an
+# inferred read/write set — a variant missing from read_write_set.rs
+# would fall through to a conservative (or worse, wrong) schedule and
+# break parallel/sequential equivalence silently.
+echo "== exec: TxPayload read/write-set coverage guard =="
+variants="$(awk '
+    /^pub enum TxPayload \{/ { in_enum = 1; next }
+    in_enum && /^\}/ { exit }
+    in_enum && /^    [A-Za-z0-9_]+ \{/ { print $1 }
+' crates/chain/src/tx.rs)"
+if [ -z "$variants" ]; then
+    echo "ERROR: could not extract TxPayload variants from crates/chain/src/tx.rs" >&2
+    exit 1
+fi
+for variant in $variants; do
+    if ! grep -q "TxPayload::${variant}" crates/chain/src/exec/read_write_set.rs; then
+        echo "ERROR: TxPayload::${variant} has no rw-set arm in crates/chain/src/exec/read_write_set.rs" >&2
+        exit 1
+    fi
+done
+echo "ok: every TxPayload variant ($(echo "$variants" | wc -l)) has a read/write-set arm"
+
 # Admission-boundary guard: mempool insertion is the chain layer's job.
 # Everything outside crates/chain must go through the ChainApp submit
 # API (submit / submit_in / submit_verified), which runs dedup-before-

@@ -21,7 +21,7 @@ pub mod prelude {
     };
     pub use medchain::paradigms::{run_paradigm, Paradigm};
     pub use medchain::pipeline::{run_gwas, run_query, train_federated};
-    pub use medchain::{MedicalNetwork, ShardedNetwork, TransportKind};
+    pub use medchain::{MedicalNetwork, ShardedNetwork, TransportKind, XsResolution, XsTransfer};
 
     // Ingress: client gateway, trustless receipts, open-loop load
     // generation (DESIGN.md §10).
@@ -41,6 +41,7 @@ pub mod prelude {
     pub use medchain_chain::shard::{shard_for_key, shard_for_tx, CrossLink, ShardId};
     pub use medchain_chain::{
         Address, AuthorityKey, Hash256, KeyRegistry, MerkleTree, Transaction, TxPayload,
+        XsLeg,
     };
 
     // Durable persistence: block store trait plus the disk-backed

@@ -8,9 +8,11 @@ use std::time::{Duration, Instant};
 
 use medchain_chain::exec::StateAccess;
 use medchain_chain::ledger::{contract_address, Ledger};
+use medchain_chain::shard::ShardId;
 use medchain_chain::sig::AuthorityKey;
 use medchain_chain::{
     Address, Hash256, KeyRegistry, Receipt, Transaction, TxPayload, WorldState, WorldStateOverlay,
+    XsLeg,
 };
 use medchain_contracts::asm::assemble;
 use medchain_contracts::opcode::encode_program;
@@ -79,15 +81,20 @@ fn fresh_ledger() -> (Ledger, Address, Address) {
 
 /// One random transaction mixing every scheduling class: disjoint and
 /// hot-key transfers (per-account sets), anchors (label sets),
-/// self-contained invokes, global deploys/caller-invokes, and a
-/// deterministic failure against a missing contract.
+/// self-contained invokes, global deploys/caller-invokes, a
+/// deterministic failure against a missing contract, and 2PC
+/// prepare/decide/finalize legs (lock contention on a small account
+/// pool, so prepares and finalizes genuinely conflict within a block).
 fn random_tx(g: &mut Gen, i: usize, nonces: &mut HashMap<Address, u64>, adder: &Address, caller: &Address) -> Transaction {
     let keys = keys();
     let key = &keys[g.usize_in(0, keys.len())];
     let sender = key.address();
     let nonce = *nonces.get(&sender).unwrap_or(&0);
     nonces.insert(sender, nonce + 1);
-    let payload = match g.usize_in(0, 10) {
+    // Small pools: repeated xids/accounts make lock hand-offs happen.
+    let xs_xid = Hash256::digest(&[g.usize_in(0, 3) as u8]);
+    let xs_account = Address::from_seed(3_000_000 + g.usize_in(0, 3) as u64);
+    let payload = match g.usize_in(0, 13) {
         0..=3 => TxPayload::Transfer {
             to: Address::from_seed(2_000_000 + i as u64),
             amount: 1 + g.usize_in(0, 50) as u64,
@@ -111,10 +118,24 @@ fn random_tx(g: &mut Gen, i: usize, nonces: &mut HashMap<Address, u64>, adder: &
                 TxPayload::Deploy { code: adder_code(), init: Vec::new() }
             }
         }
-        _ => TxPayload::Invoke {
+        9 => TxPayload::Invoke {
             contract: Address::from_seed(0xDEAD),
             input: Vec::new(),
         },
+        10 | 11 => TxPayload::XsPrepare {
+            xid: xs_xid,
+            leg: XsLeg {
+                shard: ShardId::default(),
+                account: xs_account,
+                amount: g.usize_in(0, 20) as u64,
+                debit: g.bool(),
+            },
+            deadline_ms: g.usize_in(0, 1_000) as u64,
+        },
+        // Decides fail deterministically off the coordinator chain —
+        // the failure arm must still schedule identically.
+        12 => TxPayload::XsDecide { xid: xs_xid, commit: g.bool() },
+        _ => TxPayload::XsFinalize { xid: xs_xid, account: xs_account, commit: g.bool() },
     };
     Transaction::new(sender, nonce, payload, 100_000).signed(key)
 }

@@ -8,9 +8,12 @@
 //! priority-lane admission, and (4) the sharded topology routing
 //! gateway traffic onto the right sub-chains.
 
+use medchain::gateway::{GatewayBackend, GatewayServer};
 use medchain::{Client, GatewayConfig, MedicalNetwork, TransportKind};
-use medchain_chain::shard::shard_for_key;
-use medchain_chain::{Hash256, Lane, Transaction, TxPayload};
+use medchain_chain::node::SubmitOutcome;
+use medchain_chain::receipt::TxReceipt;
+use medchain_chain::shard::{shard_for_key, ShardId};
+use medchain_chain::{AuthorityKey, Hash256, KeyRegistry, Lane, Transaction, TxPayload};
 use medchain_runtime::metrics::Registry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -109,6 +112,132 @@ fn resubmission_never_reverifies_a_signature() {
     // of the same submission (Lamport safety).
     assert_eq!(registry.counter_value("gateway.sig_checks"), 1);
     assert!(registry.counter_value("gateway.dedup_hits") >= 2);
+    net.shutdown();
+}
+
+/// Backend stub that answers `Full` for the first `full_answers`
+/// admissions, then admits — the "mempool briefly saturated" scenario.
+struct FlakyPool {
+    registry: KeyRegistry,
+    full_answers: usize,
+    attempts: usize,
+    admitted: Vec<Hash256>,
+}
+
+impl GatewayBackend for FlakyPool {
+    fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+
+    fn admit_verified(&mut self, tx: Transaction, lane: Lane) -> (ShardId, SubmitOutcome) {
+        self.attempts += 1;
+        if self.attempts <= self.full_answers {
+            (ShardId::default(), SubmitOutcome::Full)
+        } else {
+            self.admitted.push(tx.id());
+            (ShardId::default(), SubmitOutcome::Admitted { lane, replaced: false })
+        }
+    }
+
+    fn find_receipt(&self, _tx_id: &Hash256) -> Option<TxReceipt> {
+        None
+    }
+
+    fn is_pending(&self, tx_id: &Hash256) -> bool {
+        self.admitted.contains(tx_id)
+    }
+}
+
+/// Lamport-safety regression for the full-mempool path: a transaction
+/// bounced with `mempool full` was verified but never admitted, so its
+/// resubmission must be served from the verified-tx holding pen — one
+/// signature check total, not one per attempt.
+#[test]
+fn full_mempool_retry_never_reverifies_a_signature() {
+    let registry = Registry::new();
+    let key = AuthorityKey::from_seed(0x5151);
+    let mut enrolled = KeyRegistry::new();
+    enrolled.enroll(&key);
+    let mut backend =
+        FlakyPool { registry: enrolled, full_answers: 1, attempts: 0, admitted: Vec::new() };
+    let mut gateway = GatewayServer::start(
+        GatewayConfig { clients: 0, ..GatewayConfig::default() },
+        registry.handle(),
+    )
+    .expect("gateway starts");
+    let addr = gateway.addr();
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let client_side = scope.spawn(|| {
+            let mut client = Client::connect(addr).expect("connects");
+            let tx = Transaction::new(key.address(), 0, anchor("full/retry"), 1_000).signed(&key);
+            // First attempt: verified, then bounced by the full mempool.
+            let err = client.submit(&tx, false).expect_err("mempool full");
+            assert!(err.to_string().contains("mempool full"), "got: {err}");
+            // Retry: admission succeeds without new signature work.
+            let pending = client.submit(&tx, false).expect("admitted on retry");
+            assert_eq!(pending.tx_id, tx.id());
+            done.store(true, Ordering::Relaxed);
+        });
+        while !done.load(Ordering::Relaxed) {
+            gateway.pump(&mut backend);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        client_side.join().expect("client thread");
+    });
+
+    assert_eq!(backend.attempts, 2, "one bounced admission, one successful");
+    assert_eq!(
+        registry.counter_value("gateway.sig_checks"),
+        1,
+        "the bounced tx must be retried from the verified cache"
+    );
+    assert_eq!(registry.counter_value("gateway.cached_retries"), 1);
+    gateway.shutdown();
+}
+
+/// Durability regression: a committed transaction must answer
+/// `Committed` even after its id ages out of the bounded dedup window —
+/// the receipt lookup, not the window, is the source of truth.
+#[test]
+fn committed_status_survives_seen_window_eviction() {
+    let mut builder = MedicalNetwork::builder().block_interval_ms(20).gateway(GatewayConfig {
+        clients: 1,
+        dedup_capacity: 2,
+        ..GatewayConfig::default()
+    });
+    for i in 0..3 {
+        builder = builder.site(&format!("h{i}"), Vec::new());
+    }
+    let mut net = builder.build().expect("network builds");
+    let addr = net.gateway_addr().expect("gateway listening");
+    let keys = net.client_keys().to_vec();
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let client_side = scope.spawn(|| {
+            let key = &keys[0];
+            let mut client = Client::connect(addr).expect("connects");
+            let first = Transaction::new(key.address(), 0, anchor("evict/first"), 1_000).signed(key);
+            let pending = client.submit(&first, false).expect("accepted");
+            client.wait_receipt(&pending, COMMIT_TIMEOUT).expect("commits");
+            // Churn the 2-slot seen window until `first` is evicted.
+            for (nonce, label) in [(1, "evict/second"), (2, "evict/third")] {
+                let tx = Transaction::new(key.address(), nonce, anchor(label), 1_000).signed(key);
+                let later = client.submit(&tx, false).expect("accepted");
+                client.wait_receipt(&later, COMMIT_TIMEOUT).expect("commits");
+            }
+            // The window forgot `first`; its receipt must not have.
+            let receipt =
+                client.wait_receipt(&pending, COMMIT_TIMEOUT).expect("still committed");
+            assert_eq!(receipt.tx_id, first.id());
+            assert!(receipt.verify());
+            stop.store(true, Ordering::Relaxed);
+        });
+        net.serve_until(&stop).expect("serving succeeds");
+        client_side.join().expect("client thread");
+    });
     net.shutdown();
 }
 

@@ -268,6 +268,124 @@ fn sharded_restart_rejects_subchain_rolled_back_behind_cross_link() {
     std::fs::remove_dir_all(&root).unwrap();
 }
 
+/// Builds a sharded net whose world state (balances *and* 2PC locks)
+/// snapshots on every block, so out-of-band test funding and held locks
+/// survive a kill-and-restart.
+fn sharded_net_2pc(root: &std::path::Path, sites: usize, shards: u16) -> ShardedNetwork {
+    let config = StorageConfig { snapshot_every: 1, ..StorageConfig::default() };
+    let mut builder = MedicalNetwork::builder()
+        .shards(shards)
+        .block_interval_ms(20)
+        .storage_with(root, config);
+    for i in 0..sites {
+        builder = builder.site(&format!("hospital-{i}"), Vec::new());
+    }
+    builder.build_sharded().expect("sharded network builds")
+}
+
+/// An address homed on a different shard than `other`.
+fn other_shard_address(other: Address, shards: u16) -> Address {
+    let home = shard_for_key(&other.0, shards);
+    (1000..)
+        .map(Address::from_seed)
+        .find(|a| shard_for_key(&a.0, shards) != home)
+        .unwrap()
+}
+
+/// Kill-and-restart in the middle of a two-phase commit, after the
+/// coordinator decided but before any shard finalized: the restart
+/// reconstructs both locks and the decision record from disk, and one
+/// resolver pass finishes the transfer exactly as the pre-crash
+/// coordinator decided — debit kept, credit paid, locks released.
+#[test]
+fn restart_mid_2pc_resolves_via_coordinator_record() {
+    let root = test_dir("2pc-mid-restart");
+    let from = AuthorityKey::from_seed(0).address(); // site 0's account
+    let to = other_shard_address(from, 2);
+
+    // First life: lock both legs, decide commit, crash before finalize.
+    let mut net = sharded_net_2pc(&root, 4, 2);
+    net.fund(from, 100);
+    let deadline = net.now_ms() + 1_000_000;
+    let transfer = net.begin_cross_shard_transfer(0, to, 40, deadline).unwrap();
+    net.confirm(&transfer.debit).unwrap();
+    net.confirm(&transfer.credit).unwrap();
+    net.submit_lane(0, TxPayload::XsDecide { xid: transfer.xid, commit: true }, 1_000, Lane::Priority)
+        .unwrap();
+    net.advance_coordinator(2).unwrap();
+    assert!(net.coordinator_ledger().state().xs_decision(&transfer.xid).is_some());
+    assert!(net.lock_of(&from).is_some(), "crash strikes before finalize");
+    assert!(net.lock_of(&to).is_some());
+    assert_eq!(net.balance_of(&from), 60, "escrow taken at prepare");
+    assert_eq!(net.balance_of(&to), 0);
+    drop(net);
+
+    // Second life: locks and the decision record come back from disk.
+    let mut net = sharded_net_2pc(&root, 4, 2);
+    assert!(net.resumed());
+    assert_eq!(net.lock_of(&from).map(|l| l.xid), Some(transfer.xid));
+    assert_eq!(net.lock_of(&to).map(|l| l.xid), Some(transfer.xid));
+    let decision =
+        net.coordinator_ledger().state().xs_decision(&transfer.xid).expect("decision durable");
+    assert!(decision.commit);
+    // One resolver pass finishes what the coordinator already decided.
+    let resolution = net.resolve_cross_shard().unwrap();
+    assert_eq!(resolution.finalized, 2);
+    assert_eq!(resolution.committed + resolution.aborted, 0, "no new decision needed");
+    assert_eq!(net.balance_of(&from), 60);
+    assert_eq!(net.balance_of(&to), 40);
+    assert!(net.lock_of(&from).is_none());
+    assert!(net.lock_of(&to).is_none());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A participant crash mid-prepare: the debit leg locked its shard, the
+/// credit leg's shard died and never locked. After a full
+/// kill-and-restart of the consortium the lock is reconstructed from
+/// disk, the resolver timeout-aborts past the deadline, the escrow is
+/// refunded, and the abort verdict itself survives another restart.
+#[test]
+fn kill_mid_prepare_timeout_aborts_after_restart_and_refunds() {
+    let root = test_dir("2pc-timeout-abort");
+    let from = AuthorityKey::from_seed(0).address();
+    let to = other_shard_address(from, 2);
+
+    // First life: only the debit leg ever locks (deadline already at 0),
+    // then the whole consortium dies mid-prepare.
+    let mut net = sharded_net_2pc(&root, 4, 2);
+    net.fund(from, 100);
+    let xid = Hash256::digest(b"crashed-participant");
+    let debit = net.submit_prepare(0, xid, from, 40, true, 0).unwrap();
+    net.confirm(&debit).unwrap();
+    assert_eq!(net.balance_of(&from), 60);
+    drop(net);
+
+    // Second life: the lock is reconstructed on replay; the resolver
+    // cannot wait for a shard that never locked — timeout-abort.
+    let mut net = sharded_net_2pc(&root, 4, 2);
+    assert!(net.resumed());
+    assert_eq!(net.lock_of(&from).map(|l| l.xid), Some(xid), "lock recovered from disk");
+    net.advance_coordinator(1).unwrap(); // move the clock past the deadline
+    let resolution = net.resolve_cross_shard().unwrap();
+    assert_eq!(resolution.aborted, 1);
+    assert_eq!(resolution.committed, 0);
+    assert_eq!(resolution.finalized, 1);
+    assert_eq!(net.balance_of(&from), 100, "escrow refunded");
+    assert_eq!(net.balance_of(&to), 0, "the receiver never saw a credit");
+    assert!(net.lock_of(&from).is_none(), "all locks released");
+    assert!(!net.coordinator_ledger().state().xs_decision(&xid).unwrap().commit);
+    drop(net);
+
+    // Third life: the abort is durable — nothing left to resolve.
+    let mut net = sharded_net_2pc(&root, 4, 2);
+    assert!(net.resumed());
+    assert!(net.lock_of(&from).is_none());
+    assert_eq!(net.balance_of(&from), 100);
+    assert!(!net.coordinator_ledger().state().xs_decision(&xid).unwrap().commit);
+    assert_eq!(net.resolve_cross_shard().unwrap(), XsResolution::default());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
 /// Restarting a `MedicalNetwork` from its data directory resumes at the
 /// persisted height with the identical tip hash, and the storage
 /// counters on the sink show the persistence actually happening.

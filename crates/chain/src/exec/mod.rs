@@ -210,6 +210,21 @@ pub(crate) fn execute_tx(
                         leg.account
                     ),
                 })
+            } else if leg.debit && tx.sender != leg.account {
+                // Only the owner may escrow its own funds. Prepares are
+                // client-mintable, so without this check any enrolled
+                // client could lock (and, paired with a credit leg to
+                // itself, drain) an arbitrary victim account. Credit
+                // legs stay open to third parties — paying someone else
+                // is the point.
+                Err(ExecError {
+                    gas_used: 45,
+                    reason: LedgerError::XsUnauthorizedDebit {
+                        sender: tx.sender,
+                        account: leg.account,
+                    }
+                    .to_string(),
+                })
             } else if let Some(held) = state.lock(&leg.account) {
                 Err(ExecError {
                     gas_used: 45,

@@ -726,6 +726,15 @@ pub enum LedgerError {
         /// Cross-shard transaction holding the lock.
         xid: Hash256,
     },
+    /// A cross-shard debit prepare was signed by someone other than the
+    /// account it escrows from (DESIGN.md §12): only the owner may lock
+    /// its own funds.
+    XsUnauthorizedDebit {
+        /// Who signed the prepare.
+        sender: Address,
+        /// The account the debit leg tried to escrow.
+        account: Address,
+    },
     /// The attached [`BlockStore`] failed to persist the block; the
     /// in-memory commit was aborted (write-ahead ordering).
     Storage(String),
@@ -757,6 +766,12 @@ impl fmt::Display for LedgerError {
             }
             LedgerError::AccountLocked { address, xid } => {
                 write!(f, "account {address:?} locked by cross-shard transaction {xid:?}")
+            }
+            LedgerError::XsUnauthorizedDebit { sender, account } => {
+                write!(
+                    f,
+                    "debit prepare from {sender:?} on {account:?}: only the owner may escrow"
+                )
             }
             LedgerError::Storage(e) => write!(f, "block store rejected commit: {e}"),
         }
@@ -1062,7 +1077,20 @@ impl Ledger {
     fn check_locks(&self, tx: &Transaction) -> Result<(), LedgerError> {
         let touched: &[&Address] = match &tx.payload {
             crate::tx::TxPayload::Transfer { to, .. } => &[&tx.sender, to],
-            crate::tx::TxPayload::XsPrepare { leg, .. } => &[&leg.account],
+            crate::tx::TxPayload::XsPrepare { leg, .. } => {
+                // Mirror of the execution-time authorization (DESIGN.md
+                // §12): a debit prepare not signed by the account owner
+                // is refused here instead of queueing guaranteed-to-fail
+                // work — and, more importantly, instead of letting a
+                // hostile client freeze a victim's account.
+                if leg.debit && tx.sender != leg.account {
+                    return Err(LedgerError::XsUnauthorizedDebit {
+                        sender: tx.sender,
+                        account: leg.account,
+                    });
+                }
+                &[&leg.account]
+            }
             _ => &[],
         };
         for addr in touched {
@@ -1665,6 +1693,66 @@ mod tests {
             "invoke routing must map the deployed address back to its shard"
         );
         assert_eq!(addr, sharded_contract_address(&alice.address(), 0, home, shard_count));
+    }
+
+    #[test]
+    fn debit_prepare_by_non_owner_is_refused_and_fails_execution() {
+        use crate::tx::XsLeg;
+        let alice = AuthorityKey::from_seed(1);
+        let mallory = AuthorityKey::from_seed(2);
+        let mut ledger = funded_ledger(&[alice.clone(), mallory.clone()]);
+        let leg = XsLeg {
+            shard: crate::shard::shard_for_key(&alice.address().0, 1),
+            account: alice.address(),
+            amount: 400,
+            debit: true,
+        };
+        let forged = Transaction::new(
+            mallory.address(),
+            0,
+            TxPayload::XsPrepare { xid: Hash256::digest(b"forged"), leg, deadline_ms: 10_000 },
+            1_000,
+        )
+        .signed(&mallory);
+        // Admission refuses the forged escrow outright…
+        assert!(matches!(
+            ledger.check_admissible(&forged),
+            Err(LedgerError::XsUnauthorizedDebit { .. })
+        ));
+        // …and a proposer including it anyway only produces a failed
+        // receipt: no lock, no escrow, the victim's balance untouched.
+        let block = ledger.propose(mallory.address(), 10, vec![forged]);
+        let receipts = ledger.apply(&block).unwrap();
+        assert_eq!(receipts.len(), 1);
+        assert!(!receipts[0].ok);
+        assert!(
+            receipts[0].error.as_deref().unwrap().contains("only the owner"),
+            "got: {:?}",
+            receipts[0].error
+        );
+        assert!(ledger.state().lock(&alice.address()).is_none());
+        assert_eq!(ledger.state().account(&alice.address()).balance, 1_000);
+
+        // A *credit* leg prepared by a third party stays legal — paying
+        // someone else is the point of the credit side.
+        let credit_leg = XsLeg {
+            shard: crate::shard::shard_for_key(&alice.address().0, 1),
+            account: alice.address(),
+            amount: 400,
+            debit: false,
+        };
+        let credit = Transaction::new(
+            mallory.address(),
+            1,
+            TxPayload::XsPrepare {
+                xid: Hash256::digest(b"credit"),
+                leg: credit_leg,
+                deadline_ms: 10_000,
+            },
+            1_000,
+        )
+        .signed(&mallory);
+        assert!(ledger.check_admissible(&credit).is_ok());
     }
 
     #[test]

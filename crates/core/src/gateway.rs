@@ -338,11 +338,14 @@ impl SeenWindow {
 /// Bounded holding pen for transactions that passed signature
 /// verification but bounced off a full mempool. A resubmission of a
 /// held id retries admission directly — the (one-time) signature is
-/// never re-verified. FIFO-bounded like [`SeenWindow`]; an evicted
-/// entry simply costs the client one fresh verification on its next
-/// retry.
+/// never re-verified. Only the verified bytes are cached: the lane is
+/// re-derived from the *retry* request's priority flag through the same
+/// gas-floor policy as a fresh submission, so a retry can neither
+/// escalate nor inherit a stale priority grant. FIFO-bounded like
+/// [`SeenWindow`]; an evicted entry simply costs the client one fresh
+/// verification on its next retry.
 struct VerifiedCache {
-    entries: HashMap<Hash256, (Transaction, bool)>,
+    entries: HashMap<Hash256, Transaction>,
     order: VecDeque<Hash256>,
     capacity: usize,
 }
@@ -352,8 +355,8 @@ impl VerifiedCache {
         VerifiedCache { entries: HashMap::new(), order: VecDeque::new(), capacity: capacity.max(1) }
     }
 
-    fn insert(&mut self, id: Hash256, tx: Transaction, priority: bool) {
-        if self.entries.insert(id, (tx, priority)).is_none() {
+    fn insert(&mut self, id: Hash256, tx: Transaction) {
+        if self.entries.insert(id, tx).is_none() {
             self.order.push_back(id);
             while self.order.len() > self.capacity {
                 let evicted = self.order.pop_front().expect("non-empty");
@@ -362,7 +365,7 @@ impl VerifiedCache {
         }
     }
 
-    fn take(&mut self, id: &Hash256) -> Option<(Transaction, bool)> {
+    fn take(&mut self, id: &Hash256) -> Option<Transaction> {
         // The id stays in `order` until an eviction sweep pops it;
         // removing an already-taken id there is a no-op.
         self.entries.remove(id)
@@ -500,17 +503,20 @@ impl GatewayServer {
                         report.dedup_hits += 1;
                         self.metrics.counter("gateway.dedup_hits", 1);
                         responses.push((conn, Self::status_of(backend, &self.seen, tx_id)));
-                    } else if let Some((cached, cached_priority)) = self.verified.take(&tx_id) {
+                    } else if let Some(cached) = self.verified.take(&tx_id) {
                         // Verified earlier but bounced off a full pool:
                         // retry admission on the cached copy — the
-                        // one-time signature is NOT re-verified.
+                        // one-time signature is NOT re-verified, but the
+                        // lane is re-derived from *this* request's
+                        // priority flag (plus the gas-floor policy in
+                        // `admit_verified_tx`), exactly as if fresh.
                         report.submitted += 1;
                         self.metrics.counter("gateway.cached_retries", 1);
                         self.admit_verified_tx(
                             backend,
                             conn,
                             cached,
-                            cached_priority || priority,
+                            priority,
                             &mut report,
                             &mut responses,
                         );
@@ -617,7 +623,7 @@ impl GatewayServer {
                 // verified transaction so a resubmission retries
                 // admission without re-verifying (one-time signatures
                 // must never be checked twice).
-                self.verified.insert(tx_id, tx, priority);
+                self.verified.insert(tx_id, tx);
                 responses.push((
                     conn,
                     GatewayResponse::Rejected { tx_id, reason: "mempool full".into() },
@@ -756,13 +762,12 @@ mod tests {
         };
         let mut cache = VerifiedCache::new(2);
         let txs: Vec<Transaction> = (0..3).map(mk).collect();
-        cache.insert(txs[0].id(), txs[0].clone(), false);
-        cache.insert(txs[1].id(), txs[1].clone(), true);
-        cache.insert(txs[2].id(), txs[2].clone(), false); // evicts txs[0]
+        cache.insert(txs[0].id(), txs[0].clone());
+        cache.insert(txs[1].id(), txs[1].clone());
+        cache.insert(txs[2].id(), txs[2].clone()); // evicts txs[0]
         assert!(cache.take(&txs[0].id()).is_none(), "FIFO-evicted");
-        let (cached, priority) = cache.take(&txs[1].id()).expect("still cached");
+        let cached = cache.take(&txs[1].id()).expect("still cached");
         assert_eq!(cached, txs[1]);
-        assert!(priority);
         assert!(cache.take(&txs[1].id()).is_none(), "take removes");
         assert!(cache.take(&txs[2].id()).is_some());
     }

@@ -995,9 +995,12 @@ impl ShardedNetwork {
     ///
     /// # Errors
     ///
-    /// Returns [`NetworkError::Rejected`] when a leg is refused — a
-    /// refused *credit* leg leaves the debit lock behind, which the
-    /// resolver cleans up via timeout-abort after `deadline_ms`.
+    /// Returns [`NetworkError::Rejected`] when `to` is the sender's own
+    /// account (a self-transfer can never lock both legs: the second
+    /// prepare always bounces off the first leg's lock, stranding the
+    /// escrow until timeout-abort) or when a leg is refused — a refused
+    /// *credit* leg leaves the debit lock behind, which the resolver
+    /// cleans up via timeout-abort after `deadline_ms`.
     pub fn begin_cross_shard_transfer(
         &mut self,
         site: usize,
@@ -1009,6 +1012,14 @@ impl ShardedNetwork {
             return Err(NetworkError::NoSuchSite(site));
         }
         let from = self.keys[site].address();
+        if to == from {
+            return Err(NetworkError::Rejected {
+                tx_id: Hash256::ZERO,
+                reason: "cross-shard transfer to self: both legs would contend \
+                         for one lock"
+                    .into(),
+            });
+        }
         self.xs_seq += 1;
         let mut material = Vec::with_capacity(64);
         material.extend_from_slice(&from.0);
@@ -1039,11 +1050,14 @@ impl ShardedNetwork {
     /// the consortium-side half of the 2PC protocol:
     ///
     /// 1. **Decide.** For each undecided transaction holding locks: if
-    ///    both the debit and the credit leg are locked, submit a commit
-    ///    decision to the coordinator chain; if any held leg's deadline
-    ///    has passed (and the partner leg never locked — e.g. its shard
-    ///    crashed), submit an abort. Decisions are write-once on the
-    ///    coordinator ledger.
+    ///    the locks form a *balanced pair* — exactly one debit and one
+    ///    credit leg of equal amount, so commit conserves total supply —
+    ///    submit a commit decision to the coordinator chain. A group of
+    ///    two or more locks that is not a balanced pair can never become
+    ///    one and is aborted immediately; a lone leg whose deadline has
+    ///    passed (the partner never locked — e.g. its shard crashed) is
+    ///    aborted too. Decisions are write-once on the coordinator
+    ///    ledger.
     /// 2. **Finalize.** For each held lock whose transaction the
     ///    coordinator has decided, submit a finalize to the lock's shard:
     ///    commit pays the credit out / keeps the debited escrow, abort
@@ -1068,14 +1082,31 @@ impl ShardedNetwork {
             if self.coordinator.ledger().state().xs_decision(xid).is_some() {
                 continue;
             }
-            let debit_locked = legs.iter().any(|(_, _, l)| l.debit);
-            let credit_locked = legs.iter().any(|(_, _, l)| !l.debit);
-            if debit_locked && credit_locked {
-                // Both legs locked: the escrow exists, commit is safe.
+            // Conservation gate: a commit pays out every credit lock and
+            // burns every debit escrow, so it is only sound for exactly
+            // one debit and one credit of equal amount. Prepares are
+            // client-mintable — without this check a 1-unit debit paired
+            // with a million-unit credit under the same xid would mint
+            // funds out of nothing at finalize.
+            let debits: Vec<u64> =
+                legs.iter().filter(|(_, _, l)| l.debit).map(|(_, _, l)| l.amount).collect();
+            let credits: Vec<u64> =
+                legs.iter().filter(|(_, _, l)| !l.debit).map(|(_, _, l)| l.amount).collect();
+            let balanced_pair =
+                debits.len() == 1 && credits.len() == 1 && debits[0] == credits[0];
+            if balanced_pair {
+                // Both legs locked and the amounts conserve: commit.
                 decides.push((*xid, true));
+            } else if legs.len() >= 2 {
+                // Two or more locks that do not form a balanced pair can
+                // never become one (locks only accumulate until decided)
+                // — abort immediately so the malformed group's escrow is
+                // refunded without burning the deadline window.
+                decides.push((*xid, false));
             } else if legs.iter().any(|(_, _, l)| l.deadline_ms < now_ms) {
-                // A leg never arrived and the deadline passed — abort so
-                // a crashed shard cannot wedge the survivors' accounts.
+                // The partner leg never arrived and the deadline passed —
+                // abort so a crashed shard cannot wedge the survivors'
+                // accounts.
                 decides.push((*xid, false));
             }
         }
@@ -1440,6 +1471,68 @@ mod tests {
         let err =
             net.submit_prepare(0, Hash256::digest(b"second"), from, 10, true, far).unwrap_err();
         assert!(matches!(err, NetworkError::Rejected { .. }), "got: {err:?}");
+    }
+
+    /// Conservation regression (REVIEW: client-mintable prepares): a
+    /// 1-unit debit glued to a 1,000,000-unit credit under one xid must
+    /// never commit — the resolver aborts the unbalanced pair at once
+    /// and refunds the escrow, so total supply is conserved.
+    #[test]
+    fn unbalanced_legs_abort_instead_of_minting() {
+        let mut net = sharded(8, 2);
+        let attacker = net.keys[1].address();
+        let payout = address_on_other_shard(attacker, 2);
+        net.fund(attacker, 100);
+        let supply_before = net.balance_of(&attacker) + net.balance_of(&payout);
+        let far = net.now_ms() + 1_000_000;
+        let xid = Hash256::digest(b"mint-attempt");
+        let debit = net.submit_prepare(1, xid, attacker, 1, true, far).unwrap();
+        let credit = net.submit_prepare(1, xid, payout, 1_000_000, false, far).unwrap();
+        net.confirm(&debit).unwrap();
+        net.confirm(&credit).unwrap();
+        let resolution = net.resolve_cross_shard().unwrap();
+        assert_eq!(resolution.committed, 0, "unbalanced legs must never commit");
+        assert_eq!(resolution.aborted, 1, "malformed group aborts without waiting");
+        assert_eq!(resolution.finalized, 2);
+        let decision = net.coordinator_ledger().state().xs_decision(&xid).expect("recorded");
+        assert!(!decision.commit);
+        // Escrow refunded, nothing minted, locks gone.
+        assert_eq!(net.balance_of(&attacker), 100);
+        assert_eq!(net.balance_of(&payout), 0);
+        assert_eq!(net.balance_of(&attacker) + net.balance_of(&payout), supply_before);
+        assert!(net.lock_of(&attacker).is_none());
+        assert!(net.lock_of(&payout).is_none());
+    }
+
+    /// Theft regression (REVIEW: debit authorization): a debit prepare
+    /// signed by anyone but the account owner is refused at admission —
+    /// the victim's funds are never locked, let alone escrowed.
+    #[test]
+    fn debit_prepare_on_a_victim_account_is_refused() {
+        let mut net = sharded(8, 2);
+        let victim = net.keys[0].address();
+        net.fund(victim, 100);
+        let far = net.now_ms() + 1_000_000;
+        // Site 1 (the attacker) tries to escrow site 0's funds.
+        let err = net
+            .submit_prepare(1, Hash256::digest(b"steal"), victim, 100, true, far)
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::Rejected { .. }), "got: {err:?}");
+        assert!(net.lock_of(&victim).is_none());
+        assert_eq!(net.balance_of(&victim), 100);
+    }
+
+    #[test]
+    fn self_transfer_is_rejected_before_any_leg_locks() {
+        let mut net = sharded(4, 2);
+        let from = net.keys[0].address();
+        net.fund(from, 100);
+        let far = net.now_ms() + 1_000_000;
+        let err = net.begin_cross_shard_transfer(0, from, 10, far).unwrap_err();
+        assert!(matches!(err, NetworkError::Rejected { .. }), "got: {err:?}");
+        // Nothing was escrowed or locked — no stranded deadline window.
+        assert_eq!(net.balance_of(&from), 100);
+        assert!(net.lock_of(&from).is_none());
     }
 
     #[test]

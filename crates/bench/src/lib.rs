@@ -19,6 +19,7 @@ pub mod e19_gateway;
 pub mod e1_e2_scaling;
 pub mod e20_parallel_exec;
 pub mod e21_cross_shard;
+pub mod e22_light_client;
 pub mod e3_energy;
 pub mod e4_hie;
 pub mod e5_integration;
@@ -31,9 +32,9 @@ pub mod report;
 pub use report::Table;
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+    "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
 ];
 
 /// Runs one experiment by id.
@@ -65,17 +66,19 @@ pub fn run_experiment(id: &str, quick: bool) -> Table {
         "e19" => e19_gateway::run_e19(quick),
         "e20" => e20_parallel_exec::run_e20(quick),
         "e21" => e21_cross_shard::run_e21(quick),
+        "e22" => e22_light_client::run_e22(quick),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
 /// Runs one experiment by id with `metrics` installed on every layer
-/// that supports it (all of E1–E21). E8/E9 report `learning.*`
+/// that supports it (all of E1–E22). E8/E9 report `learning.*`
 /// counters from their federated loops; E10–E12 report `trial.*` /
 /// `paradigms.*` / `rwe.*` from their runners; E13–E18 report
 /// `ablation.*` / `fedavg.*` / `query_opt.*` / `precision.*` / `rct.*`
 /// / `dp.*`; E20 reports the ledger's `exec.*` family; E21 reports the
-/// cross-shard 2PC `xs.*` family.
+/// cross-shard 2PC `xs.*` family; E22 reports `auth.root_update_us`
+/// and `gateway.state_queries` from the authenticated-state path.
 ///
 /// # Panics
 ///
@@ -108,6 +111,7 @@ pub fn run_experiment_metered(
         "e19" => e19_gateway::run_e19_metered(quick, metrics),
         "e20" => e20_parallel_exec::run_e20_metered(quick, metrics),
         "e21" => e21_cross_shard::run_e21_metered(quick, metrics),
+        "e22" => e22_light_client::run_e22_metered(quick, metrics),
         other => run_experiment(other, quick),
     }
 }

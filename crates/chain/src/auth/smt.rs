@@ -1,0 +1,508 @@
+//! Persistent (copy-on-write) sparse Merkle tree over the state leaves.
+//!
+//! The tree is the compact variant: an empty subtree hashes to
+//! [`EMPTY_SUBTREE`](super::leaf::EMPTY_SUBTREE) and a subtree holding a
+//! single leaf hashes to the leaf itself, so depth is O(log n) in the
+//! number of leaves rather than a fixed 256. Nodes are `Arc`-shared:
+//! updating one leaf clones only the path from the root to that leaf
+//! (~log n allocations), which is what makes per-block root maintenance
+//! O(keys changed) while older tree versions stay readable for free.
+//!
+//! Canonical-form invariant: an internal node never has an empty child
+//! paired with a leaf child (such a node collapses to the leaf) and never
+//! has two empty children. Deleting a key therefore restores the exact
+//! root the tree had before the key was inserted.
+
+use std::sync::Arc;
+
+use super::leaf::{self, LeafKey, EMPTY_SUBTREE};
+use super::{ProofTerminal, SmtProof};
+use crate::exec::StateDelta;
+use crate::hash::Hash256;
+use crate::ledger::WorldState;
+use medchain_runtime::codec::{CodecError, Decode, Encode, Reader};
+
+/// Hard ceiling on node depth: key hashes are 256 bits, so two distinct
+/// keys must diverge by depth 256; anything deeper is corrupt data.
+const MAX_DEPTH: usize = 256;
+
+/// One node of the tree. Hashes are computed eagerly on construction and
+/// cached, so reads never hash.
+enum Node {
+    /// An empty subtree (hash [`EMPTY_SUBTREE`]).
+    Empty,
+    /// A subtree holding exactly one leaf; hashes as the leaf itself.
+    Leaf {
+        hash: Hash256,
+        key_hash: Hash256,
+        value_hash: Hash256,
+    },
+    /// A subtree holding two or more leaves.
+    Internal {
+        hash: Hash256,
+        left: Arc<Node>,
+        right: Arc<Node>,
+    },
+}
+
+impl Node {
+    fn hash(&self) -> Hash256 {
+        match self {
+            Node::Empty => EMPTY_SUBTREE,
+            Node::Leaf { hash, .. } | Node::Internal { hash, .. } => *hash,
+        }
+    }
+
+    fn leaf(key_hash: Hash256, value_hash: Hash256) -> Node {
+        Node::Leaf {
+            hash: leaf::leaf_hash(&key_hash, &value_hash),
+            key_hash,
+            value_hash,
+        }
+    }
+
+    fn internal(left: Arc<Node>, right: Arc<Node>) -> Node {
+        Node::Internal {
+            hash: leaf::node_hash(&left.hash(), &right.hash()),
+            left,
+            right,
+        }
+    }
+}
+
+/// The authenticated index of a [`WorldState`]: one leaf per state
+/// entry, rooted in the block header via
+/// [`versioned_root`](StateTree::versioned_root).
+///
+/// Cloning is O(1) (an `Arc` bump); the clone is an immutable snapshot
+/// unaffected by later [`update`](StateTree::update) calls on either
+/// copy.
+#[derive(Clone)]
+pub struct StateTree {
+    root: Arc<Node>,
+    len: usize,
+}
+
+impl Default for StateTree {
+    fn default() -> Self {
+        StateTree::new()
+    }
+}
+
+impl std::fmt::Debug for StateTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateTree")
+            .field("len", &self.len)
+            .field("root", &self.root.hash())
+            .finish()
+    }
+}
+
+impl PartialEq for StateTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.root.hash() == other.root.hash()
+    }
+}
+
+impl Eq for StateTree {}
+
+impl StateTree {
+    /// The empty tree (root commits to zero leaves).
+    pub fn new() -> StateTree {
+        StateTree {
+            root: Arc::new(Node::Empty),
+            len: 0,
+        }
+    }
+
+    /// Builds the tree for an entire world state from scratch. This is
+    /// the O(total state) reference path — the ledger calls it once per
+    /// process (on construction or recovery), then maintains the tree
+    /// incrementally via [`with_delta`](StateTree::with_delta).
+    pub fn from_state(state: &WorldState) -> StateTree {
+        let mut tree = StateTree::new();
+        state.for_each_leaf(&mut |key, value| tree.update(&key, Some(value)));
+        tree
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The raw sparse-Merkle-tree root.
+    pub fn root(&self) -> Hash256 {
+        self.root.hash()
+    }
+
+    /// The version-tagged root committed into `Header.state_root`.
+    pub fn versioned_root(&self) -> Hash256 {
+        leaf::versioned_root(&self.root())
+    }
+
+    /// Sets (`Some`) or deletes (`None`) one leaf, rebuilding only the
+    /// root-to-leaf path.
+    pub fn update(&mut self, key: &LeafKey, value: Option<&[u8]>) {
+        let key_hash = leaf::key_hash(key);
+        match value {
+            Some(value) => {
+                let value_hash = leaf::value_hash(value);
+                let (root, was_present) = insert_at(&self.root, 0, key_hash, value_hash);
+                self.root = root;
+                if !was_present {
+                    self.len += 1;
+                }
+            }
+            None => {
+                let (root, removed) = remove_at(&self.root, 0, &key_hash);
+                self.root = root;
+                if removed {
+                    self.len -= 1;
+                }
+            }
+        }
+    }
+
+    /// The tree after applying a committed block's [`StateDelta`]:
+    /// tombstoned storage slots and cleared locks become deletions,
+    /// everything else an upsert. Cost is O(keys changed · log n); the
+    /// receiver is untouched.
+    pub fn with_delta(&self, delta: &StateDelta) -> StateTree {
+        let mut tree = self.clone();
+        for (key, value) in delta_updates(delta) {
+            tree.update(&key, value.as_deref());
+        }
+        tree
+    }
+
+    /// Merkle path for `key` against the current root, usable both to
+    /// prove inclusion (the stored value) and absence (no leaf under
+    /// this key). Pair it with the leaf's canonical value bytes in a
+    /// [`StateProof`](super::StateProof).
+    pub fn prove(&self, key: &LeafKey) -> SmtProof {
+        let key_hash = leaf::key_hash(key);
+        let mut siblings = Vec::new();
+        let mut node = &self.root;
+        let mut depth = 0;
+        loop {
+            match &**node {
+                Node::Empty => {
+                    return SmtProof {
+                        siblings,
+                        terminal: ProofTerminal::Empty,
+                    }
+                }
+                Node::Leaf {
+                    key_hash: leaf_kh,
+                    value_hash,
+                    ..
+                } => {
+                    let terminal = if *leaf_kh == key_hash {
+                        ProofTerminal::Leaf {
+                            value_hash: *value_hash,
+                        }
+                    } else {
+                        // A different leaf occupies the queried key's
+                        // path prefix: proof of absence.
+                        ProofTerminal::OtherLeaf {
+                            key_hash: *leaf_kh,
+                            value_hash: *value_hash,
+                        }
+                    };
+                    return SmtProof { siblings, terminal };
+                }
+                Node::Internal { left, right, .. } => {
+                    if leaf::key_bit(&key_hash, depth) {
+                        siblings.push(left.hash());
+                        node = right;
+                    } else {
+                        siblings.push(right.hash());
+                        node = left;
+                    }
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Full structural self-check (recomputes every hash, verifies the
+    /// canonical-form invariant, leaf paths, and the leaf count).
+    /// O(total state) — test and debugging aid only.
+    pub fn audit(&self) -> bool {
+        let mut leaves = 0usize;
+        audit_node(&self.root, 0, &mut Vec::new(), &mut leaves) && leaves == self.len
+    }
+}
+
+/// Returns the updated subtree and whether the key was already present.
+fn insert_at(
+    node: &Arc<Node>,
+    depth: usize,
+    key_hash: Hash256,
+    value_hash: Hash256,
+) -> (Arc<Node>, bool) {
+    match &**node {
+        Node::Empty => (Arc::new(Node::leaf(key_hash, value_hash)), false),
+        Node::Leaf {
+            key_hash: leaf_kh,
+            value_hash: leaf_vh,
+            ..
+        } => {
+            if *leaf_kh == key_hash {
+                if *leaf_vh == value_hash {
+                    (node.clone(), true)
+                } else {
+                    (Arc::new(Node::leaf(key_hash, value_hash)), true)
+                }
+            } else {
+                (
+                    split_leaves(depth, node.clone(), *leaf_kh, key_hash, value_hash),
+                    false,
+                )
+            }
+        }
+        Node::Internal { left, right, .. } => {
+            if leaf::key_bit(&key_hash, depth) {
+                let (new_right, present) = insert_at(right, depth + 1, key_hash, value_hash);
+                (
+                    Arc::new(Node::internal(left.clone(), new_right)),
+                    present,
+                )
+            } else {
+                let (new_left, present) = insert_at(left, depth + 1, key_hash, value_hash);
+                (
+                    Arc::new(Node::internal(new_left, right.clone())),
+                    present,
+                )
+            }
+        }
+    }
+}
+
+/// Replaces a single-leaf subtree at `depth` with the minimal internal
+/// chain separating the existing leaf from a new one: internals with an
+/// empty sibling down to the first differing key-hash bit, then a node
+/// with both leaves as children.
+fn split_leaves(
+    depth: usize,
+    existing: Arc<Node>,
+    existing_kh: Hash256,
+    key_hash: Hash256,
+    value_hash: Hash256,
+) -> Arc<Node> {
+    let mut fork = depth;
+    while leaf::key_bit(&existing_kh, fork) == leaf::key_bit(&key_hash, fork) {
+        fork += 1;
+        assert!(fork < MAX_DEPTH, "distinct leaf keys share all 256 path bits");
+    }
+    let new_leaf = Arc::new(Node::leaf(key_hash, value_hash));
+    let (left, right) = if leaf::key_bit(&key_hash, fork) {
+        (existing, new_leaf)
+    } else {
+        (new_leaf, existing)
+    };
+    let mut node = Arc::new(Node::internal(left, right));
+    for level in (depth..fork).rev() {
+        node = Arc::new(if leaf::key_bit(&key_hash, level) {
+            Node::internal(Arc::new(Node::Empty), node)
+        } else {
+            Node::internal(node, Arc::new(Node::Empty))
+        });
+    }
+    node
+}
+
+/// Returns the updated subtree and whether a leaf was removed. Restores
+/// canonical form on the way back up: an internal node left with a
+/// single leaf child collapses to that leaf.
+fn remove_at(node: &Arc<Node>, depth: usize, key_hash: &Hash256) -> (Arc<Node>, bool) {
+    match &**node {
+        Node::Empty => (node.clone(), false),
+        Node::Leaf { key_hash: leaf_kh, .. } => {
+            if leaf_kh == key_hash {
+                (Arc::new(Node::Empty), true)
+            } else {
+                (node.clone(), false)
+            }
+        }
+        Node::Internal { left, right, .. } => {
+            let (new_left, new_right, removed) = if leaf::key_bit(key_hash, depth) {
+                let (nr, removed) = remove_at(right, depth + 1, key_hash);
+                (left.clone(), nr, removed)
+            } else {
+                let (nl, removed) = remove_at(left, depth + 1, key_hash);
+                (nl, right.clone(), removed)
+            };
+            if !removed {
+                return (node.clone(), false);
+            }
+            let collapsed = match (&*new_left, &*new_right) {
+                (Node::Empty, Node::Leaf { .. }) => new_right,
+                (Node::Leaf { .. }, Node::Empty) => new_left,
+                (Node::Empty, Node::Empty) => Arc::new(Node::Empty),
+                _ => Arc::new(Node::internal(new_left, new_right)),
+            };
+            (collapsed, true)
+        }
+    }
+}
+
+/// Flattens a committed [`StateDelta`] into `(leaf key, new value)`
+/// updates, where `None` deletes the leaf. This is the single bridge
+/// between the execution layer's delta vocabulary and the tree: storage
+/// tombstones and cleared locks delete, every other component upserts
+/// (accounts, code, anchors, cross-links, and decisions are never
+/// removed from state).
+pub fn delta_updates(delta: &StateDelta) -> Vec<(LeafKey, Option<Vec<u8>>)> {
+    let mut updates = Vec::new();
+    for (addr, account) in &delta.accounts {
+        updates.push((LeafKey::Account(*addr), Some(account.encoded())));
+    }
+    for ((contract, key), value) in &delta.storage {
+        updates.push((LeafKey::Storage(*contract, key.clone()), value.clone()));
+    }
+    for (contract, code) in &delta.code {
+        updates.push((LeafKey::Code(*contract), Some(code.clone())));
+    }
+    for (label, root) in &delta.anchors {
+        updates.push((LeafKey::Anchor(label.clone()), Some(root.0.to_vec())));
+    }
+    for (shard, link) in &delta.crosslinks {
+        updates.push((LeafKey::CrossLink(*shard), Some(link.encoded())));
+    }
+    for (addr, lock) in &delta.locks {
+        updates.push((LeafKey::Lock(*addr), lock.as_ref().map(|l| l.encoded())));
+    }
+    for (xid, decision) in &delta.xs_decisions {
+        updates.push((LeafKey::XsDecision(*xid), Some(decision.encoded())));
+    }
+    updates
+}
+
+fn audit_node(node: &Arc<Node>, depth: usize, path: &mut Vec<u8>, leaves: &mut usize) -> bool {
+    if depth > MAX_DEPTH {
+        return false;
+    }
+    match &**node {
+        Node::Empty => depth == 0, // non-root empties violate canonical form
+        Node::Leaf {
+            hash,
+            key_hash,
+            value_hash,
+        } => {
+            // Hash integrity + the leaf actually lives under its path.
+            if *hash != leaf::leaf_hash(key_hash, value_hash) {
+                return false;
+            }
+            for (level, bit) in path.iter().enumerate() {
+                if leaf::key_bit(key_hash, level) != (*bit == 1) {
+                    return false;
+                }
+            }
+            *leaves += 1;
+            true
+        }
+        Node::Internal { hash, left, right } => {
+            if *hash != leaf::node_hash(&left.hash(), &right.hash()) {
+                return false;
+            }
+            // Canonical form: no empty+leaf pairs, no empty+empty.
+            match (&**left, &**right) {
+                (Node::Empty, Node::Empty)
+                | (Node::Empty, Node::Leaf { .. })
+                | (Node::Leaf { .. }, Node::Empty) => return false,
+                _ => {}
+            }
+            let ok_left = {
+                path.push(0);
+                let ok = matches!(&**left, Node::Empty) || audit_node(left, depth + 1, path, leaves);
+                path.pop();
+                ok
+            };
+            let ok_right = {
+                path.push(1);
+                let ok =
+                    matches!(&**right, Node::Empty) || audit_node(right, depth + 1, path, leaves);
+                path.pop();
+                ok
+            };
+            ok_left && ok_right
+        }
+    }
+}
+
+// Snapshot persistence: the tree serializes preorder with its cached
+// hashes, so decoding rebuilds the root without a single hash
+// computation — that is what lets recovery skip the full state rehash.
+const TAG_EMPTY: u8 = 0;
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+
+fn encode_node(node: &Node, out: &mut Vec<u8>) {
+    match node {
+        Node::Empty => out.push(TAG_EMPTY),
+        Node::Leaf {
+            hash,
+            key_hash,
+            value_hash,
+        } => {
+            out.push(TAG_LEAF);
+            hash.encode(out);
+            key_hash.encode(out);
+            value_hash.encode(out);
+        }
+        Node::Internal { hash, left, right } => {
+            out.push(TAG_INTERNAL);
+            hash.encode(out);
+            encode_node(left, out);
+            encode_node(right, out);
+        }
+    }
+}
+
+fn decode_node(r: &mut Reader<'_>, depth: usize) -> Result<Arc<Node>, CodecError> {
+    match u8::decode(r)? {
+        TAG_EMPTY => Ok(Arc::new(Node::Empty)),
+        TAG_LEAF => Ok(Arc::new(Node::Leaf {
+            hash: Hash256::decode(r)?,
+            key_hash: Hash256::decode(r)?,
+            value_hash: Hash256::decode(r)?,
+        })),
+        // Deeper than the key width means corrupt input; erroring here
+        // also bounds decode recursion against hostile bytes.
+        TAG_INTERNAL if depth >= MAX_DEPTH => Err(CodecError::InvalidTag {
+            ty: "StateTree (node deeper than key width)",
+            tag: TAG_INTERNAL,
+        }),
+        TAG_INTERNAL => {
+            let hash = Hash256::decode(r)?;
+            let left = decode_node(r, depth + 1)?;
+            let right = decode_node(r, depth + 1)?;
+            Ok(Arc::new(Node::Internal { hash, left, right }))
+        }
+        tag => Err(CodecError::InvalidTag {
+            ty: "StateTree",
+            tag,
+        }),
+    }
+}
+
+impl Encode for StateTree {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len as u64).encode(out);
+        encode_node(&self.root, out);
+    }
+}
+
+impl Decode for StateTree {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)? as usize;
+        let root = decode_node(r, 0)?;
+        Ok(StateTree { root, len })
+    }
+}

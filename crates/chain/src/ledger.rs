@@ -7,17 +7,20 @@
 //! precisely the duplicated-computing property the paper sets out to
 //! exploit and then reform.
 
+use crate::auth::{LeafKey, StateProof, StateTree};
 use crate::block::{Block, Header};
 use crate::exec::{self, ExecScope, StateAccess, StateDelta, WorldStateOverlay};
-use crate::hash::{Hash256, Sha256};
+use crate::hash::Hash256;
 use crate::merkle::MerkleTree;
 use crate::shard::ShardId;
 use crate::sig::{Address, KeyRegistry};
 use crate::store::BlockStore;
 use crate::tx::Transaction;
+use medchain_runtime::codec::Encode;
 use medchain_runtime::metrics::Metrics;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// The newest cross-link the coordinator chain holds for one shard:
@@ -216,10 +219,15 @@ impl ContractRuntime for NullRuntime {
 }
 
 /// The replicated world state.
+///
+/// Storage nests per-contract so hot-path slot reads resolve with two
+/// borrowed-key lookups instead of building an owned `(Address, Vec<u8>)`
+/// tuple per read. Invariant: no contract maps to an empty slot map
+/// (deletes prune it), keeping equality and the codec canonical.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorldState {
     accounts: BTreeMap<Address, Account>,
-    storage: BTreeMap<(Address, Vec<u8>), Vec<u8>>,
+    storage: BTreeMap<Address, BTreeMap<Vec<u8>, Vec<u8>>>,
     code: BTreeMap<Address, Vec<u8>>,
     anchors: BTreeMap<String, Hash256>,
     crosslinks: BTreeMap<u16, CrossLinkRecord>,
@@ -261,18 +269,36 @@ impl WorldState {
         Ok(())
     }
 
-    /// Reads a contract storage slot.
+    /// Reads a contract storage slot. Allocation-free: both map lookups
+    /// borrow the caller's key.
     pub fn storage(&self, contract: &Address, key: &[u8]) -> Option<&[u8]> {
-        self.storage.get(&(*contract, key.to_vec())).map(Vec::as_slice)
+        self.storage.get(contract)?.get(key).map(Vec::as_slice)
     }
 
     /// Writes a contract storage slot (empty value deletes).
     pub fn set_storage(&mut self, contract: Address, key: Vec<u8>, value: Vec<u8>) {
         if value.is_empty() {
-            self.storage.remove(&(contract, key));
+            self.storage_remove(&contract, &key);
         } else {
-            self.storage.insert((contract, key), value);
+            self.storage_insert(contract, key, value);
         }
+    }
+
+    /// Inserts one slot, returning the prior value.
+    fn storage_insert(&mut self, contract: Address, key: Vec<u8>, value: Vec<u8>) -> Option<Vec<u8>> {
+        self.storage.entry(contract).or_default().insert(key, value)
+    }
+
+    /// Removes one slot, returning the prior value and pruning the
+    /// contract's slot map if it becomes empty (canonical-form
+    /// invariant).
+    fn storage_remove(&mut self, contract: &Address, key: &[u8]) -> Option<Vec<u8>> {
+        let slots = self.storage.get_mut(contract)?;
+        let prior = slots.remove(key);
+        if slots.is_empty() {
+            self.storage.remove(contract);
+        }
+        prior
     }
 
     /// Iterates over the storage slots of one contract.
@@ -281,9 +307,9 @@ impl WorldState {
         contract: &'a Address,
     ) -> impl Iterator<Item = (&'a [u8], &'a [u8])> + 'a {
         self.storage
-            .range((*contract, Vec::new())..)
-            .take_while(move |((a, _), _)| a == contract)
-            .map(|((_, k), v)| (k.as_slice(), v.as_slice()))
+            .get(contract)
+            .into_iter()
+            .flat_map(|slots| slots.iter().map(|(k, v)| (k.as_slice(), v.as_slice())))
     }
 
     /// Returns deployed code at `addr`.
@@ -346,125 +372,113 @@ impl WorldState {
         self.xs_decisions.iter().map(|(x, d)| (*x, *d))
     }
 
-    /// Deterministic commitment to the entire state.
+    /// Deterministic commitment to the entire state: the versioned root
+    /// of the sparse Merkle tree over every leaf (DESIGN.md §13).
+    ///
+    /// This rebuilds the tree from scratch — O(total state) — and exists
+    /// as the reference path for tests, recovery checks, and ad-hoc
+    /// callers. The ledger itself never rebuilds per block: it maintains
+    /// a [`StateTree`] incrementally and pays O(keys changed).
     pub fn state_root(&self) -> Hash256 {
-        let mut h = Sha256::new();
-        for (addr, account) in &self.accounts {
-            h.update(&addr.0);
-            h.update(&account.balance.to_le_bytes());
-            h.update(&account.nonce.to_le_bytes());
-        }
-        for ((addr, key), value) in &self.storage {
-            h.update(&addr.0);
-            h.update(&(key.len() as u64).to_le_bytes());
-            h.update(key);
-            h.update(&(value.len() as u64).to_le_bytes());
-            h.update(value);
-        }
-        for (addr, code) in &self.code {
-            h.update(&addr.0);
-            h.update(code);
-        }
-        for (label, root) in &self.anchors {
-            h.update(label.as_bytes());
-            h.update(&root.0);
-        }
-        for (shard, link) in &self.crosslinks {
-            h.update(&shard.to_le_bytes());
-            h.update(&link.height.to_le_bytes());
-            h.update(&link.tip.0);
-        }
-        for (addr, lock) in &self.locks {
-            h.update(&addr.0);
-            h.update(&lock.xid.0);
-            h.update(&lock.amount.to_le_bytes());
-            h.update(&[u8::from(lock.debit)]);
-            h.update(&lock.deadline_ms.to_le_bytes());
-        }
-        for (xid, decision) in &self.xs_decisions {
-            h.update(&xid.0);
-            h.update(&[u8::from(decision.commit)]);
-            h.update(&decision.tx_id.0);
-        }
-        h.finalize()
+        StateTree::from_state(self).versioned_root()
     }
 
     /// [`WorldState::state_root`] as if `delta` were already committed,
-    /// computed by merge-joining the sorted committed maps with the
-    /// sorted delta — no clone, no mutation. Byte-identical to
-    /// committing the delta and hashing (property-tested below).
+    /// without mutating the state. Identical to committing the delta and
+    /// hashing (property-tested below); still O(total state) because it
+    /// rebuilds the tree — the ledger's cached-tree path is the fast
+    /// equivalent.
     pub fn state_root_with(&self, delta: &StateDelta) -> Hash256 {
-        let mut h = Sha256::new();
-        merged_for_each(&self.accounts, &delta.accounts, |addr, entry| {
-            let account = match entry {
-                Merged::Base(a) => a,
-                Merged::Delta(a) => a,
-            };
-            h.update(&addr.0);
-            h.update(&account.balance.to_le_bytes());
-            h.update(&account.nonce.to_le_bytes());
-        });
-        merged_for_each(&self.storage, &delta.storage, |(addr, key), entry| {
-            let value = match entry {
-                Merged::Base(v) => Some(v),
-                Merged::Delta(v) => v.as_ref(), // None tombstone: slot deleted
-            };
-            if let Some(value) = value {
-                h.update(&addr.0);
-                h.update(&(key.len() as u64).to_le_bytes());
-                h.update(key);
-                h.update(&(value.len() as u64).to_le_bytes());
-                h.update(value);
+        StateTree::from_state(self).with_delta(delta).versioned_root()
+    }
+
+    /// Feeds every state entry to `emit` as its canonical
+    /// (leaf key, value bytes) pair — the single enumeration the
+    /// authenticated tree builds from.
+    pub(crate) fn for_each_leaf(&self, emit: &mut dyn FnMut(LeafKey, &[u8])) {
+        let mut scratch = Vec::new();
+        for (addr, account) in &self.accounts {
+            scratch.clear();
+            account.encode(&mut scratch);
+            emit(LeafKey::Account(*addr), &scratch);
+        }
+        for (contract, slots) in &self.storage {
+            for (key, value) in slots {
+                emit(LeafKey::Storage(*contract, key.clone()), value);
             }
-        });
-        merged_for_each(&self.code, &delta.code, |addr, entry| {
-            let code = match entry {
-                Merged::Base(c) => c,
-                Merged::Delta(c) => c,
-            };
-            h.update(&addr.0);
-            h.update(code);
-        });
-        merged_for_each(&self.anchors, &delta.anchors, |label, entry| {
-            let root = match entry {
-                Merged::Base(r) => r,
-                Merged::Delta(r) => r,
-            };
-            h.update(label.as_bytes());
-            h.update(&root.0);
-        });
-        merged_for_each(&self.crosslinks, &delta.crosslinks, |shard, entry| {
-            let link = match entry {
-                Merged::Base(l) => l,
-                Merged::Delta(l) => l,
-            };
-            h.update(&shard.to_le_bytes());
-            h.update(&link.height.to_le_bytes());
-            h.update(&link.tip.0);
-        });
-        merged_for_each(&self.locks, &delta.locks, |addr, entry| {
-            let lock = match entry {
-                Merged::Base(l) => Some(l),
-                Merged::Delta(l) => l.as_ref(), // None tombstone: lock released
-            };
-            if let Some(lock) = lock {
-                h.update(&addr.0);
-                h.update(&lock.xid.0);
-                h.update(&lock.amount.to_le_bytes());
-                h.update(&[u8::from(lock.debit)]);
-                h.update(&lock.deadline_ms.to_le_bytes());
+        }
+        for (addr, code) in &self.code {
+            emit(LeafKey::Code(*addr), code);
+        }
+        for (label, root) in &self.anchors {
+            emit(LeafKey::Anchor(label.clone()), &root.0);
+        }
+        for (shard, link) in &self.crosslinks {
+            scratch.clear();
+            link.encode(&mut scratch);
+            emit(LeafKey::CrossLink(*shard), &scratch);
+        }
+        for (addr, lock) in &self.locks {
+            scratch.clear();
+            lock.encode(&mut scratch);
+            emit(LeafKey::Lock(*addr), &scratch);
+        }
+        for (xid, decision) in &self.xs_decisions {
+            scratch.clear();
+            decision.encode(&mut scratch);
+            emit(LeafKey::XsDecision(*xid), &scratch);
+        }
+    }
+
+    /// Canonical authenticated-leaf value bytes stored at `key`, or
+    /// `None` when the entry is absent. This is the byte string a
+    /// [`StateProof`](crate::auth::StateProof) for `key` commits to.
+    pub fn leaf_value(&self, key: &LeafKey) -> Option<Vec<u8>> {
+        match key {
+            LeafKey::Account(addr) => self.accounts.get(addr).map(|a| a.encoded()),
+            LeafKey::Storage(contract, slot) => {
+                self.storage(contract, slot).map(|v| v.to_vec())
             }
-        });
-        merged_for_each(&self.xs_decisions, &delta.xs_decisions, |xid, entry| {
-            let decision = match entry {
-                Merged::Base(d) => d,
-                Merged::Delta(d) => d,
-            };
-            h.update(&xid.0);
-            h.update(&[u8::from(decision.commit)]);
-            h.update(&decision.tx_id.0);
-        });
-        h.finalize()
+            LeafKey::Code(addr) => self.code(addr).map(|c| c.to_vec()),
+            LeafKey::Anchor(label) => self.anchor(label).map(|root| root.0.to_vec()),
+            LeafKey::CrossLink(shard) => {
+                self.cross_link(ShardId(*shard)).map(|link| link.encoded())
+            }
+            LeafKey::Lock(addr) => self.lock(addr).map(|lock| lock.encoded()),
+            LeafKey::XsDecision(xid) => self.xs_decision(xid).map(|d| d.encoded()),
+        }
+    }
+
+    /// Total number of authenticated leaves (equals
+    /// `StateTree::from_state(self).len()` without building the tree).
+    pub fn leaf_count(&self) -> usize {
+        self.accounts.len()
+            + self.storage_slot_count()
+            + self.code.len()
+            + self.anchors.len()
+            + self.crosslinks.len()
+            + self.locks.len()
+            + self.xs_decisions.len()
+    }
+
+    /// Number of accounts with a materialized record.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Total storage slots across all contracts.
+    pub fn storage_slot_count(&self) -> usize {
+        self.storage.values().map(BTreeMap::len).sum()
+    }
+
+    /// Number of contracts with deployed code.
+    pub fn code_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Number of currently held 2PC locks.
+    pub fn lock_count(&self) -> usize {
+        self.locks.len()
     }
 
     /// Commits `delta` into the state, returning the undo log that
@@ -477,12 +491,12 @@ impl WorldState {
         for (addr, account) in accounts {
             undo.accounts.push((addr, self.accounts.insert(addr, account)));
         }
-        for (slot, value) in storage {
+        for ((contract, key), value) in storage {
             let prior = match value {
-                Some(value) => self.storage.insert(slot.clone(), value),
-                None => self.storage.remove(&slot),
+                Some(value) => self.storage_insert(contract, key.clone(), value),
+                None => self.storage_remove(&contract, &key),
             };
-            undo.storage.push((slot, prior));
+            undo.storage.push(((contract, key), prior));
         }
         for (addr, code) in code {
             undo.code.push((addr, self.code.insert(addr, code)));
@@ -515,10 +529,10 @@ impl WorldState {
                 None => self.accounts.remove(&addr),
             };
         }
-        for (slot, prior) in undo.storage {
+        for ((contract, key), prior) in undo.storage {
             match prior {
-                Some(value) => self.storage.insert(slot, value),
-                None => self.storage.remove(&slot),
+                Some(value) => self.storage_insert(contract, key, value),
+                None => self.storage_remove(&contract, &key),
             };
         }
         for (addr, prior) in undo.code {
@@ -629,48 +643,6 @@ pub(crate) struct StateUndo {
     crosslinks: Vec<(u16, Option<CrossLinkRecord>)>,
     locks: Vec<(Address, Option<XsLock>)>,
     xs_decisions: Vec<(Hash256, Option<XsDecisionRecord>)>,
-}
-
-/// One entry of a merge-join over a committed map and a delta map.
-enum Merged<'a, V, D> {
-    /// Key only present in the committed map.
-    Base(&'a V),
-    /// Key present in the delta (which overrides the committed value).
-    Delta(&'a D),
-}
-
-/// Merge-joins two sorted maps, emitting each key once in ascending
-/// order; delta entries shadow base entries on equal keys.
-fn merged_for_each<K: Ord, V, D>(
-    base: &BTreeMap<K, V>,
-    delta: &BTreeMap<K, D>,
-    mut emit: impl FnMut(&K, Merged<'_, V, D>),
-) {
-    let mut base_iter = base.iter().peekable();
-    let mut delta_iter = delta.iter().peekable();
-    loop {
-        let order = match (base_iter.peek(), delta_iter.peek()) {
-            (Some((bk, _)), Some((dk, _))) => bk.cmp(dk),
-            (Some(_), None) => std::cmp::Ordering::Less,
-            (None, Some(_)) => std::cmp::Ordering::Greater,
-            (None, None) => break,
-        };
-        match order {
-            std::cmp::Ordering::Less => {
-                let (k, v) = base_iter.next().expect("peeked");
-                emit(k, Merged::Base(v));
-            }
-            std::cmp::Ordering::Greater => {
-                let (k, v) = delta_iter.next().expect("peeked");
-                emit(k, Merged::Delta(v));
-            }
-            std::cmp::Ordering::Equal => {
-                base_iter.next();
-                let (k, v) = delta_iter.next().expect("peeked");
-                emit(k, Merged::Delta(v));
-            }
-        }
-    }
 }
 
 /// Errors raised while validating or applying blocks and transactions.
@@ -819,6 +791,12 @@ pub struct Ledger {
     /// Worker lanes for parallel block execution; 0 or 1 = sequential.
     exec_threads: usize,
     metrics: Metrics,
+    /// Incrementally maintained authenticated state tree, always in sync
+    /// with `state` at the committed tip. `None` after a direct
+    /// [`Ledger::state_mut`] mutation (genesis funding); lazily rebuilt
+    /// by [`Ledger::state_tree`]. The `Mutex` exists only for that lazy
+    /// rebuild from `&self` paths (`propose`, `prove_state`).
+    tree: Mutex<Option<StateTree>>,
 }
 
 impl fmt::Debug for Ledger {
@@ -866,6 +844,7 @@ impl Ledger {
             shard_count,
             exec_threads: 1,
             metrics: Metrics::noop(),
+            tree: Mutex::new(Some(StateTree::new())),
         }
     }
 
@@ -990,7 +969,34 @@ impl Ledger {
     /// hash to `tip.header.state_root` — a snapshot that disagrees with
     /// its block is never installed.
     pub fn restore(&mut self, state: WorldState, tip: Block) -> Result<(), LedgerError> {
-        if state.state_root() != tip.header.state_root {
+        let tree = StateTree::from_state(&state);
+        self.restore_with_tree(state, tip, tree)
+    }
+
+    /// [`Ledger::restore`] with a pre-built authenticated tree (fast
+    /// recovery: snapshots persist the tree, so installing it skips the
+    /// O(total state) rehash entirely — the tree's cached root is
+    /// checked against the tip header instead).
+    ///
+    /// The tree must be the tree *of* `state`: the root check binds its
+    /// hashes to the block header, and the leaf-count check rejects a
+    /// tree/state pair that drifted in size. A corrupt-but-root-matching
+    /// tree would require a SHA-256 break or a tampered snapshot whose
+    /// header root was also tampered — which recovery's header-chain
+    /// validation catches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::StateRootMismatch`] if the tree's
+    /// versioned root does not match `tip.header.state_root` or its leaf
+    /// count disagrees with `state`.
+    pub fn restore_with_tree(
+        &mut self,
+        state: WorldState,
+        tip: Block,
+        tree: StateTree,
+    ) -> Result<(), LedgerError> {
+        if tree.versioned_root() != tip.header.state_root || tree.len() != state.leaf_count() {
             return Err(LedgerError::StateRootMismatch);
         }
         self.base_height = tip.header.height;
@@ -1001,6 +1007,7 @@ impl Ledger {
         // snapshot: a restored node re-learns them as it replays.
         self.tx_locations.clear();
         self.stats = LedgerStats::default();
+        *self.tree.get_mut().expect("state tree cache poisoned") = Some(tree);
         Ok(())
     }
 
@@ -1010,8 +1017,49 @@ impl Ledger {
     }
 
     /// Mutable world state access, for genesis funding in simulations.
+    ///
+    /// Direct mutation bypasses the delta path the authenticated tree is
+    /// maintained from, so the cached tree is dropped here and lazily
+    /// rebuilt (O(total state), once) on the next root or proof request.
     pub fn state_mut(&mut self) -> &mut WorldState {
+        *self.tree.get_mut().expect("state tree cache poisoned") = None;
         &mut self.state
+    }
+
+    /// The authenticated tree over the committed state (clone is O(1) —
+    /// nodes are shared). Rebuilds the cache first if a [`state_mut`]
+    /// mutation invalidated it.
+    ///
+    /// [`state_mut`]: Ledger::state_mut
+    pub fn state_tree(&self) -> StateTree {
+        let mut cached = self.tree.lock().expect("state tree cache poisoned");
+        if cached.is_none() {
+            *cached = Some(StateTree::from_state(&self.state));
+        }
+        cached.as_ref().expect("cache just filled").clone()
+    }
+
+    /// Builds the proof-carrying response for a light-client state query
+    /// (DESIGN.md §13): the value at `key` (or `None`), its Merkle path,
+    /// and the coordinates of the tip block the proof verifies against.
+    ///
+    /// The proof speaks about the *committed* state at the current tip.
+    /// Between a direct [`Ledger::state_mut`] mutation (genesis funding)
+    /// and the next applied block, state and tip header disagree by
+    /// construction — proofs from that window fail client verification,
+    /// matching the rule that only block-committed state is provable.
+    pub fn prove_state(&self, key: &LeafKey) -> StateProof {
+        let tree = self.state_tree();
+        let tip = self.tip();
+        StateProof {
+            key: key.clone(),
+            value: self.state.leaf_value(key),
+            proof: tree.prove(key),
+            state_root: tip.header.state_root,
+            block_id: tip.id(),
+            height: tip.header.height,
+            shard: self.shard,
+        }
     }
 
     /// Receipt for a transaction, if executed.
@@ -1143,7 +1191,9 @@ impl Ledger {
             parent: self.tip().id(),
             tx_root: MerkleTree::from_leaves(included.iter().map(Transaction::id).collect())
                 .root(),
-            state_root: self.state.state_root_with(&delta),
+            // Incremental: delta applied to the cached tree, O(keys
+            // changed), without touching committed state.
+            state_root: self.state_tree().with_delta(&delta).versioned_root(),
             timestamp_ms,
             proposer,
             shard: self.shard,
@@ -1203,8 +1253,14 @@ impl Ledger {
                 (receipts, delta, None)
             }
         };
-        // Merged-root check before any mutation: no state clone needed.
-        if self.state.state_root_with(&delta) != block.header.state_root {
+        // Incremental root check before any mutation: the committed
+        // delta folds into the cached authenticated tree at O(keys
+        // changed · log n) — per-block root cost no longer scales with
+        // total state size.
+        let root_started = Instant::now();
+        let updated_tree = self.state_tree().with_delta(&delta);
+        let root_wall_us = root_started.elapsed().as_secs_f64() * 1e6;
+        if updated_tree.versioned_root() != block.header.state_root {
             return Err(LedgerError::StateRootMismatch);
         }
         // Write-ahead: the block must be durable before the in-memory
@@ -1219,6 +1275,9 @@ impl Ledger {
                 return Err(LedgerError::Storage(e.to_string()));
             }
         }
+        // State and tree now advance together (the revert path above
+        // leaves the old cache in place, matching the reverted state).
+        *self.tree.get_mut().expect("state tree cache poisoned") = Some(updated_tree);
         // Commit.
         for receipt in &receipts {
             self.stats.transactions += 1;
@@ -1237,6 +1296,12 @@ impl Ledger {
             self.metrics.counter("exec.blocks", 1);
             self.metrics.counter("exec.txs", tx_count as u64);
             self.metrics.observe("exec.block_apply_us", started.elapsed().as_secs_f64() * 1e6);
+            self.metrics.observe("auth.root_update_us", root_wall_us);
+            self.metrics.gauge("state.accounts", self.state.account_count() as i64);
+            self.metrics.gauge("state.storage_slots", self.state.storage_slot_count() as i64);
+            self.metrics.gauge("state.code_entries", self.state.code_count() as i64);
+            self.metrics.gauge("state.anchors", self.state.anchor_count() as i64);
+            self.metrics.gauge("state.locks", self.state.lock_count() as i64);
             if let Some(stats) = parallel_stats {
                 self.metrics.counter("exec.parallel_blocks", 1);
                 self.metrics.observe("exec.waves_per_block", stats.waves as f64);

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod auth;
 pub mod block;
 pub mod consensus;
 pub mod energy;
@@ -45,6 +46,7 @@ pub mod sig;
 pub mod store;
 pub mod tx;
 
+pub use auth::{LeafKey, ProofTerminal, SmtProof, StateProof, StateTree};
 pub use block::{Block, Header, Seal};
 pub use exec::{ExecScope, RwSet, StateAccess, StateDelta, StateKey, WorldStateOverlay};
 pub use hash::{Hash256, Sha256};

@@ -7,8 +7,9 @@
 //! misbehaving gateway can delay a receipt but cannot fake one.
 
 use crate::gateway::{write_frame, FrameBuffer, GatewayRequest, GatewayResponse};
+use medchain_chain::auth::key_hash;
 use medchain_chain::receipt::TxReceipt;
-use medchain_chain::{Hash256, Lane, ShardId, Transaction};
+use medchain_chain::{Hash256, Lane, LeafKey, ShardId, StateProof, Transaction};
 use medchain_runtime::codec::{Decode, Encode};
 use std::fmt;
 use std::io::{self, Read};
@@ -153,7 +154,9 @@ impl Client {
                 shard: receipt.shard,
                 lane: Lane::Normal,
             }),
-            GatewayResponse::Unknown { .. } | GatewayResponse::XsDecision { .. } => {
+            GatewayResponse::Unknown { .. }
+            | GatewayResponse::XsDecision { .. }
+            | GatewayResponse::Proven { .. } => {
                 Err(ClientError::Protocol(format!("bad reply to Submit of {tx_id:?}")))
             }
         }
@@ -213,6 +216,60 @@ impl Client {
                 return Err(ClientError::Timeout(xid));
             }
             std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Light-client state read against the key's home shard: asks the
+    /// gateway for the value at `key` plus its sparse-Merkle proof, and
+    /// **verifies the proof locally** before returning (DESIGN.md §13).
+    ///
+    /// The returned [`StateProof`] is internally consistent: the path
+    /// folds up to the root it carries. A fully trustless caller should
+    /// additionally check `proof.verify_against(&root)` with a header
+    /// root obtained independently of the gateway.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::BadProof`] (carrying the key hash) when
+    /// the gateway's answer does not verify or speaks about a different
+    /// key, [`ClientError::Rejected`] when the gateway cannot serve
+    /// state proofs.
+    pub fn query_proven(&mut self, key: &LeafKey) -> Result<StateProof, ClientError> {
+        self.query_proven_on(key, None)
+    }
+
+    /// [`Client::query_proven`] pinned to an explicit sub-chain — e.g.
+    /// to obtain an absence proof from a shard the key does not route
+    /// to. The proof then verifies against *that* shard's tip root.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::query_proven`].
+    pub fn query_proven_on(
+        &mut self,
+        key: &LeafKey,
+        shard: Option<ShardId>,
+    ) -> Result<StateProof, ClientError> {
+        let request = GatewayRequest::Query { key: key.clone(), shard };
+        match self.request(&request, Instant::now() + Duration::from_secs(10))? {
+            GatewayResponse::Proven { proof } => {
+                // Trustless checks: the proof must speak about the key
+                // we asked for, come from the shard we pinned (if any),
+                // and fold up to the root it names.
+                let wrong_key = proof.key != *key;
+                let wrong_shard = shard.is_some_and(|s| proof.shard != s);
+                if wrong_key || wrong_shard || !proof.verify() {
+                    return Err(ClientError::BadProof(key_hash(key)));
+                }
+                Ok(proof)
+            }
+            GatewayResponse::Rejected { reason, .. } => Err(ClientError::Rejected {
+                tx_id: key_hash(key),
+                reason,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected Query reply: {other:?}"
+            ))),
         }
     }
 

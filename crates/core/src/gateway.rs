@@ -29,7 +29,7 @@
 
 use medchain_chain::node::SubmitOutcome;
 use medchain_chain::receipt::TxReceipt;
-use medchain_chain::{Hash256, KeyRegistry, Lane, ShardId, Transaction};
+use medchain_chain::{Hash256, KeyRegistry, Lane, LeafKey, ShardId, StateProof, Transaction};
 use medchain_runtime::codec::{Decode, Encode};
 use medchain_runtime::metrics::Metrics;
 use medchain_runtime::sync::scoped_map;
@@ -97,6 +97,17 @@ pub enum GatewayRequest {
         /// The cross-shard transaction id being queried.
         xid: Hash256,
     },
+    /// Light-client state read: the value at `key` plus a sparse-Merkle
+    /// inclusion/absence proof against the serving chain's tip root
+    /// (DESIGN.md §13).
+    Query {
+        /// The state entry being queried.
+        key: LeafKey,
+        /// Pin the query to a specific sub-chain instead of the key's
+        /// home shard — e.g. to obtain an *absence* proof from a shard
+        /// the key does not route to. `None` = home shard.
+        shard: Option<ShardId>,
+    },
 }
 
 /// A gateway-to-client message.
@@ -133,6 +144,14 @@ pub enum GatewayResponse {
         /// The transaction id.
         tx_id: Hash256,
     },
+    /// The proof-carrying answer to a [`GatewayRequest::Query`]: claimed
+    /// value (or absence) plus the Merkle path clients verify with
+    /// [`StateProof::verify_against`] against an independently obtained
+    /// header root.
+    Proven {
+        /// The complete state proof.
+        proof: StateProof,
+    },
     /// The coordinator's verdict on a cross-shard transaction.
     XsDecision {
         /// The cross-shard transaction id.
@@ -156,6 +175,7 @@ mod codec_impls {
         0 => Submit { tx, priority },
         1 => Status { tx_id },
         2 => XsStatus { xid },
+        3 => Query { key, shard },
     });
     impl_codec_enum!(GatewayResponse {
         0 => Accepted { tx_id, shard, lane },
@@ -164,6 +184,7 @@ mod codec_impls {
         3 => Committed { receipt },
         4 => Unknown { tx_id },
         5 => XsDecision { xid, decided, commit, receipt },
+        6 => Proven { proof },
     });
 }
 
@@ -289,6 +310,16 @@ pub trait GatewayBackend {
     /// networks) keep the default: never decided.
     fn xs_status(&self, xid: &Hash256) -> Option<(bool, Option<TxReceipt>)> {
         let _ = xid;
+        None
+    }
+
+    /// Proof-carrying state read (DESIGN.md §13): resolves `key` on its
+    /// home shard — or on `shard` when the client pins one, e.g. for a
+    /// cross-shard absence proof — and returns the value plus its
+    /// Merkle path against that chain's tip root. Backends that cannot
+    /// serve authenticated state keep the default: unsupported.
+    fn query_state(&self, key: &LeafKey, shard: Option<ShardId>) -> Option<StateProof> {
+        let _ = (key, shard);
         None
     }
 }
@@ -490,6 +521,20 @@ impl GatewayServer {
                             decided: false,
                             commit: false,
                             receipt: None,
+                        },
+                    };
+                    responses.push((conn, response));
+                }
+                GatewayRequest::Query { key, shard } => {
+                    report.status_queries += 1;
+                    self.metrics.counter("gateway.state_queries", 1);
+                    let response = match backend.query_state(&key, shard) {
+                        Some(proof) => GatewayResponse::Proven { proof },
+                        // No tx id is in play for a state read; the
+                        // zero id marks the rejection as non-tx-scoped.
+                        None => GatewayResponse::Rejected {
+                            tx_id: Hash256::ZERO,
+                            reason: "state query unsupported or shard unknown".into(),
                         },
                     };
                     responses.push((conn, response));
@@ -723,6 +768,11 @@ mod tests {
             GatewayRequest::Submit { tx: tx.clone(), priority: true },
             GatewayRequest::Status { tx_id: tx.id() },
             GatewayRequest::XsStatus { xid: Hash256::digest(b"xid") },
+            GatewayRequest::Query { key: LeafKey::Anchor("l".into()), shard: None },
+            GatewayRequest::Query {
+                key: LeafKey::Account(key.address()),
+                shard: Some(ShardId(1)),
+            },
         ];
         for request in requests {
             assert_eq!(GatewayRequest::decoded(&request.encoded()).unwrap(), request);
@@ -741,6 +791,23 @@ mod tests {
                 decided: true,
                 commit: false,
                 receipt: None,
+            },
+            GatewayResponse::Proven {
+                proof: {
+                    let mut state = medchain_chain::WorldState::new();
+                    state.set_anchor("l", Hash256::digest(b"r"));
+                    let tree = medchain_chain::StateTree::from_state(&state);
+                    let query = LeafKey::Anchor("l".into());
+                    StateProof {
+                        key: query.clone(),
+                        value: state.leaf_value(&query),
+                        proof: tree.prove(&query),
+                        state_root: tree.versioned_root(),
+                        block_id: Hash256::digest(b"block"),
+                        height: 9,
+                        shard: ShardId(0),
+                    }
+                },
             },
         ];
         for response in responses {

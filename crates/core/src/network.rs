@@ -18,7 +18,8 @@ use medchain_chain::net::{SimTransport, TcpTransport, Transport};
 use medchain_chain::node::{ChainApp, SubmitOutcome};
 use medchain_chain::receipt::TxReceipt;
 use medchain_chain::{
-    Address, AuthorityKey, Hash256, KeyRegistry, Lane, Receipt, ShardId, Transaction, TxPayload,
+    Address, AuthorityKey, Hash256, KeyRegistry, Lane, LeafKey, Receipt, ShardId, StateProof,
+    Transaction, TxPayload,
 };
 use medchain_contracts::native::native_manifest;
 use medchain_contracts::policy::Purpose;
@@ -574,6 +575,16 @@ impl MedicalNetwork {
         self.cluster.replicas[site].app.ledger()
     }
 
+    /// Out-of-band funding for tests and experiments: credits `addr` on
+    /// every replica. Bypasses the block pipeline (like
+    /// `ShardedNetwork::fund`), so state proofs only cover it after the
+    /// next committed block re-roots the headers.
+    pub fn fund(&mut self, addr: Address, amount: u64) {
+        for replica in &mut self.cluster.replicas {
+            replica.app.ledger_mut().state_mut().credit(addr, amount);
+        }
+    }
+
     /// The consortium membership registry.
     pub fn registry(&self) -> &KeyRegistry {
         &self.registry
@@ -1065,6 +1076,16 @@ impl GatewayBackend for MedicalNetwork {
 
     fn is_pending(&self, tx_id: &Hash256) -> bool {
         self.cluster.replicas[0].app.mempool_contains(tx_id)
+    }
+
+    fn query_state(&self, key: &LeafKey, shard: Option<ShardId>) -> Option<StateProof> {
+        // Single chain: every key lives here (including absence of
+        // coordinator-homed keys), but a pin to some *other* shard is
+        // unanswerable.
+        if shard.is_some_and(|s| s != self.ledger().shard()) {
+            return None;
+        }
+        Some(self.ledger().prove_state(key))
     }
 }
 

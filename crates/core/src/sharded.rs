@@ -32,8 +32,8 @@ use medchain_chain::node::{ChainApp, SubmitOutcome};
 use medchain_chain::receipt::TxReceipt;
 use medchain_chain::shard::{shard_for_key, shard_for_tx, CrossLink, ShardId};
 use medchain_chain::{
-    Address, AuthorityKey, Hash256, KeyRegistry, Lane, Receipt, Transaction, TxPayload, XsLeg,
-    XsLock,
+    Address, AuthorityKey, Hash256, KeyRegistry, Lane, LeafKey, Receipt, StateProof, Transaction,
+    TxPayload, XsLeg, XsLock,
 };
 use medchain_contracts::runtime::Runtime;
 use medchain_runtime::metrics::Metrics;
@@ -1253,6 +1253,20 @@ impl GatewayBackend for ShardedNetwork {
         let decision = self.coordinator.ledger().state().xs_decision(xid)?;
         let receipt = self.coordinator.cluster.replicas[0].app.tx_receipt(&decision.tx_id);
         Some((decision.commit, receipt))
+    }
+
+    fn query_state(&self, key: &LeafKey, shard: Option<ShardId>) -> Option<StateProof> {
+        // Route like transactions: the key's home shard unless the
+        // client pins one (e.g. for a cross-shard absence proof).
+        let target = shard.unwrap_or_else(|| key.home_shard(self.shard_count()));
+        let ledger = if target.is_coordinator() {
+            self.coordinator_ledger()
+        } else if (target.0 as usize) < self.committees.len() {
+            self.ledger_of_shard(target)
+        } else {
+            return None;
+        };
+        Some(ledger.prove_state(key))
     }
 }
 

@@ -195,7 +195,7 @@ impl DiskStore {
                 Some(snap) => {
                     let height = snap.height;
                     ledger
-                        .restore(snap.state, snap.tip)
+                        .restore_with_tree(snap.state, snap.tip, snap.tree)
                         .map_err(|e| StoreError::Recovery(e.to_string()))?;
                     Ok(RecoveryReport {
                         height,
@@ -238,7 +238,7 @@ impl DiskStore {
             Some(snap) => {
                 let height = snap.height;
                 ledger
-                    .restore(snap.state.clone(), snap.tip.clone())
+                    .restore_with_tree(snap.state.clone(), snap.tip.clone(), snap.tree.clone())
                     .map_err(|e| StoreError::Recovery(e.to_string()))?;
                 height
             }

@@ -2,12 +2,19 @@
 //!
 //! A snapshot file `snap-<height, zero-padded>.bin` holds one CRC-framed
 //! record (same framing as the block log) whose payload is the canonical
-//! bytes of the tip [`Block`] followed by the canonical bytes of the
-//! post-execution [`WorldState`]. Carrying the block — not just the
-//! state — gives recovery the parent-linkage anchor it needs to replay
-//! the log tail, and lets it cross-check the snapshot against the log
+//! bytes of the tip [`Block`], the canonical bytes of the post-execution
+//! [`WorldState`], and the node pages of the authenticated [`StateTree`]
+//! (hashes included). Carrying the block — not just the state — gives
+//! recovery the parent-linkage anchor it needs to replay the log tail,
+//! and lets it cross-check the snapshot against the log
 //! (`snapshot tip id == logged block id at that height`) before
-//! trusting it.
+//! trusting it. Carrying the tree lets recovery rebuild the
+//! authenticated root by *decoding* rather than rehashing: loading
+//! checks the decoded tree's cached root against the tip header — O(1)
+//! after decode — instead of the old O(total state) full rehash.
+//! Integrity against disk corruption rests on the record CRC, the same
+//! trust the block log itself gets; the root-vs-header check then binds
+//! tree and block together.
 //!
 //! Writes go to a `.tmp` sibling first and rename into place, so a
 //! crash mid-snapshot leaves either the old set or the new set — never
@@ -16,7 +23,7 @@
 use crate::crc::crc32;
 use crate::wal::{frame, RECORD_HEADER_BYTES};
 use medchain_chain::store::StoreError;
-use medchain_chain::{Block, WorldState};
+use medchain_chain::{Block, StateTree, WorldState};
 use medchain_runtime::codec::{Decode, Encode, Reader};
 use std::fs::{self, OpenOptions};
 use std::io::Write;
@@ -26,7 +33,7 @@ const SNAP_PREFIX: &str = "snap-";
 const SNAP_SUFFIX: &str = ".bin";
 
 /// A decoded snapshot: the chain tip it was taken at plus the full
-/// world state after executing that tip.
+/// world state after executing that tip and its authenticated tree.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// Height of [`Snapshot::tip`].
@@ -35,6 +42,10 @@ pub struct Snapshot {
     pub tip: Block,
     /// World state after executing `tip`.
     pub state: WorldState,
+    /// The authenticated state tree of `state`, decoded with its cached
+    /// hashes — recovery installs it via `Ledger::restore_with_tree`
+    /// without rehashing the state.
+    pub tree: StateTree,
 }
 
 /// The snapshot directory manager.
@@ -70,6 +81,11 @@ impl SnapshotStore {
     pub fn write(&self, tip: &Block, state: &WorldState) -> Result<u64, StoreError> {
         let mut payload = tip.encoded();
         state.encode(&mut payload);
+        // Persist the authenticated tree's node pages alongside the
+        // state. Building it here is O(state) but amortized over the
+        // snapshot cadence; what it buys is the recovery path never
+        // rehashing.
+        StateTree::from_state(state).encode(&mut payload);
         let record = frame(&payload);
         let final_path = self.dir.join(snap_name(tip.header.height));
         let tmp_path = final_path.with_extension("bin.tmp");
@@ -146,17 +162,25 @@ impl SnapshotStore {
             return Ok(None);
         }
         let mut reader = Reader::new(payload);
-        let (Ok(tip), Ok(state)) = (Block::decode(&mut reader), WorldState::decode(&mut reader))
-        else {
+        let (Ok(tip), Ok(state), Ok(tree)) = (
+            Block::decode(&mut reader),
+            WorldState::decode(&mut reader),
+            StateTree::decode(&mut reader),
+        ) else {
             return Ok(None);
         };
+        // The decoded tree carries its hashes, so the root check is
+        // O(1) — no full-state rehash on the recovery path. The leaf
+        // count ties the tree to the state it claims to authenticate;
+        // byte-level integrity is the CRC's job (checked above).
         if reader.remaining() != 0
             || tip.header.height != height
-            || state.state_root() != tip.header.state_root
+            || tree.versioned_root() != tip.header.state_root
+            || tree.len() != state.leaf_count()
         {
             return Ok(None);
         }
-        Ok(Some(Snapshot { height, tip, state }))
+        Ok(Some(Snapshot { height, tip, state, tree }))
     }
 
     /// Deletes all but the newest `retain` snapshot files.
@@ -201,6 +225,10 @@ mod tests {
         let snap = store.latest_valid(u64::MAX).unwrap().unwrap();
         assert_eq!(snap.height, 12);
         assert_eq!(snap.state.state_root(), snap.tip.header.state_root);
+        // The persisted tree is the state's tree, hashes intact.
+        assert_eq!(snap.tree.versioned_root(), snap.tip.header.state_root);
+        assert_eq!(snap.tree.len(), snap.state.leaf_count());
+        assert!(snap.tree.audit());
         // Bounded lookup skips newer files.
         assert_eq!(store.latest_valid(9).unwrap().unwrap().height, 8);
         store.prune(1).unwrap();
@@ -223,6 +251,19 @@ mod tests {
         fs::write(&path, bytes).unwrap();
         let snap = store.latest_valid(u64::MAX).unwrap().unwrap();
         assert_eq!(snap.height, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_with_mismatched_header_root_is_rejected() {
+        let dir = test_dir("snap-root-mismatch");
+        let store = SnapshotStore::open(&dir).unwrap();
+        let (mut tip, state) = tip_and_state(4);
+        // A tip whose header root disagrees with its state must never
+        // load — the tree-vs-header check is what recovery trusts.
+        tip.header.state_root = medchain_chain::Hash256::digest(b"someone else's root");
+        store.write(&tip, &state).unwrap();
+        assert!(store.load(4).unwrap().is_none());
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -260,4 +260,37 @@ if grep -rn "state_mut()\." crates/*/src --include="*.rs" \
 fi
 echo "ok: all block-application state flows through the overlay commit path"
 
+# Authenticated state (DESIGN.md §13): committed deltas are the ONLY
+# thing allowed to move the world state's maps, because the sparse-
+# Merkle root is maintained incrementally from the same delta — a
+# mutation that bypasses WorldState::apply_delta (outside the ledger
+# commit path) would silently desynchronize state and root.
+echo "== auth: delta/tree commit-path guard =="
+if grep -rn "\.apply_delta(" crates/*/src src examples tests --include="*.rs" \
+    | grep -v "^crates/chain/src/ledger.rs"; then
+    echo "ERROR: WorldState::apply_delta called outside the ledger commit path." >&2
+    exit 1
+fi
+echo "ok: every state mutation flows through the ledger's delta/tree path"
+
+# Light-client query path (DESIGN.md §13): anchor a record over the TCP
+# gateway, read it back with a sparse-Merkle proof, verify client-side,
+# and re-verify against an independently read committed header root —
+# plus a provable absence for a never-written key. Wall-clock guarded.
+echo "== auth: light-client verified state reads (wall-clock guarded) =="
+light_log="$(mktemp)"
+trap 'rm -f "$metrics_tsv" "$restart_log" "$shard_log" "$gateway_log" "$exec_log" "$light_log"; rm -rf "$restart_dir" "$shard_dir"' EXIT
+timeout 120 cargo run --release -q --example light_client > "$light_log"
+if ! grep -q "light client round-trip OK" "$light_log"; then
+    echo "ERROR: light_client did not complete a verified state read" >&2
+    cat "$light_log" >&2
+    exit 1
+fi
+if ! grep -q "0 proof failures" "$light_log"; then
+    echo "ERROR: light_client reported proof failures against the committed root" >&2
+    cat "$light_log" >&2
+    exit 1
+fi
+echo "ok: light client proved inclusion and absence against committed header roots"
+
 echo "verify: OK"

@@ -44,6 +44,11 @@ pub mod prelude {
         XsLeg,
     };
 
+    // Authenticated world state: sparse-Merkle commitments and the
+    // light-client proof surface (DESIGN.md §13).
+    pub use medchain_chain::auth::key_hash;
+    pub use medchain_chain::{LeafKey, SmtProof, StateProof, StateTree};
+
     // Durable persistence: block store trait plus the disk-backed
     // segmented-WAL / snapshot implementation.
     pub use medchain_chain::store::{BlockStore, MemStore, StoreError};

@@ -20,6 +20,7 @@ pub mod e1_e2_scaling;
 pub mod e20_parallel_exec;
 pub mod e21_cross_shard;
 pub mod e22_light_client;
+pub mod e23_paged_state;
 pub mod e3_energy;
 pub mod e4_hie;
 pub mod e5_integration;
@@ -32,9 +33,9 @@ pub mod report;
 pub use report::Table;
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+    "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
 ];
 
 /// Runs one experiment by id.
@@ -67,18 +68,21 @@ pub fn run_experiment(id: &str, quick: bool) -> Table {
         "e20" => e20_parallel_exec::run_e20(quick),
         "e21" => e21_cross_shard::run_e21(quick),
         "e22" => e22_light_client::run_e22(quick),
+        "e23" => e23_paged_state::run_e23(quick),
         other => panic!("unknown experiment {other:?}"),
     }
 }
 
 /// Runs one experiment by id with `metrics` installed on every layer
-/// that supports it (all of E1–E22). E8/E9 report `learning.*`
+/// that supports it (all of E1–E23). E8/E9 report `learning.*`
 /// counters from their federated loops; E10–E12 report `trial.*` /
 /// `paradigms.*` / `rwe.*` from their runners; E13–E18 report
 /// `ablation.*` / `fedavg.*` / `query_opt.*` / `precision.*` / `rct.*`
 /// / `dp.*`; E20 reports the ledger's `exec.*` family; E21 reports the
 /// cross-shard 2PC `xs.*` family; E22 reports `auth.root_update_us`
-/// and `gateway.state_queries` from the authenticated-state path.
+/// and `gateway.state_queries` from the authenticated-state path; E23
+/// reports the tightest page budget's `storage.page_*` aggregates and
+/// `bootstrap.stream_us` / `bootstrap.replay_us`.
 ///
 /// # Panics
 ///
@@ -112,6 +116,7 @@ pub fn run_experiment_metered(
         "e20" => e20_parallel_exec::run_e20_metered(quick, metrics),
         "e21" => e21_cross_shard::run_e21_metered(quick, metrics),
         "e22" => e22_light_client::run_e22_metered(quick, metrics),
+        "e23" => e23_paged_state::run_e23_metered(quick, metrics),
         other => run_experiment(other, quick),
     }
 }

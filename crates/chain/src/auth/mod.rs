@@ -24,7 +24,7 @@ pub mod leaf;
 pub mod smt;
 
 pub use leaf::{key_hash, value_hash, versioned_root, LeafKey, EMPTY_SUBTREE};
-pub use smt::{delta_updates, StateTree};
+pub use smt::{delta_updates, NodePager, StateTree};
 
 use crate::hash::Hash256;
 use crate::shard::ShardId;

@@ -1,7 +1,7 @@
 //! Persistent (copy-on-write) sparse Merkle tree over the state leaves.
 //!
 //! The tree is the compact variant: an empty subtree hashes to
-//! [`EMPTY_SUBTREE`](super::leaf::EMPTY_SUBTREE) and a subtree holding a
+//! [`EMPTY_SUBTREE`] and a subtree holding a
 //! single leaf hashes to the leaf itself, so depth is O(log n) in the
 //! number of leaves rather than a fixed 256. Nodes are `Arc`-shared:
 //! updating one leaf clones only the path from the root to that leaf
@@ -12,6 +12,18 @@
 //! paired with a leaf child (such a node collapses to the leaf) and never
 //! has two empty children. Deleting a key therefore restores the exact
 //! root the tree had before the key was inserted.
+//!
+//! ## Disk-resident cold subtrees (DESIGN.md §14)
+//!
+//! With a [`NodePager`] attached, [`StateTree::spill_to_budget`] swaps
+//! cold subtrees for single-node `Node::Paged` stubs holding only the
+//! subtree hash, leaf count, and page id; the subtree's preorder bytes
+//! move to disk. Every traversal resolves stubs on descent (mutating
+//! paths promote them back into the rebuilt path; read-only paths decode
+//! transiently), and the serialized form splices page bytes verbatim —
+//! so roots, proofs, and snapshot bytes are identical whether the tree
+//! is fully resident or mostly cold. Spilling is representation only,
+//! never semantics.
 
 use std::sync::Arc;
 
@@ -25,6 +37,27 @@ use medchain_runtime::codec::{CodecError, Decode, Encode, Reader};
 /// Hard ceiling on node depth: key hashes are 256 bits, so two distinct
 /// keys must diverge by depth 256; anything deeper is corrupt data.
 const MAX_DEPTH: usize = 256;
+
+/// Disk backing for spilled (cold) subtrees — implemented by
+/// `medchain-storage`'s page cache (DESIGN.md §14).
+///
+/// The stored bytes are the subtree's preorder encoding (the exact bytes
+/// [`StateTree`]'s `Encode` impl would emit for it), which is what lets
+/// the tree's snapshot encoding splice a spilled page verbatim: a tree
+/// with cold subtrees serializes byte-identically to a fully resident
+/// one.
+///
+/// Spill pages are *derived* data — everything in them is recomputable
+/// from the snapshot + WAL — so implementors may discard them across
+/// restarts, but a load failure **mid-run** is unrecoverable data loss
+/// and implementors should panic with context rather than return
+/// garbage.
+pub trait NodePager: Send + Sync {
+    /// Persists one encoded subtree, returning its page handle.
+    fn store_node(&self, bytes: &[u8]) -> u64;
+    /// Loads the bytes previously stored under `page`.
+    fn load_node(&self, page: u64) -> Vec<u8>;
+}
 
 /// One node of the tree. Hashes are computed eagerly on construction and
 /// cached, so reads never hash.
@@ -43,13 +76,23 @@ enum Node {
         left: Arc<Node>,
         right: Arc<Node>,
     },
+    /// A cold subtree spilled to the node pager: only its hash and leaf
+    /// count stay resident. Never produced by `Decode` — it exists only
+    /// in memory, as the residue of [`StateTree::spill_to_budget`].
+    Paged {
+        hash: Hash256,
+        leaves: u64,
+        page: u64,
+    },
 }
 
 impl Node {
     fn hash(&self) -> Hash256 {
         match self {
             Node::Empty => EMPTY_SUBTREE,
-            Node::Leaf { hash, .. } | Node::Internal { hash, .. } => *hash,
+            Node::Leaf { hash, .. } | Node::Internal { hash, .. } | Node::Paged { hash, .. } => {
+                *hash
+            }
         }
     }
 
@@ -81,6 +124,11 @@ impl Node {
 pub struct StateTree {
     root: Arc<Node>,
     len: usize,
+    /// Backing store for [`Node::Paged`] subtrees. `None` means the tree
+    /// is (and stays) fully resident. Clones share the pager; spilled
+    /// pages are never freed mid-run precisely because an older clone
+    /// may still reference them (see [`NodePager`]).
+    pager: Option<Arc<dyn NodePager>>,
 }
 
 impl Default for StateTree {
@@ -112,7 +160,20 @@ impl StateTree {
         StateTree {
             root: Arc::new(Node::Empty),
             len: 0,
+            pager: None,
         }
+    }
+
+    /// Attaches the disk pager cold subtrees spill to. Attaching never
+    /// moves anything by itself — spilling happens only at explicit
+    /// [`spill_to_budget`](StateTree::spill_to_budget) calls.
+    pub fn attach_pager(&mut self, pager: Arc<dyn NodePager>) {
+        self.pager = Some(pager);
+    }
+
+    /// The attached node pager, if any.
+    pub fn pager(&self) -> Option<Arc<dyn NodePager>> {
+        self.pager.clone()
     }
 
     /// Builds the tree for an entire world state from scratch. This is
@@ -149,17 +210,18 @@ impl StateTree {
     /// root-to-leaf path.
     pub fn update(&mut self, key: &LeafKey, value: Option<&[u8]>) {
         let key_hash = leaf::key_hash(key);
+        let pager = self.pager.as_deref();
         match value {
             Some(value) => {
                 let value_hash = leaf::value_hash(value);
-                let (root, was_present) = insert_at(&self.root, 0, key_hash, value_hash);
+                let (root, was_present) = insert_at(&self.root, 0, key_hash, value_hash, pager);
                 self.root = root;
                 if !was_present {
                     self.len += 1;
                 }
             }
             None => {
-                let (root, removed) = remove_at(&self.root, 0, &key_hash);
+                let (root, removed) = remove_at(&self.root, 0, &key_hash, pager);
                 self.root = root;
                 if removed {
                     self.len -= 1;
@@ -187,10 +249,13 @@ impl StateTree {
     pub fn prove(&self, key: &LeafKey) -> SmtProof {
         let key_hash = leaf::key_hash(key);
         let mut siblings = Vec::new();
-        let mut node = &self.root;
+        // Owned cursor: descending into a spilled subtree resolves a
+        // transient copy without touching the tree (`&self`); siblings
+        // that stay cold contribute only their resident hash.
+        let mut node = resolve(&self.root, self.pager.as_deref());
         let mut depth = 0;
         loop {
-            match &**node {
+            let next = match &*node {
                 Node::Empty => {
                     return SmtProof {
                         siblings,
@@ -219,23 +284,119 @@ impl StateTree {
                 Node::Internal { left, right, .. } => {
                     if leaf::key_bit(&key_hash, depth) {
                         siblings.push(left.hash());
-                        node = right;
+                        resolve(right, self.pager.as_deref())
                     } else {
                         siblings.push(right.hash());
-                        node = left;
+                        resolve(left, self.pager.as_deref())
                     }
-                    depth += 1;
                 }
-            }
+                Node::Paged { .. } => unreachable!("cursor is always resolved"),
+            };
+            node = next;
+            depth += 1;
         }
     }
 
     /// Full structural self-check (recomputes every hash, verifies the
     /// canonical-form invariant, leaf paths, and the leaf count).
-    /// O(total state) — test and debugging aid only.
+    /// Spilled subtrees are resolved transiently and checked against
+    /// their resident hash. O(total state) — test and debugging aid
+    /// only.
     pub fn audit(&self) -> bool {
         let mut leaves = 0usize;
-        audit_node(&self.root, 0, &mut Vec::new(), &mut leaves) && leaves == self.len
+        audit_node(&self.root, 0, &mut Vec::new(), &mut leaves, self.pager.as_deref())
+            && leaves == self.len
+    }
+
+    /// Nodes currently held in memory, counting each spilled subtree as
+    /// the single `Node::Paged` stub that represents it.
+    pub fn resident_nodes(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Internal { left, right, .. } => 1 + count(left) + count(right),
+                _ => 1,
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Spills cold subtrees to the attached pager until at most `budget`
+    /// nodes stay resident (best effort: the root-to-spill paths
+    /// themselves stay resident, so very small budgets floor out at the
+    /// tree's spine). No hash is recomputed — a spilled subtree is
+    /// replaced by a stub carrying the hash it already had — so the root
+    /// is bit-identical before and after.
+    ///
+    /// No-op without a pager. Subtrees the next block touches are
+    /// resolved (promoted) back on demand by `update`/`with_delta`;
+    /// the ledger re-spills after each commit.
+    pub fn spill_to_budget(&mut self, budget: usize) {
+        let Some(pager) = self.pager.clone() else { return };
+        let budget = budget.max(1);
+        // Grow the spill unit until the tree fits: larger units collapse
+        // bigger subtrees into one stub each, trading colder reads for
+        // a smaller resident spine.
+        let mut unit = 8usize;
+        while self.resident_nodes() > budget {
+            let (root, _, _) = spill_node(&self.root, unit, pager.as_ref());
+            self.root = root;
+            if unit > self.len.saturating_mul(2).max(8) {
+                break; // spine alone exceeds the budget; nothing left to spill
+            }
+            unit = unit.saturating_mul(4);
+        }
+    }
+}
+
+/// Materializes a [`Node::Paged`] stub by decoding its page; any other
+/// node passes through untouched. Mutating paths call this before
+/// descending, so a touched cold subtree is naturally promoted into the
+/// rebuilt path while untouched siblings stay spilled.
+///
+/// Panics on a missing pager, an undecodable page, or a hash mismatch:
+/// spill pages are derived data with no second copy, so all three are
+/// unrecoverable data loss (see [`NodePager`]).
+fn resolve(node: &Arc<Node>, pager: Option<&dyn NodePager>) -> Arc<Node> {
+    let Node::Paged { hash, page, .. } = &**node else {
+        return node.clone();
+    };
+    let pager = pager.expect("paged subtree reached without an attached node pager");
+    let bytes = pager.load_node(*page);
+    let mut r = Reader::new(&bytes);
+    let resolved =
+        decode_node(&mut r, 0).expect("spilled subtree page holds a valid node encoding");
+    assert_eq!(r.remaining(), 0, "spilled subtree page has trailing bytes");
+    assert_eq!(resolved.hash(), *hash, "spilled subtree page hash mismatch (data loss)");
+    resolved
+}
+
+/// Post-order spill pass: replaces every maximal subtree whose resident
+/// footprint is ≤ `unit` nodes (and which holds ≥ 2 leaves — single
+/// leaves are cheaper resident than paged) with a [`Node::Paged`] stub.
+/// Returns the rebuilt node, its resident node count, and its leaf
+/// count. Hashes are carried, never recomputed.
+fn spill_node(node: &Arc<Node>, unit: usize, pager: &dyn NodePager) -> (Arc<Node>, usize, u64) {
+    match &**node {
+        Node::Empty => (node.clone(), 1, 0),
+        Node::Leaf { .. } => (node.clone(), 1, 1),
+        Node::Paged { leaves, .. } => (node.clone(), 1, *leaves),
+        Node::Internal { hash, left, right } => {
+            let (left, l_res, l_leaves) = spill_node(left, unit, pager);
+            let (right, r_res, r_leaves) = spill_node(right, unit, pager);
+            let resident = 1 + l_res + r_res;
+            let leaves = l_leaves + r_leaves;
+            if resident <= unit && leaves >= 2 {
+                // Encode the whole subtree (splicing any already-spilled
+                // children) and push it down to one page.
+                let rebuilt = Node::Internal { hash: *hash, left, right };
+                let mut bytes = Vec::new();
+                encode_node(&rebuilt, &mut bytes, Some(pager));
+                let page = pager.store_node(&bytes);
+                (Arc::new(Node::Paged { hash: *hash, leaves, page }), 1, leaves)
+            } else {
+                (Arc::new(Node::Internal { hash: *hash, left, right }), resident, leaves)
+            }
+        }
     }
 }
 
@@ -245,8 +406,10 @@ fn insert_at(
     depth: usize,
     key_hash: Hash256,
     value_hash: Hash256,
+    pager: Option<&dyn NodePager>,
 ) -> (Arc<Node>, bool) {
-    match &**node {
+    let node = resolve(node, pager);
+    match &*node {
         Node::Empty => (Arc::new(Node::leaf(key_hash, value_hash)), false),
         Node::Leaf {
             key_hash: leaf_kh,
@@ -268,19 +431,22 @@ fn insert_at(
         }
         Node::Internal { left, right, .. } => {
             if leaf::key_bit(&key_hash, depth) {
-                let (new_right, present) = insert_at(right, depth + 1, key_hash, value_hash);
+                let (new_right, present) =
+                    insert_at(right, depth + 1, key_hash, value_hash, pager);
                 (
                     Arc::new(Node::internal(left.clone(), new_right)),
                     present,
                 )
             } else {
-                let (new_left, present) = insert_at(left, depth + 1, key_hash, value_hash);
+                let (new_left, present) =
+                    insert_at(left, depth + 1, key_hash, value_hash, pager);
                 (
                     Arc::new(Node::internal(new_left, right.clone())),
                     present,
                 )
             }
         }
+        Node::Paged { .. } => unreachable!("resolved above"),
     }
 }
 
@@ -320,8 +486,14 @@ fn split_leaves(
 /// Returns the updated subtree and whether a leaf was removed. Restores
 /// canonical form on the way back up: an internal node left with a
 /// single leaf child collapses to that leaf.
-fn remove_at(node: &Arc<Node>, depth: usize, key_hash: &Hash256) -> (Arc<Node>, bool) {
-    match &**node {
+fn remove_at(
+    node: &Arc<Node>,
+    depth: usize,
+    key_hash: &Hash256,
+    pager: Option<&dyn NodePager>,
+) -> (Arc<Node>, bool) {
+    let node = resolve(node, pager);
+    match &*node {
         Node::Empty => (node.clone(), false),
         Node::Leaf { key_hash: leaf_kh, .. } => {
             if leaf_kh == key_hash {
@@ -332,15 +504,18 @@ fn remove_at(node: &Arc<Node>, depth: usize, key_hash: &Hash256) -> (Arc<Node>, 
         }
         Node::Internal { left, right, .. } => {
             let (new_left, new_right, removed) = if leaf::key_bit(key_hash, depth) {
-                let (nr, removed) = remove_at(right, depth + 1, key_hash);
+                let (nr, removed) = remove_at(right, depth + 1, key_hash, pager);
                 (left.clone(), nr, removed)
             } else {
-                let (nl, removed) = remove_at(left, depth + 1, key_hash);
+                let (nl, removed) = remove_at(left, depth + 1, key_hash, pager);
                 (nl, right.clone(), removed)
             };
             if !removed {
                 return (node.clone(), false);
             }
+            // A `Paged` sibling always holds ≥ 2 leaves (spill policy),
+            // so it can only appear in the no-collapse arm — same as the
+            // internal node it stands for.
             let collapsed = match (&*new_left, &*new_right) {
                 (Node::Empty, Node::Leaf { .. }) => new_right,
                 (Node::Leaf { .. }, Node::Empty) => new_left,
@@ -349,6 +524,7 @@ fn remove_at(node: &Arc<Node>, depth: usize, key_hash: &Hash256) -> (Arc<Node>, 
             };
             (collapsed, true)
         }
+        Node::Paged { .. } => unreachable!("resolved above"),
     }
 }
 
@@ -384,11 +560,21 @@ pub fn delta_updates(delta: &StateDelta) -> Vec<(LeafKey, Option<Vec<u8>>)> {
     updates
 }
 
-fn audit_node(node: &Arc<Node>, depth: usize, path: &mut Vec<u8>, leaves: &mut usize) -> bool {
+fn audit_node(
+    node: &Arc<Node>,
+    depth: usize,
+    path: &mut Vec<u8>,
+    leaves: &mut usize,
+    pager: Option<&dyn NodePager>,
+) -> bool {
     if depth > MAX_DEPTH {
         return false;
     }
-    match &**node {
+    // Resolve a spilled subtree transiently; `resolve` itself asserts
+    // the decoded subtree hashes to the resident stub's hash.
+    let node = resolve(node, pager);
+    match &*node {
+        Node::Paged { .. } => unreachable!("resolved above"),
         Node::Empty => depth == 0, // non-root empties violate canonical form
         Node::Leaf {
             hash,
@@ -420,14 +606,15 @@ fn audit_node(node: &Arc<Node>, depth: usize, path: &mut Vec<u8>, leaves: &mut u
             }
             let ok_left = {
                 path.push(0);
-                let ok = matches!(&**left, Node::Empty) || audit_node(left, depth + 1, path, leaves);
+                let ok = matches!(&**left, Node::Empty)
+                    || audit_node(left, depth + 1, path, leaves, pager);
                 path.pop();
                 ok
             };
             let ok_right = {
                 path.push(1);
-                let ok =
-                    matches!(&**right, Node::Empty) || audit_node(right, depth + 1, path, leaves);
+                let ok = matches!(&**right, Node::Empty)
+                    || audit_node(right, depth + 1, path, leaves, pager);
                 path.pop();
                 ok
             };
@@ -443,7 +630,7 @@ const TAG_EMPTY: u8 = 0;
 const TAG_LEAF: u8 = 1;
 const TAG_INTERNAL: u8 = 2;
 
-fn encode_node(node: &Node, out: &mut Vec<u8>) {
+fn encode_node(node: &Node, out: &mut Vec<u8>, pager: Option<&dyn NodePager>) {
     match node {
         Node::Empty => out.push(TAG_EMPTY),
         Node::Leaf {
@@ -459,8 +646,15 @@ fn encode_node(node: &Node, out: &mut Vec<u8>) {
         Node::Internal { hash, left, right } => {
             out.push(TAG_INTERNAL);
             hash.encode(out);
-            encode_node(left, out);
-            encode_node(right, out);
+            encode_node(left, out, pager);
+            encode_node(right, out, pager);
+        }
+        // A spilled page *is* the subtree's preorder encoding: splice it
+        // verbatim, so a paged tree serializes byte-identically to a
+        // fully resident one (there is no on-disk `Paged` tag).
+        Node::Paged { page, .. } => {
+            let pager = pager.expect("paged subtree encoded without an attached node pager");
+            out.extend_from_slice(&pager.load_node(*page));
         }
     }
 }
@@ -495,7 +689,7 @@ fn decode_node(r: &mut Reader<'_>, depth: usize) -> Result<Arc<Node>, CodecError
 impl Encode for StateTree {
     fn encode(&self, out: &mut Vec<u8>) {
         (self.len as u64).encode(out);
-        encode_node(&self.root, out);
+        encode_node(&self.root, out, self.pager.as_deref());
     }
 }
 
@@ -503,6 +697,8 @@ impl Decode for StateTree {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let len = u64::decode(r)? as usize;
         let root = decode_node(r, 0)?;
-        Ok(StateTree { root, len })
+        // Decoded trees start fully resident and unpaged; recovery
+        // re-attaches a pager (and re-spills) after install.
+        Ok(StateTree { root, len, pager: None })
     }
 }

@@ -1,6 +1,6 @@
 //! Static read/write-set inference for transactions.
 //!
-//! Every [`TxPayload`](crate::tx::TxPayload) variant maps to a set of
+//! Every [`TxPayload`] variant maps to a set of
 //! [`StateKey`]s it may read or write during execution. The scheduler
 //! (`exec::scheduler`) partitions a block into conflict-free waves by
 //! key overlap, so the sets must be **supersets** of what execution

@@ -18,9 +18,9 @@ use crate::store::BlockStore;
 use crate::tx::Transaction;
 use medchain_runtime::codec::Encode;
 use medchain_runtime::metrics::Metrics;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The newest cross-link the coordinator chain holds for one shard:
@@ -218,13 +218,61 @@ impl ContractRuntime for NullRuntime {
     }
 }
 
+/// Disk backing for cold account records (DESIGN.md §14) — implemented
+/// by `medchain-storage`'s page cache.
+///
+/// The ledger's invariant is **hot/cold disjointness**: an address lives
+/// in the resident map *or* in the pager, never both. Every write path
+/// promotes (takes) the cold record first, and
+/// [`WorldState::demote_accounts`] moves records the other way, so the
+/// merged view — reads, iteration, counts, equality, and the canonical
+/// encoding — is identical to a fully resident state. Paging is
+/// representation, never semantics.
+///
+/// Only accounts page out. `storage`/`code` reads hand back borrowed
+/// slices (`Option<&[u8]>`), which a disk fall-through behind `&self`
+/// cannot produce without changing the `StateAccess` contract, so those
+/// components stay resident; accounts are the patient-scale component
+/// the paper's consortium actually grows by the million.
+///
+/// Implementors must tolerate `&self` mutation (interior mutability) and
+/// concurrent readers: parallel block execution reads accounts from
+/// worker lanes. Cold-record load failure is unrecoverable data loss —
+/// panic with context, don't return a default (see the page-store
+/// contract in `medchain-storage`).
+pub trait AccountPager: Send + Sync {
+    /// Reads the cold record for `addr` without promoting it.
+    fn load(&self, addr: &Address) -> Option<Account>;
+    /// Removes and returns the cold record for `addr` (promotion).
+    fn take(&self, addr: &Address) -> Option<Account>;
+    /// Demotes one record to cold storage (the address must not already
+    /// be cold — the ledger only demotes hot records).
+    fn store(&self, addr: &Address, account: &Account);
+    /// Number of cold records.
+    fn len(&self) -> usize;
+    /// Whether no records are cold.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Every cold record in ascending address order — the merge feed for
+    /// iteration and the canonical encoding.
+    fn entries(&self) -> Vec<(Address, Account)>;
+    /// Writes buffered pages to disk (called at snapshot boundaries).
+    fn flush(&self);
+}
+
 /// The replicated world state.
 ///
 /// Storage nests per-contract so hot-path slot reads resolve with two
 /// borrowed-key lookups instead of building an owned `(Address, Vec<u8>)`
 /// tuple per read. Invariant: no contract maps to an empty slot map
 /// (deletes prune it), keeping equality and the codec canonical.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// With an [`AccountPager`] attached, cold account records live on disk
+/// and `accounts` holds only the hot set (see the trait's disjointness
+/// contract). Everything observable — reads, deltas, roots, encoded
+/// bytes — is independent of which records happen to be resident.
+#[derive(Default)]
 pub struct WorldState {
     accounts: BTreeMap<Address, Account>,
     storage: BTreeMap<Address, BTreeMap<Vec<u8>, Vec<u8>>>,
@@ -233,7 +281,79 @@ pub struct WorldState {
     crosslinks: BTreeMap<u16, CrossLinkRecord>,
     locks: BTreeMap<Address, XsLock>,
     xs_decisions: BTreeMap<Hash256, XsDecisionRecord>,
+    /// Cold-account backing; `None` = fully resident. Not part of the
+    /// value: excluded from `Clone`/`PartialEq`/codec (clones
+    /// materialize, equality and bytes compare the merged view).
+    pager: Option<Arc<dyn AccountPager>>,
 }
+
+impl fmt::Debug for WorldState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorldState")
+            .field("accounts", &self.accounts)
+            .field("paged_accounts", &self.paged_account_count())
+            .field("storage", &self.storage)
+            .field("code", &self.code)
+            .field("anchors", &self.anchors)
+            .field("crosslinks", &self.crosslinks)
+            .field("locks", &self.locks)
+            .field("xs_decisions", &self.xs_decisions)
+            .finish()
+    }
+}
+
+impl Clone for WorldState {
+    /// Clones materialize: the copy is fully resident and detached from
+    /// the pager (two states mutating one spill file would corrupt each
+    /// other's cold sets).
+    fn clone(&self) -> Self {
+        let mut accounts = self.accounts.clone();
+        if let Some(pager) = &self.pager {
+            accounts.extend(pager.entries());
+        }
+        WorldState {
+            accounts,
+            storage: self.storage.clone(),
+            code: self.code.clone(),
+            anchors: self.anchors.clone(),
+            crosslinks: self.crosslinks.clone(),
+            locks: self.locks.clone(),
+            xs_decisions: self.xs_decisions.clone(),
+            pager: None,
+        }
+    }
+}
+
+impl PartialEq for WorldState {
+    fn eq(&self, other: &Self) -> bool {
+        let accounts_eq = if self.pager.is_none() && other.pager.is_none() {
+            self.accounts == other.accounts
+        } else {
+            // Merged-view comparison: residency is representation, not
+            // value.
+            self.account_count() == other.account_count() && {
+                let mut theirs = Vec::with_capacity(other.account_count());
+                other.for_each_account(&mut |addr, account| theirs.push((*addr, *account)));
+                let mut i = 0;
+                let mut equal = true;
+                self.for_each_account(&mut |addr, account| {
+                    equal = equal && theirs[i] == (*addr, *account);
+                    i += 1;
+                });
+                equal
+            }
+        };
+        accounts_eq
+            && self.storage == other.storage
+            && self.code == other.code
+            && self.anchors == other.anchors
+            && self.crosslinks == other.crosslinks
+            && self.locks == other.locks
+            && self.xs_decisions == other.xs_decisions
+    }
+}
+
+impl Eq for WorldState {}
 
 impl WorldState {
     /// Creates an empty state.
@@ -241,13 +361,100 @@ impl WorldState {
         WorldState::default()
     }
 
-    /// Returns the account for `addr` (default if absent).
+    /// Attaches the cold-account store. The pager must start empty; the
+    /// resident map is the entire state at that moment, and only
+    /// [`WorldState::demote_accounts`] moves records cold.
+    pub fn attach_account_pager(&mut self, pager: Arc<dyn AccountPager>) {
+        debug_assert!(pager.is_empty(), "account pager must be attached empty");
+        self.pager = Some(pager);
+    }
+
+    /// Number of account records currently cold.
+    pub fn paged_account_count(&self) -> usize {
+        self.pager.as_ref().map_or(0, |p| p.len())
+    }
+
+    /// Moves hot accounts (outside `keep`) to the pager until at most
+    /// `max_hot` stay resident; returns how many were demoted. Lowest
+    /// addresses demote first — the ledger passes the block's written
+    /// addresses as `keep`, so the write-hot set stays resident.
+    pub fn demote_accounts(&mut self, max_hot: usize, keep: &BTreeSet<Address>) -> usize {
+        let Some(pager) = self.pager.clone() else { return 0 };
+        let excess = self.accounts.len().saturating_sub(max_hot);
+        if excess == 0 {
+            return 0;
+        }
+        let victims: Vec<Address> =
+            self.accounts.keys().filter(|a| !keep.contains(a)).take(excess).copied().collect();
+        for addr in &victims {
+            let account = self.accounts.remove(addr).expect("victim is hot");
+            pager.store(addr, &account);
+        }
+        victims.len()
+    }
+
+    /// Promotes `addr`'s cold record into the resident map, if it has
+    /// one. Every `&mut` account path calls this first, preserving
+    /// hot/cold disjointness.
+    fn promote(&mut self, addr: &Address) {
+        if self.accounts.contains_key(addr) {
+            return;
+        }
+        if let Some(account) = self.pager.as_ref().and_then(|p| p.take(addr)) {
+            self.accounts.insert(*addr, account);
+        }
+    }
+
+    /// Feeds every account to `emit` in ascending address order, merging
+    /// the resident map with the pager's cold records (disjoint by
+    /// invariant, so the merge is a plain ordered zip).
+    fn for_each_account(&self, emit: &mut dyn FnMut(&Address, &Account)) {
+        let Some(pager) = &self.pager else {
+            for (addr, account) in &self.accounts {
+                emit(addr, account);
+            }
+            return;
+        };
+        let cold = pager.entries();
+        let mut hot = self.accounts.iter().peekable();
+        let mut cold = cold.iter().peekable();
+        loop {
+            match (hot.peek(), cold.peek()) {
+                (Some((ha, _)), Some((ca, _))) => {
+                    debug_assert_ne!(*ha, ca, "hot/cold disjointness violated");
+                    if *ha < ca {
+                        let (addr, account) = hot.next().expect("peeked");
+                        emit(addr, account);
+                    } else {
+                        let (addr, account) = cold.next().expect("peeked");
+                        emit(addr, account);
+                    }
+                }
+                (Some(_), None) => {
+                    let (addr, account) = hot.next().expect("peeked");
+                    emit(addr, account);
+                }
+                (None, Some(_)) => {
+                    let (addr, account) = cold.next().expect("peeked");
+                    emit(addr, account);
+                }
+                (None, None) => return,
+            }
+        }
+    }
+
+    /// Returns the account for `addr` (default if absent), falling
+    /// through to the pager for cold records.
     pub fn account(&self, addr: &Address) -> Account {
-        self.accounts.get(addr).copied().unwrap_or_default()
+        if let Some(account) = self.accounts.get(addr) {
+            return *account;
+        }
+        self.pager.as_ref().and_then(|p| p.load(addr)).unwrap_or_default()
     }
 
     /// Credits `amount` to `addr`.
     pub fn credit(&mut self, addr: Address, amount: u64) {
+        self.promote(&addr);
         self.accounts.entry(addr).or_default().balance += amount;
     }
 
@@ -257,6 +464,7 @@ impl WorldState {
     ///
     /// Returns [`LedgerError::InsufficientBalance`] if funds are missing.
     pub fn debit(&mut self, addr: Address, amount: u64) -> Result<(), LedgerError> {
+        self.promote(&addr);
         let account = self.accounts.entry(addr).or_default();
         if account.balance < amount {
             return Err(LedgerError::InsufficientBalance {
@@ -397,11 +605,11 @@ impl WorldState {
     /// authenticated tree builds from.
     pub(crate) fn for_each_leaf(&self, emit: &mut dyn FnMut(LeafKey, &[u8])) {
         let mut scratch = Vec::new();
-        for (addr, account) in &self.accounts {
+        self.for_each_account(&mut |addr, account| {
             scratch.clear();
             account.encode(&mut scratch);
             emit(LeafKey::Account(*addr), &scratch);
-        }
+        });
         for (contract, slots) in &self.storage {
             for (key, value) in slots {
                 emit(LeafKey::Storage(*contract, key.clone()), value);
@@ -432,10 +640,15 @@ impl WorldState {
 
     /// Canonical authenticated-leaf value bytes stored at `key`, or
     /// `None` when the entry is absent. This is the byte string a
-    /// [`StateProof`](crate::auth::StateProof) for `key` commits to.
+    /// [`StateProof`] for `key` commits to.
     pub fn leaf_value(&self, key: &LeafKey) -> Option<Vec<u8>> {
         match key {
-            LeafKey::Account(addr) => self.accounts.get(addr).map(|a| a.encoded()),
+            LeafKey::Account(addr) => self
+                .accounts
+                .get(addr)
+                .copied()
+                .or_else(|| self.pager.as_ref().and_then(|p| p.load(addr)))
+                .map(|a| a.encoded()),
             LeafKey::Storage(contract, slot) => {
                 self.storage(contract, slot).map(|v| v.to_vec())
             }
@@ -452,7 +665,7 @@ impl WorldState {
     /// Total number of authenticated leaves (equals
     /// `StateTree::from_state(self).len()` without building the tree).
     pub fn leaf_count(&self) -> usize {
-        self.accounts.len()
+        self.account_count()
             + self.storage_slot_count()
             + self.code.len()
             + self.anchors.len()
@@ -461,9 +674,9 @@ impl WorldState {
             + self.xs_decisions.len()
     }
 
-    /// Number of accounts with a materialized record.
+    /// Number of accounts with a materialized record, hot or cold.
     pub fn account_count(&self) -> usize {
-        self.accounts.len()
+        self.accounts.len() + self.paged_account_count()
     }
 
     /// Total storage slots across all contracts.
@@ -489,7 +702,12 @@ impl WorldState {
         let StateDelta { accounts, storage, code, anchors, crosslinks, locks, xs_decisions } =
             delta;
         for (addr, account) in accounts {
-            undo.accounts.push((addr, self.accounts.insert(addr, account)));
+            // The undo records the *merged* prior value: a delta write to
+            // a cold address removes its pager record (disjointness), so
+            // revert must be able to re-materialize it hot.
+            let cold = self.pager.as_ref().and_then(|p| p.take(&addr));
+            let prior = self.accounts.insert(addr, account).or(cold);
+            undo.accounts.push((addr, prior));
         }
         for ((contract, key), value) in storage {
             let prior = match value {
@@ -576,6 +794,10 @@ impl StateAccess for WorldState {
     }
 
     fn set_account(&mut self, addr: Address, account: Account) {
+        // Drop any cold copy first: a write re-homes the record hot.
+        if let Some(pager) = &self.pager {
+            pager.take(&addr);
+        }
         self.accounts.insert(addr, account);
     }
 
@@ -797,6 +1019,43 @@ pub struct Ledger {
     /// by [`Ledger::state_tree`]. The `Mutex` exists only for that lazy
     /// rebuild from `&self` paths (`propose`, `prove_state`).
     tree: Mutex<Option<StateTree>>,
+    /// Paged-state configuration (DESIGN.md §14); `None` = fully
+    /// resident. When set, every commit demotes cold accounts past
+    /// `max_hot_accounts` and spills cold tree subtrees past
+    /// `node_budget`.
+    state_cache: Option<StateCacheConfig>,
+    /// Post-commit hook fed the block and its flattened leaf updates —
+    /// how derived projections (`latest_state`) stay current without a
+    /// second delta pass through public API.
+    commit_observer: Option<CommitObserver>,
+}
+
+/// Post-commit callback: the committed block plus its state changes as
+/// `(leaf key, new value)` pairs (`None` = deleted), in
+/// [`delta_updates`](crate::auth::delta_updates) order.
+pub type CommitObserver = Box<dyn FnMut(&Block, &[(LeafKey, Option<Vec<u8>>)]) + Send>;
+
+/// Wiring for the paged state cache (DESIGN.md §14): where cold account
+/// records and cold tree subtrees go, and how much stays resident.
+pub struct StateCacheConfig {
+    /// Disk store for cold account records.
+    pub accounts: Arc<dyn AccountPager>,
+    /// Disk store for spilled state-tree subtrees.
+    pub nodes: Arc<dyn crate::auth::NodePager>,
+    /// Account records kept resident; the rest demote after each commit
+    /// (the block's written addresses always stay hot).
+    pub max_hot_accounts: usize,
+    /// Tree nodes kept resident; cold subtrees past this spill to pages.
+    pub node_budget: usize,
+}
+
+impl fmt::Debug for StateCacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StateCacheConfig")
+            .field("max_hot_accounts", &self.max_hot_accounts)
+            .field("node_budget", &self.node_budget)
+            .finish()
+    }
 }
 
 impl fmt::Debug for Ledger {
@@ -845,7 +1104,41 @@ impl Ledger {
             exec_threads: 1,
             metrics: Metrics::noop(),
             tree: Mutex::new(Some(StateTree::new())),
+            state_cache: None,
+            commit_observer: None,
         }
+    }
+
+    /// Attaches the paged state cache (DESIGN.md §14): cold accounts and
+    /// cold tree subtrees past the configured budgets move to the pagers
+    /// after every commit, keeping the resident footprint bounded while
+    /// state roots stay byte-identical to a fully-resident node.
+    ///
+    /// Attach **after** any recovery replay or [`Ledger::restore`]: both
+    /// pagers must be empty (the page file is derived data, truncated on
+    /// open), and a restore drops the cache so a stale pager can never
+    /// shadow the restored state.
+    pub fn attach_state_cache(&mut self, cache: StateCacheConfig) {
+        self.state.attach_account_pager(Arc::clone(&cache.accounts));
+        if let Some(tree) = self.tree.get_mut().expect("state tree cache poisoned").as_mut() {
+            tree.attach_pager(Arc::clone(&cache.nodes));
+            tree.spill_to_budget(cache.node_budget);
+        }
+        self.state.demote_accounts(cache.max_hot_accounts, &BTreeSet::new());
+        self.state_cache = Some(cache);
+    }
+
+    /// Whether a paged state cache is attached.
+    pub fn has_state_cache(&self) -> bool {
+        self.state_cache.is_some()
+    }
+
+    /// Installs the post-commit observer: after every successful
+    /// [`Ledger::apply`] it receives the block and its flattened
+    /// `(leaf key, new value)` updates. Used by the `latest_state`
+    /// projection; at most one observer is held (setting replaces).
+    pub fn set_commit_observer(&mut self, observer: CommitObserver) {
+        self.commit_observer = Some(observer);
     }
 
     /// Enables wave-parallel block execution over `threads` worker
@@ -1008,6 +1301,10 @@ impl Ledger {
         self.tx_locations.clear();
         self.stats = LedgerStats::default();
         *self.tree.get_mut().expect("state tree cache poisoned") = Some(tree);
+        // A restored state is fully resident and the old pagers may hold
+        // entries for the replaced state — drop the cache rather than
+        // let stale pages shadow it. Wiring re-attaches a fresh cache.
+        self.state_cache = None;
         Ok(())
     }
 
@@ -1034,7 +1331,12 @@ impl Ledger {
     pub fn state_tree(&self) -> StateTree {
         let mut cached = self.tree.lock().expect("state tree cache poisoned");
         if cached.is_none() {
-            *cached = Some(StateTree::from_state(&self.state));
+            let mut tree = StateTree::from_state(&self.state);
+            if let Some(cache) = &self.state_cache {
+                tree.attach_pager(Arc::clone(&cache.nodes));
+                tree.spill_to_budget(cache.node_budget);
+            }
+            *cached = Some(tree);
         }
         cached.as_ref().expect("cache just filled").clone()
     }
@@ -1263,6 +1565,17 @@ impl Ledger {
         if updated_tree.versioned_root() != block.header.state_root {
             return Err(LedgerError::StateRootMismatch);
         }
+        // Captured before `apply_delta` consumes the delta: the flat
+        // leaf updates for the commit observer, and the written account
+        // addresses that must stay hot through this commit's demotion.
+        let observer_updates = self
+            .commit_observer
+            .as_ref()
+            .map(|_| crate::auth::delta_updates(&delta));
+        let written_accounts: Option<BTreeSet<Address>> = self
+            .state_cache
+            .as_ref()
+            .map(|_| delta.accounts.keys().copied().collect());
         // Write-ahead: the block must be durable before the in-memory
         // commit, so a crash leaves disk and memory agreeing (disk may
         // carry a torn tail record, which recovery truncates). The store
@@ -1292,6 +1605,34 @@ impl Ledger {
         }
         self.stats.blocks += 1;
         self.blocks.push(block.clone());
+        if let Some(observer) = self.commit_observer.as_mut() {
+            let updates = observer_updates.as_deref().expect("captured before commit");
+            observer(self.blocks.last().expect("just pushed"), updates);
+        }
+        // Paged state cache: after the commit is final, push cold
+        // accounts and cold tree subtrees back under budget. Addresses
+        // this block wrote stay hot — they are the working set.
+        if let Some(cache) = &self.state_cache {
+            let keep = written_accounts.as_ref().expect("captured before commit");
+            let demoted = self.state.demote_accounts(cache.max_hot_accounts, keep);
+            let tree_guard = self.tree.get_mut().expect("state tree cache poisoned");
+            if let Some(tree) = tree_guard.as_mut() {
+                if tree.pager().is_none() {
+                    tree.attach_pager(Arc::clone(&cache.nodes));
+                }
+                tree.spill_to_budget(cache.node_budget);
+            }
+            if self.metrics.enabled() {
+                if demoted > 0 {
+                    self.metrics.counter("state.accounts_demoted", demoted as u64);
+                }
+                self.metrics
+                    .gauge("state.paged_accounts", self.state.paged_account_count() as i64);
+                if let Some(tree) = tree_guard.as_ref() {
+                    self.metrics.gauge("auth.resident_nodes", tree.resident_nodes() as i64);
+                }
+            }
+        }
         if self.metrics.enabled() {
             self.metrics.counter("exec.blocks", 1);
             self.metrics.counter("exec.txs", tx_count as u64);
@@ -1849,6 +2190,7 @@ mod codec_impls {
     use super::{
         Account, CrossLinkRecord, Event, Receipt, WorldState, XsDecisionRecord, XsLock,
     };
+    use medchain_runtime::codec::{CodecError, Decode, Encode, Reader};
     use medchain_runtime::impl_codec_struct;
 
     impl_codec_struct!(Account { balance, nonce });
@@ -1857,13 +2199,45 @@ mod codec_impls {
     impl_codec_struct!(CrossLinkRecord { height, tip });
     impl_codec_struct!(XsLock { xid, amount, debit, deadline_ms });
     impl_codec_struct!(XsDecisionRecord { commit, tx_id });
-    impl_codec_struct!(WorldState {
-        accounts,
-        storage,
-        code,
-        anchors,
-        crosslinks,
-        locks,
-        xs_decisions
-    });
+
+    // Hand-rolled (not `impl_codec_struct!`) because the account
+    // component streams the *merged* hot+cold view: byte-identical to a
+    // fully resident `BTreeMap` encoding (u32 count, ascending pairs),
+    // regardless of which records the pager holds. The remaining fields
+    // follow declaration order exactly as the macro would emit them.
+    impl Encode for WorldState {
+        fn encode(&self, out: &mut Vec<u8>) {
+            let count = u32::try_from(self.account_count())
+                .expect("account count exceeds u32 — canonical codec limit");
+            count.encode(out);
+            self.for_each_account(&mut |addr, account| {
+                addr.encode(out);
+                account.encode(out);
+            });
+            self.storage.encode(out);
+            self.code.encode(out);
+            self.anchors.encode(out);
+            self.crosslinks.encode(out);
+            self.locks.encode(out);
+            self.xs_decisions.encode(out);
+        }
+    }
+
+    impl Decode for WorldState {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+            // Decoded states start fully resident; recovery re-attaches
+            // a pager (and re-demotes) after install.
+            Ok(WorldState {
+                accounts: Decode::decode(r)?,
+                storage: Decode::decode(r)?,
+                code: Decode::decode(r)?,
+                anchors: Decode::decode(r)?,
+                crosslinks: Decode::decode(r)?,
+                locks: Decode::decode(r)?,
+                xs_decisions: Decode::decode(r)?,
+                pager: None,
+            })
+        }
+    }
+
 }

@@ -46,13 +46,13 @@ pub mod sig;
 pub mod store;
 pub mod tx;
 
-pub use auth::{LeafKey, ProofTerminal, SmtProof, StateProof, StateTree};
+pub use auth::{LeafKey, NodePager, ProofTerminal, SmtProof, StateProof, StateTree};
 pub use block::{Block, Header, Seal};
 pub use exec::{ExecScope, RwSet, StateAccess, StateDelta, StateKey, WorldStateOverlay};
 pub use hash::{Hash256, Sha256};
 pub use ledger::{
-    ContractRuntime, CrossLinkRecord, Event, ExecError, ExecOutcome, Ledger, Receipt, WorldState,
-    XsDecisionRecord, XsLock,
+    Account, AccountPager, CommitObserver, ContractRuntime, CrossLinkRecord, Event, ExecError,
+    ExecOutcome, Ledger, Receipt, StateCacheConfig, WorldState, XsDecisionRecord, XsLock,
 };
 pub use mempool::Lane;
 pub use merkle::{MerkleProof, MerkleTree};

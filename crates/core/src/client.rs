@@ -11,6 +11,7 @@ use medchain_chain::auth::key_hash;
 use medchain_chain::receipt::TxReceipt;
 use medchain_chain::{Hash256, Lane, LeafKey, ShardId, StateProof, Transaction};
 use medchain_runtime::codec::{Decode, Encode};
+use medchain_storage::{SnapshotChunk, SnapshotManifest};
 use std::fmt;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpStream};
@@ -154,11 +155,84 @@ impl Client {
                 shard: receipt.shard,
                 lane: Lane::Normal,
             }),
-            GatewayResponse::Unknown { .. }
-            | GatewayResponse::XsDecision { .. }
-            | GatewayResponse::Proven { .. } => {
-                Err(ClientError::Protocol(format!("bad reply to Submit of {tx_id:?}")))
-            }
+            _ => Err(ClientError::Protocol(format!("bad reply to Submit of {tx_id:?}"))),
+        }
+    }
+
+    /// Asks the gateway for its newest streamable snapshot of `shard`
+    /// (bootstrap-from-peer, DESIGN.md §14). `None` means the peer has
+    /// nothing to offer — fall back to block-by-block catch-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] / [`ClientError::Protocol`] on
+    /// transport trouble or a non-offer reply.
+    pub fn snapshot_manifest(
+        &mut self,
+        shard: ShardId,
+    ) -> Result<Option<SnapshotManifest>, ClientError> {
+        match self.request(
+            &GatewayRequest::SnapshotInfo { shard },
+            Instant::now() + Duration::from_secs(10),
+        )? {
+            GatewayResponse::SnapshotOffer { manifest } => Ok(manifest),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected SnapshotInfo reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches one chunk of an advertised snapshot. `None` means the
+    /// peer no longer serves that height — re-request the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Io`] / [`ClientError::Protocol`] on
+    /// transport trouble or a non-chunk reply.
+    pub fn snapshot_chunk(
+        &mut self,
+        shard: ShardId,
+        height: u64,
+        index: u32,
+    ) -> Result<Option<SnapshotChunk>, ClientError> {
+        match self.request(
+            &GatewayRequest::SnapshotChunk { shard, height, index },
+            Instant::now() + Duration::from_secs(10),
+        )? {
+            GatewayResponse::SnapshotPiece { chunk } => Ok(chunk),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected SnapshotChunk reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches a frame-bounded page of committed blocks of `shard` at
+    /// and above `height`, plus the peer's tip height (the WAL-tail
+    /// catch-up feed; keep paging from the next height until caught
+    /// up).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Rejected`] when the peer does not serve
+    /// block streaming, [`ClientError::Io`] / [`ClientError::Protocol`]
+    /// on transport trouble.
+    pub fn blocks_from(
+        &mut self,
+        shard: ShardId,
+        height: u64,
+    ) -> Result<(u64, Vec<medchain_chain::Block>), ClientError> {
+        match self.request(
+            &GatewayRequest::BlocksFrom { shard, height },
+            Instant::now() + Duration::from_secs(10),
+        )? {
+            GatewayResponse::Blocks { tip_height, blocks } => Ok((tip_height, blocks)),
+            GatewayResponse::Rejected { reason, .. } => Err(ClientError::Rejected {
+                tx_id: Hash256::ZERO,
+                reason,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected BlocksFrom reply: {other:?}"
+            ))),
         }
     }
 

@@ -29,7 +29,8 @@
 
 use medchain_chain::node::SubmitOutcome;
 use medchain_chain::receipt::TxReceipt;
-use medchain_chain::{Hash256, KeyRegistry, Lane, LeafKey, ShardId, StateProof, Transaction};
+use medchain_chain::{Block, Hash256, KeyRegistry, Lane, LeafKey, ShardId, StateProof, Transaction};
+use medchain_storage::{SnapshotChunk, SnapshotManifest};
 use medchain_runtime::codec::{Decode, Encode};
 use medchain_runtime::metrics::Metrics;
 use medchain_runtime::sync::scoped_map;
@@ -108,6 +109,30 @@ pub enum GatewayRequest {
         /// the key does not route to. `None` = home shard.
         shard: Option<ShardId>,
     },
+    /// Ask for the newest streamable snapshot of one sub-chain
+    /// (bootstrap-from-peer, DESIGN.md §14).
+    SnapshotInfo {
+        /// The sub-chain being bootstrapped.
+        shard: ShardId,
+    },
+    /// Fetch one chunk of an advertised snapshot.
+    SnapshotChunk {
+        /// The sub-chain the manifest came from.
+        shard: ShardId,
+        /// Height of the manifest being fetched.
+        height: u64,
+        /// Chunk index in `0..manifest.chunk_count`.
+        index: u32,
+    },
+    /// Fetch committed blocks at and above `height` — the WAL-tail
+    /// catch-up after a snapshot install. Responses are paged to the
+    /// frame cap; the client re-requests from the next height.
+    BlocksFrom {
+        /// The sub-chain being caught up.
+        shard: ShardId,
+        /// First height wanted.
+        height: u64,
+    },
 }
 
 /// A gateway-to-client message.
@@ -152,6 +177,31 @@ pub enum GatewayResponse {
         /// The complete state proof.
         proof: StateProof,
     },
+    /// Answer to [`GatewayRequest::SnapshotInfo`]: the newest
+    /// streamable snapshot's manifest, or `None` when the backend has
+    /// none to offer (no snapshot taken yet, or streaming unsupported).
+    SnapshotOffer {
+        /// The manifest the joiner should assemble against.
+        manifest: Option<SnapshotManifest>,
+    },
+    /// Answer to [`GatewayRequest::SnapshotChunk`]: the chunk, or
+    /// `None` when the requested height/index is not being served
+    /// (e.g. the snapshot was pruned — re-request the manifest).
+    SnapshotPiece {
+        /// The self-describing, CRC-framed chunk.
+        chunk: Option<SnapshotChunk>,
+    },
+    /// Answer to [`GatewayRequest::BlocksFrom`]: a frame-bounded page
+    /// of committed blocks plus the server's tip height, so the client
+    /// knows whether to keep paging.
+    Blocks {
+        /// The serving chain's current tip height.
+        tip_height: u64,
+        /// Consecutive committed blocks starting at the requested
+        /// height (possibly truncated to fit the frame; empty when the
+        /// height is above the tip or already pruned from memory).
+        blocks: Vec<Block>,
+    },
     /// The coordinator's verdict on a cross-shard transaction.
     XsDecision {
         /// The cross-shard transaction id.
@@ -176,6 +226,9 @@ mod codec_impls {
         1 => Status { tx_id },
         2 => XsStatus { xid },
         3 => Query { key, shard },
+        4 => SnapshotInfo { shard },
+        5 => SnapshotChunk { shard, height, index },
+        6 => BlocksFrom { shard, height },
     });
     impl_codec_enum!(GatewayResponse {
         0 => Accepted { tx_id, shard, lane },
@@ -185,6 +238,9 @@ mod codec_impls {
         4 => Unknown { tx_id },
         5 => XsDecision { xid, decided, commit, receipt },
         6 => Proven { proof },
+        7 => SnapshotOffer { manifest },
+        8 => SnapshotPiece { chunk },
+        9 => Blocks { tip_height, blocks },
     });
 }
 
@@ -320,6 +376,32 @@ pub trait GatewayBackend {
     /// serve authenticated state keep the default: unsupported.
     fn query_state(&self, key: &LeafKey, shard: Option<ShardId>) -> Option<StateProof> {
         let _ = (key, shard);
+        None
+    }
+
+    /// The newest streamable snapshot manifest for `shard`, building
+    /// (and caching) the snapshot payload if needed. Backends that do
+    /// not serve bootstrap streams keep the default: none offered
+    /// (DESIGN.md §14).
+    fn snapshot_manifest(&mut self, shard: ShardId) -> Option<SnapshotManifest> {
+        let _ = shard;
+        None
+    }
+
+    /// One chunk of a snapshot previously advertised by
+    /// [`GatewayBackend::snapshot_manifest`]. `None` if that snapshot
+    /// is no longer being served (the client re-requests the manifest).
+    fn snapshot_chunk(&mut self, shard: ShardId, height: u64, index: u32) -> Option<SnapshotChunk> {
+        let _ = (shard, height, index);
+        None
+    }
+
+    /// Committed blocks of `shard` at and above `height` (oldest
+    /// first), plus the chain's tip height — the WAL-tail feed after a
+    /// snapshot install. The gateway truncates to the frame cap, so
+    /// backends return what they retain and let paging do the rest.
+    fn blocks_from(&mut self, shard: ShardId, height: u64) -> Option<(u64, Vec<Block>)> {
+        let _ = (shard, height);
         None
     }
 }
@@ -539,6 +621,32 @@ impl GatewayServer {
                     };
                     responses.push((conn, response));
                 }
+                GatewayRequest::SnapshotInfo { shard } => {
+                    report.status_queries += 1;
+                    self.metrics.counter("gateway.snapshot_info", 1);
+                    let manifest = backend.snapshot_manifest(shard);
+                    responses.push((conn, GatewayResponse::SnapshotOffer { manifest }));
+                }
+                GatewayRequest::SnapshotChunk { shard, height, index } => {
+                    report.status_queries += 1;
+                    self.metrics.counter("gateway.snapshot_chunks", 1);
+                    let chunk = backend.snapshot_chunk(shard, height, index);
+                    responses.push((conn, GatewayResponse::SnapshotPiece { chunk }));
+                }
+                GatewayRequest::BlocksFrom { shard, height } => {
+                    report.status_queries += 1;
+                    self.metrics.counter("gateway.block_pages", 1);
+                    let response = match backend.blocks_from(shard, height) {
+                        Some((tip_height, blocks)) => {
+                            Self::bounded_blocks(tip_height, blocks)
+                        }
+                        None => GatewayResponse::Rejected {
+                            tx_id: Hash256::ZERO,
+                            reason: "block streaming unsupported or shard unknown".into(),
+                        },
+                    };
+                    responses.push((conn, response));
+                }
                 GatewayRequest::Submit { tx, priority } => {
                     let tx_id = tx.id();
                     // Dedup BEFORE signature work: a retried submission
@@ -683,6 +791,23 @@ impl GatewayServer {
                 ));
             }
         }
+    }
+
+    /// Truncates a block page until the encoded response fits one
+    /// gateway frame — the client sees fewer blocks than the tip and
+    /// simply re-requests from the next height (a single block larger
+    /// than the frame cannot exist: block bodies are bounded well below
+    /// [`MAX_FRAME`] by consensus batch limits, but an empty page is
+    /// still returned rather than an oversized frame).
+    fn bounded_blocks(tip_height: u64, mut blocks: Vec<Block>) -> GatewayResponse {
+        // Envelope: tag byte + tip_height u64 + vec length prefix.
+        let envelope = 1 + 8 + 4;
+        let mut size = envelope + blocks.iter().map(|b| b.encoded().len()).sum::<usize>();
+        while size > MAX_FRAME {
+            let dropped = blocks.pop().expect("envelope alone fits a frame");
+            size -= dropped.encoded().len();
+        }
+        GatewayResponse::Blocks { tip_height, blocks }
     }
 
     /// Status lookup order is a durability contract: the committed

@@ -20,6 +20,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bootstrap;
 pub mod client;
 pub mod gateway;
 pub mod loadgen;
@@ -30,6 +31,7 @@ pub mod pipeline;
 pub mod sharded;
 pub mod site;
 
+pub use bootstrap::{BootstrapError, BootstrapReport, BootstrapSource, SnapshotPeer};
 pub use client::{Client, ClientError, PendingTx};
 pub use gateway::{
     GatewayBackend, GatewayConfig, GatewayRequest, GatewayResponse, GatewayServer, PumpReport,

@@ -8,6 +8,7 @@
 //! locally resident data, transaction submission with nonce tracking,
 //! and the control-plane cycle.
 
+use crate::bootstrap::{stream_into, BootstrapSource, SnapshotPeer};
 use crate::client::PendingTx;
 use crate::gateway::{GatewayBackend, GatewayConfig, GatewayServer, PumpReport};
 use crate::site::Site;
@@ -18,8 +19,8 @@ use medchain_chain::net::{SimTransport, TcpTransport, Transport};
 use medchain_chain::node::{ChainApp, SubmitOutcome};
 use medchain_chain::receipt::TxReceipt;
 use medchain_chain::{
-    Address, AuthorityKey, Hash256, KeyRegistry, Lane, LeafKey, Receipt, ShardId, StateProof,
-    Transaction, TxPayload,
+    Address, AuthorityKey, Block, Hash256, KeyRegistry, Lane, LeafKey, Receipt, ShardId,
+    StateCacheConfig, StateProof, Transaction, TxPayload,
 };
 use medchain_contracts::native::native_manifest;
 use medchain_contracts::policy::Purpose;
@@ -28,10 +29,14 @@ use medchain_contracts::value::Value;
 use medchain_data::PatientRecord;
 use medchain_offchain::ActionIntent;
 use medchain_runtime::metrics::Metrics;
-use medchain_storage::{DiskStore, StorageConfig};
+use medchain_storage::{
+    stream, DiskStore, LatestState, PageStore, PagedAccounts, PagedNodes, SnapshotChunk,
+    SnapshotManifest, StorageConfig, ACCOUNTS_PER_PAGE,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Addresses of the three standard contracts after deployment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,6 +193,8 @@ pub struct NetworkBuilder {
     pub(crate) shards: u16,
     pub(crate) gateway: Option<GatewayConfig>,
     pub(crate) parallel_exec: usize,
+    pub(crate) state_cache_pages: Option<usize>,
+    pub(crate) track_latest: bool,
 }
 
 impl fmt::Debug for NetworkBuilder {
@@ -210,7 +217,36 @@ impl NetworkBuilder {
             shards: 1,
             gateway: None,
             parallel_exec: 1,
+            state_cache_pages: None,
+            track_latest: false,
         }
+    }
+
+    /// Caps every site's resident state at roughly `pages` 4 KiB page
+    /// slots (DESIGN.md §14): cold accounts and authenticated-tree
+    /// subtrees spill to a per-site `pages.bin` page file and fault back
+    /// in on demand, so total state may exceed RAM. Committed roots are
+    /// byte-identical to a fully-resident node. Requires
+    /// [`NetworkBuilder::storage`] (the page file lives in the site's
+    /// data directory); without storage the setting is ignored. The
+    /// `MEDCHAIN_STATE_CACHE_PAGES` environment variable sets the same
+    /// budget when this method was not called.
+    #[must_use]
+    pub fn state_cache(mut self, pages: usize) -> NetworkBuilder {
+        assert!(pages > 0, "a page cache needs at least one page slot");
+        self.state_cache_pages = Some(pages);
+        self
+    }
+
+    /// Maintains the `latest_state` projection (DESIGN.md §14) on
+    /// replica 0: a key → newest-committed-value map updated from each
+    /// committed block's state delta, giving HIE-style point reads O(1)
+    /// lookups without touching the authenticated tree. Fetch it with
+    /// [`MedicalNetwork::latest_state`].
+    #[must_use]
+    pub fn track_latest_state(mut self) -> NetworkBuilder {
+        self.track_latest = true;
+        self
     }
 
     /// Executes committed blocks on `threads` worker threads via the
@@ -374,39 +410,93 @@ impl NetworkBuilder {
                 app
             })
             .collect();
+        // The latest_state projection feeds off replica 0's committed
+        // deltas; install the observer before recovery so replayed
+        // blocks populate it too.
+        let latest_state = self.track_latest.then(|| Arc::new(LatestState::new()));
+        if let Some(latest) = &latest_state {
+            let sink = Arc::clone(latest);
+            apps[0].ledger_mut().set_commit_observer(Box::new(move |block, updates| {
+                sink.record(block, updates);
+            }));
+        }
         // Durable storage: recover each site's ledger from its data dir
-        // (replaying the persisted chain), then attach the store so
-        // every later commit is persisted write-ahead.
+        // (replaying the persisted chain), stream a snapshot into any
+        // site that recovered behind the cohort (a wiped or stale data
+        // directory), then attach the stores so every later commit is
+        // persisted write-ahead.
         let mut resumed_height = 0u64;
         if let Some((root, config)) = &self.storage {
-            let mut reports = Vec::with_capacity(n);
+            let mut stores = Vec::with_capacity(n);
+            let mut dirs = Vec::with_capacity(n);
             for (i, app) in apps.iter_mut().enumerate() {
                 let dir = root.join(format!("site-{i}"));
                 // Replica-0 convention: only site 0's store reports.
                 let metrics =
                     if i == 0 { self.metrics.clone() } else { Metrics::noop() };
-                let mut store = DiskStore::open_with_metrics(dir, *config, metrics)
-                    .map_err(|e| NetworkError::Storage(e.to_string()))?;
-                let report = store
+                let store_metrics = metrics.clone();
+                let mut store =
+                    DiskStore::open_with_metrics(dir.clone(), *config, store_metrics)
+                        .map_err(|e| NetworkError::Storage(e.to_string()))?;
+                store
                     .recover_into(app.ledger_mut())
                     .map_err(|e| NetworkError::Storage(format!("site {i}: {e}")))?;
-                app.attach_store(Box::new(store));
-                reports.push(report);
+                stores.push(store);
+                dirs.push(dir);
             }
+            let build_metrics = self.metrics.clone();
+            let interval = self.block_interval_ms;
+            let parallel = self.parallel_exec;
+            let fresh_registry = registry.clone();
+            let fresh_latest = latest_state.clone();
+            let fresh_app = move |i: usize| {
+                let mut app = ChainApp::with_runtime(
+                    "medchain",
+                    fresh_registry.clone(),
+                    Box::new(Runtime::standard()),
+                );
+                app.set_timestamp_quantum_ms(interval);
+                app.ledger_mut().set_parallel_exec(parallel);
+                if i == 0 {
+                    app.set_metrics(build_metrics.clone());
+                    if let Some(latest) = &fresh_latest {
+                        let sink = Arc::clone(latest);
+                        app.ledger_mut().set_commit_observer(Box::new(
+                            move |block, updates| sink.record(block, updates),
+                        ));
+                    }
+                }
+                app
+            };
+            bootstrap_lagging(
+                &mut apps,
+                &mut stores,
+                &dirs,
+                *config,
+                &self.metrics,
+                &fresh_app,
+                "network",
+            )?;
             // A resumed consortium must agree before consensus restarts:
-            // the sites live in one process, so a crash stops them at the
-            // same commit (modulo a torn tail, which recovery removed).
-            let tip0 = reports[0].tip_id;
-            if let Some((i, r)) =
-                reports.iter().enumerate().find(|(_, r)| r.tip_id != tip0)
-            {
+            // local recovery and the streamed rejoin above both end at
+            // the cohort tip, so a surviving mismatch is real divergence.
+            let tip0 = apps[0].ledger().tip().id();
+            if let Some(i) = (1..n).find(|&i| apps[i].ledger().tip().id() != tip0) {
                 return Err(NetworkError::Storage(format!(
                     "site {i} recovered height {} (tip {:?}) but site 0 \
                      recovered height {} (tip {tip0:?})",
-                    r.height, r.tip_id, reports[0].height
+                    apps[i].ledger().height(),
+                    apps[i].ledger().tip().id(),
+                    apps[0].ledger().height()
                 )));
             }
-            resumed_height = reports[0].height;
+            resumed_height = apps[0].ledger().height();
+            let cache_pages = effective_cache_pages(self.state_cache_pages);
+            for (i, (app, store)) in apps.iter_mut().zip(stores).enumerate() {
+                let metrics =
+                    if i == 0 { self.metrics.clone() } else { Metrics::noop() };
+                attach_site_store(app, store, cache_pages, metrics)?;
+            }
         }
         let resumed = resumed_height > 0;
         let net: Box<dyn Transport<PoaMsg>> = match self.transport {
@@ -448,6 +538,8 @@ impl NetworkBuilder {
             resumed,
             gateway: None,
             client_keys,
+            latest_state,
+            stream_cache: None,
         };
         if let Some(cfg) = self.gateway {
             let server = GatewayServer::start(cfg, network.metrics.clone())
@@ -499,6 +591,103 @@ pub(crate) fn client_keys_for(cfg: Option<&GatewayConfig>) -> Vec<AuthorityKey> 
     (0..clients).map(|i| AuthorityKey::from_seed(0x1000_0000 + i as u64)).collect()
 }
 
+/// Resolves the paged-state budget: an explicit
+/// [`NetworkBuilder::state_cache`] wins, else the
+/// `MEDCHAIN_STATE_CACHE_PAGES` environment variable (a positive page
+/// count) enables paging for every site.
+pub(crate) fn effective_cache_pages(explicit: Option<usize>) -> Option<usize> {
+    explicit.or_else(|| {
+        std::env::var("MEDCHAIN_STATE_CACHE_PAGES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&pages| pages > 0)
+    })
+}
+
+/// Brings every site that recovered behind the cohort tip back in step
+/// by streaming the most advanced site's snapshot + WAL tail into it
+/// (DESIGN.md §14) — the wiped-site rejoin path. Call before stores are
+/// attached; `fresh_app` rebuilds a genesis app for a site whose
+/// partial local prefix has to be discarded (its chain is derived data,
+/// re-obtainable from any honest peer, so the stale directory is wiped
+/// and re-seeded from the stream).
+pub(crate) fn bootstrap_lagging(
+    apps: &mut [ChainApp],
+    stores: &mut [DiskStore],
+    dirs: &[PathBuf],
+    config: StorageConfig,
+    metrics: &Metrics,
+    fresh_app: &dyn Fn(usize) -> ChainApp,
+    label: &str,
+) -> Result<(), NetworkError> {
+    let best = (0..apps.len())
+        .max_by_key(|&i| apps[i].ledger().height())
+        .expect("at least one site");
+    let best_height = apps[best].ledger().height();
+    if best_height == 0 {
+        return Ok(()); // Nothing persisted anywhere: a first boot.
+    }
+    let lagging: Vec<usize> =
+        (0..apps.len()).filter(|&i| apps[i].ledger().height() < best_height).collect();
+    if lagging.is_empty() {
+        return Ok(());
+    }
+    let shard = apps[best].ledger().shard();
+    let source = BootstrapSource::capture(apps[best].ledger(), Some(&stores[best]))
+        .ok_or_else(|| {
+            NetworkError::Storage(format!(
+                "{label}: site {best} has no snapshot to serve rejoining peers"
+            ))
+        })?;
+    let peer = SnapshotPeer::serve(source)
+        .map_err(|e| NetworkError::Storage(format!("{label}: snapshot peer: {e}")))?;
+    for i in lagging {
+        if apps[i].ledger().height() > 0 {
+            // A partial prefix cannot take a streamed snapshot above it
+            // (the WAL would hold a gap): discard and re-seed.
+            std::fs::remove_dir_all(&dirs[i])
+                .map_err(|e| NetworkError::Storage(format!("{label}: reset site {i}: {e}")))?;
+            let site_metrics = if i == 0 { metrics.clone() } else { Metrics::noop() };
+            stores[i] = DiskStore::open_with_metrics(dirs[i].clone(), config, site_metrics)
+                .map_err(|e| NetworkError::Storage(format!("{label}: reopen site {i}: {e}")))?;
+            apps[i] = fresh_app(i);
+        }
+        stream_into(peer.addr(), shard, apps[i].ledger_mut(), &mut stores[i]).map_err(|e| {
+            NetworkError::Storage(format!(
+                "{label}: site {i} failed to bootstrap from site {best}: {e}"
+            ))
+        })?;
+    }
+    Ok(())
+}
+
+/// Finishes a site's storage wiring: opens the paged-state cache when a
+/// budget is set (cold accounts and tree nodes spill to
+/// `<site-dir>/pages.bin`, bounded to `pages` cached slots), then
+/// attaches the store so every later commit is persisted write-ahead.
+pub(crate) fn attach_site_store(
+    app: &mut ChainApp,
+    mut store: DiskStore,
+    cache_pages: Option<usize>,
+    metrics: Metrics,
+) -> Result<(), NetworkError> {
+    if let Some(budget) = cache_pages {
+        let path = store.dir().join("pages.bin");
+        let pages = Arc::new(PageStore::open(&path, budget, metrics).map_err(|e| {
+            NetworkError::Storage(format!("page store {}: {e}", path.display()))
+        })?);
+        store.attach_pages(Arc::clone(&pages));
+        app.ledger_mut().attach_state_cache(StateCacheConfig {
+            accounts: Arc::new(PagedAccounts::new(Arc::clone(&pages))),
+            nodes: Arc::new(PagedNodes::new(pages)),
+            max_hot_accounts: budget * ACCOUNTS_PER_PAGE,
+            node_budget: budget * 32,
+        });
+    }
+    app.attach_store(Box::new(store));
+    Ok(())
+}
+
 /// The running consortium.
 pub struct MedicalNetwork {
     cluster: Cluster<PoaEngine, ChainApp, Box<dyn Transport<PoaMsg>>>,
@@ -512,6 +701,11 @@ pub struct MedicalNetwork {
     resumed: bool,
     gateway: Option<GatewayServer>,
     client_keys: Vec<AuthorityKey>,
+    latest_state: Option<Arc<LatestState>>,
+    // One chunked snapshot materialized per tip for the streaming
+    // protocol; invalidated (rebuilt) when a manifest is requested at a
+    // newer tip.
+    stream_cache: Option<(SnapshotManifest, Vec<u8>)>,
 }
 
 impl fmt::Debug for MedicalNetwork {
@@ -610,6 +804,16 @@ impl MedicalNetwork {
     /// of running the one-time setup.
     pub fn resumed(&self) -> bool {
         self.resumed
+    }
+
+    /// The `latest_state` projection when enabled with
+    /// [`NetworkBuilder::track_latest_state`]: O(1) point reads of the
+    /// newest committed value per key, maintained from replica 0's
+    /// committed state deltas (DESIGN.md §14). Covers every block this
+    /// process replayed, streamed, or committed; a snapshot-restored
+    /// baseline is not back-filled.
+    pub fn latest_state(&self) -> Option<&Arc<LatestState>> {
+        self.latest_state.as_ref()
     }
 
     /// Gracefully releases the transport (socket transports join their
@@ -1087,6 +1291,48 @@ impl GatewayBackend for MedicalNetwork {
         }
         Some(self.ledger().prove_state(key))
     }
+
+    fn snapshot_manifest(&mut self, shard: ShardId) -> Option<SnapshotManifest> {
+        if shard != self.ledger().shard() {
+            return None;
+        }
+        let tip_id = self.ledger().tip().id();
+        if let Some((manifest, _)) = &self.stream_cache {
+            if manifest.tip_id == tip_id {
+                return Some(manifest.clone());
+            }
+        }
+        // Materialize one chunked snapshot at the current tip. The
+        // payload is byte-identical to a local `snap-<height>.bin`
+        // record, so the receiver adopts it and recovers natively.
+        let ledger = self.ledger();
+        let tip = ledger.tip().clone();
+        let payload = stream::snapshot_payload(&tip, ledger.state(), &ledger.state_tree());
+        let manifest = stream::manifest_for(&tip, &payload);
+        self.stream_cache = Some((manifest.clone(), payload));
+        Some(manifest)
+    }
+
+    fn snapshot_chunk(&mut self, shard: ShardId, height: u64, index: u32) -> Option<SnapshotChunk> {
+        if shard != self.ledger().shard() {
+            return None;
+        }
+        // Chunks are only served for the manifest currently materialized;
+        // a stale height tells the client to re-request the manifest.
+        let (manifest, payload) = self.stream_cache.as_ref()?;
+        if manifest.height != height {
+            return None;
+        }
+        stream::chunk_at(height, payload, index)
+    }
+
+    fn blocks_from(&mut self, shard: ShardId, height: u64) -> Option<(u64, Vec<Block>)> {
+        if shard != self.ledger().shard() {
+            return None;
+        }
+        let ledger = self.ledger();
+        Some((ledger.height(), ledger.blocks_from(height).to_vec()))
+    }
 }
 
 #[cfg(test)]
@@ -1271,6 +1517,63 @@ mod tests {
         let receipt = net.commit_and_check(id).unwrap();
         assert_eq!(receipt.events[0].topic, events::DATA_REQUESTED);
         assert!(net.height() > height);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wiped_site_rejoins_via_streamed_snapshot() {
+        let root = std::env::temp_dir()
+            .join(format!("medchain-net-rejoin-{}", std::process::id()));
+        if root.exists() {
+            std::fs::remove_dir_all(&root).unwrap();
+        }
+        let build = |root: &std::path::Path| {
+            MedicalNetwork::builder()
+                .site("hospital-0", records(0, 40))
+                .site("hospital-1", records(1, 40))
+                .site("hospital-2", records(2, 40))
+                .storage_with(root, StorageConfig { snapshot_every: 4, ..Default::default() })
+                .build()
+                .unwrap()
+        };
+
+        // First life: commit work beyond the one-time setup.
+        let mut net = build(&root);
+        net.grant_all(net.site(1).address(), Purpose::Research).unwrap();
+        let height = net.height();
+        let tip = net.ledger().tip().id();
+        drop(net);
+
+        // Site 2 loses its entire data directory.
+        std::fs::remove_dir_all(root.join("site-2")).unwrap();
+
+        // Second life: the wiped site must stream a peer's snapshot +
+        // WAL tail and come back agreeing with the cohort, and the
+        // consortium must keep committing.
+        let mut net = build(&root);
+        assert!(net.resumed());
+        assert_eq!(net.height(), height);
+        for site in 0..3 {
+            assert_eq!(net.ledger_of(site).tip().id(), tip, "site {site} disagrees");
+        }
+        let id = net
+            .invoke_as(
+                1,
+                net.contracts().data,
+                "request",
+                &[Value::str("hospital-0/emr"), Value::Int(Purpose::Research.code())],
+                50_000,
+            )
+            .unwrap();
+        net.commit_and_check(id).unwrap();
+        assert!(net.height() > height);
+        // Third life: the rejoined site's adopted snapshot + appended
+        // tail must now recover natively, with no peer involved.
+        drop(net);
+        let net = build(&root);
+        assert!(net.resumed());
+        let tips: Vec<Hash256> = (0..3).map(|i| net.ledger_of(i).tip().id()).collect();
+        assert!(tips.windows(2).all(|w| w[0] == w[1]));
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -190,26 +190,79 @@ fn make_committee(
     // the caller once the coordinator is recovered too).
     let mut reports = Vec::new();
     if let Some((root, config)) = &builder.storage {
+        let mut stores = Vec::with_capacity(apps.len());
+        let mut dirs = Vec::with_capacity(apps.len());
         for (local, app) in apps.iter_mut().enumerate() {
             let dir = root.join(shard.to_string()).join(format!("site-{local}"));
             let store_metrics = if local == 0 { metrics.clone() } else { Metrics::noop() };
-            let mut store = DiskStore::open_with_metrics(dir, *config, store_metrics)
+            let mut store = DiskStore::open_with_metrics(dir.clone(), *config, store_metrics)
                 .map_err(|e| NetworkError::Storage(format!("{shard}: {e}")))?;
             let report = store
                 .recover_into(app.ledger_mut())
                 .map_err(|e| NetworkError::Storage(format!("{shard} site {local}: {e}")))?;
-            app.attach_store(Box::new(store));
+            stores.push(store);
+            dirs.push(dir);
             reports.push(report);
         }
-        // All replicas of one committee live in this process, so a crash
-        // stopped them at the same commit (modulo the torn tail recovery
-        // already removed) — they must agree before consensus restarts.
+        // The kill-and-restart path: a committee member whose data
+        // directory was wiped (or stalled behind the cohort) rejoins by
+        // streaming the best member's snapshot + WAL tail (DESIGN.md
+        // §14) instead of failing the whole restart.
+        let fresh_chain_id = chain_id.clone();
+        let fresh_metrics = metrics.clone();
+        let fresh_registry = registry.clone();
+        let interval = builder.block_interval_ms;
+        let parallel = builder.parallel_exec;
+        let fresh_app = move |local: usize| {
+            let runtime: Box<dyn medchain_chain::ContractRuntime> = if shard.is_coordinator() {
+                Box::new(NullRuntime)
+            } else {
+                Box::new(Runtime::standard())
+            };
+            let mut app = ChainApp::sharded(
+                &fresh_chain_id,
+                shard,
+                shard_count,
+                fresh_registry.clone(),
+                runtime,
+            );
+            app.set_timestamp_quantum_ms(interval);
+            app.ledger_mut().set_parallel_exec(parallel);
+            if local == 0 {
+                app.set_metrics(fresh_metrics.clone());
+            }
+            app
+        };
+        crate::network::bootstrap_lagging(
+            &mut apps,
+            &mut stores,
+            &dirs,
+            *config,
+            &metrics,
+            &fresh_app,
+            &shard.to_string(),
+        )?;
+        // Reports describe the state consensus restarts from, so fold
+        // any streamed rejoin back in before the caller's cross-link
+        // agreement check.
+        for (local, report) in reports.iter_mut().enumerate() {
+            report.height = apps[local].ledger().height();
+            report.tip_id = apps[local].ledger().tip().id();
+        }
+        // All replicas of one committee live in this process, so after
+        // local recovery plus streamed rejoin they must agree before
+        // consensus restarts.
         let tip0 = reports[0].tip_id;
         if let Some((local, r)) = reports.iter().enumerate().find(|(_, r)| r.tip_id != tip0) {
             return Err(NetworkError::Storage(format!(
                 "{shard}: site {local} recovered tip {:?} but site 0 recovered {tip0:?}",
                 r.tip_id
             )));
+        }
+        let cache_pages = crate::network::effective_cache_pages(builder.state_cache_pages);
+        for (local, (app, store)) in apps.iter_mut().zip(stores).enumerate() {
+            let store_metrics = if local == 0 { metrics.clone() } else { Metrics::noop() };
+            crate::network::attach_site_store(app, store, cache_pages, store_metrics)?;
         }
     }
     let net = make_transport(builder.transport, sites.len(), seed, &metrics)?;

@@ -13,6 +13,7 @@
 //! 3. `ledger.attach_store(Box::new(store))` — every later commit is
 //!    persisted write-ahead.
 
+use crate::pages::PageStore;
 use crate::snapshot::SnapshotStore;
 use crate::wal::SegmentedLog;
 use medchain_chain::store::{BlockStore, StoreError};
@@ -20,6 +21,7 @@ use medchain_chain::{Block, Hash256, Ledger, WorldState};
 use medchain_runtime::codec::Encode;
 use medchain_runtime::metrics::Metrics;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// When appended blocks are fsynced to disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +104,9 @@ pub struct DiskStore {
     /// Blocks scanned from the log on open, held until `recover_into`
     /// consumes them (or the first append discards them).
     scanned: Option<Vec<Block>>,
+    /// State page cache attached via [`DiskStore::attach_pages`]:
+    /// dirty pages are written back at snapshot boundaries.
+    pages: Option<Arc<PageStore>>,
 }
 
 impl DiskStore {
@@ -142,12 +147,44 @@ impl DiskStore {
             appends_since_sync: 0,
             truncated_records: scan.truncated_records,
             scanned: Some(scan.blocks),
+            pages: None,
         })
     }
 
     /// The data directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Attaches the site's state [`PageStore`] so dirty pages are
+    /// written back at snapshot boundaries (DESIGN.md §14): when a
+    /// snapshot lands, the cold state the snapshot summarizes is also
+    /// durable in the page file, keeping page-cache write-back
+    /// amortized over the snapshot cadence instead of per-commit.
+    pub fn attach_pages(&mut self, pages: Arc<PageStore>) {
+        self.pages = Some(pages);
+    }
+
+    /// The snapshot sub-store (bootstrap streaming serves and adopts
+    /// snapshot payloads through it).
+    pub fn snapshots(&self) -> &SnapshotStore {
+        &self.snaps
+    }
+
+    /// The newest on-disk snapshot as `(height, raw payload)` — what a
+    /// peer chunks and streams to a bootstrapping site. `None` when no
+    /// valid snapshot file exists yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn latest_snapshot_payload(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        for height in self.snaps.heights()?.into_iter().rev() {
+            if let Some(payload) = self.snaps.raw_payload(height)? {
+                return Ok(Some((height, payload)));
+            }
+        }
+        Ok(None)
     }
 
     /// Corruption events truncated during open.
@@ -286,6 +323,13 @@ impl DiskStore {
         }
         let bytes = self.snaps.write(block, state)?;
         self.snaps.prune(self.config.retain_snapshots)?;
+        // Snapshot boundaries are the page cache's write-back points:
+        // the cold state this snapshot summarizes becomes durable in
+        // the page file too (derived data, but keeping the two in step
+        // bounds how stale the page file can be).
+        if let Some(pages) = &self.pages {
+            pages.flush().map_err(StoreError::from)?;
+        }
         self.metrics.counter("storage.snapshots", 1);
         self.metrics.counter("storage.bytes", bytes);
         self.metrics.counter("storage.fsyncs", 1);

@@ -97,6 +97,59 @@ impl SnapshotStore {
         Ok(record.len() as u64)
     }
 
+    /// Adopts a snapshot payload assembled from a peer's stream
+    /// (DESIGN.md §14) as the local `snap-<height>.bin`, framed exactly
+    /// as [`SnapshotStore::write`] frames a locally-taken snapshot —
+    /// tmp + rename, so a crash mid-adopt never leaves a torn file.
+    ///
+    /// Adopting performs **no validation**: the payload stays untrusted
+    /// until [`SnapshotStore::load`] decodes it and
+    /// `Ledger::restore_with_tree` checks its root against the
+    /// committed header. A payload failing either simply never
+    /// installs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure.
+    pub fn adopt_payload(&self, height: u64, payload: &[u8]) -> Result<(), StoreError> {
+        let record = frame(payload);
+        let final_path = self.dir.join(snap_name(height));
+        let tmp_path = final_path.with_extension("bin.tmp");
+        let mut file = OpenOptions::new().create(true).write(true).truncate(true).open(&tmp_path)?;
+        file.write_all(&record)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+
+    /// The CRC-verified raw payload of the snapshot at `height` — the
+    /// bytes a streaming peer chunks and serves. `None` if the file is
+    /// missing, torn, or fails its CRC (decode validity is the
+    /// receiver's problem; a peer only promises intact bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on read failure (other than absence).
+    pub fn raw_payload(&self, height: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        let path = self.dir.join(snap_name(height));
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let header = RECORD_HEADER_BYTES as usize;
+        if bytes.len() < header {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if bytes.len() < header + len || crc32(&bytes[header..header + len]) != crc {
+            return Ok(None);
+        }
+        Ok(Some(bytes[header..header + len].to_vec()))
+    }
+
     /// Heights of all snapshot files, ascending (validity unchecked).
     ///
     /// # Errors

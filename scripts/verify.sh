@@ -273,6 +273,26 @@ if grep -rn "\.apply_delta(" crates/*/src src examples tests --include="*.rs" \
 fi
 echo "ok: every state mutation flows through the ledger's delta/tree path"
 
+# Root-verified snapshot install (DESIGN.md §14): a snapshot — local or
+# streamed from a peer — may enter a ledger ONLY through
+# Ledger::restore_with_tree, which rejects any state whose tree root
+# does not match the committed header. A second install path would let
+# unauthenticated bytes become world state.
+echo "== snapshot: root-verified install-path guard =="
+if grep -rn "restore_with_tree(" crates/*/src src examples tests --include="*.rs" \
+    | grep -v "^crates/chain/src/ledger.rs\|^crates/storage/src/disk.rs\|^crates/core/src/bootstrap.rs"; then
+    echo "ERROR: snapshot state installed outside the root-verified restore path." >&2
+    exit 1
+fi
+# A streamed payload is untrusted bytes until SnapshotStore::load
+# revalidates it; adopting raw payloads is the bootstrap path's job.
+if grep -rn "adopt_payload(" crates/*/src src examples tests --include="*.rs" \
+    | grep -v "^crates/storage/src/snapshot.rs\|^crates/core/src/bootstrap.rs"; then
+    echo "ERROR: raw snapshot payload adopted outside the streamed-bootstrap path." >&2
+    exit 1
+fi
+echo "ok: snapshots install only through the root-verified restore path"
+
 # Light-client query path (DESIGN.md §13): anchor a record over the TCP
 # gateway, read it back with a sparse-Merkle proof, verify client-side,
 # and re-verify against an independently read committed header root —
@@ -292,5 +312,27 @@ if ! grep -q "0 proof failures" "$light_log"; then
     exit 1
 fi
 echo "ok: light client proved inclusion and absence against committed header roots"
+
+# Beyond-RAM paging + snapshot streaming (DESIGN.md §14): one process
+# life proves a page-capped consortium commits the byte-identical tip of
+# a fully-resident one (with real page traffic), then wipes a site's
+# data directory and rejoins it from a peer's streamed snapshot + WAL
+# tail. Wall-clock guarded.
+echo "== paging: beyond-RAM state + wiped-site streamed rejoin (wall-clock guarded) =="
+paged_dir="$(mktemp -d)"
+paged_log="$(mktemp)"
+trap 'rm -f "$metrics_tsv" "$restart_log" "$shard_log" "$gateway_log" "$exec_log" "$light_log" "$paged_log"; rm -rf "$restart_dir" "$shard_dir" "$paged_dir"' EXIT
+timeout 180 cargo run --release -q --example paged_bootstrap "$paged_dir" > "$paged_log"
+if ! grep -q "paged node committed byte-identical tip" "$paged_log"; then
+    echo "ERROR: paged_bootstrap did not commit a byte-identical tip under a page cap" >&2
+    cat "$paged_log" >&2
+    exit 1
+fi
+if ! grep -q "wiped site rejoined from streamed snapshot" "$paged_log"; then
+    echo "ERROR: paged_bootstrap did not rejoin the wiped site from a streamed snapshot" >&2
+    cat "$paged_log" >&2
+    exit 1
+fi
+echo "ok: page-capped node matched the resident tip and the wiped site streamed back in"
 
 echo "verify: OK"

@@ -12,7 +12,9 @@ pub use medchain as core;
 /// Everything here is re-exported verbatim from the workspace crates;
 /// reach into the individual crates for anything more specialised.
 pub mod prelude {
-    // Deterministic runtime (RNG, codec, bench/check harnesses).
+    // Deterministic runtime (RNG, codec, metrics, bench/check
+    // harnesses).
+    pub use medchain_runtime::metrics::{Metrics, Registry};
     pub use medchain_runtime::{Decode, DetRng, Encode};
 
     // Network simulation and the paper's execution modes/pipelines.
@@ -50,10 +52,12 @@ pub mod prelude {
     pub use medchain_chain::{LeafKey, SmtProof, StateProof, StateTree};
 
     // Durable persistence: block store trait plus the disk-backed
-    // segmented-WAL / snapshot implementation.
+    // segmented-WAL / snapshot implementation, state paging, snapshot
+    // streaming, and the latest_state projection (DESIGN.md §14).
     pub use medchain_chain::store::{BlockStore, MemStore, StoreError};
     pub use medchain_storage::{
-        DiskStore, FsyncPolicy, RecoveryReport, StorageConfig, StorageFault,
+        DiskStore, FsyncPolicy, LatestState, PageStore, RecoveryReport, SnapshotChunk,
+        SnapshotManifest, StorageConfig, StorageFault,
     };
 
     // Contracts: assembler, bytecode, values, access policy.

@@ -441,3 +441,83 @@ fn medical_network_restart_resumes_at_persisted_height() {
     }
     std::fs::remove_dir_all(&root).unwrap();
 }
+
+/// Paged reads ≡ fully-resident reads (DESIGN.md §14): one seeded
+/// random block sequence — transfers across a 64-account universe plus
+/// anchors — committed by a fully-resident ledger and by page-capped
+/// ledgers with 1..=4 cached page slots. Hot-set and node budgets sit
+/// far below the working set, so every commit demotes accounts and
+/// spills subtrees, and later blocks fault them back in. State roots
+/// and full canonical state encodings must stay byte-identical at
+/// every height.
+#[test]
+fn paged_ledger_matches_resident_ledger_under_random_blocks() {
+    use medchain_chain::StateCacheConfig;
+    use medchain_storage::{PageStore, PagedAccounts, PagedNodes};
+    use std::sync::Arc;
+
+    for cache_pages in 1..=4usize {
+        let dir = test_dir(&format!("paged-equiv-{cache_pages}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = AuthorityKey::from_seed(11);
+        let mut resident = fresh_ledger(&key);
+        let mut paged = fresh_ledger(&key);
+        // Genesis funding (identical on both) before the cache attaches.
+        resident.state_mut().credit(key.address(), 1_000_000);
+        paged.state_mut().credit(key.address(), 1_000_000);
+
+        let registry = Registry::new();
+        let pages = Arc::new(
+            PageStore::open(&dir.join("pages.bin"), cache_pages, registry.handle()).unwrap(),
+        );
+        paged.attach_state_cache(StateCacheConfig {
+            accounts: Arc::new(PagedAccounts::new(Arc::clone(&pages))),
+            nodes: Arc::new(PagedNodes::new(pages)),
+            max_hot_accounts: 8, // « the 64-account universe: constant churn
+            node_budget: 16,     // forces subtree spills on every commit
+        });
+
+        let mut rng = DetRng::from_seed(0xD15C_0000 + cache_pages as u64);
+        for step in 0..30u64 {
+            let nonce_base = resident.state().account(&key.address()).nonce;
+            let txs: Vec<Transaction> = (0..4)
+                .map(|k| {
+                    let payload = if rng.next_u64() % 2 == 0 {
+                        let mut to = [0u8; 20];
+                        to[..8].copy_from_slice(&(rng.next_u64() % 64).to_le_bytes());
+                        TxPayload::Transfer {
+                            to: medchain_chain::Address(to),
+                            amount: 1 + rng.next_u64() % 50,
+                        }
+                    } else {
+                        let label = format!("scan-{step}-{k}");
+                        TxPayload::Anchor { root: Hash256::digest(label.as_bytes()), label }
+                    };
+                    Transaction::new(key.address(), nonce_base + k, payload, 100).signed(&key)
+                })
+                .collect();
+            let block = resident.propose(key.address(), (resident.height() + 1) * 50, txs);
+            resident.apply(&block).unwrap();
+            paged.apply(&block).unwrap();
+            assert_eq!(
+                paged.state().state_root(),
+                resident.state().state_root(),
+                "state root diverged at step {step} with {cache_pages} page slot(s)"
+            );
+            assert_eq!(
+                paged.state().encoded(),
+                resident.state().encoded(),
+                "state encoding diverged at step {step} with {cache_pages} page slot(s)"
+            );
+        }
+        assert!(
+            registry.counter_value("storage.page_writes") > 0,
+            "{cache_pages} slot(s): budget never forced a spill"
+        );
+        assert!(
+            registry.counter_value("storage.page_misses") > 0,
+            "{cache_pages} slot(s): no read ever faulted a page back in"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
